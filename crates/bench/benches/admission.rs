@@ -1,0 +1,73 @@
+//! Micro-benchmarks of the admission-control pipeline (§4.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtpb_core::admission::evaluate;
+use rtpb_core::config::{ProtocolConfig, SchedulabilityTest};
+use rtpb_core::store::ObjectStore;
+use rtpb_types::{ObjectId, ObjectSpec, Time, TimeDelta};
+
+fn spec() -> ObjectSpec {
+    ObjectSpec::builder("bench")
+        .update_period(TimeDelta::from_millis(100))
+        .primary_bound(TimeDelta::from_millis(150))
+        .backup_bound(TimeDelta::from_millis(550))
+        .build()
+        .expect("valid spec")
+}
+
+fn store_with(n: usize) -> ObjectStore {
+    let mut store = ObjectStore::new();
+    for _ in 0..n {
+        store.register(spec(), Time::ZERO);
+    }
+    store
+}
+
+fn bench_admission(c: &mut Criterion) {
+    let mut group = c.benchmark_group("admission_evaluate");
+    for &n in &[1usize, 16, 64, 256] {
+        let store = store_with(n);
+        let config = ProtocolConfig::default();
+        group.bench_with_input(BenchmarkId::new("liu_layland", n), &n, |b, _| {
+            b.iter(|| {
+                evaluate(
+                    &store,
+                    &[],
+                    ObjectId::new(n as u32),
+                    &spec(),
+                    &[],
+                    &config,
+                )
+            });
+        });
+    }
+    // Compare schedulability tests at a fixed size.
+    let store = store_with(64);
+    for test in [
+        SchedulabilityTest::LiuLayland,
+        SchedulabilityTest::Hyperbolic,
+        SchedulabilityTest::ResponseTime,
+        SchedulabilityTest::EdfUtilization,
+    ] {
+        let config = ProtocolConfig {
+            schedulability_test: test,
+            ..ProtocolConfig::default()
+        };
+        group.bench_function(BenchmarkId::new("test", format!("{test:?}")), |b| {
+            b.iter(|| {
+                evaluate(
+                    &store,
+                    &[],
+                    ObjectId::new(64),
+                    &spec(),
+                    &[],
+                    &config,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_admission);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Micro-benchmarks of the scheduler executors and analyses (§2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtpb_sched::analysis::response_time::response_times;
+use rtpb_sched::analysis::utilization::{liu_layland_bound, rm_schedulable};
+use rtpb_sched::exec::{run_dcs, run_edf, run_rm, Horizon};
+use rtpb_sched::task::{PeriodicTask, TaskSet};
+use rtpb_types::TimeDelta;
+
+/// Builds a pseudo-random task set at roughly 50% utilization
+/// (each task contributes ≈ 1/(2n), floored at 10 µs of execution).
+fn task_set(n: usize) -> TaskSet {
+    let tasks = (0..n).map(|i| {
+        let period_ms = 10 + (i as u64 * 13) % 90; // 10..100 ms
+        let exec_us = (period_ms * 1_000 / (2 * n as u64)).max(10);
+        PeriodicTask::new(
+            TimeDelta::from_millis(period_ms),
+            TimeDelta::from_micros(exec_us),
+        )
+    });
+    TaskSet::try_from_iter(tasks).expect("utilization stays below 1")
+}
+
+fn bench_executors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("executors");
+    for &n in &[4usize, 16] {
+        let tasks = task_set(n);
+        group.bench_with_input(BenchmarkId::new("rm_20_cycles", n), &tasks, |b, t| {
+            b.iter(|| run_rm(t, Horizon::cycles(20)));
+        });
+        group.bench_with_input(BenchmarkId::new("edf_20_cycles", n), &tasks, |b, t| {
+            b.iter(|| run_edf(t, Horizon::cycles(20)));
+        });
+        group.bench_with_input(BenchmarkId::new("dcs_20_cycles", n), &tasks, |b, t| {
+            b.iter(|| run_dcs(t, Horizon::cycles(20)).expect("feasible"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_analyses(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analyses");
+    for &n in &[8usize, 64, 256] {
+        let tasks = task_set(n);
+        group.bench_with_input(BenchmarkId::new("ll_test", n), &tasks, |b, t| {
+            b.iter(|| rm_schedulable(t));
+        });
+        group.bench_with_input(BenchmarkId::new("rta", n), &tasks, |b, t| {
+            b.iter(|| response_times(t));
+        });
+        group.bench_with_input(BenchmarkId::new("ll_bound", n), &n, |b, &n| {
+            b.iter(|| liu_layland_bound(n));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_executors, bench_analyses);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Evaluation harness for the RTPB reproduction.
+//!
+//! One experiment per figure of the paper's §5, plus the theory-validation
+//! table. The `figures` binary renders each experiment as the text table
+//! the paper plots; the Criterion benches in `benches/` cover hot paths
+//! and the design-choice ablations called out in `DESIGN.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::{
+    distance_vs_loss, distance_vs_objects, inconsistency_vs_loss, response_time_vs_objects,
+    theory_validation, FigureDefaults,
+};
+pub use table::Table;

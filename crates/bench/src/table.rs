@@ -1,0 +1,191 @@
+//! Plain-text tables for the figure regenerators.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned table: one row per x-value, one column per
+/// series — the textual equivalent of one figure in the paper.
+///
+/// # Examples
+///
+/// ```
+/// use rtpb_bench::Table;
+///
+/// let mut t = Table::new("Figure 6", "objects", vec!["200ms".into(), "400ms".into()]);
+/// t.push_row("2".into(), vec![Some(0.41), Some(0.40)]);
+/// t.push_row("4".into(), vec![Some(0.42), None]);
+/// let text = t.render();
+/// assert!(text.contains("Figure 6"));
+/// assert!(text.contains("0.41"));
+/// assert!(text.contains("-")); // missing cell
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    x_label: String,
+    series: Vec<String>,
+    rows: Vec<(String, Vec<Option<f64>>)>,
+    notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new(title: impl Into<String>, x_label: impl Into<String>, series: Vec<String>) -> Self {
+        Table {
+            title: title.into(),
+            x_label: x_label.into(),
+            series,
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row; `values` must have one entry per series
+    /// (`None` renders as `-`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` differs from the number of series.
+    pub fn push_row(&mut self, x: String, values: Vec<Option<f64>>) {
+        assert_eq!(
+            values.len(),
+            self.series.len(),
+            "row width must match series count"
+        );
+        self.rows.push((x, values));
+    }
+
+    /// Appends a free-form footnote.
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// The rows recorded so far.
+    #[must_use]
+    pub fn rows(&self) -> &[(String, Vec<Option<f64>>)] {
+        &self.rows
+    }
+
+    /// The series labels.
+    #[must_use]
+    pub fn series(&self) -> &[String] {
+        &self.series
+    }
+
+    /// Renders the table as aligned text.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut width_x = self.x_label.len();
+        for (x, _) in &self.rows {
+            width_x = width_x.max(x.len());
+        }
+        let mut widths: Vec<usize> = self.series.iter().map(String::len).collect();
+        let cells: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|(_, vals)| {
+                vals.iter()
+                    .map(|v| v.map_or_else(|| "-".to_string(), |v| format!("{v:.2}")))
+                    .collect()
+            })
+            .collect();
+        for row in &cells {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let _ = write!(out, "{:>width_x$}", self.x_label);
+        for (label, w) in self.series.iter().zip(&widths) {
+            let _ = write!(out, "  {label:>w$}");
+        }
+        out.push('\n');
+        let total = width_x + widths.iter().map(|w| w + 2).sum::<usize>();
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for ((x, _), row) in self.rows.iter().zip(&cells) {
+            let _ = write!(out, "{x:>width_x$}");
+            for (cell, w) in row.iter().zip(&widths) {
+                let _ = write!(out, "  {cell:>w$}");
+            }
+            out.push('\n');
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "note: {note}");
+        }
+        out
+    }
+
+    /// Renders as CSV (header row, then data).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{}", self.x_label);
+        for s in &self.series {
+            let _ = write!(out, ",{s}");
+        }
+        out.push('\n');
+        for (x, vals) in &self.rows {
+            let _ = write!(out, "{x}");
+            for v in vals {
+                match v {
+                    Some(v) => {
+                        let _ = write!(out, ",{v}");
+                    }
+                    None => out.push(','),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("Fig X", "loss %", vec!["a".into(), "b".into()]);
+        t.push_row("0".into(), vec![Some(1.0), Some(2.0)]);
+        t.push_row("10".into(), vec![Some(3.5), None]);
+        t.note("simulated");
+        t
+    }
+
+    #[test]
+    fn render_contains_everything() {
+        let text = sample().render();
+        assert!(text.contains("== Fig X =="));
+        assert!(text.contains("loss %"));
+        assert!(text.contains("1.00") && text.contains("3.50"));
+        assert!(text.contains("note: simulated"));
+    }
+
+    #[test]
+    fn columns_align() {
+        let text = sample().render();
+        let lines: Vec<&str> = text.lines().collect();
+        // Header and data lines end at consistent widths.
+        let header = lines[1];
+        let row = lines[3];
+        assert_eq!(header.len(), row.len());
+    }
+
+    #[test]
+    fn csv_round_trips_values() {
+        let csv = sample().to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("loss %,a,b"));
+        assert_eq!(lines.next(), Some("0,1,2"));
+        assert_eq!(lines.next(), Some("10,3.5,"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new("t", "x", vec!["a".into()]);
+        t.push_row("1".into(), vec![Some(1.0), Some(2.0)]);
+    }
+}

@@ -1,0 +1,531 @@
+//! Admission control (paper §4.2).
+//!
+//! Before an object joins the service the primary checks, in order:
+//!
+//! 1. `p_i ≤ δ_i^P` — the client's own update rate can keep the primary
+//!    image within its external bound (Theorem 1 with `v_i = 0`).
+//! 2. `δ_i = δ_i^B - δ_i^P > ℓ` — the consistency window exceeds the
+//!    communication-delay bound, otherwise backup consistency is
+//!    unattainable.
+//! 3. Every inter-object constraint `δ_ij` named in the request admits
+//!    both members' client periods (Theorem 6 with zero variance:
+//!    `p ≤ δ_ij`).
+//! 4. The update-transmission task set — every existing object plus the
+//!    newcomer, each with period `r_i` derived from its *effective* window
+//!    (its own window, tightened by any inter-object constraint) — passes
+//!    the configured schedulability test.
+//!
+//! On rejection the error carries [`QosNegotiation`] hints so the client
+//! can renegotiate (§4.2: "The primary can provide feedback so that the
+//! client can negotiate for an alternative quality of service").
+
+use crate::config::{ProtocolConfig, SchedulabilityTest};
+use crate::store::ObjectStore;
+use crate::update_sched::{build_schedule, UpdateSchedule};
+use rtpb_sched::analysis::response_time::rta_schedulable;
+use rtpb_sched::analysis::utilization::{
+    edf_schedulable, hyperbolic_schedulable, liu_layland_bound, rm_schedulable,
+};
+use rtpb_sched::task::{PeriodicTask, TaskSet};
+use rtpb_types::{
+    AdmissionError, InterObjectConstraint, ObjectId, ObjectSpec, QosNegotiation, TimeDelta,
+};
+
+/// A positive admission decision: the schedule the primary should run
+/// after installing the new object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdmissionOutcome {
+    /// The send schedule covering every object including the newcomer.
+    pub schedule: UpdateSchedule,
+    /// Update-task utilization under *normal* periods (what the
+    /// schedulability test saw).
+    pub utilization_millis: u32,
+}
+
+/// Evaluates an admission request.
+///
+/// `store` holds the already-admitted objects, `constraints` the
+/// inter-object constraints already in force, `new_id` the id the object
+/// will receive, and `new_constraints` any constraints between the
+/// newcomer and existing objects.
+///
+/// With `config.admission_enabled == false`, all gates are skipped and a
+/// schedule is computed unconditionally (the paper's Figures 7 and 10).
+///
+/// # Errors
+///
+/// Returns the first failing gate as an [`AdmissionError`].
+pub fn evaluate(
+    store: &ObjectStore,
+    constraints: &[InterObjectConstraint],
+    new_id: ObjectId,
+    new_spec: &ObjectSpec,
+    new_constraints: &[InterObjectConstraint],
+    config: &ProtocolConfig,
+) -> Result<AdmissionOutcome, AdmissionError> {
+    if config.admission_enabled {
+        check_primary_bound(new_spec)?;
+        check_window(new_spec, config)?;
+        check_inter_object(store, new_id, new_spec, new_constraints)?;
+    }
+
+    // Assemble (id, effective window, send cost) for everything.
+    let mut all_constraints: Vec<InterObjectConstraint> = constraints.to_vec();
+    all_constraints.extend_from_slice(new_constraints);
+
+    let mut objects: Vec<(ObjectId, TimeDelta, TimeDelta)> = store
+        .iter()
+        .map(|(id, e)| {
+            (
+                id,
+                effective_window(id, e.spec().window(), &all_constraints),
+                config.send_cost(e.spec().size_bytes()),
+            )
+        })
+        .collect();
+    objects.push((
+        new_id,
+        effective_window(new_id, new_spec.window(), &all_constraints),
+        config.send_cost(new_spec.size_bytes()),
+    ));
+
+    // The schedulability gate always judges the guarantee-bearing
+    // *normal* periods (Theorem 5 + loss slack); compressed scheduling
+    // only packs extra sends into admitted capacity afterwards.
+    let normal_config = ProtocolConfig {
+        scheduling_mode: crate::config::SchedulingMode::Normal,
+        ..config.clone()
+    };
+    let test_schedule = build_schedule(&objects, &normal_config);
+    let utilization: f64 = objects
+        .iter()
+        .map(|&(id, _, cost)| {
+            let period = test_schedule.period(id).expect("scheduled above");
+            cost.as_nanos() as f64 / period.as_nanos() as f64
+        })
+        .sum();
+
+    if config.admission_enabled {
+        check_schedulability(&objects, &test_schedule, utilization, config)?;
+    }
+    let schedule = build_schedule(&objects, config);
+
+    Ok(AdmissionOutcome {
+        schedule,
+        utilization_millis: (utilization * 1000.0).round() as u32,
+    })
+}
+
+/// Gate 1: `p_i ≤ δ_i^P`.
+fn check_primary_bound(spec: &ObjectSpec) -> Result<(), AdmissionError> {
+    if spec.update_period() > spec.primary_bound() {
+        return Err(AdmissionError::PeriodExceedsPrimaryBound {
+            period: spec.update_period(),
+            primary_bound: spec.primary_bound(),
+            negotiation: QosNegotiation {
+                min_primary_bound: Some(spec.update_period()),
+                ..QosNegotiation::default()
+            },
+        });
+    }
+    Ok(())
+}
+
+/// Gate 2: `δ_i > ℓ`.
+fn check_window(spec: &ObjectSpec, config: &ProtocolConfig) -> Result<(), AdmissionError> {
+    let window = spec.window();
+    if window <= config.link_delay_bound {
+        return Err(AdmissionError::WindowTooSmall {
+            window,
+            delay_bound: config.link_delay_bound,
+            negotiation: QosNegotiation {
+                min_window: Some(config.link_delay_bound + TimeDelta::from_millis(1)),
+                ..QosNegotiation::default()
+            },
+        });
+    }
+    Ok(())
+}
+
+/// Gate 3: Theorem 6 (zero-variance form) for every new constraint.
+fn check_inter_object(
+    store: &ObjectStore,
+    new_id: ObjectId,
+    new_spec: &ObjectSpec,
+    new_constraints: &[InterObjectConstraint],
+) -> Result<(), AdmissionError> {
+    for c in new_constraints {
+        let partner = c
+            .partner_of(new_id)
+            .ok_or(AdmissionError::UnknownObject(new_id))?;
+        let partner_entry = store
+            .get(partner)
+            .ok_or(AdmissionError::UnknownObject(partner))?;
+        if new_spec.update_period() > c.bound() {
+            return Err(AdmissionError::InterObjectTooTight {
+                bound: c.bound(),
+                period: new_spec.update_period(),
+                object: new_id,
+            });
+        }
+        if partner_entry.spec().update_period() > c.bound() {
+            return Err(AdmissionError::InterObjectTooTight {
+                bound: c.bound(),
+                period: partner_entry.spec().update_period(),
+                object: partner,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Gate 4: the update-task set is schedulable under the configured test.
+fn check_schedulability(
+    objects: &[(ObjectId, TimeDelta, TimeDelta)],
+    schedule: &UpdateSchedule,
+    utilization: f64,
+    config: &ProtocolConfig,
+) -> Result<(), AdmissionError> {
+    let n = objects.len();
+    let reject = |bound: f64| AdmissionError::Unschedulable {
+        utilization,
+        bound,
+        negotiation: QosNegotiation {
+            max_admissible_utilization: Some(bound),
+            ..QosNegotiation::default()
+        },
+    };
+
+    let tasks: Result<TaskSet, _> = TaskSet::try_from_iter(objects.iter().map(|&(id, _, cost)| {
+        PeriodicTask::new(schedule.period(id).expect("scheduled"), cost)
+    }));
+    let Ok(tasks) = tasks else {
+        // Utilization above 1: unschedulable under every test.
+        return Err(reject(1.0));
+    };
+
+    let ok = match config.schedulability_test {
+        SchedulabilityTest::LiuLayland => rm_schedulable(&tasks),
+        SchedulabilityTest::Hyperbolic => hyperbolic_schedulable(&tasks),
+        SchedulabilityTest::ResponseTime => rta_schedulable(&tasks),
+        SchedulabilityTest::EdfUtilization => edf_schedulable(&tasks),
+    };
+    if ok {
+        Ok(())
+    } else {
+        let bound = match config.schedulability_test {
+            SchedulabilityTest::LiuLayland => liu_layland_bound(n),
+            SchedulabilityTest::Hyperbolic | SchedulabilityTest::ResponseTime => {
+                liu_layland_bound(n)
+            }
+            SchedulabilityTest::EdfUtilization => 1.0,
+        };
+        Err(reject(bound))
+    }
+}
+
+/// The effective window of `id`: its own window tightened by every
+/// inter-object constraint involving it (the §4.2 conversion of
+/// inter-object constraints into external ones).
+fn effective_window(
+    id: ObjectId,
+    own_window: TimeDelta,
+    constraints: &[InterObjectConstraint],
+) -> TimeDelta {
+    constraints
+        .iter()
+        .filter(|c| c.involves(id))
+        .map(InterObjectConstraint::bound)
+        .fold(own_window, TimeDelta::min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtpb_types::Time;
+
+    fn ms(v: u64) -> TimeDelta {
+        TimeDelta::from_millis(v)
+    }
+
+    fn spec(period: u64, dp: u64, db: u64) -> ObjectSpec {
+        ObjectSpec::builder("t")
+            .update_period(ms(period))
+            .primary_bound(ms(dp))
+            .backup_bound(ms(db))
+            .build()
+            .unwrap()
+    }
+
+    fn admit_one(
+        store: &mut ObjectStore,
+        spec: &ObjectSpec,
+        config: &ProtocolConfig,
+    ) -> Result<ObjectId, AdmissionError> {
+        let id = ObjectId::new(store.len() as u32);
+        evaluate(store, &[], id, spec, &[], config)?;
+        Ok(store.register(spec.clone(), Time::ZERO))
+    }
+
+    #[test]
+    fn admits_a_reasonable_object() {
+        let store = ObjectStore::new();
+        let s = spec(100, 150, 550);
+        let out = evaluate(&store, &[], ObjectId::new(0), &s, &[], &ProtocolConfig::default())
+            .unwrap();
+        assert_eq!(out.schedule.period(ObjectId::new(0)), Some(ms(195)));
+        assert!(out.utilization_millis < 100);
+    }
+
+    #[test]
+    fn gate1_period_exceeding_primary_bound() {
+        let store = ObjectStore::new();
+        let s = spec(200, 150, 550);
+        let err = evaluate(&store, &[], ObjectId::new(0), &s, &[], &ProtocolConfig::default())
+            .unwrap_err();
+        match err {
+            AdmissionError::PeriodExceedsPrimaryBound { negotiation, .. } => {
+                assert_eq!(negotiation.min_primary_bound, Some(ms(200)));
+            }
+            other => panic!("wrong gate: {other}"),
+        }
+    }
+
+    #[test]
+    fn gate2_window_not_exceeding_delay_bound() {
+        let store = ObjectStore::new();
+        // Window = 8 ms ≤ ℓ = 10 ms.
+        let s = spec(100, 150, 158);
+        let err = evaluate(&store, &[], ObjectId::new(0), &s, &[], &ProtocolConfig::default())
+            .unwrap_err();
+        match err {
+            AdmissionError::WindowTooSmall {
+                window,
+                delay_bound,
+                negotiation,
+            } => {
+                assert_eq!(window, ms(8));
+                assert_eq!(delay_bound, ms(10));
+                assert_eq!(negotiation.min_window, Some(ms(11)));
+            }
+            other => panic!("wrong gate: {other}"),
+        }
+    }
+
+    #[test]
+    fn gate3_inter_object_constraint_too_tight() {
+        let mut store = ObjectStore::new();
+        let existing = admit_one(&mut store, &spec(100, 150, 550), &ProtocolConfig::default())
+            .unwrap();
+        let new_id = ObjectId::new(1);
+        // δ_ij = 80 ms < the newcomer's 100 ms period.
+        let c = InterObjectConstraint::new(new_id, existing, ms(80));
+        let err = evaluate(
+            &store,
+            &[],
+            new_id,
+            &spec(100, 150, 550),
+            &[c],
+            &ProtocolConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, AdmissionError::InterObjectTooTight { .. }));
+    }
+
+    #[test]
+    fn gate3_partner_period_checked_too() {
+        let mut store = ObjectStore::new();
+        // Existing object writes every 300 ms.
+        let existing = admit_one(&mut store, &spec(300, 400, 900), &ProtocolConfig::default())
+            .unwrap();
+        let new_id = ObjectId::new(1);
+        // Constraint 250 ms: newcomer (100 ms) fine, partner (300 ms) violates.
+        let c = InterObjectConstraint::new(new_id, existing, ms(250));
+        let err = evaluate(
+            &store,
+            &[],
+            new_id,
+            &spec(100, 150, 550),
+            &[c],
+            &ProtocolConfig::default(),
+        )
+        .unwrap_err();
+        match err {
+            AdmissionError::InterObjectTooTight { object, period, .. } => {
+                assert_eq!(object, existing);
+                assert_eq!(period, ms(300));
+            }
+            other => panic!("wrong gate: {other}"),
+        }
+    }
+
+    #[test]
+    fn gate3_unknown_partner() {
+        let store = ObjectStore::new();
+        let new_id = ObjectId::new(0);
+        let ghost = ObjectId::new(77);
+        let c = InterObjectConstraint::new(new_id, ghost, ms(500));
+        let err = evaluate(
+            &store,
+            &[],
+            new_id,
+            &spec(100, 150, 550),
+            &[c],
+            &ProtocolConfig::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, AdmissionError::UnknownObject(ghost));
+    }
+
+    #[test]
+    fn gate4_rejects_when_task_set_saturates() {
+        // 20 ms windows → 5 ms send periods; at 200 µs per send the
+        // utilization climbs 4% per object, so the LL bound trips after a
+        // handful of admissions.
+        let config = ProtocolConfig {
+            send_cost_base: TimeDelta::from_micros(200),
+            ..ProtocolConfig::default()
+        };
+        let mut store = ObjectStore::new();
+        let s = ObjectSpec::builder("t")
+            .update_period(ms(15))
+            .primary_bound(ms(20))
+            .backup_bound(ms(40)) // window 20 → period (20-10)/2 = 5 ms
+            .exec_time(TimeDelta::from_micros(50))
+            .build()
+            .unwrap();
+        let mut admitted = 0;
+        let mut rejected = None;
+        for _ in 0..64 {
+            match admit_one(&mut store, &s, &config) {
+                Ok(_) => admitted += 1,
+                Err(e) => {
+                    rejected = Some(e);
+                    break;
+                }
+            }
+        }
+        let err = rejected.expect("admission must eventually reject");
+        assert!(matches!(err, AdmissionError::Unschedulable { .. }));
+        assert!(admitted > 2, "admitted only {admitted}");
+        if let AdmissionError::Unschedulable {
+            utilization, bound, ..
+        } = err
+        {
+            assert!(utilization > bound);
+        }
+    }
+
+    #[test]
+    fn capacity_grows_with_window_size() {
+        // Expensive sends keep the admitted counts small so this test
+        // stays fast (the evaluation is O(n) per registration).
+        let config = ProtocolConfig {
+            send_cost_base: TimeDelta::from_millis(4),
+            ..ProtocolConfig::default()
+        };
+        let capacity = |window_ms: u64| {
+            let mut store = ObjectStore::new();
+            let s = spec(100, 150, 150 + window_ms);
+            let mut n = 0;
+            while admit_one(&mut store, &s, &config).is_ok() {
+                n += 1;
+                if n > 512 {
+                    break;
+                }
+            }
+            n
+        };
+        let small = capacity(60);
+        let large = capacity(400);
+        assert!(
+            large > small,
+            "larger windows must admit more objects ({small} vs {large})"
+        );
+    }
+
+    #[test]
+    fn disabled_admission_skips_all_gates() {
+        let config = ProtocolConfig {
+            admission_enabled: false,
+            ..ProtocolConfig::default()
+        };
+        let store = ObjectStore::new();
+        // Violates gates 1 and 2; admitted anyway.
+        let s = spec(200, 150, 155);
+        let out = evaluate(&store, &[], ObjectId::new(0), &s, &[], &config).unwrap();
+        assert!(out.schedule.period(ObjectId::new(0)).is_some());
+    }
+
+    #[test]
+    fn inter_object_constraint_tightens_send_periods() {
+        let mut store = ObjectStore::new();
+        let a = admit_one(&mut store, &spec(100, 150, 550), &ProtocolConfig::default())
+            .unwrap();
+        let b_id = ObjectId::new(1);
+        let c = InterObjectConstraint::new(b_id, a, ms(200));
+        let out = evaluate(
+            &store,
+            &[],
+            b_id,
+            &spec(100, 150, 550),
+            &[c],
+            &ProtocolConfig::default(),
+        )
+        .unwrap();
+        // Both members' effective window is min(400, 200) = 200 →
+        // period (200 - 10)/2 = 95 ms.
+        assert_eq!(out.schedule.period(a), Some(ms(95)));
+        assert_eq!(out.schedule.period(b_id), Some(ms(95)));
+    }
+
+    #[test]
+    fn response_time_test_admits_more_than_liu_layland() {
+        // Harmonic-ish windows where RTA is exact: find a configuration
+        // the LL bound rejects but RTA admits.
+        let base = ProtocolConfig {
+            send_cost_base: TimeDelta::from_millis(2),
+            send_cost_per_byte: TimeDelta::ZERO,
+            slack_factor: 1,
+            ..ProtocolConfig::default()
+        };
+        let ll = ProtocolConfig {
+            schedulability_test: SchedulabilityTest::LiuLayland,
+            ..base.clone()
+        };
+        let rta = ProtocolConfig {
+            schedulability_test: SchedulabilityTest::ResponseTime,
+            ..base
+        };
+        let count_admitted = |config: &ProtocolConfig| {
+            let mut store = ObjectStore::new();
+            let s = ObjectSpec::builder("t")
+                .update_period(ms(8))
+                .exec_time(TimeDelta::from_micros(10))
+                .primary_bound(ms(8))
+                .backup_bound(ms(18)) // window 10 → period (10-10)... no
+                .build();
+            let s = s.unwrap_or_else(|_| unreachable!());
+            let _ = s;
+            // Use window 14 → normal period (14-10)/1 = 4ms, cost 2ms → U 0.5 each.
+            let s = ObjectSpec::builder("t")
+                .update_period(ms(8))
+                .exec_time(TimeDelta::from_micros(10))
+                .primary_bound(ms(8))
+                .backup_bound(ms(22))
+                .build()
+                .unwrap();
+            let mut n = 0;
+            while admit_one(&mut store, &s, config).is_ok() {
+                n += 1;
+                if n > 10 {
+                    break;
+                }
+            }
+            n
+        };
+        let n_ll = count_admitted(&ll);
+        let n_rta = count_admitted(&rta);
+        assert!(n_rta >= n_ll, "RTA ({n_rta}) must admit at least LL ({n_ll})");
+    }
+}

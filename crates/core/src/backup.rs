@@ -1,0 +1,492 @@
+//! The backup server state machine.
+//!
+//! Mirrors the primary's object table from update messages, acknowledges
+//! heartbeats, watches per-object update freshness (issuing retransmission
+//! requests when an expected update fails to arrive, §4.3), detects
+//! primary failure, and *promotes itself* to primary on takeover (§4.4).
+
+use crate::config::ProtocolConfig;
+use crate::heartbeat::{DetectorAction, FailureDetector};
+use crate::primary::Primary;
+use crate::store::ObjectStore;
+use crate::update_sched::UpdateSchedule;
+use crate::wire::WireMessage;
+use rtpb_types::{NodeId, ObjectId, ObjectSpec, ObjectValue, Time, TimeDelta, Version};
+use std::collections::BTreeMap;
+
+/// What happened when the backup processed an inbound message.
+#[derive(Debug, Clone, Default)]
+pub struct BackupOutput {
+    /// Messages to transmit back to the primary.
+    pub replies: Vec<WireMessage>,
+    /// Updates actually installed (fresh versions), as
+    /// `(object, version, primary write timestamp)` — the harness feeds
+    /// these to the metrics.
+    pub applied: Vec<(ObjectId, Version, Time)>,
+}
+
+/// The backup server.
+///
+/// # Examples
+///
+/// ```
+/// use rtpb_core::backup::Backup;
+/// use rtpb_core::config::ProtocolConfig;
+/// use rtpb_core::wire::WireMessage;
+/// use rtpb_types::{NodeId, ObjectId, ObjectSpec, Time, TimeDelta, Version};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut backup = Backup::new(NodeId::new(1), ProtocolConfig::default());
+/// let spec = ObjectSpec::builder("altitude")
+///     .update_period(TimeDelta::from_millis(100))
+///     .primary_bound(TimeDelta::from_millis(150))
+///     .backup_bound(TimeDelta::from_millis(550))
+///     .build()?;
+/// let id = ObjectId::new(0);
+/// backup.sync_registration(id, spec, TimeDelta::from_millis(195), Time::ZERO);
+///
+/// let update = WireMessage::Update {
+///     object: id,
+///     version: Version::new(1),
+///     timestamp: Time::from_millis(5),
+///     payload: vec![1, 2],
+/// };
+/// let out = backup.handle_message(&update, Time::from_millis(12));
+/// assert_eq!(out.applied.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Backup {
+    node: NodeId,
+    config: ProtocolConfig,
+    store: ObjectStore,
+    send_periods: BTreeMap<ObjectId, TimeDelta>,
+    last_update_at: BTreeMap<ObjectId, Time>,
+    detector: FailureDetector,
+    primary_alive: bool,
+    retransmit_requests_sent: u64,
+    updates_applied: u64,
+    duplicates_ignored: u64,
+}
+
+impl Backup {
+    /// Creates a backup server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    #[must_use]
+    pub fn new(node: NodeId, config: ProtocolConfig) -> Self {
+        config.validate();
+        let detector = FailureDetector::new(
+            node,
+            config.heartbeat_period,
+            config.heartbeat_timeout,
+            config.heartbeat_miss_threshold,
+        );
+        Backup {
+            node,
+            config,
+            store: ObjectStore::new(),
+            send_periods: BTreeMap::new(),
+            last_update_at: BTreeMap::new(),
+            detector,
+            primary_alive: true,
+            retransmit_requests_sent: 0,
+            updates_applied: 0,
+            duplicates_ignored: 0,
+        }
+    }
+
+    /// This node's id.
+    #[must_use]
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The mirrored object table.
+    #[must_use]
+    pub fn store(&self) -> &ObjectStore {
+        &self.store
+    }
+
+    /// Whether the primary is currently believed alive.
+    #[must_use]
+    pub fn is_primary_alive(&self) -> bool {
+        self.primary_alive
+    }
+
+    /// Updates installed so far.
+    #[must_use]
+    pub fn updates_applied(&self) -> u64 {
+        self.updates_applied
+    }
+
+    /// Stale/duplicate updates discarded so far.
+    #[must_use]
+    pub fn duplicates_ignored(&self) -> u64 {
+        self.duplicates_ignored
+    }
+
+    /// Retransmission requests issued so far.
+    #[must_use]
+    pub fn retransmit_requests_sent(&self) -> u64 {
+        self.retransmit_requests_sent
+    }
+
+    /// Mirrors a registration made at the primary (space reservation,
+    /// §4.2: "the client reserves the necessary space for the object on
+    /// the primary server and on the backup server"). `send_period` is
+    /// the admitted update-transmission period `r_i`, which arms the
+    /// freshness watchdog.
+    pub fn sync_registration(
+        &mut self,
+        id: ObjectId,
+        spec: ObjectSpec,
+        send_period: TimeDelta,
+        now: Time,
+    ) {
+        self.store.register_with_id(id, spec, now);
+        self.send_periods.insert(id, send_period);
+        self.last_update_at.insert(id, now);
+    }
+
+    /// Mirrors a deregistration.
+    pub fn sync_deregistration(&mut self, id: ObjectId) {
+        self.store.deregister(id);
+        self.send_periods.remove(&id);
+        self.last_update_at.remove(&id);
+    }
+
+    /// Updates the watchdog period for `id` (schedule recomputation at
+    /// the primary, e.g. compressed-mode redistribution).
+    pub fn sync_send_period(&mut self, id: ObjectId, send_period: TimeDelta) {
+        self.send_periods.insert(id, send_period);
+    }
+
+    /// Handles an inbound message from the network.
+    pub fn handle_message(&mut self, msg: &WireMessage, now: Time) -> BackupOutput {
+        let mut out = BackupOutput::default();
+        match msg {
+            WireMessage::Update {
+                object,
+                version,
+                timestamp,
+                payload,
+            } => {
+                // Any update is evidence of primary life and freshness.
+                self.last_update_at.insert(*object, now);
+                let installed = self.store.apply(
+                    *object,
+                    ObjectValue::new(*version, *timestamp, payload.clone()),
+                );
+                if installed {
+                    self.updates_applied += 1;
+                    out.applied.push((*object, *version, *timestamp));
+                    if self.config.ack_updates {
+                        out.replies.push(WireMessage::UpdateAck {
+                            object: *object,
+                            version: *version,
+                        });
+                    }
+                } else {
+                    self.duplicates_ignored += 1;
+                }
+            }
+            WireMessage::Ping { seq, .. } => {
+                out.replies.push(WireMessage::PingAck {
+                    from: self.node,
+                    seq: *seq,
+                });
+            }
+            WireMessage::PingAck { seq, .. } => {
+                self.detector.on_ack(*seq, now);
+            }
+            WireMessage::StateTransfer { entries } => {
+                for e in entries {
+                    self.last_update_at.insert(e.object, now);
+                    let installed = self.store.apply(
+                        e.object,
+                        ObjectValue::new(e.version, e.timestamp, e.payload.clone()),
+                    );
+                    if installed {
+                        self.updates_applied += 1;
+                        out.applied.push((e.object, e.version, e.timestamp));
+                    }
+                }
+            }
+            WireMessage::RetransmitRequest { .. }
+            | WireMessage::JoinRequest { .. }
+            | WireMessage::UpdateAck { .. } => {
+                // Not addressed to a backup; ignore.
+            }
+        }
+        out
+    }
+
+    /// Checks the freshness watchdog of one object. If no update arrived
+    /// for longer than `r_i + ℓ + slack`, issues a retransmission request
+    /// (§4.3: "Retransmission is triggered by a request from the
+    /// backup"). Drivers call this on a per-object timer.
+    pub fn tick_watchdog(&mut self, id: ObjectId, now: Time) -> Option<WireMessage> {
+        if !self.primary_alive {
+            return None;
+        }
+        let period = *self.send_periods.get(&id)?;
+        let last = *self.last_update_at.get(&id)?;
+        let allowance = period + self.config.link_delay_bound + self.config.retransmit_slack;
+        if now.saturating_since(last) > allowance {
+            self.retransmit_requests_sent += 1;
+            // Restart the allowance so one gap produces one request per
+            // watchdog window rather than a flood.
+            self.last_update_at.insert(id, now);
+            return Some(WireMessage::RetransmitRequest {
+                object: id,
+                have_version: self.store.get(id)?.version(),
+            });
+        }
+        None
+    }
+
+    /// Advances the primary failure detector. Returns the probe to send
+    /// (if due) and whether the primary was just declared dead.
+    pub fn tick_heartbeat(&mut self, now: Time) -> (Option<WireMessage>, bool) {
+        if !self.primary_alive {
+            return (None, false);
+        }
+        match self.detector.tick(now) {
+            DetectorAction::SendPing(seq) => (
+                Some(WireMessage::Ping {
+                    from: self.node,
+                    seq,
+                }),
+                false,
+            ),
+            DetectorAction::DeclareDead => {
+                self.primary_alive = false;
+                (None, true)
+            }
+            DetectorAction::Idle => (None, false),
+        }
+    }
+
+    /// Re-arms the primary failure detector after a failover in which a
+    /// *different* backup promoted itself: this backup now tracks the new
+    /// primary and resumes its duties (multi-backup extension).
+    pub fn rearm(&mut self, now: Time) {
+        self.detector.reset(now);
+        self.primary_alive = true;
+    }
+
+    /// Takes over as the new primary (§4.4): consumes the backup and
+    /// produces a [`Primary`] serving the mirrored state. The caller
+    /// (driver) is responsible for the surrounding choreography — rebind
+    /// the name service, activate the standby client application, and
+    /// wait to recruit a new backup.
+    #[must_use]
+    pub fn promote(self, now: Time) -> Primary {
+        // Recompute the send schedule from the mirrored registry so the
+        // new primary can serve a future backup with the same guarantees.
+        let objects: Vec<(ObjectId, TimeDelta, TimeDelta)> = self
+            .store
+            .iter()
+            .map(|(id, e)| {
+                (
+                    id,
+                    e.spec().window(),
+                    self.config.send_cost(e.spec().size_bytes()),
+                )
+            })
+            .collect();
+        let schedule: UpdateSchedule = crate::update_sched::build_schedule(&objects, &self.config);
+        Primary::from_store(self.node, self.config, self.store, Vec::new(), schedule, now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::StateEntry;
+
+    fn ms(v: u64) -> TimeDelta {
+        TimeDelta::from_millis(v)
+    }
+
+    fn t(v: u64) -> Time {
+        Time::from_millis(v)
+    }
+
+    fn spec() -> ObjectSpec {
+        ObjectSpec::builder("o")
+            .update_period(ms(100))
+            .primary_bound(ms(150))
+            .backup_bound(ms(550))
+            .build()
+            .unwrap()
+    }
+
+    fn backup_with_object() -> (Backup, ObjectId) {
+        let mut b = Backup::new(NodeId::new(1), ProtocolConfig::default());
+        let id = ObjectId::new(0);
+        b.sync_registration(id, spec(), ms(195), Time::ZERO);
+        (b, id)
+    }
+
+    fn update(id: ObjectId, version: u64, ts: u64) -> WireMessage {
+        WireMessage::Update {
+            object: id,
+            version: Version::new(version),
+            timestamp: t(ts),
+            payload: vec![version as u8],
+        }
+    }
+
+    #[test]
+    fn applies_fresh_updates_and_reports_them() {
+        let (mut b, id) = backup_with_object();
+        let out = b.handle_message(&update(id, 1, 5), t(12));
+        assert_eq!(out.applied, vec![(id, Version::new(1), t(5))]);
+        assert_eq!(b.store().get(id).unwrap().version(), Version::new(1));
+        assert_eq!(b.updates_applied(), 1);
+    }
+
+    #[test]
+    fn stale_and_duplicate_updates_are_ignored() {
+        let (mut b, id) = backup_with_object();
+        b.handle_message(&update(id, 2, 10), t(15));
+        let out = b.handle_message(&update(id, 1, 5), t(16));
+        assert!(out.applied.is_empty());
+        let out = b.handle_message(&update(id, 2, 10), t(17));
+        assert!(out.applied.is_empty());
+        assert_eq!(b.duplicates_ignored(), 2);
+        assert_eq!(b.store().get(id).unwrap().version(), Version::new(2));
+    }
+
+    #[test]
+    fn watchdog_requests_retransmission_after_allowance() {
+        let (mut b, id) = backup_with_object();
+        // Allowance = 195 + 10 + 5 = 210 ms with no update since t=0.
+        assert!(b.tick_watchdog(id, t(200)).is_none());
+        let req = b.tick_watchdog(id, t(211)).expect("watchdog must fire");
+        match req {
+            WireMessage::RetransmitRequest {
+                object,
+                have_version,
+            } => {
+                assert_eq!(object, id);
+                assert_eq!(have_version, Version::INITIAL);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(b.retransmit_requests_sent(), 1);
+        // Immediately after, the allowance restarts: no flood.
+        assert!(b.tick_watchdog(id, t(212)).is_none());
+    }
+
+    #[test]
+    fn updates_reset_the_watchdog() {
+        let (mut b, id) = backup_with_object();
+        b.handle_message(&update(id, 1, 100), t(150));
+        assert!(b.tick_watchdog(id, t(300)).is_none());
+        assert!(b.tick_watchdog(id, t(361)).is_some());
+    }
+
+    #[test]
+    fn watchdog_ignores_unknown_objects() {
+        let (mut b, _) = backup_with_object();
+        assert!(b.tick_watchdog(ObjectId::new(42), t(1000)).is_none());
+    }
+
+    #[test]
+    fn ping_is_acked() {
+        let (mut b, _) = backup_with_object();
+        let out = b.handle_message(
+            &WireMessage::Ping {
+                from: NodeId::new(0),
+                seq: 9,
+            },
+            t(1),
+        );
+        assert_eq!(
+            out.replies,
+            vec![WireMessage::PingAck {
+                from: NodeId::new(1),
+                seq: 9
+            }]
+        );
+    }
+
+    #[test]
+    fn declares_primary_dead_after_silent_heartbeats() {
+        let (mut b, _) = backup_with_object();
+        let mut now = Time::ZERO;
+        let mut declared = false;
+        for _ in 0..50 {
+            let (_ping, dead) = b.tick_heartbeat(now);
+            if dead {
+                declared = true;
+                break;
+            }
+            now += ms(50);
+        }
+        assert!(declared);
+        assert!(!b.is_primary_alive());
+        // Watchdogs stop once the primary is dead.
+        assert!(b.tick_watchdog(ObjectId::new(0), now + ms(1000)).is_none());
+    }
+
+    #[test]
+    fn promote_preserves_state_and_serves() {
+        let (mut b, id) = backup_with_object();
+        b.handle_message(&update(id, 3, 50), t(60));
+        let mut new_primary = b.promote(t(200));
+        assert_eq!(new_primary.node(), NodeId::new(1));
+        assert_eq!(
+            new_primary.store().get(id).unwrap().version(),
+            Version::new(3)
+        );
+        // The new primary continues the version sequence.
+        let v = new_primary.apply_client_write(id, vec![9], t(210)).unwrap();
+        assert_eq!(v, Version::new(4));
+        // No backup yet: update production suppressed.
+        assert!(new_primary.make_update(id).is_none());
+        assert!(!new_primary.is_backup_alive());
+        // Schedule was recomputed from the mirrored specs.
+        assert_eq!(new_primary.send_period(id), Some(ms(195)));
+    }
+
+    #[test]
+    fn state_transfer_installs_snapshot() {
+        let (mut b, id) = backup_with_object();
+        let out = b.handle_message(
+            &WireMessage::StateTransfer {
+                entries: vec![StateEntry {
+                    object: id,
+                    version: Version::new(7),
+                    timestamp: t(70),
+                    payload: vec![7],
+                }],
+            },
+            t(80),
+        );
+        assert_eq!(out.applied.len(), 1);
+        assert_eq!(b.store().get(id).unwrap().version(), Version::new(7));
+    }
+
+    #[test]
+    fn sync_deregistration_removes_watchdog() {
+        let (mut b, id) = backup_with_object();
+        b.sync_deregistration(id);
+        assert!(b.store().get(id).is_none());
+        assert!(b.tick_watchdog(id, t(10_000)).is_none());
+    }
+
+    #[test]
+    fn sync_send_period_rearms_watchdog_window() {
+        let (mut b, id) = backup_with_object();
+        b.sync_send_period(id, ms(50));
+        // New allowance = 50 + 10 + 5 = 65 ms.
+        assert!(b.tick_watchdog(id, t(66)).is_some());
+    }
+}

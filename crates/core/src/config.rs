@@ -1,0 +1,205 @@
+//! Protocol configuration.
+
+use rtpb_types::TimeDelta;
+
+/// Which schedulability test admission control runs on the update-task set
+/// (§4.2: "the primary will perform a schedulability test based on the
+/// rate-monotonic scheduling algorithm").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulabilityTest {
+    /// Liu & Layland utilization bound `n(2^{1/n} - 1)` — the paper's
+    /// choice.
+    #[default]
+    LiuLayland,
+    /// The hyperbolic bound (tighter, still sufficient).
+    Hyperbolic,
+    /// Exact response-time analysis.
+    ResponseTime,
+    /// EDF utilization test `U ≤ 1` (if update transmissions are
+    /// deadline-scheduled).
+    EdfUtilization,
+}
+
+/// Update-transmission scheduling mode (§5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulingMode {
+    /// Periods derived from windows: `r_i = (δ_i - ℓ) / slack_factor`.
+    #[default]
+    Normal,
+    /// Compressed scheduling (Mehra et al. \[22\]): after computing the
+    /// normal periods, uniformly shrink them so the update-task set uses
+    /// the configured target utilization — "the primary schedules as many
+    /// updates to the backup as the resources allow".
+    Compressed,
+}
+
+/// Tunable parameters of the RTPB service.
+///
+/// # Examples
+///
+/// ```
+/// use rtpb_core::config::{ProtocolConfig, SchedulingMode};
+/// use rtpb_types::TimeDelta;
+///
+/// let config = ProtocolConfig {
+///     scheduling_mode: SchedulingMode::Compressed,
+///     ..ProtocolConfig::default()
+/// };
+/// assert_eq!(config.link_delay_bound, TimeDelta::from_millis(10));
+/// assert!(config.admission_enabled);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtocolConfig {
+    /// The communication-delay upper bound `ℓ` assumed by admission
+    /// control and update scheduling. Must match (or exceed) the actual
+    /// link's delay bound.
+    pub link_delay_bound: TimeDelta,
+    /// Divisor applied to the window when deriving update periods:
+    /// `r_i = (δ_i - ℓ) / slack_factor`. The paper uses 2 ("the primary
+    /// sends updates twice as often as necessary to compensate for
+    /// potential message loss", §4.3/§5.2). 1 means no loss slack.
+    pub slack_factor: u64,
+    /// Normal or compressed update scheduling.
+    pub scheduling_mode: SchedulingMode,
+    /// Target CPU utilization for update transmissions under compressed
+    /// scheduling.
+    pub compressed_target_utilization: f64,
+    /// Whether admission control is enforced (disabled for the paper's
+    /// Figures 7 and 10).
+    pub admission_enabled: bool,
+    /// The schedulability test admission control applies.
+    pub schedulability_test: SchedulabilityTest,
+    /// CPU cost of transmitting one update to the backup (protocol
+    /// processing at the primary). Per-object send cost is this plus the
+    /// per-byte cost.
+    pub send_cost_base: TimeDelta,
+    /// Additional CPU cost per payload byte when transmitting.
+    pub send_cost_per_byte: TimeDelta,
+    /// Heartbeat probe period (§4.4).
+    pub heartbeat_period: TimeDelta,
+    /// How long to wait for a ping ack before counting a miss.
+    pub heartbeat_timeout: TimeDelta,
+    /// Consecutive misses after which the peer is declared dead.
+    pub heartbeat_miss_threshold: u32,
+    /// Extra watchdog slack the backup grants beyond `r_i + ℓ` before
+    /// requesting retransmission.
+    pub retransmit_slack: TimeDelta,
+    /// Ablation switch: couple client writes to backup updates by also
+    /// transmitting an update immediately after every client write. The
+    /// paper's design *decouples* them (§4.3); enabling this shows the
+    /// response-time cost of write-through replication.
+    pub eager_send: bool,
+    /// Ablation switch: have the backup acknowledge every update. The
+    /// paper argues against per-update acks ("considerable communication
+    /// overhead", §4.3); enabling this quantifies that overhead.
+    pub ack_updates: bool,
+}
+
+impl Default for ProtocolConfig {
+    fn default() -> Self {
+        ProtocolConfig {
+            link_delay_bound: TimeDelta::from_millis(10),
+            slack_factor: 2,
+            scheduling_mode: SchedulingMode::Normal,
+            compressed_target_utilization: 0.9,
+            admission_enabled: true,
+            schedulability_test: SchedulabilityTest::LiuLayland,
+            send_cost_base: TimeDelta::from_micros(200),
+            send_cost_per_byte: TimeDelta::from_nanos(10),
+            heartbeat_period: TimeDelta::from_millis(50),
+            heartbeat_timeout: TimeDelta::from_millis(100),
+            heartbeat_miss_threshold: 3,
+            retransmit_slack: TimeDelta::from_millis(5),
+            eager_send: false,
+            ack_updates: false,
+        }
+    }
+}
+
+impl ProtocolConfig {
+    /// The CPU cost of sending one update with `payload_bytes` of payload.
+    #[must_use]
+    pub fn send_cost(&self, payload_bytes: usize) -> TimeDelta {
+        self.send_cost_base + self.send_cost_per_byte * payload_bytes as u64
+    }
+
+    /// Validates parameter sanity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slack_factor` is zero, the compressed target is outside
+    /// `(0, 1]`, or the heartbeat timeout is shorter than the period.
+    pub fn validate(&self) {
+        assert!(self.slack_factor >= 1, "slack_factor must be at least 1");
+        assert!(
+            self.compressed_target_utilization > 0.0
+                && self.compressed_target_utilization <= 1.0,
+            "compressed target utilization must be in (0, 1]"
+        );
+        assert!(
+            self.heartbeat_timeout >= self.heartbeat_period,
+            "heartbeat timeout must be at least the period"
+        );
+        assert!(
+            self.heartbeat_miss_threshold >= 1,
+            "miss threshold must be at least 1"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        let c = ProtocolConfig::default();
+        c.validate();
+        assert_eq!(c.scheduling_mode, SchedulingMode::Normal);
+        assert_eq!(c.schedulability_test, SchedulabilityTest::LiuLayland);
+        assert!(c.admission_enabled);
+    }
+
+    #[test]
+    fn send_cost_scales_with_size() {
+        let c = ProtocolConfig::default();
+        let small = c.send_cost(64);
+        let big = c.send_cost(4096);
+        assert!(big > small);
+        assert_eq!(
+            small,
+            TimeDelta::from_micros(200) + TimeDelta::from_nanos(640)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "slack_factor")]
+    fn zero_slack_factor_rejected() {
+        let c = ProtocolConfig {
+            slack_factor: 0,
+            ..ProtocolConfig::default()
+        };
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "target utilization")]
+    fn bad_compressed_target_rejected() {
+        let c = ProtocolConfig {
+            compressed_target_utilization: 1.5,
+            ..ProtocolConfig::default()
+        };
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "heartbeat timeout")]
+    fn heartbeat_timeout_below_period_rejected() {
+        let c = ProtocolConfig {
+            heartbeat_timeout: TimeDelta::from_millis(10),
+            heartbeat_period: TimeDelta::from_millis(50),
+            ..ProtocolConfig::default()
+        };
+        c.validate();
+    }
+}

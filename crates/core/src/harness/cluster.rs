@@ -1,0 +1,1192 @@
+//! The simulated RTPB cluster: client + primary + backup(s) over lossy
+//! links.
+//!
+//! [`SimCluster`] wires the sans-io [`Primary`] and [`Backup`] state
+//! machines, the [`CpuQueue`](super::CpuQueue) model of the primary host,
+//! and per-replica [`LossyLink`]s into an [`rtpb_sim::Simulation`]. Every
+//! run is a deterministic function of the [`ClusterConfig`] (including its
+//! seed), which is what makes the paper's parameter sweeps exactly
+//! reproducible.
+//!
+//! The cluster supports the paper's future-work extension of **multiple
+//! backups** ([`ClusterConfig::num_backups`]): updates are broadcast to
+//! every tracked backup, each replica pair has an independent failure
+//! detector, the first backup to detect a primary death promotes itself,
+//! and the surviving backups re-join the new primary via state transfer.
+
+use crate::backup::Backup;
+use crate::config::ProtocolConfig;
+use crate::harness::cpu::{CpuQueue, Work};
+use crate::metrics::ClusterMetrics;
+use crate::name_service::NameService;
+use crate::primary::Primary;
+use crate::wire::WireMessage;
+use rtpb_net::{LinkConfig, LossyLink, Message, ProtocolGraph, UdpLike};
+use rtpb_sim::{Context, Simulation, World};
+use rtpb_types::{AdmissionError, NodeId, ObjectId, ObjectSpec, Time, TimeDelta};
+use std::collections::BTreeMap;
+
+/// Configuration of a simulated cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// RTPB protocol parameters.
+    pub protocol: ProtocolConfig,
+    /// The primary→backup link; every other direction uses the same
+    /// parameters with independent random streams.
+    pub link: LinkConfig,
+    /// Root random seed (links, payload jitter).
+    pub seed: u64,
+    /// Number of backup replicas (the paper's prototype uses 1; more is
+    /// the multi-backup extension listed as future work).
+    pub num_backups: usize,
+    /// Whether a backup automatically promotes itself when it declares
+    /// the primary dead (§4.4).
+    pub auto_failover: bool,
+    /// If set, a replacement backup is recruited this long after the last
+    /// backup is lost.
+    pub recruit_backup_after: Option<TimeDelta>,
+    /// Trace ring-buffer capacity (0 disables tracing).
+    pub trace_capacity: usize,
+    /// Whether control traffic (heartbeats, acks, retransmission
+    /// requests, join/state transfer) is exempt from the configured loss
+    /// probability. Defaults to `true`: the paper assumes link failures
+    /// are masked by physical redundancy (§4.1), and its loss sweeps are
+    /// about *update* messages from the primary to the backup (§5.2).
+    /// Set to `false` to subject every message to loss.
+    pub control_loss_exempt: bool,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            protocol: ProtocolConfig::default(),
+            link: LinkConfig::default(),
+            seed: 0,
+            num_backups: 1,
+            auto_failover: true,
+            recruit_backup_after: None,
+            trace_capacity: 0,
+            control_loss_exempt: true,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Event {
+    ClientWrite { object: ObjectId },
+    CpuFinished,
+    SendTimer { object: ObjectId, epoch: u32 },
+    WatchdogTimer { object: ObjectId, epoch: u32 },
+    PrimaryHeartbeat,
+    BackupHeartbeat,
+    DeliverToBackup { host: usize, wire: Message },
+    DeliverToPrimary { host: usize, wire: Message },
+    CrashPrimary,
+    CrashBackupHost { host: usize },
+    RecruitBackup,
+}
+
+/// One backup replica's host: the state machine plus its four link
+/// directions (data/control × to/from the primary).
+struct BackupHost {
+    node: NodeId,
+    backup: Option<Backup>,
+    data_link: LossyLink,
+    ctrl_link: LossyLink,
+    rev_data_link: LossyLink,
+    rev_ctrl_link: LossyLink,
+}
+
+impl BackupHost {
+    fn new(node: NodeId, index: usize, config: &ClusterConfig) -> Self {
+        let lossless = LinkConfig {
+            loss_probability: 0.0,
+            ..config.link
+        };
+        let base = config.seed.wrapping_add(100 + 4 * index as u64);
+        BackupHost {
+            node,
+            backup: Some(Backup::new(node, config.protocol.clone())),
+            data_link: LossyLink::new(config.link, base),
+            ctrl_link: LossyLink::new(lossless, base.wrapping_add(1)),
+            rev_data_link: LossyLink::new(config.link, base.wrapping_add(2)),
+            rev_ctrl_link: LossyLink::new(lossless, base.wrapping_add(3)),
+        }
+    }
+}
+
+struct ClusterWorld {
+    config: ClusterConfig,
+    primary: Option<Primary>,
+    hosts: Vec<BackupHost>,
+    p2b_tx: ProtocolGraph,
+    p2b_rx: ProtocolGraph,
+    b2p_tx: ProtocolGraph,
+    b2p_rx: ProtocolGraph,
+    cpu: CpuQueue,
+    metrics: ClusterMetrics,
+    names: NameService,
+    specs: BTreeMap<ObjectId, ObjectSpec>,
+    epoch: u32,
+    next_node: u16,
+    write_counter: u64,
+    corrupt_messages: u64,
+}
+
+impl ClusterWorld {
+    /// The index of the backup host whose deliveries feed the per-object
+    /// metrics: the first live one (the failover target).
+    fn metrics_host(&self) -> Option<usize> {
+        self.hosts.iter().position(|h| h.backup.is_some())
+    }
+
+    fn live_backup_count(&self) -> usize {
+        self.hosts.iter().filter(|h| h.backup.is_some()).count()
+    }
+
+    /// Broadcasts a message to every backup the primary currently tracks.
+    fn transmit_to_backups(&mut self, ctx: &mut Context<'_, Event>, msg: &WireMessage) {
+        let tracked: Vec<NodeId> = self
+            .primary
+            .as_ref()
+            .map(Primary::backups)
+            .unwrap_or_default();
+        let is_update = matches!(msg, WireMessage::Update { .. });
+        let metrics_host = self.metrics_host();
+        let Ok(wire) = self.p2b_tx.send(Message::from_payload(msg.encode())) else {
+            ctx.trace("p2b send rejected by protocol stack");
+            return;
+        };
+        let exempt = self.config.control_loss_exempt;
+        for (i, host) in self.hosts.iter_mut().enumerate() {
+            if host.backup.is_none() || !tracked.contains(&host.node) {
+                continue;
+            }
+            let link = if is_update || !exempt {
+                &mut host.data_link
+            } else {
+                &mut host.ctrl_link
+            };
+            match link.transmit(ctx.now(), wire.wire_size()).arrival() {
+                Some(at) => {
+                    if is_update && Some(i) == metrics_host {
+                        self.metrics.record_update_sent(false);
+                    }
+                    ctx.schedule_at(
+                        at,
+                        Event::DeliverToBackup {
+                            host: i,
+                            wire: wire.clone(),
+                        },
+                    );
+                }
+                None => {
+                    if is_update && Some(i) == metrics_host {
+                        self.metrics.record_update_sent(true);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Sends a message from the primary to one specific backup host
+    /// (ping-acks and other replies addressed to a single peer).
+    fn transmit_to_one_backup(
+        &mut self,
+        ctx: &mut Context<'_, Event>,
+        host: usize,
+        msg: &WireMessage,
+    ) {
+        let is_update = matches!(msg, WireMessage::Update { .. });
+        let Ok(wire) = self.p2b_tx.send(Message::from_payload(msg.encode())) else {
+            return;
+        };
+        let exempt = self.config.control_loss_exempt;
+        let Some(h) = self.hosts.get_mut(host) else {
+            return;
+        };
+        if h.backup.is_none() {
+            return;
+        }
+        let link = if is_update || !exempt {
+            &mut h.data_link
+        } else {
+            &mut h.ctrl_link
+        };
+        if let Some(at) = link.transmit(ctx.now(), wire.wire_size()).arrival() {
+            ctx.schedule_at(at, Event::DeliverToBackup { host, wire });
+        }
+    }
+
+    /// Sends a message from backup host `host` to the primary.
+    fn transmit_to_primary(&mut self, ctx: &mut Context<'_, Event>, host: usize, msg: &WireMessage) {
+        let Ok(wire) = self.b2p_tx.send(Message::from_payload(msg.encode())) else {
+            ctx.trace("b2p send rejected by protocol stack");
+            return;
+        };
+        let exempt = self.config.control_loss_exempt;
+        let Some(h) = self.hosts.get_mut(host) else {
+            return;
+        };
+        let link = if exempt {
+            &mut h.rev_ctrl_link
+        } else {
+            &mut h.rev_data_link
+        };
+        if let Some(at) = link.transmit(ctx.now(), wire.wire_size()).arrival() {
+            ctx.schedule_at(at, Event::DeliverToPrimary { host, wire });
+        }
+    }
+
+    fn watchdog_interval(&self, object: ObjectId) -> TimeDelta {
+        let period = self
+            .primary
+            .as_ref()
+            .and_then(|p| p.send_period(object))
+            .unwrap_or(TimeDelta::from_millis(100));
+        let allowance =
+            period + self.config.protocol.link_delay_bound + self.config.protocol.retransmit_slack;
+        (allowance / 2).max(TimeDelta::from_millis(1))
+    }
+
+    /// Restart every per-object timer under a fresh epoch (after
+    /// registration, schedule recomputation, or backup integration).
+    ///
+    /// First firings are phase-staggered across the period so the send
+    /// workload interleaves like a real fixed-priority schedule instead of
+    /// arriving in one burst.
+    fn restart_object_timers(&mut self, ctx: &mut Context<'_, Event>) {
+        self.epoch += 1;
+        let epoch = self.epoch;
+        let ids: Vec<ObjectId> = self.specs.keys().copied().collect();
+        for id in ids {
+            if let Some(period) = self.primary.as_ref().and_then(|p| p.send_period(id)) {
+                ctx.schedule_in(
+                    send_phase(id, period),
+                    Event::SendTimer { object: id, epoch },
+                );
+                self.metrics.set_refresh_allowance(
+                    id,
+                    period
+                        + self.config.protocol.link_delay_bound
+                        + self.config.protocol.retransmit_slack,
+                );
+            }
+            let wd = self.watchdog_interval(id);
+            ctx.schedule_in(wd, Event::WatchdogTimer { object: id, epoch });
+        }
+    }
+
+    /// Backup host `host` takes over as the new primary (§4.4). Surviving
+    /// backups re-arm their detectors and join the new primary.
+    fn do_failover(&mut self, ctx: &mut Context<'_, Event>, host: usize) {
+        let Some(backup) = self.hosts[host].backup.take() else {
+            return;
+        };
+        let now = ctx.now();
+        ctx.trace(format!("{} taking over as primary", self.hosts[host].node));
+        let new_primary = backup.promote(now);
+        // §4.4: "The new primary changes the address in the name file to
+        // its own internet address, invokes a backup version of the
+        // client application ... and then waits to recruit a new backup."
+        self.names.rebind(new_primary.node(), now);
+        self.primary = Some(new_primary);
+        self.cpu.clear();
+        self.epoch += 1; // invalidate the dead primary's timers
+        self.metrics.record_failover_complete(now);
+        // Surviving backups track the new primary and re-join (the
+        // multi-backup extension).
+        let survivors: Vec<usize> = self
+            .hosts
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| h.backup.is_some())
+            .map(|(i, _)| i)
+            .collect();
+        for i in survivors {
+            let node = self.hosts[i].node;
+            if let Some(b) = self.hosts[i].backup.as_mut() {
+                b.rearm(now);
+            }
+            ctx.trace(format!("{node} re-joining the new primary"));
+            let join = WireMessage::JoinRequest { from: node };
+            self.transmit_to_primary(ctx, i, &join);
+        }
+        if self.live_backup_count() == 0 {
+            if let Some(delay) = self.config.recruit_backup_after {
+                ctx.schedule_in(delay, Event::RecruitBackup);
+            }
+        }
+    }
+
+    fn handle_delivery_to_backup(
+        &mut self,
+        ctx: &mut Context<'_, Event>,
+        host: usize,
+        wire: Message,
+    ) {
+        let report_metrics = self.metrics_host() == Some(host);
+        let Some(h) = self.hosts.get_mut(host) else {
+            return;
+        };
+        let Some(backup) = h.backup.as_mut() else {
+            return;
+        };
+        let up = match self.p2b_rx.receive(wire) {
+            Ok(Some(m)) => m,
+            Ok(None) => return,
+            Err(_) => {
+                self.corrupt_messages += 1;
+                return;
+            }
+        };
+        let Ok(msg) = WireMessage::decode(up.payload()) else {
+            self.corrupt_messages += 1;
+            return;
+        };
+        if report_metrics {
+            if let WireMessage::Update { object, .. } = &msg {
+                // Fresh or duplicate, an arrival resets the §5.3 refresh
+                // clock — even a duplicate proves currency at snapshot
+                // time.
+                self.metrics.on_backup_refresh(*object, ctx.now());
+            }
+        }
+        let out = backup.handle_message(&msg, ctx.now());
+        if report_metrics {
+            for (object, version, write_ts) in &out.applied {
+                self.metrics
+                    .on_backup_apply(*object, *version, *write_ts, ctx.now());
+            }
+        }
+        for reply in out.replies {
+            self.transmit_to_primary(ctx, host, &reply);
+        }
+    }
+
+    fn handle_delivery_to_primary(
+        &mut self,
+        ctx: &mut Context<'_, Event>,
+        host: usize,
+        wire: Message,
+    ) {
+        if self.primary.is_none() {
+            return;
+        }
+        let up = match self.b2p_rx.receive(wire) {
+            Ok(Some(m)) => m,
+            Ok(None) => return,
+            Err(_) => {
+                self.corrupt_messages += 1;
+                return;
+            }
+        };
+        let Ok(msg) = WireMessage::decode(up.payload()) else {
+            self.corrupt_messages += 1;
+            return;
+        };
+        if matches!(msg, WireMessage::RetransmitRequest { .. }) {
+            self.metrics.record_retransmit_request();
+        }
+        let out = {
+            let primary = self.primary.as_mut().expect("checked above");
+            primary.handle_message(&msg, ctx.now())
+        };
+        for reply in out.replies {
+            // Update retransmissions consume primary CPU like any other
+            // transmission (under overload they queue too — there is no
+            // free path to the backup); control replies go out directly.
+            if matches!(reply, WireMessage::Update { .. }) {
+                let cost = self.config.protocol.send_cost(reply.encode().len());
+                if let Some(service) = self.cpu.submit(Work::SendUpdate { message: reply }, cost)
+                {
+                    ctx.schedule_in(service, Event::CpuFinished);
+                }
+            } else {
+                // Acks and state transfers are addressed to the sender.
+                self.transmit_to_one_backup(ctx, host, &reply);
+            }
+        }
+        if out.backup_joined {
+            ctx.trace("new backup integrated");
+            self.restart_object_timers(ctx);
+        }
+    }
+
+    fn finish_work(&mut self, ctx: &mut Context<'_, Event>, work: Work) {
+        match work {
+            Work::ClientWrite {
+                object,
+                arrival,
+                payload,
+            } => {
+                let now = ctx.now();
+                let Some(primary) = self.primary.as_mut() else {
+                    return;
+                };
+                if let Some(version) = primary.apply_client_write(object, payload, now) {
+                    self.metrics.record_response(now.saturating_since(arrival));
+                    self.metrics.on_primary_write(object, version, now);
+                    // Coupled-replication ablation: transmit on every
+                    // write (the design the paper's decoupling avoids).
+                    if self.config.protocol.eager_send {
+                        let cost = self.config.protocol.send_cost(
+                            self.specs.get(&object).map_or(64, ObjectSpec::size_bytes),
+                        );
+                        let update = self.primary.as_mut().and_then(|p| p.make_update(object));
+                        if let Some(message) = update {
+                            if let Some(service) =
+                                self.cpu.submit(Work::SendUpdate { message }, cost)
+                            {
+                                ctx.schedule_in(service, Event::CpuFinished);
+                            }
+                        }
+                    }
+                }
+            }
+            Work::SendUpdate { message } => {
+                // The snapshot was taken when the send task ran; by now it
+                // may be stale if the CPU was backlogged — transmit as-is.
+                if self.primary.is_some() {
+                    self.transmit_to_backups(ctx, &message);
+                }
+            }
+        }
+    }
+}
+
+impl World for ClusterWorld {
+    type Event = Event;
+
+    fn handle(&mut self, ctx: &mut Context<'_, Event>, event: Event) {
+        match event {
+            Event::ClientWrite { object } => {
+                let Some(spec) = self.specs.get(&object) else {
+                    return;
+                };
+                let period = spec.update_period();
+                let exec = spec.exec_time();
+                let size = spec.size_bytes();
+                // The client samples the environment regardless of server
+                // health; a write is lost if no primary is serving.
+                ctx.schedule_in(period, Event::ClientWrite { object });
+                if self.primary.is_none() {
+                    return;
+                }
+                self.write_counter += 1;
+                let mut payload = vec![0u8; size];
+                let stamp = self.write_counter.to_be_bytes();
+                let n = stamp.len().min(size);
+                payload[..n].copy_from_slice(&stamp[..n]);
+                let work = Work::ClientWrite {
+                    object,
+                    arrival: ctx.now(),
+                    payload,
+                };
+                if let Some(service) = self.cpu.submit(work, exec) {
+                    ctx.schedule_in(service, Event::CpuFinished);
+                }
+            }
+            Event::CpuFinished => {
+                let (work, next) = self.cpu.complete();
+                if let Some(service) = next {
+                    ctx.schedule_in(service, Event::CpuFinished);
+                }
+                self.finish_work(ctx, work);
+            }
+            Event::SendTimer { object, epoch } => {
+                if epoch != self.epoch {
+                    return;
+                }
+                let Some(primary) = self.primary.as_ref() else {
+                    return;
+                };
+                // §4.4: update events are cancelled while no backup is
+                // alive; they restart (new epoch) when one rejoins.
+                if !primary.is_backup_alive() {
+                    return;
+                }
+                let Some(period) = primary.send_period(object) else {
+                    return;
+                };
+                ctx.schedule_in(period, Event::SendTimer { object, epoch });
+                let cost = self
+                    .config
+                    .protocol
+                    .send_cost(self.specs.get(&object).map_or(64, ObjectSpec::size_bytes));
+                let update = self.primary.as_mut().and_then(|p| p.make_update(object));
+                if let Some(message) = update {
+                    if let Some(service) = self.cpu.submit(Work::SendUpdate { message }, cost) {
+                        ctx.schedule_in(service, Event::CpuFinished);
+                    }
+                }
+            }
+            Event::WatchdogTimer { object, epoch } => {
+                if epoch != self.epoch {
+                    return;
+                }
+                let interval = self.watchdog_interval(object);
+                ctx.schedule_in(interval, Event::WatchdogTimer { object, epoch });
+                for i in 0..self.hosts.len() {
+                    let request = self.hosts[i]
+                        .backup
+                        .as_mut()
+                        .and_then(|b| b.tick_watchdog(object, ctx.now()));
+                    if let Some(request) = request {
+                        ctx.trace(format!("watchdog retransmit request for {object}"));
+                        self.transmit_to_primary(ctx, i, &request);
+                    }
+                }
+            }
+            Event::PrimaryHeartbeat => {
+                ctx.schedule_in(
+                    self.config.protocol.heartbeat_period / 2,
+                    Event::PrimaryHeartbeat,
+                );
+                let Some(primary) = self.primary.as_mut() else {
+                    return;
+                };
+                let round = primary.tick_heartbeat(ctx.now());
+                for (dest, ping) in round.pings {
+                    // Route each probe to its peer only.
+                    let exempt = self.config.control_loss_exempt;
+                    let Ok(wire) = self
+                        .p2b_tx
+                        .send(Message::from_payload(ping.encode()))
+                    else {
+                        continue;
+                    };
+                    if let Some((i, host)) = self
+                        .hosts
+                        .iter_mut()
+                        .enumerate()
+                        .find(|(_, h)| h.node == dest)
+                    {
+                        let link = if exempt {
+                            &mut host.ctrl_link
+                        } else {
+                            &mut host.data_link
+                        };
+                        if let Some(at) = link.transmit(ctx.now(), wire.wire_size()).arrival() {
+                            ctx.schedule_at(at, Event::DeliverToBackup { host: i, wire });
+                        }
+                    }
+                }
+                for dead in round.died {
+                    ctx.trace(format!("primary declared {dead} dead"));
+                    if self
+                        .primary
+                        .as_ref()
+                        .is_some_and(|p| !p.is_backup_alive())
+                    {
+                        if let Some(delay) = self.config.recruit_backup_after {
+                            ctx.schedule_in(delay, Event::RecruitBackup);
+                        }
+                    }
+                }
+            }
+            Event::BackupHeartbeat => {
+                ctx.schedule_in(
+                    self.config.protocol.heartbeat_period / 2,
+                    Event::BackupHeartbeat,
+                );
+                for i in 0..self.hosts.len() {
+                    let Some(backup) = self.hosts[i].backup.as_mut() else {
+                        continue;
+                    };
+                    let (ping, primary_died) = backup.tick_heartbeat(ctx.now());
+                    if let Some(ping) = ping {
+                        self.transmit_to_primary(ctx, i, &ping);
+                    }
+                    if primary_died {
+                        ctx.trace(format!("{} declared primary dead", self.hosts[i].node));
+                        self.metrics.record_failover_started(ctx.now());
+                        if self.config.auto_failover {
+                            if self.primary.is_none() {
+                                // First detector to fire takes over.
+                                self.do_failover(ctx, i);
+                            } else {
+                                // A sibling already promoted (or this was
+                                // a false alarm): re-join the serving
+                                // primary.
+                                let node = self.hosts[i].node;
+                                if let Some(b) = self.hosts[i].backup.as_mut() {
+                                    b.rearm(ctx.now());
+                                }
+                                let join = WireMessage::JoinRequest { from: node };
+                                self.transmit_to_primary(ctx, i, &join);
+                            }
+                        }
+                    }
+                }
+            }
+            Event::DeliverToBackup { host, wire } => {
+                self.handle_delivery_to_backup(ctx, host, wire);
+            }
+            Event::DeliverToPrimary { host, wire } => {
+                self.handle_delivery_to_primary(ctx, host, wire);
+            }
+            Event::CrashPrimary => {
+                ctx.trace("primary crashed");
+                self.primary = None;
+                self.cpu.clear();
+            }
+            Event::CrashBackupHost { host } => {
+                if let Some(h) = self.hosts.get_mut(host) {
+                    ctx.trace(format!("backup {} crashed", h.node));
+                    h.backup = None;
+                    if let Some(p) = self.primary.as_mut() {
+                        // The primary will also notice via heartbeats;
+                        // dropping the peer immediately just avoids
+                        // pointless transmissions in the window between
+                        // crash and detection (the detector still runs
+                        // for remaining peers).
+                        let node = h.node;
+                        let _ = node; // removal happens via heartbeat
+                        let _ = p;
+                    }
+                }
+            }
+            Event::RecruitBackup => {
+                if self.primary.is_none() || self.live_backup_count() > 0 {
+                    return;
+                }
+                let node = NodeId::new(self.next_node);
+                self.next_node += 1;
+                ctx.trace(format!("recruiting {node} as new backup"));
+                let index = self.hosts.len();
+                let mut host = BackupHost::new(node, index, &self.config);
+                // Registry sync rides the (reliable) control channel; the
+                // object *state* arrives via the StateTransfer reply to
+                // the join request.
+                let registry = self.primary.as_ref().expect("checked above").registry();
+                if let Some(backup) = host.backup.as_mut() {
+                    for (id, spec, period) in registry {
+                        backup.sync_registration(id, spec, period, ctx.now());
+                    }
+                }
+                self.hosts.push(host);
+                let join = WireMessage::JoinRequest { from: node };
+                self.transmit_to_primary(ctx, index, &join);
+            }
+        }
+    }
+}
+
+/// A deterministic per-object phase within `(0, period]`, spreading the
+/// first firings of periodic send tasks across the period.
+fn send_phase(id: ObjectId, period: TimeDelta) -> TimeDelta {
+    let h = (u64::from(id.index())).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+    let frac = h % 64;
+    let offset = period.mul_ratio(frac, 64);
+    if offset.is_zero() {
+        period
+    } else {
+        offset
+    }
+}
+
+impl std::fmt::Debug for ClusterWorld {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterWorld")
+            .field("objects", &self.specs.len())
+            .field("backups", &self.live_backup_count())
+            .field("epoch", &self.epoch)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A simulated RTPB cluster: one primary, one or more backups, one client
+/// workload, lossy links, full metrics.
+///
+/// # Examples
+///
+/// ```
+/// use rtpb_core::harness::{ClusterConfig, SimCluster};
+/// use rtpb_types::{ObjectSpec, TimeDelta};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut cluster = SimCluster::new(ClusterConfig::default());
+/// let spec = ObjectSpec::builder("altitude")
+///     .update_period(TimeDelta::from_millis(100))
+///     .primary_bound(TimeDelta::from_millis(150))
+///     .backup_bound(TimeDelta::from_millis(550))
+///     .build()?;
+/// let id = cluster.register(spec)?;
+/// cluster.run_for(TimeDelta::from_secs(2));
+/// let report = cluster.metrics().object_report(id).expect("tracked");
+/// assert!(report.writes > 0);
+/// assert_eq!(report.backup_violations, 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct SimCluster {
+    sim: Simulation<ClusterWorld>,
+}
+
+impl SimCluster {
+    /// Builds a cluster and starts its heartbeat machinery at time zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the protocol or link configuration is invalid, or
+    /// `num_backups` is zero.
+    #[must_use]
+    pub fn new(config: ClusterConfig) -> Self {
+        config.protocol.validate();
+        assert!(config.num_backups >= 1, "need at least one backup");
+        let primary_node = NodeId::new(0);
+        let mut primary = Primary::new(primary_node, config.protocol.clone());
+        let hosts: Vec<BackupHost> = (0..config.num_backups)
+            .map(|i| {
+                let node = NodeId::new(1 + i as u16);
+                primary.add_backup(node, Time::ZERO);
+                BackupHost::new(node, i, &config)
+            })
+            .collect();
+        let next_node = 1 + config.num_backups as u16;
+        let world = ClusterWorld {
+            primary: Some(primary),
+            hosts,
+            p2b_tx: ProtocolGraph::builder().layer(UdpLike::new()).build(),
+            p2b_rx: ProtocolGraph::builder().layer(UdpLike::new()).build(),
+            b2p_tx: ProtocolGraph::builder().layer(UdpLike::new()).build(),
+            b2p_rx: ProtocolGraph::builder().layer(UdpLike::new()).build(),
+            cpu: CpuQueue::new(),
+            metrics: ClusterMetrics::new(),
+            names: NameService::new(primary_node),
+            specs: BTreeMap::new(),
+            epoch: 0,
+            next_node,
+            write_counter: 0,
+            corrupt_messages: 0,
+            config,
+        };
+        let trace_capacity = world.config.trace_capacity;
+        let seed = world.config.seed;
+        let mut sim = Simulation::new(world, seed).with_trace(trace_capacity);
+        sim.schedule_at(Time::ZERO, Event::PrimaryHeartbeat);
+        sim.schedule_at(Time::ZERO, Event::BackupHeartbeat);
+        SimCluster { sim }
+    }
+
+    /// Registers an object with no inter-object constraints.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the primary's admission decision.
+    pub fn register(&mut self, spec: ObjectSpec) -> Result<ObjectId, AdmissionError> {
+        self.register_with_constraints(spec, &[])
+    }
+
+    /// Registers an object with inter-object constraints against existing
+    /// objects, given as `(partner, δ_ij)` pairs (§3, §4.2).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the primary's admission decision; on rejection nothing
+    /// is registered anywhere.
+    pub fn register_with_constraints(
+        &mut self,
+        spec: ObjectSpec,
+        partners: &[(ObjectId, TimeDelta)],
+    ) -> Result<ObjectId, AdmissionError> {
+        let now = self.sim.now();
+        let (id, write_phase) = {
+            let world = self.sim.world_mut();
+            let primary = world
+                .primary
+                .as_mut()
+                .ok_or(AdmissionError::ServiceUnavailable)?;
+            let id = primary.register(spec.clone(), partners, now)?;
+            world.specs.insert(id, spec.clone());
+            world.metrics.track_object(
+                id,
+                spec.window(),
+                spec.primary_bound(),
+                spec.backup_bound(),
+            );
+            // Mirror the registration (space reservation, §4.2) and the
+            // recomputed periods to every backup.
+            let registry = world.primary.as_ref().expect("serving").registry();
+            for host in &mut world.hosts {
+                if let Some(backup) = host.backup.as_mut() {
+                    for (oid, ospec, period) in &registry {
+                        if *oid == id {
+                            backup.sync_registration(*oid, ospec.clone(), *period, now);
+                        } else {
+                            backup.sync_send_period(*oid, *period);
+                        }
+                    }
+                }
+            }
+            // Deterministic phase stagger spreads client writes so they
+            // do not all hit the CPU in one burst.
+            let stagger = TimeDelta::from_micros(997 * (u64::from(id.index()) + 1));
+            let phase = stagger % spec.update_period();
+            (id, phase)
+        };
+        self.sim
+            .schedule_in(write_phase, Event::ClientWrite { object: id });
+        // Registration may have retimed every object (constraints,
+        // compression): restart all object timers under a fresh epoch.
+        self.restart_timers();
+        Ok(id)
+    }
+
+    fn restart_timers(&mut self) {
+        // Borrow dance: epoch bump and per-object scheduling both need
+        // the world and the queue; schedule directly from the driver.
+        let now = self.sim.now();
+        let (ids_and_periods, epoch) = {
+            let world = self.sim.world_mut();
+            world.epoch += 1;
+            let epoch = world.epoch;
+            let mut items = Vec::new();
+            for (&id, _) in world.specs.iter() {
+                let period = world.primary.as_ref().and_then(|p| p.send_period(id));
+                let wd = world.watchdog_interval(id);
+                items.push((id, period, wd));
+            }
+            (items, epoch)
+        };
+        let (delay_bound, slack) = {
+            let p = &self.sim.world().config.protocol;
+            (p.link_delay_bound, p.retransmit_slack)
+        };
+        for (id, period, wd) in ids_and_periods {
+            if let Some(period) = period {
+                self.sim.schedule_at(
+                    now + send_phase(id, period),
+                    Event::SendTimer { object: id, epoch },
+                );
+                self.sim
+                    .world_mut()
+                    .metrics
+                    .set_refresh_allowance(id, period + delay_bound + slack);
+            }
+            self.sim
+                .schedule_at(now + wd, Event::WatchdogTimer { object: id, epoch });
+        }
+    }
+
+    /// Advances the cluster by `span` of virtual time.
+    pub fn run_for(&mut self, span: TimeDelta) {
+        self.sim.run_for(span);
+    }
+
+    /// The current virtual time.
+    #[must_use]
+    pub fn now(&self) -> Time {
+        self.sim.now()
+    }
+
+    /// Live metrics (open inconsistency episodes not yet closed; see
+    /// [`SimCluster::report`]).
+    #[must_use]
+    pub fn metrics(&self) -> &ClusterMetrics {
+        &self.sim.world().metrics
+    }
+
+    /// A finalized snapshot of the metrics as of now (open episodes
+    /// closed). The live cluster is unaffected.
+    #[must_use]
+    pub fn report(&self) -> ClusterMetrics {
+        let mut snapshot = self.sim.world().metrics.clone();
+        snapshot.finalize(self.now());
+        snapshot
+    }
+
+    /// Changes the primary→backup message-loss probability on every
+    /// backup's data path (sweeps).
+    pub fn set_loss_probability(&mut self, p: f64) {
+        for host in &mut self.sim.world_mut().hosts {
+            host.data_link.set_loss_probability(p);
+        }
+    }
+
+    /// Crashes the primary host at the current instant.
+    pub fn crash_primary(&mut self) {
+        self.sim.schedule_in(TimeDelta::ZERO, Event::CrashPrimary);
+    }
+
+    /// Crashes the first live backup host at the current instant.
+    pub fn crash_backup(&mut self) {
+        if let Some(host) = self.sim.world().metrics_host() {
+            self.crash_backup_host(host);
+        }
+    }
+
+    /// Crashes a specific backup host (multi-backup clusters).
+    pub fn crash_backup_host(&mut self, host: usize) {
+        self.sim
+            .schedule_in(TimeDelta::ZERO, Event::CrashBackupHost { host });
+    }
+
+    /// Whether a failover has occurred.
+    #[must_use]
+    pub fn has_failed_over(&self) -> bool {
+        self.sim.world().names.failover_count() > 0
+    }
+
+    /// The name service (binding history).
+    #[must_use]
+    pub fn name_service(&self) -> &NameService {
+        &self.sim.world().names
+    }
+
+    /// The serving primary, if any.
+    #[must_use]
+    pub fn primary(&self) -> Option<&Primary> {
+        self.sim.world().primary.as_ref()
+    }
+
+    /// The first live backup, if any.
+    #[must_use]
+    pub fn backup(&self) -> Option<&Backup> {
+        let world = self.sim.world();
+        world
+            .metrics_host()
+            .and_then(|i| world.hosts[i].backup.as_ref())
+    }
+
+    /// All live backups, in host order.
+    #[must_use]
+    pub fn backups(&self) -> Vec<&Backup> {
+        self.sim
+            .world()
+            .hosts
+            .iter()
+            .filter_map(|h| h.backup.as_ref())
+            .collect()
+    }
+
+    /// Messages that failed protocol-stack validation.
+    #[must_use]
+    pub fn corrupt_messages(&self) -> u64 {
+        self.sim.world().corrupt_messages
+    }
+
+    /// The simulation trace (enabled via
+    /// [`ClusterConfig::trace_capacity`]).
+    #[must_use]
+    pub fn trace(&self) -> &rtpb_sim::Trace {
+        self.sim.trace()
+    }
+
+    /// The current CPU backlog at the primary host (writes + sends
+    /// queued).
+    #[must_use]
+    pub fn cpu_backlog(&self) -> usize {
+        self.sim.world().cpu.backlog()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SchedulingMode;
+
+    fn ms(v: u64) -> TimeDelta {
+        TimeDelta::from_millis(v)
+    }
+
+    fn spec(period: u64, dp: u64, db: u64) -> ObjectSpec {
+        ObjectSpec::builder("obj")
+            .update_period(ms(period))
+            .primary_bound(ms(dp))
+            .backup_bound(ms(db))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn lossless_run_keeps_backup_consistent() {
+        let mut cluster = SimCluster::new(ClusterConfig::default());
+        let id = cluster.register(spec(100, 150, 550)).unwrap();
+        cluster.run_for(TimeDelta::from_secs(5));
+        let report = cluster.metrics().object_report(id).unwrap();
+        assert!(report.writes >= 48, "writes: {}", report.writes);
+        assert!(report.applies > 0);
+        assert_eq!(report.backup_violations, 0);
+        assert_eq!(report.window_episodes, 0);
+        assert_eq!(report.inconsistency_episodes, 0);
+        assert_eq!(report.primary_violations, 0);
+        assert_eq!(cluster.corrupt_messages(), 0);
+        // Distance bounded by the window (Theorem 5 with 2× slack).
+        assert!(report.max_distance <= report.window);
+    }
+
+    #[test]
+    fn responses_are_fast_under_admission_control() {
+        let mut cluster = SimCluster::new(ClusterConfig::default());
+        for _ in 0..4 {
+            cluster.register(spec(100, 150, 550)).unwrap();
+        }
+        cluster.run_for(TimeDelta::from_secs(5));
+        let mean = cluster.metrics().response_times().mean().unwrap();
+        assert!(
+            mean < ms(5),
+            "admitted load must respond quickly, got {mean}"
+        );
+    }
+
+    #[test]
+    fn loss_increases_distance() {
+        let run = |loss: f64| {
+            let mut config = ClusterConfig::default();
+            config.link.loss_probability = loss;
+            let mut cluster = SimCluster::new(config);
+            for _ in 0..4 {
+                cluster.register(spec(100, 150, 550)).unwrap();
+            }
+            cluster.run_for(TimeDelta::from_secs(30));
+            cluster.report().average_max_distance().unwrap()
+        };
+        let clean = run(0.0);
+        let lossy = run(0.15);
+        assert!(
+            lossy > clean,
+            "distance must grow with loss: clean {clean}, lossy {lossy}"
+        );
+    }
+
+    #[test]
+    fn retransmit_requests_fire_under_loss() {
+        let mut config = ClusterConfig::default();
+        config.link.loss_probability = 0.4;
+        config.trace_capacity = 256;
+        let mut cluster = SimCluster::new(config);
+        cluster.register(spec(100, 150, 550)).unwrap();
+        cluster.run_for(TimeDelta::from_secs(20));
+        assert!(cluster.metrics().retransmit_requests() > 0);
+    }
+
+    #[test]
+    fn primary_crash_triggers_failover() {
+        let config = ClusterConfig {
+            trace_capacity: 64,
+            ..ClusterConfig::default()
+        };
+        let mut cluster = SimCluster::new(config);
+        let id = cluster.register(spec(100, 150, 550)).unwrap();
+        cluster.run_for(TimeDelta::from_secs(2));
+        let writes_before = cluster.metrics().object_report(id).unwrap().writes;
+        cluster.crash_primary();
+        cluster.run_for(TimeDelta::from_secs(2));
+        assert!(cluster.has_failed_over());
+        assert_eq!(cluster.name_service().resolve(), NodeId::new(1));
+        // The promoted primary serves client writes.
+        let writes_after = cluster.metrics().object_report(id).unwrap().writes;
+        assert!(
+            writes_after > writes_before,
+            "promoted primary must serve writes ({writes_before} → {writes_after})"
+        );
+        // State carried over: the object survived with its spec.
+        let primary = cluster.primary().unwrap();
+        assert_eq!(primary.node(), NodeId::new(1));
+        assert!(primary.store().get(id).is_some());
+        assert!(cluster.metrics().failover_duration().is_some());
+    }
+
+    #[test]
+    fn backup_crash_cancels_updates_then_recruit_restores_replication() {
+        let config = ClusterConfig {
+            recruit_backup_after: Some(TimeDelta::from_millis(500)),
+            ..ClusterConfig::default()
+        };
+        let mut cluster = SimCluster::new(config);
+        let id = cluster.register(spec(100, 150, 550)).unwrap();
+        cluster.run_for(TimeDelta::from_secs(2));
+        cluster.crash_backup();
+        cluster.run_for(TimeDelta::from_secs(1));
+        // New backup recruited and receiving state.
+        let backup = cluster.backup().expect("recruited");
+        assert_eq!(backup.node(), NodeId::new(2));
+        cluster.run_for(TimeDelta::from_secs(2));
+        let applies = cluster.backup().unwrap().updates_applied();
+        assert!(applies > 0, "new backup must receive updates");
+        assert!(cluster.metrics().object_report(id).unwrap().applies > 0);
+    }
+
+    #[test]
+    fn compressed_mode_sends_more_often() {
+        let run = |mode: SchedulingMode| {
+            let mut config = ClusterConfig::default();
+            config.protocol.scheduling_mode = mode;
+            let mut cluster = SimCluster::new(config);
+            for _ in 0..4 {
+                cluster.register(spec(100, 150, 550)).unwrap();
+            }
+            cluster.run_for(TimeDelta::from_secs(5));
+            cluster.metrics().updates_sent()
+        };
+        let normal = run(SchedulingMode::Normal);
+        let compressed = run(SchedulingMode::Compressed);
+        assert!(
+            compressed > normal * 2,
+            "compressed ({compressed}) must send far more than normal ({normal})"
+        );
+    }
+
+    #[test]
+    fn without_admission_response_time_degrades_at_scale() {
+        let run = |admission: bool, n: usize| {
+            let mut config = ClusterConfig::default();
+            config.protocol.admission_enabled = admission;
+            // Make sends expensive enough that many objects overload the
+            // CPU.
+            config.protocol.send_cost_base = TimeDelta::from_millis(2);
+            let mut cluster = SimCluster::new(config);
+            let mut registered = 0;
+            for _ in 0..n {
+                if cluster.register(spec(100, 150, 250)).is_ok() {
+                    registered += 1;
+                }
+            }
+            cluster.run_for(TimeDelta::from_secs(10));
+            (
+                registered,
+                cluster.metrics().response_times().mean().unwrap(),
+            )
+        };
+        let (with_n, with_mean) = run(true, 48);
+        let (without_n, without_mean) = run(false, 48);
+        assert!(with_n < 48, "admission must reject some of the 48");
+        assert_eq!(without_n, 48, "disabled admission accepts everything");
+        assert!(
+            without_mean > with_mean * 10,
+            "overload must blow up response time ({with_mean} vs {without_mean})"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut config = ClusterConfig::default();
+            config.link.loss_probability = 0.1;
+            config.seed = 1234;
+            let mut cluster = SimCluster::new(config);
+            let id = cluster.register(spec(100, 150, 550)).unwrap();
+            cluster.run_for(TimeDelta::from_secs(10));
+            let r = cluster.metrics().object_report(id).unwrap();
+            (r.writes, r.applies, r.max_distance)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn registration_after_failover_serves_from_new_primary() {
+        let mut cluster = SimCluster::new(ClusterConfig::default());
+        cluster.register(spec(100, 150, 550)).unwrap();
+        cluster.run_for(TimeDelta::from_secs(1));
+        cluster.crash_primary();
+        cluster.run_for(TimeDelta::from_secs(1));
+        assert!(cluster.has_failed_over());
+        // New registrations go to the promoted primary.
+        let id2 = cluster.register(spec(100, 150, 550)).unwrap();
+        cluster.run_for(TimeDelta::from_secs(1));
+        assert!(cluster.metrics().object_report(id2).unwrap().writes > 0);
+    }
+}

@@ -1,0 +1,96 @@
+//! The name service clients resolve the primary through (paper §4.4).
+//!
+//! The paper's failover updates "the address in the name file" so clients
+//! find the new primary. This module models that name file as an in-memory
+//! registry with an update history, so tests can assert when and how the
+//! binding changed.
+
+use rtpb_types::{NodeId, Time};
+
+/// One historical binding of the service name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Binding {
+    /// The node serving as primary.
+    pub node: NodeId,
+    /// When the binding took effect.
+    pub since: Time,
+}
+
+/// The service-name → primary-node registry.
+///
+/// # Examples
+///
+/// ```
+/// use rtpb_core::name_service::NameService;
+/// use rtpb_types::{NodeId, Time};
+///
+/// let mut ns = NameService::new(NodeId::new(0));
+/// assert_eq!(ns.resolve(), NodeId::new(0));
+/// ns.rebind(NodeId::new(1), Time::from_millis(500)); // failover
+/// assert_eq!(ns.resolve(), NodeId::new(1));
+/// assert_eq!(ns.history().len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NameService {
+    history: Vec<Binding>,
+}
+
+impl NameService {
+    /// Creates the registry with `initial` as the primary from time zero.
+    #[must_use]
+    pub fn new(initial: NodeId) -> Self {
+        NameService {
+            history: vec![Binding {
+                node: initial,
+                since: Time::ZERO,
+            }],
+        }
+    }
+
+    /// The current primary.
+    #[must_use]
+    pub fn resolve(&self) -> NodeId {
+        self.history.last().expect("history never empty").node
+    }
+
+    /// Rebinds the name to `node` (performed by the new primary during
+    /// takeover).
+    pub fn rebind(&mut self, node: NodeId, now: Time) {
+        self.history.push(Binding { node, since: now });
+    }
+
+    /// The full binding history, oldest first.
+    #[must_use]
+    pub fn history(&self) -> &[Binding] {
+        &self.history
+    }
+
+    /// Number of failovers (rebinds after the initial binding).
+    #[must_use]
+    pub fn failover_count(&self) -> usize {
+        self.history.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_binding_resolves() {
+        let ns = NameService::new(NodeId::new(3));
+        assert_eq!(ns.resolve(), NodeId::new(3));
+        assert_eq!(ns.failover_count(), 0);
+    }
+
+    #[test]
+    fn rebind_changes_resolution_and_history() {
+        let mut ns = NameService::new(NodeId::new(0));
+        ns.rebind(NodeId::new(1), Time::from_millis(100));
+        ns.rebind(NodeId::new(2), Time::from_millis(300));
+        assert_eq!(ns.resolve(), NodeId::new(2));
+        assert_eq!(ns.failover_count(), 2);
+        assert_eq!(ns.history()[1].node, NodeId::new(1));
+        assert_eq!(ns.history()[1].since, Time::from_millis(100));
+    }
+}

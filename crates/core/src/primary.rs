@@ -1,0 +1,689 @@
+//! The primary server state machine.
+//!
+//! Sans-io: every method takes the current time and returns the messages
+//! to transmit; the driver (simulation harness or thread runtime) owns
+//! timers and delivery. Responsibilities (paper §4):
+//!
+//! - **Admission control** (§4.2) at registration.
+//! - **Serving client writes** and timestamping object versions.
+//! - **Periodic update transmission** to the backup at the admitted
+//!   periods (§4.3); the driver fires one timer per object and calls
+//!   [`Primary::make_update`].
+//! - **Retransmission on request** from the backup (§4.3).
+//! - **Failure detection** of the backup and cancellation of update
+//!   traffic when the backup dies (§4.4).
+//! - **Recruiting a replacement backup** via state transfer (§4.4).
+
+use crate::admission;
+use crate::config::ProtocolConfig;
+use crate::heartbeat::{DetectorAction, FailureDetector};
+use crate::store::ObjectStore;
+use crate::update_sched::UpdateSchedule;
+use crate::wire::{StateEntry, WireMessage};
+use rtpb_types::{
+    AdmissionError, InterObjectConstraint, NodeId, ObjectId, ObjectSpec, ObjectValue, Time,
+    TimeDelta, Version,
+};
+use std::collections::BTreeMap;
+
+/// The primary's reaction to an inbound message.
+#[derive(Debug, Clone, Default)]
+pub struct PrimaryOutput {
+    /// Messages to transmit back to the sending backup.
+    pub replies: Vec<WireMessage>,
+    /// Whether a new backup was just integrated (drivers should restart
+    /// update timers).
+    pub backup_joined: bool,
+}
+
+/// One heartbeat round's outcome: probes to send (per peer) and peers
+/// declared dead this round.
+#[derive(Debug, Clone, Default)]
+pub struct HeartbeatRound {
+    /// `(backup, probe)` pairs to transmit.
+    pub pings: Vec<(NodeId, WireMessage)>,
+    /// Backups that just exceeded the miss threshold. The primary has
+    /// already cancelled their update traffic (§4.4).
+    pub died: Vec<NodeId>,
+}
+
+/// The primary server.
+///
+/// # Examples
+///
+/// ```
+/// use rtpb_core::config::ProtocolConfig;
+/// use rtpb_core::primary::Primary;
+/// use rtpb_types::{NodeId, ObjectSpec, Time, TimeDelta};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut primary = Primary::new(NodeId::new(0), ProtocolConfig::default());
+/// let spec = ObjectSpec::builder("altitude")
+///     .update_period(TimeDelta::from_millis(100))
+///     .primary_bound(TimeDelta::from_millis(150))
+///     .backup_bound(TimeDelta::from_millis(550))
+///     .build()?;
+/// let id = primary.register(spec, &[], Time::ZERO)?;
+/// let version = primary.apply_client_write(id, vec![1, 2], Time::from_millis(5));
+/// assert_eq!(version.unwrap().value(), 1);
+/// // The update task period follows Theorem 5 with the 2× loss slack.
+/// assert_eq!(
+///     primary.send_period(id),
+///     Some(TimeDelta::from_millis(195)),
+/// );
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Primary {
+    node: NodeId,
+    config: ProtocolConfig,
+    store: ObjectStore,
+    constraints: Vec<InterObjectConstraint>,
+    schedule: UpdateSchedule,
+    // One failure detector per tracked backup (§4.4; generalized to the
+    // multi-backup extension the paper lists as future work).
+    peers: BTreeMap<NodeId, FailureDetector>,
+    writes_applied: u64,
+    updates_produced: u64,
+    acks_received: u64,
+}
+
+impl Primary {
+    /// Creates a primary server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`ProtocolConfig::validate`]).
+    #[must_use]
+    pub fn new(node: NodeId, config: ProtocolConfig) -> Self {
+        config.validate();
+        Primary {
+            node,
+            config,
+            store: ObjectStore::new(),
+            constraints: Vec::new(),
+            schedule: UpdateSchedule::new(),
+            peers: BTreeMap::new(),
+            writes_applied: 0,
+            updates_produced: 0,
+            acks_received: 0,
+        }
+    }
+
+    /// Starts tracking `backup` as a replica: a failure detector is armed
+    /// and update production towards it begins.
+    pub fn add_backup(&mut self, backup: NodeId, now: Time) {
+        let mut detector = FailureDetector::new(
+            self.node,
+            self.config.heartbeat_period,
+            self.config.heartbeat_timeout,
+            self.config.heartbeat_miss_threshold,
+        );
+        detector.reset(now);
+        self.peers.insert(backup, detector);
+    }
+
+    /// Stops tracking `backup` (declared dead or decommissioned).
+    pub fn remove_backup(&mut self, backup: NodeId) -> bool {
+        self.peers.remove(&backup).is_some()
+    }
+
+    /// The tracked backups, in id order.
+    #[must_use]
+    pub fn backups(&self) -> Vec<NodeId> {
+        self.peers.keys().copied().collect()
+    }
+
+    /// Rebuilds a primary from an existing store (used by backup
+    /// promotion). The inherited images keep their versions so clients
+    /// continue from the most recent replicated state.
+    #[must_use]
+    pub(crate) fn from_store(
+        node: NodeId,
+        config: ProtocolConfig,
+        store: ObjectStore,
+        constraints: Vec<InterObjectConstraint>,
+        schedule: UpdateSchedule,
+        now: Time,
+    ) -> Self {
+        let _ = now;
+        Primary {
+            node,
+            config,
+            store,
+            constraints,
+            schedule,
+            // A freshly promoted primary has no backup until one joins.
+            peers: BTreeMap::new(),
+            writes_applied: 0,
+            updates_produced: 0,
+            acks_received: 0,
+        }
+    }
+
+    /// This node's id.
+    #[must_use]
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The object table.
+    #[must_use]
+    pub fn store(&self) -> &ObjectStore {
+        &self.store
+    }
+
+    /// The active protocol configuration.
+    #[must_use]
+    pub fn config(&self) -> &ProtocolConfig {
+        &self.config
+    }
+
+    /// Whether at least one backup is currently believed alive.
+    #[must_use]
+    pub fn is_backup_alive(&self) -> bool {
+        !self.peers.is_empty()
+    }
+
+    /// Client writes applied so far.
+    #[must_use]
+    pub fn writes_applied(&self) -> u64 {
+        self.writes_applied
+    }
+
+    /// Update messages produced so far.
+    #[must_use]
+    pub fn updates_produced(&self) -> u64 {
+        self.updates_produced
+    }
+
+    /// The inter-object constraints in force.
+    #[must_use]
+    pub fn constraints(&self) -> &[InterObjectConstraint] {
+        &self.constraints
+    }
+
+    /// Registers an object (§4.2). `partners` lists inter-object
+    /// constraints against already-registered objects as
+    /// `(partner, δ_ij)` pairs.
+    ///
+    /// On success the update schedule is recomputed (a newcomer can
+    /// tighten existing periods through constraints, and compressed mode
+    /// redistributes capacity).
+    ///
+    /// # Errors
+    ///
+    /// Returns the failing admission gate; the object is not registered.
+    pub fn register(
+        &mut self,
+        spec: ObjectSpec,
+        partners: &[(ObjectId, TimeDelta)],
+        now: Time,
+    ) -> Result<ObjectId, AdmissionError> {
+        let new_id = self.store.peek_next_id();
+        let new_constraints: Vec<InterObjectConstraint> = partners
+            .iter()
+            .map(|&(partner, bound)| InterObjectConstraint::new(new_id, partner, bound))
+            .collect();
+        let outcome = admission::evaluate(
+            &self.store,
+            &self.constraints,
+            new_id,
+            &spec,
+            &new_constraints,
+            &self.config,
+        )?;
+        let id = self.store.register(spec, now);
+        debug_assert_eq!(id, new_id);
+        self.constraints.extend(new_constraints);
+        self.schedule = outcome.schedule;
+        Ok(id)
+    }
+
+    /// Deregisters an object and drops its constraints.
+    pub fn deregister(&mut self, id: ObjectId) -> bool {
+        let removed = self.store.deregister(id).is_some();
+        if removed {
+            self.constraints.retain(|c| !c.involves(id));
+        }
+        removed
+    }
+
+    /// Applies a client write, producing the next version. Returns `None`
+    /// for an unregistered object.
+    pub fn apply_client_write(
+        &mut self,
+        id: ObjectId,
+        payload: Vec<u8>,
+        now: Time,
+    ) -> Option<Version> {
+        let next = self.store.get(id)?.version().next();
+        let installed = self
+            .store
+            .apply(id, ObjectValue::new(next, now, payload));
+        debug_assert!(installed, "next version is always newer");
+        self.writes_applied += 1;
+        Some(next)
+    }
+
+    /// Produces the update message for `id`'s current image — called by
+    /// the driver when the object's send timer fires. Returns `None` if
+    /// the object is unknown, has never been written, or the backup is
+    /// presumed dead (§4.4: update events are cancelled).
+    pub fn make_update(&mut self, id: ObjectId) -> Option<WireMessage> {
+        if self.peers.is_empty() {
+            return None;
+        }
+        let entry = self.store.get(id)?;
+        let value = entry.value()?;
+        self.updates_produced += 1;
+        Some(WireMessage::Update {
+            object: id,
+            version: value.version(),
+            timestamp: value.timestamp(),
+            payload: value.payload().to_vec(),
+        })
+    }
+
+    /// The send period admitted for `id`.
+    #[must_use]
+    pub fn send_period(&self, id: ObjectId) -> Option<TimeDelta> {
+        self.schedule.period(id)
+    }
+
+    /// The full update schedule.
+    #[must_use]
+    pub fn schedule(&self) -> &UpdateSchedule {
+        &self.schedule
+    }
+
+    /// Handles an inbound message from the network.
+    pub fn handle_message(&mut self, msg: &WireMessage, now: Time) -> PrimaryOutput {
+        let mut out = PrimaryOutput::default();
+        match msg {
+            WireMessage::Ping { seq, .. } => {
+                out.replies.push(WireMessage::PingAck {
+                    from: self.node,
+                    seq: *seq,
+                });
+            }
+            WireMessage::PingAck { from, seq } => {
+                if let Some(detector) = self.peers.get_mut(from) {
+                    detector.on_ack(*seq, now);
+                }
+            }
+            WireMessage::RetransmitRequest {
+                object,
+                have_version,
+            } => {
+                if let Some(entry) = self.store.get(*object) {
+                    if let Some(value) = entry.value() {
+                        if value.version() > *have_version {
+                            self.updates_produced += 1;
+                            out.replies.push(WireMessage::Update {
+                                object: *object,
+                                version: value.version(),
+                                timestamp: value.timestamp(),
+                                payload: value.payload().to_vec(),
+                            });
+                        }
+                    }
+                }
+            }
+            WireMessage::JoinRequest { from } => {
+                // Integrate the new backup: arm a detector for it and
+                // ship the full state (§4.4).
+                self.add_backup(*from, now);
+                out.backup_joined = true;
+                out.replies.push(self.snapshot());
+            }
+            WireMessage::UpdateAck { .. } => {
+                // Only present under the ack ablation; the paper's design
+                // deliberately has nothing to do here (§4.3).
+                self.acks_received += 1;
+            }
+            WireMessage::Update { .. } | WireMessage::StateTransfer { .. } => {
+                // Not addressed to a primary; ignore.
+            }
+        }
+        out
+    }
+
+    /// Advances every backup failure detector. Returns the probes to
+    /// send and the backups declared dead this round.
+    ///
+    /// §4.4: "If the backup is dead, the primary cancels the ping
+    /// messages as well as update events" — dead peers are dropped, and
+    /// once no peer remains [`Primary::make_update`] returns `None`.
+    pub fn tick_heartbeat(&mut self, now: Time) -> HeartbeatRound {
+        let mut round = HeartbeatRound::default();
+        for (&peer, detector) in &mut self.peers {
+            match detector.tick(now) {
+                DetectorAction::SendPing(seq) => round.pings.push((
+                    peer,
+                    WireMessage::Ping {
+                        from: self.node,
+                        seq,
+                    },
+                )),
+                DetectorAction::DeclareDead => round.died.push(peer),
+                DetectorAction::Idle => {}
+            }
+        }
+        for &dead in &round.died {
+            self.peers.remove(&dead);
+        }
+        round
+    }
+
+    /// The full object state for integrating a new backup.
+    #[must_use]
+    pub fn snapshot(&self) -> WireMessage {
+        let entries = self
+            .store
+            .iter()
+            .filter_map(|(id, entry)| {
+                entry.value().map(|v| StateEntry {
+                    object: id,
+                    version: v.version(),
+                    timestamp: v.timestamp(),
+                    payload: v.payload().to_vec(),
+                })
+            })
+            .collect();
+        WireMessage::StateTransfer { entries }
+    }
+
+    /// `(id, spec, send period)` for every registered object — what a new
+    /// backup needs to arm its watchdogs (shipped out-of-band by drivers
+    /// alongside the snapshot).
+    #[must_use]
+    pub fn registry(&self) -> Vec<(ObjectId, ObjectSpec, TimeDelta)> {
+        self.store
+            .iter()
+            .filter_map(|(id, e)| {
+                self.schedule
+                    .period(id)
+                    .map(|p| (id, e.spec().clone(), p))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> TimeDelta {
+        TimeDelta::from_millis(v)
+    }
+
+    fn t(v: u64) -> Time {
+        Time::from_millis(v)
+    }
+
+    fn spec() -> ObjectSpec {
+        ObjectSpec::builder("o")
+            .update_period(ms(100))
+            .primary_bound(ms(150))
+            .backup_bound(ms(550))
+            .build()
+            .unwrap()
+    }
+
+    fn primary() -> Primary {
+        let mut p = Primary::new(NodeId::new(0), ProtocolConfig::default());
+        p.add_backup(NodeId::new(1), Time::ZERO);
+        p
+    }
+
+    #[test]
+    fn register_then_write_then_update() {
+        let mut p = primary();
+        let id = p.register(spec(), &[], Time::ZERO).unwrap();
+        assert!(p.make_update(id).is_none(), "no write yet");
+        let v = p.apply_client_write(id, vec![7], t(5)).unwrap();
+        assert_eq!(v, Version::new(1));
+        match p.make_update(id) {
+            Some(WireMessage::Update {
+                object,
+                version,
+                timestamp,
+                payload,
+            }) => {
+                assert_eq!(object, id);
+                assert_eq!(version, Version::new(1));
+                assert_eq!(timestamp, t(5));
+                assert_eq!(payload, vec![7]);
+            }
+            other => panic!("expected update, got {other:?}"),
+        }
+        assert_eq!(p.writes_applied(), 1);
+        assert_eq!(p.updates_produced(), 1);
+    }
+
+    #[test]
+    fn admission_rejection_leaves_no_trace() {
+        let mut p = primary();
+        let bad = ObjectSpec::builder("bad")
+            .update_period(ms(200))
+            .primary_bound(ms(150))
+            .backup_bound(ms(550))
+            .build()
+            .unwrap();
+        assert!(p.register(bad, &[], Time::ZERO).is_err());
+        assert!(p.store().is_empty());
+        assert!(p.schedule().is_empty());
+    }
+
+    #[test]
+    fn writes_to_unknown_objects_are_rejected() {
+        let mut p = primary();
+        assert!(p.apply_client_write(ObjectId::new(9), vec![], t(1)).is_none());
+    }
+
+    #[test]
+    fn retransmit_request_resends_only_if_newer() {
+        let mut p = primary();
+        let id = p.register(spec(), &[], Time::ZERO).unwrap();
+        p.apply_client_write(id, vec![1], t(5));
+        // Backup already has version 1: nothing to resend.
+        let out = p.handle_message(
+            &WireMessage::RetransmitRequest {
+                object: id,
+                have_version: Version::new(1),
+            },
+            t(10),
+        );
+        assert!(out.replies.is_empty());
+        // Backup is behind: resend.
+        let out = p.handle_message(
+            &WireMessage::RetransmitRequest {
+                object: id,
+                have_version: Version::INITIAL,
+            },
+            t(10),
+        );
+        assert_eq!(out.replies.len(), 1);
+        assert!(matches!(out.replies[0], WireMessage::Update { .. }));
+    }
+
+    #[test]
+    fn ping_is_acked() {
+        let mut p = primary();
+        let out = p.handle_message(
+            &WireMessage::Ping {
+                from: NodeId::new(1),
+                seq: 4,
+            },
+            t(1),
+        );
+        assert_eq!(
+            out.replies,
+            vec![WireMessage::PingAck {
+                from: NodeId::new(0),
+                seq: 4
+            }]
+        );
+    }
+
+    #[test]
+    fn backup_death_cancels_updates() {
+        let mut p = primary();
+        p.add_backup(NodeId::new(1), Time::ZERO);
+        let id = p.register(spec(), &[], Time::ZERO).unwrap();
+        p.apply_client_write(id, vec![1], t(1));
+        // Drive heartbeats with no acks until declaration.
+        let mut now = Time::ZERO;
+        let mut declared = false;
+        for _ in 0..50 {
+            let round = p.tick_heartbeat(now);
+            if !round.died.is_empty() {
+                assert_eq!(round.died, vec![NodeId::new(1)]);
+                declared = true;
+                break;
+            }
+            now += ms(50);
+        }
+        assert!(declared);
+        assert!(!p.is_backup_alive());
+        assert!(p.make_update(id).is_none(), "updates cancelled");
+        // And no further pings are sent.
+        let round = p.tick_heartbeat(now + ms(100));
+        assert!(round.pings.is_empty() && round.died.is_empty());
+    }
+
+    #[test]
+    fn heartbeat_acks_keep_backup_alive() {
+        let mut p = primary();
+        p.add_backup(NodeId::new(1), Time::ZERO);
+        let mut now = Time::ZERO;
+        for _ in 0..20 {
+            let round = p.tick_heartbeat(now);
+            assert!(round.died.is_empty());
+            for (dest, ping) in round.pings {
+                assert_eq!(dest, NodeId::new(1));
+                if let WireMessage::Ping { seq, .. } = ping {
+                    p.handle_message(
+                        &WireMessage::PingAck {
+                            from: NodeId::new(1),
+                            seq,
+                        },
+                        now + ms(2),
+                    );
+                }
+            }
+            now += ms(50);
+        }
+        assert!(p.is_backup_alive());
+    }
+
+    #[test]
+    fn independent_detectors_per_backup() {
+        let mut p = primary();
+        p.add_backup(NodeId::new(1), Time::ZERO);
+        p.add_backup(NodeId::new(2), Time::ZERO);
+        assert_eq!(p.backups(), vec![NodeId::new(1), NodeId::new(2)]);
+        // Only node#2 ever acks.
+        let mut now = Time::ZERO;
+        let mut node1_died = false;
+        for _ in 0..50 {
+            let round = p.tick_heartbeat(now);
+            for (dest, ping) in round.pings {
+                if dest == NodeId::new(2) {
+                    if let WireMessage::Ping { seq, .. } = ping {
+                        p.handle_message(
+                            &WireMessage::PingAck {
+                                from: NodeId::new(2),
+                                seq,
+                            },
+                            now + ms(1),
+                        );
+                    }
+                }
+            }
+            if round.died.contains(&NodeId::new(1)) {
+                node1_died = true;
+                break;
+            }
+            now += ms(50);
+        }
+        assert!(node1_died, "the silent backup must be declared dead");
+        // The responsive backup survives and updates keep flowing.
+        assert_eq!(p.backups(), vec![NodeId::new(2)]);
+        assert!(p.is_backup_alive());
+    }
+
+    #[test]
+    fn join_request_reintegrates_backup() {
+        let mut p = primary();
+        p.add_backup(NodeId::new(1), Time::ZERO);
+        let id = p.register(spec(), &[], Time::ZERO).unwrap();
+        p.apply_client_write(id, vec![9], t(5));
+        // Kill the backup.
+        let mut now = Time::ZERO;
+        loop {
+            let round = p.tick_heartbeat(now);
+            if !round.died.is_empty() {
+                break;
+            }
+            now += ms(50);
+        }
+        // A new backup joins.
+        let out = p.handle_message(
+            &WireMessage::JoinRequest {
+                from: NodeId::new(2),
+            },
+            now,
+        );
+        assert!(out.backup_joined);
+        assert!(p.is_backup_alive());
+        match &out.replies[0] {
+            WireMessage::StateTransfer { entries } => {
+                assert_eq!(entries.len(), 1);
+                assert_eq!(entries[0].version, Version::new(1));
+            }
+            other => panic!("expected state transfer, got {other:?}"),
+        }
+        // Updates flow again.
+        assert!(p.make_update(id).is_some());
+    }
+
+    #[test]
+    fn deregister_drops_constraints() {
+        let mut p = primary();
+        let a = p.register(spec(), &[], Time::ZERO).unwrap();
+        let b = p.register(spec(), &[(a, ms(300))], Time::ZERO).unwrap();
+        assert_eq!(p.constraints().len(), 1);
+        assert!(p.deregister(b));
+        assert!(p.constraints().is_empty());
+        assert!(!p.deregister(b));
+    }
+
+    #[test]
+    fn registry_lists_specs_and_periods() {
+        let mut p = primary();
+        let id = p.register(spec(), &[], Time::ZERO).unwrap();
+        let reg = p.registry();
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg[0].0, id);
+        assert_eq!(reg[0].2, ms(195));
+    }
+
+    #[test]
+    fn snapshot_skips_never_written_objects() {
+        let mut p = primary();
+        let _a = p.register(spec(), &[], Time::ZERO).unwrap();
+        let b = p.register(spec(), &[], Time::ZERO).unwrap();
+        p.apply_client_write(b, vec![1], t(1));
+        match p.snapshot() {
+            WireMessage::StateTransfer { entries } => {
+                assert_eq!(entries.len(), 1);
+                assert_eq!(entries[0].object, b);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! The replicated-object table held by each replica.
+
+use rtpb_types::{ObjectId, ObjectSpec, ObjectValue, Time, TimeDelta, Version};
+use std::collections::BTreeMap;
+
+/// One object's slot in a replica's store.
+#[derive(Debug, Clone)]
+pub struct ObjectEntry {
+    spec: ObjectSpec,
+    value: Option<ObjectValue>,
+    registered_at: Time,
+}
+
+impl ObjectEntry {
+    /// The registration spec.
+    #[must_use]
+    pub fn spec(&self) -> &ObjectSpec {
+        &self.spec
+    }
+
+    /// The current image, if any update has been applied.
+    #[must_use]
+    pub fn value(&self) -> Option<&ObjectValue> {
+        self.value.as_ref()
+    }
+
+    /// When the object was registered at this replica.
+    #[must_use]
+    pub fn registered_at(&self) -> Time {
+        self.registered_at
+    }
+
+    /// The current version, or [`Version::INITIAL`] if never written.
+    #[must_use]
+    pub fn version(&self) -> Version {
+        self.value
+            .as_ref()
+            .map_or(Version::INITIAL, ObjectValue::version)
+    }
+
+    /// Image staleness `t - T_i(t)` at `now`, or `None` if never written.
+    #[must_use]
+    pub fn staleness(&self, now: Time) -> Option<TimeDelta> {
+        self.value.as_ref().map(|v| v.staleness(now))
+    }
+}
+
+/// A replica's table of registered objects, keyed by [`ObjectId`].
+///
+/// Both the primary and the backup hold one; the primary's is written by
+/// client updates, the backup's by update messages.
+///
+/// # Examples
+///
+/// ```
+/// use rtpb_core::store::ObjectStore;
+/// use rtpb_types::{ObjectSpec, ObjectValue, Time, TimeDelta, Version};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut store = ObjectStore::new();
+/// let spec = ObjectSpec::builder("x")
+///     .update_period(TimeDelta::from_millis(100))
+///     .primary_bound(TimeDelta::from_millis(150))
+///     .backup_bound(TimeDelta::from_millis(550))
+///     .build()?;
+/// let id = store.register(spec, Time::ZERO);
+/// store.apply(id, ObjectValue::new(Version::new(1), Time::from_millis(5), vec![1]));
+/// assert_eq!(store.get(id).unwrap().version(), Version::new(1));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ObjectStore {
+    entries: BTreeMap<ObjectId, ObjectEntry>,
+    next_id: u32,
+}
+
+impl ObjectStore {
+    /// Creates an empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        ObjectStore::default()
+    }
+
+    /// The id the next [`ObjectStore::register`] call will assign —
+    /// admission control evaluates constraints against it before the
+    /// object actually joins the table.
+    #[must_use]
+    pub fn peek_next_id(&self) -> ObjectId {
+        ObjectId::new(self.next_id)
+    }
+
+    /// Registers an object, assigning the next id.
+    pub fn register(&mut self, spec: ObjectSpec, now: Time) -> ObjectId {
+        let id = ObjectId::new(self.next_id);
+        self.next_id += 1;
+        self.entries.insert(
+            id,
+            ObjectEntry {
+                spec,
+                value: None,
+                registered_at: now,
+            },
+        );
+        id
+    }
+
+    /// Registers an object under a caller-chosen id (used when installing
+    /// a state snapshot on a new backup, which must preserve ids).
+    ///
+    /// Keeps the id counter ahead of every explicit id.
+    pub fn register_with_id(&mut self, id: ObjectId, spec: ObjectSpec, now: Time) {
+        self.next_id = self.next_id.max(id.index() + 1);
+        self.entries.insert(
+            id,
+            ObjectEntry {
+                spec,
+                value: None,
+                registered_at: now,
+            },
+        );
+    }
+
+    /// Removes an object from the table.
+    pub fn deregister(&mut self, id: ObjectId) -> Option<ObjectEntry> {
+        self.entries.remove(&id)
+    }
+
+    /// Applies a new image if it is newer than the current one.
+    ///
+    /// Returns `true` if the image was installed, `false` if it was stale
+    /// (older or equal version — e.g. a retransmitted duplicate) or the
+    /// object is unknown.
+    pub fn apply(&mut self, id: ObjectId, value: ObjectValue) -> bool {
+        match self.entries.get_mut(&id) {
+            Some(entry) if value.version() > entry.version() => {
+                entry.value = Some(value);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The entry for `id`, if registered.
+    #[must_use]
+    pub fn get(&self, id: ObjectId) -> Option<&ObjectEntry> {
+        self.entries.get(&id)
+    }
+
+    /// Number of registered objects.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no objects are registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(id, entry)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (ObjectId, &ObjectEntry)> {
+        self.entries.iter().map(|(&id, e)| (id, e))
+    }
+
+    /// All registered ids, in order.
+    pub fn ids(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.entries.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(name: &str) -> ObjectSpec {
+        ObjectSpec::builder(name)
+            .update_period(TimeDelta::from_millis(100))
+            .primary_bound(TimeDelta::from_millis(150))
+            .backup_bound(TimeDelta::from_millis(550))
+            .build()
+            .unwrap()
+    }
+
+    fn val(version: u64, ms: u64) -> ObjectValue {
+        ObjectValue::new(Version::new(version), Time::from_millis(ms), vec![version as u8])
+    }
+
+    #[test]
+    fn register_assigns_sequential_ids() {
+        let mut s = ObjectStore::new();
+        let a = s.register(spec("a"), Time::ZERO);
+        let b = s.register(spec("b"), Time::ZERO);
+        assert_eq!(a, ObjectId::new(0));
+        assert_eq!(b, ObjectId::new(1));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(a).unwrap().spec().name(), "a");
+    }
+
+    #[test]
+    fn fresh_entry_has_no_value() {
+        let mut s = ObjectStore::new();
+        let id = s.register(spec("a"), Time::from_millis(3));
+        let e = s.get(id).unwrap();
+        assert!(e.value().is_none());
+        assert_eq!(e.version(), Version::INITIAL);
+        assert_eq!(e.staleness(Time::from_millis(10)), None);
+        assert_eq!(e.registered_at(), Time::from_millis(3));
+    }
+
+    #[test]
+    fn apply_installs_newer_versions_only() {
+        let mut s = ObjectStore::new();
+        let id = s.register(spec("a"), Time::ZERO);
+        assert!(s.apply(id, val(1, 10)));
+        assert!(s.apply(id, val(3, 30)));
+        // Stale reordered update: rejected.
+        assert!(!s.apply(id, val(2, 20)));
+        // Duplicate: rejected.
+        assert!(!s.apply(id, val(3, 30)));
+        assert_eq!(s.get(id).unwrap().version(), Version::new(3));
+    }
+
+    #[test]
+    fn apply_to_unknown_object_is_rejected() {
+        let mut s = ObjectStore::new();
+        assert!(!s.apply(ObjectId::new(5), val(1, 1)));
+    }
+
+    #[test]
+    fn staleness_tracks_timestamp() {
+        let mut s = ObjectStore::new();
+        let id = s.register(spec("a"), Time::ZERO);
+        s.apply(id, val(1, 10));
+        assert_eq!(
+            s.get(id).unwrap().staleness(Time::from_millis(25)),
+            Some(TimeDelta::from_millis(15))
+        );
+    }
+
+    #[test]
+    fn deregister_removes_entry() {
+        let mut s = ObjectStore::new();
+        let id = s.register(spec("a"), Time::ZERO);
+        assert!(s.deregister(id).is_some());
+        assert!(s.deregister(id).is_none());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn register_with_id_preserves_ids_and_counter() {
+        let mut s = ObjectStore::new();
+        s.register_with_id(ObjectId::new(7), spec("x"), Time::ZERO);
+        let next = s.register(spec("y"), Time::ZERO);
+        assert_eq!(next, ObjectId::new(8));
+        assert_eq!(s.ids().collect::<Vec<_>>(), vec![ObjectId::new(7), next]);
+    }
+
+    #[test]
+    fn iteration_is_in_id_order() {
+        let mut s = ObjectStore::new();
+        s.register(spec("a"), Time::ZERO);
+        s.register(spec("b"), Time::ZERO);
+        s.register(spec("c"), Time::ZERO);
+        let names: Vec<&str> = s.iter().map(|(_, e)| e.spec().name()).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+}

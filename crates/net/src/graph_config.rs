@@ -1,0 +1,206 @@
+//! Textual protocol-graph configuration, x-kernel style.
+//!
+//! The x-kernel's signature feature (paper §4.1): "A given instance of the
+//! x-kernel can be configured by specifying a protocol graph in the
+//! configuration file. A protocol graph declares the protocol objects to
+//! be included ... and their relationships." This module provides that
+//! composition-by-name: a [`ProtocolRegistry`] maps layer names to
+//! factories, and [`ProtocolRegistry::build`] turns a spec like
+//! `"seq/udp"` into a ready [`ProtocolGraph`].
+
+use crate::protocol::{Protocol, ProtocolGraph};
+use crate::udp::{SequencedLayer, UdpLike};
+use core::fmt;
+use std::collections::BTreeMap;
+use std::error::Error;
+
+/// A factory producing one protocol layer instance.
+pub type LayerFactory = Box<dyn Fn() -> Box<dyn Protocol + Send> + Send + Sync>;
+
+/// Why a graph spec failed to build.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphConfigError {
+    /// The spec was empty (no layers).
+    Empty,
+    /// A layer name is not registered.
+    UnknownLayer(String),
+}
+
+impl fmt::Display for GraphConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphConfigError::Empty => write!(f, "protocol graph spec is empty"),
+            GraphConfigError::UnknownLayer(name) => {
+                write!(f, "unknown protocol layer {name:?}")
+            }
+        }
+    }
+}
+
+impl Error for GraphConfigError {}
+
+/// A registry of named protocol-layer factories.
+///
+/// # Examples
+///
+/// Build both endpoints of a stack from one config string:
+///
+/// ```
+/// use rtpb_net::{Message, ProtocolRegistry};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let registry = ProtocolRegistry::with_builtins();
+/// let mut sender = registry.build("seq/udp")?;
+/// let mut receiver = registry.build("seq/udp")?;
+///
+/// let wire = sender.send(Message::from_payload(b"cfg".to_vec()))?;
+/// let up = receiver.receive(wire)?.expect("delivered");
+/// assert_eq!(up.payload(), b"cfg");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Default)]
+pub struct ProtocolRegistry {
+    factories: BTreeMap<String, LayerFactory>,
+}
+
+impl fmt::Debug for ProtocolRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ProtocolRegistry")
+            .field("layers", &self.names())
+            .finish()
+    }
+}
+
+impl ProtocolRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        ProtocolRegistry::default()
+    }
+
+    /// A registry pre-loaded with the built-in layers: `"udp"`
+    /// ([`UdpLike`]) and `"seq"` ([`SequencedLayer`]).
+    #[must_use]
+    pub fn with_builtins() -> Self {
+        let mut r = ProtocolRegistry::new();
+        r.register("udp", || Box::new(UdpLike::new()));
+        r.register("seq", || Box::new(SequencedLayer::new()));
+        r
+    }
+
+    /// Registers (or replaces) a layer factory under `name`.
+    pub fn register<F, P>(&mut self, name: impl Into<String>, factory: F)
+    where
+        F: Fn() -> Box<P> + Send + Sync + 'static,
+        P: Protocol + Send + 'static,
+    {
+        self.factories.insert(
+            name.into(),
+            Box::new(move || factory() as Box<dyn Protocol + Send>),
+        );
+    }
+
+    /// The registered layer names, sorted.
+    #[must_use]
+    pub fn names(&self) -> Vec<&str> {
+        self.factories.keys().map(String::as_str).collect()
+    }
+
+    /// Builds a graph from a `/`-separated spec, top (application-nearest)
+    /// layer first — e.g. `"seq/udp"`. Whitespace around names is
+    /// ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphConfigError`] for an empty spec or an unregistered
+    /// name.
+    pub fn build(&self, spec: &str) -> Result<ProtocolGraph, GraphConfigError> {
+        let names: Vec<&str> = spec
+            .split('/')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .collect();
+        if names.is_empty() {
+            return Err(GraphConfigError::Empty);
+        }
+        let mut builder = ProtocolGraph::builder();
+        for name in names {
+            let factory = self
+                .factories
+                .get(name)
+                .ok_or_else(|| GraphConfigError::UnknownLayer(name.to_string()))?;
+            builder = builder.layer_boxed(factory());
+        }
+        Ok(builder.build())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Message;
+    use crate::protocol::ProtocolError;
+
+    #[test]
+    fn builtins_compose_by_name() {
+        let registry = ProtocolRegistry::with_builtins();
+        let graph = registry.build("seq/udp").unwrap();
+        assert_eq!(graph.describe(), "seq/udp");
+        assert_eq!(graph.depth(), 2);
+    }
+
+    #[test]
+    fn whitespace_and_order_are_respected() {
+        let registry = ProtocolRegistry::with_builtins();
+        let graph = registry.build(" udp / seq ").unwrap();
+        assert_eq!(graph.describe(), "udp/seq");
+    }
+
+    #[test]
+    fn unknown_layer_is_an_error() {
+        let registry = ProtocolRegistry::with_builtins();
+        assert_eq!(
+            registry.build("rtpb/udp").unwrap_err(),
+            GraphConfigError::UnknownLayer("rtpb".into())
+        );
+        assert_eq!(registry.build("").unwrap_err(), GraphConfigError::Empty);
+        assert_eq!(registry.build(" / ").unwrap_err(), GraphConfigError::Empty);
+    }
+
+    #[test]
+    fn custom_layers_can_be_registered() {
+        struct Tag;
+        impl Protocol for Tag {
+            fn name(&self) -> &'static str {
+                "tag"
+            }
+            fn push(&mut self, mut msg: Message) -> Result<Message, ProtocolError> {
+                msg.push_header(&[0xAA]);
+                Ok(msg)
+            }
+            fn pop(&mut self, mut msg: Message) -> Result<Option<Message>, ProtocolError> {
+                msg.pop_header()
+                    .ok_or(ProtocolError::MissingHeader { layer: "tag" })?;
+                Ok(Some(msg))
+            }
+        }
+        let mut registry = ProtocolRegistry::with_builtins();
+        registry.register("tag", || Box::new(Tag));
+        assert_eq!(registry.names(), vec!["seq", "tag", "udp"]);
+        let mut graph = registry.build("tag/udp").unwrap();
+        let wire = graph.send(Message::from_payload(vec![1])).unwrap();
+        assert_eq!(graph.receive(wire).unwrap().unwrap().payload(), &[1]);
+    }
+
+    #[test]
+    fn built_graphs_are_independent_instances() {
+        // Each build produces fresh layer state (sequence counters).
+        let registry = ProtocolRegistry::with_builtins();
+        let mut a = registry.build("seq").unwrap();
+        let mut b = registry.build("seq").unwrap();
+        let w1 = a.send(Message::from_payload(vec![1])).unwrap();
+        // b's receiver expects seq 0 too — independent stream.
+        assert!(b.receive(w1).unwrap().is_some());
+    }
+}

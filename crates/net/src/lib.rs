@@ -1,0 +1,56 @@
+//! An x-kernel-inspired protocol stack and a lossy bounded-delay link.
+//!
+//! The paper's prototype is "a user-level x-kernel based server": the RTPB
+//! protocol is an *anchor protocol* composed above UDP in an explicit
+//! protocol graph (paper §4.1, citing Hutchinson & Peterson). This crate
+//! reproduces that substrate:
+//!
+//! - [`Message`]: a payload plus a stack of headers, manipulated with the
+//!   x-kernel's push/pop discipline as a message moves down and up the
+//!   stack.
+//! - [`Protocol`] and [`ProtocolGraph`]: the uniform protocol interface and
+//!   a composable linear graph of protocol layers.
+//! - Concrete layers: [`UdpLike`] (unreliable datagrams with a
+//!   length/checksum header) and [`SequencedLayer`] (sequence numbers for
+//!   gap detection — how the backup notices lost updates and requests
+//!   retransmission).
+//! - [`LossyLink`]: the network model — Bernoulli loss and uniformly
+//!   distributed delay bounded by `ℓ`, the communication-delay bound all
+//!   of the paper's backup-consistency results assume.
+//!
+//! # Examples
+//!
+//! ```
+//! use rtpb_net::{Message, ProtocolGraph, SequencedLayer, UdpLike};
+//!
+//! # fn main() -> Result<(), rtpb_net::ProtocolError> {
+//! let mut sender = ProtocolGraph::builder()
+//!     .layer(SequencedLayer::new())
+//!     .layer(UdpLike::new())
+//!     .build();
+//! let mut receiver = ProtocolGraph::builder()
+//!     .layer(SequencedLayer::new())
+//!     .layer(UdpLike::new())
+//!     .build();
+//!
+//! let wire = sender.send(Message::from_payload(b"update v1".to_vec()))?;
+//! let delivered = receiver.receive(wire)?.expect("not consumed");
+//! assert_eq!(delivered.payload(), b"update v1");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod graph_config;
+mod link;
+mod message;
+mod protocol;
+mod udp;
+
+pub use graph_config::{GraphConfigError, LayerFactory, ProtocolRegistry};
+pub use link::{LinkConfig, LinkOutcome, LossyLink};
+pub use message::Message;
+pub use protocol::{Protocol, ProtocolError, ProtocolGraph, ProtocolGraphBuilder};
+pub use udp::{SequencedLayer, UdpLike};

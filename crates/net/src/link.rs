@@ -1,0 +1,320 @@
+//! The lossy, bounded-delay link model.
+//!
+//! The paper's network assumptions (§4.1): link failures are masked by
+//! physical redundancy (no partitions), an upper bound `ℓ` exists on the
+//! communication delay, and missed deadlines are performance failures.
+//! The evaluation then sweeps the probability of message loss (§5.2–5.3).
+//! [`LossyLink`] models exactly that: per-message Bernoulli loss and a
+//! uniformly distributed delay within `[delay_min, delay_max = ℓ]`, plus
+//! an optional per-byte serialization cost.
+
+use core::fmt;
+use rtpb_sim::SimRng;
+use rtpb_types::{Time, TimeDelta};
+
+/// Configuration of one direction of a link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkConfig {
+    /// Probability that a message is silently lost (0.0–1.0).
+    pub loss_probability: f64,
+    /// Minimum propagation delay.
+    pub delay_min: TimeDelta,
+    /// Maximum propagation delay — the paper's bound `ℓ`.
+    pub delay_max: TimeDelta,
+    /// Serialization rate in bytes per second; `None` for infinite
+    /// bandwidth (size-independent delay).
+    pub bytes_per_second: Option<u64>,
+}
+
+impl Default for LinkConfig {
+    /// A quiet LAN: no loss, 1–10 ms delay, infinite bandwidth.
+    fn default() -> Self {
+        LinkConfig {
+            loss_probability: 0.0,
+            delay_min: TimeDelta::from_millis(1),
+            delay_max: TimeDelta::from_millis(10),
+            bytes_per_second: None,
+        }
+    }
+}
+
+impl LinkConfig {
+    /// The delay bound `ℓ` this link guarantees for delivered messages of
+    /// size `size_bytes`.
+    #[must_use]
+    pub fn delay_bound(&self, size_bytes: usize) -> TimeDelta {
+        self.delay_max + self.serialization_delay(size_bytes)
+    }
+
+    fn serialization_delay(&self, size_bytes: usize) -> TimeDelta {
+        match self.bytes_per_second {
+            Some(rate) if rate > 0 => {
+                TimeDelta::from_nanos((size_bytes as u128 * 1_000_000_000 / rate as u128) as u64)
+            }
+            _ => TimeDelta::ZERO,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(
+            (0.0..=1.0).contains(&self.loss_probability),
+            "loss probability must be within [0, 1]"
+        );
+        assert!(
+            self.delay_min <= self.delay_max,
+            "delay_min must not exceed delay_max"
+        );
+    }
+}
+
+/// The fate of one transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkOutcome {
+    /// The message arrives at this absolute time.
+    Delivered(Time),
+    /// The message is silently lost.
+    Lost,
+}
+
+impl LinkOutcome {
+    /// The arrival time, if delivered.
+    #[must_use]
+    pub fn arrival(self) -> Option<Time> {
+        match self {
+            LinkOutcome::Delivered(t) => Some(t),
+            LinkOutcome::Lost => None,
+        }
+    }
+
+    /// Whether the message was lost.
+    #[must_use]
+    pub fn is_lost(self) -> bool {
+        matches!(self, LinkOutcome::Lost)
+    }
+}
+
+/// One direction of a point-to-point link with Bernoulli loss and bounded
+/// uniform delay.
+///
+/// Deterministic: the fate of the `k`-th transmission is a function of the
+/// seed, so simulation runs replay exactly.
+///
+/// # Examples
+///
+/// ```
+/// use rtpb_net::{LinkConfig, LossyLink};
+/// use rtpb_types::{Time, TimeDelta};
+///
+/// let mut link = LossyLink::new(LinkConfig::default(), 42);
+/// let outcome = link.transmit(Time::from_millis(100), 64);
+/// let arrival = outcome.arrival().expect("default link never loses");
+/// let delay = arrival - Time::from_millis(100);
+/// assert!(delay >= TimeDelta::from_millis(1) && delay <= TimeDelta::from_millis(10));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LossyLink {
+    config: LinkConfig,
+    rng: SimRng,
+    sent: u64,
+    lost: u64,
+}
+
+impl LossyLink {
+    /// Creates a link with the given behaviour and random seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config is invalid (loss probability outside [0, 1]
+    /// or `delay_min > delay_max`).
+    #[must_use]
+    pub fn new(config: LinkConfig, seed: u64) -> Self {
+        config.validate();
+        LossyLink {
+            config,
+            rng: SimRng::seed_from(seed),
+            sent: 0,
+            lost: 0,
+        }
+    }
+
+    /// Decides the fate of a message of `size_bytes` sent at `now`.
+    pub fn transmit(&mut self, now: Time, size_bytes: usize) -> LinkOutcome {
+        self.sent += 1;
+        if self.rng.chance(self.config.loss_probability) {
+            self.lost += 1;
+            return LinkOutcome::Lost;
+        }
+        let propagation = self
+            .rng
+            .delay_between(self.config.delay_min, self.config.delay_max);
+        let delay = propagation + self.config.serialization_delay(size_bytes);
+        LinkOutcome::Delivered(now + delay)
+    }
+
+    /// The link configuration.
+    #[must_use]
+    pub fn config(&self) -> &LinkConfig {
+        &self.config
+    }
+
+    /// Replaces the loss probability mid-run (used by sweep harnesses).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside [0, 1].
+    pub fn set_loss_probability(&mut self, p: f64) {
+        assert!((0.0..=1.0).contains(&p), "loss probability must be within [0, 1]");
+        self.config.loss_probability = p;
+    }
+
+    /// Messages offered to the link so far.
+    #[must_use]
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Messages lost so far.
+    #[must_use]
+    pub fn lost(&self) -> u64 {
+        self.lost
+    }
+
+    /// Observed loss rate so far (0 if nothing sent).
+    #[must_use]
+    pub fn observed_loss_rate(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            self.lost as f64 / self.sent as f64
+        }
+    }
+}
+
+impl fmt::Display for LossyLink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "link(loss={:.1}%, delay=[{}, {}])",
+            self.config.loss_probability * 100.0,
+            self.config.delay_min,
+            self.config.delay_max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(loss: f64) -> LinkConfig {
+        LinkConfig {
+            loss_probability: loss,
+            ..LinkConfig::default()
+        }
+    }
+
+    #[test]
+    fn lossless_link_delivers_everything_within_bound() {
+        let mut link = LossyLink::new(cfg(0.0), 1);
+        for k in 0..1000u64 {
+            let now = Time::from_millis(k * 10);
+            let outcome = link.transmit(now, 64);
+            let arrival = outcome.arrival().expect("no loss configured");
+            let delay = arrival - now;
+            assert!(delay >= TimeDelta::from_millis(1));
+            assert!(delay <= link.config().delay_bound(64));
+        }
+        assert_eq!(link.lost(), 0);
+        assert_eq!(link.sent(), 1000);
+    }
+
+    #[test]
+    fn total_loss_drops_everything() {
+        let mut link = LossyLink::new(cfg(1.0), 1);
+        for _ in 0..100 {
+            assert!(link.transmit(Time::ZERO, 1).is_lost());
+        }
+        assert!((link.observed_loss_rate() - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn loss_rate_approximates_configuration() {
+        let mut link = LossyLink::new(cfg(0.1), 7);
+        for _ in 0..10_000 {
+            let _ = link.transmit(Time::ZERO, 1);
+        }
+        let rate = link.observed_loss_rate();
+        assert!((0.08..=0.12).contains(&rate), "observed {rate}");
+    }
+
+    #[test]
+    fn same_seed_same_fate_sequence() {
+        let run = |seed| {
+            let mut link = LossyLink::new(cfg(0.3), seed);
+            (0..200)
+                .map(|_| link.transmit(Time::ZERO, 8))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn serialization_delay_scales_with_size() {
+        let config = LinkConfig {
+            bytes_per_second: Some(1_000_000), // 1 MB/s → 1 µs per byte
+            delay_min: TimeDelta::from_millis(1),
+            delay_max: TimeDelta::from_millis(1),
+            loss_probability: 0.0,
+        };
+        let mut link = LossyLink::new(config, 1);
+        let a = link
+            .transmit(Time::ZERO, 1000)
+            .arrival()
+            .unwrap();
+        // 1 ms propagation + 1 ms serialization.
+        assert_eq!(a, Time::from_millis(2));
+        assert_eq!(config.delay_bound(1000), TimeDelta::from_millis(2));
+    }
+
+    #[test]
+    fn set_loss_probability_takes_effect() {
+        let mut link = LossyLink::new(cfg(0.0), 3);
+        assert!(!link.transmit(Time::ZERO, 1).is_lost());
+        link.set_loss_probability(1.0);
+        assert!(link.transmit(Time::ZERO, 1).is_lost());
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn invalid_loss_probability_panics() {
+        let _ = LossyLink::new(cfg(1.5), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "delay_min")]
+    fn inverted_delay_range_panics() {
+        let config = LinkConfig {
+            delay_min: TimeDelta::from_millis(10),
+            delay_max: TimeDelta::from_millis(1),
+            ..LinkConfig::default()
+        };
+        let _ = LossyLink::new(config, 1);
+    }
+
+    #[test]
+    fn display_shows_parameters() {
+        let link = LossyLink::new(cfg(0.25), 1);
+        assert_eq!(link.to_string(), "link(loss=25.0%, delay=[1ms, 10ms])");
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        assert_eq!(
+            LinkOutcome::Delivered(Time::from_millis(5)).arrival(),
+            Some(Time::from_millis(5))
+        );
+        assert_eq!(LinkOutcome::Lost.arrival(), None);
+        assert!(LinkOutcome::Lost.is_lost());
+    }
+}

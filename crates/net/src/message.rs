@@ -1,0 +1,133 @@
+//! Messages with x-kernel-style header stacks.
+
+use bytes::Bytes;
+
+/// A network message: an opaque payload plus a stack of protocol headers.
+///
+/// Following the x-kernel discipline, each protocol layer *pushes* its
+/// header as the message travels down the sender's stack and *pops* it as
+/// the message travels up the receiver's stack. Headers are length-framed
+/// internally, so a layer always pops exactly what its peer pushed.
+///
+/// # Examples
+///
+/// ```
+/// use rtpb_net::Message;
+///
+/// let mut msg = Message::from_payload(b"state".to_vec());
+/// msg.push_header(&[0xAB, 0xCD]);
+/// msg.push_header(&[0x01]);
+/// assert_eq!(msg.pop_header().as_deref(), Some(&[0x01][..]));
+/// assert_eq!(msg.pop_header().as_deref(), Some(&[0xAB, 0xCD][..]));
+/// assert_eq!(msg.pop_header(), None);
+/// assert_eq!(msg.payload(), b"state");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    headers: Vec<Bytes>,
+    payload: Bytes,
+}
+
+impl Message {
+    /// Creates a message with the given payload and no headers.
+    #[must_use]
+    pub fn from_payload(payload: impl Into<Bytes>) -> Self {
+        Message {
+            headers: Vec::new(),
+            payload: payload.into(),
+        }
+    }
+
+    /// The application payload.
+    #[must_use]
+    pub fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+
+    /// Pushes a header onto the stack (outbound processing).
+    pub fn push_header(&mut self, header: &[u8]) {
+        self.headers.push(Bytes::copy_from_slice(header));
+    }
+
+    /// Pops the most recently pushed header (inbound processing).
+    #[must_use]
+    pub fn pop_header(&mut self) -> Option<Bytes> {
+        self.headers.pop()
+    }
+
+    /// The most recently pushed header, without removing it.
+    #[must_use]
+    pub fn peek_header(&self) -> Option<&[u8]> {
+        self.headers.last().map(|h| h.as_ref())
+    }
+
+    /// Number of headers currently on the stack.
+    #[must_use]
+    pub fn header_depth(&self) -> usize {
+        self.headers.len()
+    }
+
+    /// Total size on the wire: payload plus all headers.
+    #[must_use]
+    pub fn wire_size(&self) -> usize {
+        self.payload.len() + self.headers.iter().map(Bytes::len).sum::<usize>()
+    }
+
+    /// Consumes the message and returns the payload.
+    #[must_use]
+    pub fn into_payload(self) -> Bytes {
+        self.payload
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_round_trip() {
+        let m = Message::from_payload(vec![1, 2, 3]);
+        assert_eq!(m.payload(), &[1, 2, 3]);
+        assert_eq!(m.into_payload().as_ref(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn headers_are_lifo() {
+        let mut m = Message::from_payload(Vec::new());
+        m.push_header(b"inner");
+        m.push_header(b"outer");
+        assert_eq!(m.header_depth(), 2);
+        assert_eq!(m.peek_header(), Some(&b"outer"[..]));
+        assert_eq!(m.pop_header().as_deref(), Some(&b"outer"[..]));
+        assert_eq!(m.pop_header().as_deref(), Some(&b"inner"[..]));
+        assert_eq!(m.pop_header(), None);
+    }
+
+    #[test]
+    fn wire_size_counts_everything() {
+        let mut m = Message::from_payload(vec![0u8; 100]);
+        assert_eq!(m.wire_size(), 100);
+        m.push_header(&[0u8; 8]);
+        m.push_header(&[0u8; 4]);
+        assert_eq!(m.wire_size(), 112);
+        let _ = m.pop_header();
+        assert_eq!(m.wire_size(), 108);
+    }
+
+    #[test]
+    fn empty_payload_is_fine() {
+        let m = Message::from_payload(Vec::new());
+        assert_eq!(m.payload(), b"");
+        assert_eq!(m.wire_size(), 0);
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let mut a = Message::from_payload(vec![9]);
+        a.push_header(b"h");
+        let mut b = a.clone();
+        let _ = b.pop_header();
+        assert_eq!(a.header_depth(), 1);
+        assert_eq!(b.header_depth(), 0);
+    }
+}

@@ -1,0 +1,367 @@
+//! Concrete protocol layers: an unreliable datagram layer and a
+//! sequence-numbering layer.
+
+use crate::message::Message;
+use crate::protocol::{Protocol, ProtocolError};
+
+const UDP_MAGIC: u8 = 0x55;
+
+/// An unreliable datagram layer modeled on UDP (the paper's transport,
+/// §4.1): frames the payload with a magic byte, a 16-bit length, and a
+/// 16-bit ones'-complement-style checksum. Provides integrity detection
+/// but **no** reliability — loss is the link's business, retransmission is
+/// the application's (§4.3: "Since UDP does not provide reliable delivery
+/// of messages, we need to use explicit acknowledgments when necessary").
+///
+/// # Examples
+///
+/// ```
+/// use rtpb_net::{Message, Protocol, UdpLike};
+///
+/// # fn main() -> Result<(), rtpb_net::ProtocolError> {
+/// let mut udp = UdpLike::new();
+/// let wire = udp.push(Message::from_payload(b"hello".to_vec()))?;
+/// let up = udp.pop(wire)?.expect("udp never consumes");
+/// assert_eq!(up.payload(), b"hello");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct UdpLike {
+    sent: u64,
+    received: u64,
+    rejected: u64,
+}
+
+impl UdpLike {
+    /// Creates the layer.
+    #[must_use]
+    pub fn new() -> Self {
+        UdpLike::default()
+    }
+
+    /// Datagrams sent through this layer.
+    #[must_use]
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Datagrams accepted inbound.
+    #[must_use]
+    pub fn received(&self) -> u64 {
+        self.received
+    }
+
+    /// Inbound datagrams rejected (bad header or checksum).
+    #[must_use]
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    fn checksum(payload: &[u8]) -> u16 {
+        let mut sum: u32 = 0;
+        for chunk in payload.chunks(2) {
+            let word = u32::from(chunk[0]) << 8 | u32::from(*chunk.get(1).unwrap_or(&0));
+            sum += word;
+            sum = (sum & 0xFFFF) + (sum >> 16);
+        }
+        !(sum as u16)
+    }
+}
+
+impl Protocol for UdpLike {
+    fn name(&self) -> &'static str {
+        "udp"
+    }
+
+    fn push(&mut self, mut msg: Message) -> Result<Message, ProtocolError> {
+        if msg.wire_size() > usize::from(u16::MAX) {
+            return Err(ProtocolError::CorruptHeader {
+                layer: "udp",
+                reason: format!("datagram too large: {} bytes", msg.wire_size()),
+            });
+        }
+        let len = msg.payload().len() as u16;
+        let sum = Self::checksum(msg.payload());
+        let header = [
+            UDP_MAGIC,
+            (len >> 8) as u8,
+            (len & 0xFF) as u8,
+            (sum >> 8) as u8,
+            (sum & 0xFF) as u8,
+        ];
+        msg.push_header(&header);
+        self.sent += 1;
+        Ok(msg)
+    }
+
+    fn pop(&mut self, mut msg: Message) -> Result<Option<Message>, ProtocolError> {
+        let header = msg.pop_header().ok_or_else(|| {
+            self.rejected += 1;
+            ProtocolError::MissingHeader { layer: "udp" }
+        })?;
+        if header.len() != 5 || header[0] != UDP_MAGIC {
+            self.rejected += 1;
+            return Err(ProtocolError::CorruptHeader {
+                layer: "udp",
+                reason: "bad magic or header length".into(),
+            });
+        }
+        let len = u16::from(header[1]) << 8 | u16::from(header[2]);
+        if usize::from(len) != msg.payload().len() {
+            self.rejected += 1;
+            return Err(ProtocolError::CorruptHeader {
+                layer: "udp",
+                reason: format!(
+                    "length mismatch: header says {len}, payload is {}",
+                    msg.payload().len()
+                ),
+            });
+        }
+        let sum = u16::from(header[3]) << 8 | u16::from(header[4]);
+        if sum != Self::checksum(msg.payload()) {
+            self.rejected += 1;
+            return Err(ProtocolError::CorruptHeader {
+                layer: "udp",
+                reason: "checksum mismatch".into(),
+            });
+        }
+        self.received += 1;
+        Ok(Some(msg))
+    }
+}
+
+/// A sequence-numbering layer: stamps outbound messages with a 64-bit
+/// sequence number; inbound, it suppresses duplicates and stale reorders
+/// and counts gaps.
+///
+/// This is how the RTPB backup detects update loss (§4.3: retransmission
+/// is "triggered by a request from the backup" — the request fires when
+/// this layer reports a gap).
+///
+/// # Examples
+///
+/// ```
+/// use rtpb_net::{Message, Protocol, SequencedLayer};
+///
+/// # fn main() -> Result<(), rtpb_net::ProtocolError> {
+/// let mut tx = SequencedLayer::new();
+/// let mut rx = SequencedLayer::new();
+/// let w0 = tx.push(Message::from_payload(b"a".to_vec()))?;
+/// let w1 = tx.push(Message::from_payload(b"b".to_vec()))?;
+/// // w0 is lost; w1 arrives: delivered, and the gap is recorded.
+/// assert!(rx.pop(w1)?.is_some());
+/// assert_eq!(rx.gaps_detected(), 1);
+/// // A duplicate of w0 arriving late is consumed, not delivered.
+/// assert!(rx.pop(w0)?.is_none());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SequencedLayer {
+    next_tx: u64,
+    highest_rx: Option<u64>,
+    gaps_detected: u64,
+    duplicates_dropped: u64,
+}
+
+impl SequencedLayer {
+    /// Creates the layer with sequence numbers starting at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        SequencedLayer::default()
+    }
+
+    /// Cumulative count of sequence gaps seen inbound.
+    #[must_use]
+    pub fn gaps_detected(&self) -> u64 {
+        self.gaps_detected
+    }
+
+    /// Cumulative count of duplicate/stale messages suppressed.
+    #[must_use]
+    pub fn duplicates_dropped(&self) -> u64 {
+        self.duplicates_dropped
+    }
+
+    /// The highest sequence number accepted so far.
+    #[must_use]
+    pub fn highest_received(&self) -> Option<u64> {
+        self.highest_rx
+    }
+}
+
+impl Protocol for SequencedLayer {
+    fn name(&self) -> &'static str {
+        "seq"
+    }
+
+    fn push(&mut self, mut msg: Message) -> Result<Message, ProtocolError> {
+        msg.push_header(&self.next_tx.to_be_bytes());
+        self.next_tx += 1;
+        Ok(msg)
+    }
+
+    fn pop(&mut self, mut msg: Message) -> Result<Option<Message>, ProtocolError> {
+        let header = msg
+            .pop_header()
+            .ok_or(ProtocolError::MissingHeader { layer: "seq" })?;
+        let bytes: [u8; 8] = header.as_ref().try_into().map_err(|_| {
+            ProtocolError::CorruptHeader {
+                layer: "seq",
+                reason: format!("sequence header is {} bytes, expected 8", header.len()),
+            }
+        })?;
+        let seq = u64::from_be_bytes(bytes);
+        match self.highest_rx {
+            Some(high) if seq <= high => {
+                self.duplicates_dropped += 1;
+                Ok(None)
+            }
+            Some(high) => {
+                if seq > high + 1 {
+                    self.gaps_detected += seq - high - 1;
+                }
+                self.highest_rx = Some(seq);
+                Ok(Some(msg))
+            }
+            None => {
+                if seq > 0 {
+                    self.gaps_detected += seq;
+                }
+                self.highest_rx = Some(seq);
+                Ok(Some(msg))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn udp_round_trip_preserves_payload() {
+        let mut udp = UdpLike::new();
+        let wire = udp.push(Message::from_payload(vec![1, 2, 3, 4, 5])).unwrap();
+        assert_eq!(wire.header_depth(), 1);
+        let up = udp.pop(wire).unwrap().unwrap();
+        assert_eq!(up.payload(), &[1, 2, 3, 4, 5]);
+        assert_eq!(udp.sent(), 1);
+        assert_eq!(udp.received(), 1);
+        assert_eq!(udp.rejected(), 0);
+    }
+
+    #[test]
+    fn udp_detects_length_tampering() {
+        let mut udp = UdpLike::new();
+        let wire = udp.push(Message::from_payload(vec![9; 10])).unwrap();
+        // Rebuild a message with a truncated payload under the same header.
+        let mut bad = Message::from_payload(vec![9; 9]);
+        let mut w = wire;
+        let h = w.pop_header().unwrap();
+        bad.push_header(&h);
+        let err = udp.pop(bad).unwrap_err();
+        assert!(matches!(err, ProtocolError::CorruptHeader { .. }));
+        assert_eq!(udp.rejected(), 1);
+    }
+
+    #[test]
+    fn udp_detects_payload_corruption() {
+        let mut udp = UdpLike::new();
+        let mut wire = udp.push(Message::from_payload(vec![1, 2, 3])).unwrap();
+        let h = wire.pop_header().unwrap();
+        let mut corrupted = Message::from_payload(vec![1, 2, 4]);
+        corrupted.push_header(&h);
+        let err = udp.pop(corrupted).unwrap_err();
+        assert!(err.to_string().contains("checksum"));
+    }
+
+    #[test]
+    fn udp_rejects_foreign_header() {
+        let mut udp = UdpLike::new();
+        let mut msg = Message::from_payload(Vec::new());
+        msg.push_header(&[0xFF, 0, 0, 0, 0]);
+        assert!(udp.pop(msg).is_err());
+        let mut no_header = Message::from_payload(Vec::new());
+        no_header.push_header(&[]);
+        assert!(udp.pop(no_header).is_err());
+    }
+
+    #[test]
+    fn udp_rejects_oversized_datagram() {
+        let mut udp = UdpLike::new();
+        let err = udp
+            .push(Message::from_payload(vec![0; 70_000]))
+            .unwrap_err();
+        assert!(err.to_string().contains("too large"));
+    }
+
+    #[test]
+    fn udp_checksum_odd_length() {
+        let mut udp = UdpLike::new();
+        let wire = udp.push(Message::from_payload(vec![7])).unwrap();
+        assert!(udp.pop(wire).unwrap().is_some());
+    }
+
+    #[test]
+    fn seq_in_order_delivery() {
+        let mut tx = SequencedLayer::new();
+        let mut rx = SequencedLayer::new();
+        for i in 0..5u8 {
+            let w = tx.push(Message::from_payload(vec![i])).unwrap();
+            let up = rx.pop(w).unwrap().unwrap();
+            assert_eq!(up.payload(), &[i]);
+        }
+        assert_eq!(rx.gaps_detected(), 0);
+        assert_eq!(rx.duplicates_dropped(), 0);
+        assert_eq!(rx.highest_received(), Some(4));
+    }
+
+    #[test]
+    fn seq_counts_gaps_per_missing_message() {
+        let mut tx = SequencedLayer::new();
+        let mut rx = SequencedLayer::new();
+        let w0 = tx.push(Message::from_payload(vec![0])).unwrap();
+        let _w1 = tx.push(Message::from_payload(vec![1])).unwrap();
+        let _w2 = tx.push(Message::from_payload(vec![2])).unwrap();
+        let w3 = tx.push(Message::from_payload(vec![3])).unwrap();
+        assert!(rx.pop(w0).unwrap().is_some());
+        // w1, w2 lost.
+        assert!(rx.pop(w3).unwrap().is_some());
+        assert_eq!(rx.gaps_detected(), 2);
+    }
+
+    #[test]
+    fn seq_suppresses_duplicates_and_reorders() {
+        let mut tx = SequencedLayer::new();
+        let mut rx = SequencedLayer::new();
+        let w0 = tx.push(Message::from_payload(vec![0])).unwrap();
+        let w1 = tx.push(Message::from_payload(vec![1])).unwrap();
+        assert!(rx.pop(w1).unwrap().is_some());
+        assert!(rx.pop(w0.clone()).unwrap().is_none()); // stale reorder
+        assert!(rx.pop(w0).unwrap().is_none()); // duplicate
+        assert_eq!(rx.duplicates_dropped(), 2);
+    }
+
+    #[test]
+    fn seq_loss_of_first_message_counts() {
+        let mut tx = SequencedLayer::new();
+        let mut rx = SequencedLayer::new();
+        let _w0 = tx.push(Message::from_payload(vec![0])).unwrap();
+        let w1 = tx.push(Message::from_payload(vec![1])).unwrap();
+        assert!(rx.pop(w1).unwrap().is_some());
+        assert_eq!(rx.gaps_detected(), 1);
+    }
+
+    #[test]
+    fn seq_rejects_malformed_header() {
+        let mut rx = SequencedLayer::new();
+        let mut msg = Message::from_payload(Vec::new());
+        msg.push_header(&[1, 2, 3]);
+        assert!(rx.pop(msg).is_err());
+        assert!(rx
+            .pop(Message::from_payload(Vec::new()))
+            .is_err());
+    }
+}

@@ -1,0 +1,191 @@
+//! A real-time lossy link: a thread that delays and drops messages.
+
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rtpb_net::LinkConfig;
+use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
+
+struct Pending {
+    due: Instant,
+    seq: u64,
+    bytes: Vec<u8>,
+}
+
+impl PartialEq for Pending {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl Eq for Pending {}
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap on (due, seq).
+        (other.due, other.seq).cmp(&(self.due, self.seq))
+    }
+}
+
+/// Spawns a link thread that forwards byte messages from the returned
+/// sender to `out`, applying Bernoulli loss and uniform delay from
+/// `config`. The thread exits when every sender handle is dropped and the
+/// queue drains.
+///
+/// # Examples
+///
+/// ```
+/// use crossbeam::channel::unbounded;
+/// use rtpb_net::LinkConfig;
+/// use rtpb_types::TimeDelta;
+///
+/// let (out_tx, out_rx) = unbounded();
+/// let config = LinkConfig {
+///     delay_min: TimeDelta::from_micros(100),
+///     delay_max: TimeDelta::from_millis(2),
+///     ..LinkConfig::default()
+/// };
+/// let tx = rtpb_rt::spawn_link(config, 7, out_tx);
+/// tx.send(vec![1, 2, 3]).unwrap();
+/// let delivered = out_rx.recv_timeout(std::time::Duration::from_secs(1)).unwrap();
+/// assert_eq!(delivered, vec![1, 2, 3]);
+/// ```
+pub fn spawn_link(config: LinkConfig, seed: u64, out: Sender<Vec<u8>>) -> Sender<Vec<u8>> {
+    let (tx, rx): (Sender<Vec<u8>>, Receiver<Vec<u8>>) = bounded(4096);
+    std::thread::Builder::new()
+        .name("rtpb-link".into())
+        .spawn(move || link_loop(config, seed, &rx, &out))
+        .expect("spawn link thread");
+    tx
+}
+
+fn link_loop(
+    config: LinkConfig,
+    seed: u64,
+    rx: &Receiver<Vec<u8>>,
+    out: &Sender<Vec<u8>>,
+) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut heap: BinaryHeap<Pending> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut disconnected = false;
+    loop {
+        // Deliver everything due.
+        let now = Instant::now();
+        while heap.peek().is_some_and(|p| p.due <= now) {
+            let p = heap.pop().expect("peeked");
+            if out.send(p.bytes).is_err() {
+                return; // receiver gone
+            }
+        }
+        if disconnected && heap.is_empty() {
+            return;
+        }
+        let timeout = heap
+            .peek()
+            .map_or(Duration::from_millis(50), |p| {
+                p.due.saturating_duration_since(Instant::now())
+            });
+        match rx.recv_timeout(timeout) {
+            Ok(bytes) => {
+                let lost = {
+                    let p = config.loss_probability;
+                    p >= 1.0 || (p > 0.0 && rng.gen_bool(p))
+                };
+                if !lost {
+                    let min = config.delay_min.as_nanos();
+                    let max = config.delay_max.as_nanos().max(min);
+                    let delay_ns = if min == max {
+                        min
+                    } else {
+                        rng.gen_range(min..=max)
+                    };
+                    heap.push(Pending {
+                        due: Instant::now() + Duration::from_nanos(delay_ns),
+                        seq,
+                        bytes,
+                    });
+                    seq += 1;
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => disconnected = true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+    use rtpb_types::TimeDelta;
+
+    fn fast_config(loss: f64) -> LinkConfig {
+        LinkConfig {
+            loss_probability: loss,
+            delay_min: TimeDelta::from_micros(100),
+            delay_max: TimeDelta::from_millis(2),
+            bytes_per_second: None,
+        }
+    }
+
+    #[test]
+    fn delivers_messages_with_delay() {
+        let (out_tx, out_rx) = unbounded();
+        let tx = spawn_link(fast_config(0.0), 1, out_tx);
+        let start = Instant::now();
+        for i in 0..10u8 {
+            tx.send(vec![i]).unwrap();
+        }
+        let mut got = Vec::new();
+        for _ in 0..10 {
+            got.push(out_rx.recv_timeout(Duration::from_secs(1)).unwrap()[0]);
+        }
+        got.sort_unstable();
+        assert_eq!(got, (0..10).collect::<Vec<u8>>());
+        assert!(start.elapsed() >= Duration::from_micros(100));
+    }
+
+    #[test]
+    fn total_loss_delivers_nothing() {
+        let (out_tx, out_rx) = unbounded();
+        let tx = spawn_link(fast_config(1.0), 1, out_tx);
+        for i in 0..5u8 {
+            tx.send(vec![i]).unwrap();
+        }
+        assert!(out_rx.recv_timeout(Duration::from_millis(100)).is_err());
+    }
+
+    #[test]
+    fn partial_loss_drops_some() {
+        let (out_tx, out_rx) = unbounded();
+        let tx = spawn_link(fast_config(0.5), 42, out_tx);
+        for i in 0..100u8 {
+            tx.send(vec![i]).unwrap();
+        }
+        drop(tx);
+        let mut received = 0;
+        while out_rx.recv_timeout(Duration::from_millis(200)).is_ok() {
+            received += 1;
+        }
+        assert!((20..=80).contains(&received), "received {received}");
+    }
+
+    #[test]
+    fn thread_exits_when_sender_dropped() {
+        let (out_tx, out_rx) = unbounded();
+        let tx = spawn_link(fast_config(0.0), 1, out_tx);
+        tx.send(vec![9]).unwrap();
+        drop(tx);
+        // Final message still delivered, then the channel closes.
+        assert_eq!(
+            out_rx.recv_timeout(Duration::from_secs(1)).unwrap(),
+            vec![9]
+        );
+        assert!(out_rx.recv_timeout(Duration::from_millis(500)).is_err());
+    }
+}

@@ -1,0 +1,610 @@
+//! The thread-based cluster runtime.
+
+use crate::link::spawn_link;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use rtpb_core::backup::Backup;
+use rtpb_core::config::ProtocolConfig;
+use rtpb_core::metrics::ClusterMetrics;
+use rtpb_core::primary::Primary;
+use rtpb_core::wire::WireMessage;
+use rtpb_net::LinkConfig;
+use rtpb_types::{AdmissionError, NodeId, ObjectId, ObjectSpec, Time, TimeDelta};
+use std::collections::BinaryHeap;
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration for a real-clock run.
+#[derive(Debug, Clone)]
+pub struct RtConfig {
+    /// RTPB protocol parameters.
+    pub protocol: ProtocolConfig,
+    /// Link behaviour in both directions.
+    pub link: LinkConfig,
+    /// Random seed for link loss/delay.
+    pub seed: u64,
+    /// Objects to register before the run starts.
+    pub objects: Vec<ObjectSpec>,
+    /// If set, the primary thread exits this long into the run, and the
+    /// backup is expected to detect the failure and take over.
+    pub crash_primary_after: Option<Duration>,
+}
+
+impl Default for RtConfig {
+    fn default() -> Self {
+        RtConfig {
+            protocol: ProtocolConfig::default(),
+            link: LinkConfig {
+                delay_min: TimeDelta::from_micros(200),
+                delay_max: TimeDelta::from_millis(5),
+                ..LinkConfig::default()
+            },
+            seed: 0,
+            objects: Vec::new(),
+            crash_primary_after: None,
+        }
+    }
+}
+
+/// The outcome of a real-clock run.
+#[derive(Debug, Clone)]
+pub struct RtReport {
+    /// Client writes applied by a serving primary.
+    pub writes: u64,
+    /// Updates transmitted toward the backup.
+    pub updates_sent: u64,
+    /// Updates installed at the backup.
+    pub updates_applied: u64,
+    /// Backup-initiated retransmission requests observed.
+    pub retransmit_requests: u64,
+    /// Mean client response time (channel + apply latency).
+    pub mean_response: Option<TimeDelta>,
+    /// Average per-object maximum primary–backup distance.
+    pub average_max_distance: Option<TimeDelta>,
+    /// Out-of-window episodes across all objects.
+    pub inconsistency_episodes: u64,
+    /// Whether the backup promoted itself during the run.
+    pub failed_over: bool,
+}
+
+/// Why a real-clock run could not start.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RtError {
+    /// No objects were configured.
+    NoObjects,
+    /// An object failed admission control.
+    Rejected(AdmissionError),
+}
+
+impl fmt::Display for RtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtError::NoObjects => write!(f, "no objects configured"),
+            RtError::Rejected(e) => write!(f, "object rejected by admission control: {e}"),
+        }
+    }
+}
+
+impl Error for RtError {}
+
+impl From<AdmissionError> for RtError {
+    fn from(e: AdmissionError) -> Self {
+        RtError::Rejected(e)
+    }
+}
+
+/// The real-clock cluster. Use [`RtCluster::run`] to execute a complete
+/// run; threads are joined before it returns.
+#[derive(Debug)]
+pub struct RtCluster;
+
+#[derive(Debug)]
+struct Deadline {
+    due: Instant,
+    object: Option<ObjectId>, // None = heartbeat
+}
+
+impl PartialEq for Deadline {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.object == other.object
+    }
+}
+impl Eq for Deadline {}
+impl PartialOrd for Deadline {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Deadline {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.due.cmp(&self.due) // min-heap
+    }
+}
+
+struct Shared {
+    metrics: Mutex<ClusterMetrics>,
+    stop: AtomicBool,
+    failed_over: AtomicBool,
+    epoch: Instant,
+}
+
+impl Shared {
+    fn now(&self) -> Time {
+        Time::from_nanos(self.epoch.elapsed().as_nanos() as u64)
+    }
+}
+
+impl RtCluster {
+    /// Runs a cluster for `duration` of wall-clock time and reports.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtError`] if no objects are configured or admission
+    /// control rejects one of them.
+    pub fn run(config: RtConfig, duration: Duration) -> Result<RtReport, RtError> {
+        if config.objects.is_empty() {
+            return Err(RtError::NoObjects);
+        }
+        let shared = Arc::new(Shared {
+            metrics: Mutex::new(ClusterMetrics::new()),
+            stop: AtomicBool::new(false),
+            failed_over: AtomicBool::new(false),
+            epoch: Instant::now(),
+        });
+
+        // Build and populate the primary (one backup peer: node#1).
+        let mut primary = Primary::new(NodeId::new(0), config.protocol.clone());
+        primary.add_backup(NodeId::new(1), shared.now());
+        let mut ids = Vec::new();
+        for spec in &config.objects {
+            let id = primary.register(spec.clone(), &[], shared.now())?;
+            shared.metrics.lock().track_object(
+                id,
+                spec.window(),
+                spec.primary_bound(),
+                spec.backup_bound(),
+            );
+            ids.push((id, spec.clone()));
+        }
+        let mut backup = Backup::new(NodeId::new(1), config.protocol.clone());
+        for (id, spec, period) in primary.registry() {
+            backup.sync_registration(id, spec, period, shared.now());
+            shared.metrics.lock().set_refresh_allowance(
+                id,
+                period + config.protocol.link_delay_bound + config.protocol.retransmit_slack,
+            );
+        }
+
+        // Channels: client→primary (MPMC so the promoted backup can take
+        // over), and one lossy link thread per direction.
+        let (client_tx, client_rx) = unbounded::<(ObjectId, Vec<u8>, Instant)>();
+        let (to_backup_tx, backup_in) = unbounded::<Vec<u8>>();
+        let (to_primary_tx, primary_in) = unbounded::<Vec<u8>>();
+        // Updates ride the lossy data path; control traffic (heartbeats,
+        // retransmission requests) rides a physically-redundant path with
+        // the same delays but no loss — matching the paper's §4.1
+        // assumptions and the simulation harness.
+        let lossless = LinkConfig {
+            loss_probability: 0.0,
+            ..config.link
+        };
+        let p2b = Links {
+            data: spawn_link(config.link, config.seed.wrapping_add(1), to_backup_tx.clone()),
+            control: spawn_link(lossless, config.seed.wrapping_add(3), to_backup_tx),
+        };
+        let b2p = Links {
+            data: spawn_link(config.link, config.seed.wrapping_add(2), to_primary_tx.clone()),
+            control: spawn_link(lossless, config.seed.wrapping_add(4), to_primary_tx),
+        };
+
+        // Client thread.
+        let client = {
+            let shared = Arc::clone(&shared);
+            let objects = ids.clone();
+            let tx = client_tx.clone();
+            std::thread::Builder::new()
+                .name("rtpb-client".into())
+                .spawn(move || client_loop(&shared, &objects, &tx))
+                .expect("spawn client")
+        };
+
+        // Primary thread.
+        let primary_thread = {
+            let shared = Arc::clone(&shared);
+            let client_rx = client_rx.clone();
+            let p2b = p2b.clone();
+            let crash_after = config.crash_primary_after;
+            std::thread::Builder::new()
+                .name("rtpb-primary".into())
+                .spawn(move || {
+                    primary_loop(&shared, primary, &client_rx, &primary_in, &p2b, crash_after);
+                })
+                .expect("spawn primary")
+        };
+
+        // Backup thread (may become the primary).
+        let backup_thread = {
+            let shared = Arc::clone(&shared);
+            let client_rx = client_rx.clone();
+            std::thread::Builder::new()
+                .name("rtpb-backup".into())
+                .spawn(move || backup_loop(&shared, backup, &client_rx, &backup_in, &b2p))
+                .expect("spawn backup")
+        };
+
+        std::thread::sleep(duration);
+        shared.stop.store(true, Ordering::SeqCst);
+        drop(client_tx);
+        client.join().expect("client thread");
+        primary_thread.join().expect("primary thread");
+        backup_thread.join().expect("backup thread");
+
+        let mut metrics = shared.metrics.lock().clone();
+        metrics.finalize(shared.now());
+        let episodes: u64 = metrics
+            .object_ids()
+            .filter_map(|id| metrics.object_report(id))
+            .map(|r| r.inconsistency_episodes)
+            .sum();
+        let writes: u64 = metrics
+            .object_ids()
+            .filter_map(|id| metrics.object_report(id))
+            .map(|r| r.writes)
+            .sum();
+        let applies: u64 = metrics
+            .object_ids()
+            .filter_map(|id| metrics.object_report(id))
+            .map(|r| r.applies)
+            .sum();
+        Ok(RtReport {
+            writes,
+            updates_sent: metrics.updates_sent(),
+            updates_applied: applies,
+            retransmit_requests: metrics.retransmit_requests(),
+            mean_response: metrics.response_times().mean(),
+            average_max_distance: metrics.average_max_distance(),
+            inconsistency_episodes: episodes,
+            failed_over: shared.failed_over.load(Ordering::SeqCst),
+        })
+    }
+}
+
+fn client_loop(
+    shared: &Shared,
+    objects: &[(ObjectId, ObjectSpec)],
+    tx: &Sender<(ObjectId, Vec<u8>, Instant)>,
+) {
+    let mut heap: BinaryHeap<Deadline> = BinaryHeap::new();
+    let start = Instant::now();
+    for (i, (id, _)) in objects.iter().enumerate() {
+        heap.push(Deadline {
+            due: start + Duration::from_micros(997 * (i as u64 + 1)),
+            object: Some(*id),
+        });
+    }
+    let mut counter: u64 = 0;
+    while !shared.stop.load(Ordering::SeqCst) {
+        let Some(next) = heap.peek() else { return };
+        let wait = next.due.saturating_duration_since(Instant::now());
+        if !wait.is_zero() {
+            std::thread::sleep(wait.min(Duration::from_millis(20)));
+            continue;
+        }
+        let d = heap.pop().expect("peeked");
+        let id = d.object.expect("client deadlines carry objects");
+        let spec = &objects
+            .iter()
+            .find(|(oid, _)| *oid == id)
+            .expect("registered")
+            .1;
+        counter += 1;
+        let mut payload = vec![0u8; spec.size_bytes()];
+        let stamp = counter.to_be_bytes();
+        let n = stamp.len().min(payload.len());
+        payload[..n].copy_from_slice(&stamp[..n]);
+        if tx.send((id, payload, Instant::now())).is_err() {
+            return;
+        }
+        heap.push(Deadline {
+            due: d.due + Duration::from(spec.update_period()),
+            object: Some(id),
+        });
+    }
+}
+
+/// One direction of the network: a lossy data path plus a reliable
+/// control path.
+#[derive(Clone)]
+struct Links {
+    data: Sender<Vec<u8>>,
+    control: Sender<Vec<u8>>,
+}
+
+fn send_wire(link: &Links, msg: &WireMessage) {
+    let chosen = if matches!(msg, WireMessage::Update { .. }) {
+        &link.data
+    } else {
+        &link.control
+    };
+    let _ = chosen.send(msg.encode());
+}
+
+#[allow(clippy::needless_pass_by_value)]
+fn primary_loop(
+    shared: &Shared,
+    mut primary: Primary,
+    client_rx: &Receiver<(ObjectId, Vec<u8>, Instant)>,
+    network: &Receiver<Vec<u8>>,
+    link: &Links,
+    crash_after: Option<Duration>,
+) {
+    let start = Instant::now();
+    let mut timers: BinaryHeap<Deadline> = BinaryHeap::new();
+    for (id, _, period) in primary.registry() {
+        timers.push(Deadline {
+            due: start + Duration::from(period),
+            object: Some(id),
+        });
+    }
+    timers.push(Deadline {
+        due: start,
+        object: None,
+    });
+
+    while !shared.stop.load(Ordering::SeqCst) {
+        if crash_after.is_some_and(|c| start.elapsed() >= c) {
+            return; // crash: silently stop serving
+        }
+        // Fire due timers.
+        let now_i = Instant::now();
+        while timers.peek().is_some_and(|d| d.due <= now_i) {
+            let d = timers.pop().expect("peeked");
+            match d.object {
+                Some(id) => {
+                    if let Some(update) = primary.make_update(id) {
+                        shared.metrics.lock().record_update_sent(false);
+                        send_wire(link, &update);
+                    }
+                    if let Some(period) = primary.send_period(id) {
+                        timers.push(Deadline {
+                            due: d.due + Duration::from(period),
+                            object: Some(id),
+                        });
+                    }
+                }
+                None => {
+                    let round = primary.tick_heartbeat(shared.now());
+                    for (_dest, ping) in round.pings {
+                        send_wire(link, &ping);
+                    }
+                    timers.push(Deadline {
+                        due: d.due + Duration::from(primary.config().heartbeat_period / 2),
+                        object: None,
+                    });
+                }
+            }
+        }
+        let timeout = timers
+            .peek()
+            .map_or(Duration::from_millis(10), |d| {
+                d.due.saturating_duration_since(Instant::now())
+            })
+            .min(Duration::from_millis(10));
+
+        crossbeam::channel::select! {
+            recv(client_rx) -> msg => {
+                if let Ok((id, payload, sent_at)) = msg {
+                    let now = shared.now();
+                    if let Some(version) = primary.apply_client_write(id, payload, now) {
+                        let mut m = shared.metrics.lock();
+                        m.record_response(TimeDelta::from(sent_at.elapsed()));
+                        m.on_primary_write(id, version, now);
+                    }
+                }
+            }
+            recv(network) -> bytes => {
+                if let Ok(bytes) = bytes {
+                    if let Ok(msg) = WireMessage::decode(&bytes) {
+                        if matches!(msg, WireMessage::RetransmitRequest { .. }) {
+                            shared.metrics.lock().record_retransmit_request();
+                        }
+                        let out = primary.handle_message(&msg, shared.now());
+                        for reply in &out.replies {
+                            if matches!(reply, WireMessage::Update { .. }) {
+                                shared.metrics.lock().record_update_sent(false);
+                            }
+                            send_wire(link, reply);
+                        }
+                    }
+                }
+            }
+            default(timeout) => {}
+        }
+    }
+}
+
+#[allow(clippy::needless_pass_by_value)]
+fn backup_loop(
+    shared: &Shared,
+    mut backup: Backup,
+    client_rx: &Receiver<(ObjectId, Vec<u8>, Instant)>,
+    network: &Receiver<Vec<u8>>,
+    link: &Links,
+) {
+    let start = Instant::now();
+    let mut timers: BinaryHeap<Deadline> = BinaryHeap::new();
+    let watchdog_ids: Vec<ObjectId> = backup.store().ids().collect();
+    for id in &watchdog_ids {
+        timers.push(Deadline {
+            due: start + Duration::from_millis(50),
+            object: Some(*id),
+        });
+    }
+    timers.push(Deadline {
+        due: start,
+        object: None,
+    });
+    let hb_half = Duration::from(ProtocolConfig::default().heartbeat_period / 2);
+
+    // Phase 1: act as the backup until promotion or stop.
+    let mut promoted: Option<Primary> = None;
+    while !shared.stop.load(Ordering::SeqCst) && promoted.is_none() {
+        let now_i = Instant::now();
+        while timers.peek().is_some_and(|d| d.due <= now_i) {
+            let d = timers.pop().expect("peeked");
+            match d.object {
+                Some(id) => {
+                    if let Some(req) = backup.tick_watchdog(id, shared.now()) {
+                        send_wire(link, &req);
+                    }
+                    timers.push(Deadline {
+                        due: d.due + Duration::from_millis(50),
+                        object: Some(id),
+                    });
+                }
+                None => {
+                    let (ping, primary_died) = backup.tick_heartbeat(shared.now());
+                    if let Some(ping) = ping {
+                        send_wire(link, &ping);
+                    }
+                    if primary_died {
+                        let now = shared.now();
+                        let mut m = shared.metrics.lock();
+                        m.record_failover_started(now);
+                        m.record_failover_complete(now);
+                        drop(m);
+                        shared.failed_over.store(true, Ordering::SeqCst);
+                        break;
+                    }
+                    timers.push(Deadline {
+                        due: d.due + hb_half,
+                        object: None,
+                    });
+                }
+            }
+        }
+        if !backup.is_primary_alive() {
+            promoted = Some(backup.promote(shared.now()));
+            break;
+        }
+        match network.recv_timeout(Duration::from_millis(5)) {
+            Ok(bytes) => {
+                if let Ok(msg) = WireMessage::decode(&bytes) {
+                    if let WireMessage::Update { object, .. } = &msg {
+                        shared.metrics.lock().on_backup_refresh(*object, shared.now());
+                    }
+                    let out = backup.handle_message(&msg, shared.now());
+                    let mut m = shared.metrics.lock();
+                    for (id, version, ts) in &out.applied {
+                        m.on_backup_apply(*id, *version, *ts, shared.now());
+                    }
+                    drop(m);
+                    for reply in &out.replies {
+                        send_wire(link, reply);
+                    }
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+
+    // Phase 2: serve client writes as the new primary.
+    let Some(mut new_primary) = promoted else {
+        return;
+    };
+    while !shared.stop.load(Ordering::SeqCst) {
+        match client_rx.recv_timeout(Duration::from_millis(5)) {
+            Ok((id, payload, sent_at)) => {
+                let now = shared.now();
+                if let Some(version) = new_primary.apply_client_write(id, payload, now) {
+                    let mut m = shared.metrics.lock();
+                    m.record_response(TimeDelta::from(sent_at.elapsed()));
+                    m.on_primary_write(id, version, now);
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(period_ms: u64) -> ObjectSpec {
+        ObjectSpec::builder("rt-obj")
+            .update_period(TimeDelta::from_millis(period_ms))
+            .primary_bound(TimeDelta::from_millis(period_ms + 50))
+            .backup_bound(TimeDelta::from_millis(period_ms + 450))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn replicates_in_real_time() {
+        let mut config = RtConfig::default();
+        config.objects.push(spec(20));
+        config.objects.push(spec(30));
+        let report = RtCluster::run(config, Duration::from_millis(1200)).unwrap();
+        assert!(report.writes >= 40, "writes: {}", report.writes);
+        assert!(report.updates_applied > 0, "backup must receive updates");
+        assert!(!report.failed_over);
+        let mean = report.mean_response.unwrap();
+        assert!(
+            mean < TimeDelta::from_millis(50),
+            "in-process response time should be small, got {mean}"
+        );
+    }
+
+    #[test]
+    fn rejects_empty_object_list() {
+        assert_eq!(
+            RtCluster::run(RtConfig::default(), Duration::from_millis(10)).unwrap_err(),
+            RtError::NoObjects
+        );
+    }
+
+    #[test]
+    fn rejects_inadmissible_objects() {
+        let mut config = RtConfig::default();
+        config.objects.push(
+            ObjectSpec::builder("bad")
+                .update_period(TimeDelta::from_millis(100))
+                .primary_bound(TimeDelta::from_millis(50)) // p > δP
+                .backup_bound(TimeDelta::from_millis(500))
+                .build()
+                .unwrap(),
+        );
+        assert!(matches!(
+            RtCluster::run(config, Duration::from_millis(10)),
+            Err(RtError::Rejected(_))
+        ));
+    }
+
+    #[test]
+    fn failover_promotes_backup_under_real_clock() {
+        let mut config = RtConfig::default();
+        config.objects.push(spec(20));
+        config.crash_primary_after = Some(Duration::from_millis(300));
+        let report = RtCluster::run(config, Duration::from_millis(1500)).unwrap();
+        assert!(report.failed_over, "backup must detect the crash and promote");
+        assert!(report.writes > 0);
+    }
+
+    #[test]
+    fn loss_triggers_retransmission_requests() {
+        let mut config = RtConfig::default();
+        config.link.loss_probability = 0.6;
+        config.objects.push(spec(20));
+        let report = RtCluster::run(config, Duration::from_millis(1500)).unwrap();
+        assert!(
+            report.retransmit_requests > 0,
+            "watchdogs must request retransmissions under heavy loss"
+        );
+    }
+}

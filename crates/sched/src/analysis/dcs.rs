@@ -1,0 +1,457 @@
+//! Distance-constrained scheduling (Han & Lin \[9\]) via period
+//! specialization.
+//!
+//! A distance-constrained task must have consecutive *completions* at most
+//! `c_i` apart. The paper (§2.1, "Zero bound of phase variance")
+//! substitutes the period `p_i` for the distance constraint `c_i` and
+//! invokes Han & Lin's scheduler `Sr`: specialize all periods onto a
+//! geometric grid `b·2^k`, after which a synchronous-release fixed-priority
+//! schedule repeats each task at *exactly* its specialized period — phase
+//! variance is identically zero (Theorem 3).
+//!
+//! Theorem 3's feasibility condition is `Σ e_i/p_i ≤ n(2^{1/n} - 1)`; the
+//! specializer here tries every candidate base derived from the task
+//! periods and accepts the first whose specialized utilization is ≤ 1,
+//! which succeeds whenever the Theorem 3 condition holds.
+
+use crate::analysis::utilization::liu_layland_bound;
+use crate::task::TaskSet;
+use core::fmt;
+use rtpb_types::TimeDelta;
+use std::error::Error;
+
+/// Theorem 3's sufficient condition for zero phase variance under `Sr`:
+/// `Σ e_i/p_i ≤ n(2^{1/n} - 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use rtpb_sched::analysis::dcs::theorem3_condition;
+/// use rtpb_sched::task::{PeriodicTask, TaskSet};
+/// use rtpb_types::TimeDelta;
+///
+/// # fn main() -> Result<(), rtpb_sched::task::TaskSetError> {
+/// let ms = TimeDelta::from_millis;
+/// let light = TaskSet::try_from_iter([
+///     PeriodicTask::new(ms(10), ms(2)),
+///     PeriodicTask::new(ms(20), ms(4)),
+/// ])?;
+/// assert!(theorem3_condition(&light)); // U = 0.4 ≤ 0.828
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn theorem3_condition(tasks: &TaskSet) -> bool {
+    tasks.utilization() <= liu_layland_bound(tasks.len()) + 1e-12
+}
+
+/// Why specialization failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DcsError {
+    /// No candidate base produced a specialized utilization ≤ 1.
+    NoFeasibleBase,
+}
+
+impl fmt::Display for DcsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DcsError::NoFeasibleBase => {
+                write!(f, "no specialization base yields utilization at most 1")
+            }
+        }
+    }
+}
+
+impl Error for DcsError {}
+
+/// The outcome of period specialization: a harmonized task set plus the
+/// grid base that produced it.
+///
+/// Specialized periods satisfy `p'_i ≤ p_i` and every pair of specialized
+/// periods is harmonically related (one divides the other), which is what
+/// makes the `Sr` schedule exactly periodic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Specialization {
+    tasks: TaskSet,
+    base: TimeDelta,
+    original_periods: Vec<TimeDelta>,
+}
+
+impl Specialization {
+    /// The specialized (harmonic) task set. Task ids are preserved.
+    #[must_use]
+    pub fn tasks(&self) -> &TaskSet {
+        &self.tasks
+    }
+
+    /// The grid base `b`: every specialized period is `b·2^k`.
+    #[must_use]
+    pub fn base(&self) -> TimeDelta {
+        self.base
+    }
+
+    /// The original period of each task, in task-id order.
+    #[must_use]
+    pub fn original_periods(&self) -> &[TimeDelta] {
+        &self.original_periods
+    }
+
+    /// Total utilization after specialization (≤ 1 by construction).
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        self.tasks.utilization()
+    }
+}
+
+/// Specializes a task set onto a `b·2^k` period grid (scheduler `Sr`).
+///
+/// Tries one candidate base per task — the value obtained by halving that
+/// task's period until it is at most the minimum period — and returns the
+/// specialization with the lowest utilization among feasible candidates.
+///
+/// # Errors
+///
+/// Returns [`DcsError::NoFeasibleBase`] if every candidate exceeds
+/// utilization 1. By Theorem 3 this cannot happen when
+/// [`theorem3_condition`] holds.
+///
+/// # Examples
+///
+/// ```
+/// use rtpb_sched::analysis::dcs::specialize;
+/// use rtpb_sched::task::{PeriodicTask, TaskSet};
+/// use rtpb_types::TimeDelta;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let ms = TimeDelta::from_millis;
+/// let tasks = TaskSet::try_from_iter([
+///     PeriodicTask::new(ms(10), ms(1)),
+///     PeriodicTask::new(ms(25), ms(2)),
+/// ])?;
+/// let sp = specialize(&tasks)?;
+/// // 25 ms specializes down the grid; both periods end up harmonic.
+/// let p0 = sp.tasks().as_slice()[0].period();
+/// let p1 = sp.tasks().as_slice()[1].period();
+/// let (lo, hi) = if p0 <= p1 { (p0, p1) } else { (p1, p0) };
+/// assert_eq!(hi.as_nanos() % lo.as_nanos(), 0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn specialize(tasks: &TaskSet) -> Result<Specialization, DcsError> {
+    let min_period = tasks.min_period();
+    let mut best: Option<(f64, TimeDelta, Vec<TimeDelta>)> = None;
+
+    for candidate_task in tasks.iter() {
+        let base = halve_to_at_most(candidate_task.period(), min_period);
+        let periods: Vec<TimeDelta> = tasks
+            .iter()
+            .map(|t| grid_floor(t.period(), base))
+            .collect();
+        // A task whose exec no longer fits its specialized period is
+        // infeasible under this base.
+        if tasks
+            .iter()
+            .zip(&periods)
+            .any(|(t, &p)| t.exec() > p)
+        {
+            continue;
+        }
+        let util: f64 = tasks
+            .iter()
+            .zip(&periods)
+            .map(|(t, &p)| t.exec().as_nanos() as f64 / p.as_nanos() as f64)
+            .sum();
+        if util <= 1.0 + 1e-12 && best.as_ref().is_none_or(|(u, _, _)| util < *u) {
+            best = Some((util, base, periods));
+        }
+    }
+
+    let (_, base, periods) = best.ok_or(DcsError::NoFeasibleBase)?;
+    let original_periods = tasks.iter().map(|t| t.period()).collect();
+    Ok(Specialization {
+        tasks: tasks.with_periods(&periods),
+        base,
+        original_periods,
+    })
+}
+
+/// Scheduler `Sx`: specialization with the *single* base derived from the
+/// shortest-period task (no candidate search). Strictly weaker than `Sr`
+/// ([`specialize`]) — everything `Sx` schedules, `Sr` schedules too — but
+/// cheaper, and the classic pinwheel construction.
+///
+/// # Errors
+///
+/// Returns [`DcsError::NoFeasibleBase`] if the min-period base exceeds
+/// utilization 1.
+///
+/// # Examples
+///
+/// ```
+/// use rtpb_sched::analysis::dcs::{specialize, sx_specialize};
+/// use rtpb_sched::task::{PeriodicTask, TaskSet};
+/// use rtpb_types::TimeDelta;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let ms = TimeDelta::from_millis;
+/// let tasks = TaskSet::try_from_iter([
+///     PeriodicTask::new(ms(10), ms(1)),
+///     PeriodicTask::new(ms(25), ms(2)),
+/// ])?;
+/// let sx = sx_specialize(&tasks)?;
+/// let sr = specialize(&tasks)?;
+/// // Sr never does worse than Sx.
+/// assert!(sr.utilization() <= sx.utilization() + 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn sx_specialize(tasks: &TaskSet) -> Result<Specialization, DcsError> {
+    let base = tasks.min_period();
+    let periods: Vec<TimeDelta> = tasks
+        .iter()
+        .map(|t| grid_floor(t.period(), base))
+        .collect();
+    if tasks.iter().zip(&periods).any(|(t, &p)| t.exec() > p) {
+        return Err(DcsError::NoFeasibleBase);
+    }
+    let util: f64 = tasks
+        .iter()
+        .zip(&periods)
+        .map(|(t, &p)| t.exec().as_nanos() as f64 / p.as_nanos() as f64)
+        .sum();
+    if util > 1.0 + 1e-12 {
+        return Err(DcsError::NoFeasibleBase);
+    }
+    let original_periods = tasks.iter().map(|t| t.period()).collect();
+    Ok(Specialization {
+        tasks: tasks.with_periods(&periods),
+        base,
+        original_periods,
+    })
+}
+
+/// The naive halving baseline for distance constraints: run each task at
+/// period `c_i / 2`, so inequality 2.1 bounds any completion gap by
+/// `2·(c_i/2) = c_i`. Feasible iff the doubled-rate set passes the
+/// Liu & Layland test — i.e. `Σ 2·e_i/c_i ≤ n(2^{1/n} - 1)`, half the
+/// density `Sr` achieves. This is the baseline the pinwheel schedulers
+/// improve on.
+///
+/// # Examples
+///
+/// ```
+/// use rtpb_sched::analysis::dcs::{halving_schedulable, theorem3_condition};
+/// use rtpb_sched::task::{PeriodicTask, TaskSet};
+/// use rtpb_types::TimeDelta;
+///
+/// # fn main() -> Result<(), rtpb_sched::task::TaskSetError> {
+/// let ms = TimeDelta::from_millis;
+/// // U = 0.5: Sr takes it (≤ 0.828), halving needs 2U = 1.0 ≤ 0.828 — no.
+/// let tasks = TaskSet::try_from_iter([
+///     PeriodicTask::new(ms(10), ms(3)),
+///     PeriodicTask::new(ms(20), ms(4)),
+/// ])?;
+/// assert!(theorem3_condition(&tasks));
+/// assert!(!halving_schedulable(&tasks));
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn halving_schedulable(tasks: &TaskSet) -> bool {
+    2.0 * tasks.utilization() <= liu_layland_bound(tasks.len()) + 1e-12
+}
+
+/// Halves `value` until it is at most `limit`.
+fn halve_to_at_most(mut value: TimeDelta, limit: TimeDelta) -> TimeDelta {
+    while value > limit {
+        value = value / 2;
+    }
+    value
+}
+
+/// The largest grid point `base·2^k ≤ value`.
+///
+/// # Panics
+///
+/// Panics if `value < base` (cannot happen for bases produced by
+/// [`specialize`], which are at most the minimum period).
+fn grid_floor(value: TimeDelta, base: TimeDelta) -> TimeDelta {
+    assert!(value >= base, "period below specialization base");
+    let mut grid = base;
+    loop {
+        let next = grid * 2;
+        if next > value {
+            return grid;
+        }
+        grid = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::PeriodicTask;
+
+    fn ms(v: u64) -> TimeDelta {
+        TimeDelta::from_millis(v)
+    }
+
+    fn set(tasks: &[(u64, u64)]) -> TaskSet {
+        TaskSet::try_from_iter(tasks.iter().map(|&(p, e)| PeriodicTask::new(ms(p), ms(e))))
+            .unwrap()
+    }
+
+    #[test]
+    fn grid_floor_finds_largest_point() {
+        assert_eq!(grid_floor(ms(25), ms(10)), ms(20));
+        assert_eq!(grid_floor(ms(40), ms(10)), ms(40));
+        assert_eq!(grid_floor(ms(10), ms(10)), ms(10));
+        assert_eq!(grid_floor(ms(79), ms(10)), ms(40));
+    }
+
+    #[test]
+    fn halving_reaches_the_window() {
+        assert_eq!(halve_to_at_most(ms(100), ms(30)), ms(25));
+        assert_eq!(halve_to_at_most(ms(30), ms(30)), ms(30));
+    }
+
+    #[test]
+    fn specialized_periods_are_harmonic_and_not_longer() {
+        let tasks = set(&[(10, 1), (25, 2), (60, 5), (100, 5)]);
+        let sp = specialize(&tasks).unwrap();
+        let periods: Vec<TimeDelta> = sp.tasks().iter().map(|t| t.period()).collect();
+        for (orig, spec) in tasks.iter().zip(&periods) {
+            assert!(*spec <= orig.period());
+            // Not shrunk below half.
+            assert!(*spec * 2 > orig.period());
+        }
+        // Pairwise harmonic.
+        for a in &periods {
+            for b in &periods {
+                let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                assert_eq!(hi.as_nanos() % lo.as_nanos(), 0, "{lo} does not divide {hi}");
+            }
+        }
+        assert_eq!(sp.original_periods(), &[ms(10), ms(25), ms(60), ms(100)]);
+    }
+
+    #[test]
+    fn harmonic_input_is_unchanged() {
+        let tasks = set(&[(10, 2), (20, 4), (40, 8)]);
+        let sp = specialize(&tasks).unwrap();
+        let periods: Vec<TimeDelta> = sp.tasks().iter().map(|t| t.period()).collect();
+        assert_eq!(periods, vec![ms(10), ms(20), ms(40)]);
+        assert!((sp.utilization() - tasks.utilization()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn theorem3_condition_implies_feasible_specialization() {
+        // Sweep a family of task sets; wherever the Theorem 3 condition
+        // holds, specialization must succeed.
+        let families = [
+            vec![(10u64, 1u64), (21, 2), (47, 4)],
+            vec![(5, 1), (9, 1), (17, 2), (33, 3)],
+            vec![(100, 20), (150, 30), (700, 90)],
+            vec![(8, 2), (24, 6)],
+            vec![(10, 3), (30, 6)],
+        ];
+        for f in families {
+            let tasks = set(&f);
+            if theorem3_condition(&tasks) {
+                let sp = specialize(&tasks)
+                    .unwrap_or_else(|e| panic!("Theorem 3 held for {f:?} but Sr failed: {e}"));
+                assert!(sp.utilization() <= 1.0 + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn specialization_fails_only_above_theorem3_bound() {
+        // U = 0.99 with awkward periods: may fail, and that is allowed
+        // because Theorem 3's condition (≤ 0.828 for n=2) does not hold.
+        let tasks = set(&[(10, 5), (21, 10)]);
+        assert!(!theorem3_condition(&tasks));
+        // Whatever the outcome, it must be consistent: if it succeeds the
+        // utilization is ≤ 1.
+        if let Ok(sp) = specialize(&tasks) {
+            assert!(sp.utilization() <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_task_specializes_to_itself() {
+        let tasks = set(&[(37, 9)]);
+        let sp = specialize(&tasks).unwrap();
+        assert_eq!(sp.tasks().as_slice()[0].period(), ms(37));
+        assert_eq!(sp.base(), ms(37));
+    }
+
+    #[test]
+    fn error_is_reported_when_no_base_fits() {
+        // p=10,e=6 and p=18,e=7 (U = 0.989): with base 10 the second
+        // period specializes to 10, U' = 0.6 + 0.7 = 1.3 > 1; with base 9
+        // (18 halved), U' = 6/9 + 7/18 ≈ 1.056 > 1. No base fits.
+        let tasks = set(&[(10, 6), (18, 7)]);
+        assert!(!theorem3_condition(&tasks));
+        assert_eq!(specialize(&tasks), Err(DcsError::NoFeasibleBase));
+        assert!(DcsError::NoFeasibleBase.to_string().contains("base"));
+    }
+
+    #[test]
+    fn ids_are_preserved() {
+        let tasks = set(&[(10, 1), (25, 2)]);
+        let sp = specialize(&tasks).unwrap();
+        let ids: Vec<u32> = sp.tasks().iter().map(|t| t.id().index()).collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+
+    #[test]
+    fn sr_dominates_sx() {
+        for family in [
+            vec![(10u64, 1u64), (25, 2), (60, 5)],
+            vec![(7, 1), (13, 2), (29, 3)],
+            vec![(100, 20), (150, 25), (700, 90)],
+        ] {
+            let tasks = set(&family);
+            match (sx_specialize(&tasks), specialize(&tasks)) {
+                (Ok(sx), Ok(sr)) => {
+                    assert!(sr.utilization() <= sx.utilization() + 1e-12)
+                }
+                (Ok(_), Err(e)) => panic!("Sx feasible but Sr failed: {e}"),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn sx_produces_harmonic_periods_too() {
+        let tasks = set(&[(10, 1), (25, 2), (60, 5)]);
+        let sp = sx_specialize(&tasks).unwrap();
+        assert_eq!(sp.base(), ms(10));
+        let periods: Vec<u64> = sp.tasks().iter().map(|t| t.period().as_nanos()).collect();
+        for a in &periods {
+            for b in &periods {
+                let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                assert_eq!(hi % lo, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn sx_reports_infeasibility() {
+        // Base 10 forces the 18ms task down to 10ms: U = 0.6 + 0.7 > 1.
+        let tasks = set(&[(10, 6), (18, 7)]);
+        assert_eq!(sx_specialize(&tasks), Err(DcsError::NoFeasibleBase));
+    }
+
+    #[test]
+    fn halving_needs_twice_the_density_headroom() {
+        // U = 0.2: halving fine (0.4 ≤ 0.828).
+        let light = set(&[(10, 1), (20, 2)]);
+        assert!(halving_schedulable(&light));
+        // U = 0.5: Theorem 3 holds but halving does not.
+        let medium = set(&[(10, 3), (20, 4)]);
+        assert!(theorem3_condition(&medium));
+        assert!(!halving_schedulable(&medium));
+    }
+}

@@ -1,0 +1,22 @@
+//! Schedulability analysis.
+//!
+//! Admission control (paper §4.2) must decide whether the primary can add a
+//! periodic update task without breaking the guarantees of already-admitted
+//! objects. These modules provide the tests it uses:
+//!
+//! - [`utilization`]: utilization-based tests — the Liu & Layland
+//!   rate-monotonic bound `n(2^{1/n} - 1)` the paper cites \[20\], the
+//!   (tighter) hyperbolic bound, and the EDF `U ≤ 1` test.
+//! - [`response_time`]: exact response-time analysis for fixed-priority
+//!   scheduling, used to compute the worst-case completion of each update
+//!   task.
+//! - [`edf`]: EDF feasibility plus the processor-demand check for
+//!   constrained deadlines.
+//! - [`dcs`]: distance-constrained scheduling (Han & Lin \[9\]) — period
+//!   specialization onto a geometric `b·2^k` grid and the Theorem 3
+//!   feasibility condition under which phase variance is exactly zero.
+
+pub mod dcs;
+pub mod edf;
+pub mod response_time;
+pub mod utilization;

@@ -1,0 +1,211 @@
+//! Exact response-time analysis (RTA) for fixed-priority scheduling.
+//!
+//! For rate-monotonic priorities (shorter period = higher priority), the
+//! worst-case response time of task `τ_i` is the least fixed point of
+//!
+//! ```text
+//! R_i = e_i + Σ_{j ∈ hp(i)} ⌈R_i / p_j⌉ · e_j
+//! ```
+//!
+//! evaluated from the critical instant (synchronous release). The task set
+//! is schedulable iff `R_i ≤ D_i` for every task. RTA is exact where the
+//! Liu & Layland bound is only sufficient, so the admission controller
+//! offers it as the `SchedulabilityTest::ResponseTime` option.
+
+use crate::task::{PeriodicTask, TaskSet};
+use rtpb_types::{TaskId, TimeDelta};
+
+/// The worst-case response time of each task under RM priorities, or
+/// `None` for a task whose fixed-point iteration diverges past its
+/// deadline-busy window (that task is unschedulable).
+///
+/// Returned in task-id order.
+///
+/// # Examples
+///
+/// ```
+/// use rtpb_sched::analysis::response_time::response_times;
+/// use rtpb_sched::task::{PeriodicTask, TaskSet};
+/// use rtpb_types::TimeDelta;
+///
+/// # fn main() -> Result<(), rtpb_sched::task::TaskSetError> {
+/// let set = TaskSet::try_from_iter([
+///     PeriodicTask::new(TimeDelta::from_millis(10), TimeDelta::from_millis(2)),
+///     PeriodicTask::new(TimeDelta::from_millis(20), TimeDelta::from_millis(5)),
+/// ])?;
+/// let r = response_times(&set);
+/// assert_eq!(r[0], Some(TimeDelta::from_millis(2)));  // highest priority
+/// assert_eq!(r[1], Some(TimeDelta::from_millis(7)));  // 5 + one 2ms preemption
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn response_times(tasks: &TaskSet) -> Vec<Option<TimeDelta>> {
+    tasks
+        .iter()
+        .map(|t| response_time_of(tasks, t))
+        .collect()
+}
+
+/// The worst-case response time of one task, or `None` if unschedulable.
+#[must_use]
+pub fn response_time_of(tasks: &TaskSet, task: &PeriodicTask) -> Option<TimeDelta> {
+    // Higher priority = strictly shorter period, ties broken by lower id
+    // (the conventional deterministic RM tie-break).
+    let hp: Vec<&PeriodicTask> = tasks
+        .iter()
+        .filter(|t| {
+            t.period() < task.period() || (t.period() == task.period() && t.id() < task.id())
+        })
+        .collect();
+
+    let mut r = task.exec();
+    // The busy window cannot exceed the deadline for a schedulable task;
+    // iterate until fixed point or deadline overrun.
+    loop {
+        let interference: u128 = hp
+            .iter()
+            .map(|t| {
+                let releases = div_ceil(r.as_nanos(), t.period().as_nanos());
+                u128::from(releases) * u128::from(t.exec().as_nanos())
+            })
+            .sum();
+        let next_nanos = u128::from(task.exec().as_nanos()) + interference;
+        if next_nanos > u128::from(task.deadline().as_nanos()) {
+            return None;
+        }
+        let next = TimeDelta::from_nanos(next_nanos as u64);
+        if next == r {
+            return Some(r);
+        }
+        r = next;
+    }
+}
+
+/// Exact RM schedulability: every response time meets its deadline.
+///
+/// # Examples
+///
+/// ```
+/// use rtpb_sched::analysis::response_time::rta_schedulable;
+/// use rtpb_sched::task::{PeriodicTask, TaskSet};
+/// use rtpb_types::TimeDelta;
+///
+/// # fn main() -> Result<(), rtpb_sched::task::TaskSetError> {
+/// // U ≈ 0.9: fails the Liu & Layland test but is in fact schedulable.
+/// let set = TaskSet::try_from_iter([
+///     PeriodicTask::new(TimeDelta::from_millis(10), TimeDelta::from_millis(5)),
+///     PeriodicTask::new(TimeDelta::from_millis(20), TimeDelta::from_millis(8)),
+/// ])?;
+/// assert!(rta_schedulable(&set));
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn rta_schedulable(tasks: &TaskSet) -> bool {
+    response_times(tasks).iter().all(Option::is_some)
+}
+
+/// The response time of the task with id `id`, or `None` if the id is
+/// unknown or the task is unschedulable.
+#[must_use]
+pub fn response_time_by_id(tasks: &TaskSet, id: TaskId) -> Option<TimeDelta> {
+    tasks.get(id).and_then(|t| response_time_of(tasks, t))
+}
+
+fn div_ceil(a: u64, b: u64) -> u64 {
+    a.div_ceil(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::utilization::rm_schedulable;
+
+    fn ms(v: u64) -> TimeDelta {
+        TimeDelta::from_millis(v)
+    }
+
+    fn set(tasks: &[(u64, u64)]) -> TaskSet {
+        TaskSet::try_from_iter(tasks.iter().map(|&(p, e)| PeriodicTask::new(ms(p), ms(e))))
+            .unwrap()
+    }
+
+    #[test]
+    fn highest_priority_task_has_response_equal_to_exec() {
+        let s = set(&[(10, 2), (20, 5), (40, 9)]);
+        assert_eq!(response_times(&s)[0], Some(ms(2)));
+    }
+
+    #[test]
+    fn classic_three_task_example() {
+        // Buttazzo-style example: (p=4,e=1), (p=6,e=2), (p=8,e=2); U ≈ 0.833.
+        let s = set(&[(4, 1), (6, 2), (8, 2)]);
+        let r = response_times(&s);
+        assert_eq!(r[0], Some(ms(1)));
+        assert_eq!(r[1], Some(ms(3)));
+        // τ3: r = 2 + ⌈r/4⌉·1 + ⌈r/6⌉·2 → fixed point 6.
+        assert_eq!(r[2], Some(ms(6)));
+        assert!(rta_schedulable(&s));
+    }
+
+    #[test]
+    fn detects_deadline_miss() {
+        // τ2 cannot finish: r = 3 + ⌈r/5⌉·3 reaches 9 > deadline 8.
+        let s = set(&[(5, 3), (8, 3)]);
+        let r = response_times(&s);
+        assert_eq!(r[0], Some(ms(3)));
+        assert_eq!(r[1], None);
+        assert!(!rta_schedulable(&s));
+    }
+
+    #[test]
+    fn rta_admits_sets_the_ll_bound_rejects() {
+        // Harmonic set at U = 1.0: RM schedulable, LL bound says no.
+        let s = set(&[(10, 5), (20, 10)]);
+        assert!(!rm_schedulable(&s));
+        assert!(rta_schedulable(&s));
+        assert_eq!(response_times(&s)[1], Some(ms(20)));
+    }
+
+    #[test]
+    fn rta_never_contradicts_ll_bound() {
+        // LL-schedulable ⇒ RTA-schedulable (LL is sufficient).
+        for tasks in [
+            vec![(10u64, 2u64), (20, 4), (40, 8)],
+            vec![(7, 1), (13, 2), (29, 3)],
+            vec![(100, 10), (200, 20), (400, 40), (800, 80)],
+        ] {
+            let s = set(&tasks);
+            if rm_schedulable(&s) {
+                assert!(rta_schedulable(&s), "RTA must admit LL-admitted {tasks:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn equal_periods_tie_break_by_id() {
+        let s = set(&[(10, 3), (10, 3)]);
+        let r = response_times(&s);
+        assert_eq!(r[0], Some(ms(3)));
+        assert_eq!(r[1], Some(ms(6)));
+    }
+
+    #[test]
+    fn constrained_deadline_is_respected() {
+        let tasks = TaskSet::try_from_iter([
+            PeriodicTask::new(ms(10), ms(3)),
+            PeriodicTask::new(ms(20), ms(5)).with_deadline(ms(7)),
+        ])
+        .unwrap();
+        // τ2's response is 8 (5 + one 3ms preemption) > deadline 7.
+        assert_eq!(response_times(&tasks)[1], None);
+    }
+
+    #[test]
+    fn lookup_by_id() {
+        let s = set(&[(10, 2), (20, 5)]);
+        assert_eq!(response_time_by_id(&s, TaskId::new(1)), Some(ms(7)));
+        assert_eq!(response_time_by_id(&s, TaskId::new(9)), None);
+    }
+}

@@ -1,0 +1,464 @@
+//! The paper's temporal-consistency conditions as executable formulas.
+//!
+//! Each lemma/theorem from §2–§3 is provided in two forms: a *predicate*
+//! (`…_holds`) that admission control evaluates against offered parameters,
+//! and a *solver* (`max_…`) that returns the largest parameter value still
+//! satisfying the condition — used for update-task period selection and for
+//! QoS-renegotiation feedback.
+//!
+//! Notation (matching the paper):
+//!
+//! | symbol | meaning |
+//! |---|---|
+//! | `p_i` | period of the task updating `O_i^P` (client writes) |
+//! | `e_i` | execution time of that task |
+//! | `r_i` | period of the task updating `O_i^B` (primary→backup sends) |
+//! | `e'_i` | execution time of the backup update task |
+//! | `v_i`, `v'_i` | phase variances of those tasks |
+//! | `δ_i^P`, `δ_i^B` | external consistency bounds at primary/backup |
+//! | `δ_ij` | inter-object bound between objects i and j |
+//! | `ℓ` | upper bound on primary→backup communication delay |
+
+use rtpb_types::TimeDelta;
+
+// ---------------------------------------------------------------------------
+// External consistency at the primary (§2.1)
+// ---------------------------------------------------------------------------
+
+/// Lemma 1 (sufficient): external consistency at the primary holds if
+/// `p_i ≤ (δ_i^P + e_i) / 2`.
+///
+/// # Examples
+///
+/// ```
+/// use rtpb_sched::consistency;
+/// use rtpb_types::TimeDelta;
+///
+/// let ms = TimeDelta::from_millis;
+/// assert!(consistency::lemma1_holds(ms(50), ms(10), ms(100)));
+/// assert!(!consistency::lemma1_holds(ms(60), ms(10), ms(100)));
+/// ```
+#[must_use]
+pub fn lemma1_holds(period: TimeDelta, exec: TimeDelta, delta_p: TimeDelta) -> bool {
+    period <= lemma1_max_period(exec, delta_p)
+}
+
+/// The largest `p_i` admitted by Lemma 1: `(δ_i^P + e_i) / 2`.
+#[must_use]
+pub fn lemma1_max_period(exec: TimeDelta, delta_p: TimeDelta) -> TimeDelta {
+    (delta_p + exec) / 2
+}
+
+/// Theorem 1 (necessary and sufficient): external consistency at the
+/// primary holds iff `p_i ≤ δ_i^P - v_i`.
+///
+/// Returns `false` when `v_i ≥ δ_i^P` (no period can satisfy the bound).
+///
+/// # Examples
+///
+/// ```
+/// use rtpb_sched::consistency;
+/// use rtpb_types::TimeDelta;
+///
+/// let ms = TimeDelta::from_millis;
+/// // v = 0 relaxes the condition to p ≤ δ.
+/// assert!(consistency::theorem1_holds(ms(100), ms(100), TimeDelta::ZERO));
+/// // v = 20 tightens it to p ≤ 80.
+/// assert!(!consistency::theorem1_holds(ms(100), ms(100), ms(20)));
+/// ```
+#[must_use]
+pub fn theorem1_holds(period: TimeDelta, delta_p: TimeDelta, variance: TimeDelta) -> bool {
+    theorem1_max_period(delta_p, variance).is_some_and(|max| period <= max)
+}
+
+/// The largest `p_i` admitted by Theorem 1: `δ_i^P - v_i`, or `None` if
+/// the variance consumes the whole bound.
+#[must_use]
+pub fn theorem1_max_period(delta_p: TimeDelta, variance: TimeDelta) -> Option<TimeDelta> {
+    let max = delta_p.checked_sub(variance)?;
+    (!max.is_zero()).then_some(max)
+}
+
+// ---------------------------------------------------------------------------
+// External consistency at the backup (§2.2)
+// ---------------------------------------------------------------------------
+
+/// Lemma 2 (sufficient): external consistency at the backup holds if
+/// `r_i ≤ (δ_i^B + e_i + e'_i - ℓ)/2 - p_i`.
+///
+/// Returns `false` when no non-negative `r_i` satisfies the inequality.
+#[must_use]
+pub fn lemma2_holds(
+    backup_period: TimeDelta,
+    primary_period: TimeDelta,
+    exec: TimeDelta,
+    backup_exec: TimeDelta,
+    delta_b: TimeDelta,
+    link_delay: TimeDelta,
+) -> bool {
+    lemma2_max_period(primary_period, exec, backup_exec, delta_b, link_delay)
+        .is_some_and(|max| backup_period <= max)
+}
+
+/// The largest `r_i` admitted by Lemma 2, or `None` if the parameters
+/// leave no room (e.g. `ℓ` too large or `p_i` too long).
+#[must_use]
+pub fn lemma2_max_period(
+    primary_period: TimeDelta,
+    exec: TimeDelta,
+    backup_exec: TimeDelta,
+    delta_b: TimeDelta,
+    link_delay: TimeDelta,
+) -> Option<TimeDelta> {
+    // (δ_B + e + e' - ℓ)/2 - p, computed without going negative.
+    let numerator = (delta_b + exec + backup_exec).checked_sub(link_delay)?;
+    let half = numerator / 2;
+    let max = half.checked_sub(primary_period)?;
+    (!max.is_zero()).then_some(max)
+}
+
+/// Theorem 4 (necessary and sufficient): external consistency at the
+/// backup holds iff `r_i ≤ δ_i^B - v'_i - p_i - v_i - ℓ`.
+///
+/// # Examples
+///
+/// ```
+/// use rtpb_sched::consistency;
+/// use rtpb_types::TimeDelta;
+///
+/// let ms = TimeDelta::from_millis;
+/// // δB = 500, v' = 0, p = 100, v = 0, ℓ = 10 → r ≤ 390.
+/// assert_eq!(
+///     consistency::theorem4_max_period(ms(500), TimeDelta::ZERO, ms(100), TimeDelta::ZERO, ms(10)),
+///     Some(ms(390)),
+/// );
+/// ```
+#[must_use]
+pub fn theorem4_holds(
+    backup_period: TimeDelta,
+    delta_b: TimeDelta,
+    backup_variance: TimeDelta,
+    primary_period: TimeDelta,
+    primary_variance: TimeDelta,
+    link_delay: TimeDelta,
+) -> bool {
+    theorem4_max_period(
+        delta_b,
+        backup_variance,
+        primary_period,
+        primary_variance,
+        link_delay,
+    )
+    .is_some_and(|max| backup_period <= max)
+}
+
+/// The largest `r_i` admitted by Theorem 4:
+/// `δ_i^B - v'_i - p_i - v_i - ℓ`, or `None` if non-positive.
+#[must_use]
+pub fn theorem4_max_period(
+    delta_b: TimeDelta,
+    backup_variance: TimeDelta,
+    primary_period: TimeDelta,
+    primary_variance: TimeDelta,
+    link_delay: TimeDelta,
+) -> Option<TimeDelta> {
+    let max = delta_b
+        .checked_sub(backup_variance)?
+        .checked_sub(primary_period)?
+        .checked_sub(primary_variance)?
+        .checked_sub(link_delay)?;
+    (!max.is_zero()).then_some(max)
+}
+
+/// Theorem 5: with `v'_i = 0` and `p_i` chosen maximal (`p_i = δ_i^P - v_i`),
+/// external consistency at the backup holds iff
+/// `r_i ≤ (δ_i^B - δ_i^P) - ℓ` — i.e. an update must reach the backup
+/// within the *window* `δ_i = δ_i^B - δ_i^P` minus the link delay.
+///
+/// This is exactly the window-consistent protocol of Mehra et al. \[22\],
+/// recovered as a special case; RTPB's update scheduler uses it to pick
+/// transmission periods.
+///
+/// # Examples
+///
+/// ```
+/// use rtpb_sched::consistency;
+/// use rtpb_types::TimeDelta;
+///
+/// let ms = TimeDelta::from_millis;
+/// assert_eq!(
+///     consistency::theorem5_max_period(ms(550), ms(150), ms(10)),
+///     Some(ms(390)),
+/// );
+/// // Window ≤ ℓ: unattainable (the admission check δ_i > ℓ).
+/// assert_eq!(consistency::theorem5_max_period(ms(160), ms(150), ms(10)), None);
+/// ```
+#[must_use]
+pub fn theorem5_max_period(
+    delta_b: TimeDelta,
+    delta_p: TimeDelta,
+    link_delay: TimeDelta,
+) -> Option<TimeDelta> {
+    let window = delta_b.checked_sub(delta_p)?;
+    let max = window.checked_sub(link_delay)?;
+    (!max.is_zero()).then_some(max)
+}
+
+/// Theorem 5 as a predicate on an offered backup-update period.
+#[must_use]
+pub fn theorem5_holds(
+    backup_period: TimeDelta,
+    delta_b: TimeDelta,
+    delta_p: TimeDelta,
+    link_delay: TimeDelta,
+) -> bool {
+    theorem5_max_period(delta_b, delta_p, link_delay).is_some_and(|max| backup_period <= max)
+}
+
+// ---------------------------------------------------------------------------
+// Inter-object consistency (§3)
+// ---------------------------------------------------------------------------
+
+/// Lemma 3 (sufficient): inter-object consistency between objects i and j
+/// holds at a replica if each update period satisfies
+/// `p ≤ (δ_ij + e) / 2` for its own execution time.
+#[must_use]
+pub fn lemma3_holds(
+    period_i: TimeDelta,
+    exec_i: TimeDelta,
+    period_j: TimeDelta,
+    exec_j: TimeDelta,
+    delta_ij: TimeDelta,
+) -> bool {
+    period_i <= (delta_ij + exec_i) / 2 && period_j <= (delta_ij + exec_j) / 2
+}
+
+/// Theorem 6 (necessary and sufficient): inter-object consistency between
+/// objects i and j holds at a replica iff `p_i ≤ δ_ij - v_i` and
+/// `p_j ≤ δ_ij - v_j`.
+///
+/// # Examples
+///
+/// ```
+/// use rtpb_sched::consistency;
+/// use rtpb_types::TimeDelta;
+///
+/// let ms = TimeDelta::from_millis;
+/// assert!(consistency::theorem6_holds(
+///     ms(80), TimeDelta::ZERO,
+///     ms(100), TimeDelta::ZERO,
+///     ms(100),
+/// ));
+/// assert!(!consistency::theorem6_holds(
+///     ms(80), ms(30),
+///     ms(100), TimeDelta::ZERO,
+///     ms(100),
+/// ));
+/// ```
+#[must_use]
+pub fn theorem6_holds(
+    period_i: TimeDelta,
+    variance_i: TimeDelta,
+    period_j: TimeDelta,
+    variance_j: TimeDelta,
+    delta_ij: TimeDelta,
+) -> bool {
+    theorem6_max_period(delta_ij, variance_i).is_some_and(|m| period_i <= m)
+        && theorem6_max_period(delta_ij, variance_j).is_some_and(|m| period_j <= m)
+}
+
+/// The largest period one member of a constrained pair may use:
+/// `δ_ij - v`, or `None` if the variance consumes the bound.
+#[must_use]
+pub fn theorem6_max_period(delta_ij: TimeDelta, variance: TimeDelta) -> Option<TimeDelta> {
+    let max = delta_ij.checked_sub(variance)?;
+    (!max.is_zero()).then_some(max)
+}
+
+/// The worst-case staleness of an object image at a replica whose update
+/// task has period `p` and phase variance `v`: `p + v` (from the proof of
+/// Theorem 1).
+#[must_use]
+pub fn worst_case_staleness(period: TimeDelta, variance: TimeDelta) -> TimeDelta {
+    period + variance
+}
+
+/// The worst-case staleness at the backup (proof of Theorem 4):
+/// `r_i + v'_i + p_i + v_i + ℓ`.
+#[must_use]
+pub fn worst_case_backup_staleness(
+    backup_period: TimeDelta,
+    backup_variance: TimeDelta,
+    primary_period: TimeDelta,
+    primary_variance: TimeDelta,
+    link_delay: TimeDelta,
+) -> TimeDelta {
+    backup_period + backup_variance + primary_period + primary_variance + link_delay
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> TimeDelta {
+        TimeDelta::from_millis(v)
+    }
+
+    // --- Lemma 1 / Theorem 1 -------------------------------------------
+
+    #[test]
+    fn lemma1_boundary() {
+        // (δ + e)/2 = (100 + 10)/2 = 55.
+        assert_eq!(lemma1_max_period(ms(10), ms(100)), ms(55));
+        assert!(lemma1_holds(ms(55), ms(10), ms(100)));
+        assert!(!lemma1_holds(ms(56), ms(10), ms(100)));
+    }
+
+    #[test]
+    fn lemma1_implies_theorem1_with_inherent_variance() {
+        // If p ≤ (δ+e)/2 then with the inherent bound v ≤ p - e we get
+        // p + v ≤ 2p - e ≤ δ, i.e. Theorem 1 holds with v = p - e.
+        for (p, e, d) in [(55u64, 10u64, 100u64), (30, 5, 60), (10, 1, 25)] {
+            if lemma1_holds(ms(p), ms(e), ms(d)) {
+                let v = ms(p) - ms(e);
+                assert!(
+                    theorem1_holds(ms(p), ms(d), v),
+                    "Lemma 1 admitted (p={p}, e={e}, δ={d}) but Theorem 1 rejects at inherent v"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn theorem1_relaxes_as_variance_shrinks() {
+        // Lemma 1 rejects p = 100 for δ = 100 (needs p ≤ 55), but
+        // Theorem 1 with v = 0 admits it.
+        assert!(!lemma1_holds(ms(100), ms(10), ms(100)));
+        assert!(theorem1_holds(ms(100), ms(100), TimeDelta::ZERO));
+    }
+
+    #[test]
+    fn theorem1_unsatisfiable_when_variance_eats_bound() {
+        assert_eq!(theorem1_max_period(ms(50), ms(50)), None);
+        assert_eq!(theorem1_max_period(ms(50), ms(60)), None);
+        assert!(!theorem1_holds(ms(1), ms(50), ms(50)));
+    }
+
+    // --- Lemma 2 / Theorems 4-5 ----------------------------------------
+
+    #[test]
+    fn lemma2_boundary() {
+        // (δB + e + e' - ℓ)/2 - p = (500 + 10 + 10 - 20)/2 - 100 = 150.
+        assert_eq!(
+            lemma2_max_period(ms(100), ms(10), ms(10), ms(500), ms(20)),
+            Some(ms(150))
+        );
+        assert!(lemma2_holds(ms(150), ms(100), ms(10), ms(10), ms(500), ms(20)));
+        assert!(!lemma2_holds(ms(151), ms(100), ms(10), ms(10), ms(500), ms(20)));
+    }
+
+    #[test]
+    fn lemma2_infeasible_when_delay_dominates() {
+        assert_eq!(
+            lemma2_max_period(ms(100), ms(1), ms(1), ms(50), ms(500)),
+            None
+        );
+    }
+
+    #[test]
+    fn theorem4_boundary_and_monotonicity() {
+        let max = theorem4_max_period(ms(500), ms(5), ms(100), ms(10), ms(20)).unwrap();
+        assert_eq!(max, ms(365));
+        assert!(theorem4_holds(max, ms(500), ms(5), ms(100), ms(10), ms(20)));
+        assert!(!theorem4_holds(
+            max + ms(1),
+            ms(500),
+            ms(5),
+            ms(100),
+            ms(10),
+            ms(20)
+        ));
+        // Increasing any variance shrinks the admitted period.
+        let tighter = theorem4_max_period(ms(500), ms(50), ms(100), ms(10), ms(20)).unwrap();
+        assert!(tighter < max);
+    }
+
+    #[test]
+    fn theorem4_with_maximal_p_reduces_to_theorem5() {
+        // p = δP - v (maximal choice) and v' = 0:
+        // r ≤ δB - 0 - (δP - v) - v - ℓ = (δB - δP) - ℓ.
+        let (db, dp, v, ell) = (ms(550), ms(150), ms(30), ms(10));
+        let p = dp - v;
+        let via_t4 = theorem4_max_period(db, TimeDelta::ZERO, p, v, ell);
+        let via_t5 = theorem5_max_period(db, dp, ell);
+        assert_eq!(via_t4, via_t5);
+        assert_eq!(via_t5, Some(ms(390)));
+    }
+
+    #[test]
+    fn theorem5_rejects_window_not_exceeding_delay() {
+        assert_eq!(theorem5_max_period(ms(160), ms(150), ms(10)), None);
+        assert_eq!(theorem5_max_period(ms(155), ms(150), ms(10)), None);
+        assert!(theorem5_holds(ms(1), ms(162), ms(150), ms(10)));
+        assert!(!theorem5_holds(ms(3), ms(162), ms(150), ms(10)));
+    }
+
+    #[test]
+    fn theorem5_degenerate_backup_tighter_than_primary() {
+        // δB < δP: checked_sub fails → None.
+        assert_eq!(theorem5_max_period(ms(100), ms(150), ms(10)), None);
+    }
+
+    // --- Lemma 3 / Theorem 6 -------------------------------------------
+
+    #[test]
+    fn lemma3_checks_both_members() {
+        let d = ms(100);
+        assert!(lemma3_holds(ms(50), ms(10), ms(52), ms(5), d));
+        // First member violates.
+        assert!(!lemma3_holds(ms(60), ms(10), ms(50), ms(5), d));
+        // Second member violates.
+        assert!(!lemma3_holds(ms(50), ms(10), ms(60), ms(5), d));
+    }
+
+    #[test]
+    fn theorem6_checks_both_members_with_their_own_variance() {
+        let d = ms(100);
+        assert!(theorem6_holds(ms(90), ms(10), ms(100), TimeDelta::ZERO, d));
+        assert!(!theorem6_holds(ms(91), ms(10), ms(100), TimeDelta::ZERO, d));
+        assert!(!theorem6_holds(ms(90), ms(10), ms(100), ms(1), d));
+    }
+
+    #[test]
+    fn theorem6_zero_variance_simplification() {
+        // §3: with all variances zero the condition is p ≤ δij for both.
+        let d = ms(250);
+        assert!(theorem6_holds(d, TimeDelta::ZERO, d, TimeDelta::ZERO, d));
+        assert!(!theorem6_holds(
+            d + ms(1),
+            TimeDelta::ZERO,
+            d,
+            TimeDelta::ZERO,
+            d
+        ));
+    }
+
+    // --- Worst-case staleness ------------------------------------------
+
+    #[test]
+    fn staleness_formulas_match_proofs() {
+        assert_eq!(worst_case_staleness(ms(100), ms(20)), ms(120));
+        assert_eq!(
+            worst_case_backup_staleness(ms(50), ms(5), ms(100), ms(20), ms(10)),
+            ms(185)
+        );
+    }
+
+    #[test]
+    fn theorem4_is_exactly_staleness_at_most_delta() {
+        // r at the Theorem-4 maximum ⇒ worst-case staleness = δB exactly.
+        let (db, vp, p, v, ell) = (ms(500), ms(5), ms(100), ms(10), ms(20));
+        let r = theorem4_max_period(db, vp, p, v, ell).unwrap();
+        assert_eq!(worst_case_backup_staleness(r, vp, p, v, ell), db);
+    }
+}

@@ -1,0 +1,33 @@
+//! Deterministic single-CPU scheduler executors.
+//!
+//! These executors simulate a preemptive uniprocessor running a
+//! [`TaskSet`](crate::task::TaskSet) under a policy and record every
+//! invocation (release, start, finish, deadline) in a [`Timeline`]. The
+//! timelines are how the theory is validated: the empirical phase variance
+//! of a recorded timeline must respect the analytic bounds of Theorem 2,
+//! and under [`run_dcs`] it must be exactly zero (Theorem 3).
+//!
+//! # Examples
+//!
+//! ```
+//! use rtpb_sched::exec::{run_rm, Horizon};
+//! use rtpb_sched::task::{PeriodicTask, TaskSet};
+//! use rtpb_types::TimeDelta;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let ms = TimeDelta::from_millis;
+//! let tasks = TaskSet::try_from_iter([
+//!     PeriodicTask::new(ms(4), ms(1)),
+//!     PeriodicTask::new(ms(6), ms(2)),
+//! ])?;
+//! let tl = run_rm(&tasks, Horizon::until(TimeDelta::from_millis(48)));
+//! assert_eq!(tl.deadline_misses(), 0);
+//! # Ok(())
+//! # }
+//! ```
+
+mod cpu;
+mod timeline;
+
+pub use cpu::{run_dcs, run_edf, run_rm, Horizon};
+pub use timeline::{Invocation, Timeline};

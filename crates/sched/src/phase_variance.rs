@@ -1,0 +1,429 @@
+//! Phase variance: Definitions 1–2 and Theorems 2–3 of the paper.
+//!
+//! The *k-th phase variance* of a periodic task is
+//! `v_i^k = |(I_k - I_{k-1}) - p_i|`, the deviation of the gap between two
+//! consecutive invocation completions from the nominal period; the *phase
+//! variance* `v_i` is the supremum over `k` (Definition 2). Phase variance
+//! is what turns the paper's sufficient consistency conditions (Lemmas 1–2)
+//! into necessary-and-sufficient ones (Theorems 1, 4, 6).
+
+use crate::task::TaskSet;
+use rtpb_types::{Time, TimeDelta};
+
+/// Analytic bounds on phase variance under different schedulers.
+///
+/// # Examples
+///
+/// ```
+/// use rtpb_sched::VarianceBound;
+/// use rtpb_types::TimeDelta;
+///
+/// let p = TimeDelta::from_millis(100);
+/// let e = TimeDelta::from_millis(10);
+/// // Inequality 2.1: v ≤ p - e always.
+/// assert_eq!(VarianceBound::inherent(p, e), TimeDelta::from_millis(90));
+/// // Theorem 2 (EDF) at 50% utilization: v ≤ 0.5p - e.
+/// assert_eq!(VarianceBound::edf(p, e, 0.5), Some(TimeDelta::from_millis(40)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VarianceBound;
+
+impl VarianceBound {
+    /// Inequality 2.1: any two consecutive completions of a periodic task
+    /// lie between `e_i` and `2p_i - e_i`, so `v_i ≤ p_i - e_i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `exec > period` (no such task exists).
+    #[must_use]
+    pub fn inherent(period: TimeDelta, exec: TimeDelta) -> TimeDelta {
+        assert!(exec <= period, "execution time cannot exceed period");
+        period - exec
+    }
+
+    /// Theorem 2, EDF part: `v_i ≤ x·p_i - e_i` where `x` is the task-set
+    /// utilization. Returns `None` when the bound is vacuous or negative
+    /// (i.e. `x·p_i < e_i`, impossible for a feasible task, or `x > 1`).
+    #[must_use]
+    pub fn edf(period: TimeDelta, exec: TimeDelta, utilization: f64) -> Option<TimeDelta> {
+        if !(0.0..=1.0).contains(&utilization) {
+            return None;
+        }
+        let scaled = scale(period, utilization);
+        scaled.checked_sub(exec)
+    }
+
+    /// Theorem 2, RM part: `v_i ≤ x·p_i / (n(2^{1/n} - 1)) - e_i` where `n`
+    /// is the number of tasks on the processor. Returns `None` when the
+    /// formula is vacuous (negative, or the scaled period exceeds the
+    /// inherent bound's premise `x·p_i/(…) > p_i` in which case the
+    /// inherent bound should be used instead — callers should take the
+    /// minimum with [`VarianceBound::inherent`]).
+    #[must_use]
+    pub fn rm(
+        period: TimeDelta,
+        exec: TimeDelta,
+        utilization: f64,
+        n_tasks: usize,
+    ) -> Option<TimeDelta> {
+        if n_tasks == 0 || !(0.0..=1.0).contains(&utilization) {
+            return None;
+        }
+        let bound = crate::analysis::utilization::liu_layland_bound(n_tasks);
+        let factor = utilization / bound;
+        let scaled = scale(period, factor);
+        scaled.checked_sub(exec)
+    }
+
+    /// The tightest applicable analytic bound for an RM-scheduled task:
+    /// `min(inherent, rm)` when the RM formula applies.
+    #[must_use]
+    pub fn rm_effective(
+        period: TimeDelta,
+        exec: TimeDelta,
+        utilization: f64,
+        n_tasks: usize,
+    ) -> TimeDelta {
+        let inherent = Self::inherent(period, exec);
+        match Self::rm(period, exec, utilization, n_tasks) {
+            Some(b) => b.min(inherent),
+            None => inherent,
+        }
+    }
+
+    /// The subset-tightened RM bound the paper sketches after Theorem 2:
+    /// "if the number of objects whose external temporal consistency we
+    /// want to guarantee is less than the number of tasks in the task
+    /// set, the bound on phase variance can be further tightened."
+    ///
+    /// Only the guaranteed subset's periods need shrinking to pin their
+    /// completions; with `x` the full-set utilization and `x_m ≤ x` the
+    /// subset's share, the uniform shrink factor `y` must satisfy
+    /// `x - x_m + x_m/y ≤ n(2^{1/n}-1)`, giving
+    /// `v_i ≤ p_i · x_m / (bound - x + x_m) - e_i`.
+    ///
+    /// With `x_m = x` this degenerates to [`VarianceBound::rm`]. Returns
+    /// `None` when the formula is vacuous (no slack, or inputs out of
+    /// range).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rtpb_sched::VarianceBound;
+    /// use rtpb_types::TimeDelta;
+    ///
+    /// let p = TimeDelta::from_millis(100);
+    /// let e = TimeDelta::from_millis(5);
+    /// let full = VarianceBound::rm(p, e, 0.5, 4).unwrap();
+    /// // Guaranteeing only a 0.1-utilization subset tightens the bound.
+    /// let subset = VarianceBound::rm_subset(p, e, 0.5, 0.1, 4).unwrap();
+    /// assert!(subset < full);
+    /// ```
+    #[must_use]
+    pub fn rm_subset(
+        period: TimeDelta,
+        exec: TimeDelta,
+        utilization: f64,
+        subset_utilization: f64,
+        n_tasks: usize,
+    ) -> Option<TimeDelta> {
+        if n_tasks == 0
+            || !(0.0..=1.0).contains(&utilization)
+            || subset_utilization <= 0.0
+            || subset_utilization > utilization
+        {
+            return None;
+        }
+        let bound = crate::analysis::utilization::liu_layland_bound(n_tasks);
+        let headroom = bound - utilization + subset_utilization;
+        if headroom <= 0.0 {
+            return None;
+        }
+        let factor = (subset_utilization / headroom).min(1.0);
+        let scaled = scale(period, factor);
+        scaled.checked_sub(exec)
+    }
+
+    /// Theorem 3: under the distance-constrained scheduler `Sr`, phase
+    /// variance is exactly zero if `Σ e_i/p_i ≤ n(2^{1/n} - 1)`.
+    ///
+    /// This just re-exports the condition from
+    /// [`analysis::dcs`](crate::analysis::dcs) for discoverability.
+    #[must_use]
+    pub fn dcs_zero(tasks: &TaskSet) -> bool {
+        crate::analysis::dcs::theorem3_condition(tasks)
+    }
+}
+
+fn scale(period: TimeDelta, factor: f64) -> TimeDelta {
+    debug_assert!(factor >= 0.0);
+    TimeDelta::from_nanos((period.as_nanos() as f64 * factor).round() as u64)
+}
+
+/// Online measurement of empirical phase variance from a stream of
+/// invocation completion times.
+///
+/// Feed each completion with [`PhaseVarianceTracker::record_finish`];
+/// [`PhaseVarianceTracker::variance`] is the running maximum
+/// `max_k |(I_k - I_{k-1}) - p|`. The RTPB harness runs one tracker per
+/// update task and checks the measured value against the analytic bounds.
+///
+/// # Examples
+///
+/// ```
+/// use rtpb_sched::PhaseVarianceTracker;
+/// use rtpb_types::{Time, TimeDelta};
+///
+/// let mut tr = PhaseVarianceTracker::new(TimeDelta::from_millis(10));
+/// tr.record_finish(Time::from_millis(10));
+/// tr.record_finish(Time::from_millis(20)); // gap 10 = p → v = 0
+/// tr.record_finish(Time::from_millis(33)); // gap 13 → v = 3
+/// assert_eq!(tr.variance(), Some(TimeDelta::from_millis(3)));
+/// assert_eq!(tr.invocations(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PhaseVarianceTracker {
+    period: TimeDelta,
+    last_finish: Option<Time>,
+    max_variance: Option<TimeDelta>,
+    max_gap: Option<TimeDelta>,
+    invocations: u64,
+}
+
+impl PhaseVarianceTracker {
+    /// Creates a tracker for a task with nominal period `period`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    #[must_use]
+    pub fn new(period: TimeDelta) -> Self {
+        assert!(!period.is_zero(), "period must be positive");
+        PhaseVarianceTracker {
+            period,
+            last_finish: None,
+            max_variance: None,
+            max_gap: None,
+            invocations: 0,
+        }
+    }
+
+    /// Records one invocation completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `finish` precedes the previously recorded completion
+    /// (completions arrive in order on a single timeline).
+    pub fn record_finish(&mut self, finish: Time) {
+        self.invocations += 1;
+        if let Some(prev) = self.last_finish {
+            let gap = finish
+                .checked_since(prev)
+                .expect("completions must be recorded in order");
+            let v = gap.abs_diff(self.period);
+            self.max_variance = Some(self.max_variance.map_or(v, |m| m.max(v)));
+            self.max_gap = Some(self.max_gap.map_or(gap, |m| m.max(gap)));
+        }
+        self.last_finish = Some(finish);
+    }
+
+    /// The nominal period.
+    #[must_use]
+    pub fn period(&self) -> TimeDelta {
+        self.period
+    }
+
+    /// The measured phase variance, or `None` before two completions.
+    #[must_use]
+    pub fn variance(&self) -> Option<TimeDelta> {
+        self.max_variance
+    }
+
+    /// The largest observed completion-to-completion gap, or `None` before
+    /// two completions. External consistency holds for bound `δ` iff this
+    /// gap (which equals `p + v` at its max) stays `≤ δ`.
+    #[must_use]
+    pub fn max_gap(&self) -> Option<TimeDelta> {
+        self.max_gap
+    }
+
+    /// Completions recorded so far.
+    #[must_use]
+    pub fn invocations(&self) -> u64 {
+        self.invocations
+    }
+
+    /// The last completion time, if any.
+    #[must_use]
+    pub fn last_finish(&self) -> Option<Time> {
+        self.last_finish
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::PeriodicTask;
+
+    fn ms(v: u64) -> TimeDelta {
+        TimeDelta::from_millis(v)
+    }
+
+    #[test]
+    fn inherent_bound_matches_inequality_2_1() {
+        assert_eq!(VarianceBound::inherent(ms(100), ms(30)), ms(70));
+        assert_eq!(VarianceBound::inherent(ms(100), ms(100)), ms(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed period")]
+    fn inherent_bound_rejects_impossible_task() {
+        let _ = VarianceBound::inherent(ms(10), ms(20));
+    }
+
+    #[test]
+    fn edf_bound_shrinks_with_utilization() {
+        let p = ms(100);
+        let e = ms(10);
+        let full = VarianceBound::edf(p, e, 1.0).unwrap();
+        let half = VarianceBound::edf(p, e, 0.5).unwrap();
+        let low = VarianceBound::edf(p, e, 0.2).unwrap();
+        assert_eq!(full, ms(90)); // degenerates to the inherent bound
+        assert_eq!(half, ms(40));
+        assert_eq!(low, ms(10));
+        assert!(low < half && half < full);
+    }
+
+    #[test]
+    fn edf_bound_vacuous_cases() {
+        // x·p < e: negative bound → None (task infeasible at that x).
+        assert_eq!(VarianceBound::edf(ms(100), ms(30), 0.2), None);
+        // utilization out of range.
+        assert_eq!(VarianceBound::edf(ms(100), ms(10), 1.5), None);
+        assert_eq!(VarianceBound::edf(ms(100), ms(10), -0.1), None);
+    }
+
+    #[test]
+    fn rm_bound_is_looser_than_edf_at_same_utilization() {
+        // Dividing by n(2^{1/n}-1) < 1 inflates the scaled period.
+        let p = ms(100);
+        let e = ms(5);
+        let edf = VarianceBound::edf(p, e, 0.5).unwrap();
+        let rm = VarianceBound::rm(p, e, 0.5, 3).unwrap();
+        assert!(rm > edf);
+    }
+
+    #[test]
+    fn rm_effective_never_exceeds_inherent() {
+        let p = ms(100);
+        let e = ms(5);
+        // High utilization: raw RM formula exceeds p - e; effective clamps.
+        let eff = VarianceBound::rm_effective(p, e, 0.8, 4);
+        assert!(eff <= VarianceBound::inherent(p, e));
+        // Low utilization: RM formula is the binding one.
+        let eff_low = VarianceBound::rm_effective(p, e, 0.1, 4);
+        assert!(eff_low < VarianceBound::inherent(p, e));
+    }
+
+    #[test]
+    fn rm_bound_rejects_degenerate_inputs() {
+        assert_eq!(VarianceBound::rm(ms(10), ms(1), 0.5, 0), None);
+        assert_eq!(VarianceBound::rm(ms(10), ms(1), 2.0, 3), None);
+    }
+
+    #[test]
+    fn rm_subset_degenerates_to_full_bound_when_subset_is_everything() {
+        let p = ms(100);
+        let e = ms(5);
+        let full = VarianceBound::rm(p, e, 0.4, 3);
+        let subset = VarianceBound::rm_subset(p, e, 0.4, 0.4, 3);
+        assert_eq!(full, subset);
+    }
+
+    #[test]
+    fn rm_subset_monotone_in_subset_utilization() {
+        let p = ms(100);
+        let e = ms(2);
+        let mut prev = TimeDelta::ZERO;
+        for xm in [0.05, 0.1, 0.2, 0.3, 0.4] {
+            let b = VarianceBound::rm_subset(p, e, 0.4, xm, 4).unwrap();
+            assert!(b >= prev, "bound must grow with subset share");
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn rm_subset_rejects_degenerate_inputs() {
+        assert_eq!(VarianceBound::rm_subset(ms(10), ms(1), 0.5, 0.0, 3), None);
+        assert_eq!(VarianceBound::rm_subset(ms(10), ms(1), 0.5, 0.6, 3), None);
+        assert_eq!(VarianceBound::rm_subset(ms(10), ms(1), 0.5, 0.1, 0), None);
+        assert_eq!(VarianceBound::rm_subset(ms(10), ms(1), 1.5, 0.1, 3), None);
+    }
+
+    #[test]
+    fn dcs_zero_reexports_theorem_3() {
+        let light = TaskSet::try_from_iter([
+            PeriodicTask::new(ms(10), ms(1)),
+            PeriodicTask::new(ms(20), ms(2)),
+        ])
+        .unwrap();
+        assert!(VarianceBound::dcs_zero(&light));
+    }
+
+    #[test]
+    fn tracker_requires_two_samples() {
+        let mut tr = PhaseVarianceTracker::new(ms(10));
+        assert_eq!(tr.variance(), None);
+        tr.record_finish(Time::from_millis(10));
+        assert_eq!(tr.variance(), None);
+        assert_eq!(tr.max_gap(), None);
+        assert_eq!(tr.invocations(), 1);
+        assert_eq!(tr.last_finish(), Some(Time::from_millis(10)));
+    }
+
+    #[test]
+    fn tracker_measures_max_deviation() {
+        let mut tr = PhaseVarianceTracker::new(ms(10));
+        for t in [10u64, 20, 28, 41, 51] {
+            tr.record_finish(Time::from_millis(t));
+        }
+        // Gaps: 10, 8, 13, 10 → deviations 0, 2, 3, 0.
+        assert_eq!(tr.variance(), Some(ms(3)));
+        assert_eq!(tr.max_gap(), Some(ms(13)));
+    }
+
+    #[test]
+    fn tracker_exact_periodicity_gives_zero() {
+        let mut tr = PhaseVarianceTracker::new(ms(7));
+        for k in 1..=100u64 {
+            tr.record_finish(Time::from_millis(7 * k));
+        }
+        assert_eq!(tr.variance(), Some(TimeDelta::ZERO));
+        assert_eq!(tr.max_gap(), Some(ms(7)));
+    }
+
+    #[test]
+    #[should_panic(expected = "in order")]
+    fn tracker_rejects_out_of_order_completions() {
+        let mut tr = PhaseVarianceTracker::new(ms(10));
+        tr.record_finish(Time::from_millis(20));
+        tr.record_finish(Time::from_millis(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn tracker_rejects_zero_period() {
+        let _ = PhaseVarianceTracker::new(TimeDelta::ZERO);
+    }
+
+    #[test]
+    fn max_gap_equals_period_plus_variance_at_extreme() {
+        // The worst staleness the paper derives is p + v; the tracker's
+        // max_gap is exactly that quantity when the max gap exceeds p.
+        let mut tr = PhaseVarianceTracker::new(ms(10));
+        for t in [10u64, 20, 35, 45] {
+            tr.record_finish(Time::from_millis(t));
+        }
+        assert_eq!(tr.max_gap().unwrap(), tr.period() + tr.variance().unwrap());
+    }
+}

@@ -1,0 +1,56 @@
+//! Event identity.
+
+use core::fmt;
+
+/// Handle to a scheduled event, usable for cancellation.
+///
+/// Ids are unique within one [`Simulation`](crate::Simulation) run and also
+/// serve as the tie-breaker that makes simultaneous events execute in
+/// scheduling order.
+///
+/// # Examples
+///
+/// ```
+/// use rtpb_sim::{Simulation, Context, World};
+/// use rtpb_types::{Time, TimeDelta};
+///
+/// struct W { fired: bool }
+/// impl World for W {
+///     type Event = ();
+///     fn handle(&mut self, _: &mut Context<'_, ()>, _: ()) { self.fired = true; }
+/// }
+///
+/// let mut sim = Simulation::new(W { fired: false }, 0);
+/// let id = sim.schedule_at(Time::from_millis(1), ());
+/// sim.cancel(id);
+/// sim.run_until(Time::from_millis(2));
+/// assert!(!sim.world().fired);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(pub(crate) u64);
+
+impl EventId {
+    /// The raw sequence number.
+    #[must_use]
+    pub const fn sequence(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "evt#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_ids_order_by_sequence() {
+        assert!(EventId(1) < EventId(2));
+        assert_eq!(EventId(7).sequence(), 7);
+        assert_eq!(EventId(7).to_string(), "evt#7");
+    }
+}

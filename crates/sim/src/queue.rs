@@ -1,0 +1,226 @@
+//! Time-ordered event queue with stable tie-breaking and cancellation.
+
+use crate::event::EventId;
+use rtpb_types::Time;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+struct Entry<E> {
+    time: Time,
+    id: EventId,
+    event: E,
+}
+
+// BinaryHeap is a max-heap; invert the ordering to pop the earliest
+// (time, id) pair first. Equal times pop in scheduling (id) order, which is
+// what makes simulations deterministic.
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.time, other.id).cmp(&(self.time, self.id))
+    }
+}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.id == other.id
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+/// A priority queue of timestamped events.
+///
+/// Pops events in `(time, scheduling order)` order. Cancellation is lazy:
+/// cancelled ids are remembered and skipped when they surface.
+///
+/// # Examples
+///
+/// ```
+/// use rtpb_sim::EventQueue;
+/// use rtpb_types::Time;
+///
+/// let mut q = EventQueue::new();
+/// let _a = q.push(Time::from_millis(5), "late");
+/// let b = q.push(Time::from_millis(1), "early");
+/// let _c = q.push(Time::from_millis(3), "cancelled");
+/// q.cancel(_c);
+/// assert_eq!(q.pop().map(|(t, _, e)| (t, e)), Some((Time::from_millis(1), "early")));
+/// assert_eq!(q.pop().map(|(t, _, e)| (t, e)), Some((Time::from_millis(5), "late")));
+/// assert!(q.pop().is_none());
+/// # let _ = b;
+/// ```
+#[derive(Debug, Default)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    cancelled: HashSet<EventId>,
+    next_id: u64,
+}
+
+impl<E> std::fmt::Debug for Entry<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Entry")
+            .field("time", &self.time)
+            .field("id", &self.id)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Schedules `event` at `time`, returning its cancellation handle.
+    pub fn push(&mut self, time: Time, event: E) -> EventId {
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        self.heap.push(Entry { time, id, event });
+        id
+    }
+
+    /// Cancels a pending event. Cancelling an already-fired or unknown id
+    /// is a no-op (the id space is unique, so this cannot misfire).
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.insert(id);
+    }
+
+    /// Removes and returns the earliest non-cancelled event.
+    pub fn pop(&mut self) -> Option<(Time, EventId, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.id) {
+                continue;
+            }
+            return Some((entry.time, entry.id, entry.event));
+        }
+        None
+    }
+
+    /// The timestamp of the earliest non-cancelled event, without removing
+    /// it.
+    pub fn peek_time(&mut self) -> Option<Time> {
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.id) {
+                let entry = self.heap.pop().expect("peeked entry exists");
+                self.cancelled.remove(&entry.id);
+                continue;
+            }
+            return Some(entry.time);
+        }
+        None
+    }
+
+    /// Number of events in the heap, including not-yet-skipped cancelled
+    /// ones. (`is_empty` needs `&mut self` to discard cancelled heads, so
+    /// the usual pairing lint is silenced.)
+    #[must_use]
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len().min(self.heap.len())
+    }
+
+    /// Whether no live events remain.
+    ///
+    /// Takes `&mut self` because answering may first discard cancelled
+    /// entries at the head of the heap (clippy's `len`/`is_empty` pairing
+    /// lint is silenced for that reason).
+    #[must_use]
+    pub fn is_empty(&mut self) -> bool {
+        self.peek_time().is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtpb_types::TimeDelta;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_millis(3), 3);
+        q.push(Time::from_millis(1), 1);
+        q.push(Time::from_millis(2), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, _, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn simultaneous_events_pop_in_scheduling_order() {
+        let mut q = EventQueue::new();
+        let t = Time::from_millis(5);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, _, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancelled_events_are_skipped() {
+        let mut q = EventQueue::new();
+        let a = q.push(Time::from_millis(1), "a");
+        let b = q.push(Time::from_millis(2), "b");
+        q.cancel(a);
+        assert_eq!(q.pop().map(|(_, id, e)| (id, e)), Some((b, "b")));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_noop() {
+        let mut q: EventQueue<&str> = EventQueue::new();
+        q.cancel(EventId(999));
+        q.push(Time::ZERO, "x");
+        assert!(q.pop().is_some());
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled_head() {
+        let mut q = EventQueue::new();
+        let a = q.push(Time::from_millis(1), "a");
+        q.push(Time::from_millis(2), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(Time::from_millis(2)));
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn len_accounts_for_cancellations() {
+        let mut q = EventQueue::new();
+        let a = q.push(Time::from_millis(1), 1);
+        q.push(Time::from_millis(2), 2);
+        assert_eq!(q.len(), 2);
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn empty_queue_behaviour() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn interleaved_push_pop_maintains_order() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_millis(10), 10);
+        assert_eq!(q.pop().map(|x| x.2), Some(10));
+        q.push(Time::from_millis(5), 5);
+        q.push(Time::from_millis(5) + TimeDelta::from_nanos(1), 6);
+        assert_eq!(q.pop().map(|x| x.2), Some(5));
+        assert_eq!(q.pop().map(|x| x.2), Some(6));
+    }
+}

@@ -1,0 +1,169 @@
+//! Seeded randomness for reproducible experiments.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rtpb_types::TimeDelta;
+
+/// A deterministic random source for simulations.
+///
+/// Wraps a seeded [`SmallRng`] with domain helpers: Bernoulli trials for
+/// message loss and uniform delays within the `[min, ℓ]` communication-delay
+/// band the paper assumes.
+///
+/// # Examples
+///
+/// ```
+/// use rtpb_sim::SimRng;
+/// use rtpb_types::TimeDelta;
+///
+/// let mut a = SimRng::seed_from(7);
+/// let mut b = SimRng::seed_from(7);
+/// // Same seed, same stream.
+/// assert_eq!(a.chance(0.3), b.chance(0.3));
+/// let lo = TimeDelta::from_millis(1);
+/// let hi = TimeDelta::from_millis(10);
+/// let d = a.delay_between(lo, hi);
+/// assert!(d >= lo && d <= hi);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: SmallRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    #[must_use]
+    pub fn seed_from(seed: u64) -> Self {
+        SimRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// A Bernoulli trial: `true` with probability `p` (clamped to [0, 1]).
+    ///
+    /// Used for message loss: each transmission is lost independently with
+    /// the sweep's loss probability.
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.inner.gen_bool(p)
+        }
+    }
+
+    /// A uniform delay in `[min, max]` inclusive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max`.
+    pub fn delay_between(&mut self, min: TimeDelta, max: TimeDelta) -> TimeDelta {
+        assert!(min <= max, "delay_between requires min <= max");
+        if min == max {
+            return min;
+        }
+        TimeDelta::from_nanos(self.inner.gen_range(min.as_nanos()..=max.as_nanos()))
+    }
+
+    /// A uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn index(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "index bound must be positive");
+        self.inner.gen_range(0..bound)
+    }
+
+    /// A fresh child generator, seeded from this one.
+    ///
+    /// Lets subsystems (e.g. each link direction) own independent streams
+    /// that are still fully determined by the root seed.
+    pub fn fork(&mut self) -> SimRng {
+        SimRng::seed_from(self.inner.gen())
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen_range(0.0..1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from(123);
+        let mut b = SimRng::seed_from(123);
+        for _ in 0..100 {
+            assert_eq!(a.chance(0.5), b.chance(0.5));
+            assert_eq!(a.unit().to_bits(), b.unit().to_bits());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::seed_from(1);
+        let mut b = SimRng::seed_from(2);
+        let va: Vec<bool> = (0..64).map(|_| a.chance(0.5)).collect();
+        let vb: Vec<bool> = (0..64).map(|_| b.chance(0.5)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn chance_extremes_are_exact() {
+        let mut rng = SimRng::seed_from(0);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        assert!(!rng.chance(-0.5));
+        assert!(rng.chance(1.5));
+    }
+
+    #[test]
+    fn chance_frequency_is_plausible() {
+        let mut rng = SimRng::seed_from(99);
+        let hits = (0..10_000).filter(|_| rng.chance(0.1)).count();
+        assert!((800..1200).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn delay_between_respects_bounds() {
+        let mut rng = SimRng::seed_from(5);
+        let lo = TimeDelta::from_micros(100);
+        let hi = TimeDelta::from_millis(2);
+        for _ in 0..1000 {
+            let d = rng.delay_between(lo, hi);
+            assert!(d >= lo && d <= hi);
+        }
+        assert_eq!(rng.delay_between(lo, lo), lo);
+    }
+
+    #[test]
+    #[should_panic(expected = "min <= max")]
+    fn delay_between_rejects_inverted_range() {
+        let mut rng = SimRng::seed_from(5);
+        let _ = rng.delay_between(TimeDelta::from_millis(2), TimeDelta::from_millis(1));
+    }
+
+    #[test]
+    fn index_stays_in_bound() {
+        let mut rng = SimRng::seed_from(8);
+        for _ in 0..1000 {
+            assert!(rng.index(7) < 7);
+        }
+    }
+
+    #[test]
+    fn forked_streams_are_deterministic() {
+        let mut root1 = SimRng::seed_from(42);
+        let mut root2 = SimRng::seed_from(42);
+        let mut c1 = root1.fork();
+        let mut c2 = root2.fork();
+        for _ in 0..32 {
+            assert_eq!(c1.unit().to_bits(), c2.unit().to_bits());
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Streaming summary statistics for experiment metrics.
+
+use rtpb_types::TimeDelta;
+
+/// Online summary of a stream of [`TimeDelta`] samples.
+///
+/// Accumulates count, mean, min and max in O(1) space and also retains the
+/// samples so percentiles can be computed at report time. The evaluation
+/// harness uses one `Summary` per metric per run (response time,
+/// primary–backup distance, inconsistency duration).
+///
+/// # Examples
+///
+/// ```
+/// use rtpb_sim::Summary;
+/// use rtpb_types::TimeDelta;
+///
+/// let mut s = Summary::new();
+/// for ms in [1, 2, 3, 4] {
+///     s.record(TimeDelta::from_millis(ms));
+/// }
+/// assert_eq!(s.count(), 4);
+/// assert_eq!(s.max(), Some(TimeDelta::from_millis(4)));
+/// assert_eq!(s.mean(), Some(TimeDelta::from_micros(2500)));
+/// assert_eq!(s.percentile(50.0), Some(TimeDelta::from_millis(2)));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    samples: Vec<TimeDelta>,
+    total_nanos: u128,
+    min: Option<TimeDelta>,
+    max: Option<TimeDelta>,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    #[must_use]
+    pub fn new() -> Self {
+        Summary::default()
+    }
+
+    /// Adds one sample.
+    pub fn record(&mut self, sample: TimeDelta) {
+        self.samples.push(sample);
+        self.total_nanos += u128::from(sample.as_nanos());
+        self.min = Some(self.min.map_or(sample, |m| m.min(sample)));
+        self.max = Some(self.max.map_or(sample, |m| m.max(sample)));
+    }
+
+    /// Merges another summary into this one.
+    pub fn merge(&mut self, other: &Summary) {
+        for &s in &other.samples {
+            self.record(s);
+        }
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean, or `None` if empty.
+    #[must_use]
+    pub fn mean(&self) -> Option<TimeDelta> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(TimeDelta::from_nanos(
+                (self.total_nanos / self.samples.len() as u128) as u64,
+            ))
+        }
+    }
+
+    /// Smallest sample, or `None` if empty.
+    #[must_use]
+    pub fn min(&self) -> Option<TimeDelta> {
+        self.min
+    }
+
+    /// Largest sample, or `None` if empty.
+    #[must_use]
+    pub fn max(&self) -> Option<TimeDelta> {
+        self.max
+    }
+
+    /// The `p`-th percentile (nearest-rank), or `None` if empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> Option<TimeDelta> {
+        assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        Some(sorted[rank.saturating_sub(1)])
+    }
+
+    /// All recorded samples, in insertion order.
+    #[must_use]
+    pub fn samples(&self) -> &[TimeDelta] {
+        &self.samples
+    }
+}
+
+impl Extend<TimeDelta> for Summary {
+    fn extend<T: IntoIterator<Item = TimeDelta>>(&mut self, iter: T) {
+        for s in iter {
+            self.record(s);
+        }
+    }
+}
+
+impl FromIterator<TimeDelta> for Summary {
+    fn from_iter<T: IntoIterator<Item = TimeDelta>>(iter: T) -> Self {
+        let mut s = Summary::new();
+        s.extend(iter);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> TimeDelta {
+        TimeDelta::from_millis(v)
+    }
+
+    #[test]
+    fn empty_summary_reports_none() {
+        let s = Summary::new();
+        assert!(s.is_empty());
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.percentile(99.0), None);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s: Summary = [ms(5)].into_iter().collect();
+        assert_eq!(s.mean(), Some(ms(5)));
+        assert_eq!(s.min(), Some(ms(5)));
+        assert_eq!(s.max(), Some(ms(5)));
+        assert_eq!(s.percentile(0.0), Some(ms(5)));
+        assert_eq!(s.percentile(100.0), Some(ms(5)));
+    }
+
+    #[test]
+    fn mean_min_max() {
+        let s: Summary = [ms(10), ms(20), ms(60)].into_iter().collect();
+        assert_eq!(s.mean(), Some(ms(30)));
+        assert_eq!(s.min(), Some(ms(10)));
+        assert_eq!(s.max(), Some(ms(60)));
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let s: Summary = (1..=100).map(ms).collect();
+        assert_eq!(s.percentile(50.0), Some(ms(50)));
+        assert_eq!(s.percentile(95.0), Some(ms(95)));
+        assert_eq!(s.percentile(100.0), Some(ms(100)));
+        assert_eq!(s.percentile(1.0), Some(ms(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile")]
+    fn percentile_out_of_range_panics() {
+        let s = Summary::new();
+        let _ = s.percentile(101.0);
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a: Summary = [ms(1), ms(2)].into_iter().collect();
+        let b: Summary = [ms(3), ms(4)].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.max(), Some(ms(4)));
+        assert_eq!(a.mean(), Some(TimeDelta::from_micros(2500)));
+    }
+
+    #[test]
+    fn samples_preserve_order() {
+        let s: Summary = [ms(3), ms(1), ms(2)].into_iter().collect();
+        assert_eq!(s.samples(), &[ms(3), ms(1), ms(2)]);
+    }
+}

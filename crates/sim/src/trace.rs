@@ -1,0 +1,161 @@
+//! Bounded execution traces for debugging simulations.
+
+use rtpb_types::Time;
+use std::collections::VecDeque;
+
+/// One trace record: what happened, and when.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Virtual time the record was appended.
+    pub time: Time,
+    /// Free-form description.
+    pub message: String,
+}
+
+impl std::fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.time, self.message)
+    }
+}
+
+/// A bounded ring buffer of [`TraceRecord`]s.
+///
+/// Disabled by default so the hot path pays nothing; enable with a capacity
+/// to keep the most recent records. Tests use traces to assert protocol
+/// behaviour ("a retransmission request was issued after the gap").
+///
+/// # Examples
+///
+/// ```
+/// use rtpb_sim::Trace;
+/// use rtpb_types::Time;
+///
+/// let mut trace = Trace::with_capacity(2);
+/// trace.push(Time::from_millis(1), "a");
+/// trace.push(Time::from_millis(2), "b");
+/// trace.push(Time::from_millis(3), "c");
+/// // Capacity 2: the oldest record was evicted.
+/// let msgs: Vec<&str> = trace.records().map(|r| r.message.as_str()).collect();
+/// assert_eq!(msgs, ["b", "c"]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    records: VecDeque<TraceRecord>,
+    capacity: usize,
+}
+
+impl Trace {
+    /// Creates a disabled trace (capacity zero: all pushes are dropped).
+    #[must_use]
+    pub fn disabled() -> Self {
+        Trace::default()
+    }
+
+    /// Creates a trace retaining the most recent `capacity` records.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Trace {
+            records: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+        }
+    }
+
+    /// Whether pushes are retained.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Appends a record, evicting the oldest if at capacity.
+    pub fn push(&mut self, time: Time, message: impl Into<String>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+        }
+        self.records.push_back(TraceRecord {
+            time,
+            message: message.into(),
+        });
+    }
+
+    /// Iterates over retained records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Number of retained records.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no records are retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Whether any retained record's message contains `needle`.
+    #[must_use]
+    pub fn contains(&self, needle: &str) -> bool {
+        self.records.iter().any(|r| r.message.contains(needle))
+    }
+
+    /// Drops all retained records, keeping the capacity.
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_drops_everything() {
+        let mut t = Trace::disabled();
+        assert!(!t.is_enabled());
+        t.push(Time::ZERO, "x");
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut t = Trace::with_capacity(3);
+        for i in 0..5 {
+            t.push(Time::from_millis(i), format!("m{i}"));
+        }
+        assert_eq!(t.len(), 3);
+        let msgs: Vec<&str> = t.records().map(|r| r.message.as_str()).collect();
+        assert_eq!(msgs, ["m2", "m3", "m4"]);
+    }
+
+    #[test]
+    fn contains_searches_messages() {
+        let mut t = Trace::with_capacity(8);
+        t.push(Time::ZERO, "primary crashed");
+        assert!(t.contains("crash"));
+        assert!(!t.contains("recovered"));
+    }
+
+    #[test]
+    fn clear_retains_capacity() {
+        let mut t = Trace::with_capacity(2);
+        t.push(Time::ZERO, "a");
+        t.clear();
+        assert!(t.is_empty());
+        t.push(Time::ZERO, "b");
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn record_display_includes_time() {
+        let r = TraceRecord {
+            time: Time::from_millis(7),
+            message: "hello".into(),
+        };
+        assert_eq!(r.to_string(), "[t+7ms] hello");
+    }
+}

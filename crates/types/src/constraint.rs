@@ -1,0 +1,210 @@
+//! Inter-object temporal constraints (§3 of the paper).
+
+use crate::ids::ObjectId;
+use crate::time::TimeDelta;
+
+/// A bound `δ_ij` on the timestamp skew between two objects.
+///
+/// Inter-object temporal consistency requires `|T_j(t) - T_i(t)| ≤ δ_ij` at
+/// every instant, at both the primary and the backup. The paper's example: a
+/// bounded time between an aircraft's acceleration reading and its lift-off
+/// state, because the runway is finite.
+///
+/// Section 4.2 converts each inter-object constraint into two external
+/// constraints: the pair is satisfiable at the primary iff `p_i ≤ δ_ij - v_i`
+/// and `p_j ≤ δ_ij - v_j` (Theorem 6). [`InterObjectConstraint::implied_period_bound`]
+/// exposes that conversion.
+///
+/// # Examples
+///
+/// ```
+/// use rtpb_types::{InterObjectConstraint, ObjectId, TimeDelta};
+///
+/// let c = InterObjectConstraint::new(
+///     ObjectId::new(0),
+///     ObjectId::new(1),
+///     TimeDelta::from_millis(250),
+/// );
+/// assert!(c.involves(ObjectId::new(1)));
+/// assert_eq!(
+///     c.implied_period_bound(TimeDelta::from_millis(50)),
+///     Some(TimeDelta::from_millis(200)),
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct InterObjectConstraint {
+    first: ObjectId,
+    second: ObjectId,
+    bound: TimeDelta,
+}
+
+impl InterObjectConstraint {
+    /// Creates a constraint `δ_ij = bound` between `first` and `second`.
+    ///
+    /// The pair is stored in normalized (ascending-id) order so that
+    /// `new(a, b, d) == new(b, a, d)`.
+    #[must_use]
+    pub fn new(first: ObjectId, second: ObjectId, bound: TimeDelta) -> Self {
+        let (first, second) = if first <= second {
+            (first, second)
+        } else {
+            (second, first)
+        };
+        InterObjectConstraint {
+            first,
+            second,
+            bound,
+        }
+    }
+
+    /// The lower-id object of the pair.
+    #[must_use]
+    pub fn first(&self) -> ObjectId {
+        self.first
+    }
+
+    /// The higher-id object of the pair.
+    #[must_use]
+    pub fn second(&self) -> ObjectId {
+        self.second
+    }
+
+    /// The skew bound `δ_ij`.
+    #[must_use]
+    pub fn bound(&self) -> TimeDelta {
+        self.bound
+    }
+
+    /// Whether `id` is one of the constrained pair.
+    #[must_use]
+    pub fn involves(&self, id: ObjectId) -> bool {
+        self.first == id || self.second == id
+    }
+
+    /// The other member of the pair, or `None` if `id` is not involved.
+    #[must_use]
+    pub fn partner_of(&self, id: ObjectId) -> Option<ObjectId> {
+        if id == self.first {
+            Some(self.second)
+        } else if id == self.second {
+            Some(self.first)
+        } else {
+            None
+        }
+    }
+
+    /// The maximum update period each member may use given phase variance
+    /// `v` (Theorem 6: `p ≤ δ_ij - v`), or `None` if `v ≥ δ_ij` (the
+    /// constraint is unsatisfiable at that variance).
+    #[must_use]
+    pub fn implied_period_bound(&self, phase_variance: TimeDelta) -> Option<TimeDelta> {
+        let slack = self.bound.checked_sub(phase_variance)?;
+        if slack.is_zero() {
+            None
+        } else {
+            Some(slack)
+        }
+    }
+}
+
+impl core::fmt::Display for InterObjectConstraint {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "|T({}) - T({})| ≤ {}", self.second, self.first, self.bound)
+    }
+}
+
+/// The primary's feedback when an object is rejected, enabling QoS
+/// renegotiation (§4.2: "the primary can provide feedback so that the client
+/// can negotiate for an alternative quality of service").
+///
+/// # Examples
+///
+/// ```
+/// use rtpb_types::{QosNegotiation, TimeDelta};
+///
+/// let hint = QosNegotiation {
+///     min_primary_bound: Some(TimeDelta::from_millis(120)),
+///     min_window: Some(TimeDelta::from_millis(20)),
+///     max_admissible_utilization: Some(0.69),
+/// };
+/// assert!(hint.min_primary_bound.is_some());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct QosNegotiation {
+    /// Smallest `δ_i^P` the primary could accept for the offered period.
+    pub min_primary_bound: Option<TimeDelta>,
+    /// Smallest window `δ_i^B - δ_i^P` compatible with the delay bound `ℓ`.
+    pub min_window: Option<TimeDelta>,
+    /// Utilization headroom left in the update scheduler, if that was the
+    /// binding constraint.
+    pub max_admissible_utilization: Option<f64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_normalizes_order() {
+        let a = ObjectId::new(4);
+        let b = ObjectId::new(2);
+        let d = TimeDelta::from_millis(10);
+        let c1 = InterObjectConstraint::new(a, b, d);
+        let c2 = InterObjectConstraint::new(b, a, d);
+        assert_eq!(c1, c2);
+        assert_eq!(c1.first(), b);
+        assert_eq!(c1.second(), a);
+        assert_eq!(c1.bound(), d);
+    }
+
+    #[test]
+    fn involvement_and_partner() {
+        let c = InterObjectConstraint::new(
+            ObjectId::new(1),
+            ObjectId::new(2),
+            TimeDelta::from_millis(5),
+        );
+        assert!(c.involves(ObjectId::new(1)));
+        assert!(c.involves(ObjectId::new(2)));
+        assert!(!c.involves(ObjectId::new(3)));
+        assert_eq!(c.partner_of(ObjectId::new(1)), Some(ObjectId::new(2)));
+        assert_eq!(c.partner_of(ObjectId::new(2)), Some(ObjectId::new(1)));
+        assert_eq!(c.partner_of(ObjectId::new(3)), None);
+    }
+
+    #[test]
+    fn implied_period_bound_applies_theorem_6() {
+        let c = InterObjectConstraint::new(
+            ObjectId::new(0),
+            ObjectId::new(1),
+            TimeDelta::from_millis(100),
+        );
+        // v = 0: full bound available.
+        assert_eq!(
+            c.implied_period_bound(TimeDelta::ZERO),
+            Some(TimeDelta::from_millis(100))
+        );
+        // v = 30: p ≤ 70 ms.
+        assert_eq!(
+            c.implied_period_bound(TimeDelta::from_millis(30)),
+            Some(TimeDelta::from_millis(70))
+        );
+        // v = δ_ij: no feasible period.
+        assert_eq!(c.implied_period_bound(TimeDelta::from_millis(100)), None);
+        // v > δ_ij: no feasible period.
+        assert_eq!(c.implied_period_bound(TimeDelta::from_millis(150)), None);
+    }
+
+    #[test]
+    fn display_names_both_objects() {
+        let c = InterObjectConstraint::new(
+            ObjectId::new(0),
+            ObjectId::new(1),
+            TimeDelta::from_millis(5),
+        );
+        let s = c.to_string();
+        assert!(s.contains("obj#0") && s.contains("obj#1") && s.contains("5ms"));
+    }
+}

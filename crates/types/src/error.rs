@@ -1,0 +1,253 @@
+//! Error types for spec validation and admission control.
+
+use crate::constraint::QosNegotiation;
+use crate::ids::ObjectId;
+use crate::time::TimeDelta;
+use core::fmt;
+use std::error::Error;
+
+/// A structurally invalid [`ObjectSpec`](crate::ObjectSpec).
+///
+/// Produced by [`ObjectSpecBuilder::build`](crate::ObjectSpecBuilder::build)
+/// before the spec ever reaches the primary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpecError {
+    /// The object name was empty.
+    EmptyName,
+    /// No update period was supplied.
+    MissingUpdatePeriod,
+    /// No primary consistency bound was supplied.
+    MissingPrimaryBound,
+    /// No backup consistency bound was supplied.
+    MissingBackupBound,
+    /// The update period was zero.
+    ZeroUpdatePeriod,
+    /// The execution time is not smaller than the update period.
+    ExecExceedsPeriod {
+        /// Offending execution time.
+        exec: TimeDelta,
+        /// The update period it must stay below.
+        period: TimeDelta,
+    },
+    /// `δ_i^B ≤ δ_i^P`: the primary–backup consistency window is empty.
+    EmptyWindow {
+        /// The primary bound `δ_i^P`.
+        primary_bound: TimeDelta,
+        /// The backup bound `δ_i^B`.
+        backup_bound: TimeDelta,
+    },
+    /// The payload size was zero or above the maximum.
+    BadSize(usize),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::EmptyName => write!(f, "object name is empty"),
+            SpecError::MissingUpdatePeriod => write!(f, "update period not specified"),
+            SpecError::MissingPrimaryBound => {
+                write!(f, "primary consistency bound not specified")
+            }
+            SpecError::MissingBackupBound => {
+                write!(f, "backup consistency bound not specified")
+            }
+            SpecError::ZeroUpdatePeriod => write!(f, "update period is zero"),
+            SpecError::ExecExceedsPeriod { exec, period } => write!(
+                f,
+                "execution time {exec} is not smaller than update period {period}"
+            ),
+            SpecError::EmptyWindow {
+                primary_bound,
+                backup_bound,
+            } => write!(
+                f,
+                "backup bound {backup_bound} does not exceed primary bound {primary_bound}"
+            ),
+            SpecError::BadSize(size) => {
+                write!(f, "payload size {size} is zero or above the maximum")
+            }
+        }
+    }
+}
+
+impl Error for SpecError {}
+
+/// Why the primary's admission controller rejected an object (§4.2).
+///
+/// Each variant corresponds to one gate of the admission pipeline, and
+/// carries the data a client needs to renegotiate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdmissionError {
+    /// `p_i > δ_i^P`: the client's own update rate cannot keep the primary
+    /// image within its external bound (Theorem 1 with `v_i = 0` for the
+    /// client's sensing task).
+    PeriodExceedsPrimaryBound {
+        /// Offered update period `p_i`.
+        period: TimeDelta,
+        /// The primary bound `δ_i^P` it must not exceed.
+        primary_bound: TimeDelta,
+        /// Renegotiation hints.
+        negotiation: QosNegotiation,
+    },
+    /// `δ_i ≤ ℓ`: the window is not larger than the communication-delay
+    /// bound, so backup consistency is unattainable.
+    WindowTooSmall {
+        /// The offered window `δ_i^B - δ_i^P`.
+        window: TimeDelta,
+        /// The communication-delay bound `ℓ`.
+        delay_bound: TimeDelta,
+        /// Renegotiation hints.
+        negotiation: QosNegotiation,
+    },
+    /// The update-transmission task set (existing objects plus the new one)
+    /// failed the schedulability test.
+    Unschedulable {
+        /// Utilization the task set would have had.
+        utilization: f64,
+        /// The bound the test required.
+        bound: f64,
+        /// Renegotiation hints.
+        negotiation: QosNegotiation,
+    },
+    /// An inter-object constraint named an object that is not registered.
+    UnknownObject(ObjectId),
+    /// An inter-object constraint `δ_ij` is too tight for the offered or
+    /// existing periods (Theorem 6).
+    InterObjectTooTight {
+        /// The constrained pair's bound `δ_ij`.
+        bound: TimeDelta,
+        /// The period that violates it.
+        period: TimeDelta,
+        /// The object whose period violates the bound.
+        object: ObjectId,
+    },
+    /// The service is not accepting registrations (e.g. no backup yet
+    /// recruited after a failover, and the policy requires one).
+    ServiceUnavailable,
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionError::PeriodExceedsPrimaryBound {
+                period,
+                primary_bound,
+                ..
+            } => write!(
+                f,
+                "update period {period} exceeds primary consistency bound {primary_bound}"
+            ),
+            AdmissionError::WindowTooSmall {
+                window,
+                delay_bound,
+                ..
+            } => write!(
+                f,
+                "consistency window {window} does not exceed communication delay bound {delay_bound}"
+            ),
+            AdmissionError::Unschedulable {
+                utilization, bound, ..
+            } => write!(
+                f,
+                "update task set unschedulable: utilization {utilization:.3} exceeds bound {bound:.3}"
+            ),
+            AdmissionError::UnknownObject(id) => {
+                write!(f, "inter-object constraint references unknown object {id}")
+            }
+            AdmissionError::InterObjectTooTight {
+                bound,
+                period,
+                object,
+            } => write!(
+                f,
+                "inter-object bound {bound} is tighter than period {period} of {object}"
+            ),
+            AdmissionError::ServiceUnavailable => {
+                write!(f, "replication service is not accepting registrations")
+            }
+        }
+    }
+}
+
+impl Error for AdmissionError {}
+
+impl AdmissionError {
+    /// The renegotiation hints attached to this rejection, if any.
+    #[must_use]
+    pub fn negotiation(&self) -> Option<&QosNegotiation> {
+        match self {
+            AdmissionError::PeriodExceedsPrimaryBound { negotiation, .. }
+            | AdmissionError::WindowTooSmall { negotiation, .. }
+            | AdmissionError::Unschedulable { negotiation, .. } => Some(negotiation),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_error_messages_are_lowercase_and_informative() {
+        let msgs = [
+            SpecError::EmptyName.to_string(),
+            SpecError::MissingUpdatePeriod.to_string(),
+            SpecError::ZeroUpdatePeriod.to_string(),
+            SpecError::ExecExceedsPeriod {
+                exec: TimeDelta::from_millis(2),
+                period: TimeDelta::from_millis(1),
+            }
+            .to_string(),
+            SpecError::EmptyWindow {
+                primary_bound: TimeDelta::from_millis(2),
+                backup_bound: TimeDelta::from_millis(1),
+            }
+            .to_string(),
+            SpecError::BadSize(0).to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(m.chars().next().unwrap().is_lowercase());
+            assert!(!m.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn admission_error_exposes_negotiation() {
+        let e = AdmissionError::WindowTooSmall {
+            window: TimeDelta::from_millis(5),
+            delay_bound: TimeDelta::from_millis(10),
+            negotiation: QosNegotiation {
+                min_window: Some(TimeDelta::from_millis(11)),
+                ..QosNegotiation::default()
+            },
+        };
+        assert_eq!(
+            e.negotiation().unwrap().min_window,
+            Some(TimeDelta::from_millis(11))
+        );
+        assert!(AdmissionError::ServiceUnavailable.negotiation().is_none());
+        assert!(AdmissionError::UnknownObject(ObjectId::new(1))
+            .negotiation()
+            .is_none());
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<SpecError>();
+        assert_error::<AdmissionError>();
+    }
+
+    #[test]
+    fn admission_error_display_mentions_numbers() {
+        let e = AdmissionError::Unschedulable {
+            utilization: 0.91,
+            bound: 0.69,
+            negotiation: QosNegotiation::default(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("0.910") && s.contains("0.690"));
+    }
+}

@@ -1,0 +1,490 @@
+//! The replicated-object model: registration specs and versioned values.
+
+use crate::error::SpecError;
+use crate::time::{Time, TimeDelta};
+
+/// Maximum payload size accepted for a replicated object, in bytes.
+///
+/// The paper's prototype replicates small sensor images; 64 KiB comfortably
+/// covers a datagram-sized update while guarding against absurd specs.
+pub const MAX_OBJECT_SIZE: usize = 64 * 1024;
+
+/// Monotonically increasing version number of an object image.
+///
+/// Each client write to the primary produces the next version. Versions let
+/// the backup discard stale (reordered or retransmitted) updates and let the
+/// metrics layer compute the primary–backup *distance* (§5.2).
+///
+/// # Examples
+///
+/// ```
+/// use rtpb_types::Version;
+///
+/// let v = Version::INITIAL;
+/// assert_eq!(v.next(), Version::new(1));
+/// assert!(v < v.next());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Version(u64);
+
+impl Version {
+    /// The version of an object that has never been written.
+    pub const INITIAL: Version = Version(0);
+
+    /// Creates a version from its raw counter value.
+    #[must_use]
+    pub const fn new(v: u64) -> Self {
+        Version(v)
+    }
+
+    /// The raw counter value.
+    #[must_use]
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+
+    /// The following version.
+    #[must_use]
+    pub const fn next(self) -> Version {
+        Version(self.0 + 1)
+    }
+
+    /// How many versions `self` is ahead of `older` (zero if behind).
+    ///
+    /// The primary–backup distance metric counts versions the backup is
+    /// missing.
+    #[must_use]
+    pub const fn gap_from(self, older: Version) -> u64 {
+        self.0.saturating_sub(older.0)
+    }
+}
+
+impl core::fmt::Display for Version {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A registration record for one replicated object (§4.2).
+///
+/// Carries everything admission control needs: the client's update period
+/// `p_i`, the execution times of the update tasks at the primary (`e_i`) and
+/// backup (`e'_i`), the external temporal-consistency bounds at the primary
+/// (`δ_i^P`) and backup (`δ_i^B`), and the payload size reserved on both
+/// servers.
+///
+/// Construct with [`ObjectSpec::builder`]; the builder validates structural
+/// sanity (admission-control decisions such as `p_i ≤ δ_i^P` are made by the
+/// primary, not here).
+///
+/// # Examples
+///
+/// ```
+/// use rtpb_types::{ObjectSpec, TimeDelta};
+///
+/// # fn main() -> Result<(), rtpb_types::SpecError> {
+/// let spec = ObjectSpec::builder("engine-temp")
+///     .update_period(TimeDelta::from_millis(100))
+///     .primary_bound(TimeDelta::from_millis(150))
+///     .backup_bound(TimeDelta::from_millis(550))
+///     .size_bytes(128)
+///     .build()?;
+/// assert_eq!(spec.window(), TimeDelta::from_millis(400));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ObjectSpec {
+    name: String,
+    update_period: TimeDelta,
+    exec_time: TimeDelta,
+    backup_exec_time: TimeDelta,
+    primary_bound: TimeDelta,
+    backup_bound: TimeDelta,
+    size_bytes: usize,
+}
+
+impl ObjectSpec {
+    /// Starts building a spec for an object called `name`.
+    #[must_use]
+    pub fn builder(name: impl Into<String>) -> ObjectSpecBuilder {
+        ObjectSpecBuilder::new(name)
+    }
+
+    /// Human-readable object name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Client update period `p_i`: the object changes in the external world
+    /// and the client pushes a fresh image to the primary this often.
+    #[must_use]
+    pub fn update_period(&self) -> TimeDelta {
+        self.update_period
+    }
+
+    /// Execution time `e_i` of applying one client update at the primary.
+    #[must_use]
+    pub fn exec_time(&self) -> TimeDelta {
+        self.exec_time
+    }
+
+    /// Execution time `e'_i` of applying one update at the backup.
+    #[must_use]
+    pub fn backup_exec_time(&self) -> TimeDelta {
+        self.backup_exec_time
+    }
+
+    /// External temporal-consistency bound `δ_i^P` at the primary.
+    #[must_use]
+    pub fn primary_bound(&self) -> TimeDelta {
+        self.primary_bound
+    }
+
+    /// External temporal-consistency bound `δ_i^B` at the backup.
+    #[must_use]
+    pub fn backup_bound(&self) -> TimeDelta {
+        self.backup_bound
+    }
+
+    /// Payload size in bytes reserved on the primary and backup.
+    #[must_use]
+    pub fn size_bytes(&self) -> usize {
+        self.size_bytes
+    }
+
+    /// The consistency window `δ_i = δ_i^B - δ_i^P` between primary and
+    /// backup (§4.2).
+    ///
+    /// Admission requires `δ_i > ℓ` (the communication-delay bound);
+    /// otherwise consistency at the backup is unattainable.
+    #[must_use]
+    pub fn window(&self) -> TimeDelta {
+        self.backup_bound - self.primary_bound
+    }
+}
+
+impl core::fmt::Display for ObjectSpec {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{} (p={}, δP={}, δB={}, {}B)",
+            self.name, self.update_period, self.primary_bound, self.backup_bound, self.size_bytes
+        )
+    }
+}
+
+/// Builder for [`ObjectSpec`] (C-BUILDER).
+///
+/// Defaults: execution times of 100 µs at both replicas and a 64-byte
+/// payload. Update period and both consistency bounds must be supplied.
+#[derive(Debug, Clone)]
+pub struct ObjectSpecBuilder {
+    name: String,
+    update_period: Option<TimeDelta>,
+    exec_time: TimeDelta,
+    backup_exec_time: TimeDelta,
+    primary_bound: Option<TimeDelta>,
+    backup_bound: Option<TimeDelta>,
+    size_bytes: usize,
+}
+
+impl ObjectSpecBuilder {
+    fn new(name: impl Into<String>) -> Self {
+        ObjectSpecBuilder {
+            name: name.into(),
+            update_period: None,
+            exec_time: TimeDelta::from_micros(100),
+            backup_exec_time: TimeDelta::from_micros(100),
+            primary_bound: None,
+            backup_bound: None,
+            size_bytes: 64,
+        }
+    }
+
+    /// Sets the client update period `p_i`.
+    #[must_use]
+    pub fn update_period(mut self, period: TimeDelta) -> Self {
+        self.update_period = Some(period);
+        self
+    }
+
+    /// Sets the primary-side execution time `e_i`.
+    #[must_use]
+    pub fn exec_time(mut self, exec: TimeDelta) -> Self {
+        self.exec_time = exec;
+        self
+    }
+
+    /// Sets the backup-side execution time `e'_i`.
+    #[must_use]
+    pub fn backup_exec_time(mut self, exec: TimeDelta) -> Self {
+        self.backup_exec_time = exec;
+        self
+    }
+
+    /// Sets the external consistency bound `δ_i^P` at the primary.
+    #[must_use]
+    pub fn primary_bound(mut self, bound: TimeDelta) -> Self {
+        self.primary_bound = Some(bound);
+        self
+    }
+
+    /// Sets the external consistency bound `δ_i^B` at the backup.
+    #[must_use]
+    pub fn backup_bound(mut self, bound: TimeDelta) -> Self {
+        self.backup_bound = Some(bound);
+        self
+    }
+
+    /// Sets the payload size in bytes.
+    #[must_use]
+    pub fn size_bytes(mut self, size: usize) -> Self {
+        self.size_bytes = size;
+        self
+    }
+
+    /// Validates and produces the [`ObjectSpec`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] if a required field is missing, the update
+    /// period is zero, an execution time is at least the period (the update
+    /// task could never keep up), the backup bound does not exceed the
+    /// primary bound (empty consistency window), or the payload exceeds
+    /// [`MAX_OBJECT_SIZE`].
+    pub fn build(self) -> Result<ObjectSpec, SpecError> {
+        let name = self.name;
+        if name.is_empty() {
+            return Err(SpecError::EmptyName);
+        }
+        let update_period = self.update_period.ok_or(SpecError::MissingUpdatePeriod)?;
+        let primary_bound = self.primary_bound.ok_or(SpecError::MissingPrimaryBound)?;
+        let backup_bound = self.backup_bound.ok_or(SpecError::MissingBackupBound)?;
+        if update_period.is_zero() {
+            return Err(SpecError::ZeroUpdatePeriod);
+        }
+        if self.exec_time >= update_period {
+            return Err(SpecError::ExecExceedsPeriod {
+                exec: self.exec_time,
+                period: update_period,
+            });
+        }
+        if backup_bound <= primary_bound {
+            return Err(SpecError::EmptyWindow {
+                primary_bound,
+                backup_bound,
+            });
+        }
+        if self.size_bytes == 0 || self.size_bytes > MAX_OBJECT_SIZE {
+            return Err(SpecError::BadSize(self.size_bytes));
+        }
+        Ok(ObjectSpec {
+            name,
+            update_period,
+            exec_time: self.exec_time,
+            backup_exec_time: self.backup_exec_time,
+            primary_bound,
+            backup_bound,
+            size_bytes: self.size_bytes,
+        })
+    }
+}
+
+/// A versioned, timestamped object image held by a replica.
+///
+/// `timestamp` is the paper's `T_i(t)`: the finish time of the last update
+/// applied at this replica. The external temporal-consistency requirement is
+/// `t - T_i(t) ≤ δ_i` at every instant `t` (§2).
+///
+/// # Examples
+///
+/// ```
+/// use rtpb_types::{ObjectValue, Time, TimeDelta, Version};
+///
+/// let v = ObjectValue::new(Version::new(1), Time::from_millis(40), vec![1, 2]);
+/// let now = Time::from_millis(100);
+/// assert_eq!(v.staleness(now), TimeDelta::from_millis(60));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ObjectValue {
+    version: Version,
+    timestamp: Time,
+    payload: Vec<u8>,
+}
+
+impl ObjectValue {
+    /// Creates an object image.
+    #[must_use]
+    pub fn new(version: Version, timestamp: Time, payload: Vec<u8>) -> Self {
+        ObjectValue {
+            version,
+            timestamp,
+            payload,
+        }
+    }
+
+    /// The image version.
+    #[must_use]
+    pub fn version(&self) -> Version {
+        self.version
+    }
+
+    /// The finish time `T_i(t)` of the update that produced this image.
+    #[must_use]
+    pub fn timestamp(&self) -> Time {
+        self.timestamp
+    }
+
+    /// The payload bytes.
+    #[must_use]
+    pub fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+
+    /// Consumes the image and returns the payload.
+    #[must_use]
+    pub fn into_payload(self) -> Vec<u8> {
+        self.payload
+    }
+
+    /// Staleness `t - T_i(t)` at instant `now` (zero if `now` precedes the
+    /// update, which cannot happen on a causal timeline).
+    #[must_use]
+    pub fn staleness(&self, now: Time) -> TimeDelta {
+        now.saturating_since(self.timestamp)
+    }
+
+    /// Whether this image satisfies consistency bound `delta` at `now`.
+    #[must_use]
+    pub fn is_consistent(&self, now: Time, delta: TimeDelta) -> bool {
+        self.staleness(now) <= delta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> ObjectSpecBuilder {
+        ObjectSpec::builder("x")
+            .update_period(TimeDelta::from_millis(100))
+            .primary_bound(TimeDelta::from_millis(150))
+            .backup_bound(TimeDelta::from_millis(550))
+    }
+
+    #[test]
+    fn builder_produces_spec_with_defaults() {
+        let spec = base().build().unwrap();
+        assert_eq!(spec.name(), "x");
+        assert_eq!(spec.exec_time(), TimeDelta::from_micros(100));
+        assert_eq!(spec.backup_exec_time(), TimeDelta::from_micros(100));
+        assert_eq!(spec.size_bytes(), 64);
+        assert_eq!(spec.window(), TimeDelta::from_millis(400));
+    }
+
+    #[test]
+    fn builder_rejects_missing_fields() {
+        let err = ObjectSpec::builder("x").build().unwrap_err();
+        assert_eq!(err, SpecError::MissingUpdatePeriod);
+        let err = ObjectSpec::builder("x")
+            .update_period(TimeDelta::from_millis(10))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, SpecError::MissingPrimaryBound);
+        let err = ObjectSpec::builder("x")
+            .update_period(TimeDelta::from_millis(10))
+            .primary_bound(TimeDelta::from_millis(20))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, SpecError::MissingBackupBound);
+    }
+
+    #[test]
+    fn builder_rejects_empty_name() {
+        let err = ObjectSpec::builder("")
+            .update_period(TimeDelta::from_millis(10))
+            .primary_bound(TimeDelta::from_millis(20))
+            .backup_bound(TimeDelta::from_millis(30))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, SpecError::EmptyName);
+    }
+
+    #[test]
+    fn builder_rejects_zero_period() {
+        let err = base().update_period(TimeDelta::ZERO).build().unwrap_err();
+        assert_eq!(err, SpecError::ZeroUpdatePeriod);
+    }
+
+    #[test]
+    fn builder_rejects_exec_time_at_least_period() {
+        let err = base()
+            .exec_time(TimeDelta::from_millis(100))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SpecError::ExecExceedsPeriod { .. }));
+    }
+
+    #[test]
+    fn builder_rejects_empty_window() {
+        let err = base()
+            .backup_bound(TimeDelta::from_millis(150))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SpecError::EmptyWindow { .. }));
+        let err = base()
+            .backup_bound(TimeDelta::from_millis(100))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SpecError::EmptyWindow { .. }));
+    }
+
+    #[test]
+    fn builder_rejects_bad_sizes() {
+        assert_eq!(
+            base().size_bytes(0).build().unwrap_err(),
+            SpecError::BadSize(0)
+        );
+        assert_eq!(
+            base().size_bytes(MAX_OBJECT_SIZE + 1).build().unwrap_err(),
+            SpecError::BadSize(MAX_OBJECT_SIZE + 1)
+        );
+        assert!(base().size_bytes(MAX_OBJECT_SIZE).build().is_ok());
+    }
+
+    #[test]
+    fn version_ordering_and_gap() {
+        let v0 = Version::INITIAL;
+        let v3 = Version::new(3);
+        assert_eq!(v0.next().next().next(), v3);
+        assert_eq!(v3.gap_from(v0), 3);
+        assert_eq!(v0.gap_from(v3), 0);
+        assert_eq!(v3.to_string(), "v3");
+    }
+
+    #[test]
+    fn object_value_staleness_and_consistency() {
+        let img = ObjectValue::new(Version::new(2), Time::from_millis(10), vec![9]);
+        let now = Time::from_millis(25);
+        assert_eq!(img.staleness(now), TimeDelta::from_millis(15));
+        assert!(img.is_consistent(now, TimeDelta::from_millis(15)));
+        assert!(!img.is_consistent(now, TimeDelta::from_millis(14)));
+        // Causality clamp: an image "from the future" reads as fresh.
+        assert_eq!(img.staleness(Time::from_millis(5)), TimeDelta::ZERO);
+        assert_eq!(img.payload(), &[9]);
+        assert_eq!(img.clone().into_payload(), vec![9]);
+    }
+
+    #[test]
+    fn spec_display_mentions_name_and_period() {
+        let spec = base().build().unwrap();
+        let s = spec.to_string();
+        assert!(s.contains('x'));
+        assert!(s.contains("100ms"));
+    }
+}

@@ -1,0 +1,497 @@
+//! Integer-nanosecond time instants and durations.
+//!
+//! The paper's analysis (phase variance, consistency windows) is exact
+//! arithmetic over time instants, so the whole workspace uses `u64`
+//! nanoseconds. [`Time`] is a point on the timeline (virtual or real,
+//! measured from an arbitrary epoch); [`TimeDelta`] is a non-negative span.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
+use core::time::Duration;
+
+/// A point in time, in nanoseconds since an arbitrary epoch.
+///
+/// In simulation the epoch is the start of the run; in the real-clock
+/// runtime it is the creation of the runtime. `Time` is totally ordered and
+/// supports the usual instant arithmetic: `Time - Time = TimeDelta`,
+/// `Time + TimeDelta = Time`.
+///
+/// # Examples
+///
+/// ```
+/// use rtpb_types::{Time, TimeDelta};
+///
+/// let t0 = Time::ZERO;
+/// let t1 = t0 + TimeDelta::from_millis(5);
+/// assert_eq!(t1 - t0, TimeDelta::from_millis(5));
+/// assert!(t1 > t0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Time(u64);
+
+/// A non-negative span of time, in nanoseconds.
+///
+/// Used for periods (`p_i`, `r_i`), execution times (`e_i`, `e'_i`),
+/// consistency bounds (`δ_i^P`, `δ_i^B`, `δ_ij`) and the communication-delay
+/// bound `ℓ`.
+///
+/// # Examples
+///
+/// ```
+/// use rtpb_types::TimeDelta;
+///
+/// let period = TimeDelta::from_millis(100);
+/// assert_eq!(period * 3, TimeDelta::from_millis(300));
+/// assert_eq!(period.as_micros(), 100_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TimeDelta(u64);
+
+impl Time {
+    /// The epoch instant.
+    pub const ZERO: Time = Time(0);
+    /// The maximum representable instant.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Creates an instant `nanos` nanoseconds after the epoch.
+    #[must_use]
+    pub const fn from_nanos(nanos: u64) -> Self {
+        Time(nanos)
+    }
+
+    /// Creates an instant `micros` microseconds after the epoch.
+    #[must_use]
+    pub const fn from_micros(micros: u64) -> Self {
+        Time(micros * 1_000)
+    }
+
+    /// Creates an instant `millis` milliseconds after the epoch.
+    #[must_use]
+    pub const fn from_millis(millis: u64) -> Self {
+        Time(millis * 1_000_000)
+    }
+
+    /// Creates an instant `secs` seconds after the epoch.
+    #[must_use]
+    pub const fn from_secs(secs: u64) -> Self {
+        Time(secs * 1_000_000_000)
+    }
+
+    /// Nanoseconds since the epoch.
+    #[must_use]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Whole microseconds since the epoch.
+    #[must_use]
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Whole milliseconds since the epoch.
+    #[must_use]
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Fractional seconds since the epoch (lossy; for metrics only).
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Elapsed time since `earlier`, or [`TimeDelta::ZERO`] if `earlier`
+    /// is in the future.
+    ///
+    /// This mirrors the paper's `t - T_i(t)` staleness expression, which is
+    /// only evaluated for `t ≥ T_i(t)`.
+    #[must_use]
+    pub fn saturating_since(self, earlier: Time) -> TimeDelta {
+        TimeDelta(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Elapsed time since `earlier`, or `None` if `earlier > self`.
+    #[must_use]
+    pub fn checked_since(self, earlier: Time) -> Option<TimeDelta> {
+        self.0.checked_sub(earlier.0).map(TimeDelta)
+    }
+
+    /// Instant advanced by `delta`, or `None` on overflow.
+    #[must_use]
+    pub fn checked_add(self, delta: TimeDelta) -> Option<Time> {
+        self.0.checked_add(delta.0).map(Time)
+    }
+
+    /// The absolute distance between two instants.
+    ///
+    /// This is `|T_j(t) - T_i(t)|`, the quantity bounded by the inter-object
+    /// constraint `δ_ij` (§3).
+    #[must_use]
+    pub fn abs_diff(self, other: Time) -> TimeDelta {
+        TimeDelta(self.0.abs_diff(other.0))
+    }
+}
+
+impl TimeDelta {
+    /// The zero-length span.
+    pub const ZERO: TimeDelta = TimeDelta(0);
+    /// The maximum representable span.
+    pub const MAX: TimeDelta = TimeDelta(u64::MAX);
+
+    /// Creates a span of `nanos` nanoseconds.
+    #[must_use]
+    pub const fn from_nanos(nanos: u64) -> Self {
+        TimeDelta(nanos)
+    }
+
+    /// Creates a span of `micros` microseconds.
+    #[must_use]
+    pub const fn from_micros(micros: u64) -> Self {
+        TimeDelta(micros * 1_000)
+    }
+
+    /// Creates a span of `millis` milliseconds.
+    #[must_use]
+    pub const fn from_millis(millis: u64) -> Self {
+        TimeDelta(millis * 1_000_000)
+    }
+
+    /// Creates a span of `secs` seconds.
+    #[must_use]
+    pub const fn from_secs(secs: u64) -> Self {
+        TimeDelta(secs * 1_000_000_000)
+    }
+
+    /// Length in nanoseconds.
+    #[must_use]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Length in whole microseconds.
+    #[must_use]
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Length in whole milliseconds.
+    #[must_use]
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Length in fractional milliseconds (lossy; for metrics only).
+    #[must_use]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Length in fractional seconds (lossy; for metrics only).
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// `true` if this span has zero length.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Difference `self - other`, or [`TimeDelta::ZERO`] if `other` is
+    /// larger.
+    #[must_use]
+    pub fn saturating_sub(self, other: TimeDelta) -> TimeDelta {
+        TimeDelta(self.0.saturating_sub(other.0))
+    }
+
+    /// Difference `self - other`, or `None` if `other` is larger.
+    ///
+    /// Used by admission control where a negative slack means rejection,
+    /// e.g. `δ_i^B - δ_i^P - ℓ` in Theorem 5.
+    #[must_use]
+    pub fn checked_sub(self, other: TimeDelta) -> Option<TimeDelta> {
+        self.0.checked_sub(other.0).map(TimeDelta)
+    }
+
+    /// Sum `self + other`, or `None` on overflow.
+    #[must_use]
+    pub fn checked_add(self, other: TimeDelta) -> Option<TimeDelta> {
+        self.0.checked_add(other.0).map(TimeDelta)
+    }
+
+    /// The absolute difference between two spans.
+    ///
+    /// Phase variance (Definition 1) is
+    /// `v_i^k = |(I_k - I_{k-1}) - p_i|`, an absolute difference of spans.
+    #[must_use]
+    pub const fn abs_diff(self, other: TimeDelta) -> TimeDelta {
+        TimeDelta(self.0.abs_diff(other.0))
+    }
+
+    /// This span scaled by a rational factor `num/den`, rounded down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero.
+    #[must_use]
+    pub fn mul_ratio(self, num: u64, den: u64) -> TimeDelta {
+        assert!(den != 0, "mul_ratio denominator must be non-zero");
+        TimeDelta((u128::from(self.0) * u128::from(num) / u128::from(den)) as u64)
+    }
+
+    /// The larger of two spans.
+    #[must_use]
+    pub fn max(self, other: TimeDelta) -> TimeDelta {
+        TimeDelta(self.0.max(other.0))
+    }
+
+    /// The smaller of two spans.
+    #[must_use]
+    pub fn min(self, other: TimeDelta) -> TimeDelta {
+        TimeDelta(self.0.min(other.0))
+    }
+}
+
+impl Add<TimeDelta> for Time {
+    type Output = Time;
+    fn add(self, rhs: TimeDelta) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<TimeDelta> for Time {
+    fn add_assign(&mut self, rhs: TimeDelta) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<TimeDelta> for Time {
+    type Output = Time;
+    fn sub(self, rhs: TimeDelta) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = TimeDelta;
+    fn sub(self, rhs: Time) -> TimeDelta {
+        TimeDelta(self.0 - rhs.0)
+    }
+}
+
+impl Add for TimeDelta {
+    type Output = TimeDelta;
+    fn add(self, rhs: TimeDelta) -> TimeDelta {
+        TimeDelta(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for TimeDelta {
+    fn add_assign(&mut self, rhs: TimeDelta) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for TimeDelta {
+    type Output = TimeDelta;
+    fn sub(self, rhs: TimeDelta) -> TimeDelta {
+        TimeDelta(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for TimeDelta {
+    fn sub_assign(&mut self, rhs: TimeDelta) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for TimeDelta {
+    type Output = TimeDelta;
+    fn mul(self, rhs: u64) -> TimeDelta {
+        TimeDelta(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for TimeDelta {
+    type Output = TimeDelta;
+    fn div(self, rhs: u64) -> TimeDelta {
+        TimeDelta(self.0 / rhs)
+    }
+}
+
+impl Div<TimeDelta> for TimeDelta {
+    type Output = u64;
+    /// How many whole `rhs` spans fit in `self`.
+    fn div(self, rhs: TimeDelta) -> u64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Rem<TimeDelta> for TimeDelta {
+    type Output = TimeDelta;
+    fn rem(self, rhs: TimeDelta) -> TimeDelta {
+        TimeDelta(self.0 % rhs.0)
+    }
+}
+
+impl Sum for TimeDelta {
+    fn sum<I: Iterator<Item = TimeDelta>>(iter: I) -> TimeDelta {
+        iter.fold(TimeDelta::ZERO, Add::add)
+    }
+}
+
+impl From<Duration> for TimeDelta {
+    fn from(d: Duration) -> Self {
+        TimeDelta(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+    }
+}
+
+impl From<TimeDelta> for Duration {
+    fn from(d: TimeDelta) -> Self {
+        Duration::from_nanos(d.0)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}", TimeDelta(self.0))
+    }
+}
+
+impl fmt::Display for TimeDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns == 0 {
+            write!(f, "0ns")
+        } else if ns.is_multiple_of(1_000_000_000) {
+            write!(f, "{}s", ns / 1_000_000_000)
+        } else if ns.is_multiple_of(1_000_000) {
+            write!(f, "{}ms", ns / 1_000_000)
+        } else if ns.is_multiple_of(1_000) {
+            write!(f, "{}us", ns / 1_000)
+        } else if ns >= 1_000_000 {
+            // Inexact but ≥ 1 ms: fractional milliseconds read best.
+            write!(f, "{:.2}ms", ns as f64 / 1e6)
+        } else {
+            write!(f, "{ns}ns")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree_on_units() {
+        assert_eq!(Time::from_secs(1), Time::from_millis(1_000));
+        assert_eq!(Time::from_millis(1), Time::from_micros(1_000));
+        assert_eq!(Time::from_micros(1), Time::from_nanos(1_000));
+        assert_eq!(TimeDelta::from_secs(2), TimeDelta::from_nanos(2_000_000_000));
+    }
+
+    #[test]
+    fn instant_arithmetic() {
+        let t = Time::from_millis(10);
+        let d = TimeDelta::from_millis(3);
+        assert_eq!(t + d, Time::from_millis(13));
+        assert_eq!((t + d) - t, d);
+        assert_eq!((t + d) - d, t);
+    }
+
+    #[test]
+    fn saturating_since_clamps_at_zero() {
+        let early = Time::from_millis(5);
+        let late = Time::from_millis(9);
+        assert_eq!(late.saturating_since(early), TimeDelta::from_millis(4));
+        assert_eq!(early.saturating_since(late), TimeDelta::ZERO);
+    }
+
+    #[test]
+    fn checked_since_detects_order() {
+        let early = Time::from_millis(5);
+        let late = Time::from_millis(9);
+        assert_eq!(late.checked_since(early), Some(TimeDelta::from_millis(4)));
+        assert_eq!(early.checked_since(late), None);
+    }
+
+    #[test]
+    fn abs_diff_is_symmetric() {
+        let a = Time::from_millis(7);
+        let b = Time::from_millis(12);
+        assert_eq!(a.abs_diff(b), b.abs_diff(a));
+        assert_eq!(a.abs_diff(b), TimeDelta::from_millis(5));
+    }
+
+    #[test]
+    fn delta_scaling() {
+        let d = TimeDelta::from_millis(100);
+        assert_eq!(d * 4, TimeDelta::from_millis(400));
+        assert_eq!(d / 4, TimeDelta::from_millis(25));
+        assert_eq!(d.mul_ratio(1, 2), TimeDelta::from_millis(50));
+        assert_eq!(d.mul_ratio(3, 2), TimeDelta::from_millis(150));
+    }
+
+    #[test]
+    fn delta_div_counts_whole_periods() {
+        let span = TimeDelta::from_millis(1050);
+        let period = TimeDelta::from_millis(100);
+        assert_eq!(span / period, 10);
+        assert_eq!(span % period, TimeDelta::from_millis(50));
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator")]
+    fn mul_ratio_rejects_zero_denominator() {
+        let _ = TimeDelta::from_millis(1).mul_ratio(1, 0);
+    }
+
+    #[test]
+    fn checked_ops() {
+        assert_eq!(
+            TimeDelta::from_millis(5).checked_sub(TimeDelta::from_millis(7)),
+            None
+        );
+        assert_eq!(
+            TimeDelta::from_millis(7).checked_sub(TimeDelta::from_millis(5)),
+            Some(TimeDelta::from_millis(2))
+        );
+        assert_eq!(TimeDelta::MAX.checked_add(TimeDelta::from_nanos(1)), None);
+        assert_eq!(Time::MAX.checked_add(TimeDelta::from_nanos(1)), None);
+    }
+
+    #[test]
+    fn display_picks_coarsest_exact_unit() {
+        assert_eq!(TimeDelta::from_secs(3).to_string(), "3s");
+        assert_eq!(TimeDelta::from_millis(1500).to_string(), "1500ms");
+        assert_eq!(TimeDelta::from_micros(42).to_string(), "42us");
+        assert_eq!(TimeDelta::from_nanos(7).to_string(), "7ns");
+        assert_eq!(TimeDelta::from_nanos(203_021_128).to_string(), "203.02ms");
+        assert_eq!(TimeDelta::ZERO.to_string(), "0ns");
+        assert_eq!(Time::from_millis(10).to_string(), "t+10ms");
+    }
+
+    #[test]
+    fn std_duration_round_trip() {
+        let d = TimeDelta::from_micros(1234);
+        let std: Duration = d.into();
+        assert_eq!(TimeDelta::from(std), d);
+    }
+
+    #[test]
+    fn sum_of_deltas() {
+        let total: TimeDelta = (1..=4).map(TimeDelta::from_millis).sum();
+        assert_eq!(total, TimeDelta::from_millis(10));
+    }
+
+    #[test]
+    fn ordering_is_by_timeline() {
+        assert!(Time::from_millis(1) < Time::from_millis(2));
+        assert!(TimeDelta::from_micros(999) < TimeDelta::from_millis(1));
+    }
+}

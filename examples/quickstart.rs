@@ -1,0 +1,54 @@
+//! Quickstart: replicate one object and check its guarantees.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use rtpb::core::harness::{ClusterConfig, SimCluster};
+use rtpb::types::{ObjectSpec, TimeDelta};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A cluster with the default LAN model: 1–10 ms delay, no loss.
+    let mut cluster = SimCluster::new(ClusterConfig::default());
+
+    // One sensor object: the client refreshes it every 100 ms, the
+    // primary must stay within 150 ms of the real world, the backup
+    // within 550 ms. The consistency window is therefore 400 ms and the
+    // primary will push updates to the backup every (400 - 10)/2 = 195 ms.
+    let spec = ObjectSpec::builder("altitude")
+        .update_period(TimeDelta::from_millis(100))
+        .primary_bound(TimeDelta::from_millis(150))
+        .backup_bound(TimeDelta::from_millis(550))
+        .build()?;
+    let id = cluster.register(spec)?;
+    println!(
+        "admitted {id}; update task period = {}",
+        cluster
+            .primary()
+            .expect("serving")
+            .send_period(id)
+            .expect("scheduled")
+    );
+
+    // Run ten simulated seconds of periodic writes.
+    cluster.run_for(TimeDelta::from_secs(10));
+
+    let report = cluster.metrics().object_report(id).expect("tracked");
+    println!("client writes applied : {}", report.writes);
+    println!("updates at backup     : {}", report.applies);
+    println!("max p/b distance      : {}", report.max_distance);
+    println!("window (δB - δP)      : {}", report.window);
+    println!("backup violations     : {}", report.backup_violations);
+    println!(
+        "mean client response  : {}",
+        cluster
+            .metrics()
+            .response_times()
+            .mean()
+            .expect("writes happened")
+    );
+
+    assert_eq!(report.backup_violations, 0, "Theorem 5 held");
+    println!("temporal consistency maintained — as Theorem 5 guarantees.");
+    Ok(())
+}

@@ -1,0 +1,177 @@
+//! Failure-injection integration tests: crashes, takeover, and
+//! re-integration (paper §4.4).
+
+use rtpb::core::harness::{ClusterConfig, SimCluster};
+use rtpb::types::{NodeId, ObjectSpec, TimeDelta};
+
+fn ms(v: u64) -> TimeDelta {
+    TimeDelta::from_millis(v)
+}
+
+fn spec(period: u64) -> ObjectSpec {
+    ObjectSpec::builder("fo-obj")
+        .update_period(ms(period))
+        .primary_bound(ms(period + 50))
+        .backup_bound(ms(period + 450))
+        .build()
+        .unwrap()
+}
+
+fn cluster_with(recruit_ms: Option<u64>) -> SimCluster {
+    SimCluster::new(ClusterConfig {
+        trace_capacity: 128,
+        recruit_backup_after: recruit_ms.map(ms),
+        ..ClusterConfig::default()
+    })
+}
+
+#[test]
+fn failover_happens_within_detection_budget() {
+    // Detection needs `miss_threshold` unanswered probes, each waiting
+    // `heartbeat_timeout`: 3 × 100 ms plus scheduling slack.
+    let mut cluster = cluster_with(None);
+    cluster.register(spec(50)).unwrap();
+    cluster.run_for(TimeDelta::from_secs(1));
+    let crash_at = cluster.now();
+    cluster.crash_primary();
+    cluster.run_for(TimeDelta::from_secs(1));
+    assert!(cluster.has_failed_over());
+    let bindings = cluster.name_service().history();
+    let takeover_at = bindings.last().unwrap().since;
+    let detection = takeover_at.saturating_since(crash_at);
+    assert!(
+        detection <= ms(500),
+        "detection + takeover took {detection}, expected within 500ms"
+    );
+    // Failover duration metric (declared-dead → serving) is ~instant in
+    // the model, but must be present and small.
+    let d = cluster.metrics().failover_duration().unwrap();
+    assert!(d <= ms(50));
+}
+
+#[test]
+fn writes_resume_after_takeover_with_preserved_state() {
+    let mut cluster = cluster_with(None);
+    let id = cluster.register(spec(50)).unwrap();
+    cluster.run_for(TimeDelta::from_secs(2));
+    let version_before = cluster
+        .backup()
+        .unwrap()
+        .store()
+        .get(id)
+        .unwrap()
+        .version();
+    assert!(version_before.value() > 0, "backup has replicated state");
+    cluster.crash_primary();
+    cluster.run_for(TimeDelta::from_secs(2));
+    let new_primary = cluster.primary().unwrap();
+    assert_eq!(new_primary.node(), NodeId::new(1));
+    let version_after = new_primary.store().get(id).unwrap().version();
+    assert!(
+        version_after > version_before,
+        "promoted primary continues the version sequence \
+         ({version_before} → {version_after})"
+    );
+}
+
+#[test]
+fn backup_crash_stops_updates_until_recruitment() {
+    let mut cluster = cluster_with(Some(400));
+    cluster.register(spec(50)).unwrap();
+    cluster.run_for(TimeDelta::from_secs(1));
+    cluster.crash_backup();
+    // Give detection time, then measure that update production pauses.
+    cluster.run_for(TimeDelta::from_secs(1));
+    let sent_at_pause = cluster.metrics().updates_sent();
+    assert!(
+        cluster.primary().unwrap().is_backup_alive(),
+        "by now a replacement backup has been recruited and joined"
+    );
+    cluster.run_for(TimeDelta::from_secs(2));
+    let sent_after = cluster.metrics().updates_sent();
+    assert!(
+        sent_after > sent_at_pause,
+        "updates must flow to the replacement backup"
+    );
+    let backup = cluster.backup().unwrap();
+    assert_eq!(backup.node(), NodeId::new(2));
+    assert!(backup.updates_applied() > 0);
+}
+
+#[test]
+fn double_fault_leaves_service_down_without_recruitment() {
+    let mut cluster = cluster_with(None);
+    let id = cluster.register(spec(50)).unwrap();
+    cluster.run_for(TimeDelta::from_secs(1));
+    cluster.crash_primary();
+    cluster.run_for(TimeDelta::from_secs(1));
+    assert!(cluster.has_failed_over());
+    // Now the (sole) promoted server dies too.
+    cluster.crash_primary();
+    cluster.run_for(TimeDelta::from_secs(1));
+    assert!(cluster.primary().is_none());
+    assert!(cluster.backup().is_none());
+    let writes_down = cluster.metrics().object_report(id).unwrap().writes;
+    cluster.run_for(TimeDelta::from_secs(1));
+    assert_eq!(
+        cluster.metrics().object_report(id).unwrap().writes,
+        writes_down,
+        "no one serves writes after a double fault"
+    );
+}
+
+#[test]
+fn full_cycle_crash_takeover_recruit_then_second_failover() {
+    let mut cluster = cluster_with(Some(300));
+    let id = cluster.register(spec(50)).unwrap();
+    cluster.run_for(TimeDelta::from_secs(1));
+
+    // First failure: node#0 dies, node#1 takes over, node#2 recruited.
+    cluster.crash_primary();
+    cluster.run_for(TimeDelta::from_secs(2));
+    assert_eq!(cluster.name_service().resolve(), NodeId::new(1));
+    assert_eq!(cluster.backup().unwrap().node(), NodeId::new(2));
+    cluster.run_for(TimeDelta::from_secs(2));
+    assert!(cluster.backup().unwrap().updates_applied() > 0);
+
+    // Second failure: node#1 dies, node#2 takes over.
+    cluster.crash_primary();
+    cluster.run_for(TimeDelta::from_secs(2));
+    assert_eq!(cluster.name_service().resolve(), NodeId::new(2));
+    assert_eq!(cluster.name_service().failover_count(), 2);
+    let r = cluster.metrics().object_report(id).unwrap();
+    assert!(r.writes > 0);
+    // The twice-promoted primary still holds the object.
+    assert!(cluster.primary().unwrap().store().get(id).is_some());
+}
+
+#[test]
+fn no_spurious_failover_under_update_loss() {
+    // Update loss (even heavy) must not kill the service: heartbeats ride
+    // the physically-redundant control path (§4.1 assumption).
+    let mut config = ClusterConfig::default();
+    config.link.loss_probability = 0.5;
+    let mut cluster = SimCluster::new(config);
+    cluster.register(spec(50)).unwrap();
+    cluster.run_for(TimeDelta::from_secs(30));
+    assert!(!cluster.has_failed_over(), "no failover without a crash");
+}
+
+#[test]
+fn shared_fate_when_control_traffic_is_also_lossy() {
+    // With the exemption disabled and brutal loss, the detectors will
+    // eventually misfire — demonstrating why the paper assumes a
+    // redundant control path.
+    let mut config = ClusterConfig {
+        control_loss_exempt: false,
+        ..ClusterConfig::default()
+    };
+    config.link.loss_probability = 0.9;
+    let mut cluster = SimCluster::new(config);
+    cluster.register(spec(50)).unwrap();
+    cluster.run_for(TimeDelta::from_secs(30));
+    assert!(
+        cluster.has_failed_over() || !cluster.primary().unwrap().is_backup_alive(),
+        "at 90% loss on everything, some detector must have fired"
+    );
+}

@@ -1,0 +1,138 @@
+//! The multi-backup extension (listed as future work in the paper §7):
+//! several backups, independent failure detectors, rank-free takeover,
+//! and re-join of survivors.
+
+use rtpb::core::harness::{ClusterConfig, SimCluster};
+use rtpb::types::{NodeId, ObjectSpec, TimeDelta};
+
+fn ms(v: u64) -> TimeDelta {
+    TimeDelta::from_millis(v)
+}
+
+fn spec(period: u64) -> ObjectSpec {
+    ObjectSpec::builder("mb-obj")
+        .update_period(ms(period))
+        .primary_bound(ms(period + 50))
+        .backup_bound(ms(period + 450))
+        .build()
+        .unwrap()
+}
+
+fn cluster(backups: usize) -> SimCluster {
+    let config = ClusterConfig {
+        num_backups: backups,
+        trace_capacity: 128,
+        ..ClusterConfig::default()
+    };
+    SimCluster::new(config)
+}
+
+#[test]
+fn updates_are_broadcast_to_every_backup() {
+    let mut cluster = cluster(3);
+    cluster.register(spec(50)).unwrap();
+    cluster.run_for(TimeDelta::from_secs(5));
+    let backups = cluster.backups();
+    assert_eq!(backups.len(), 3);
+    for b in &backups {
+        assert!(
+            b.updates_applied() > 10,
+            "{} received only {} updates",
+            b.node(),
+            b.updates_applied()
+        );
+    }
+    assert!(!cluster.has_failed_over());
+}
+
+#[test]
+fn losing_one_backup_does_not_interrupt_replication() {
+    let mut cluster = cluster(2);
+    let id = cluster.register(spec(50)).unwrap();
+    cluster.run_for(TimeDelta::from_secs(2));
+    // Kill the first (metrics) backup; the second keeps replicating.
+    cluster.crash_backup_host(0);
+    cluster.run_for(TimeDelta::from_secs(3));
+    assert!(!cluster.has_failed_over());
+    let backups = cluster.backups();
+    assert_eq!(backups.len(), 1);
+    assert_eq!(backups[0].node(), NodeId::new(2));
+    assert!(backups[0].updates_applied() > 0);
+    // The primary dropped the dead peer and still produces updates.
+    let primary = cluster.primary().unwrap();
+    assert_eq!(primary.backups(), vec![NodeId::new(2)]);
+    assert!(cluster.metrics().object_report(id).unwrap().writes > 0);
+}
+
+#[test]
+fn failover_promotes_one_backup_and_rejoins_the_others() {
+    let mut cluster = cluster(2);
+    let id = cluster.register(spec(50)).unwrap();
+    cluster.run_for(TimeDelta::from_secs(2));
+    cluster.crash_primary();
+    cluster.run_for(TimeDelta::from_secs(2));
+
+    assert!(cluster.has_failed_over());
+    let new_primary = cluster.primary().expect("someone took over");
+    let promoted = new_primary.node();
+    assert!(
+        promoted == NodeId::new(1) || promoted == NodeId::new(2),
+        "a backup must have promoted, got {promoted}"
+    );
+    // Exactly one survivor serves as backup and re-joined the new primary.
+    let backups = cluster.backups();
+    assert_eq!(backups.len(), 1);
+    let survivor = backups[0].node();
+    assert_ne!(survivor, promoted);
+    assert_eq!(cluster.primary().unwrap().backups(), vec![survivor]);
+
+    // Replication continues: the survivor receives updates from the new
+    // primary.
+    let applies_before = cluster.backups()[0].updates_applied();
+    cluster.run_for(TimeDelta::from_secs(3));
+    let applies_after = cluster.backups()[0].updates_applied();
+    assert!(
+        applies_after > applies_before,
+        "survivor must keep receiving updates ({applies_before} → {applies_after})"
+    );
+    assert!(cluster.metrics().object_report(id).unwrap().writes > 0);
+}
+
+#[test]
+fn two_failovers_with_three_replicas() {
+    let mut cluster = cluster(3);
+    let id = cluster.register(spec(50)).unwrap();
+    cluster.run_for(TimeDelta::from_secs(1));
+
+    cluster.crash_primary();
+    cluster.run_for(TimeDelta::from_secs(2));
+    assert_eq!(cluster.name_service().failover_count(), 1);
+    assert_eq!(cluster.backups().len(), 2);
+
+    cluster.crash_primary();
+    cluster.run_for(TimeDelta::from_secs(2));
+    assert_eq!(cluster.name_service().failover_count(), 2);
+    assert_eq!(cluster.backups().len(), 1);
+
+    // Still serving and replicating after two failures.
+    let writes_before = cluster.metrics().object_report(id).unwrap().writes;
+    let applies_before = cluster.backups()[0].updates_applied();
+    cluster.run_for(TimeDelta::from_secs(2));
+    assert!(cluster.metrics().object_report(id).unwrap().writes > writes_before);
+    assert!(cluster.backups()[0].updates_applied() > applies_before);
+}
+
+#[test]
+fn extra_backups_do_not_change_primary_side_guarantees() {
+    // Consistency metrics (tracked against the first backup) hold with
+    // any replica count.
+    for n in [1usize, 2, 3] {
+        let mut cluster = cluster(n);
+        let id = cluster.register(spec(100)).unwrap();
+        cluster.run_for(TimeDelta::from_secs(10));
+        let r = cluster.metrics().object_report(id).unwrap();
+        assert_eq!(r.backup_violations, 0, "{n} backups: bound violated");
+        assert_eq!(r.window_episodes, 0, "{n} backups: window violated");
+        assert!(r.applies > 0);
+    }
+}

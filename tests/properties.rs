@@ -1,0 +1,168 @@
+//! Property-based tests (proptest) on the core invariants:
+//!
+//! - Theorem 2/3 phase-variance bounds hold on every recorded timeline.
+//! - The wire codec round-trips arbitrary messages and never panics on
+//!   arbitrary bytes.
+//! - Admission implies no consistency violations in lossless simulation.
+//! - Distance-constrained specialization preserves its contracts.
+
+use proptest::prelude::*;
+use rtpb::core::harness::{ClusterConfig, SimCluster};
+use rtpb::core::wire::WireMessage;
+use rtpb::sched::analysis::dcs;
+use rtpb::sched::exec::{run_dcs, run_edf, run_rm, Horizon};
+use rtpb::sched::task::{PeriodicTask, TaskSet};
+use rtpb::sched::VarianceBound;
+use rtpb::types::{ObjectId, ObjectSpec, Time, TimeDelta, Version};
+
+fn ms(v: u64) -> TimeDelta {
+    TimeDelta::from_millis(v)
+}
+
+/// Up to five tasks with periods 5..120 ms and utilization ≤ ~0.6.
+fn arb_task_set() -> impl Strategy<Value = TaskSet> {
+    proptest::collection::vec((5u64..120, 1u64..8), 1..5).prop_filter_map(
+        "utilization must stay below 0.6",
+        |params| {
+            let tasks: Vec<PeriodicTask> = params
+                .iter()
+                .map(|&(p, e)| {
+                    let e = e.min(p - 1).max(1);
+                    PeriodicTask::new(ms(p), ms(e))
+                })
+                .collect();
+            let util: f64 = tasks.iter().map(PeriodicTask::utilization).sum();
+            if util > 0.6 {
+                return None;
+            }
+            TaskSet::try_from_iter(tasks).ok()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn rm_phase_variance_never_exceeds_theorem2(tasks in arb_task_set()) {
+        let x = tasks.utilization();
+        let n = tasks.len();
+        let tl = run_rm(&tasks, Horizon::cycles(30));
+        prop_assert_eq!(tl.deadline_misses(), 0);
+        for task in tasks.iter() {
+            if let Some(v) = tl.phase_variance(task.id()) {
+                let bound = VarianceBound::rm_effective(task.period(), task.exec(), x, n);
+                prop_assert!(
+                    v <= bound,
+                    "task {} variance {} exceeds bound {}",
+                    task.id(), v, bound
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn edf_phase_variance_never_exceeds_inherent_bound(tasks in arb_task_set()) {
+        let tl = run_edf(&tasks, Horizon::cycles(30));
+        prop_assert_eq!(tl.deadline_misses(), 0);
+        for task in tasks.iter() {
+            if let Some(v) = tl.phase_variance(task.id()) {
+                let inherent = VarianceBound::inherent(task.period(), task.exec());
+                prop_assert!(v <= inherent);
+            }
+        }
+    }
+
+    #[test]
+    fn dcs_gives_exactly_zero_variance_whenever_theorem3_holds(tasks in arb_task_set()) {
+        // Utilization ≤ 0.6 < ln 2 ≤ n(2^{1/n}-1): Theorem 3 always holds.
+        prop_assert!(dcs::theorem3_condition(&tasks));
+        let tl = run_dcs(&tasks, Horizon::cycles(30)).expect("Sr feasible");
+        prop_assert_eq!(tl.deadline_misses(), 0);
+        for task in tl.tasks().iter() {
+            if let Some(v) = tl.phase_variance(task.id()) {
+                prop_assert_eq!(v, TimeDelta::ZERO);
+            }
+        }
+    }
+
+    #[test]
+    fn dcs_specialization_contracts(tasks in arb_task_set()) {
+        let sp = dcs::specialize(&tasks).expect("feasible below 0.6");
+        prop_assert!(sp.utilization() <= 1.0 + 1e-9);
+        for (orig, spec) in tasks.iter().zip(sp.tasks().iter()) {
+            // Never longer, never less than half.
+            prop_assert!(spec.period() <= orig.period());
+            prop_assert!(spec.period() * 2 > orig.period());
+        }
+        // Pairwise harmonic.
+        let periods: Vec<u64> = sp.tasks().iter().map(|t| t.period().as_nanos()).collect();
+        for a in &periods {
+            for b in &periods {
+                let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                prop_assert_eq!(hi % lo, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn wire_codec_round_trips(
+        object in 0u32..1000,
+        version in 0u64..u64::MAX,
+        ts in 0u64..u64::MAX / 2,
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let msg = WireMessage::Update {
+            object: ObjectId::new(object),
+            version: Version::new(version),
+            timestamp: Time::from_nanos(ts),
+            payload,
+        };
+        let decoded = WireMessage::decode(&msg.encode()).expect("round trip");
+        prop_assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn wire_decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = WireMessage::decode(&bytes); // must not panic
+    }
+
+    #[test]
+    fn admitted_objects_hold_their_bounds_in_lossless_runs(
+        period in 20u64..200,
+        bound_slack in 1u64..100,
+        window in 50u64..600,
+        seed in 0u64..1000,
+    ) {
+        let config = ClusterConfig {
+            seed,
+            ..ClusterConfig::default()
+        };
+        let mut cluster = SimCluster::new(config);
+        let spec = ObjectSpec::builder("prop")
+            .update_period(ms(period))
+            .primary_bound(ms(period + bound_slack))
+            .backup_bound(ms(period + bound_slack + window))
+            .build()
+            .expect("structurally valid");
+        // Admission may reject (window ≤ ℓ): that is a correct outcome.
+        if let Ok(id) = cluster.register(spec) {
+            cluster.run_for(TimeDelta::from_secs(8));
+            let r = cluster.metrics().object_report(id).expect("tracked");
+            prop_assert_eq!(r.backup_violations, 0, "backup bound violated");
+            prop_assert_eq!(r.primary_violations, 0, "primary bound violated");
+            prop_assert!(r.max_distance <= r.window);
+        }
+    }
+}
+
+#[test]
+fn lemma1_is_strictly_stronger_than_theorem1_with_zero_variance() {
+    use rtpb::sched::consistency;
+    // For any δ and e < δ: Lemma 1's bound (δ+e)/2 < Theorem 1's δ at v=0.
+    for (delta, exec) in [(100u64, 10u64), (50, 1), (500, 499)] {
+        let l1 = consistency::lemma1_max_period(ms(exec), ms(delta));
+        let t1 = consistency::theorem1_max_period(ms(delta), TimeDelta::ZERO).unwrap();
+        assert!(l1 < t1, "δ={delta}, e={exec}: {l1} !< {t1}");
+    }
+}

@@ -1,0 +1,82 @@
+//! Agreement between the deterministic simulation and the real-clock
+//! thread runtime: the same protocol cores must show the same qualitative
+//! behaviour under both drivers.
+
+use rtpb::core::harness::{ClusterConfig, SimCluster};
+use rtpb::rt::{RtCluster, RtConfig};
+use rtpb::types::{ObjectSpec, TimeDelta};
+use std::time::Duration;
+
+fn spec(period_ms: u64) -> ObjectSpec {
+    ObjectSpec::builder("cmp")
+        .update_period(TimeDelta::from_millis(period_ms))
+        .primary_bound(TimeDelta::from_millis(period_ms + 60))
+        .backup_bound(TimeDelta::from_millis(period_ms + 500))
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn both_drivers_replicate_and_stay_consistent() {
+    // Simulation: 2 virtual seconds.
+    let mut cluster = SimCluster::new(ClusterConfig::default());
+    let id = cluster.register(spec(50)).unwrap();
+    cluster.run_for(TimeDelta::from_secs(2));
+    let sim_report = cluster.metrics().object_report(id).unwrap();
+
+    // Threads: 2 wall-clock seconds.
+    let mut config = RtConfig::default();
+    config.objects.push(spec(50));
+    let rt_report = RtCluster::run(config, Duration::from_secs(2)).unwrap();
+
+    // Both served roughly period-count writes.
+    let expected = 2_000 / 50;
+    assert!(sim_report.writes >= expected - 4);
+    assert!(rt_report.writes >= expected - 8, "rt writes {}", rt_report.writes);
+    // Both replicated to the backup.
+    assert!(sim_report.applies > 0);
+    assert!(rt_report.updates_applied > 0);
+    // Neither violated the window.
+    assert_eq!(sim_report.inconsistency_episodes, 0);
+    assert_eq!(rt_report.inconsistency_episodes, 0);
+}
+
+#[test]
+fn both_drivers_fail_over_on_primary_death() {
+    // Simulation.
+    let mut cluster = SimCluster::new(ClusterConfig::default());
+    cluster.register(spec(50)).unwrap();
+    cluster.run_for(TimeDelta::from_secs(1));
+    cluster.crash_primary();
+    cluster.run_for(TimeDelta::from_secs(1));
+    assert!(cluster.has_failed_over());
+
+    // Threads.
+    let mut config = RtConfig::default();
+    config.objects.push(spec(50));
+    config.crash_primary_after = Some(Duration::from_millis(400));
+    let report = RtCluster::run(config, Duration::from_secs(2)).unwrap();
+    assert!(report.failed_over);
+}
+
+#[test]
+fn both_drivers_survive_update_loss_via_retransmission() {
+    let loss = 0.5;
+
+    let mut sim_config = ClusterConfig::default();
+    sim_config.link.loss_probability = loss;
+    let mut cluster = SimCluster::new(sim_config);
+    let id = cluster.register(spec(50)).unwrap();
+    cluster.run_for(TimeDelta::from_secs(5));
+    let sim_report = cluster.metrics().object_report(id).unwrap();
+    assert!(sim_report.applies > 0);
+    assert!(cluster.metrics().retransmit_requests() > 0);
+
+    let mut rt_config = RtConfig::default();
+    rt_config.link.loss_probability = loss;
+    rt_config.objects.push(spec(50));
+    let rt_report = RtCluster::run(rt_config, Duration::from_secs(2)).unwrap();
+    assert!(rt_report.updates_applied > 0);
+    assert!(rt_report.retransmit_requests > 0);
+    assert!(!rt_report.failed_over, "update loss must not kill the service");
+}
