@@ -10,7 +10,8 @@
 //! wall-time cost, and the printed counters show the protocol-level
 //! differences (messages, response times).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtpb_bench::harness::{BenchmarkId, Criterion};
+use rtpb_bench::{criterion_group, criterion_main};
 use rtpb_core::config::ProtocolConfig;
 use rtpb_core::harness::{ClusterConfig, SimCluster};
 use rtpb_types::{ObjectSpec, TimeDelta};
@@ -79,9 +80,7 @@ fn bench_ablations(c: &mut Criterion) {
     // ablation table.
     for (name, protocol) in &variants {
         let (updates, response_ms) = run_variant(protocol.clone());
-        eprintln!(
-            "ablation {name}: updates_sent={updates}, mean_response={response_ms:.3}ms"
-        );
+        eprintln!("ablation {name}: updates_sent={updates}, mean_response={response_ms:.3}ms");
     }
 
     let mut group = c.benchmark_group("ablations");

@@ -1,6 +1,7 @@
 //! Micro-benchmarks of the admission-control pipeline (§4.2).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtpb_bench::harness::{BenchmarkId, Criterion};
+use rtpb_bench::{criterion_group, criterion_main};
 use rtpb_core::admission::evaluate;
 use rtpb_core::config::{ProtocolConfig, SchedulabilityTest};
 use rtpb_core::store::ObjectStore;
@@ -29,16 +30,7 @@ fn bench_admission(c: &mut Criterion) {
         let store = store_with(n);
         let config = ProtocolConfig::default();
         group.bench_with_input(BenchmarkId::new("liu_layland", n), &n, |b, _| {
-            b.iter(|| {
-                evaluate(
-                    &store,
-                    &[],
-                    ObjectId::new(n as u32),
-                    &spec(),
-                    &[],
-                    &config,
-                )
-            });
+            b.iter(|| evaluate(&store, &[], ObjectId::new(n as u32), &spec(), &[], &config));
         });
     }
     // Compare schedulability tests at a fixed size.
@@ -54,16 +46,7 @@ fn bench_admission(c: &mut Criterion) {
             ..ProtocolConfig::default()
         };
         group.bench_function(BenchmarkId::new("test", format!("{test:?}")), |b| {
-            b.iter(|| {
-                evaluate(
-                    &store,
-                    &[],
-                    ObjectId::new(64),
-                    &spec(),
-                    &[],
-                    &config,
-                )
-            });
+            b.iter(|| evaluate(&store, &[], ObjectId::new(64), &spec(), &[], &config));
         });
     }
     group.finish();

@@ -1,6 +1,7 @@
 //! Micro-benchmarks of the scheduler executors and analyses (§2).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtpb_bench::harness::{BenchmarkId, Criterion};
+use rtpb_bench::{criterion_group, criterion_main};
 use rtpb_sched::analysis::response_time::response_times;
 use rtpb_sched::analysis::utilization::{liu_layland_bound, rm_schedulable};
 use rtpb_sched::exec::{run_dcs, run_edf, run_rm, Horizon};

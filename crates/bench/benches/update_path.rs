@@ -1,7 +1,8 @@
 //! Micro-benchmarks of the hot protocol paths: wire codec, protocol
 //! stack traversal, and end-to-end virtual-time simulation throughput.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rtpb_bench::harness::{BenchmarkId, Criterion, Throughput};
+use rtpb_bench::{criterion_group, criterion_main};
 use rtpb_core::harness::{ClusterConfig, SimCluster};
 use rtpb_core::wire::WireMessage;
 use rtpb_net::{Message, ProtocolGraph, UdpLike};

@@ -62,7 +62,9 @@ impl FigureDefaults {
     fn spec(&self, window_ms: u64, write_period: TimeDelta) -> ObjectSpec {
         // The primary bound must admit the offered write period (gate 1:
         // p ≤ δᴾ); sweeping the write rate therefore scales the bound.
-        let primary_bound = self.primary_bound.max(write_period + TimeDelta::from_millis(50));
+        let primary_bound = self
+            .primary_bound
+            .max(write_period + TimeDelta::from_millis(50));
         ObjectSpec::builder("bench-obj")
             .update_period(write_period)
             .exec_time(self.exec_time)
@@ -128,10 +130,7 @@ fn run_once(
     }
 }
 
-fn averaged(
-    defaults: &FigureDefaults,
-    mut one: impl FnMut(u64) -> f64,
-) -> f64 {
+fn averaged(defaults: &FigureDefaults, mut one: impl FnMut(u64) -> f64) -> f64 {
     let n = defaults.seeds.max(1);
     (0..n).map(|s| one(s * 7919 + 1)).sum::<f64>() / n as f64
 }
@@ -317,7 +316,10 @@ pub fn inconsistency_vs_loss(
             .collect();
         table.push_row(format!("{:.0}", loss * 100.0), row);
     }
-    table.note(format!("{objects} objects, write period {}", defaults.write_period));
+    table.note(format!(
+        "{objects} objects, write period {}",
+        defaults.write_period
+    ));
     table
 }
 
@@ -417,6 +419,9 @@ mod tests {
         let t = distance_vs_loss(&d, &[100], &[0.0, 0.2], 300, 4);
         let clean = t.rows()[0].1[0].unwrap();
         let lossy = t.rows()[1].1[0].unwrap();
-        assert!(lossy > clean, "distance must grow with loss ({clean} vs {lossy})");
+        assert!(
+            lossy > clean,
+            "distance must grow with loss ({clean} vs {lossy})"
+        );
     }
 }

@@ -1,0 +1,213 @@
+//! A tiny, dependency-free micro-benchmark harness.
+//!
+//! Mirrors the slice of the Criterion API the `benches/` targets use
+//! (`benchmark_group`, `bench_function`, `bench_with_input`, throughput
+//! annotations, and the `criterion_group!`/`criterion_main!` macros), so
+//! the bench sources read like ordinary Criterion benches while building
+//! offline with no external crates. Timing is deliberately simple: a short
+//! warm-up, then batched wall-clock samples, reporting the mean per
+//! iteration.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// The top-level harness handle passed to each bench function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 30,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput denominator.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: impl Into<BenchmarkId>, input: &I, f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut f = f;
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher, input);
+        self.report(&id.into(), &bencher);
+    }
+
+    /// Runs a benchmark that needs no input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut f = f;
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        self.report(&id.into(), &bencher);
+    }
+
+    /// Finishes the group (kept for API parity; reporting is immediate).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &BenchmarkId, bencher: &Bencher) {
+        let Some(mean) = bencher.mean() else {
+            eprintln!("bench {}/{id}: no samples", self.name);
+            return;
+        };
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) if mean > 0.0 => {
+                format!(", {:.1} MiB/s", n as f64 / mean / (1 << 20) as f64)
+            }
+            _ => String::new(),
+        };
+        eprintln!("bench {}/{id}: {:.3} µs/iter{rate}", self.name, mean * 1e6);
+    }
+}
+
+/// A throughput annotation for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: a function name plus a parameter value.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            function: name.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.parameter {
+            Some(p) => write!(f, "{}/{p}", self.function),
+            None => write!(f, "{}", self.function),
+        }
+    }
+}
+
+/// Collects timed samples of a closure.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples,
+            total: Duration::ZERO,
+            iters: 0,
+        }
+    }
+
+    /// Times `f`, discarding a short warm-up first.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and calibration: find an iteration count that takes
+        // roughly a millisecond so timer resolution doesn't dominate.
+        let calibrate = Instant::now();
+        std::hint::black_box(f());
+        let once = calibrate.elapsed().max(Duration::from_nanos(50));
+        let per_sample = (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 10_000);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                std::hint::black_box(f());
+            }
+            self.total += start.elapsed();
+            self.iters += per_sample as u64;
+        }
+    }
+
+    fn mean(&self) -> Option<f64> {
+        (self.iters > 0).then(|| self.total.as_secs_f64() / self.iters as f64)
+    }
+}
+
+/// Bundles bench functions under one name, Criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::harness::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Emits a `main` that runs each group, Criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::harness::Criterion::default();
+            $($group(&mut criterion);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group.sample_size(3);
+        group.throughput(Throughput::Bytes(64));
+        let mut ran = 0u64;
+        group.bench_function("count", |b| b.iter(|| ran += 1));
+        group.bench_with_input(BenchmarkId::new("with", 7), &7, |b, &x| b.iter(|| x * 2));
+        group.finish();
+        assert!(ran >= 3);
+    }
+}

@@ -2,13 +2,14 @@
 //!
 //! One experiment per figure of the paper's §5, plus the theory-validation
 //! table. The `figures` binary renders each experiment as the text table
-//! the paper plots; the Criterion benches in `benches/` cover hot paths
+//! the paper plots; the benches in `benches/` cover hot paths
 //! and the design-choice ablations called out in `DESIGN.md`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod harness;
 pub mod table;
 
 pub use experiments::{

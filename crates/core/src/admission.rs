@@ -196,9 +196,10 @@ fn check_schedulability(
         },
     };
 
-    let tasks: Result<TaskSet, _> = TaskSet::try_from_iter(objects.iter().map(|&(id, _, cost)| {
-        PeriodicTask::new(schedule.period(id).expect("scheduled"), cost)
-    }));
+    let tasks: Result<TaskSet, _> =
+        TaskSet::try_from_iter(objects.iter().map(|&(id, _, cost)| {
+            PeriodicTask::new(schedule.period(id).expect("scheduled"), cost)
+        }));
     let Ok(tasks) = tasks else {
         // Utilization above 1: unschedulable under every test.
         return Err(reject(1.0));
@@ -271,8 +272,15 @@ mod tests {
     fn admits_a_reasonable_object() {
         let store = ObjectStore::new();
         let s = spec(100, 150, 550);
-        let out = evaluate(&store, &[], ObjectId::new(0), &s, &[], &ProtocolConfig::default())
-            .unwrap();
+        let out = evaluate(
+            &store,
+            &[],
+            ObjectId::new(0),
+            &s,
+            &[],
+            &ProtocolConfig::default(),
+        )
+        .unwrap();
         assert_eq!(out.schedule.period(ObjectId::new(0)), Some(ms(195)));
         assert!(out.utilization_millis < 100);
     }
@@ -281,8 +289,15 @@ mod tests {
     fn gate1_period_exceeding_primary_bound() {
         let store = ObjectStore::new();
         let s = spec(200, 150, 550);
-        let err = evaluate(&store, &[], ObjectId::new(0), &s, &[], &ProtocolConfig::default())
-            .unwrap_err();
+        let err = evaluate(
+            &store,
+            &[],
+            ObjectId::new(0),
+            &s,
+            &[],
+            &ProtocolConfig::default(),
+        )
+        .unwrap_err();
         match err {
             AdmissionError::PeriodExceedsPrimaryBound { negotiation, .. } => {
                 assert_eq!(negotiation.min_primary_bound, Some(ms(200)));
@@ -296,8 +311,15 @@ mod tests {
         let store = ObjectStore::new();
         // Window = 8 ms ≤ ℓ = 10 ms.
         let s = spec(100, 150, 158);
-        let err = evaluate(&store, &[], ObjectId::new(0), &s, &[], &ProtocolConfig::default())
-            .unwrap_err();
+        let err = evaluate(
+            &store,
+            &[],
+            ObjectId::new(0),
+            &s,
+            &[],
+            &ProtocolConfig::default(),
+        )
+        .unwrap_err();
         match err {
             AdmissionError::WindowTooSmall {
                 window,
@@ -315,8 +337,8 @@ mod tests {
     #[test]
     fn gate3_inter_object_constraint_too_tight() {
         let mut store = ObjectStore::new();
-        let existing = admit_one(&mut store, &spec(100, 150, 550), &ProtocolConfig::default())
-            .unwrap();
+        let existing =
+            admit_one(&mut store, &spec(100, 150, 550), &ProtocolConfig::default()).unwrap();
         let new_id = ObjectId::new(1);
         // δ_ij = 80 ms < the newcomer's 100 ms period.
         let c = InterObjectConstraint::new(new_id, existing, ms(80));
@@ -336,8 +358,8 @@ mod tests {
     fn gate3_partner_period_checked_too() {
         let mut store = ObjectStore::new();
         // Existing object writes every 300 ms.
-        let existing = admit_one(&mut store, &spec(300, 400, 900), &ProtocolConfig::default())
-            .unwrap();
+        let existing =
+            admit_one(&mut store, &spec(300, 400, 900), &ProtocolConfig::default()).unwrap();
         let new_id = ObjectId::new(1);
         // Constraint 250 ms: newcomer (100 ms) fine, partner (300 ms) violates.
         let c = InterObjectConstraint::new(new_id, existing, ms(250));
@@ -460,8 +482,7 @@ mod tests {
     #[test]
     fn inter_object_constraint_tightens_send_periods() {
         let mut store = ObjectStore::new();
-        let a = admit_one(&mut store, &spec(100, 150, 550), &ProtocolConfig::default())
-            .unwrap();
+        let a = admit_one(&mut store, &spec(100, 150, 550), &ProtocolConfig::default()).unwrap();
         let b_id = ObjectId::new(1);
         let c = InterObjectConstraint::new(b_id, a, ms(200));
         let out = evaluate(
@@ -526,6 +547,9 @@ mod tests {
         };
         let n_ll = count_admitted(&ll);
         let n_rta = count_admitted(&rta);
-        assert!(n_rta >= n_ll, "RTA ({n_rta}) must admit at least LL ({n_ll})");
+        assert!(
+            n_rta >= n_ll,
+            "RTA ({n_rta}) must admit at least LL ({n_ll})"
+        );
     }
 }

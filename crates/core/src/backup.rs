@@ -25,6 +25,16 @@ pub struct BackupOutput {
     pub applied: Vec<(ObjectId, Version, Time)>,
 }
 
+/// Bounded-retry state of an in-flight join (§4.4 re-integration): a
+/// join request whose state transfer never arrives is re-sent with
+/// exponential backoff until it succeeds or the attempt budget runs out.
+#[derive(Debug, Clone, Copy)]
+struct JoinState {
+    next_attempt: Time,
+    interval: TimeDelta,
+    attempts: u32,
+}
+
 /// The backup server.
 ///
 /// # Examples
@@ -68,6 +78,10 @@ pub struct Backup {
     retransmit_requests_sent: u64,
     updates_applied: u64,
     duplicates_ignored: u64,
+    retransmit_attempts: BTreeMap<ObjectId, u32>,
+    join: Option<JoinState>,
+    join_attempts: u32,
+    join_abandoned: bool,
 }
 
 impl Backup {
@@ -96,6 +110,10 @@ impl Backup {
             retransmit_requests_sent: 0,
             updates_applied: 0,
             duplicates_ignored: 0,
+            retransmit_attempts: BTreeMap::new(),
+            join: None,
+            join_attempts: 0,
+            join_abandoned: false,
         }
     }
 
@@ -135,6 +153,63 @@ impl Backup {
         self.retransmit_requests_sent
     }
 
+    /// Join attempts (first request plus retries) in the current or most
+    /// recent join cycle.
+    #[must_use]
+    pub fn join_attempts(&self) -> u32 {
+        self.join_attempts
+    }
+
+    /// Whether a join is awaiting its state transfer.
+    #[must_use]
+    pub fn join_in_progress(&self) -> bool {
+        self.join.is_some()
+    }
+
+    /// Whether the last join cycle exhausted its attempt budget without
+    /// ever receiving a state transfer.
+    #[must_use]
+    pub fn join_abandoned(&self) -> bool {
+        self.join_abandoned
+    }
+
+    /// Starts a bounded-retry join cycle toward the serving primary and
+    /// returns the first join request. Retries are produced by
+    /// [`Backup::tick_join`] with exponential backoff until a state
+    /// transfer arrives or
+    /// [`join_max_attempts`](ProtocolConfig::join_max_attempts) is spent.
+    pub fn begin_join(&mut self, now: Time) -> WireMessage {
+        self.join = Some(JoinState {
+            next_attempt: now + self.config.join_retry_initial,
+            interval: self.config.join_retry_initial,
+            attempts: 1,
+        });
+        self.join_attempts = 1;
+        self.join_abandoned = false;
+        WireMessage::JoinRequest { from: self.node }
+    }
+
+    /// Advances the join retry clock: returns a fresh join request when
+    /// one is due, `None` while waiting (or when no join is in flight).
+    /// Gives up for good once the attempt budget is exhausted.
+    pub fn tick_join(&mut self, now: Time) -> Option<WireMessage> {
+        let state = self.join.as_mut()?;
+        if now < state.next_attempt {
+            return None;
+        }
+        let budget = self.config.join_max_attempts;
+        if budget > 0 && state.attempts >= budget {
+            self.join = None;
+            self.join_abandoned = true;
+            return None;
+        }
+        state.attempts += 1;
+        state.interval = (state.interval * 2).min(self.config.join_retry_max);
+        state.next_attempt = now + state.interval;
+        self.join_attempts = state.attempts;
+        Some(WireMessage::JoinRequest { from: self.node })
+    }
+
     /// Mirrors a registration made at the primary (space reservation,
     /// §4.2: "the client reserves the necessary space for the object on
     /// the primary server and on the backup server"). `send_period` is
@@ -157,6 +232,7 @@ impl Backup {
         self.store.deregister(id);
         self.send_periods.remove(&id);
         self.last_update_at.remove(&id);
+        self.retransmit_attempts.remove(&id);
     }
 
     /// Updates the watchdog period for `id` (schedule recomputation at
@@ -175,8 +251,10 @@ impl Backup {
                 timestamp,
                 payload,
             } => {
-                // Any update is evidence of primary life and freshness.
+                // Any update is evidence of primary life and freshness;
+                // it also resets the retransmission backoff.
                 self.last_update_at.insert(*object, now);
+                self.retransmit_attempts.remove(object);
                 let installed = self.store.apply(
                     *object,
                     ObjectValue::new(*version, *timestamp, payload.clone()),
@@ -204,8 +282,11 @@ impl Backup {
                 self.detector.on_ack(*seq, now);
             }
             WireMessage::StateTransfer { entries } => {
+                // The state transfer is the join's success signal.
+                self.join = None;
                 for e in entries {
                     self.last_update_at.insert(e.object, now);
+                    self.retransmit_attempts.remove(&e.object);
                     let installed = self.store.apply(
                         e.object,
                         ObjectValue::new(e.version, e.timestamp, e.payload.clone()),
@@ -229,17 +310,28 @@ impl Backup {
     /// for longer than `r_i + ℓ + slack`, issues a retransmission request
     /// (§4.3: "Retransmission is triggered by a request from the
     /// backup"). Drivers call this on a per-object timer.
+    ///
+    /// Requests back off exponentially: each unanswered request doubles
+    /// the allowance for the next one (capped by
+    /// [`retransmit_backoff_cap`](ProtocolConfig::retransmit_backoff_cap)),
+    /// so a long outage costs a bounded trickle of requests rather than
+    /// a flood; any arriving update resets the backoff.
     pub fn tick_watchdog(&mut self, id: ObjectId, now: Time) -> Option<WireMessage> {
         if !self.primary_alive {
             return None;
         }
         let period = *self.send_periods.get(&id)?;
         let last = *self.last_update_at.get(&id)?;
-        let allowance = period + self.config.link_delay_bound + self.config.retransmit_slack;
+        let attempts = self.retransmit_attempts.get(&id).copied().unwrap_or(0);
+        let backoff = 1u64 << attempts.min(self.config.retransmit_backoff_cap);
+        let allowance =
+            (period + self.config.link_delay_bound + self.config.retransmit_slack) * backoff;
         if now.saturating_since(last) > allowance {
             self.retransmit_requests_sent += 1;
+            self.retransmit_attempts
+                .insert(id, attempts.saturating_add(1));
             // Restart the allowance so one gap produces one request per
-            // watchdog window rather than a flood.
+            // (backed-off) watchdog window rather than a flood.
             self.last_update_at.insert(id, now);
             return Some(WireMessage::RetransmitRequest {
                 object: id,
@@ -300,7 +392,14 @@ impl Backup {
             })
             .collect();
         let schedule: UpdateSchedule = crate::update_sched::build_schedule(&objects, &self.config);
-        Primary::from_store(self.node, self.config, self.store, Vec::new(), schedule, now)
+        Primary::from_store(
+            self.node,
+            self.config,
+            self.store,
+            Vec::new(),
+            schedule,
+            now,
+        )
     }
 }
 
@@ -472,6 +571,67 @@ mod tests {
         );
         assert_eq!(out.applied.len(), 1);
         assert_eq!(b.store().get(id).unwrap().version(), Version::new(7));
+    }
+
+    #[test]
+    fn unanswered_retransmit_requests_back_off_exponentially() {
+        let (mut b, id) = backup_with_object();
+        // Base allowance = 195 + 10 + 5 = 210 ms.
+        assert!(b.tick_watchdog(id, t(211)).is_some()); // attempt 1
+                                                        // Second request needs 2×210 = 420 ms beyond t=211.
+        assert!(b.tick_watchdog(id, t(211 + 420)).is_none());
+        assert!(b.tick_watchdog(id, t(211 + 421)).is_some()); // attempt 2
+                                                              // Third needs 4×210 = 840 ms beyond t=632.
+        assert!(b.tick_watchdog(id, t(632 + 840)).is_none());
+        assert!(b.tick_watchdog(id, t(632 + 841)).is_some());
+        assert_eq!(b.retransmit_requests_sent(), 3);
+        // A real update resets the backoff to the base allowance.
+        b.handle_message(&update(id, 1, 1500), t(1500));
+        assert!(b.tick_watchdog(id, t(1500 + 211)).is_some());
+    }
+
+    #[test]
+    fn join_retries_back_off_and_respect_the_budget() {
+        let config = ProtocolConfig {
+            join_retry_initial: ms(50),
+            join_retry_max: ms(200),
+            join_max_attempts: 3,
+            ..ProtocolConfig::default()
+        };
+        let mut b = Backup::new(NodeId::new(1), config);
+        let first = b.begin_join(Time::ZERO);
+        assert!(matches!(first, WireMessage::JoinRequest { .. }));
+        assert!(b.join_in_progress());
+        // Not due before the initial interval.
+        assert!(b.tick_join(t(49)).is_none());
+        assert!(b.tick_join(t(50)).is_some()); // attempt 2, interval 100
+        assert!(b.tick_join(t(149)).is_none());
+        assert!(b.tick_join(t(150)).is_some()); // attempt 3, interval 200
+                                                // Budget of 3 spent: the next due tick gives up.
+        assert!(b.tick_join(t(350)).is_none());
+        assert!(!b.join_in_progress());
+        assert!(b.join_abandoned());
+        assert_eq!(b.join_attempts(), 3);
+    }
+
+    #[test]
+    fn state_transfer_completes_the_join() {
+        let (mut b, id) = backup_with_object();
+        let _ = b.begin_join(t(0));
+        let _ = b.handle_message(
+            &WireMessage::StateTransfer {
+                entries: vec![StateEntry {
+                    object: id,
+                    version: Version::new(1),
+                    timestamp: t(5),
+                    payload: vec![1],
+                }],
+            },
+            t(20),
+        );
+        assert!(!b.join_in_progress());
+        assert!(!b.join_abandoned());
+        assert!(b.tick_join(t(10_000)).is_none());
     }
 
     #[test]

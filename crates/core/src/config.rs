@@ -93,6 +93,30 @@ pub struct ProtocolConfig {
     /// paper argues against per-update acks ("considerable communication
     /// overhead", §4.3); enabling this quantifies that overhead.
     pub ack_updates: bool,
+    /// First retry interval of the backup's bounded-retry join machinery
+    /// (a join request whose state transfer never arrives is re-sent
+    /// after this long, then with exponential backoff).
+    pub join_retry_initial: TimeDelta,
+    /// Cap on the join retry interval after backoff.
+    pub join_retry_max: TimeDelta,
+    /// Maximum join attempts (including the first) before the backup
+    /// gives up re-integration; 0 means retry forever.
+    pub join_max_attempts: u32,
+    /// Cap on the exponent of the backup's retransmission-request
+    /// backoff: after `k` unanswered requests for an object, the next
+    /// watchdog allowance is multiplied by `2^min(k, cap)`.
+    pub retransmit_backoff_cap: u32,
+    /// Graceful degradation: when the primary's CPU backlog exceeds
+    /// [`ProtocolConfig::shed_backlog_threshold`], shed the
+    /// lowest-criticality object through the admission pipeline instead
+    /// of letting every response time diverge.
+    pub shed_enabled: bool,
+    /// CPU backlog (queued jobs) beyond which shedding kicks in.
+    pub shed_backlog_threshold: usize,
+    /// Minimum spacing between successive sheds, giving the queue time to
+    /// drain before deciding the next victim (prevents one transient
+    /// burst from deregistering the whole object set).
+    pub shed_cooldown: TimeDelta,
 }
 
 impl Default for ProtocolConfig {
@@ -112,6 +136,13 @@ impl Default for ProtocolConfig {
             retransmit_slack: TimeDelta::from_millis(5),
             eager_send: false,
             ack_updates: false,
+            join_retry_initial: TimeDelta::from_millis(50),
+            join_retry_max: TimeDelta::from_secs(1),
+            join_max_attempts: 12,
+            retransmit_backoff_cap: 5,
+            shed_enabled: false,
+            shed_backlog_threshold: 64,
+            shed_cooldown: TimeDelta::from_millis(250),
         }
     }
 }
@@ -132,8 +163,7 @@ impl ProtocolConfig {
     pub fn validate(&self) {
         assert!(self.slack_factor >= 1, "slack_factor must be at least 1");
         assert!(
-            self.compressed_target_utilization > 0.0
-                && self.compressed_target_utilization <= 1.0,
+            self.compressed_target_utilization > 0.0 && self.compressed_target_utilization <= 1.0,
             "compressed target utilization must be in (0, 1]"
         );
         assert!(
@@ -143,6 +173,14 @@ impl ProtocolConfig {
         assert!(
             self.heartbeat_miss_threshold >= 1,
             "miss threshold must be at least 1"
+        );
+        assert!(
+            !self.join_retry_initial.is_zero(),
+            "join retry interval must be positive"
+        );
+        assert!(
+            self.join_retry_max >= self.join_retry_initial,
+            "join retry cap must be at least the initial interval"
         );
     }
 }

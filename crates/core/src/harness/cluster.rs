@@ -17,11 +17,12 @@
 use crate::backup::Backup;
 use crate::config::ProtocolConfig;
 use crate::harness::cpu::{CpuQueue, Work};
-use crate::metrics::ClusterMetrics;
+use crate::harness::faults::{FaultEvent, FaultPlan};
+use crate::metrics::{ClusterMetrics, FaultRecord, InjectedFault};
 use crate::name_service::NameService;
 use crate::primary::Primary;
 use crate::wire::WireMessage;
-use rtpb_net::{LinkConfig, LossyLink, Message, ProtocolGraph, UdpLike};
+use rtpb_net::{FaultKind, FaultWindow, LinkConfig, LossyLink, Message, ProtocolGraph, UdpLike};
 use rtpb_sim::{Context, Simulation, World};
 use rtpb_types::{AdmissionError, NodeId, ObjectId, ObjectSpec, Time, TimeDelta};
 use std::collections::BTreeMap;
@@ -54,6 +55,9 @@ pub struct ClusterConfig {
     /// about *update* messages from the primary to the backup (§5.2).
     /// Set to `false` to subject every message to loss.
     pub control_loss_exempt: bool,
+    /// Deterministic fault schedule executed during the run (crashes,
+    /// partitions, loss bursts, delay spikes, recoveries).
+    pub fault_plan: FaultPlan,
 }
 
 impl Default for ClusterConfig {
@@ -67,6 +71,7 @@ impl Default for ClusterConfig {
             recruit_backup_after: None,
             trace_capacity: 0,
             control_loss_exempt: true,
+            fault_plan: FaultPlan::new(),
         }
     }
 }
@@ -83,7 +88,10 @@ enum Event {
     DeliverToPrimary { host: usize, wire: Message },
     CrashPrimary,
     CrashBackupHost { host: usize },
+    RecoverBackupHost { host: usize },
     RecruitBackup,
+    FaultAt { index: usize },
+    FaultHealed { record: usize, host: Option<usize> },
 }
 
 /// One backup replica's host: the state machine plus its four link
@@ -101,6 +109,9 @@ impl BackupHost {
     fn new(node: NodeId, index: usize, config: &ClusterConfig) -> Self {
         let lossless = LinkConfig {
             loss_probability: 0.0,
+            duplicate_probability: 0.0,
+            reorder_probability: 0.0,
+            burst: None,
             ..config.link
         };
         let base = config.seed.wrapping_add(100 + 4 * index as u64);
@@ -131,6 +142,22 @@ struct ClusterWorld {
     next_node: u16,
     write_counter: u64,
     corrupt_messages: u64,
+    /// The fault plan, sorted by injection time; `Event::FaultAt` indexes
+    /// into this.
+    plan: Vec<(Time, FaultEvent)>,
+    /// Open fault records awaiting attribution (detection / recovery),
+    /// keyed by the affected backup host where applicable. Values index
+    /// into [`ClusterMetrics::fault_report`].
+    pending_primary_crash: Option<usize>,
+    pending_backup_crash: BTreeMap<usize, usize>,
+    pending_recovery: BTreeMap<usize, usize>,
+    pending_partition: BTreeMap<usize, usize>,
+    /// Open loss-burst / delay-spike records: `(record, host, until)`.
+    /// Detection is attributed to retransmission requests arriving from a
+    /// matching host before `until` plus a grace period.
+    window_faults: Vec<(usize, Option<usize>, Time)>,
+    /// When the last overload shed happened (rate-limits shedding).
+    last_shed_at: Option<Time>,
 }
 
 impl ClusterWorld {
@@ -167,24 +194,18 @@ impl ClusterWorld {
             } else {
                 &mut host.ctrl_link
             };
-            match link.transmit(ctx.now(), wire.wire_size()).arrival() {
-                Some(at) => {
-                    if is_update && Some(i) == metrics_host {
-                        self.metrics.record_update_sent(false);
-                    }
-                    ctx.schedule_at(
-                        at,
-                        Event::DeliverToBackup {
-                            host: i,
-                            wire: wire.clone(),
-                        },
-                    );
-                }
-                None => {
-                    if is_update && Some(i) == metrics_host {
-                        self.metrics.record_update_sent(true);
-                    }
-                }
+            let outcome = link.transmit(ctx.now(), wire.wire_size());
+            if is_update && Some(i) == metrics_host {
+                self.metrics.record_update_sent(outcome.is_lost());
+            }
+            for at in outcome.arrivals() {
+                ctx.schedule_at(
+                    at,
+                    Event::DeliverToBackup {
+                        host: i,
+                        wire: wire.clone(),
+                    },
+                );
             }
         }
     }
@@ -213,13 +234,24 @@ impl ClusterWorld {
         } else {
             &mut h.ctrl_link
         };
-        if let Some(at) = link.transmit(ctx.now(), wire.wire_size()).arrival() {
-            ctx.schedule_at(at, Event::DeliverToBackup { host, wire });
+        for at in link.transmit(ctx.now(), wire.wire_size()).arrivals() {
+            ctx.schedule_at(
+                at,
+                Event::DeliverToBackup {
+                    host,
+                    wire: wire.clone(),
+                },
+            );
         }
     }
 
     /// Sends a message from backup host `host` to the primary.
-    fn transmit_to_primary(&mut self, ctx: &mut Context<'_, Event>, host: usize, msg: &WireMessage) {
+    fn transmit_to_primary(
+        &mut self,
+        ctx: &mut Context<'_, Event>,
+        host: usize,
+        msg: &WireMessage,
+    ) {
         let Ok(wire) = self.b2p_tx.send(Message::from_payload(msg.encode())) else {
             ctx.trace("b2p send rejected by protocol stack");
             return;
@@ -233,8 +265,14 @@ impl ClusterWorld {
         } else {
             &mut h.rev_data_link
         };
-        if let Some(at) = link.transmit(ctx.now(), wire.wire_size()).arrival() {
-            ctx.schedule_at(at, Event::DeliverToPrimary { host, wire });
+        for at in link.transmit(ctx.now(), wire.wire_size()).arrivals() {
+            ctx.schedule_at(
+                at,
+                Event::DeliverToPrimary {
+                    host,
+                    wire: wire.clone(),
+                },
+            );
         }
     }
 
@@ -294,6 +332,11 @@ impl ClusterWorld {
         self.cpu.clear();
         self.epoch += 1; // invalidate the dead primary's timers
         self.metrics.record_failover_complete(now);
+        if let Some(record) = self.pending_primary_crash.take() {
+            // Failover completion ends the primary-crash fault: the
+            // service is serving again.
+            self.metrics.record_fault_recovered(record, now);
+        }
         // Surviving backups track the new primary and re-join (the
         // multi-backup extension).
         let survivors: Vec<usize> = self
@@ -305,12 +348,14 @@ impl ClusterWorld {
             .collect();
         for i in survivors {
             let node = self.hosts[i].node;
-            if let Some(b) = self.hosts[i].backup.as_mut() {
+            let join = self.hosts[i].backup.as_mut().map(|b| {
                 b.rearm(now);
+                b.begin_join(now)
+            });
+            if let Some(join) = join {
+                ctx.trace(format!("{node} re-joining the new primary"));
+                self.transmit_to_primary(ctx, i, &join);
             }
-            ctx.trace(format!("{node} re-joining the new primary"));
-            let join = WireMessage::JoinRequest { from: node };
-            self.transmit_to_primary(ctx, i, &join);
         }
         if self.live_backup_count() == 0 {
             if let Some(delay) = self.config.recruit_backup_after {
@@ -353,6 +398,13 @@ impl ClusterWorld {
             }
         }
         let out = backup.handle_message(&msg, ctx.now());
+        if matches!(msg, WireMessage::StateTransfer { .. }) {
+            // The state transfer completes re-integration: a recovering
+            // replica is consistent again once it lands.
+            if let Some(record) = self.pending_recovery.remove(&host) {
+                self.metrics.record_fault_recovered(record, ctx.now());
+            }
+        }
         if report_metrics {
             for (object, version, write_ts) in &out.applied {
                 self.metrics
@@ -387,6 +439,25 @@ impl ClusterWorld {
         };
         if matches!(msg, WireMessage::RetransmitRequest { .. }) {
             self.metrics.record_retransmit_request();
+            // A retransmission request arriving during (or shortly after)
+            // a loss burst / delay spike is how those faults manifest:
+            // attribute detection and count the retry against the record.
+            let now = ctx.now();
+            let grace = TimeDelta::from_secs(1);
+            let mut hit = Vec::new();
+            self.window_faults.retain(|&(record, affected, until)| {
+                if now > until + grace {
+                    return false;
+                }
+                if affected.is_none() || affected == Some(host) {
+                    hit.push(record);
+                }
+                true
+            });
+            for record in hit {
+                self.metrics.record_fault_detected(record, now);
+                self.metrics.add_fault_retry(record);
+            }
         }
         let out = {
             let primary = self.primary.as_mut().expect("checked above");
@@ -398,8 +469,7 @@ impl ClusterWorld {
             // free path to the backup); control replies go out directly.
             if matches!(reply, WireMessage::Update { .. }) {
                 let cost = self.config.protocol.send_cost(reply.encode().len());
-                if let Some(service) = self.cpu.submit(Work::SendUpdate { message: reply }, cost)
-                {
+                if let Some(service) = self.cpu.submit(Work::SendUpdate { message: reply }, cost) {
                     ctx.schedule_in(service, Event::CpuFinished);
                 }
             } else {
@@ -409,7 +479,193 @@ impl ClusterWorld {
         }
         if out.backup_joined {
             ctx.trace("new backup integrated");
+            let now = ctx.now();
+            if let Some(&record) = self.pending_recovery.get(&host) {
+                // The primary accepted the recovering replica back; the
+                // recovery itself completes when the state transfer lands.
+                self.metrics.record_fault_detected(record, now);
+            }
+            if let Some(record) = self.pending_partition.remove(&host) {
+                self.metrics.record_fault_recovered(record, now);
+            }
+            if let Some(record) = self.pending_backup_crash.remove(&host) {
+                self.metrics.record_fault_recovered(record, now);
+            }
+            // Re-sync registrations the joining host missed while it was
+            // crashed or partitioned away (object *state* arrives via the
+            // state-transfer reply already in flight).
+            let registry = self.primary.as_ref().expect("checked above").registry();
+            if let Some(h) = self.hosts.get_mut(host) {
+                if let Some(backup) = h.backup.as_mut() {
+                    for (id, spec, period) in registry {
+                        if backup.store().get(id).is_none() {
+                            backup.sync_registration(id, spec, period, now);
+                        } else {
+                            backup.sync_send_period(id, period);
+                        }
+                    }
+                }
+            }
             self.restart_object_timers(ctx);
+        }
+    }
+
+    /// Kills the primary host (crash fault). The backups' failure
+    /// detectors notice via missed heartbeats (§4.4).
+    fn inject_primary_crash(&mut self, ctx: &mut Context<'_, Event>) {
+        if self.primary.is_none() {
+            return;
+        }
+        ctx.trace("primary crashed");
+        let record = self
+            .metrics
+            .record_fault_injected(InjectedFault::PrimaryCrash, ctx.now());
+        self.pending_primary_crash = Some(record);
+        self.primary = None;
+        self.cpu.clear();
+    }
+
+    /// Kills one backup host (crash fault). The primary's failure
+    /// detector notices via missed ping acks.
+    fn inject_backup_crash(&mut self, ctx: &mut Context<'_, Event>, host: usize) {
+        let Some(h) = self.hosts.get_mut(host) else {
+            return;
+        };
+        if h.backup.is_none() {
+            return;
+        }
+        ctx.trace(format!("backup {} crashed", h.node));
+        h.backup = None;
+        let record = self
+            .metrics
+            .record_fault_injected(InjectedFault::BackupCrash, ctx.now());
+        self.pending_backup_crash.insert(host, record);
+    }
+
+    /// Restarts a crashed backup host. The replica comes back empty and
+    /// re-integrates through the normal join / state-transfer path with
+    /// bounded retries.
+    fn recover_backup(&mut self, ctx: &mut Context<'_, Event>, host: usize) {
+        let now = ctx.now();
+        let join = {
+            let Some(h) = self.hosts.get_mut(host) else {
+                return;
+            };
+            if h.backup.is_some() {
+                return;
+            }
+            ctx.trace(format!("backup {} recovering", h.node));
+            let mut backup = Backup::new(h.node, self.config.protocol.clone());
+            // Registry sync rides the reliable control channel; the
+            // object *state* arrives via the StateTransfer reply to the
+            // join request.
+            if let Some(primary) = self.primary.as_ref() {
+                for (id, spec, period) in primary.registry() {
+                    backup.sync_registration(id, spec, period, now);
+                }
+            }
+            let join = backup.begin_join(now);
+            h.backup = Some(backup);
+            join
+        };
+        let record = self
+            .metrics
+            .record_fault_injected(InjectedFault::BackupRecovery, now);
+        self.pending_recovery.insert(host, record);
+        self.transmit_to_primary(ctx, host, &join);
+    }
+
+    /// Pushes a time-windowed fault onto the primary→backup data path of
+    /// one host (or every host).
+    fn push_data_window(&mut self, host: Option<usize>, window: FaultWindow) {
+        match host {
+            Some(i) => {
+                if let Some(h) = self.hosts.get_mut(i) {
+                    h.data_link.push_window(window);
+                }
+            }
+            None => {
+                for h in &mut self.hosts {
+                    h.data_link.push_window(window);
+                }
+            }
+        }
+    }
+
+    /// Executes one scheduled [`FaultEvent`] at the current instant.
+    fn apply_fault(&mut self, ctx: &mut Context<'_, Event>, fault: FaultEvent) {
+        let now = ctx.now();
+        match fault {
+            FaultEvent::CrashPrimary => self.inject_primary_crash(ctx),
+            FaultEvent::CrashBackup { host } => self.inject_backup_crash(ctx, host),
+            FaultEvent::RecoverBackup { host } => self.recover_backup(ctx, host),
+            FaultEvent::Partition { host, duration } => {
+                let Some(h) = self.hosts.get_mut(host) else {
+                    return;
+                };
+                let until = now + duration;
+                let window = FaultWindow {
+                    from: now,
+                    until,
+                    kind: FaultKind::Outage,
+                };
+                h.data_link.push_window(window);
+                h.ctrl_link.push_window(window);
+                h.rev_data_link.push_window(window);
+                h.rev_ctrl_link.push_window(window);
+                ctx.trace(format!("partition: {} cut off until {until}", h.node));
+                let record = self
+                    .metrics
+                    .record_fault_injected(InjectedFault::Partition, now);
+                self.pending_partition.insert(host, record);
+                ctx.schedule_at(
+                    until,
+                    Event::FaultHealed {
+                        record,
+                        host: Some(host),
+                    },
+                );
+            }
+            FaultEvent::LossBurst {
+                host,
+                duration,
+                loss,
+            } => {
+                let until = now + duration;
+                // Plans are declarative data: clamp rather than panic on
+                // an out-of-range probability.
+                let window = FaultWindow {
+                    from: now,
+                    until,
+                    kind: FaultKind::Loss(loss.clamp(0.0, 1.0)),
+                };
+                let record = self
+                    .metrics
+                    .record_fault_injected(InjectedFault::LossBurst, now);
+                self.push_data_window(host, window);
+                ctx.trace(format!("loss burst ({loss}) until {until}"));
+                self.window_faults.push((record, host, until));
+                ctx.schedule_at(until, Event::FaultHealed { record, host });
+            }
+            FaultEvent::DelaySpike {
+                host,
+                duration,
+                extra,
+            } => {
+                let until = now + duration;
+                let window = FaultWindow {
+                    from: now,
+                    until,
+                    kind: FaultKind::DelaySpike(extra),
+                };
+                let record = self
+                    .metrics
+                    .record_fault_injected(InjectedFault::DelaySpike, now);
+                self.push_data_window(host, window);
+                ctx.trace(format!("delay spike (+{extra}) until {until}"));
+                self.window_faults.push((record, host, until));
+                ctx.schedule_at(until, Event::FaultHealed { record, host });
+            }
         }
     }
 
@@ -430,9 +686,10 @@ impl ClusterWorld {
                     // Coupled-replication ablation: transmit on every
                     // write (the design the paper's decoupling avoids).
                     if self.config.protocol.eager_send {
-                        let cost = self.config.protocol.send_cost(
-                            self.specs.get(&object).map_or(64, ObjectSpec::size_bytes),
-                        );
+                        let cost = self
+                            .config
+                            .protocol
+                            .send_cost(self.specs.get(&object).map_or(64, ObjectSpec::size_bytes));
                         let update = self.primary.as_mut().and_then(|p| p.make_update(object));
                         if let Some(message) = update {
                             if let Some(service) =
@@ -472,6 +729,34 @@ impl World for ClusterWorld {
                 ctx.schedule_in(period, Event::ClientWrite { object });
                 if self.primary.is_none() {
                     return;
+                }
+                // Graceful degradation: under CPU overload, shed the
+                // lowest-criticality object through the admission pipeline
+                // instead of letting every response time diverge.
+                let cooled_down = self
+                    .last_shed_at
+                    .is_none_or(|at| ctx.now() >= at + self.config.protocol.shed_cooldown);
+                if self.config.protocol.shed_enabled
+                    && cooled_down
+                    && self.cpu.backlog() > self.config.protocol.shed_backlog_threshold
+                {
+                    let shed = self
+                        .primary
+                        .as_mut()
+                        .and_then(Primary::shed_lowest_criticality);
+                    if let Some(shed) = shed {
+                        ctx.trace(format!("overload: shedding {shed}"));
+                        self.last_shed_at = Some(ctx.now());
+                        self.specs.remove(&shed);
+                        for h in &mut self.hosts {
+                            if let Some(b) = h.backup.as_mut() {
+                                b.sync_deregistration(shed);
+                            }
+                        }
+                        if shed == object {
+                            return;
+                        }
+                    }
                 }
                 self.write_counter += 1;
                 let mut payload = vec![0u8; size];
@@ -550,10 +835,7 @@ impl World for ClusterWorld {
                 for (dest, ping) in round.pings {
                     // Route each probe to its peer only.
                     let exempt = self.config.control_loss_exempt;
-                    let Ok(wire) = self
-                        .p2b_tx
-                        .send(Message::from_payload(ping.encode()))
-                    else {
+                    let Ok(wire) = self.p2b_tx.send(Message::from_payload(ping.encode())) else {
                         continue;
                     };
                     if let Some((i, host)) = self
@@ -567,18 +849,29 @@ impl World for ClusterWorld {
                         } else {
                             &mut host.data_link
                         };
-                        if let Some(at) = link.transmit(ctx.now(), wire.wire_size()).arrival() {
-                            ctx.schedule_at(at, Event::DeliverToBackup { host: i, wire });
+                        for at in link.transmit(ctx.now(), wire.wire_size()).arrivals() {
+                            ctx.schedule_at(
+                                at,
+                                Event::DeliverToBackup {
+                                    host: i,
+                                    wire: wire.clone(),
+                                },
+                            );
                         }
                     }
                 }
                 for dead in round.died {
                     ctx.trace(format!("primary declared {dead} dead"));
-                    if self
-                        .primary
-                        .as_ref()
-                        .is_some_and(|p| !p.is_backup_alive())
-                    {
+                    if let Some(i) = self.hosts.iter().position(|h| h.node == dead) {
+                        let now = ctx.now();
+                        if let Some(&record) = self.pending_backup_crash.get(&i) {
+                            self.metrics.record_fault_detected(record, now);
+                        }
+                        if let Some(&record) = self.pending_partition.get(&i) {
+                            self.metrics.record_fault_detected(record, now);
+                        }
+                    }
+                    if self.primary.as_ref().is_some_and(|p| !p.is_backup_alive()) {
                         if let Some(delay) = self.config.recruit_backup_after {
                             ctx.schedule_in(delay, Event::RecruitBackup);
                         }
@@ -599,8 +892,15 @@ impl World for ClusterWorld {
                         self.transmit_to_primary(ctx, i, &ping);
                     }
                     if primary_died {
+                        let now = ctx.now();
                         ctx.trace(format!("{} declared primary dead", self.hosts[i].node));
-                        self.metrics.record_failover_started(ctx.now());
+                        self.metrics.record_failover_started(now);
+                        if let Some(record) = self.pending_primary_crash {
+                            self.metrics.record_fault_detected(record, now);
+                        }
+                        if let Some(&record) = self.pending_partition.get(&i) {
+                            self.metrics.record_fault_detected(record, now);
+                        }
                         if self.config.auto_failover {
                             if self.primary.is_none() {
                                 // First detector to fire takes over.
@@ -608,15 +908,34 @@ impl World for ClusterWorld {
                             } else {
                                 // A sibling already promoted (or this was
                                 // a false alarm): re-join the serving
-                                // primary.
-                                let node = self.hosts[i].node;
-                                if let Some(b) = self.hosts[i].backup.as_mut() {
-                                    b.rearm(ctx.now());
+                                // primary with bounded retries.
+                                let join = self.hosts[i].backup.as_mut().map(|b| {
+                                    b.rearm(now);
+                                    b.begin_join(now)
+                                });
+                                if let Some(join) = join {
+                                    self.transmit_to_primary(ctx, i, &join);
                                 }
-                                let join = WireMessage::JoinRequest { from: node };
-                                self.transmit_to_primary(ctx, i, &join);
                             }
                         }
+                    }
+                    // Drive pending join cycles (re-integration retries
+                    // with exponential backoff).
+                    let retry = self.hosts[i]
+                        .backup
+                        .as_mut()
+                        .and_then(|b| b.tick_join(ctx.now()));
+                    if let Some(join) = retry {
+                        let record = self
+                            .pending_recovery
+                            .get(&i)
+                            .or_else(|| self.pending_partition.get(&i))
+                            .copied();
+                        if let Some(record) = record {
+                            self.metrics.add_fault_retry(record);
+                        }
+                        ctx.trace(format!("{} retrying join", self.hosts[i].node));
+                        self.transmit_to_primary(ctx, i, &join);
                     }
                 }
             }
@@ -626,25 +945,48 @@ impl World for ClusterWorld {
             Event::DeliverToPrimary { host, wire } => {
                 self.handle_delivery_to_primary(ctx, host, wire);
             }
-            Event::CrashPrimary => {
-                ctx.trace("primary crashed");
-                self.primary = None;
-                self.cpu.clear();
+            Event::CrashPrimary => self.inject_primary_crash(ctx),
+            Event::CrashBackupHost { host } => self.inject_backup_crash(ctx, host),
+            Event::RecoverBackupHost { host } => self.recover_backup(ctx, host),
+            Event::FaultAt { index } => {
+                let (_, fault) = self.plan[index];
+                self.apply_fault(ctx, fault);
             }
-            Event::CrashBackupHost { host } => {
-                if let Some(h) = self.hosts.get_mut(host) {
-                    ctx.trace(format!("backup {} crashed", h.node));
-                    h.backup = None;
-                    if let Some(p) = self.primary.as_mut() {
-                        // The primary will also notice via heartbeats;
-                        // dropping the peer immediately just avoids
-                        // pointless transmissions in the window between
-                        // crash and detection (the detector still runs
-                        // for remaining peers).
-                        let node = h.node;
-                        let _ = node; // removal happens via heartbeat
-                        let _ = p;
+            Event::FaultHealed { record, host } => {
+                let now = ctx.now();
+                match host {
+                    Some(i) => {
+                        if let Some(h) = self.hosts.get_mut(i) {
+                            h.data_link.expire_windows(now);
+                            h.ctrl_link.expire_windows(now);
+                            h.rev_data_link.expire_windows(now);
+                            h.rev_ctrl_link.expire_windows(now);
+                        }
                     }
+                    None => {
+                        for h in &mut self.hosts {
+                            h.data_link.expire_windows(now);
+                        }
+                    }
+                }
+                let partition_host = self
+                    .pending_partition
+                    .iter()
+                    .find(|&(_, &r)| r == record)
+                    .map(|(&i, _)| i);
+                if let Some(i) = partition_host {
+                    // A cut shorter than the detection bound heals
+                    // silently; close the record now. Detected cuts stay
+                    // open until the severed replica rejoins.
+                    let detected = self.metrics.fault_report()[record].detected_at.is_some();
+                    if !detected {
+                        self.pending_partition.remove(&i);
+                        self.metrics.record_fault_recovered(record, now);
+                    }
+                } else {
+                    // Loss bursts and delay spikes end when their window
+                    // closes.
+                    self.metrics.record_fault_recovered(record, now);
                 }
             }
             Event::RecruitBackup => {
@@ -660,14 +1002,17 @@ impl World for ClusterWorld {
                 // object *state* arrives via the StateTransfer reply to
                 // the join request.
                 let registry = self.primary.as_ref().expect("checked above").registry();
+                let mut join = None;
                 if let Some(backup) = host.backup.as_mut() {
                     for (id, spec, period) in registry {
                         backup.sync_registration(id, spec, period, ctx.now());
                     }
+                    join = Some(backup.begin_join(ctx.now()));
                 }
                 self.hosts.push(host);
-                let join = WireMessage::JoinRequest { from: node };
-                self.transmit_to_primary(ctx, index, &join);
+                if let Some(join) = join {
+                    self.transmit_to_primary(ctx, index, &join);
+                }
             }
         }
     }
@@ -746,6 +1091,7 @@ impl SimCluster {
             })
             .collect();
         let next_node = 1 + config.num_backups as u16;
+        let plan = config.fault_plan.events();
         let world = ClusterWorld {
             primary: Some(primary),
             hosts,
@@ -761,13 +1107,24 @@ impl SimCluster {
             next_node,
             write_counter: 0,
             corrupt_messages: 0,
+            plan,
+            pending_primary_crash: None,
+            pending_backup_crash: BTreeMap::new(),
+            pending_recovery: BTreeMap::new(),
+            pending_partition: BTreeMap::new(),
+            window_faults: Vec::new(),
+            last_shed_at: None,
             config,
         };
         let trace_capacity = world.config.trace_capacity;
         let seed = world.config.seed;
+        let schedule: Vec<Time> = world.plan.iter().map(|&(at, _)| at).collect();
         let mut sim = Simulation::new(world, seed).with_trace(trace_capacity);
         sim.schedule_at(Time::ZERO, Event::PrimaryHeartbeat);
         sim.schedule_at(Time::ZERO, Event::BackupHeartbeat);
+        for (index, at) in schedule.into_iter().enumerate() {
+            sim.schedule_at(at, Event::FaultAt { index });
+        }
         SimCluster { sim }
     }
 
@@ -922,6 +1279,21 @@ impl SimCluster {
     pub fn crash_backup_host(&mut self, host: usize) {
         self.sim
             .schedule_in(TimeDelta::ZERO, Event::CrashBackupHost { host });
+    }
+
+    /// Restarts a crashed backup host at the current instant; it rejoins
+    /// via the bounded-retry join / state-transfer path.
+    pub fn recover_backup_host(&mut self, host: usize) {
+        self.sim
+            .schedule_in(TimeDelta::ZERO, Event::RecoverBackupHost { host });
+    }
+
+    /// Per-fault lifecycle records (injection, detection, recovery,
+    /// retries) for every fault injected so far — manually or via
+    /// [`ClusterConfig::fault_plan`].
+    #[must_use]
+    pub fn fault_report(&self) -> &[FaultRecord] {
+        self.sim.world().metrics.fault_report()
     }
 
     /// Whether a failover has occurred.
@@ -1174,6 +1546,102 @@ mod tests {
             (r.writes, r.applies, r.max_distance)
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn planned_backup_crash_and_recovery_are_tracked() {
+        use crate::harness::faults::{FaultEvent, FaultPlan};
+        use crate::metrics::InjectedFault;
+        let config = ClusterConfig {
+            auto_failover: false,
+            fault_plan: FaultPlan::new()
+                .at(
+                    Time::from_millis(1_000),
+                    FaultEvent::CrashBackup { host: 0 },
+                )
+                .at(
+                    Time::from_millis(2_000),
+                    FaultEvent::RecoverBackup { host: 0 },
+                ),
+            ..ClusterConfig::default()
+        };
+        let mut cluster = SimCluster::new(config);
+        cluster.register(spec(100, 150, 550)).unwrap();
+        cluster.run_for(TimeDelta::from_secs(5));
+        let report = cluster.fault_report();
+        assert_eq!(report.len(), 2);
+        let crash = &report[0];
+        assert_eq!(crash.kind, InjectedFault::BackupCrash);
+        assert_eq!(crash.injected_at, Time::from_millis(1_000));
+        assert!(crash.detection_latency().is_some(), "crash undetected");
+        let recovery = &report[1];
+        assert_eq!(recovery.kind, InjectedFault::BackupRecovery);
+        assert!(
+            recovery.recovery_time().is_some(),
+            "state transfer never landed"
+        );
+        assert!(crash.recovery_time().is_some(), "rejoin not attributed");
+        // The recovered replica receives updates again.
+        let backup = cluster.backup().expect("recovered backup");
+        assert!(backup.updates_applied() > 0);
+        assert!(!backup.join_in_progress());
+    }
+
+    #[test]
+    fn short_partition_heals_silently() {
+        use crate::harness::faults::{FaultEvent, FaultPlan};
+        // 80 ms cut, well under the ~300 ms detection bound: nobody
+        // declares anybody dead and the record closes at heal time.
+        let config = ClusterConfig {
+            fault_plan: FaultPlan::new().at(
+                Time::from_millis(1_000),
+                FaultEvent::Partition {
+                    host: 0,
+                    duration: ms(80),
+                },
+            ),
+            ..ClusterConfig::default()
+        };
+        let mut cluster = SimCluster::new(config);
+        cluster.register(spec(100, 150, 550)).unwrap();
+        cluster.run_for(TimeDelta::from_secs(3));
+        assert!(!cluster.has_failed_over());
+        let report = cluster.fault_report();
+        assert_eq!(report.len(), 1);
+        assert!(report[0].detected_at.is_none());
+        assert_eq!(report[0].recovered_at, Some(Time::from_millis(1_080)));
+    }
+
+    #[test]
+    fn overload_sheds_lowest_criticality_object() {
+        let mut config = ClusterConfig::default();
+        config.protocol.admission_enabled = false;
+        config.protocol.shed_enabled = true;
+        config.protocol.shed_backlog_threshold = 8;
+        config.protocol.send_cost_base = TimeDelta::from_millis(2);
+        let mut cluster = SimCluster::new(config);
+        let mut ids = Vec::new();
+        for i in 0..48 {
+            let spec = ObjectSpec::builder(format!("o{i}"))
+                .update_period(ms(100))
+                .primary_bound(ms(150))
+                .backup_bound(ms(250))
+                .criticality(i as u32)
+                .build()
+                .unwrap();
+            ids.push(cluster.register(spec).unwrap());
+        }
+        cluster.run_for(TimeDelta::from_secs(10));
+        let primary = cluster.primary().unwrap();
+        let survivors: Vec<_> = ids
+            .iter()
+            .filter(|&&id| primary.store().get(id).is_some())
+            .collect();
+        assert!(survivors.len() < ids.len(), "overload must shed something");
+        // The highest-criticality object survives; the first shed was the
+        // lowest-criticality one.
+        assert!(primary.store().get(*ids.last().unwrap()).is_some());
+        assert!(primary.store().get(ids[0]).is_none());
     }
 
     #[test]

@@ -9,7 +9,6 @@
 use rtpb_types::{ObjectId, Time, TimeDelta};
 use std::collections::VecDeque;
 
-
 /// A unit of work on the primary CPU.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Work {

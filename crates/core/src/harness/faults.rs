@@ -1,0 +1,148 @@
+//! Declarative fault plans for robustness experiments.
+//!
+//! A [`FaultPlan`] is a timestamped list of [`FaultEvent`]s executed by
+//! [`SimCluster`](super::SimCluster) as ordinary simulation events, so a
+//! chaos scenario — crashes, partitions, loss bursts, delay spikes,
+//! recoveries — is a deterministic, replayable function of the cluster
+//! seed. Per-fault outcomes (detection latency, recovery time, retries
+//! spent) are collected in the
+//! [`FaultRecord`](crate::metrics::FaultRecord)s of the cluster metrics.
+//!
+//! # Examples
+//!
+//! ```
+//! use rtpb_core::harness::{FaultEvent, FaultPlan};
+//! use rtpb_types::{Time, TimeDelta};
+//!
+//! let plan = FaultPlan::new()
+//!     .at(Time::from_secs(2), FaultEvent::Partition {
+//!         host: 0,
+//!         duration: TimeDelta::from_millis(800),
+//!     })
+//!     .at(Time::from_secs(5), FaultEvent::CrashPrimary);
+//! assert_eq!(plan.len(), 2);
+//! ```
+
+use rtpb_types::{Time, TimeDelta};
+
+/// One scheduled fault in a [`FaultPlan`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultEvent {
+    /// The primary host crashes (fail-stop, §4.1).
+    CrashPrimary,
+    /// Backup host `host` crashes (fail-stop).
+    CrashBackup {
+        /// Index of the backup host (0-based, in creation order).
+        host: usize,
+    },
+    /// A previously crashed backup host restarts with empty state and
+    /// re-joins the serving primary via the state-transfer path.
+    RecoverBackup {
+        /// Index of the backup host to restart.
+        host: usize,
+    },
+    /// All four link directions between the primary and backup `host` go
+    /// dark for `duration` (a network partition of that replica pair).
+    Partition {
+        /// Index of the partitioned backup host.
+        host: usize,
+        /// How long the partition lasts.
+        duration: TimeDelta,
+    },
+    /// The primary→backup data path drops messages with probability
+    /// `loss` for `duration`.
+    LossBurst {
+        /// Affected backup host, or `None` for every host.
+        host: Option<usize>,
+        /// How long the burst lasts.
+        duration: TimeDelta,
+        /// Loss probability during the burst (overrides the configured
+        /// rate if higher).
+        loss: f64,
+    },
+    /// The primary→backup data path adds `extra` latency to every
+    /// delivered message for `duration` (deliveries may exceed the
+    /// nominal bound `ℓ`).
+    DelaySpike {
+        /// Affected backup host, or `None` for every host.
+        host: Option<usize>,
+        /// How long the spike lasts.
+        duration: TimeDelta,
+        /// Extra one-way latency imposed while active.
+        extra: TimeDelta,
+    },
+}
+
+/// A deterministic, timestamped schedule of faults to inject into a
+/// cluster run.
+///
+/// Events fire in timestamp order (ties in insertion order). The plan is
+/// part of [`ClusterConfig`](super::ClusterConfig), so two runs with the
+/// same config and seed inject — and recover from — exactly the same
+/// faults at exactly the same instants.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<(Time, FaultEvent)>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    #[must_use]
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds a fault at an absolute instant (builder style).
+    #[must_use]
+    pub fn at(mut self, at: Time, event: FaultEvent) -> Self {
+        self.events.push((at, event));
+        self
+    }
+
+    /// The scheduled events, in timestamp order.
+    #[must_use]
+    pub fn events(&self) -> Vec<(Time, FaultEvent)> {
+        let mut sorted = self.events.clone();
+        sorted.sort_by_key(|&(at, _)| at);
+        sorted
+    }
+
+    /// Number of scheduled faults.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the plan schedules nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_come_back_in_timestamp_order() {
+        let plan = FaultPlan::new()
+            .at(Time::from_secs(5), FaultEvent::CrashPrimary)
+            .at(Time::from_secs(1), FaultEvent::CrashBackup { host: 0 })
+            .at(Time::from_secs(3), FaultEvent::RecoverBackup { host: 0 });
+        let order: Vec<Time> = plan.events().iter().map(|&(at, _)| at).collect();
+        assert_eq!(
+            order,
+            vec![Time::from_secs(1), Time::from_secs(3), Time::from_secs(5)]
+        );
+        assert_eq!(plan.len(), 3);
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn empty_plan() {
+        let plan = FaultPlan::new();
+        assert!(plan.is_empty());
+        assert_eq!(plan.events(), Vec::new());
+    }
+}

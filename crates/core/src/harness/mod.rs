@@ -8,6 +8,8 @@
 
 mod cluster;
 mod cpu;
+mod faults;
 
 pub use cluster::{ClusterConfig, SimCluster};
 pub use cpu::{CpuQueue, Work};
+pub use faults::{FaultEvent, FaultPlan};

@@ -125,17 +125,64 @@ impl ObjectMetrics {
     /// applied one) and re-evaluates the violation flag against the new
     /// front.
     fn cover_up_to(&mut self, version: Version, now: Time) {
-        while self
-            .pending
-            .front()
-            .is_some_and(|&(v, _)| v <= version)
-        {
+        while self.pending.front().is_some_and(|&(v, _)| v <= version) {
             self.pending.pop_front();
         }
         self.in_violation = match self.pending.front() {
             Some(&(_, front_ts)) => now > front_ts + self.window && self.in_violation,
             None => false,
         };
+    }
+}
+
+/// The kind of an injected fault, for [`FaultRecord`] attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedFault {
+    /// The primary host fail-stopped.
+    PrimaryCrash,
+    /// A backup host fail-stopped.
+    BackupCrash,
+    /// A crashed backup host restarted and re-joined.
+    BackupRecovery,
+    /// A replica pair was partitioned for a window.
+    Partition,
+    /// The data path suffered an elevated-loss window.
+    LossBurst,
+    /// The data path suffered an added-latency window.
+    DelaySpike,
+}
+
+/// The lifecycle of one injected fault: when it was injected, when the
+/// protocol *detected* it (a failure detector fired, or loss evidence
+/// like a retransmission request surfaced), when the cluster *recovered*
+/// (failover complete, replica re-integrated, or the window healed), and
+/// how many protocol retries the recovery consumed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// What was injected.
+    pub kind: InjectedFault,
+    /// Injection instant.
+    pub injected_at: Time,
+    /// First instant the protocol reacted to the fault, if it ever did.
+    pub detected_at: Option<Time>,
+    /// Instant the cluster was whole again, if it recovered.
+    pub recovered_at: Option<Time>,
+    /// Protocol retries attributable to this fault (join retries,
+    /// retransmission requests).
+    pub retries: u64,
+}
+
+impl FaultRecord {
+    /// Injection-to-detection latency, if detected.
+    #[must_use]
+    pub fn detection_latency(&self) -> Option<TimeDelta> {
+        Some(self.detected_at?.saturating_since(self.injected_at))
+    }
+
+    /// Injection-to-recovery duration, if recovered.
+    #[must_use]
+    pub fn recovery_time(&self) -> Option<TimeDelta> {
+        Some(self.recovered_at?.saturating_since(self.injected_at))
     }
 }
 
@@ -189,6 +236,7 @@ pub struct ClusterMetrics {
     retransmit_requests: u64,
     failover_at: Option<Time>,
     failover_complete_at: Option<Time>,
+    faults: Vec<FaultRecord>,
 }
 
 impl ClusterMetrics {
@@ -242,8 +290,7 @@ impl ClusterMetrics {
             m.backup_max_staleness = m.backup_max_staleness.max(staleness);
             if staleness > m.backup_bound {
                 m.backup_violations += 1;
-                m.backup_violation_time +=
-                    staleness - m.backup_bound;
+                m.backup_violation_time += staleness - m.backup_bound;
             }
         }
         m.backup_version = version;
@@ -358,11 +405,7 @@ impl ClusterMetrics {
         if episodes == 0 {
             return None;
         }
-        let total: TimeDelta = self
-            .objects
-            .values()
-            .map(|m| m.total_refresh_excess)
-            .sum();
+        let total: TimeDelta = self.objects.values().map(|m| m.total_refresh_excess).sum();
         Some(total / episodes)
     }
 
@@ -410,11 +453,69 @@ impl ClusterMetrics {
         self.retransmit_requests
     }
 
+    /// First instant a backup declared the primary dead, if any detector
+    /// ever fired (even a false alarm later healed by re-join).
+    #[must_use]
+    pub fn failover_started_at(&self) -> Option<Time> {
+        self.failover_at
+    }
+
     /// Time from primary-death declaration to the new primary serving,
     /// if a failover happened.
     #[must_use]
     pub fn failover_duration(&self) -> Option<TimeDelta> {
-        Some(self.failover_complete_at?.saturating_since(self.failover_at?))
+        Some(
+            self.failover_complete_at?
+                .saturating_since(self.failover_at?),
+        )
+    }
+
+    /// Opens a [`FaultRecord`] for an injected fault; returns its index
+    /// for later attribution.
+    pub fn record_fault_injected(&mut self, kind: InjectedFault, now: Time) -> usize {
+        self.faults.push(FaultRecord {
+            kind,
+            injected_at: now,
+            detected_at: None,
+            recovered_at: None,
+            retries: 0,
+        });
+        self.faults.len() - 1
+    }
+
+    /// Marks fault `index` as detected (first detection wins).
+    pub fn record_fault_detected(&mut self, index: usize, now: Time) {
+        if let Some(r) = self.faults.get_mut(index) {
+            r.detected_at.get_or_insert(now);
+        }
+    }
+
+    /// Marks fault `index` as recovered (first recovery wins).
+    pub fn record_fault_recovered(&mut self, index: usize, now: Time) {
+        if let Some(r) = self.faults.get_mut(index) {
+            r.recovered_at.get_or_insert(now);
+        }
+    }
+
+    /// Attributes one protocol retry to fault `index`.
+    pub fn add_fault_retry(&mut self, index: usize) {
+        if let Some(r) = self.faults.get_mut(index) {
+            r.retries += 1;
+        }
+    }
+
+    /// Sets the retry count of fault `index` (when the retries were
+    /// counted elsewhere, e.g. by the backup's join machinery).
+    pub fn set_fault_retries(&mut self, index: usize, retries: u64) {
+        if let Some(r) = self.faults.get_mut(index) {
+            r.retries = retries;
+        }
+    }
+
+    /// Every injected fault's lifecycle, in injection order.
+    #[must_use]
+    pub fn fault_report(&self) -> &[FaultRecord] {
+        &self.faults
     }
 }
 
@@ -611,10 +712,30 @@ mod tests {
         m.on_backup_refresh(id, t(100));
         m.finalize(t(400)); // gap 300 → 185 ms excess
         assert_eq!(m.object_report(id).unwrap().inconsistency_episodes, 1);
-        assert_eq!(
-            m.mean_inconsistency_duration(),
-            Some(ms(185))
-        );
+        assert_eq!(m.mean_inconsistency_duration(), Some(ms(185)));
+    }
+
+    #[test]
+    fn fault_records_track_lifecycle() {
+        let mut m = ClusterMetrics::new();
+        let idx = m.record_fault_injected(InjectedFault::PrimaryCrash, t(100));
+        m.record_fault_detected(idx, t(250));
+        m.record_fault_recovered(idx, t(300));
+        m.add_fault_retry(idx);
+        m.add_fault_retry(idx);
+        // Later repeats do not overwrite the first marks.
+        m.record_fault_detected(idx, t(999));
+        let r = &m.fault_report()[0];
+        assert_eq!(r.kind, InjectedFault::PrimaryCrash);
+        assert_eq!(r.detection_latency(), Some(ms(150)));
+        assert_eq!(r.recovery_time(), Some(ms(200)));
+        assert_eq!(r.retries, 2);
+        let open = m.record_fault_injected(InjectedFault::LossBurst, t(400));
+        m.set_fault_retries(open, 7);
+        let r = &m.fault_report()[1];
+        assert_eq!(r.detection_latency(), None);
+        assert_eq!(r.recovery_time(), None);
+        assert_eq!(r.retries, 7);
     }
 
     #[test]

@@ -251,6 +251,20 @@ impl Primary {
         removed
     }
 
+    /// Graceful degradation under overload: deregisters the registered
+    /// object with the lowest [`criticality`](ObjectSpec::criticality)
+    /// (ties break toward the lowest id) through the normal admission
+    /// pipeline, and returns its id. `None` when nothing is registered.
+    pub fn shed_lowest_criticality(&mut self) -> Option<ObjectId> {
+        let victim = self
+            .store
+            .iter()
+            .min_by_key(|(id, e)| (e.spec().criticality(), *id))
+            .map(|(id, _)| id)?;
+        self.deregister(victim);
+        Some(victim)
+    }
+
     /// Applies a client write, producing the next version. Returns `None`
     /// for an unregistered object.
     pub fn apply_client_write(
@@ -260,9 +274,7 @@ impl Primary {
         now: Time,
     ) -> Option<Version> {
         let next = self.store.get(id)?.version().next();
-        let installed = self
-            .store
-            .apply(id, ObjectValue::new(next, now, payload));
+        let installed = self.store.apply(id, ObjectValue::new(next, now, payload));
         debug_assert!(installed, "next version is always newer");
         self.writes_applied += 1;
         Some(next)
@@ -403,11 +415,7 @@ impl Primary {
     pub fn registry(&self) -> Vec<(ObjectId, ObjectSpec, TimeDelta)> {
         self.store
             .iter()
-            .filter_map(|(id, e)| {
-                self.schedule
-                    .period(id)
-                    .map(|p| (id, e.spec().clone(), p))
-            })
+            .filter_map(|(id, e)| self.schedule.period(id).map(|p| (id, e.spec().clone(), p)))
             .collect()
     }
 }
@@ -481,7 +489,31 @@ mod tests {
     #[test]
     fn writes_to_unknown_objects_are_rejected() {
         let mut p = primary();
-        assert!(p.apply_client_write(ObjectId::new(9), vec![], t(1)).is_none());
+        assert!(p
+            .apply_client_write(ObjectId::new(9), vec![], t(1))
+            .is_none());
+    }
+
+    #[test]
+    fn shedding_picks_the_lowest_criticality_first() {
+        let mut p = primary();
+        let crit = |name: &str, c: u32| {
+            ObjectSpec::builder(name)
+                .update_period(ms(100))
+                .primary_bound(ms(150))
+                .backup_bound(ms(550))
+                .criticality(c)
+                .build()
+                .unwrap()
+        };
+        let high = p.register(crit("high", 9), &[], Time::ZERO).unwrap();
+        let low = p.register(crit("low", 1), &[], Time::ZERO).unwrap();
+        let mid = p.register(crit("mid", 5), &[], Time::ZERO).unwrap();
+        assert_eq!(p.shed_lowest_criticality(), Some(low));
+        assert!(p.store().get(low).is_none());
+        assert_eq!(p.shed_lowest_criticality(), Some(mid));
+        assert_eq!(p.shed_lowest_criticality(), Some(high));
+        assert_eq!(p.shed_lowest_criticality(), None);
     }
 
     #[test]

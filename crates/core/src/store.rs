@@ -184,7 +184,11 @@ mod tests {
     }
 
     fn val(version: u64, ms: u64) -> ObjectValue {
-        ObjectValue::new(Version::new(version), Time::from_millis(ms), vec![version as u8])
+        ObjectValue::new(
+            Version::new(version),
+            Time::from_millis(ms),
+            vec![version as u8],
+        )
     }
 
     #[test]

@@ -289,11 +289,15 @@ impl Reader<'_> {
     }
 
     fn u32(&mut self) -> Result<u32, CodecError> {
-        Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_be_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     fn u64(&mut self) -> Result<u64, CodecError> {
-        Ok(u64::from_be_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_be_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     fn bytes(&mut self) -> Result<Vec<u8>, CodecError> {
@@ -385,7 +389,10 @@ mod tests {
 
     #[test]
     fn unknown_tag_rejected() {
-        assert_eq!(WireMessage::decode(&[0xEE]), Err(CodecError::UnknownTag(0xEE)));
+        assert_eq!(
+            WireMessage::decode(&[0xEE]),
+            Err(CodecError::UnknownTag(0xEE))
+        );
         assert_eq!(WireMessage::decode(&[]), Err(CodecError::Truncated));
     }
 
@@ -397,7 +404,10 @@ mod tests {
         }
         .encode();
         bytes.push(0);
-        assert_eq!(WireMessage::decode(&bytes), Err(CodecError::TrailingBytes(1)));
+        assert_eq!(
+            WireMessage::decode(&bytes),
+            Err(CodecError::TrailingBytes(1))
+        );
     }
 
     #[test]

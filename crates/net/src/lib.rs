@@ -43,14 +43,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bytes;
 mod graph_config;
 mod link;
 mod message;
 mod protocol;
 mod udp;
 
+pub use bytes::Bytes;
 pub use graph_config::{GraphConfigError, LayerFactory, ProtocolRegistry};
-pub use link::{LinkConfig, LinkOutcome, LossyLink};
+pub use link::{FaultKind, FaultWindow, GilbertElliott, LinkConfig, LinkOutcome, LossyLink};
 pub use message::Message;
 pub use protocol::{Protocol, ProtocolError, ProtocolGraph, ProtocolGraphBuilder};
 pub use udp::{SequencedLayer, UdpLike};

@@ -7,15 +7,123 @@
 //! [`LossyLink`] models exactly that: per-message Bernoulli loss and a
 //! uniformly distributed delay within `[delay_min, delay_max = ℓ]`, plus
 //! an optional per-byte serialization cost.
+//!
+//! Beyond the paper's nominal assumptions, the link carries a *fault
+//! model* for robustness experiments:
+//!
+//! - [`GilbertElliott`]: a two-state Markov chain (Good/Bad) producing
+//!   *correlated* loss bursts instead of independent Bernoulli drops.
+//! - [`LinkConfig::duplicate_probability`]: datagram duplication — the
+//!   message arrives twice, at independent delays.
+//! - [`LinkConfig::reorder_probability`]: reordering — the message is
+//!   held back by an extra delay so later messages can overtake it.
+//! - [`FaultWindow`]: time-windowed faults pushed onto a live link —
+//!   total outage (partition), an elevated loss rate, or a delay spike.
+//!
+//! Everything stays a deterministic function of the seed, so fault-plan
+//! runs replay exactly.
 
 use core::fmt;
 use rtpb_sim::SimRng;
 use rtpb_types::{Time, TimeDelta};
 
+/// A two-state Markov (Gilbert–Elliott) loss process.
+///
+/// The chain advances one step per transmission: in the Good state
+/// messages drop with probability `loss_good`, in the Bad state with
+/// `loss_bad`. Transitions happen after the drop decision, so mean burst
+/// length is `1 / p_bad_to_good` transmissions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GilbertElliott {
+    /// Probability of moving Good → Bad at each transmission.
+    pub p_good_to_bad: f64,
+    /// Probability of moving Bad → Good at each transmission.
+    pub p_bad_to_good: f64,
+    /// Loss probability while in the Good state.
+    pub loss_good: f64,
+    /// Loss probability while in the Bad state.
+    pub loss_bad: f64,
+}
+
+impl GilbertElliott {
+    /// A typical bursty profile: rare 2% entry into a bad period that
+    /// lasts ~10 messages and drops half of them.
+    #[must_use]
+    pub fn bursty() -> Self {
+        GilbertElliott {
+            p_good_to_bad: 0.02,
+            p_bad_to_good: 0.1,
+            loss_good: 0.0,
+            loss_bad: 0.5,
+        }
+    }
+
+    fn validate(&self) {
+        for (name, p) in [
+            ("p_good_to_bad", self.p_good_to_bad),
+            ("p_bad_to_good", self.p_bad_to_good),
+            ("loss_good", self.loss_good),
+            ("loss_bad", self.loss_bad),
+        ] {
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "Gilbert-Elliott {name} must be within [0, 1]"
+            );
+        }
+    }
+
+    /// Stationary loss rate of the chain (useful for calibrating sweeps
+    /// against an equivalent Bernoulli link).
+    #[must_use]
+    pub fn stationary_loss_rate(&self) -> f64 {
+        let denom = self.p_good_to_bad + self.p_bad_to_good;
+        if denom == 0.0 {
+            return self.loss_good;
+        }
+        let pi_bad = self.p_good_to_bad / denom;
+        (1.0 - pi_bad) * self.loss_good + pi_bad * self.loss_bad
+    }
+}
+
+/// The kind of fault a [`FaultWindow`] imposes while active.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Total outage: every message offered is lost (a partition of this
+    /// direction of the link).
+    Outage,
+    /// Elevated loss: messages drop with this probability (overrides the
+    /// configured rate if higher).
+    Loss(f64),
+    /// Delay spike: every delivered message takes this much extra time,
+    /// on top of its sampled propagation delay.
+    DelaySpike(TimeDelta),
+}
+
+/// A time-windowed fault on one link direction: active for transmissions
+/// with `from <= now < until`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultWindow {
+    /// First instant at which the fault applies.
+    pub from: Time,
+    /// First instant at which the fault no longer applies.
+    pub until: Time,
+    /// What the fault does to traffic.
+    pub kind: FaultKind,
+}
+
+impl FaultWindow {
+    /// Whether the window covers instant `now`.
+    #[must_use]
+    pub fn covers(&self, now: Time) -> bool {
+        self.from <= now && now < self.until
+    }
+}
+
 /// Configuration of one direction of a link.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinkConfig {
-    /// Probability that a message is silently lost (0.0–1.0).
+    /// Probability that a message is silently lost (0.0–1.0). Ignored
+    /// when `burst` is set (the Gilbert–Elliott chain decides instead).
     pub loss_probability: f64,
     /// Minimum propagation delay.
     pub delay_min: TimeDelta,
@@ -24,23 +132,39 @@ pub struct LinkConfig {
     /// Serialization rate in bytes per second; `None` for infinite
     /// bandwidth (size-independent delay).
     pub bytes_per_second: Option<u64>,
+    /// Probability that a delivered message arrives *twice*, the copies
+    /// taking independent delays (0.0–1.0).
+    pub duplicate_probability: f64,
+    /// Probability that a delivered message is held back by an extra
+    /// delay in `(0, delay_max]`, letting later traffic overtake it
+    /// (0.0–1.0). Reordered messages may arrive after the nominal bound
+    /// `ℓ` — that is the fault being modeled.
+    pub reorder_probability: f64,
+    /// Correlated-loss model; when set, per-message loss follows the
+    /// Gilbert–Elliott chain instead of `loss_probability`.
+    pub burst: Option<GilbertElliott>,
 }
 
 impl Default for LinkConfig {
-    /// A quiet LAN: no loss, 1–10 ms delay, infinite bandwidth.
+    /// A quiet LAN: no loss, 1–10 ms delay, infinite bandwidth, no
+    /// duplication, reordering, or burst process.
     fn default() -> Self {
         LinkConfig {
             loss_probability: 0.0,
             delay_min: TimeDelta::from_millis(1),
             delay_max: TimeDelta::from_millis(10),
             bytes_per_second: None,
+            duplicate_probability: 0.0,
+            reorder_probability: 0.0,
+            burst: None,
         }
     }
 }
 
 impl LinkConfig {
     /// The delay bound `ℓ` this link guarantees for delivered messages of
-    /// size `size_bytes`.
+    /// size `size_bytes` (in the absence of reordering faults and delay
+    /// spikes, which deliberately violate it).
     #[must_use]
     pub fn delay_bound(&self, size_bytes: usize) -> TimeDelta {
         self.delay_max + self.serialization_delay(size_bytes)
@@ -61,9 +185,20 @@ impl LinkConfig {
             "loss probability must be within [0, 1]"
         );
         assert!(
+            (0.0..=1.0).contains(&self.duplicate_probability),
+            "duplicate probability must be within [0, 1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.reorder_probability),
+            "reorder probability must be within [0, 1]"
+        );
+        assert!(
             self.delay_min <= self.delay_max,
             "delay_min must not exceed delay_max"
         );
+        if let Some(ge) = &self.burst {
+            ge.validate();
+        }
     }
 }
 
@@ -72,18 +207,33 @@ impl LinkConfig {
 pub enum LinkOutcome {
     /// The message arrives at this absolute time.
     Delivered(Time),
+    /// The message was duplicated in flight: two copies arrive, at these
+    /// absolute times (not necessarily ordered).
+    Duplicated(Time, Time),
     /// The message is silently lost.
     Lost,
 }
 
 impl LinkOutcome {
-    /// The arrival time, if delivered.
+    /// The first arrival time, if delivered at all.
     #[must_use]
     pub fn arrival(self) -> Option<Time> {
         match self {
             LinkOutcome::Delivered(t) => Some(t),
+            LinkOutcome::Duplicated(a, b) => Some(a.min(b)),
             LinkOutcome::Lost => None,
         }
+    }
+
+    /// Every arrival this transmission produces (none if lost, two if
+    /// duplicated).
+    pub fn arrivals(self) -> impl Iterator<Item = Time> {
+        let (a, b) = match self {
+            LinkOutcome::Delivered(t) => (Some(t), None),
+            LinkOutcome::Duplicated(t, u) => (Some(t), Some(u)),
+            LinkOutcome::Lost => (None, None),
+        };
+        a.into_iter().chain(b)
     }
 
     /// Whether the message was lost.
@@ -93,8 +243,9 @@ impl LinkOutcome {
     }
 }
 
-/// One direction of a point-to-point link with Bernoulli loss and bounded
-/// uniform delay.
+/// One direction of a point-to-point link with Bernoulli or
+/// Gilbert–Elliott loss, bounded uniform delay, and optional duplication,
+/// reordering, and time-windowed faults.
 ///
 /// Deterministic: the fate of the `k`-th transmission is a function of the
 /// seed, so simulation runs replay exactly.
@@ -115,8 +266,12 @@ impl LinkOutcome {
 pub struct LossyLink {
     config: LinkConfig,
     rng: SimRng,
+    burst_bad: bool,
+    windows: Vec<FaultWindow>,
     sent: u64,
     lost: u64,
+    duplicated: u64,
+    reordered: u64,
 }
 
 impl LossyLink {
@@ -124,7 +279,7 @@ impl LossyLink {
     ///
     /// # Panics
     ///
-    /// Panics if the config is invalid (loss probability outside [0, 1]
+    /// Panics if the config is invalid (a probability outside [0, 1]
     /// or `delay_min > delay_max`).
     #[must_use]
     pub fn new(config: LinkConfig, seed: u64) -> Self {
@@ -132,23 +287,112 @@ impl LossyLink {
         LossyLink {
             config,
             rng: SimRng::seed_from(seed),
+            burst_bad: false,
+            windows: Vec::new(),
             sent: 0,
             lost: 0,
+            duplicated: 0,
+            reordered: 0,
         }
     }
 
     /// Decides the fate of a message of `size_bytes` sent at `now`.
     pub fn transmit(&mut self, now: Time, size_bytes: usize) -> LinkOutcome {
         self.sent += 1;
-        if self.rng.chance(self.config.loss_probability) {
+        // Windowed faults active at the send instant.
+        let mut extra_delay = TimeDelta::ZERO;
+        let mut window_loss: f64 = 0.0;
+        let mut outage = false;
+        for w in &self.windows {
+            if !w.covers(now) {
+                continue;
+            }
+            match w.kind {
+                FaultKind::Outage => outage = true,
+                FaultKind::Loss(p) => window_loss = window_loss.max(p),
+                FaultKind::DelaySpike(d) => extra_delay = extra_delay.max(d),
+            }
+        }
+        // Loss decision: the Gilbert–Elliott chain (when configured)
+        // advances on *every* transmission so burst phase is independent
+        // of windowed faults.
+        let base_loss = match self.config.burst {
+            Some(ge) => {
+                let p = if self.burst_bad {
+                    ge.loss_bad
+                } else {
+                    ge.loss_good
+                };
+                let flip = if self.burst_bad {
+                    ge.p_bad_to_good
+                } else {
+                    ge.p_good_to_bad
+                };
+                let dropped = self.rng.chance(p);
+                if self.rng.chance(flip) {
+                    self.burst_bad = !self.burst_bad;
+                }
+                if dropped {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            None => self.config.loss_probability,
+        };
+        if outage {
             self.lost += 1;
             return LinkOutcome::Lost;
         }
+        let effective = base_loss.max(window_loss);
+        if self.rng.chance(effective) {
+            self.lost += 1;
+            return LinkOutcome::Lost;
+        }
+        if self.rng.chance(self.config.reorder_probability) {
+            // Hold the message back so later traffic can overtake it.
+            self.reordered += 1;
+            extra_delay += self
+                .rng
+                .delay_between(TimeDelta::from_nanos(1), self.config.delay_max);
+        }
+        let first = now + self.sample_delay(size_bytes) + extra_delay;
+        if self.rng.chance(self.config.duplicate_probability) {
+            self.duplicated += 1;
+            let second = now + self.sample_delay(size_bytes) + extra_delay;
+            return LinkOutcome::Duplicated(first, second);
+        }
+        LinkOutcome::Delivered(first)
+    }
+
+    fn sample_delay(&mut self, size_bytes: usize) -> TimeDelta {
         let propagation = self
             .rng
             .delay_between(self.config.delay_min, self.config.delay_max);
-        let delay = propagation + self.config.serialization_delay(size_bytes);
-        LinkOutcome::Delivered(now + delay)
+        propagation + self.config.serialization_delay(size_bytes)
+    }
+
+    /// Schedules a time-windowed fault on this link direction.
+    pub fn push_window(&mut self, window: FaultWindow) {
+        if let FaultKind::Loss(p) = window.kind {
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "loss probability must be within [0, 1]"
+            );
+        }
+        self.windows.push(window);
+    }
+
+    /// Drops windows that can never apply again (`until <= now`), keeping
+    /// long sweeps from scanning dead windows.
+    pub fn expire_windows(&mut self, now: Time) {
+        self.windows.retain(|w| w.until > now);
+    }
+
+    /// Whether any windowed fault is active at `now`.
+    #[must_use]
+    pub fn fault_active(&self, now: Time) -> bool {
+        self.windows.iter().any(|w| w.covers(now))
     }
 
     /// The link configuration.
@@ -163,7 +407,10 @@ impl LossyLink {
     ///
     /// Panics if `p` is outside [0, 1].
     pub fn set_loss_probability(&mut self, p: f64) {
-        assert!((0.0..=1.0).contains(&p), "loss probability must be within [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "loss probability must be within [0, 1]"
+        );
         self.config.loss_probability = p;
     }
 
@@ -177,6 +424,18 @@ impl LossyLink {
     #[must_use]
     pub fn lost(&self) -> u64 {
         self.lost
+    }
+
+    /// Messages duplicated in flight so far.
+    #[must_use]
+    pub fn duplicated(&self) -> u64 {
+        self.duplicated
+    }
+
+    /// Messages held back for reordering so far.
+    #[must_use]
+    pub fn reordered(&self) -> u64 {
+        self.reordered
     }
 
     /// Observed loss rate so far (0 if nothing sent).
@@ -265,13 +524,10 @@ mod tests {
             bytes_per_second: Some(1_000_000), // 1 MB/s → 1 µs per byte
             delay_min: TimeDelta::from_millis(1),
             delay_max: TimeDelta::from_millis(1),
-            loss_probability: 0.0,
+            ..LinkConfig::default()
         };
         let mut link = LossyLink::new(config, 1);
-        let a = link
-            .transmit(Time::ZERO, 1000)
-            .arrival()
-            .unwrap();
+        let a = link.transmit(Time::ZERO, 1000).arrival().unwrap();
         // 1 ms propagation + 1 ms serialization.
         assert_eq!(a, Time::from_millis(2));
         assert_eq!(config.delay_bound(1000), TimeDelta::from_millis(2));
@@ -316,5 +572,151 @@ mod tests {
         );
         assert_eq!(LinkOutcome::Lost.arrival(), None);
         assert!(LinkOutcome::Lost.is_lost());
+        let dup = LinkOutcome::Duplicated(Time::from_millis(9), Time::from_millis(4));
+        assert_eq!(dup.arrival(), Some(Time::from_millis(4)));
+        assert_eq!(dup.arrivals().count(), 2);
+        assert_eq!(LinkOutcome::Lost.arrivals().count(), 0);
+    }
+
+    #[test]
+    fn duplication_produces_two_arrivals_and_is_counted() {
+        let config = LinkConfig {
+            duplicate_probability: 1.0,
+            ..LinkConfig::default()
+        };
+        let mut link = LossyLink::new(config, 11);
+        let outcome = link.transmit(Time::from_millis(50), 16);
+        assert!(matches!(outcome, LinkOutcome::Duplicated(_, _)));
+        assert_eq!(outcome.arrivals().count(), 2);
+        for at in outcome.arrivals() {
+            assert!(at >= Time::from_millis(51));
+            assert!(at <= Time::from_millis(60));
+        }
+        assert_eq!(link.duplicated(), 1);
+    }
+
+    #[test]
+    fn reordering_can_exceed_the_nominal_bound() {
+        let config = LinkConfig {
+            reorder_probability: 1.0,
+            ..LinkConfig::default()
+        };
+        let mut link = LossyLink::new(config, 13);
+        let mut beyond = 0;
+        for _ in 0..100 {
+            let at = link.transmit(Time::ZERO, 8).arrival().unwrap();
+            assert!(at <= Time::from_millis(20)); // delay + extra ≤ 2·ℓ
+            if at > Time::from_millis(10) {
+                beyond = 1;
+            }
+        }
+        assert_eq!(link.reordered(), 100);
+        assert_eq!(beyond, 1, "some message should exceed the nominal bound");
+    }
+
+    #[test]
+    fn gilbert_elliott_losses_are_bursty() {
+        let config = LinkConfig {
+            burst: Some(GilbertElliott {
+                p_good_to_bad: 0.02,
+                p_bad_to_good: 0.2,
+                loss_good: 0.0,
+                loss_bad: 1.0,
+            }),
+            ..LinkConfig::default()
+        };
+        let mut link = LossyLink::new(config, 17);
+        let fates: Vec<bool> = (0..5000)
+            .map(|_| link.transmit(Time::ZERO, 8).is_lost())
+            .collect();
+        let losses = fates.iter().filter(|&&l| l).count();
+        assert!(losses > 0, "the chain should enter the bad state");
+        // Correlation: a loss is followed by another loss far more often
+        // than the marginal rate (burstiness), here P(bad stays) = 0.8.
+        let pairs = fates.windows(2).filter(|w| w[0]).count();
+        let repeats = fates.windows(2).filter(|w| w[0] && w[1]).count();
+        assert!(
+            repeats as f64 / pairs as f64 > 2.0 * losses as f64 / fates.len() as f64,
+            "losses should cluster: {repeats}/{pairs} vs {losses}/{}",
+            fates.len()
+        );
+    }
+
+    #[test]
+    fn stationary_loss_rate_matches_observation() {
+        let ge = GilbertElliott {
+            p_good_to_bad: 0.05,
+            p_bad_to_good: 0.15,
+            loss_good: 0.0,
+            loss_bad: 0.8,
+        };
+        let config = LinkConfig {
+            burst: Some(ge),
+            ..LinkConfig::default()
+        };
+        let mut link = LossyLink::new(config, 23);
+        for _ in 0..20_000 {
+            let _ = link.transmit(Time::ZERO, 8);
+        }
+        let expected = ge.stationary_loss_rate();
+        let observed = link.observed_loss_rate();
+        assert!(
+            (observed - expected).abs() < 0.03,
+            "observed {observed}, stationary {expected}"
+        );
+    }
+
+    #[test]
+    fn outage_window_drops_only_inside_its_span() {
+        let mut link = LossyLink::new(cfg(0.0), 5);
+        link.push_window(FaultWindow {
+            from: Time::from_millis(100),
+            until: Time::from_millis(200),
+            kind: FaultKind::Outage,
+        });
+        assert!(!link.transmit(Time::from_millis(50), 8).is_lost());
+        assert!(link.transmit(Time::from_millis(100), 8).is_lost());
+        assert!(link.transmit(Time::from_millis(199), 8).is_lost());
+        assert!(!link.transmit(Time::from_millis(200), 8).is_lost());
+        assert!(link.fault_active(Time::from_millis(150)));
+        assert!(!link.fault_active(Time::from_millis(250)));
+    }
+
+    #[test]
+    fn loss_window_elevates_the_rate() {
+        let mut link = LossyLink::new(cfg(0.0), 29);
+        link.push_window(FaultWindow {
+            from: Time::ZERO,
+            until: Time::from_secs(1),
+            kind: FaultKind::Loss(1.0),
+        });
+        assert!(link.transmit(Time::from_millis(10), 8).is_lost());
+        assert!(!link.transmit(Time::from_secs(2), 8).is_lost());
+    }
+
+    #[test]
+    fn delay_spike_window_adds_latency() {
+        let mut link = LossyLink::new(cfg(0.0), 31);
+        link.push_window(FaultWindow {
+            from: Time::ZERO,
+            until: Time::from_secs(1),
+            kind: FaultKind::DelaySpike(TimeDelta::from_millis(100)),
+        });
+        let spiked = link.transmit(Time::ZERO, 8).arrival().unwrap();
+        assert!(spiked >= Time::from_millis(101));
+        let normal = link.transmit(Time::from_secs(2), 8).arrival().unwrap();
+        assert!(normal <= Time::from_secs(2) + TimeDelta::from_millis(10));
+    }
+
+    #[test]
+    fn expired_windows_are_garbage_collected() {
+        let mut link = LossyLink::new(cfg(0.0), 37);
+        link.push_window(FaultWindow {
+            from: Time::ZERO,
+            until: Time::from_millis(10),
+            kind: FaultKind::Outage,
+        });
+        link.expire_windows(Time::from_millis(10));
+        assert!(!link.transmit(Time::from_millis(5), 8).is_lost());
     }
 }

@@ -1,6 +1,6 @@
 //! Messages with x-kernel-style header stacks.
 
-use bytes::Bytes;
+use crate::bytes::Bytes;
 
 /// A network message: an opaque payload plus a stack of protocol headers.
 ///

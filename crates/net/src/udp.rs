@@ -206,12 +206,14 @@ impl Protocol for SequencedLayer {
         let header = msg
             .pop_header()
             .ok_or(ProtocolError::MissingHeader { layer: "seq" })?;
-        let bytes: [u8; 8] = header.as_ref().try_into().map_err(|_| {
-            ProtocolError::CorruptHeader {
-                layer: "seq",
-                reason: format!("sequence header is {} bytes, expected 8", header.len()),
-            }
-        })?;
+        let bytes: [u8; 8] =
+            header
+                .as_ref()
+                .try_into()
+                .map_err(|_| ProtocolError::CorruptHeader {
+                    layer: "seq",
+                    reason: format!("sequence header is {} bytes, expected 8", header.len()),
+                })?;
         let seq = u64::from_be_bytes(bytes);
         match self.highest_rx {
             Some(high) if seq <= high => {
@@ -243,7 +245,9 @@ mod tests {
     #[test]
     fn udp_round_trip_preserves_payload() {
         let mut udp = UdpLike::new();
-        let wire = udp.push(Message::from_payload(vec![1, 2, 3, 4, 5])).unwrap();
+        let wire = udp
+            .push(Message::from_payload(vec![1, 2, 3, 4, 5]))
+            .unwrap();
         assert_eq!(wire.header_depth(), 1);
         let up = udp.pop(wire).unwrap().unwrap();
         assert_eq!(up.payload(), &[1, 2, 3, 4, 5]);
@@ -355,13 +359,45 @@ mod tests {
     }
 
     #[test]
+    fn link_duplication_is_absorbed_by_the_sequence_layer() {
+        use crate::link::{LinkConfig, LossyLink};
+        use rtpb_types::Time;
+        // A duplicating link (the paper's UDP transport can deliver the
+        // same datagram twice); the sequence layer must suppress exactly
+        // the copies the link minted.
+        let config = LinkConfig {
+            duplicate_probability: 0.3,
+            ..LinkConfig::default()
+        };
+        let mut link = LossyLink::new(config, 42);
+        let mut tx = SequencedLayer::new();
+        let mut rx = SequencedLayer::new();
+        let mut delivered = 0u64;
+        for i in 0..200u64 {
+            let wire = tx.push(Message::from_payload(vec![i as u8])).unwrap();
+            let outcome = link.transmit(Time::from_millis(i * 20), wire.wire_size());
+            for _at in outcome.arrivals() {
+                if rx.pop(wire.clone()).unwrap().is_some() {
+                    delivered += 1;
+                }
+            }
+        }
+        assert!(link.duplicated() > 0, "the knob must mint duplicates");
+        assert_eq!(
+            rx.duplicates_dropped(),
+            link.duplicated(),
+            "every minted copy is suppressed, nothing else"
+        );
+        assert_eq!(delivered, 200, "each original delivered exactly once");
+        assert_eq!(rx.gaps_detected(), 0);
+    }
+
+    #[test]
     fn seq_rejects_malformed_header() {
         let mut rx = SequencedLayer::new();
         let mut msg = Message::from_payload(Vec::new());
         msg.push_header(&[1, 2, 3]);
         assert!(rx.pop(msg).is_err());
-        assert!(rx
-            .pop(Message::from_payload(Vec::new()))
-            .is_err());
+        assert!(rx.pop(Message::from_payload(Vec::new())).is_err());
     }
 }

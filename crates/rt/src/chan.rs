@@ -1,0 +1,286 @@
+//! A small MPMC channel (stand-in for `crossbeam::channel`).
+//!
+//! The runtime needs one property `std::sync::mpsc` lacks: *multiple
+//! consumers*. The client-write channel is shared by the primary and the
+//! backup threads, and failover is literally the backup starting to consume
+//! from it. This module provides a `Mutex<VecDeque>` + `Condvar` channel
+//! whose [`Sender`] *and* [`Receiver`] are both cloneable.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Inner<T> {
+    state: Mutex<State<T>>,
+    cond: Condvar,
+    capacity: Option<usize>,
+}
+
+/// The sending half of a channel. Cloneable.
+pub struct Sender<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// The receiving half of a channel. Cloneable (MPMC).
+pub struct Receiver<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// The error returned by [`Sender::send`] when all receivers are gone.
+/// Carries the unsent value.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// The error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No message arrived before the deadline.
+    Timeout,
+    /// All senders are gone and the queue is drained.
+    Disconnected,
+}
+
+/// The error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The queue is currently empty.
+    Empty,
+    /// All senders are gone and the queue is drained.
+    Disconnected,
+}
+
+/// Creates an unbounded channel.
+#[must_use]
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    channel(None)
+}
+
+/// Creates a channel that holds at most `capacity` queued messages;
+/// [`Sender::send`] blocks while it is full.
+#[must_use]
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    channel(Some(capacity))
+}
+
+fn channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let inner = Arc::new(Inner {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
+        cond: Condvar::new(),
+        capacity,
+    });
+    (
+        Sender {
+            inner: Arc::clone(&inner),
+        },
+        Receiver { inner },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Enqueues a message, blocking while a bounded channel is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns the message back if every receiver has been dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut state = self.inner.state.lock().unwrap();
+        loop {
+            if state.receivers == 0 {
+                return Err(SendError(value));
+            }
+            match self.inner.capacity {
+                Some(cap) if state.queue.len() >= cap => {
+                    state = self.inner.cond.wait(state).unwrap();
+                }
+                _ => break,
+            }
+        }
+        state.queue.push_back(value);
+        drop(state);
+        self.inner.cond.notify_all();
+        Ok(())
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Dequeues a message, waiting up to `timeout` for one to arrive.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvTimeoutError::Timeout`] if nothing arrived in time;
+    /// [`RecvTimeoutError::Disconnected`] once the channel is drained and
+    /// every sender is gone.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.inner.state.lock().unwrap();
+        loop {
+            if let Some(value) = state.queue.pop_front() {
+                drop(state);
+                self.inner.cond.notify_all();
+                return Ok(value);
+            }
+            if state.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (next, result) = self.inner.cond.wait_timeout(state, remaining).unwrap();
+            state = next;
+            if result.timed_out() && state.queue.is_empty() {
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                return Err(RecvTimeoutError::Timeout);
+            }
+        }
+    }
+
+    /// Dequeues a message if one is immediately available.
+    ///
+    /// # Errors
+    ///
+    /// [`TryRecvError::Empty`] when the queue is empty;
+    /// [`TryRecvError::Disconnected`] once the channel is drained and every
+    /// sender is gone.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut state = self.inner.state.lock().unwrap();
+        if let Some(value) = state.queue.pop_front() {
+            drop(state);
+            self.inner.cond.notify_all();
+            return Ok(value);
+        }
+        if state.senders == 0 {
+            return Err(TryRecvError::Disconnected);
+        }
+        Err(TryRecvError::Empty)
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.inner.state.lock().unwrap().senders += 1;
+        Sender {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.inner.state.lock().unwrap().receivers += 1;
+        Receiver {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        self.inner.state.lock().unwrap().senders -= 1;
+        self.inner.cond.notify_all();
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.inner.state.lock().unwrap().receivers -= 1;
+        self.inner.cond.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_recv_round_trip() {
+        let (tx, rx) = unbounded();
+        tx.send(41).unwrap();
+        tx.send(42).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(41));
+        assert_eq!(rx.try_recv(), Ok(42));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn timeout_when_empty() {
+        let (tx, rx) = unbounded::<u8>();
+        let start = Instant::now();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(20)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        assert!(start.elapsed() >= Duration::from_millis(20));
+        drop(tx);
+    }
+
+    #[test]
+    fn disconnect_after_drain() {
+        let (tx, rx) = unbounded();
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(7));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn send_fails_without_receivers() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert_eq!(tx.send(1), Err(SendError(1)));
+    }
+
+    #[test]
+    fn cloned_receivers_share_the_queue() {
+        let (tx, rx1) = unbounded();
+        let rx2 = rx1.clone();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let a = rx1.recv_timeout(Duration::from_millis(50)).unwrap();
+        let b = rx2.recv_timeout(Duration::from_millis(50)).unwrap();
+        assert_eq!([a, b], [1, 2]);
+    }
+
+    #[test]
+    fn bounded_channel_blocks_then_resumes() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let t = std::thread::spawn(move || tx.send(2).map_err(|_| ()));
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv_timeout(Duration::from_millis(100)), Ok(1));
+        assert_eq!(rx.recv_timeout(Duration::from_millis(500)), Ok(2));
+        t.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let (tx, rx) = unbounded();
+        let t = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        let mut got = Vec::new();
+        while got.len() < 100 {
+            got.push(rx.recv_timeout(Duration::from_secs(1)).unwrap());
+        }
+        t.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<i32>>());
+    }
+}

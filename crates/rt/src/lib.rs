@@ -2,7 +2,7 @@
 //!
 //! The same sans-io protocol cores that power the deterministic simulation
 //! ([`rtpb_core::Primary`], [`rtpb_core::Backup`]) driven by OS threads,
-//! crossbeam channels, and the wall clock — evidence that nothing in the
+//! hand-rolled MPMC channels, and the wall clock — evidence that nothing in the
 //! protocol depends on simulation. The paper's prototype ran as threads on
 //! the MK 7.2 microkernel; this is the equivalent on a modern OS.
 //!
@@ -43,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chan;
 mod link;
 mod runtime;
 

@@ -1,9 +1,8 @@
 //! A real-time lossy link: a thread that delays and drops messages.
 
-use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use crate::chan::{bounded, Receiver, RecvTimeoutError, Sender};
 use rtpb_net::LinkConfig;
+use rtpb_sim::SimRng;
 use std::collections::BinaryHeap;
 use std::time::{Duration, Instant};
 
@@ -39,7 +38,7 @@ impl Ord for Pending {
 /// # Examples
 ///
 /// ```
-/// use crossbeam::channel::unbounded;
+/// use rtpb_rt::chan::unbounded;
 /// use rtpb_net::LinkConfig;
 /// use rtpb_types::TimeDelta;
 ///
@@ -63,13 +62,8 @@ pub fn spawn_link(config: LinkConfig, seed: u64, out: Sender<Vec<u8>>) -> Sender
     tx
 }
 
-fn link_loop(
-    config: LinkConfig,
-    seed: u64,
-    rx: &Receiver<Vec<u8>>,
-    out: &Sender<Vec<u8>>,
-) {
-    let mut rng = SmallRng::seed_from_u64(seed);
+fn link_loop(config: LinkConfig, seed: u64, rx: &Receiver<Vec<u8>>, out: &Sender<Vec<u8>>) {
+    let mut rng = SimRng::seed_from(seed);
     let mut heap: BinaryHeap<Pending> = BinaryHeap::new();
     let mut seq = 0u64;
     let mut disconnected = false;
@@ -85,27 +79,16 @@ fn link_loop(
         if disconnected && heap.is_empty() {
             return;
         }
-        let timeout = heap
-            .peek()
-            .map_or(Duration::from_millis(50), |p| {
-                p.due.saturating_duration_since(Instant::now())
-            });
+        let timeout = heap.peek().map_or(Duration::from_millis(50), |p| {
+            p.due.saturating_duration_since(Instant::now())
+        });
         match rx.recv_timeout(timeout) {
             Ok(bytes) => {
-                let lost = {
-                    let p = config.loss_probability;
-                    p >= 1.0 || (p > 0.0 && rng.gen_bool(p))
-                };
-                if !lost {
-                    let min = config.delay_min.as_nanos();
-                    let max = config.delay_max.as_nanos().max(min);
-                    let delay_ns = if min == max {
-                        min
-                    } else {
-                        rng.gen_range(min..=max)
-                    };
+                if !rng.chance(config.loss_probability) {
+                    let delay =
+                        rng.delay_between(config.delay_min, config.delay_max.max(config.delay_min));
                     heap.push(Pending {
-                        due: Instant::now() + Duration::from_nanos(delay_ns),
+                        due: Instant::now() + Duration::from_nanos(delay.as_nanos()),
                         seq,
                         bytes,
                     });
@@ -121,7 +104,7 @@ fn link_loop(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crossbeam::channel::unbounded;
+    use crate::chan::unbounded;
     use rtpb_types::TimeDelta;
 
     fn fast_config(loss: f64) -> LinkConfig {
@@ -129,7 +112,7 @@ mod tests {
             loss_probability: loss,
             delay_min: TimeDelta::from_micros(100),
             delay_max: TimeDelta::from_millis(2),
-            bytes_per_second: None,
+            ..LinkConfig::default()
         }
     }
 

@@ -1,8 +1,7 @@
 //! The thread-based cluster runtime.
 
+use crate::chan::{unbounded, Receiver, RecvTimeoutError, Sender};
 use crate::link::spawn_link;
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use parking_lot::Mutex;
 use rtpb_core::backup::Backup;
 use rtpb_core::config::ProtocolConfig;
 use rtpb_core::metrics::ClusterMetrics;
@@ -13,8 +12,8 @@ use rtpb_types::{AdmissionError, NodeId, ObjectId, ObjectSpec, Time, TimeDelta};
 use std::collections::BinaryHeap;
 use std::error::Error;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Configuration for a real-clock run.
@@ -31,6 +30,14 @@ pub struct RtConfig {
     /// If set, the primary thread exits this long into the run, and the
     /// backup is expected to detect the failure and take over.
     pub crash_primary_after: Option<Duration>,
+    /// If set, the backup crashes this long into the run: it loses its
+    /// volatile state and stops acking heartbeats until (and unless)
+    /// [`RtConfig::recover_backup_after`] fires.
+    pub crash_backup_after: Option<Duration>,
+    /// If set (with [`RtConfig::crash_backup_after`]), the backup restarts
+    /// this long into the run and re-integrates through the bounded-retry
+    /// join / state-transfer path.
+    pub recover_backup_after: Option<Duration>,
 }
 
 impl Default for RtConfig {
@@ -45,6 +52,8 @@ impl Default for RtConfig {
             seed: 0,
             objects: Vec::new(),
             crash_primary_after: None,
+            crash_backup_after: None,
+            recover_backup_after: None,
         }
     }
 }
@@ -68,6 +77,9 @@ pub struct RtReport {
     pub inconsistency_episodes: u64,
     /// Whether the backup promoted itself during the run.
     pub failed_over: bool,
+    /// State transfers completing a backup re-integration after a
+    /// scheduled crash/recovery.
+    pub backup_rejoins: u64,
 }
 
 /// Why a real-clock run could not start.
@@ -128,6 +140,7 @@ struct Shared {
     metrics: Mutex<ClusterMetrics>,
     stop: AtomicBool,
     failed_over: AtomicBool,
+    rejoins: AtomicU64,
     epoch: Instant,
 }
 
@@ -152,6 +165,7 @@ impl RtCluster {
             metrics: Mutex::new(ClusterMetrics::new()),
             stop: AtomicBool::new(false),
             failed_over: AtomicBool::new(false),
+            rejoins: AtomicU64::new(0),
             epoch: Instant::now(),
         });
 
@@ -161,7 +175,7 @@ impl RtCluster {
         let mut ids = Vec::new();
         for spec in &config.objects {
             let id = primary.register(spec.clone(), &[], shared.now())?;
-            shared.metrics.lock().track_object(
+            shared.metrics.lock().unwrap().track_object(
                 id,
                 spec.window(),
                 spec.primary_bound(),
@@ -169,10 +183,11 @@ impl RtCluster {
             );
             ids.push((id, spec.clone()));
         }
+        let primary_registry = primary.registry();
         let mut backup = Backup::new(NodeId::new(1), config.protocol.clone());
-        for (id, spec, period) in primary.registry() {
+        for (id, spec, period) in primary_registry.clone() {
             backup.sync_registration(id, spec, period, shared.now());
-            shared.metrics.lock().set_refresh_allowance(
+            shared.metrics.lock().unwrap().set_refresh_allowance(
                 id,
                 period + config.protocol.link_delay_bound + config.protocol.retransmit_slack,
             );
@@ -192,11 +207,19 @@ impl RtCluster {
             ..config.link
         };
         let p2b = Links {
-            data: spawn_link(config.link, config.seed.wrapping_add(1), to_backup_tx.clone()),
+            data: spawn_link(
+                config.link,
+                config.seed.wrapping_add(1),
+                to_backup_tx.clone(),
+            ),
             control: spawn_link(lossless, config.seed.wrapping_add(3), to_backup_tx),
         };
         let b2p = Links {
-            data: spawn_link(config.link, config.seed.wrapping_add(2), to_primary_tx.clone()),
+            data: spawn_link(
+                config.link,
+                config.seed.wrapping_add(2),
+                to_primary_tx.clone(),
+            ),
             control: spawn_link(lossless, config.seed.wrapping_add(4), to_primary_tx),
         };
 
@@ -229,9 +252,19 @@ impl RtCluster {
         let backup_thread = {
             let shared = Arc::clone(&shared);
             let client_rx = client_rx.clone();
+            let protocol = config.protocol.clone();
+            let registry: Vec<(ObjectId, ObjectSpec, TimeDelta)> = primary_registry;
+            let crash = BackupCrashSchedule {
+                crash_after: config.crash_backup_after,
+                recover_after: config.recover_backup_after,
+            };
             std::thread::Builder::new()
                 .name("rtpb-backup".into())
-                .spawn(move || backup_loop(&shared, backup, &client_rx, &backup_in, &b2p))
+                .spawn(move || {
+                    backup_loop(
+                        &shared, backup, &client_rx, &backup_in, &b2p, &protocol, &registry, crash,
+                    );
+                })
                 .expect("spawn backup")
         };
 
@@ -242,7 +275,7 @@ impl RtCluster {
         primary_thread.join().expect("primary thread");
         backup_thread.join().expect("backup thread");
 
-        let mut metrics = shared.metrics.lock().clone();
+        let mut metrics = shared.metrics.lock().unwrap().clone();
         metrics.finalize(shared.now());
         let episodes: u64 = metrics
             .object_ids()
@@ -268,6 +301,7 @@ impl RtCluster {
             average_max_distance: metrics.average_max_distance(),
             inconsistency_episodes: episodes,
             failed_over: shared.failed_over.load(Ordering::SeqCst),
+            backup_rejoins: shared.rejoins.load(Ordering::SeqCst),
         })
     }
 }
@@ -365,7 +399,7 @@ fn primary_loop(
             match d.object {
                 Some(id) => {
                     if let Some(update) = primary.make_update(id) {
-                        shared.metrics.lock().record_update_sent(false);
+                        shared.metrics.lock().unwrap().record_update_sent(false);
                         send_wire(link, &update);
                     }
                     if let Some(period) = primary.send_period(id) {
@@ -394,47 +428,67 @@ fn primary_loop(
             })
             .min(Duration::from_millis(10));
 
-        crossbeam::channel::select! {
-            recv(client_rx) -> msg => {
-                if let Ok((id, payload, sent_at)) = msg {
-                    let now = shared.now();
-                    if let Some(version) = primary.apply_client_write(id, payload, now) {
-                        let mut m = shared.metrics.lock();
-                        m.record_response(TimeDelta::from(sent_at.elapsed()));
-                        m.on_primary_write(id, version, now);
+        // Poll both inputs until the next timer is due: client writes
+        // first (latency-sensitive), then the network, then a short sleep.
+        let deadline = Instant::now() + timeout;
+        loop {
+            let mut progressed = false;
+            while let Ok((id, payload, sent_at)) = client_rx.try_recv() {
+                progressed = true;
+                let now = shared.now();
+                if let Some(version) = primary.apply_client_write(id, payload, now) {
+                    let mut m = shared.metrics.lock().unwrap();
+                    m.record_response(TimeDelta::from(sent_at.elapsed()));
+                    m.on_primary_write(id, version, now);
+                }
+            }
+            while let Ok(bytes) = network.try_recv() {
+                progressed = true;
+                if let Ok(msg) = WireMessage::decode(&bytes) {
+                    if matches!(msg, WireMessage::RetransmitRequest { .. }) {
+                        shared.metrics.lock().unwrap().record_retransmit_request();
+                    }
+                    let out = primary.handle_message(&msg, shared.now());
+                    for reply in &out.replies {
+                        if matches!(reply, WireMessage::Update { .. }) {
+                            shared.metrics.lock().unwrap().record_update_sent(false);
+                        }
+                        send_wire(link, reply);
                     }
                 }
             }
-            recv(network) -> bytes => {
-                if let Ok(bytes) = bytes {
-                    if let Ok(msg) = WireMessage::decode(&bytes) {
-                        if matches!(msg, WireMessage::RetransmitRequest { .. }) {
-                            shared.metrics.lock().record_retransmit_request();
-                        }
-                        let out = primary.handle_message(&msg, shared.now());
-                        for reply in &out.replies {
-                            if matches!(reply, WireMessage::Update { .. }) {
-                                shared.metrics.lock().record_update_sent(false);
-                            }
-                            send_wire(link, reply);
-                        }
-                    }
-                }
+            if progressed || Instant::now() >= deadline {
+                break;
             }
-            default(timeout) => {}
+            let nap = deadline
+                .saturating_duration_since(Instant::now())
+                .min(Duration::from_micros(500));
+            std::thread::sleep(nap);
         }
     }
 }
 
-#[allow(clippy::needless_pass_by_value)]
+/// The backup thread's crash/recovery schedule (mirrors the simulation's
+/// `FaultPlan` crash knobs under a real clock).
+#[derive(Debug, Clone, Copy)]
+struct BackupCrashSchedule {
+    crash_after: Option<Duration>,
+    recover_after: Option<Duration>,
+}
+
+#[allow(clippy::needless_pass_by_value, clippy::too_many_arguments)]
 fn backup_loop(
     shared: &Shared,
     mut backup: Backup,
     client_rx: &Receiver<(ObjectId, Vec<u8>, Instant)>,
     network: &Receiver<Vec<u8>>,
     link: &Links,
+    protocol: &ProtocolConfig,
+    registry: &[(ObjectId, ObjectSpec, TimeDelta)],
+    crash: BackupCrashSchedule,
 ) {
     let start = Instant::now();
+    let node = backup.node();
     let mut timers: BinaryHeap<Deadline> = BinaryHeap::new();
     let watchdog_ids: Vec<ObjectId> = backup.store().ids().collect();
     for id in &watchdog_ids {
@@ -451,7 +505,56 @@ fn backup_loop(
 
     // Phase 1: act as the backup until promotion or stop.
     let mut promoted: Option<Primary> = None;
+    let mut down = false;
+    let mut crash_pending = crash.crash_after;
+    let mut rejoining = false;
     while !shared.stop.load(Ordering::SeqCst) && promoted.is_none() {
+        // Scheduled crash: drop all volatile state and go silent.
+        if crash_pending.is_some_and(|c| start.elapsed() >= c) {
+            crash_pending = None;
+            down = true;
+        }
+        if down {
+            let recovered = crash.recover_after.is_some_and(|r| start.elapsed() >= r);
+            if !recovered {
+                // A dead host neither speaks nor listens.
+                while network.try_recv().is_ok() {}
+                std::thread::sleep(Duration::from_millis(2));
+                continue;
+            }
+            // Restart: fresh state machine, registry re-synced out of
+            // band, object state recovered via join + state transfer
+            // (bounded retries with exponential backoff).
+            down = false;
+            rejoining = true;
+            let now = shared.now();
+            backup = Backup::new(node, protocol.clone());
+            for (id, spec, period) in registry {
+                backup.sync_registration(*id, spec.clone(), *period, now);
+            }
+            let join = backup.begin_join(now);
+            send_wire(link, &join);
+            timers.clear();
+            let restart = Instant::now();
+            for id in &watchdog_ids {
+                timers.push(Deadline {
+                    due: restart + Duration::from_millis(50),
+                    object: Some(*id),
+                });
+            }
+            timers.push(Deadline {
+                due: restart,
+                object: None,
+            });
+        }
+        if rejoining {
+            if let Some(join) = backup.tick_join(shared.now()) {
+                send_wire(link, &join);
+            }
+            if backup.join_abandoned() {
+                rejoining = false;
+            }
+        }
         let now_i = Instant::now();
         while timers.peek().is_some_and(|d| d.due <= now_i) {
             let d = timers.pop().expect("peeked");
@@ -472,7 +575,7 @@ fn backup_loop(
                     }
                     if primary_died {
                         let now = shared.now();
-                        let mut m = shared.metrics.lock();
+                        let mut m = shared.metrics.lock().unwrap();
                         m.record_failover_started(now);
                         m.record_failover_complete(now);
                         drop(m);
@@ -494,10 +597,18 @@ fn backup_loop(
             Ok(bytes) => {
                 if let Ok(msg) = WireMessage::decode(&bytes) {
                     if let WireMessage::Update { object, .. } = &msg {
-                        shared.metrics.lock().on_backup_refresh(*object, shared.now());
+                        shared
+                            .metrics
+                            .lock()
+                            .unwrap()
+                            .on_backup_refresh(*object, shared.now());
+                    }
+                    if rejoining && matches!(msg, WireMessage::StateTransfer { .. }) {
+                        rejoining = false;
+                        shared.rejoins.fetch_add(1, Ordering::SeqCst);
                     }
                     let out = backup.handle_message(&msg, shared.now());
-                    let mut m = shared.metrics.lock();
+                    let mut m = shared.metrics.lock().unwrap();
                     for (id, version, ts) in &out.applied {
                         m.on_backup_apply(*id, *version, *ts, shared.now());
                     }
@@ -521,7 +632,7 @@ fn backup_loop(
             Ok((id, payload, sent_at)) => {
                 let now = shared.now();
                 if let Some(version) = new_primary.apply_client_write(id, payload, now) {
-                    let mut m = shared.metrics.lock();
+                    let mut m = shared.metrics.lock().unwrap();
                     m.record_response(TimeDelta::from(sent_at.elapsed()));
                     m.on_primary_write(id, version, now);
                 }
@@ -592,8 +703,26 @@ mod tests {
         config.objects.push(spec(20));
         config.crash_primary_after = Some(Duration::from_millis(300));
         let report = RtCluster::run(config, Duration::from_millis(1500)).unwrap();
-        assert!(report.failed_over, "backup must detect the crash and promote");
+        assert!(
+            report.failed_over,
+            "backup must detect the crash and promote"
+        );
         assert!(report.writes > 0);
+    }
+
+    #[test]
+    fn backup_crash_and_recovery_reintegrates() {
+        let mut config = RtConfig::default();
+        config.objects.push(spec(20));
+        config.crash_backup_after = Some(Duration::from_millis(300));
+        config.recover_backup_after = Some(Duration::from_millis(700));
+        let report = RtCluster::run(config, Duration::from_millis(2000)).unwrap();
+        assert!(!report.failed_over, "primary stays up");
+        assert_eq!(
+            report.backup_rejoins, 1,
+            "recovered backup must re-integrate via state transfer"
+        );
+        assert!(report.updates_applied > 0);
     }
 
     #[test]

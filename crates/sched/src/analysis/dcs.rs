@@ -143,17 +143,10 @@ pub fn specialize(tasks: &TaskSet) -> Result<Specialization, DcsError> {
 
     for candidate_task in tasks.iter() {
         let base = halve_to_at_most(candidate_task.period(), min_period);
-        let periods: Vec<TimeDelta> = tasks
-            .iter()
-            .map(|t| grid_floor(t.period(), base))
-            .collect();
+        let periods: Vec<TimeDelta> = tasks.iter().map(|t| grid_floor(t.period(), base)).collect();
         // A task whose exec no longer fits its specialized period is
         // infeasible under this base.
-        if tasks
-            .iter()
-            .zip(&periods)
-            .any(|(t, &p)| t.exec() > p)
-        {
+        if tasks.iter().zip(&periods).any(|(t, &p)| t.exec() > p) {
             continue;
         }
         let util: f64 = tasks
@@ -207,10 +200,7 @@ pub fn specialize(tasks: &TaskSet) -> Result<Specialization, DcsError> {
 /// ```
 pub fn sx_specialize(tasks: &TaskSet) -> Result<Specialization, DcsError> {
     let base = tasks.min_period();
-    let periods: Vec<TimeDelta> = tasks
-        .iter()
-        .map(|t| grid_floor(t.period(), base))
-        .collect();
+    let periods: Vec<TimeDelta> = tasks.iter().map(|t| grid_floor(t.period(), base)).collect();
     if tasks.iter().zip(&periods).any(|(t, &p)| t.exec() > p) {
         return Err(DcsError::NoFeasibleBase);
     }
@@ -297,8 +287,7 @@ mod tests {
     }
 
     fn set(tasks: &[(u64, u64)]) -> TaskSet {
-        TaskSet::try_from_iter(tasks.iter().map(|&(p, e)| PeriodicTask::new(ms(p), ms(e))))
-            .unwrap()
+        TaskSet::try_from_iter(tasks.iter().map(|&(p, e)| PeriodicTask::new(ms(p), ms(e)))).unwrap()
     }
 
     #[test]
@@ -329,7 +318,11 @@ mod tests {
         for a in &periods {
             for b in &periods {
                 let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-                assert_eq!(hi.as_nanos() % lo.as_nanos(), 0, "{lo} does not divide {hi}");
+                assert_eq!(
+                    hi.as_nanos() % lo.as_nanos(),
+                    0,
+                    "{lo} does not divide {hi}"
+                );
             }
         }
         assert_eq!(sp.original_periods(), &[ms(10), ms(25), ms(60), ms(100)]);

@@ -99,7 +99,9 @@ pub fn demand_schedulable(tasks: &TaskSet) -> bool {
     deadlines.sort_unstable();
     deadlines.dedup();
 
-    deadlines.into_iter().all(|t_ns| demand_at(tasks, t_ns) <= u128::from(t_ns))
+    deadlines
+        .into_iter()
+        .all(|t_ns| demand_at(tasks, t_ns) <= u128::from(t_ns))
 }
 
 fn demand_at(tasks: &TaskSet, t_ns: u64) -> u128 {
@@ -193,7 +195,10 @@ mod tests {
     fn demand_at_counts_complete_jobs_only() {
         let s = TaskSet::try_from_iter([PeriodicTask::new(ms(10), ms(3))]).unwrap();
         // Deadline of job k is at 10(k+1); demand at t=25 counts 2 jobs.
-        assert_eq!(demand_at(&s, ms(25).as_nanos()), u128::from(ms(6).as_nanos()));
+        assert_eq!(
+            demand_at(&s, ms(25).as_nanos()),
+            u128::from(ms(6).as_nanos())
+        );
         assert_eq!(demand_at(&s, ms(9).as_nanos()), 0);
     }
 

@@ -41,10 +41,7 @@ use rtpb_types::{TaskId, TimeDelta};
 /// ```
 #[must_use]
 pub fn response_times(tasks: &TaskSet) -> Vec<Option<TimeDelta>> {
-    tasks
-        .iter()
-        .map(|t| response_time_of(tasks, t))
-        .collect()
+    tasks.iter().map(|t| response_time_of(tasks, t)).collect()
 }
 
 /// The worst-case response time of one task, or `None` if unschedulable.
@@ -127,8 +124,7 @@ mod tests {
     }
 
     fn set(tasks: &[(u64, u64)]) -> TaskSet {
-        TaskSet::try_from_iter(tasks.iter().map(|&(p, e)| PeriodicTask::new(ms(p), ms(e))))
-            .unwrap()
+        TaskSet::try_from_iter(tasks.iter().map(|&(p, e)| PeriodicTask::new(ms(p), ms(e)))).unwrap()
     }
 
     #[test]

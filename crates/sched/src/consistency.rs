@@ -353,8 +353,22 @@ mod tests {
             lemma2_max_period(ms(100), ms(10), ms(10), ms(500), ms(20)),
             Some(ms(150))
         );
-        assert!(lemma2_holds(ms(150), ms(100), ms(10), ms(10), ms(500), ms(20)));
-        assert!(!lemma2_holds(ms(151), ms(100), ms(10), ms(10), ms(500), ms(20)));
+        assert!(lemma2_holds(
+            ms(150),
+            ms(100),
+            ms(10),
+            ms(10),
+            ms(500),
+            ms(20)
+        ));
+        assert!(!lemma2_holds(
+            ms(151),
+            ms(100),
+            ms(10),
+            ms(10),
+            ms(500),
+            ms(20)
+        ));
     }
 
     #[test]

@@ -94,9 +94,7 @@ pub fn run_dcs(tasks: &TaskSet, horizon: Horizon) -> Result<Timeline, DcsError> 
     // set (with_periods preserves phases, which default to zero for RTPB
     // task sets; enforce it here regardless).
     let harmonic = sp.tasks().clone();
-    debug_assert!(harmonic
-        .iter()
-        .all(|t| t.phase() == TimeDelta::ZERO));
+    debug_assert!(harmonic.iter().all(|t| t.phase() == TimeDelta::ZERO));
     Ok(run_policy(&harmonic, horizon, Policy::Rm))
 }
 
@@ -126,11 +124,7 @@ fn run_policy(tasks: &TaskSet, horizon: Horizon, policy: Policy) -> Timeline {
             }
         }
 
-        let upcoming = next_release
-            .iter()
-            .filter(|&&t| t < end)
-            .min()
-            .copied();
+        let upcoming = next_release.iter().filter(|&&t| t < end).min().copied();
 
         if ready.is_empty() {
             match upcoming {
@@ -199,8 +193,7 @@ mod tests {
     }
 
     fn set(tasks: &[(u64, u64)]) -> TaskSet {
-        TaskSet::try_from_iter(tasks.iter().map(|&(p, e)| PeriodicTask::new(ms(p), ms(e))))
-            .unwrap()
+        TaskSet::try_from_iter(tasks.iter().map(|&(p, e)| PeriodicTask::new(ms(p), ms(e)))).unwrap()
     }
 
     #[test]
@@ -253,10 +246,8 @@ mod tests {
 
     #[test]
     fn phases_delay_first_release() {
-        let tasks = TaskSet::try_from_iter([
-            PeriodicTask::new(ms(10), ms(2)).with_phase(ms(3)),
-        ])
-        .unwrap();
+        let tasks =
+            TaskSet::try_from_iter([PeriodicTask::new(ms(10), ms(2)).with_phase(ms(3))]).unwrap();
         let tl = run_rm(&tasks, Horizon::until(ms(30)));
         let first = tl.invocations().first().unwrap();
         assert_eq!(first.release, Time::from_millis(3));

@@ -195,7 +195,14 @@ mod tests {
         Time::from_millis(v)
     }
 
-    fn inv(task: u32, index: u64, release: u64, start: u64, finish: u64, deadline: u64) -> Invocation {
+    fn inv(
+        task: u32,
+        index: u64,
+        release: u64,
+        start: u64,
+        finish: u64,
+        deadline: u64,
+    ) -> Invocation {
         Invocation {
             task: TaskId::new(task),
             index,
@@ -265,12 +272,15 @@ mod tests {
     #[test]
     fn pair_skew_tracks_step_functions() {
         let tl = timeline(vec![
-            inv(0, 0, 0, 0, 2, 10),   // T0 = 2
-            inv(1, 0, 0, 2, 5, 20),   // T1 = 5 → skew 3
+            inv(0, 0, 0, 0, 2, 10),    // T0 = 2
+            inv(1, 0, 0, 2, 5, 20),    // T1 = 5 → skew 3
             inv(0, 1, 10, 10, 12, 20), // T0 = 12 → skew 7
             inv(1, 1, 20, 20, 23, 40), // T1 = 23 → skew 11
         ]);
-        assert_eq!(tl.max_pair_skew(TaskId::new(0), TaskId::new(1)), Some(ms(11)));
+        assert_eq!(
+            tl.max_pair_skew(TaskId::new(0), TaskId::new(1)),
+            Some(ms(11))
+        );
         // Symmetric.
         assert_eq!(
             tl.max_pair_skew(TaskId::new(1), TaskId::new(0)),
@@ -281,7 +291,7 @@ mod tests {
     #[test]
     fn response_statistics() {
         let tl = timeline(vec![
-            inv(0, 0, 0, 0, 2, 10),   // response 2
+            inv(0, 0, 0, 0, 2, 10),    // response 2
             inv(0, 1, 10, 12, 16, 20), // response 6
         ]);
         assert_eq!(tl.mean_response(TaskId::new(0)), Some(ms(4)));

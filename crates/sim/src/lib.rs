@@ -51,6 +51,7 @@
 
 mod engine;
 mod event;
+pub mod propcheck;
 mod queue;
 mod rng;
 mod stats;

@@ -1,14 +1,14 @@
 //! Seeded randomness for reproducible experiments.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use rtpb_types::TimeDelta;
 
 /// A deterministic random source for simulations.
 ///
-/// Wraps a seeded [`SmallRng`] with domain helpers: Bernoulli trials for
-/// message loss and uniform delays within the `[min, ℓ]` communication-delay
-/// band the paper assumes.
+/// A self-contained xoshiro256++ generator (seeded via splitmix64) with
+/// domain helpers: Bernoulli trials for message loss and uniform delays
+/// within the `[min, ℓ]` communication-delay band the paper assumes.
+/// No external crates are involved, so the stream for a given seed is
+/// stable across builds and platforms.
 ///
 /// # Examples
 ///
@@ -27,15 +27,57 @@ use rtpb_types::TimeDelta;
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: SmallRng,
+    state: [u64; 4],
+}
+
+/// One step of the splitmix64 sequence, used to expand a 64-bit seed into
+/// the 256-bit xoshiro state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     #[must_use]
     pub fn seed_from(seed: u64) -> Self {
-        SimRng {
-            inner: SmallRng::seed_from_u64(seed),
+        let mut sm = seed;
+        let state = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng { state }
+    }
+
+    /// The next raw 64-bit output (xoshiro256++).
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform integer in `[0, bound)` via unbiased rejection sampling.
+    fn next_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Reject draws from the tail that would bias the modulo.
+        let zone = u64::MAX - (u64::MAX - bound + 1) % bound;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return v % bound;
+            }
         }
     }
 
@@ -49,7 +91,7 @@ impl SimRng {
         } else if p >= 1.0 {
             true
         } else {
-            self.inner.gen_bool(p)
+            self.unit() < p
         }
     }
 
@@ -63,7 +105,11 @@ impl SimRng {
         if min == max {
             return min;
         }
-        TimeDelta::from_nanos(self.inner.gen_range(min.as_nanos()..=max.as_nanos()))
+        let span = max.as_nanos() - min.as_nanos();
+        // span < u64::MAX here since min < max, so span + 1 cannot overflow
+        // unless the range covers all of u64; delays never do.
+        let offset = self.next_below(span.wrapping_add(1).max(1));
+        TimeDelta::from_nanos(min.as_nanos() + offset)
     }
 
     /// A uniform integer in `[0, bound)`.
@@ -73,7 +119,7 @@ impl SimRng {
     /// Panics if `bound` is zero.
     pub fn index(&mut self, bound: usize) -> usize {
         assert!(bound > 0, "index bound must be positive");
-        self.inner.gen_range(0..bound)
+        self.next_below(bound as u64) as usize
     }
 
     /// A fresh child generator, seeded from this one.
@@ -81,12 +127,13 @@ impl SimRng {
     /// Lets subsystems (e.g. each link direction) own independent streams
     /// that are still fully determined by the root seed.
     pub fn fork(&mut self) -> SimRng {
-        SimRng::seed_from(self.inner.gen())
+        SimRng::seed_from(self.next_u64())
     }
 
     /// A uniform `f64` in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen_range(0.0..1.0)
+        // 53 high bits → uniform dyadic rational in [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 }
 
@@ -130,6 +177,15 @@ mod tests {
     }
 
     #[test]
+    fn unit_is_in_half_open_interval() {
+        let mut rng = SimRng::seed_from(7);
+        for _ in 0..10_000 {
+            let u = rng.unit();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
     fn delay_between_respects_bounds() {
         let mut rng = SimRng::seed_from(5);
         let lo = TimeDelta::from_micros(100);
@@ -154,6 +210,16 @@ mod tests {
         for _ in 0..1000 {
             assert!(rng.index(7) < 7);
         }
+    }
+
+    #[test]
+    fn index_covers_small_ranges() {
+        let mut rng = SimRng::seed_from(11);
+        let mut seen = [false; 4];
+        for _ in 0..256 {
+            seen[rng.index(4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
     }
 
     #[test]

@@ -32,7 +32,6 @@ use crate::time::TimeDelta;
 /// );
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct InterObjectConstraint {
     first: ObjectId,
     second: ObjectId,
@@ -110,7 +109,11 @@ impl InterObjectConstraint {
 
 impl core::fmt::Display for InterObjectConstraint {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "|T({}) - T({})| ≤ {}", self.second, self.first, self.bound)
+        write!(
+            f,
+            "|T({}) - T({})| ≤ {}",
+            self.second, self.first, self.bound
+        )
     }
 }
 
@@ -131,7 +134,6 @@ impl core::fmt::Display for InterObjectConstraint {
 /// assert!(hint.min_primary_bound.is_some());
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct QosNegotiation {
     /// Smallest `δ_i^P` the primary could accept for the offered period.
     pub min_primary_bound: Option<TimeDelta>,

@@ -22,7 +22,6 @@ use core::fmt;
 /// assert_eq!(id.to_string(), "obj#3");
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ObjectId(u32);
 
 /// Identifier of a host (primary, backup, or client node).
@@ -35,7 +34,6 @@ pub struct ObjectId(u32);
 /// assert_ne!(NodeId::new(0), NodeId::new(1));
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NodeId(u16);
 
 /// Identifier of a periodic task inside a scheduler instance.
@@ -49,7 +47,6 @@ pub struct NodeId(u16);
 /// assert_eq!(t.index(), 7);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TaskId(u32);
 
 macro_rules! impl_id {

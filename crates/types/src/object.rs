@@ -25,7 +25,6 @@ pub const MAX_OBJECT_SIZE: usize = 64 * 1024;
 /// assert!(v < v.next());
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Version(u64);
 
 impl Version {
@@ -95,7 +94,6 @@ impl core::fmt::Display for Version {
 /// # }
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ObjectSpec {
     name: String,
     update_period: TimeDelta,
@@ -104,6 +102,7 @@ pub struct ObjectSpec {
     primary_bound: TimeDelta,
     backup_bound: TimeDelta,
     size_bytes: usize,
+    criticality: u32,
 }
 
 impl ObjectSpec {
@@ -156,6 +155,14 @@ impl ObjectSpec {
         self.size_bytes
     }
 
+    /// Application criticality (higher = more important). Under overload
+    /// a degrading primary sheds the *lowest*-criticality objects first;
+    /// ties break toward the oldest registration.
+    #[must_use]
+    pub fn criticality(&self) -> u32 {
+        self.criticality
+    }
+
     /// The consistency window `δ_i = δ_i^B - δ_i^P` between primary and
     /// backup (§4.2).
     ///
@@ -190,6 +197,7 @@ pub struct ObjectSpecBuilder {
     primary_bound: Option<TimeDelta>,
     backup_bound: Option<TimeDelta>,
     size_bytes: usize,
+    criticality: u32,
 }
 
 impl ObjectSpecBuilder {
@@ -202,6 +210,7 @@ impl ObjectSpecBuilder {
             primary_bound: None,
             backup_bound: None,
             size_bytes: 64,
+            criticality: 0,
         }
     }
 
@@ -244,6 +253,14 @@ impl ObjectSpecBuilder {
     #[must_use]
     pub fn size_bytes(mut self, size: usize) -> Self {
         self.size_bytes = size;
+        self
+    }
+
+    /// Sets the application criticality (higher = more important;
+    /// defaults to 0).
+    #[must_use]
+    pub fn criticality(mut self, criticality: u32) -> Self {
+        self.criticality = criticality;
         self
     }
 
@@ -290,6 +307,7 @@ impl ObjectSpecBuilder {
             primary_bound,
             backup_bound,
             size_bytes: self.size_bytes,
+            criticality: self.criticality,
         })
     }
 }
@@ -310,7 +328,6 @@ impl ObjectSpecBuilder {
 /// assert_eq!(v.staleness(now), TimeDelta::from_millis(60));
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ObjectValue {
     version: Version,
     timestamp: Time,
@@ -455,6 +472,13 @@ mod tests {
             SpecError::BadSize(MAX_OBJECT_SIZE + 1)
         );
         assert!(base().size_bytes(MAX_OBJECT_SIZE).build().is_ok());
+    }
+
+    #[test]
+    fn criticality_defaults_to_zero_and_is_settable() {
+        assert_eq!(base().build().unwrap().criticality(), 0);
+        let spec = base().criticality(7).build().unwrap();
+        assert_eq!(spec.criticality(), 7);
     }
 
     #[test]

@@ -28,7 +28,6 @@ use core::time::Duration;
 /// assert!(t1 > t0);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Time(u64);
 
 /// A non-negative span of time, in nanoseconds.
@@ -47,7 +46,6 @@ pub struct Time(u64);
 /// assert_eq!(period.as_micros(), 100_000);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TimeDelta(u64);
 
 impl Time {
@@ -392,7 +390,10 @@ mod tests {
         assert_eq!(Time::from_secs(1), Time::from_millis(1_000));
         assert_eq!(Time::from_millis(1), Time::from_micros(1_000));
         assert_eq!(Time::from_micros(1), Time::from_nanos(1_000));
-        assert_eq!(TimeDelta::from_secs(2), TimeDelta::from_nanos(2_000_000_000));
+        assert_eq!(
+            TimeDelta::from_secs(2),
+            TimeDelta::from_nanos(2_000_000_000)
+        );
     }
 
     #[test]

@@ -1,0 +1,127 @@
+//! Chaos scenario: a deterministic fault plan exercising every fault kind.
+//!
+//! A `FaultPlan` is a timestamped schedule of faults — loss bursts,
+//! partitions, crashes, recoveries, delay spikes — that `SimCluster`
+//! executes as ordinary simulation events. Because the plan is part of
+//! the config and the simulation is a pure function of config + seed,
+//! the whole chaos run (including every detection latency and retry
+//! count) replays bit-for-bit.
+//!
+//! ```text
+//! cargo run --example chaos
+//! ```
+
+use rtpb::core::harness::{ClusterConfig, FaultEvent, FaultPlan, SimCluster};
+use rtpb::core::metrics::FaultRecord;
+use rtpb::types::{ObjectSpec, Time, TimeDelta};
+
+fn ms(v: u64) -> TimeDelta {
+    TimeDelta::from_millis(v)
+}
+
+fn plan() -> FaultPlan {
+    FaultPlan::new()
+        // t=2s: the data path drops everything for 1.5s. The backup's
+        // watchdogs notice the staleness and request retransmissions.
+        .at(
+            Time::from_secs(2),
+            FaultEvent::LossBurst {
+                host: None,
+                duration: ms(1500),
+                loss: 1.0,
+            },
+        )
+        // t=5s: the replica pair is partitioned long enough for both
+        // sides to declare each other dead; the backup re-joins by
+        // state transfer after the heal.
+        .at(
+            Time::from_secs(5),
+            FaultEvent::Partition {
+                host: 0,
+                duration: ms(1000),
+            },
+        )
+        // t=8s: the backup host fail-stops...
+        .at(Time::from_secs(8), FaultEvent::CrashBackup { host: 0 })
+        // ...and restarts 1s later with empty state, re-joining via the
+        // bounded-retry join path.
+        .at(Time::from_secs(9), FaultEvent::RecoverBackup { host: 0 })
+        // t=11s: deliveries exceed the nominal link bound ℓ for a while.
+        .at(
+            Time::from_secs(11),
+            FaultEvent::DelaySpike {
+                host: None,
+                duration: ms(1000),
+                extra: ms(80),
+            },
+        )
+}
+
+fn run(seed: u64) -> (SimCluster, Vec<FaultRecord>) {
+    let config = ClusterConfig {
+        seed,
+        fault_plan: plan(),
+        ..ClusterConfig::default()
+    };
+    let mut cluster = SimCluster::new(config);
+    cluster
+        .register(
+            ObjectSpec::builder("telemetry")
+                .update_period(ms(100))
+                .primary_bound(ms(150))
+                .backup_bound(ms(550))
+                .build()
+                .expect("valid spec"),
+        )
+        .expect("admitted");
+    cluster.run_for(TimeDelta::from_secs(14));
+    let report = cluster.fault_report().to_vec();
+    (cluster, report)
+}
+
+fn main() {
+    let (cluster, report) = run(42);
+
+    println!("fault report ({} injected faults):\n", report.len());
+    println!(
+        "{:<16} {:>10} {:>12} {:>12} {:>8}",
+        "fault", "injected", "detected in", "recovered in", "retries"
+    );
+    for record in &report {
+        println!(
+            "{:<16} {:>10} {:>12} {:>12} {:>8}",
+            format!("{:?}", record.kind),
+            format!("{}", record.injected_at),
+            record
+                .detection_latency()
+                .map_or("—".into(), |d| format!("{d}")),
+            record
+                .recovery_time()
+                .map_or("—".into(), |d| format!("{d}")),
+            record.retries,
+        );
+    }
+
+    assert!(
+        report.iter().all(|r| r.recovered_at.is_some()),
+        "every injected fault must eventually heal"
+    );
+    assert!(
+        !cluster.has_failed_over(),
+        "no fault here kills the primary — the service never fails over"
+    );
+
+    let backup = cluster.backup().expect("backup re-joined");
+    println!(
+        "\nafter the storm: backup holds {} object(s), applied {} updates; \
+         {} retransmissions requested",
+        backup.store().len(),
+        backup.updates_applied(),
+        cluster.metrics().retransmit_requests(),
+    );
+
+    // Same config + seed ⇒ identical chaos, identical outcomes.
+    let (_, replay) = run(42);
+    assert_eq!(report, replay, "chaos runs are deterministic");
+    println!("replay with the same seed reproduced the report exactly.");
+}

@@ -27,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     cluster.run_for(TimeDelta::from_secs(3));
-    println!("healthy: primary {} with backups:", cluster.name_service().resolve());
+    println!(
+        "healthy: primary {} with backups:",
+        cluster.name_service().resolve()
+    );
     for b in cluster.backups() {
         println!("  {} applied {} updates", b.node(), b.updates_applied());
     }

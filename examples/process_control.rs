@@ -42,7 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .map(|&id| cluster.metrics().object_report(id).unwrap().writes)
         .collect();
-    println!("after 5s: {} pressure writes, no failover", healthy_writes[0]);
+    println!(
+        "after 5s: {} pressure writes, no failover",
+        healthy_writes[0]
+    );
     assert!(!cluster.has_failed_over());
 
     // Phase 2: the primary host dies.
@@ -86,7 +89,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\ntrace highlights:");
     for record in cluster.trace().records().filter(|r| {
-        r.message.contains("dead") || r.message.contains("taking over") || r.message.contains("backup")
+        r.message.contains("dead")
+            || r.message.contains("taking over")
+            || r.message.contains("backup")
     }) {
         println!("  {record}");
     }

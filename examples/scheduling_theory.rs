@@ -24,7 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let x = tasks.utilization();
     println!("task set utilization x = {x:.3}\n");
 
-    println!("{:<8} {:>10} {:>10} {:>10} {:>10} {:>10}", "task", "inherent", "Thm2 EDF", "Thm2 RM", "RM meas.", "DCS meas.");
+    println!(
+        "{:<8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "task", "inherent", "Thm2 EDF", "Thm2 RM", "RM meas.", "DCS meas."
+    );
     let horizon = Horizon::cycles(100);
     let rm = run_rm(&tasks, horizon);
     let edf = run_edf(&tasks, horizon);

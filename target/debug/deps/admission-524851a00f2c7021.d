@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/admission-524851a00f2c7021.d: crates/bench/benches/admission.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadmission-524851a00f2c7021.rmeta: crates/bench/benches/admission.rs Cargo.toml
+
+crates/bench/benches/admission.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-e28e6394c615ab22.d: tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-e28e6394c615ab22: tests/chaos.rs
+
+tests/chaos.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-48be1733467093be.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-48be1733467093be: tests/end_to_end.rs
+
+tests/end_to_end.rs:

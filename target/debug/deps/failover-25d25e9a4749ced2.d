@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failover-25d25e9a4749ced2.d: tests/failover.rs
+
+/root/repo/target/debug/deps/failover-25d25e9a4749ced2: tests/failover.rs
+
+tests/failover.rs:

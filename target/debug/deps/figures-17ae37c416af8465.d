@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-17ae37c416af8465.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-17ae37c416af8465: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

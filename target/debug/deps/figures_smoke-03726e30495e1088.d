@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures_smoke-03726e30495e1088.d: tests/figures_smoke.rs
+
+/root/repo/target/debug/deps/figures_smoke-03726e30495e1088: tests/figures_smoke.rs
+
+tests/figures_smoke.rs:

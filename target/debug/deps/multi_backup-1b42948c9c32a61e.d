@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multi_backup-1b42948c9c32a61e.d: tests/multi_backup.rs
+
+/root/repo/target/debug/deps/multi_backup-1b42948c9c32a61e: tests/multi_backup.rs
+
+tests/multi_backup.rs:

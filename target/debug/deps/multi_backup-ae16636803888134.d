@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/multi_backup-ae16636803888134.d: tests/multi_backup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmulti_backup-ae16636803888134.rmeta: tests/multi_backup.rs Cargo.toml
+
+tests/multi_backup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

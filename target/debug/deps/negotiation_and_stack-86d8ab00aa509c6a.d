@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/negotiation_and_stack-86d8ab00aa509c6a.d: tests/negotiation_and_stack.rs
+
+/root/repo/target/debug/deps/negotiation_and_stack-86d8ab00aa509c6a: tests/negotiation_and_stack.rs
+
+tests/negotiation_and_stack.rs:

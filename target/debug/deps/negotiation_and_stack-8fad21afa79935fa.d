@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/negotiation_and_stack-8fad21afa79935fa.d: tests/negotiation_and_stack.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnegotiation_and_stack-8fad21afa79935fa.rmeta: tests/negotiation_and_stack.rs Cargo.toml
+
+tests/negotiation_and_stack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

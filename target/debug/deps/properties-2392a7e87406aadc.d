@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-2392a7e87406aadc.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-2392a7e87406aadc: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rtpb-5e7332e00e4448e3.d: src/lib.rs
+
+/root/repo/target/debug/deps/librtpb-5e7332e00e4448e3.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/librtpb-5e7332e00e4448e3.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rtpb-62eec84add15371d.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librtpb-62eec84add15371d.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

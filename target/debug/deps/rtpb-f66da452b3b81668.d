@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rtpb-f66da452b3b81668.d: src/lib.rs
+
+/root/repo/target/debug/deps/rtpb-f66da452b3b81668: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rtpb_bench-1d4d6b5ef473a5f6.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/harness.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/librtpb_bench-1d4d6b5ef473a5f6.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/harness.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/librtpb_bench-1d4d6b5ef473a5f6.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/harness.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/table.rs:

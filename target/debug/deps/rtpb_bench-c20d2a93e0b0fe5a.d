@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/rtpb_bench-c20d2a93e0b0fe5a.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/harness.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/rtpb_bench-c20d2a93e0b0fe5a: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/harness.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/rtpb_core-34af372e87562bbb.d: crates/core/src/lib.rs crates/core/src/admission.rs crates/core/src/backup.rs crates/core/src/config.rs crates/core/src/harness/mod.rs crates/core/src/harness/cluster.rs crates/core/src/harness/cpu.rs crates/core/src/harness/faults.rs crates/core/src/heartbeat.rs crates/core/src/metrics.rs crates/core/src/name_service.rs crates/core/src/primary.rs crates/core/src/store.rs crates/core/src/update_sched.rs crates/core/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/librtpb_core-34af372e87562bbb.rmeta: crates/core/src/lib.rs crates/core/src/admission.rs crates/core/src/backup.rs crates/core/src/config.rs crates/core/src/harness/mod.rs crates/core/src/harness/cluster.rs crates/core/src/harness/cpu.rs crates/core/src/harness/faults.rs crates/core/src/heartbeat.rs crates/core/src/metrics.rs crates/core/src/name_service.rs crates/core/src/primary.rs crates/core/src/store.rs crates/core/src/update_sched.rs crates/core/src/wire.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/admission.rs:
+crates/core/src/backup.rs:
+crates/core/src/config.rs:
+crates/core/src/harness/mod.rs:
+crates/core/src/harness/cluster.rs:
+crates/core/src/harness/cpu.rs:
+crates/core/src/harness/faults.rs:
+crates/core/src/heartbeat.rs:
+crates/core/src/metrics.rs:
+crates/core/src/name_service.rs:
+crates/core/src/primary.rs:
+crates/core/src/store.rs:
+crates/core/src/update_sched.rs:
+crates/core/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

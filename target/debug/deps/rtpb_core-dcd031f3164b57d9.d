@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/rtpb_core-dcd031f3164b57d9.d: crates/core/src/lib.rs crates/core/src/admission.rs crates/core/src/backup.rs crates/core/src/config.rs crates/core/src/harness/mod.rs crates/core/src/harness/cluster.rs crates/core/src/harness/cpu.rs crates/core/src/harness/faults.rs crates/core/src/heartbeat.rs crates/core/src/metrics.rs crates/core/src/name_service.rs crates/core/src/primary.rs crates/core/src/store.rs crates/core/src/update_sched.rs crates/core/src/wire.rs
+
+/root/repo/target/debug/deps/librtpb_core-dcd031f3164b57d9.rlib: crates/core/src/lib.rs crates/core/src/admission.rs crates/core/src/backup.rs crates/core/src/config.rs crates/core/src/harness/mod.rs crates/core/src/harness/cluster.rs crates/core/src/harness/cpu.rs crates/core/src/harness/faults.rs crates/core/src/heartbeat.rs crates/core/src/metrics.rs crates/core/src/name_service.rs crates/core/src/primary.rs crates/core/src/store.rs crates/core/src/update_sched.rs crates/core/src/wire.rs
+
+/root/repo/target/debug/deps/librtpb_core-dcd031f3164b57d9.rmeta: crates/core/src/lib.rs crates/core/src/admission.rs crates/core/src/backup.rs crates/core/src/config.rs crates/core/src/harness/mod.rs crates/core/src/harness/cluster.rs crates/core/src/harness/cpu.rs crates/core/src/harness/faults.rs crates/core/src/heartbeat.rs crates/core/src/metrics.rs crates/core/src/name_service.rs crates/core/src/primary.rs crates/core/src/store.rs crates/core/src/update_sched.rs crates/core/src/wire.rs
+
+crates/core/src/lib.rs:
+crates/core/src/admission.rs:
+crates/core/src/backup.rs:
+crates/core/src/config.rs:
+crates/core/src/harness/mod.rs:
+crates/core/src/harness/cluster.rs:
+crates/core/src/harness/cpu.rs:
+crates/core/src/harness/faults.rs:
+crates/core/src/heartbeat.rs:
+crates/core/src/metrics.rs:
+crates/core/src/name_service.rs:
+crates/core/src/primary.rs:
+crates/core/src/store.rs:
+crates/core/src/update_sched.rs:
+crates/core/src/wire.rs:

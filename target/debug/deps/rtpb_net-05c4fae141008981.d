@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rtpb_net-05c4fae141008981.d: crates/net/src/lib.rs crates/net/src/bytes.rs crates/net/src/graph_config.rs crates/net/src/link.rs crates/net/src/message.rs crates/net/src/protocol.rs crates/net/src/udp.rs
+
+/root/repo/target/debug/deps/rtpb_net-05c4fae141008981: crates/net/src/lib.rs crates/net/src/bytes.rs crates/net/src/graph_config.rs crates/net/src/link.rs crates/net/src/message.rs crates/net/src/protocol.rs crates/net/src/udp.rs
+
+crates/net/src/lib.rs:
+crates/net/src/bytes.rs:
+crates/net/src/graph_config.rs:
+crates/net/src/link.rs:
+crates/net/src/message.rs:
+crates/net/src/protocol.rs:
+crates/net/src/udp.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/rtpb_net-397f4e31f6569c22.d: crates/net/src/lib.rs crates/net/src/bytes.rs crates/net/src/graph_config.rs crates/net/src/link.rs crates/net/src/message.rs crates/net/src/protocol.rs crates/net/src/udp.rs
+
+/root/repo/target/debug/deps/librtpb_net-397f4e31f6569c22.rlib: crates/net/src/lib.rs crates/net/src/bytes.rs crates/net/src/graph_config.rs crates/net/src/link.rs crates/net/src/message.rs crates/net/src/protocol.rs crates/net/src/udp.rs
+
+/root/repo/target/debug/deps/librtpb_net-397f4e31f6569c22.rmeta: crates/net/src/lib.rs crates/net/src/bytes.rs crates/net/src/graph_config.rs crates/net/src/link.rs crates/net/src/message.rs crates/net/src/protocol.rs crates/net/src/udp.rs
+
+crates/net/src/lib.rs:
+crates/net/src/bytes.rs:
+crates/net/src/graph_config.rs:
+crates/net/src/link.rs:
+crates/net/src/message.rs:
+crates/net/src/protocol.rs:
+crates/net/src/udp.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/rtpb_net-87bce7f870292dbe.d: crates/net/src/lib.rs crates/net/src/bytes.rs crates/net/src/graph_config.rs crates/net/src/link.rs crates/net/src/message.rs crates/net/src/protocol.rs crates/net/src/udp.rs Cargo.toml
+
+/root/repo/target/debug/deps/librtpb_net-87bce7f870292dbe.rmeta: crates/net/src/lib.rs crates/net/src/bytes.rs crates/net/src/graph_config.rs crates/net/src/link.rs crates/net/src/message.rs crates/net/src/protocol.rs crates/net/src/udp.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/bytes.rs:
+crates/net/src/graph_config.rs:
+crates/net/src/link.rs:
+crates/net/src/message.rs:
+crates/net/src/protocol.rs:
+crates/net/src/udp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

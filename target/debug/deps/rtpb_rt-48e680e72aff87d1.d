@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/rtpb_rt-48e680e72aff87d1.d: crates/rt/src/lib.rs crates/rt/src/chan.rs crates/rt/src/link.rs crates/rt/src/runtime.rs
+
+/root/repo/target/debug/deps/rtpb_rt-48e680e72aff87d1: crates/rt/src/lib.rs crates/rt/src/chan.rs crates/rt/src/link.rs crates/rt/src/runtime.rs
+
+crates/rt/src/lib.rs:
+crates/rt/src/chan.rs:
+crates/rt/src/link.rs:
+crates/rt/src/runtime.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rtpb_rt-9652b1d89f2aa9ad.d: crates/rt/src/lib.rs crates/rt/src/chan.rs crates/rt/src/link.rs crates/rt/src/runtime.rs Cargo.toml
+
+/root/repo/target/debug/deps/librtpb_rt-9652b1d89f2aa9ad.rmeta: crates/rt/src/lib.rs crates/rt/src/chan.rs crates/rt/src/link.rs crates/rt/src/runtime.rs Cargo.toml
+
+crates/rt/src/lib.rs:
+crates/rt/src/chan.rs:
+crates/rt/src/link.rs:
+crates/rt/src/runtime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rtpb_rt-b9592f5a86bdbfe5.d: crates/rt/src/lib.rs crates/rt/src/chan.rs crates/rt/src/link.rs crates/rt/src/runtime.rs
+
+/root/repo/target/debug/deps/librtpb_rt-b9592f5a86bdbfe5.rlib: crates/rt/src/lib.rs crates/rt/src/chan.rs crates/rt/src/link.rs crates/rt/src/runtime.rs
+
+/root/repo/target/debug/deps/librtpb_rt-b9592f5a86bdbfe5.rmeta: crates/rt/src/lib.rs crates/rt/src/chan.rs crates/rt/src/link.rs crates/rt/src/runtime.rs
+
+crates/rt/src/lib.rs:
+crates/rt/src/chan.rs:
+crates/rt/src/link.rs:
+crates/rt/src/runtime.rs:

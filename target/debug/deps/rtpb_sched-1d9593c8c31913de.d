@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/rtpb_sched-1d9593c8c31913de.d: crates/sched/src/lib.rs crates/sched/src/analysis/mod.rs crates/sched/src/analysis/dcs.rs crates/sched/src/analysis/edf.rs crates/sched/src/analysis/response_time.rs crates/sched/src/analysis/utilization.rs crates/sched/src/consistency.rs crates/sched/src/exec/mod.rs crates/sched/src/exec/cpu.rs crates/sched/src/exec/timeline.rs crates/sched/src/phase_variance.rs crates/sched/src/task.rs Cargo.toml
+
+/root/repo/target/debug/deps/librtpb_sched-1d9593c8c31913de.rmeta: crates/sched/src/lib.rs crates/sched/src/analysis/mod.rs crates/sched/src/analysis/dcs.rs crates/sched/src/analysis/edf.rs crates/sched/src/analysis/response_time.rs crates/sched/src/analysis/utilization.rs crates/sched/src/consistency.rs crates/sched/src/exec/mod.rs crates/sched/src/exec/cpu.rs crates/sched/src/exec/timeline.rs crates/sched/src/phase_variance.rs crates/sched/src/task.rs Cargo.toml
+
+crates/sched/src/lib.rs:
+crates/sched/src/analysis/mod.rs:
+crates/sched/src/analysis/dcs.rs:
+crates/sched/src/analysis/edf.rs:
+crates/sched/src/analysis/response_time.rs:
+crates/sched/src/analysis/utilization.rs:
+crates/sched/src/consistency.rs:
+crates/sched/src/exec/mod.rs:
+crates/sched/src/exec/cpu.rs:
+crates/sched/src/exec/timeline.rs:
+crates/sched/src/phase_variance.rs:
+crates/sched/src/task.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/rtpb_sched-2c16e7b13d35bed9.d: crates/sched/src/lib.rs crates/sched/src/analysis/mod.rs crates/sched/src/analysis/dcs.rs crates/sched/src/analysis/edf.rs crates/sched/src/analysis/response_time.rs crates/sched/src/analysis/utilization.rs crates/sched/src/consistency.rs crates/sched/src/exec/mod.rs crates/sched/src/exec/cpu.rs crates/sched/src/exec/timeline.rs crates/sched/src/phase_variance.rs crates/sched/src/task.rs
+
+/root/repo/target/debug/deps/librtpb_sched-2c16e7b13d35bed9.rlib: crates/sched/src/lib.rs crates/sched/src/analysis/mod.rs crates/sched/src/analysis/dcs.rs crates/sched/src/analysis/edf.rs crates/sched/src/analysis/response_time.rs crates/sched/src/analysis/utilization.rs crates/sched/src/consistency.rs crates/sched/src/exec/mod.rs crates/sched/src/exec/cpu.rs crates/sched/src/exec/timeline.rs crates/sched/src/phase_variance.rs crates/sched/src/task.rs
+
+/root/repo/target/debug/deps/librtpb_sched-2c16e7b13d35bed9.rmeta: crates/sched/src/lib.rs crates/sched/src/analysis/mod.rs crates/sched/src/analysis/dcs.rs crates/sched/src/analysis/edf.rs crates/sched/src/analysis/response_time.rs crates/sched/src/analysis/utilization.rs crates/sched/src/consistency.rs crates/sched/src/exec/mod.rs crates/sched/src/exec/cpu.rs crates/sched/src/exec/timeline.rs crates/sched/src/phase_variance.rs crates/sched/src/task.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/analysis/mod.rs:
+crates/sched/src/analysis/dcs.rs:
+crates/sched/src/analysis/edf.rs:
+crates/sched/src/analysis/response_time.rs:
+crates/sched/src/analysis/utilization.rs:
+crates/sched/src/consistency.rs:
+crates/sched/src/exec/mod.rs:
+crates/sched/src/exec/cpu.rs:
+crates/sched/src/exec/timeline.rs:
+crates/sched/src/phase_variance.rs:
+crates/sched/src/task.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/rtpb_sim-98394186a898a9c3.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/propcheck.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/librtpb_sim-98394186a898a9c3.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/propcheck.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/trace.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/event.rs:
+crates/sim/src/propcheck.rs:
+crates/sim/src/queue.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

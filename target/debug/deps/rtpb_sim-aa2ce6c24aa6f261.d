@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rtpb_sim-aa2ce6c24aa6f261.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/propcheck.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/rtpb_sim-aa2ce6c24aa6f261: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/propcheck.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/event.rs:
+crates/sim/src/propcheck.rs:
+crates/sim/src/queue.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/trace.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rtpb_types-5f0e037de9ee909f.d: crates/types/src/lib.rs crates/types/src/constraint.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/object.rs crates/types/src/time.rs
+
+/root/repo/target/debug/deps/rtpb_types-5f0e037de9ee909f: crates/types/src/lib.rs crates/types/src/constraint.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/object.rs crates/types/src/time.rs
+
+crates/types/src/lib.rs:
+crates/types/src/constraint.rs:
+crates/types/src/error.rs:
+crates/types/src/ids.rs:
+crates/types/src/object.rs:
+crates/types/src/time.rs:

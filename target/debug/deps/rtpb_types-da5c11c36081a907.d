@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rtpb_types-da5c11c36081a907.d: crates/types/src/lib.rs crates/types/src/constraint.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/object.rs crates/types/src/time.rs
+
+/root/repo/target/debug/deps/librtpb_types-da5c11c36081a907.rlib: crates/types/src/lib.rs crates/types/src/constraint.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/object.rs crates/types/src/time.rs
+
+/root/repo/target/debug/deps/librtpb_types-da5c11c36081a907.rmeta: crates/types/src/lib.rs crates/types/src/constraint.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/object.rs crates/types/src/time.rs
+
+crates/types/src/lib.rs:
+crates/types/src/constraint.rs:
+crates/types/src/error.rs:
+crates/types/src/ids.rs:
+crates/types/src/object.rs:
+crates/types/src/time.rs:

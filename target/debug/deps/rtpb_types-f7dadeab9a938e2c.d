@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/rtpb_types-f7dadeab9a938e2c.d: crates/types/src/lib.rs crates/types/src/constraint.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/object.rs crates/types/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/librtpb_types-f7dadeab9a938e2c.rmeta: crates/types/src/lib.rs crates/types/src/constraint.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/object.rs crates/types/src/time.rs Cargo.toml
+
+crates/types/src/lib.rs:
+crates/types/src/constraint.rs:
+crates/types/src/error.rs:
+crates/types/src/ids.rs:
+crates/types/src/object.rs:
+crates/types/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

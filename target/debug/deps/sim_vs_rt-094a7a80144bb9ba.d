@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_vs_rt-094a7a80144bb9ba.d: tests/sim_vs_rt.rs
+
+/root/repo/target/debug/deps/sim_vs_rt-094a7a80144bb9ba: tests/sim_vs_rt.rs
+
+tests/sim_vs_rt.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/update_path-6be2882a5ac18105.d: crates/bench/benches/update_path.rs Cargo.toml
+
+/root/repo/target/debug/deps/libupdate_path-6be2882a5ac18105.rmeta: crates/bench/benches/update_path.rs Cargo.toml
+
+crates/bench/benches/update_path.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/_verify_probe-554b8b2c6582159b.d: examples/_verify_probe.rs
+
+/root/repo/target/debug/examples/_verify_probe-554b8b2c6582159b: examples/_verify_probe.rs
+
+examples/_verify_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/avionics-167894cbd4188b31.d: examples/avionics.rs
+
+/root/repo/target/debug/examples/avionics-167894cbd4188b31: examples/avionics.rs
+
+examples/avionics.rs:

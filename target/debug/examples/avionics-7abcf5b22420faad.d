@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/avionics-7abcf5b22420faad.d: examples/avionics.rs Cargo.toml
+
+/root/repo/target/debug/examples/libavionics-7abcf5b22420faad.rmeta: examples/avionics.rs Cargo.toml
+
+examples/avionics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/chaos-31db9f55b2930da0.d: examples/chaos.rs
+
+/root/repo/target/debug/examples/chaos-31db9f55b2930da0: examples/chaos.rs
+
+examples/chaos.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/multi_backup-7799ccea053e48de.d: examples/multi_backup.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmulti_backup-7799ccea053e48de.rmeta: examples/multi_backup.rs Cargo.toml
+
+examples/multi_backup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

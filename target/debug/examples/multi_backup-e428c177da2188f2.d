@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_backup-e428c177da2188f2.d: examples/multi_backup.rs
+
+/root/repo/target/debug/examples/multi_backup-e428c177da2188f2: examples/multi_backup.rs
+
+examples/multi_backup.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/process_control-1ff5d068c6daaef7.d: examples/process_control.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprocess_control-1ff5d068c6daaef7.rmeta: examples/process_control.rs Cargo.toml
+
+examples/process_control.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/process_control-68a49ce2288b5346.d: examples/process_control.rs
+
+/root/repo/target/debug/examples/process_control-68a49ce2288b5346: examples/process_control.rs
+
+examples/process_control.rs:

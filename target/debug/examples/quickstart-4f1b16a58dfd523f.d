@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-4f1b16a58dfd523f.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-4f1b16a58dfd523f: examples/quickstart.rs
+
+examples/quickstart.rs:

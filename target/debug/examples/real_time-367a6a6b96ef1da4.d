@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/real_time-367a6a6b96ef1da4.d: examples/real_time.rs
+
+/root/repo/target/debug/examples/real_time-367a6a6b96ef1da4: examples/real_time.rs
+
+examples/real_time.rs:

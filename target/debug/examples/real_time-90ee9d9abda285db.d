@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/real_time-90ee9d9abda285db.d: examples/real_time.rs Cargo.toml
+
+/root/repo/target/debug/examples/libreal_time-90ee9d9abda285db.rmeta: examples/real_time.rs Cargo.toml
+
+examples/real_time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

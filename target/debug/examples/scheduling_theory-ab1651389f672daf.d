@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scheduling_theory-ab1651389f672daf.d: examples/scheduling_theory.rs
+
+/root/repo/target/debug/examples/scheduling_theory-ab1651389f672daf: examples/scheduling_theory.rs
+
+examples/scheduling_theory.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/scheduling_theory-b82b0933b014decb.d: examples/scheduling_theory.rs Cargo.toml
+
+/root/repo/target/debug/examples/libscheduling_theory-b82b0933b014decb.rmeta: examples/scheduling_theory.rs Cargo.toml
+
+examples/scheduling_theory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

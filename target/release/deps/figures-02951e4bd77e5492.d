@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-02951e4bd77e5492.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-02951e4bd77e5492: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

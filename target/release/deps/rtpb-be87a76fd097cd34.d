@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rtpb-be87a76fd097cd34.d: src/lib.rs
+
+/root/repo/target/release/deps/librtpb-be87a76fd097cd34.rlib: src/lib.rs
+
+/root/repo/target/release/deps/librtpb-be87a76fd097cd34.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/rtpb_bench-20c1a55bf94d1ee7.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/harness.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/librtpb_bench-20c1a55bf94d1ee7.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/harness.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/librtpb_bench-20c1a55bf94d1ee7.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/harness.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/table.rs:

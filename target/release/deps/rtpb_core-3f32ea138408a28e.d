@@ -1,0 +1,21 @@
+/root/repo/target/release/deps/rtpb_core-3f32ea138408a28e.d: crates/core/src/lib.rs crates/core/src/admission.rs crates/core/src/backup.rs crates/core/src/config.rs crates/core/src/harness/mod.rs crates/core/src/harness/cluster.rs crates/core/src/harness/cpu.rs crates/core/src/harness/faults.rs crates/core/src/heartbeat.rs crates/core/src/metrics.rs crates/core/src/name_service.rs crates/core/src/primary.rs crates/core/src/store.rs crates/core/src/update_sched.rs crates/core/src/wire.rs
+
+/root/repo/target/release/deps/librtpb_core-3f32ea138408a28e.rlib: crates/core/src/lib.rs crates/core/src/admission.rs crates/core/src/backup.rs crates/core/src/config.rs crates/core/src/harness/mod.rs crates/core/src/harness/cluster.rs crates/core/src/harness/cpu.rs crates/core/src/harness/faults.rs crates/core/src/heartbeat.rs crates/core/src/metrics.rs crates/core/src/name_service.rs crates/core/src/primary.rs crates/core/src/store.rs crates/core/src/update_sched.rs crates/core/src/wire.rs
+
+/root/repo/target/release/deps/librtpb_core-3f32ea138408a28e.rmeta: crates/core/src/lib.rs crates/core/src/admission.rs crates/core/src/backup.rs crates/core/src/config.rs crates/core/src/harness/mod.rs crates/core/src/harness/cluster.rs crates/core/src/harness/cpu.rs crates/core/src/harness/faults.rs crates/core/src/heartbeat.rs crates/core/src/metrics.rs crates/core/src/name_service.rs crates/core/src/primary.rs crates/core/src/store.rs crates/core/src/update_sched.rs crates/core/src/wire.rs
+
+crates/core/src/lib.rs:
+crates/core/src/admission.rs:
+crates/core/src/backup.rs:
+crates/core/src/config.rs:
+crates/core/src/harness/mod.rs:
+crates/core/src/harness/cluster.rs:
+crates/core/src/harness/cpu.rs:
+crates/core/src/harness/faults.rs:
+crates/core/src/heartbeat.rs:
+crates/core/src/metrics.rs:
+crates/core/src/name_service.rs:
+crates/core/src/primary.rs:
+crates/core/src/store.rs:
+crates/core/src/update_sched.rs:
+crates/core/src/wire.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/rtpb_net-28be98a5f8c07afc.d: crates/net/src/lib.rs crates/net/src/bytes.rs crates/net/src/graph_config.rs crates/net/src/link.rs crates/net/src/message.rs crates/net/src/protocol.rs crates/net/src/udp.rs
+
+/root/repo/target/release/deps/librtpb_net-28be98a5f8c07afc.rlib: crates/net/src/lib.rs crates/net/src/bytes.rs crates/net/src/graph_config.rs crates/net/src/link.rs crates/net/src/message.rs crates/net/src/protocol.rs crates/net/src/udp.rs
+
+/root/repo/target/release/deps/librtpb_net-28be98a5f8c07afc.rmeta: crates/net/src/lib.rs crates/net/src/bytes.rs crates/net/src/graph_config.rs crates/net/src/link.rs crates/net/src/message.rs crates/net/src/protocol.rs crates/net/src/udp.rs
+
+crates/net/src/lib.rs:
+crates/net/src/bytes.rs:
+crates/net/src/graph_config.rs:
+crates/net/src/link.rs:
+crates/net/src/message.rs:
+crates/net/src/protocol.rs:
+crates/net/src/udp.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/rtpb_rt-53d27944d5094fd7.d: crates/rt/src/lib.rs crates/rt/src/chan.rs crates/rt/src/link.rs crates/rt/src/runtime.rs
+
+/root/repo/target/release/deps/librtpb_rt-53d27944d5094fd7.rlib: crates/rt/src/lib.rs crates/rt/src/chan.rs crates/rt/src/link.rs crates/rt/src/runtime.rs
+
+/root/repo/target/release/deps/librtpb_rt-53d27944d5094fd7.rmeta: crates/rt/src/lib.rs crates/rt/src/chan.rs crates/rt/src/link.rs crates/rt/src/runtime.rs
+
+crates/rt/src/lib.rs:
+crates/rt/src/chan.rs:
+crates/rt/src/link.rs:
+crates/rt/src/runtime.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/rtpb_types-f120911314345558.d: crates/types/src/lib.rs crates/types/src/constraint.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/object.rs crates/types/src/time.rs
+
+/root/repo/target/release/deps/librtpb_types-f120911314345558.rlib: crates/types/src/lib.rs crates/types/src/constraint.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/object.rs crates/types/src/time.rs
+
+/root/repo/target/release/deps/librtpb_types-f120911314345558.rmeta: crates/types/src/lib.rs crates/types/src/constraint.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/object.rs crates/types/src/time.rs
+
+crates/types/src/lib.rs:
+crates/types/src/constraint.rs:
+crates/types/src/error.rs:
+crates/types/src/ids.rs:
+crates/types/src/object.rs:
+crates/types/src/time.rs:

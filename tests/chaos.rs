@@ -1,0 +1,341 @@
+//! Deterministic fault-injection ("chaos") scenarios driven by
+//! [`FaultPlan`]s: correlated loss bursts, partitions, crash/recovery
+//! schedules, and delay spikes, each asserting the protocol's detection
+//! and re-integration bounds from the fault report.
+
+use rtpb::core::harness::{ClusterConfig, FaultEvent, FaultPlan, SimCluster};
+use rtpb::core::metrics::InjectedFault;
+use rtpb::types::{NodeId, ObjectSpec, Time, TimeDelta};
+
+fn ms(v: u64) -> TimeDelta {
+    TimeDelta::from_millis(v)
+}
+
+fn at_ms(v: u64) -> Time {
+    Time::from_millis(v)
+}
+
+fn spec(period: u64) -> ObjectSpec {
+    ObjectSpec::builder("chaos-obj")
+        .update_period(ms(period))
+        .primary_bound(ms(period + 50))
+        .backup_bound(ms(period + 450))
+        .build()
+        .unwrap()
+}
+
+/// §4.4 failure-detection budget: `miss_threshold` unanswered probes of
+/// `heartbeat_timeout` each, plus scheduling slack.
+const DETECTION_BUDGET: TimeDelta = TimeDelta::from_millis(600);
+
+/// Scenario 1: a total loss burst on every data path. The backup's
+/// watchdogs detect it via retransmission requests; the report shows a
+/// bounded inconsistency interval that closes when the burst ends.
+#[test]
+fn loss_burst_is_detected_and_heals() {
+    let config = ClusterConfig {
+        seed: 7,
+        fault_plan: FaultPlan::new().at(
+            at_ms(2_000),
+            FaultEvent::LossBurst {
+                host: None,
+                duration: ms(2_000),
+                loss: 1.0,
+            },
+        ),
+        ..ClusterConfig::default()
+    };
+    let mut cluster = SimCluster::new(config);
+    let id = cluster.register(spec(50)).unwrap();
+    cluster.run_for(TimeDelta::from_secs(8));
+
+    assert!(!cluster.has_failed_over(), "loss must not kill the service");
+    let faults = cluster.fault_report();
+    assert_eq!(faults.len(), 1);
+    let burst = &faults[0];
+    assert_eq!(burst.kind, InjectedFault::LossBurst);
+    assert_eq!(burst.injected_at, at_ms(2_000));
+    // Watchdog-driven detection: within one refresh allowance plus the
+    // watchdog tick, well under a second.
+    let detection = burst.detection_latency().expect("burst undetected");
+    assert!(detection <= ms(1_000), "detection took {detection}");
+    assert!(burst.retries >= 1, "retransmissions must be counted");
+    assert_eq!(burst.recovered_at, Some(at_ms(4_000)), "heals with window");
+
+    let report = cluster.report();
+    let obj = report.object_report(id).unwrap();
+    assert!(
+        obj.inconsistency_episodes >= 1,
+        "a 2 s total-loss burst leaves the backup inconsistent"
+    );
+    // The backup image went stale for roughly the burst length and no
+    // longer: distance is bounded by the outage duration plus a couple of
+    // update periods.
+    assert!(obj.max_distance >= ms(1_500), "got {}", obj.max_distance);
+    assert!(obj.max_distance <= ms(3_000), "got {}", obj.max_distance);
+    assert!(report.retransmit_requests() > 0);
+}
+
+/// Scenario 2: the backup is partitioned away and the cut heals. Both
+/// detectors fire within the §4.4 budget; the severed replica re-joins
+/// with bounded retries once the partition heals.
+#[test]
+fn partition_detected_then_backup_reintegrates_after_heal() {
+    let config = ClusterConfig {
+        seed: 11,
+        fault_plan: FaultPlan::new().at(
+            at_ms(2_000),
+            FaultEvent::Partition {
+                host: 0,
+                duration: ms(1_000),
+            },
+        ),
+        ..ClusterConfig::default()
+    };
+    let mut cluster = SimCluster::new(config);
+    let id = cluster.register(spec(50)).unwrap();
+    cluster.run_for(TimeDelta::from_secs(8));
+
+    assert!(
+        !cluster.has_failed_over(),
+        "the primary is alive: the severed backup must re-join, not promote"
+    );
+    let faults = cluster.fault_report();
+    assert_eq!(faults.len(), 1);
+    let cut = &faults[0];
+    assert_eq!(cut.kind, InjectedFault::Partition);
+    let detection = cut.detection_latency().expect("partition undetected");
+    assert!(detection <= DETECTION_BUDGET, "detection took {detection}");
+    // Re-integration: the join retry backoff caps at 1 s, so the replica
+    // is back within heal + retry interval + state transfer.
+    let recovered = cut.recovered_at.expect("backup never re-joined");
+    assert!(recovered >= at_ms(3_000), "cannot rejoin mid-cut");
+    assert!(
+        recovered <= at_ms(4_500),
+        "re-integration too slow: {recovered}"
+    );
+    assert!(cut.retries >= 1, "joins during the cut must be retried");
+
+    // Replication resumed after the heal.
+    let applies_at_heal = cluster.report().object_report(id).unwrap().applies;
+    cluster.run_for(TimeDelta::from_secs(2));
+    let applies_later = cluster.report().object_report(id).unwrap().applies;
+    assert!(applies_later > applies_at_heal, "updates must flow again");
+}
+
+/// Scenario 3: backup crash, then a scheduled restart. The crash is
+/// detected within the §4.4 budget and the restarted replica re-integrates
+/// promptly through join + state transfer.
+#[test]
+fn backup_crash_and_recovery_meet_their_bounds() {
+    let config = ClusterConfig {
+        seed: 13,
+        fault_plan: FaultPlan::new()
+            .at(at_ms(1_000), FaultEvent::CrashBackup { host: 0 })
+            .at(at_ms(2_500), FaultEvent::RecoverBackup { host: 0 }),
+        ..ClusterConfig::default()
+    };
+    let mut cluster = SimCluster::new(config);
+    let id = cluster.register(spec(50)).unwrap();
+    cluster.run_for(TimeDelta::from_secs(6));
+
+    let faults = cluster.fault_report();
+    assert_eq!(faults.len(), 2);
+    let crash = &faults[0];
+    assert_eq!(crash.kind, InjectedFault::BackupCrash);
+    let detection = crash.detection_latency().expect("crash undetected");
+    assert!(detection <= DETECTION_BUDGET, "detection took {detection}");
+    // The crash fault closes when the restarted replica is tracked again.
+    assert!(crash.recovered_at.expect("no rejoin") >= at_ms(2_500));
+
+    let recovery = &faults[1];
+    assert_eq!(recovery.kind, InjectedFault::BackupRecovery);
+    // Join goes out immediately on a healthy control path: accepted and
+    // state-transferred within a few link delays.
+    let rejoin = recovery.recovery_time().expect("state transfer missing");
+    assert!(rejoin <= ms(200), "re-integration took {rejoin}");
+
+    let backup = cluster.backup().expect("backup restored");
+    assert!(backup.updates_applied() > 0, "replication resumed");
+    assert!(!backup.join_in_progress());
+    assert!(cluster.report().object_report(id).unwrap().applies > 0);
+}
+
+/// Scenario 4: the primary crashes while a recovering backup's state
+/// transfer is in flight. The join goes unanswered, the recovering
+/// replica's detector fires, and it promotes itself — service survives.
+#[test]
+fn primary_crash_during_state_transfer_still_fails_over() {
+    let config = ClusterConfig {
+        seed: 17,
+        fault_plan: FaultPlan::new()
+            .at(at_ms(1_000), FaultEvent::CrashBackup { host: 0 })
+            .at(at_ms(3_000), FaultEvent::RecoverBackup { host: 0 })
+            // The join request is in flight (links deliver in 1–10 ms);
+            // the primary dies before it can answer with a state transfer.
+            .at(Time::from_micros(3_000_500), FaultEvent::CrashPrimary),
+        ..ClusterConfig::default()
+    };
+    let mut cluster = SimCluster::new(config);
+    let id = cluster.register(spec(50)).unwrap();
+    cluster.run_for(TimeDelta::from_secs(6));
+
+    assert!(
+        cluster.has_failed_over(),
+        "recovering backup must take over"
+    );
+    let primary = cluster.primary().expect("service restored");
+    assert_eq!(primary.node(), NodeId::new(1));
+
+    let faults = cluster.fault_report();
+    assert_eq!(faults.len(), 3);
+    let crash = &faults[2];
+    assert_eq!(crash.kind, InjectedFault::PrimaryCrash);
+    let detection = crash.detection_latency().expect("crash undetected");
+    assert!(detection <= DETECTION_BUDGET, "detection took {detection}");
+    assert!(crash.recovery_time().is_some(), "failover must complete");
+
+    // The interrupted recovery never saw its state transfer.
+    let recovery = &faults[1];
+    assert_eq!(recovery.kind, InjectedFault::BackupRecovery);
+    assert!(
+        recovery.recovered_at.is_none(),
+        "state transfer was cut short by the primary crash"
+    );
+
+    // The promoted (previously recovering) replica serves writes.
+    let writes_at_takeover = cluster.report().object_report(id).unwrap().writes;
+    cluster.run_for(TimeDelta::from_secs(2));
+    let writes_later = cluster.report().object_report(id).unwrap().writes;
+    assert!(writes_later > writes_at_takeover, "writes must resume");
+}
+
+/// Scenario 5: a delay spike that pushes deliveries well past the assumed
+/// link bound ℓ. The backup's freshness watchdogs notice the stretched
+/// update gap and request retransmission; the spike heals on schedule.
+#[test]
+fn delay_spike_past_link_bound_triggers_watchdogs() {
+    let config = ClusterConfig {
+        seed: 19,
+        fault_plan: FaultPlan::new().at(
+            at_ms(2_000),
+            FaultEvent::DelaySpike {
+                host: None,
+                duration: ms(1_500),
+                // ℓ is 10 ms: deliveries overshoot the admission-control
+                // assumption by an order of magnitude.
+                extra: ms(100),
+            },
+        ),
+        ..ClusterConfig::default()
+    };
+    let mut cluster = SimCluster::new(config);
+    let id = cluster.register(spec(50)).unwrap();
+    let allowance = {
+        let primary = cluster.primary().unwrap();
+        primary.send_period(id).unwrap() + ms(10) + ms(5)
+    };
+    cluster.run_for(TimeDelta::from_secs(8));
+
+    assert!(
+        !cluster.has_failed_over(),
+        "latency must not kill the service"
+    );
+    let faults = cluster.fault_report();
+    assert_eq!(faults.len(), 1);
+    let spike = &faults[0];
+    assert_eq!(spike.kind, InjectedFault::DelaySpike);
+    let detection = spike.detection_latency().expect("spike undetected");
+    // First stretched gap exceeds the refresh allowance; the watchdog
+    // fires within one more allowance of polling slack.
+    assert!(
+        detection <= allowance * 2 + ms(100),
+        "detection took {detection} (allowance {allowance})"
+    );
+    assert_eq!(spike.recovered_at, Some(at_ms(3_500)));
+    assert!(cluster.report().retransmit_requests() > 0);
+}
+
+/// The whole point of *planned* chaos: identical seeds and plans give
+/// identical fault lifecycles and metrics, bit for bit.
+#[test]
+fn chaos_runs_are_deterministic() {
+    let run = || {
+        let config = ClusterConfig {
+            seed: 23,
+            fault_plan: FaultPlan::new()
+                .at(
+                    at_ms(1_000),
+                    FaultEvent::LossBurst {
+                        host: None,
+                        duration: ms(500),
+                        loss: 0.8,
+                    },
+                )
+                .at(
+                    at_ms(2_000),
+                    FaultEvent::Partition {
+                        host: 0,
+                        duration: ms(700),
+                    },
+                )
+                .at(at_ms(4_000), FaultEvent::CrashBackup { host: 0 })
+                .at(at_ms(5_000), FaultEvent::RecoverBackup { host: 0 })
+                .at(
+                    at_ms(6_500),
+                    FaultEvent::DelaySpike {
+                        host: None,
+                        duration: ms(400),
+                        extra: ms(50),
+                    },
+                ),
+            ..ClusterConfig::default()
+        };
+        let mut cluster = SimCluster::new(config);
+        let id = cluster.register(spec(50)).unwrap();
+        cluster.run_for(TimeDelta::from_secs(10));
+        let report = cluster.report();
+        let obj = report.object_report(id).unwrap().clone();
+        (
+            cluster.fault_report().to_vec(),
+            obj.writes,
+            obj.applies,
+            obj.max_distance,
+            report.retransmit_requests(),
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "same seed + same plan must replay identically");
+    assert_eq!(a.0.len(), 5, "every planned fault must be recorded");
+}
+
+/// Satellite of §4.4: with the control-path loss exemption turned off,
+/// heartbeats share the lossy fate of updates — yet a real crash is still
+/// detected within the bound, because detection feeds on *absence* of
+/// acks, which loss can only make more absent.
+#[test]
+fn lossy_heartbeats_still_fail_over_within_detection_bound() {
+    let mut config = ClusterConfig {
+        control_loss_exempt: false,
+        seed: 29,
+        fault_plan: FaultPlan::new().at(at_ms(1_000), FaultEvent::CrashPrimary),
+        ..ClusterConfig::default()
+    };
+    config.link.loss_probability = 0.3;
+    let mut cluster = SimCluster::new(config);
+    cluster.register(spec(50)).unwrap();
+    cluster.run_for(TimeDelta::from_secs(4));
+
+    assert!(cluster.has_failed_over());
+    let faults = cluster.fault_report();
+    assert_eq!(faults.len(), 1);
+    let crash = &faults[0];
+    assert_eq!(crash.kind, InjectedFault::PrimaryCrash);
+    let detection = crash.detection_latency().expect("crash undetected");
+    assert!(
+        detection <= DETECTION_BUDGET,
+        "lossy control path must not delay detecting a true crash: {detection}"
+    );
+    assert_eq!(cluster.name_service().resolve(), NodeId::new(1));
+}

@@ -56,11 +56,7 @@ fn theorem5_slack_tolerates_single_losses() {
         let mut cluster = SimCluster::new(config);
         let id = cluster.register(spec(100, 150, 550)).unwrap();
         cluster.run_for(TimeDelta::from_secs(60));
-        cluster
-            .report()
-            .object_report(id)
-            .unwrap()
-            .window_episodes
+        cluster.report().object_report(id).unwrap().window_episodes
     };
     let with_slack: u64 = (0..3).map(|s| run(2, s)).sum();
     let without_slack: u64 = (0..3).map(|s| run(1, s)).sum();

@@ -54,13 +54,7 @@ fn writes_resume_after_takeover_with_preserved_state() {
     let mut cluster = cluster_with(None);
     let id = cluster.register(spec(50)).unwrap();
     cluster.run_for(TimeDelta::from_secs(2));
-    let version_before = cluster
-        .backup()
-        .unwrap()
-        .store()
-        .get(id)
-        .unwrap()
-        .version();
+    let version_before = cluster.backup().unwrap().store().get(id).unwrap().version();
     assert!(version_before.value() > 0, "backup has replicated state");
     cluster.crash_primary();
     cluster.run_for(TimeDelta::from_secs(2));
@@ -170,8 +164,12 @@ fn shared_fate_when_control_traffic_is_also_lossy() {
     let mut cluster = SimCluster::new(config);
     cluster.register(spec(50)).unwrap();
     cluster.run_for(TimeDelta::from_secs(30));
+    // Bounded-retry re-join can heal a false alarm before we look, so
+    // assert on the record of detector activity, not the end state.
     assert!(
-        cluster.has_failed_over() || !cluster.primary().unwrap().is_backup_alive(),
+        cluster.metrics().failover_started_at().is_some()
+            || cluster.has_failed_over()
+            || !cluster.primary().unwrap().is_backup_alive(),
         "at 90% loss on everything, some detector must have fired"
     );
 }

@@ -3,11 +3,11 @@
 //! The full-scale tables live in `cargo run -p rtpb-bench --bin figures`.
 
 use rtpb::core::SchedulingMode;
+use rtpb::types::TimeDelta;
 use rtpb_bench::experiments::{
     distance_vs_loss, distance_vs_objects, inconsistency_vs_loss, response_time_vs_objects,
     theory_validation, FigureDefaults,
 };
-use rtpb::types::TimeDelta;
 
 fn quick() -> FigureDefaults {
     FigureDefaults {

@@ -136,7 +136,10 @@ fn corrupted_wire_bytes_are_rejected_not_misdelivered() {
     let mut original = wire;
     let header = original.pop_header().unwrap();
     tampered.push_header(&header);
-    assert!(rx.receive(tampered).is_err(), "checksum must catch the flip");
+    assert!(
+        rx.receive(tampered).is_err(),
+        "checksum must catch the flip"
+    );
 }
 
 #[test]

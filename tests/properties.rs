@@ -1,4 +1,4 @@
-//! Property-based tests (proptest) on the core invariants:
+//! Property-based tests (seeded `propcheck` cases) on the core invariants:
 //!
 //! - Theorem 2/3 phase-variance bounds hold on every recorded timeline.
 //! - The wire codec round-trips arbitrary messages and never panics on
@@ -6,13 +6,13 @@
 //! - Admission implies no consistency violations in lossless simulation.
 //! - Distance-constrained specialization preserves its contracts.
 
-use proptest::prelude::*;
-use rtpb::core::harness::{ClusterConfig, SimCluster};
+use rtpb::core::harness::{ClusterConfig, FaultEvent, FaultPlan, SimCluster};
 use rtpb::core::wire::WireMessage;
 use rtpb::sched::analysis::dcs;
 use rtpb::sched::exec::{run_dcs, run_edf, run_rm, Horizon};
 use rtpb::sched::task::{PeriodicTask, TaskSet};
 use rtpb::sched::VarianceBound;
+use rtpb::sim::propcheck::{run_cases, Gen};
 use rtpb::types::{ObjectId, ObjectSpec, Time, TimeDelta, Version};
 
 fn ms(v: u64) -> TimeDelta {
@@ -20,140 +20,244 @@ fn ms(v: u64) -> TimeDelta {
 }
 
 /// Up to five tasks with periods 5..120 ms and utilization ≤ ~0.6.
-fn arb_task_set() -> impl Strategy<Value = TaskSet> {
-    proptest::collection::vec((5u64..120, 1u64..8), 1..5).prop_filter_map(
-        "utilization must stay below 0.6",
-        |params| {
-            let tasks: Vec<PeriodicTask> = params
-                .iter()
-                .map(|&(p, e)| {
-                    let e = e.min(p - 1).max(1);
-                    PeriodicTask::new(ms(p), ms(e))
-                })
-                .collect();
-            let util: f64 = tasks.iter().map(PeriodicTask::utilization).sum();
-            if util > 0.6 {
-                return None;
-            }
-            TaskSet::try_from_iter(tasks).ok()
-        },
-    )
+fn gen_task_set(g: &mut Gen) -> TaskSet {
+    loop {
+        let n = g.usize_in(1, 5);
+        let tasks: Vec<PeriodicTask> = (0..n)
+            .map(|_| {
+                let p = g.u64_in(5, 120);
+                let e = g.u64_in(1, 8).min(p - 1).max(1);
+                PeriodicTask::new(ms(p), ms(e))
+            })
+            .collect();
+        let util: f64 = tasks.iter().map(PeriodicTask::utilization).sum();
+        if util > 0.6 {
+            continue;
+        }
+        if let Ok(set) = TaskSet::try_from_iter(tasks) {
+            return set;
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn rm_phase_variance_never_exceeds_theorem2(tasks in arb_task_set()) {
+#[test]
+fn rm_phase_variance_never_exceeds_theorem2() {
+    run_cases("rm_phase_variance_never_exceeds_theorem2", 48, |g| {
+        let tasks = gen_task_set(g);
         let x = tasks.utilization();
         let n = tasks.len();
         let tl = run_rm(&tasks, Horizon::cycles(30));
-        prop_assert_eq!(tl.deadline_misses(), 0);
+        assert_eq!(tl.deadline_misses(), 0);
         for task in tasks.iter() {
             if let Some(v) = tl.phase_variance(task.id()) {
                 let bound = VarianceBound::rm_effective(task.period(), task.exec(), x, n);
-                prop_assert!(
+                assert!(
                     v <= bound,
                     "task {} variance {} exceeds bound {}",
-                    task.id(), v, bound
+                    task.id(),
+                    v,
+                    bound
                 );
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn edf_phase_variance_never_exceeds_inherent_bound(tasks in arb_task_set()) {
+#[test]
+fn edf_phase_variance_never_exceeds_inherent_bound() {
+    run_cases("edf_phase_variance_never_exceeds_inherent_bound", 48, |g| {
+        let tasks = gen_task_set(g);
         let tl = run_edf(&tasks, Horizon::cycles(30));
-        prop_assert_eq!(tl.deadline_misses(), 0);
+        assert_eq!(tl.deadline_misses(), 0);
         for task in tasks.iter() {
             if let Some(v) = tl.phase_variance(task.id()) {
                 let inherent = VarianceBound::inherent(task.period(), task.exec());
-                prop_assert!(v <= inherent);
+                assert!(v <= inherent);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn dcs_gives_exactly_zero_variance_whenever_theorem3_holds(tasks in arb_task_set()) {
-        // Utilization ≤ 0.6 < ln 2 ≤ n(2^{1/n}-1): Theorem 3 always holds.
-        prop_assert!(dcs::theorem3_condition(&tasks));
-        let tl = run_dcs(&tasks, Horizon::cycles(30)).expect("Sr feasible");
-        prop_assert_eq!(tl.deadline_misses(), 0);
-        for task in tl.tasks().iter() {
-            if let Some(v) = tl.phase_variance(task.id()) {
-                prop_assert_eq!(v, TimeDelta::ZERO);
+#[test]
+fn dcs_gives_exactly_zero_variance_whenever_theorem3_holds() {
+    run_cases(
+        "dcs_gives_exactly_zero_variance_whenever_theorem3_holds",
+        48,
+        |g| {
+            let tasks = gen_task_set(g);
+            // Utilization ≤ 0.6 < ln 2 ≤ n(2^{1/n}-1): Theorem 3 always holds.
+            assert!(dcs::theorem3_condition(&tasks));
+            let tl = run_dcs(&tasks, Horizon::cycles(30)).expect("Sr feasible");
+            assert_eq!(tl.deadline_misses(), 0);
+            for task in tl.tasks().iter() {
+                if let Some(v) = tl.phase_variance(task.id()) {
+                    assert_eq!(v, TimeDelta::ZERO);
+                }
             }
-        }
-    }
+        },
+    );
+}
 
-    #[test]
-    fn dcs_specialization_contracts(tasks in arb_task_set()) {
+#[test]
+fn dcs_specialization_contracts() {
+    run_cases("dcs_specialization_contracts", 48, |g| {
+        let tasks = gen_task_set(g);
         let sp = dcs::specialize(&tasks).expect("feasible below 0.6");
-        prop_assert!(sp.utilization() <= 1.0 + 1e-9);
+        assert!(sp.utilization() <= 1.0 + 1e-9);
         for (orig, spec) in tasks.iter().zip(sp.tasks().iter()) {
             // Never longer, never less than half.
-            prop_assert!(spec.period() <= orig.period());
-            prop_assert!(spec.period() * 2 > orig.period());
+            assert!(spec.period() <= orig.period());
+            assert!(spec.period() * 2 > orig.period());
         }
         // Pairwise harmonic.
         let periods: Vec<u64> = sp.tasks().iter().map(|t| t.period().as_nanos()).collect();
         for a in &periods {
             for b in &periods {
                 let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-                prop_assert_eq!(hi % lo, 0);
+                assert_eq!(hi % lo, 0);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn wire_codec_round_trips(
-        object in 0u32..1000,
-        version in 0u64..u64::MAX,
-        ts in 0u64..u64::MAX / 2,
-        payload in proptest::collection::vec(any::<u8>(), 0..512),
-    ) {
+#[test]
+fn wire_codec_round_trips() {
+    run_cases("wire_codec_round_trips", 64, |g| {
         let msg = WireMessage::Update {
-            object: ObjectId::new(object),
-            version: Version::new(version),
-            timestamp: Time::from_nanos(ts),
-            payload,
+            object: ObjectId::new(g.u64_in(0, 1000) as u32),
+            version: Version::new(g.any_u64()),
+            timestamp: Time::from_nanos(g.any_u64() / 2),
+            payload: g.bytes(512),
         };
         let decoded = WireMessage::decode(&msg.encode()).expect("round trip");
-        prop_assert_eq!(decoded, msg);
-    }
+        assert_eq!(decoded, msg);
+    });
+}
 
-    #[test]
-    fn wire_decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+#[test]
+fn wire_decoder_never_panics_on_garbage() {
+    run_cases("wire_decoder_never_panics_on_garbage", 256, |g| {
+        let bytes = g.bytes(256);
         let _ = WireMessage::decode(&bytes); // must not panic
-    }
+    });
+}
 
-    #[test]
-    fn admitted_objects_hold_their_bounds_in_lossless_runs(
-        period in 20u64..200,
-        bound_slack in 1u64..100,
-        window in 50u64..600,
-        seed in 0u64..1000,
-    ) {
-        let config = ClusterConfig {
-            seed,
-            ..ClusterConfig::default()
-        };
-        let mut cluster = SimCluster::new(config);
-        let spec = ObjectSpec::builder("prop")
-            .update_period(ms(period))
-            .primary_bound(ms(period + bound_slack))
-            .backup_bound(ms(period + bound_slack + window))
-            .build()
-            .expect("structurally valid");
-        // Admission may reject (window ≤ ℓ): that is a correct outcome.
-        if let Ok(id) = cluster.register(spec) {
-            cluster.run_for(TimeDelta::from_secs(8));
-            let r = cluster.metrics().object_report(id).expect("tracked");
-            prop_assert_eq!(r.backup_violations, 0, "backup bound violated");
-            prop_assert_eq!(r.primary_violations, 0, "primary bound violated");
-            prop_assert!(r.max_distance <= r.window);
-        }
-    }
+#[test]
+fn admitted_objects_hold_their_bounds_in_lossless_runs() {
+    run_cases(
+        "admitted_objects_hold_their_bounds_in_lossless_runs",
+        24,
+        |g| {
+            let period = g.u64_in(20, 200);
+            let bound_slack = g.u64_in(1, 100);
+            let window = g.u64_in(50, 600);
+            let seed = g.u64_in(0, 1000);
+            let config = ClusterConfig {
+                seed,
+                ..ClusterConfig::default()
+            };
+            let mut cluster = SimCluster::new(config);
+            let spec = ObjectSpec::builder("prop")
+                .update_period(ms(period))
+                .primary_bound(ms(period + bound_slack))
+                .backup_bound(ms(period + bound_slack + window))
+                .build()
+                .expect("structurally valid");
+            // Admission may reject (window ≤ ℓ): that is a correct outcome.
+            if let Ok(id) = cluster.register(spec) {
+                cluster.run_for(TimeDelta::from_secs(8));
+                let r = cluster.metrics().object_report(id).expect("tracked");
+                assert_eq!(r.backup_violations, 0, "backup bound violated");
+                assert_eq!(r.primary_violations, 0, "primary bound violated");
+                assert!(r.max_distance <= r.window);
+            }
+        },
+    );
+}
+
+/// Theorem 5 under chaos: for any seeded fault plan made of *bounded*
+/// link faults (loss bursts and delay spikes — both replicas stay alive),
+/// an admitted object's primary–backup distance never exceeds the
+/// lossless Theorem 5 bound (the window δ) plus the fault envelope: the
+/// total time updates could be suppressed or deferred, plus one
+/// watchdog-retransmission round to re-establish currency.
+#[test]
+fn distance_stays_within_theorem5_bound_plus_fault_envelope() {
+    run_cases(
+        "distance_stays_within_theorem5_bound_plus_fault_envelope",
+        16,
+        |g| {
+            let seed = g.u64_in(0, 10_000);
+            let n_faults = g.usize_in(1, 3);
+            let mut plan = FaultPlan::new();
+            // Everything the plan may withhold from the backup, end to end.
+            let mut envelope = TimeDelta::ZERO;
+            for _ in 0..n_faults {
+                let at = Time::from_millis(g.u64_in(1_000, 6_000));
+                let duration = ms(g.u64_in(100, 800));
+                if g.usize_in(0, 1) == 0 {
+                    let loss = g.u64_in(20, 100) as f64 / 100.0;
+                    plan = plan.at(
+                        at,
+                        FaultEvent::LossBurst {
+                            host: None,
+                            duration,
+                            loss,
+                        },
+                    );
+                    envelope += duration;
+                } else {
+                    let extra = ms(g.u64_in(10, 50));
+                    plan = plan.at(
+                        at,
+                        FaultEvent::DelaySpike {
+                            host: None,
+                            duration,
+                            extra,
+                        },
+                    );
+                    envelope += extra;
+                }
+            }
+            let config = ClusterConfig {
+                seed,
+                fault_plan: plan,
+                ..ClusterConfig::default()
+            };
+            let mut cluster = SimCluster::new(config);
+            let period = g.u64_in(20, 120);
+            let spec = ObjectSpec::builder("t5")
+                .update_period(ms(period))
+                .primary_bound(ms(period + 50))
+                .backup_bound(ms(period + 450))
+                .build()
+                .expect("structurally valid");
+            if let Ok(id) = cluster.register(spec) {
+                let send_period = cluster
+                    .primary()
+                    .expect("serving")
+                    .send_period(id)
+                    .expect("admitted");
+                cluster.run_for(TimeDelta::from_secs(9));
+                assert!(!cluster.has_failed_over(), "link faults must not kill");
+                let r = cluster.metrics().object_report(id).expect("tracked");
+                // One watchdog-retransmission round: the gap is noticed
+                // within two watchdog polls of the refresh allowance, and
+                // the resend takes another link traversal.
+                let ell = ms(10);
+                let allowance = send_period + ell + ms(5);
+                let bound = r.window + envelope + allowance * 2 + ell;
+                assert!(
+                    r.max_distance <= bound,
+                    "distance {} exceeds Theorem 5 bound {} + envelope {}",
+                    r.max_distance,
+                    r.window,
+                    envelope
+                );
+                assert!(r.applies > 0, "replication must make progress");
+            }
+        },
+    );
 }
 
 #[test]

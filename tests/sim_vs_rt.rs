@@ -32,7 +32,11 @@ fn both_drivers_replicate_and_stay_consistent() {
     // Both served roughly period-count writes.
     let expected = 2_000 / 50;
     assert!(sim_report.writes >= expected - 4);
-    assert!(rt_report.writes >= expected - 8, "rt writes {}", rt_report.writes);
+    assert!(
+        rt_report.writes >= expected - 8,
+        "rt writes {}",
+        rt_report.writes
+    );
     // Both replicated to the backup.
     assert!(sim_report.applies > 0);
     assert!(rt_report.updates_applied > 0);
@@ -78,5 +82,8 @@ fn both_drivers_survive_update_loss_via_retransmission() {
     let rt_report = RtCluster::run(rt_config, Duration::from_secs(2)).unwrap();
     assert!(rt_report.updates_applied > 0);
     assert!(rt_report.retransmit_requests > 0);
-    assert!(!rt_report.failed_over, "update loss must not kill the service");
+    assert!(
+        !rt_report.failed_over,
+        "update loss must not kill the service"
+    );
 }
