@@ -25,6 +25,7 @@ struct Options {
     theory_only: bool,
     quick: bool,
     csv: bool,
+    trace: Option<String>,
 }
 
 fn parse_args() -> Options {
@@ -33,6 +34,7 @@ fn parse_args() -> Options {
         theory_only: false,
         quick: false,
         csv: false,
+        trace: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -45,6 +47,12 @@ fn parse_args() -> Options {
                 opts.fig = Some(n);
             }
             "--theory" => opts.theory_only = true,
+            "--trace" => {
+                let path = args
+                    .next()
+                    .unwrap_or_else(|| usage("--trace needs a JSONL file path"));
+                opts.trace = Some(path);
+            }
             "--quick" => opts.quick = true,
             "--csv" => opts.csv = true,
             "--help" | "-h" => usage("regenerate the paper's figures"),
@@ -56,7 +64,7 @@ fn parse_args() -> Options {
 
 fn usage(msg: &str) -> ! {
     eprintln!("figures: {msg}");
-    eprintln!("usage: figures [--fig N] [--theory] [--quick] [--csv]");
+    eprintln!("usage: figures [--fig N] [--theory] [--quick] [--csv] [--trace FILE.jsonl]");
     std::process::exit(2);
 }
 
@@ -70,6 +78,21 @@ fn emit(table: &Table, csv: bool) {
 
 fn main() {
     let opts = parse_args();
+
+    // Trace mode: summarize a captured JSONL event stream and exit.
+    if let Some(path) = &opts.trace {
+        let jsonl = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("figures: cannot read {path}: {e}");
+            std::process::exit(1);
+        });
+        let summary = rtpb_bench::TraceSummary::from_jsonl(&jsonl).unwrap_or_else(|e| {
+            eprintln!("figures: {path} is not a valid trace: {e}");
+            std::process::exit(1);
+        });
+        emit(&summary.to_table(), opts.csv);
+        return;
+    }
+
     let defaults = if opts.quick {
         FigureDefaults::quick()
     } else {

@@ -11,9 +11,11 @@
 pub mod experiments;
 pub mod harness;
 pub mod table;
+pub mod trace;
 
 pub use experiments::{
     distance_vs_loss, distance_vs_objects, inconsistency_vs_loss, response_time_vs_objects,
     theory_validation, FigureDefaults,
 };
 pub use table::Table;
+pub use trace::TraceSummary;

@@ -1,0 +1,170 @@
+//! Consumes a JSONL event trace exported by [`rtpb_obs::EventBus`].
+//!
+//! The figure regenerators work from metrics the harness computes live;
+//! this module is the offline path: given a trace captured from a sim
+//! run (or `examples/chaos.rs` via `RTPB_TRACE_OUT`), it validates every
+//! line against the event schema and reduces the stream to the summary
+//! statistics the evaluation cares about — per-kind counts, update loss
+//! rate on the wire, and the observed span of the run.
+
+use crate::table::Table;
+use rtpb_obs::{validate_line, SchemaError};
+use std::collections::BTreeMap;
+
+/// Summary statistics reduced from one JSONL event trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Total schema-valid events.
+    pub events: u64,
+    /// Event counts keyed by kind name (`update_sent`, ...).
+    pub by_kind: BTreeMap<String, u64>,
+    /// Timestamp of the first event, in nanoseconds.
+    pub first_ns: u64,
+    /// Timestamp of the last event, in nanoseconds.
+    pub last_ns: u64,
+    /// `update_sent` events flagged `lost:true` by the link layer.
+    pub updates_lost: u64,
+}
+
+impl TraceSummary {
+    /// Parses and validates a JSONL trace, reducing it to a summary.
+    ///
+    /// Timestamps must be non-decreasing in stream order — the order
+    /// [`rtpb_obs::EventBus::export_jsonl`] guarantees.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SchemaError`] encountered; an out-of-order
+    /// timestamp surfaces as [`SchemaError::Malformed`].
+    pub fn from_jsonl(jsonl: &str) -> Result<TraceSummary, SchemaError> {
+        let mut summary = TraceSummary::default();
+        for line in jsonl.lines() {
+            let (_seq, t_ns, kind) = validate_line(line)?;
+            if summary.events == 0 {
+                summary.first_ns = t_ns;
+            } else if t_ns < summary.last_ns {
+                return Err(SchemaError::Malformed(format!(
+                    "timestamps regress: {t_ns} after {}",
+                    summary.last_ns
+                )));
+            }
+            summary.last_ns = t_ns;
+            summary.events += 1;
+            if kind == "update_sent" && line.contains("\"lost\":true") {
+                summary.updates_lost += 1;
+            }
+            *summary.by_kind.entry(kind).or_insert(0) += 1;
+        }
+        Ok(summary)
+    }
+
+    /// Count of one event kind (0 if absent).
+    #[must_use]
+    pub fn count(&self, kind: &str) -> u64 {
+        self.by_kind.get(kind).copied().unwrap_or(0)
+    }
+
+    /// Observed span of the trace in seconds.
+    #[must_use]
+    pub fn span_secs(&self) -> f64 {
+        (self.last_ns.saturating_sub(self.first_ns)) as f64 / 1e9
+    }
+
+    /// Fraction of `update_sent` events the link layer dropped.
+    #[must_use]
+    pub fn update_loss_rate(&self) -> Option<f64> {
+        let sent = self.count("update_sent");
+        (sent > 0).then(|| self.updates_lost as f64 / sent as f64)
+    }
+
+    /// Renders the summary as a figure-style table: one row per event
+    /// kind, with count and rate-per-second columns.
+    #[must_use]
+    pub fn to_table(&self) -> Table {
+        let mut table = Table::new(
+            "Trace summary",
+            "event kind",
+            vec!["count".into(), "per sec".into()],
+        );
+        let span = self.span_secs();
+        for (kind, count) in &self.by_kind {
+            let rate = (span > 0.0).then(|| *count as f64 / span);
+            table.push_row(kind.clone(), vec![Some(*count as f64), rate]);
+        }
+        table.note(format!(
+            "{} events over {:.2}s",
+            self.events,
+            self.span_secs()
+        ));
+        if let Some(rate) = self.update_loss_rate() {
+            table.note(format!("wire loss on updates: {:.1}%", rate * 100.0));
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtpb_core::harness::{ClusterConfig, SimCluster};
+    use rtpb_obs::{EventBus, MetricsRegistry};
+    use rtpb_types::{ObjectSpec, TimeDelta};
+
+    fn traced_run() -> String {
+        let config = ClusterConfig {
+            seed: 7,
+            link: rtpb_net::LinkConfig {
+                loss_probability: 0.2,
+                ..rtpb_net::LinkConfig::default()
+            },
+            bus: EventBus::with_capacity(1 << 16),
+            registry: MetricsRegistry::new(),
+            ..ClusterConfig::default()
+        };
+        let mut cluster = SimCluster::new(config);
+        cluster
+            .register(
+                ObjectSpec::builder("obj")
+                    .update_period(TimeDelta::from_millis(50))
+                    .primary_bound(TimeDelta::from_millis(80))
+                    .backup_bound(TimeDelta::from_millis(400))
+                    .build()
+                    .expect("valid spec"),
+            )
+            .expect("admitted");
+        cluster.run_for(TimeDelta::from_secs(3));
+        cluster.export_jsonl()
+    }
+
+    #[test]
+    fn summarizes_a_real_trace() {
+        let jsonl = traced_run();
+        let summary = TraceSummary::from_jsonl(&jsonl).expect("valid trace");
+        assert_eq!(summary.events as usize, jsonl.lines().count());
+        assert!(summary.count("update_sent") > 0);
+        assert!(summary.count("heartbeat_sent") > 0);
+        assert!(summary.span_secs() > 1.0);
+        // 20% wire loss must be visible in the trace.
+        let loss = summary.update_loss_rate().expect("updates sent");
+        assert!(loss > 0.0, "lossy run must record lost updates");
+        let rendered = summary.to_table().render();
+        assert!(rendered.contains("update_sent"));
+        assert!(rendered.contains("wire loss"));
+    }
+
+    #[test]
+    fn rejects_garbage_and_regressions() {
+        assert!(TraceSummary::from_jsonl("not json\n").is_err());
+        let backwards = "\
+{\"seq\":0,\"t_ns\":5,\"clock\":\"virtual\",\"kind\":\"object_shed\",\"object\":1}\n\
+{\"seq\":1,\"t_ns\":4,\"clock\":\"virtual\",\"kind\":\"object_shed\",\"object\":1}\n";
+        assert!(TraceSummary::from_jsonl(backwards).is_err());
+    }
+
+    #[test]
+    fn empty_trace_is_a_valid_empty_summary() {
+        let summary = TraceSummary::from_jsonl("").expect("empty ok");
+        assert_eq!(summary.events, 0);
+        assert_eq!(summary.update_loss_rate(), None);
+    }
+}

@@ -23,6 +23,7 @@ use crate::name_service::NameService;
 use crate::primary::Primary;
 use crate::wire::WireMessage;
 use rtpb_net::{FaultKind, FaultWindow, LinkConfig, LossyLink, Message, ProtocolGraph, UdpLike};
+use rtpb_obs::{Counter, EventBus, EventKind, Histogram, MetricsRegistry, Role};
 use rtpb_sim::{Context, Simulation, World};
 use rtpb_types::{AdmissionError, NodeId, ObjectId, ObjectSpec, Time, TimeDelta};
 use std::collections::BTreeMap;
@@ -58,6 +59,16 @@ pub struct ClusterConfig {
     /// Deterministic fault schedule executed during the run (crashes,
     /// partitions, loss bursts, delay spikes, recoveries).
     pub fault_plan: FaultPlan,
+    /// Structured-event bus; when enabled, the cluster emits typed
+    /// protocol events (update send/apply, heartbeats, role transitions,
+    /// admission decisions, fault lifecycles) stamped with the virtual
+    /// clock. Emission never consumes randomness, so instrumented runs
+    /// produce the exact protocol outcomes of uninstrumented ones.
+    pub bus: EventBus,
+    /// Metrics registry; when enabled, hot-path counters and latency
+    /// histograms (client response, failover duration) are maintained
+    /// alongside the structured events.
+    pub registry: MetricsRegistry,
 }
 
 impl Default for ClusterConfig {
@@ -72,7 +83,48 @@ impl Default for ClusterConfig {
             trace_capacity: 0,
             control_loss_exempt: true,
             fault_plan: FaultPlan::new(),
+            bus: EventBus::disabled(),
+            registry: MetricsRegistry::disabled(),
         }
+    }
+}
+
+/// Pre-resolved registry handles for the cluster's hot paths (resolving
+/// by name per event would take the registry lock each time).
+struct Instruments {
+    updates_sent: Counter,
+    updates_lost: Counter,
+    retransmit_requests: Counter,
+    client_writes: Counter,
+    failovers: Counter,
+    faults_injected: Counter,
+    response_time: Histogram,
+    failover_time: Histogram,
+}
+
+impl Instruments {
+    fn from_registry(registry: &MetricsRegistry) -> Self {
+        Instruments {
+            updates_sent: registry.counter("cluster.updates_sent"),
+            updates_lost: registry.counter("cluster.updates_lost"),
+            retransmit_requests: registry.counter("cluster.retransmit_requests"),
+            client_writes: registry.counter("cluster.client_writes"),
+            failovers: registry.counter("cluster.failovers"),
+            faults_injected: registry.counter("cluster.faults_injected"),
+            response_time: registry.histogram("cluster.response_time"),
+            failover_time: registry.histogram("cluster.failover_time"),
+        }
+    }
+}
+
+fn fault_name(fault: InjectedFault) -> &'static str {
+    match fault {
+        InjectedFault::PrimaryCrash => "primary_crash",
+        InjectedFault::BackupCrash => "backup_crash",
+        InjectedFault::BackupRecovery => "backup_recovery",
+        InjectedFault::Partition => "partition",
+        InjectedFault::LossBurst => "loss_burst",
+        InjectedFault::DelaySpike => "delay_spike",
     }
 }
 
@@ -115,14 +167,25 @@ impl BackupHost {
             ..config.link
         };
         let base = config.seed.wrapping_add(100 + 4 * index as u64);
-        BackupHost {
+        let mut host = BackupHost {
             node,
             backup: Some(Backup::new(node, config.protocol.clone())),
             data_link: LossyLink::new(config.link, base),
             ctrl_link: LossyLink::new(lossless, base.wrapping_add(1)),
             rev_data_link: LossyLink::new(config.link, base.wrapping_add(2)),
             rev_ctrl_link: LossyLink::new(lossless, base.wrapping_add(3)),
+        };
+        if config.bus.is_enabled() {
+            host.data_link
+                .attach_observer(config.bus.writer(), format!("p->b{index}.data"));
+            host.ctrl_link
+                .attach_observer(config.bus.writer(), format!("p->b{index}.ctrl"));
+            host.rev_data_link
+                .attach_observer(config.bus.writer(), format!("b{index}->p.data"));
+            host.rev_ctrl_link
+                .attach_observer(config.bus.writer(), format!("b{index}->p.ctrl"));
         }
+        host
     }
 }
 
@@ -136,6 +199,7 @@ struct ClusterWorld {
     b2p_rx: ProtocolGraph,
     cpu: CpuQueue,
     metrics: ClusterMetrics,
+    instruments: Instruments,
     names: NameService,
     specs: BTreeMap<ObjectId, ObjectSpec>,
     epoch: u32,
@@ -179,6 +243,12 @@ impl ClusterWorld {
             .map(Primary::backups)
             .unwrap_or_default();
         let is_update = matches!(msg, WireMessage::Update { .. });
+        let update_info = match msg {
+            WireMessage::Update {
+                object, version, ..
+            } => Some((*object, *version)),
+            _ => None,
+        };
         let metrics_host = self.metrics_host();
         let Ok(wire) = self.p2b_tx.send(Message::from_payload(msg.encode())) else {
             ctx.trace("p2b send rejected by protocol stack");
@@ -195,6 +265,18 @@ impl ClusterWorld {
                 &mut host.ctrl_link
             };
             let outcome = link.transmit(ctx.now(), wire.wire_size());
+            if let Some((object, version)) = update_info {
+                self.instruments.updates_sent.inc();
+                if outcome.is_lost() {
+                    self.instruments.updates_lost.inc();
+                }
+                ctx.emit(EventKind::UpdateSent {
+                    object,
+                    version,
+                    to: host.node,
+                    lost: outcome.is_lost(),
+                });
+            }
             if is_update && Some(i) == metrics_host {
                 self.metrics.record_update_sent(outcome.is_lost());
             }
@@ -323,6 +405,12 @@ impl ClusterWorld {
         };
         let now = ctx.now();
         ctx.trace(format!("{} taking over as primary", self.hosts[host].node));
+        ctx.emit(EventKind::RoleTransition {
+            node: self.hosts[host].node,
+            from: Role::Backup,
+            to: Role::Primary,
+        });
+        self.instruments.failovers.inc();
         let new_primary = backup.promote(now);
         // §4.4: "The new primary changes the address in the name file to
         // its own internet address, invokes a backup version of the
@@ -332,10 +420,16 @@ impl ClusterWorld {
         self.cpu.clear();
         self.epoch += 1; // invalidate the dead primary's timers
         self.metrics.record_failover_complete(now);
+        if let Some(duration) = self.metrics.failover_duration() {
+            self.instruments.failover_time.record(duration);
+        }
         if let Some(record) = self.pending_primary_crash.take() {
             // Failover completion ends the primary-crash fault: the
             // service is serving again.
             self.metrics.record_fault_recovered(record, now);
+            ctx.emit(EventKind::FaultRecovered {
+                record: record as u64,
+            });
         }
         // Surviving backups track the new primary and re-join (the
         // multi-backup extension).
@@ -403,10 +497,19 @@ impl ClusterWorld {
             // replica is consistent again once it lands.
             if let Some(record) = self.pending_recovery.remove(&host) {
                 self.metrics.record_fault_recovered(record, ctx.now());
+                ctx.emit(EventKind::FaultRecovered {
+                    record: record as u64,
+                });
             }
         }
-        if report_metrics {
-            for (object, version, write_ts) in &out.applied {
+        let node = self.hosts[host].node;
+        for (object, version, write_ts) in &out.applied {
+            ctx.emit(EventKind::UpdateApplied {
+                object: *object,
+                version: *version,
+                node,
+            });
+            if report_metrics {
                 self.metrics
                     .on_backup_apply(*object, *version, *write_ts, ctx.now());
             }
@@ -437,8 +540,15 @@ impl ClusterWorld {
             self.corrupt_messages += 1;
             return;
         };
-        if matches!(msg, WireMessage::RetransmitRequest { .. }) {
+        if let WireMessage::RetransmitRequest { object, .. } = &msg {
             self.metrics.record_retransmit_request();
+            self.instruments.retransmit_requests.inc();
+            if let Some(h) = self.hosts.get(host) {
+                ctx.emit(EventKind::RetransmitRequested {
+                    object: *object,
+                    node: h.node,
+                });
+            }
             // A retransmission request arriving during (or shortly after)
             // a loss burst / delay spike is how those faults manifest:
             // attribute detection and count the retry against the record.
@@ -457,6 +567,9 @@ impl ClusterWorld {
             for record in hit {
                 self.metrics.record_fault_detected(record, now);
                 self.metrics.add_fault_retry(record);
+                ctx.emit(EventKind::FaultDetected {
+                    record: record as u64,
+                });
             }
         }
         let out = {
@@ -480,16 +593,32 @@ impl ClusterWorld {
         if out.backup_joined {
             ctx.trace("new backup integrated");
             let now = ctx.now();
+            if let Some(h) = self.hosts.get(host) {
+                ctx.emit(EventKind::RoleTransition {
+                    node: h.node,
+                    from: Role::Joining,
+                    to: Role::Backup,
+                });
+            }
             if let Some(&record) = self.pending_recovery.get(&host) {
                 // The primary accepted the recovering replica back; the
                 // recovery itself completes when the state transfer lands.
                 self.metrics.record_fault_detected(record, now);
+                ctx.emit(EventKind::FaultDetected {
+                    record: record as u64,
+                });
             }
             if let Some(record) = self.pending_partition.remove(&host) {
                 self.metrics.record_fault_recovered(record, now);
+                ctx.emit(EventKind::FaultRecovered {
+                    record: record as u64,
+                });
             }
             if let Some(record) = self.pending_backup_crash.remove(&host) {
                 self.metrics.record_fault_recovered(record, now);
+                ctx.emit(EventKind::FaultRecovered {
+                    record: record as u64,
+                });
             }
             // Re-sync registrations the joining host missed while it was
             // crashed or partitioned away (object *state* arrives via the
@@ -513,16 +642,31 @@ impl ClusterWorld {
     /// Kills the primary host (crash fault). The backups' failure
     /// detectors notice via missed heartbeats (§4.4).
     fn inject_primary_crash(&mut self, ctx: &mut Context<'_, Event>) {
-        if self.primary.is_none() {
+        let Some(node) = self.primary.as_ref().map(Primary::node) else {
             return;
-        }
+        };
         ctx.trace("primary crashed");
         let record = self
             .metrics
             .record_fault_injected(InjectedFault::PrimaryCrash, ctx.now());
+        self.note_injected(ctx, InjectedFault::PrimaryCrash, record);
+        ctx.emit(EventKind::RoleTransition {
+            node,
+            from: Role::Primary,
+            to: Role::Down,
+        });
         self.pending_primary_crash = Some(record);
         self.primary = None;
         self.cpu.clear();
+    }
+
+    /// Counts and emits one injected fault.
+    fn note_injected(&self, ctx: &mut Context<'_, Event>, fault: InjectedFault, record: usize) {
+        self.instruments.faults_injected.inc();
+        ctx.emit(EventKind::FaultInjected {
+            fault: fault_name(fault).to_string(),
+            record: record as u64,
+        });
     }
 
     /// Kills one backup host (crash fault). The primary's failure
@@ -535,10 +679,17 @@ impl ClusterWorld {
             return;
         }
         ctx.trace(format!("backup {} crashed", h.node));
+        let node = h.node;
         h.backup = None;
         let record = self
             .metrics
             .record_fault_injected(InjectedFault::BackupCrash, ctx.now());
+        self.note_injected(ctx, InjectedFault::BackupCrash, record);
+        ctx.emit(EventKind::RoleTransition {
+            node,
+            from: Role::Backup,
+            to: Role::Down,
+        });
         self.pending_backup_crash.insert(host, record);
     }
 
@@ -571,6 +722,12 @@ impl ClusterWorld {
         let record = self
             .metrics
             .record_fault_injected(InjectedFault::BackupRecovery, now);
+        self.note_injected(ctx, InjectedFault::BackupRecovery, record);
+        ctx.emit(EventKind::RoleTransition {
+            node: self.hosts[host].node,
+            from: Role::Down,
+            to: Role::Joining,
+        });
         self.pending_recovery.insert(host, record);
         self.transmit_to_primary(ctx, host, &join);
     }
@@ -617,6 +774,7 @@ impl ClusterWorld {
                 let record = self
                     .metrics
                     .record_fault_injected(InjectedFault::Partition, now);
+                self.note_injected(ctx, InjectedFault::Partition, record);
                 self.pending_partition.insert(host, record);
                 ctx.schedule_at(
                     until,
@@ -642,6 +800,7 @@ impl ClusterWorld {
                 let record = self
                     .metrics
                     .record_fault_injected(InjectedFault::LossBurst, now);
+                self.note_injected(ctx, InjectedFault::LossBurst, record);
                 self.push_data_window(host, window);
                 ctx.trace(format!("loss burst ({loss}) until {until}"));
                 self.window_faults.push((record, host, until));
@@ -661,6 +820,7 @@ impl ClusterWorld {
                 let record = self
                     .metrics
                     .record_fault_injected(InjectedFault::DelaySpike, now);
+                self.note_injected(ctx, InjectedFault::DelaySpike, record);
                 self.push_data_window(host, window);
                 ctx.trace(format!("delay spike (+{extra}) until {until}"));
                 self.window_faults.push((record, host, until));
@@ -681,8 +841,16 @@ impl ClusterWorld {
                     return;
                 };
                 if let Some(version) = primary.apply_client_write(object, payload, now) {
-                    self.metrics.record_response(now.saturating_since(arrival));
+                    let response = now.saturating_since(arrival);
+                    self.metrics.record_response(response);
                     self.metrics.on_primary_write(object, version, now);
+                    self.instruments.client_writes.inc();
+                    self.instruments.response_time.record(response);
+                    ctx.emit(EventKind::ClientWrite {
+                        object,
+                        version,
+                        response,
+                    });
                     // Coupled-replication ablation: transmit on every
                     // write (the design the paper's decoupling avoids).
                     if self.config.protocol.eager_send {
@@ -746,6 +914,7 @@ impl World for ClusterWorld {
                         .and_then(Primary::shed_lowest_criticality);
                     if let Some(shed) = shed {
                         ctx.trace(format!("overload: shedding {shed}"));
+                        ctx.emit(EventKind::ObjectShed { object: shed });
                         self.last_shed_at = Some(ctx.now());
                         self.specs.remove(&shed);
                         for h in &mut self.hosts {
@@ -831,8 +1000,13 @@ impl World for ClusterWorld {
                 let Some(primary) = self.primary.as_mut() else {
                     return;
                 };
+                let primary_node = primary.node();
                 let round = primary.tick_heartbeat(ctx.now());
                 for (dest, ping) in round.pings {
+                    ctx.emit(EventKind::HeartbeatSent {
+                        from: primary_node,
+                        to: dest,
+                    });
                     // Route each probe to its peer only.
                     let exempt = self.config.control_loss_exempt;
                     let Ok(wire) = self.p2b_tx.send(Message::from_payload(ping.encode())) else {
@@ -862,13 +1036,23 @@ impl World for ClusterWorld {
                 }
                 for dead in round.died {
                     ctx.trace(format!("primary declared {dead} dead"));
+                    ctx.emit(EventKind::HeartbeatMissed {
+                        from: primary_node,
+                        peer: dead,
+                    });
                     if let Some(i) = self.hosts.iter().position(|h| h.node == dead) {
                         let now = ctx.now();
                         if let Some(&record) = self.pending_backup_crash.get(&i) {
                             self.metrics.record_fault_detected(record, now);
+                            ctx.emit(EventKind::FaultDetected {
+                                record: record as u64,
+                            });
                         }
                         if let Some(&record) = self.pending_partition.get(&i) {
                             self.metrics.record_fault_detected(record, now);
+                            ctx.emit(EventKind::FaultDetected {
+                                record: record as u64,
+                            });
                         }
                     }
                     if self.primary.as_ref().is_some_and(|p| !p.is_backup_alive()) {
@@ -883,23 +1067,38 @@ impl World for ClusterWorld {
                     self.config.protocol.heartbeat_period / 2,
                     Event::BackupHeartbeat,
                 );
+                let primary_node = self.names.resolve();
                 for i in 0..self.hosts.len() {
                     let Some(backup) = self.hosts[i].backup.as_mut() else {
                         continue;
                     };
                     let (ping, primary_died) = backup.tick_heartbeat(ctx.now());
                     if let Some(ping) = ping {
+                        ctx.emit(EventKind::HeartbeatSent {
+                            from: self.hosts[i].node,
+                            to: primary_node,
+                        });
                         self.transmit_to_primary(ctx, i, &ping);
                     }
                     if primary_died {
                         let now = ctx.now();
                         ctx.trace(format!("{} declared primary dead", self.hosts[i].node));
+                        ctx.emit(EventKind::HeartbeatMissed {
+                            from: self.hosts[i].node,
+                            peer: primary_node,
+                        });
                         self.metrics.record_failover_started(now);
                         if let Some(record) = self.pending_primary_crash {
                             self.metrics.record_fault_detected(record, now);
+                            ctx.emit(EventKind::FaultDetected {
+                                record: record as u64,
+                            });
                         }
                         if let Some(&record) = self.pending_partition.get(&i) {
                             self.metrics.record_fault_detected(record, now);
+                            ctx.emit(EventKind::FaultDetected {
+                                record: record as u64,
+                            });
                         }
                         if self.config.auto_failover {
                             if self.primary.is_none() {
@@ -982,11 +1181,17 @@ impl World for ClusterWorld {
                     if !detected {
                         self.pending_partition.remove(&i);
                         self.metrics.record_fault_recovered(record, now);
+                        ctx.emit(EventKind::FaultRecovered {
+                            record: record as u64,
+                        });
                     }
                 } else {
                     // Loss bursts and delay spikes end when their window
                     // closes.
                     self.metrics.record_fault_recovered(record, now);
+                    ctx.emit(EventKind::FaultRecovered {
+                        record: record as u64,
+                    });
                 }
             }
             Event::RecruitBackup => {
@@ -996,6 +1201,11 @@ impl World for ClusterWorld {
                 let node = NodeId::new(self.next_node);
                 self.next_node += 1;
                 ctx.trace(format!("recruiting {node} as new backup"));
+                ctx.emit(EventKind::RoleTransition {
+                    node,
+                    from: Role::Down,
+                    to: Role::Joining,
+                });
                 let index = self.hosts.len();
                 let mut host = BackupHost::new(node, index, &self.config);
                 // Registry sync rides the (reliable) control channel; the
@@ -1092,6 +1302,7 @@ impl SimCluster {
             .collect();
         let next_node = 1 + config.num_backups as u16;
         let plan = config.fault_plan.events();
+        let instruments = Instruments::from_registry(&config.registry);
         let world = ClusterWorld {
             primary: Some(primary),
             hosts,
@@ -1101,6 +1312,7 @@ impl SimCluster {
             b2p_rx: ProtocolGraph::builder().layer(UdpLike::new()).build(),
             cpu: CpuQueue::new(),
             metrics: ClusterMetrics::new(),
+            instruments,
             names: NameService::new(primary_node),
             specs: BTreeMap::new(),
             epoch: 0,
@@ -1118,8 +1330,11 @@ impl SimCluster {
         };
         let trace_capacity = world.config.trace_capacity;
         let seed = world.config.seed;
+        let observer = world.config.bus.writer();
         let schedule: Vec<Time> = world.plan.iter().map(|&(at, _)| at).collect();
-        let mut sim = Simulation::new(world, seed).with_trace(trace_capacity);
+        let mut sim = Simulation::new(world, seed)
+            .with_trace(trace_capacity)
+            .with_observer(observer);
         sim.schedule_at(Time::ZERO, Event::PrimaryHeartbeat);
         sim.schedule_at(Time::ZERO, Event::BackupHeartbeat);
         for (index, at) in schedule.into_iter().enumerate() {
@@ -1150,13 +1365,35 @@ impl SimCluster {
         partners: &[(ObjectId, TimeDelta)],
     ) -> Result<ObjectId, AdmissionError> {
         let now = self.sim.now();
-        let (id, write_phase) = {
+        let admitted = {
             let world = self.sim.world_mut();
-            let primary = world
-                .primary
-                .as_mut()
-                .ok_or(AdmissionError::ServiceUnavailable)?;
-            let id = primary.register(spec.clone(), partners, now)?;
+            match world.primary.as_mut() {
+                None => Err(AdmissionError::ServiceUnavailable),
+                Some(primary) => primary.register(spec.clone(), partners, now),
+            }
+        };
+        let id = match admitted {
+            Ok(id) => {
+                self.sim.emit(EventKind::AdmissionDecision {
+                    object: id,
+                    admitted: true,
+                    reason: String::new(),
+                });
+                id
+            }
+            Err(e) => {
+                // Rejected objects never receive an id; the sentinel
+                // marks the decision as id-less in the trace.
+                self.sim.emit(EventKind::AdmissionDecision {
+                    object: ObjectId::new(u32::MAX),
+                    admitted: false,
+                    reason: e.to_string(),
+                });
+                return Err(e);
+            }
+        };
+        let write_phase = {
+            let world = self.sim.world_mut();
             world.specs.insert(id, spec.clone());
             world.metrics.track_object(
                 id,
@@ -1181,8 +1418,7 @@ impl SimCluster {
             // Deterministic phase stagger spreads client writes so they
             // do not all hit the CPU in one burst.
             let stagger = TimeDelta::from_micros(997 * (u64::from(id.index()) + 1));
-            let phase = stagger % spec.update_period();
-            (id, phase)
+            stagger % spec.update_period()
         };
         self.sim
             .schedule_in(write_phase, Event::ClientWrite { object: id });
@@ -1352,6 +1588,27 @@ impl SimCluster {
     #[must_use]
     pub fn cpu_backlog(&self) -> usize {
         self.sim.world().cpu.backlog()
+    }
+
+    /// The structured-event bus this cluster emits onto (disabled unless
+    /// [`ClusterConfig::bus`] was set).
+    #[must_use]
+    pub fn bus(&self) -> &EventBus {
+        &self.sim.world().config.bus
+    }
+
+    /// The metrics registry (disabled unless [`ClusterConfig::registry`]
+    /// was set).
+    #[must_use]
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.sim.world().config.registry
+    }
+
+    /// Exports the structured event stream as JSONL, events sorted by
+    /// `(virtual time, sequence)`. Empty on a disabled bus.
+    #[must_use]
+    pub fn export_jsonl(&self) -> String {
+        self.sim.world().config.bus.export_jsonl()
     }
 }
 
@@ -1642,6 +1899,74 @@ mod tests {
         // lowest-criticality one.
         assert!(primary.store().get(*ids.last().unwrap()).is_some());
         assert!(primary.store().get(ids[0]).is_none());
+    }
+
+    #[test]
+    fn event_bus_captures_protocol_lifecycle() {
+        let config = ClusterConfig {
+            bus: EventBus::with_capacity(65_536),
+            registry: MetricsRegistry::new(),
+            ..ClusterConfig::default()
+        };
+        let bus = config.bus.clone();
+        let registry = config.registry.clone();
+        let mut cluster = SimCluster::new(config);
+        cluster.register(spec(100, 150, 550)).unwrap();
+        cluster.run_for(TimeDelta::from_secs(2));
+        cluster.crash_primary();
+        cluster.run_for(TimeDelta::from_secs(2));
+
+        let events = bus.collect();
+        let kinds: std::collections::BTreeSet<&str> =
+            events.iter().map(|e| e.kind.name()).collect();
+        for required in [
+            "admission_decision",
+            "update_sent",
+            "update_applied",
+            "heartbeat_sent",
+            "heartbeat_missed",
+            "role_transition",
+            "fault_injected",
+            "fault_detected",
+            "fault_recovered",
+            "client_write",
+        ] {
+            assert!(kinds.contains(required), "missing {required}: {kinds:?}");
+        }
+        // The merged stream is ordered and schema-valid.
+        for pair in events.windows(2) {
+            assert!((pair[0].at, pair[0].seq) <= (pair[1].at, pair[1].seq));
+        }
+        for line in cluster.export_jsonl().lines() {
+            rtpb_obs::validate_line(line).expect("schema-valid line");
+        }
+        // Registry counters track the protocol.
+        let snap = registry.snapshot();
+        assert!(snap.counter("cluster.updates_sent").unwrap() > 0);
+        assert!(snap.counter("cluster.client_writes").unwrap() > 0);
+        assert_eq!(snap.counter("cluster.failovers"), Some(1));
+        assert!(snap.histogram("cluster.response_time").unwrap().count > 0);
+    }
+
+    #[test]
+    fn tracing_does_not_change_outcomes() {
+        let run = |bus: EventBus| {
+            let mut config = ClusterConfig {
+                bus,
+                ..ClusterConfig::default()
+            };
+            config.link.loss_probability = 0.2;
+            config.seed = 77;
+            let mut cluster = SimCluster::new(config);
+            let id = cluster.register(spec(100, 150, 550)).unwrap();
+            cluster.run_for(TimeDelta::from_secs(10));
+            let r = cluster.metrics().object_report(id).unwrap();
+            (r.writes, r.applies, r.max_distance)
+        };
+        assert_eq!(
+            run(EventBus::disabled()),
+            run(EventBus::with_capacity(65_536))
+        );
     }
 
     #[test]

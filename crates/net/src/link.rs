@@ -24,6 +24,7 @@
 //! runs replay exactly.
 
 use core::fmt;
+use rtpb_obs::{ClockDomain, EventKind, EventWriter};
 use rtpb_sim::SimRng;
 use rtpb_types::{Time, TimeDelta};
 
@@ -268,6 +269,8 @@ pub struct LossyLink {
     rng: SimRng,
     burst_bad: bool,
     windows: Vec<FaultWindow>,
+    observer: EventWriter,
+    label: String,
     sent: u64,
     lost: u64,
     duplicated: u64,
@@ -289,11 +292,23 @@ impl LossyLink {
             rng: SimRng::seed_from(seed),
             burst_bad: false,
             windows: Vec::new(),
+            observer: EventWriter::disabled(),
+            label: String::new(),
             sent: 0,
             lost: 0,
             duplicated: 0,
             reordered: 0,
         }
+    }
+
+    /// Attaches a structured-event writer; the link then reports every
+    /// drop ([`EventKind::LinkDropped`]) and delivery perturbation
+    /// ([`EventKind::LinkPerturbed`]) under `label`. Emission never
+    /// consumes randomness, so instrumented links keep the exact fate
+    /// sequence of uninstrumented ones.
+    pub fn attach_observer(&mut self, writer: EventWriter, label: impl Into<String>) {
+        self.observer = writer;
+        self.label = label.into();
     }
 
     /// Decides the fate of a message of `size_bytes` sent at `now`.
@@ -342,16 +357,22 @@ impl LossyLink {
         };
         if outage {
             self.lost += 1;
+            self.emit_drop(now, size_bytes);
             return LinkOutcome::Lost;
         }
         let effective = base_loss.max(window_loss);
         if self.rng.chance(effective) {
             self.lost += 1;
+            self.emit_drop(now, size_bytes);
             return LinkOutcome::Lost;
+        }
+        if extra_delay > TimeDelta::ZERO {
+            self.emit_perturbed(now, "delay_spike");
         }
         if self.rng.chance(self.config.reorder_probability) {
             // Hold the message back so later traffic can overtake it.
             self.reordered += 1;
+            self.emit_perturbed(now, "reorder");
             extra_delay += self
                 .rng
                 .delay_between(TimeDelta::from_nanos(1), self.config.delay_max);
@@ -359,10 +380,39 @@ impl LossyLink {
         let first = now + self.sample_delay(size_bytes) + extra_delay;
         if self.rng.chance(self.config.duplicate_probability) {
             self.duplicated += 1;
+            self.emit_perturbed(now, "duplicate");
             let second = now + self.sample_delay(size_bytes) + extra_delay;
             return LinkOutcome::Duplicated(first, second);
         }
         LinkOutcome::Delivered(first)
+    }
+
+    fn emit_drop(&self, now: Time, size_bytes: usize) {
+        if !self.observer.is_enabled() {
+            return;
+        }
+        self.observer.emit(
+            ClockDomain::Virtual,
+            now,
+            EventKind::LinkDropped {
+                bytes: size_bytes as u64,
+                link: self.label.clone(),
+            },
+        );
+    }
+
+    fn emit_perturbed(&self, now: Time, effect: &'static str) {
+        if !self.observer.is_enabled() {
+            return;
+        }
+        self.observer.emit(
+            ClockDomain::Virtual,
+            now,
+            EventKind::LinkPerturbed {
+                effect,
+                link: self.label.clone(),
+            },
+        );
     }
 
     fn sample_delay(&mut self, size_bytes: usize) -> TimeDelta {
@@ -706,6 +756,47 @@ mod tests {
         assert!(spiked >= Time::from_millis(101));
         let normal = link.transmit(Time::from_secs(2), 8).arrival().unwrap();
         assert!(normal <= Time::from_secs(2) + TimeDelta::from_millis(10));
+    }
+
+    #[test]
+    fn observer_sees_drops_and_perturbations_without_changing_fates() {
+        use rtpb_obs::EventBus;
+
+        let config = LinkConfig {
+            loss_probability: 0.3,
+            duplicate_probability: 0.2,
+            reorder_probability: 0.2,
+            ..LinkConfig::default()
+        };
+        let run = |observe: bool| {
+            let bus = EventBus::with_capacity(4096);
+            let mut link = LossyLink::new(config, 41);
+            if observe {
+                link.attach_observer(bus.writer(), "p->b1");
+            }
+            let fates: Vec<_> = (0..500)
+                .map(|k| link.transmit(Time::from_millis(k), 8))
+                .collect();
+            (fates, bus.collect())
+        };
+        let (plain, none) = run(false);
+        let (observed, events) = run(true);
+        // Instrumentation must not consume randomness.
+        assert_eq!(plain, observed);
+        assert!(none.is_empty());
+        let drops = events
+            .iter()
+            .filter(|e| matches!(e.kind, rtpb_obs::EventKind::LinkDropped { .. }))
+            .count();
+        let perturbs = events
+            .iter()
+            .filter(|e| matches!(e.kind, rtpb_obs::EventKind::LinkPerturbed { .. }))
+            .count();
+        assert_eq!(
+            drops as u64,
+            observed.iter().filter(|o| o.is_lost()).count() as u64
+        );
+        assert!(perturbs > 0);
     }
 
     #[test]

@@ -1,0 +1,557 @@
+//! The typed event taxonomy of the hot protocol paths.
+//!
+//! Every observable protocol action is one [`EventKind`] variant; the bus
+//! stamps it into an [`ObsEvent`] with a sequence number and a timestamp
+//! in either the **virtual** clock domain (simulation) or the **real**
+//! one (the thread runtime). Keeping the taxonomy closed (an enum, not
+//! free-form strings) is what makes the JSONL export schema-checkable
+//! and the determinism test byte-exact.
+
+use crate::json::{JsonObject, JsonValue};
+use rtpb_types::{NodeId, ObjectId, TaskId, Time, TimeDelta, Version};
+use std::collections::BTreeMap;
+
+/// Which clock stamped an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClockDomain {
+    /// Virtual time from the discrete-event simulator (deterministic).
+    Virtual,
+    /// Real time from the thread runtime's monotonic clock.
+    Real,
+}
+
+impl ClockDomain {
+    /// The schema name of the domain.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            ClockDomain::Virtual => "virtual",
+            ClockDomain::Real => "real",
+        }
+    }
+}
+
+/// A failover/role state, for [`EventKind::RoleTransition`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Serving as the primary.
+    Primary,
+    /// Tracking the primary as a backup.
+    Backup,
+    /// Crashed / not serving.
+    Down,
+    /// Re-integrating via join + state transfer.
+    Joining,
+}
+
+impl Role {
+    /// The schema name of the role.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Role::Primary => "primary",
+            Role::Backup => "backup",
+            Role::Down => "down",
+            Role::Joining => "joining",
+        }
+    }
+}
+
+/// One structured protocol event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// The primary transmitted an update toward a backup.
+    UpdateSent {
+        /// Updated object.
+        object: ObjectId,
+        /// Version carried by the update.
+        version: Version,
+        /// Destination backup.
+        to: NodeId,
+        /// Whether the link dropped it (known in simulation only).
+        lost: bool,
+    },
+    /// A backup applied an update to its store.
+    UpdateApplied {
+        /// Updated object.
+        object: ObjectId,
+        /// Version installed.
+        version: Version,
+        /// The applying backup.
+        node: NodeId,
+    },
+    /// A backup's watchdog requested a retransmission for a stale object.
+    RetransmitRequested {
+        /// The stale object.
+        object: ObjectId,
+        /// The requesting backup.
+        node: NodeId,
+    },
+    /// A heartbeat probe was sent.
+    HeartbeatSent {
+        /// Probe origin.
+        from: NodeId,
+        /// Probe destination.
+        to: NodeId,
+    },
+    /// A failure detector expired: `from` declared `peer` dead.
+    HeartbeatMissed {
+        /// The node whose detector fired.
+        from: NodeId,
+        /// The peer declared dead.
+        peer: NodeId,
+    },
+    /// A node changed role (promotion, crash, re-join).
+    RoleTransition {
+        /// The node transitioning.
+        node: NodeId,
+        /// Role before.
+        from: Role,
+        /// Role after.
+        to: Role,
+    },
+    /// Admission control decided on a registration request.
+    AdmissionDecision {
+        /// The object id (the would-be id on rejection).
+        object: ObjectId,
+        /// Whether the object was admitted.
+        admitted: bool,
+        /// Machine-readable reason (empty when admitted).
+        reason: String,
+    },
+    /// A client write completed at the serving primary.
+    ClientWrite {
+        /// Written object.
+        object: ObjectId,
+        /// Version produced.
+        version: Version,
+        /// Write-arrival to completion latency.
+        response: TimeDelta,
+    },
+    /// A scheduler invocation completed (update-transmission task).
+    SchedulerInvocation {
+        /// The periodic task.
+        task: TaskId,
+        /// Zero-based invocation index.
+        index: u64,
+        /// Release-to-finish response time.
+        response: TimeDelta,
+        /// Whether it met its deadline.
+        met_deadline: bool,
+    },
+    /// A fault-plan fault was injected.
+    FaultInjected {
+        /// Fault kind name (e.g. `"primary_crash"`).
+        fault: String,
+        /// Index into the fault report.
+        record: u64,
+    },
+    /// The protocol first reacted to an injected fault.
+    FaultDetected {
+        /// Index into the fault report.
+        record: u64,
+    },
+    /// An injected fault healed (cluster whole again).
+    FaultRecovered {
+        /// Index into the fault report.
+        record: u64,
+    },
+    /// The link dropped a message (loss, burst, outage window).
+    LinkDropped {
+        /// Wire size of the dropped message.
+        bytes: u64,
+        /// Link label (e.g. `"p2b[0]"`).
+        link: String,
+    },
+    /// The link duplicated or reordered a delivery.
+    LinkPerturbed {
+        /// `"duplicate"` or `"reorder"`.
+        effect: &'static str,
+        /// Link label.
+        link: String,
+    },
+    /// An object was shed under overload (graceful degradation).
+    ObjectShed {
+        /// The shed object.
+        object: ObjectId,
+    },
+}
+
+impl EventKind {
+    /// The schema name of the event kind (the JSONL `kind` field).
+    #[must_use]
+    pub const fn name(&self) -> &'static str {
+        match self {
+            EventKind::UpdateSent { .. } => "update_sent",
+            EventKind::UpdateApplied { .. } => "update_applied",
+            EventKind::RetransmitRequested { .. } => "retransmit_requested",
+            EventKind::HeartbeatSent { .. } => "heartbeat_sent",
+            EventKind::HeartbeatMissed { .. } => "heartbeat_missed",
+            EventKind::RoleTransition { .. } => "role_transition",
+            EventKind::AdmissionDecision { .. } => "admission_decision",
+            EventKind::ClientWrite { .. } => "client_write",
+            EventKind::SchedulerInvocation { .. } => "scheduler_invocation",
+            EventKind::FaultInjected { .. } => "fault_injected",
+            EventKind::FaultDetected { .. } => "fault_detected",
+            EventKind::FaultRecovered { .. } => "fault_recovered",
+            EventKind::LinkDropped { .. } => "link_dropped",
+            EventKind::LinkPerturbed { .. } => "link_perturbed",
+            EventKind::ObjectShed { .. } => "object_shed",
+        }
+    }
+}
+
+/// One stamped event as stored in the ring buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsEvent {
+    /// Bus-wide sequence number (total order across writers).
+    pub seq: u64,
+    /// Timestamp in `clock`'s domain, nanoseconds since its epoch.
+    pub at: Time,
+    /// Which clock produced `at`.
+    pub clock: ClockDomain,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl ObsEvent {
+    /// Renders the event as one JSONL line (no trailing newline).
+    ///
+    /// Schema: every line carries `seq`, `t_ns`, `clock`, and `kind`;
+    /// kind-specific payload fields follow in a fixed order.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut o = JsonObject::new();
+        o.uint_field("seq", self.seq)
+            .uint_field("t_ns", self.at.as_nanos())
+            .str_field("clock", self.clock.name())
+            .str_field("kind", self.kind.name());
+        match &self.kind {
+            EventKind::UpdateSent {
+                object,
+                version,
+                to,
+                lost,
+            } => {
+                o.uint_field("object", u64::from(object.index()))
+                    .uint_field("version", version.value())
+                    .uint_field("to", u64::from(to.index()))
+                    .bool_field("lost", *lost);
+            }
+            EventKind::UpdateApplied {
+                object,
+                version,
+                node,
+            } => {
+                o.uint_field("object", u64::from(object.index()))
+                    .uint_field("version", version.value())
+                    .uint_field("node", u64::from(node.index()));
+            }
+            EventKind::RetransmitRequested { object, node } => {
+                o.uint_field("object", u64::from(object.index()))
+                    .uint_field("node", u64::from(node.index()));
+            }
+            EventKind::HeartbeatSent { from, to } => {
+                o.uint_field("from", u64::from(from.index()))
+                    .uint_field("to", u64::from(to.index()));
+            }
+            EventKind::HeartbeatMissed { from, peer } => {
+                o.uint_field("from", u64::from(from.index()))
+                    .uint_field("peer", u64::from(peer.index()));
+            }
+            EventKind::RoleTransition { node, from, to } => {
+                o.uint_field("node", u64::from(node.index()))
+                    .str_field("from", from.name())
+                    .str_field("to", to.name());
+            }
+            EventKind::AdmissionDecision {
+                object,
+                admitted,
+                reason,
+            } => {
+                o.uint_field("object", u64::from(object.index()))
+                    .bool_field("admitted", *admitted)
+                    .str_field("reason", reason);
+            }
+            EventKind::ClientWrite {
+                object,
+                version,
+                response,
+            } => {
+                o.uint_field("object", u64::from(object.index()))
+                    .uint_field("version", version.value())
+                    .uint_field("response_ns", response.as_nanos());
+            }
+            EventKind::SchedulerInvocation {
+                task,
+                index,
+                response,
+                met_deadline,
+            } => {
+                o.uint_field("task", u64::from(task.index()))
+                    .uint_field("index", *index)
+                    .uint_field("response_ns", response.as_nanos())
+                    .bool_field("met_deadline", *met_deadline);
+            }
+            EventKind::FaultInjected { fault, record } => {
+                o.str_field("fault", fault).uint_field("record", *record);
+            }
+            EventKind::FaultDetected { record } | EventKind::FaultRecovered { record } => {
+                o.uint_field("record", *record);
+            }
+            EventKind::LinkDropped { bytes, link } => {
+                o.uint_field("bytes", *bytes).str_field("link", link);
+            }
+            EventKind::LinkPerturbed { effect, link } => {
+                o.str_field("effect", effect).str_field("link", link);
+            }
+            EventKind::ObjectShed { object } => {
+                o.uint_field("object", u64::from(object.index()));
+            }
+        }
+        o.finish()
+    }
+}
+
+/// Why a JSONL trace line failed schema validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    /// The line is not a flat JSON object.
+    Malformed(String),
+    /// A required field is missing or has the wrong type.
+    MissingField(&'static str),
+    /// The `kind` field names no known event.
+    UnknownKind(String),
+    /// The `clock` field names no known domain.
+    UnknownClock(String),
+}
+
+impl std::fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchemaError::Malformed(e) => write!(f, "malformed line: {e}"),
+            SchemaError::MissingField(k) => write!(f, "missing or mistyped field {k:?}"),
+            SchemaError::UnknownKind(k) => write!(f, "unknown event kind {k:?}"),
+            SchemaError::UnknownClock(c) => write!(f, "unknown clock domain {c:?}"),
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+fn require_u64(map: &BTreeMap<String, JsonValue>, key: &'static str) -> Result<u64, SchemaError> {
+    map.get(key)
+        .and_then(JsonValue::as_u64)
+        .ok_or(SchemaError::MissingField(key))
+}
+
+fn require_str<'m>(
+    map: &'m BTreeMap<String, JsonValue>,
+    key: &'static str,
+) -> Result<&'m str, SchemaError> {
+    map.get(key)
+        .and_then(JsonValue::as_str)
+        .ok_or(SchemaError::MissingField(key))
+}
+
+fn require_bool(map: &BTreeMap<String, JsonValue>, key: &'static str) -> Result<(), SchemaError> {
+    map.get(key)
+        .and_then(JsonValue::as_bool)
+        .map(|_| ())
+        .ok_or(SchemaError::MissingField(key))
+}
+
+/// Validates one JSONL trace line against the event schema, returning the
+/// `(seq, t_ns, kind)` triple on success.
+///
+/// # Errors
+///
+/// Returns a [`SchemaError`] describing the first violation.
+pub fn validate_line(line: &str) -> Result<(u64, u64, String), SchemaError> {
+    let map = crate::json::parse_flat(line).map_err(|e| SchemaError::Malformed(e.to_string()))?;
+    let seq = require_u64(&map, "seq")?;
+    let t_ns = require_u64(&map, "t_ns")?;
+    let clock = require_str(&map, "clock")?;
+    if clock != "virtual" && clock != "real" {
+        return Err(SchemaError::UnknownClock(clock.to_string()));
+    }
+    let kind = require_str(&map, "kind")?.to_string();
+    match kind.as_str() {
+        "update_sent" => {
+            require_u64(&map, "object")?;
+            require_u64(&map, "version")?;
+            require_u64(&map, "to")?;
+            require_bool(&map, "lost")?;
+        }
+        "update_applied" => {
+            require_u64(&map, "object")?;
+            require_u64(&map, "version")?;
+            require_u64(&map, "node")?;
+        }
+        "retransmit_requested" => {
+            require_u64(&map, "object")?;
+            require_u64(&map, "node")?;
+        }
+        "heartbeat_sent" => {
+            require_u64(&map, "from")?;
+            require_u64(&map, "to")?;
+        }
+        "heartbeat_missed" => {
+            require_u64(&map, "from")?;
+            require_u64(&map, "peer")?;
+        }
+        "role_transition" => {
+            require_u64(&map, "node")?;
+            require_str(&map, "from")?;
+            require_str(&map, "to")?;
+        }
+        "admission_decision" => {
+            require_u64(&map, "object")?;
+            require_bool(&map, "admitted")?;
+            require_str(&map, "reason")?;
+        }
+        "client_write" => {
+            require_u64(&map, "object")?;
+            require_u64(&map, "version")?;
+            require_u64(&map, "response_ns")?;
+        }
+        "scheduler_invocation" => {
+            require_u64(&map, "task")?;
+            require_u64(&map, "index")?;
+            require_u64(&map, "response_ns")?;
+            require_bool(&map, "met_deadline")?;
+        }
+        "fault_injected" => {
+            require_str(&map, "fault")?;
+            require_u64(&map, "record")?;
+        }
+        "fault_detected" | "fault_recovered" => {
+            require_u64(&map, "record")?;
+        }
+        "link_dropped" => {
+            require_u64(&map, "bytes")?;
+            require_str(&map, "link")?;
+        }
+        "link_perturbed" => {
+            require_str(&map, "effect")?;
+            require_str(&map, "link")?;
+        }
+        "object_shed" => {
+            require_u64(&map, "object")?;
+        }
+        other => return Err(SchemaError::UnknownKind(other.to_string())),
+    }
+    Ok((seq, t_ns, kind))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: EventKind) -> ObsEvent {
+        ObsEvent {
+            seq: 1,
+            at: Time::from_millis(5),
+            clock: ClockDomain::Virtual,
+            kind,
+        }
+    }
+
+    #[test]
+    fn every_kind_serializes_schema_valid() {
+        let kinds = vec![
+            EventKind::UpdateSent {
+                object: ObjectId::new(1),
+                version: Version::new(3),
+                to: NodeId::new(1),
+                lost: false,
+            },
+            EventKind::UpdateApplied {
+                object: ObjectId::new(1),
+                version: Version::new(3),
+                node: NodeId::new(1),
+            },
+            EventKind::RetransmitRequested {
+                object: ObjectId::new(1),
+                node: NodeId::new(1),
+            },
+            EventKind::HeartbeatSent {
+                from: NodeId::new(0),
+                to: NodeId::new(1),
+            },
+            EventKind::HeartbeatMissed {
+                from: NodeId::new(1),
+                peer: NodeId::new(0),
+            },
+            EventKind::RoleTransition {
+                node: NodeId::new(1),
+                from: Role::Backup,
+                to: Role::Primary,
+            },
+            EventKind::AdmissionDecision {
+                object: ObjectId::new(2),
+                admitted: false,
+                reason: "utilization".into(),
+            },
+            EventKind::ClientWrite {
+                object: ObjectId::new(1),
+                version: Version::new(4),
+                response: TimeDelta::from_micros(12),
+            },
+            EventKind::SchedulerInvocation {
+                task: TaskId::new(0),
+                index: 9,
+                response: TimeDelta::from_millis(1),
+                met_deadline: true,
+            },
+            EventKind::FaultInjected {
+                fault: "loss_burst".into(),
+                record: 0,
+            },
+            EventKind::FaultDetected { record: 0 },
+            EventKind::FaultRecovered { record: 0 },
+            EventKind::LinkDropped {
+                bytes: 96,
+                link: "p2b[0]".into(),
+            },
+            EventKind::LinkPerturbed {
+                effect: "duplicate",
+                link: "p2b[0]".into(),
+            },
+            EventKind::ObjectShed {
+                object: ObjectId::new(7),
+            },
+        ];
+        for kind in kinds {
+            let name = kind.name();
+            let line = ev(kind).to_jsonl();
+            let (seq, t_ns, parsed) =
+                validate_line(&line).unwrap_or_else(|e| panic!("{name}: {e}\n{line}"));
+            assert_eq!(seq, 1);
+            assert_eq!(t_ns, 5_000_000);
+            assert_eq!(parsed, name);
+        }
+    }
+
+    #[test]
+    fn validator_rejects_missing_fields_and_unknown_kinds() {
+        assert!(matches!(
+            validate_line(r#"{"seq":1,"t_ns":0,"clock":"virtual","kind":"update_sent"}"#),
+            Err(SchemaError::MissingField("object"))
+        ));
+        assert!(matches!(
+            validate_line(r#"{"seq":1,"t_ns":0,"clock":"virtual","kind":"nope"}"#),
+            Err(SchemaError::UnknownKind(_))
+        ));
+        assert!(matches!(
+            validate_line(
+                r#"{"seq":1,"t_ns":0,"clock":"lunar","kind":"fault_detected","record":0}"#
+            ),
+            Err(SchemaError::UnknownClock(_))
+        ));
+        assert!(matches!(
+            validate_line("not json"),
+            Err(SchemaError::Malformed(_))
+        ));
+    }
+}

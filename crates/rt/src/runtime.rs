@@ -8,6 +8,7 @@ use rtpb_core::metrics::ClusterMetrics;
 use rtpb_core::primary::Primary;
 use rtpb_core::wire::WireMessage;
 use rtpb_net::LinkConfig;
+use rtpb_obs::{ClockDomain, EventBus, EventKind, EventWriter, Role};
 use rtpb_types::{AdmissionError, NodeId, ObjectId, ObjectSpec, Time, TimeDelta};
 use std::collections::BinaryHeap;
 use std::error::Error;
@@ -38,6 +39,10 @@ pub struct RtConfig {
     /// this long into the run and re-integrates through the bounded-retry
     /// join / state-transfer path.
     pub recover_backup_after: Option<Duration>,
+    /// Structured-event bus; each runtime thread takes its own writer
+    /// (rings never contend) and stamps events with the monotonic
+    /// real clock ([`ClockDomain::Real`]).
+    pub bus: EventBus,
 }
 
 impl Default for RtConfig {
@@ -54,6 +59,7 @@ impl Default for RtConfig {
             crash_primary_after: None,
             crash_backup_after: None,
             recover_backup_after: None,
+            bus: EventBus::disabled(),
         }
     }
 }
@@ -240,10 +246,19 @@ impl RtCluster {
             let client_rx = client_rx.clone();
             let p2b = p2b.clone();
             let crash_after = config.crash_primary_after;
+            let obs = config.bus.writer();
             std::thread::Builder::new()
                 .name("rtpb-primary".into())
                 .spawn(move || {
-                    primary_loop(&shared, primary, &client_rx, &primary_in, &p2b, crash_after);
+                    primary_loop(
+                        &shared,
+                        primary,
+                        &client_rx,
+                        &primary_in,
+                        &p2b,
+                        crash_after,
+                        &obs,
+                    );
                 })
                 .expect("spawn primary")
         };
@@ -258,11 +273,13 @@ impl RtCluster {
                 crash_after: config.crash_backup_after,
                 recover_after: config.recover_backup_after,
             };
+            let obs = config.bus.writer();
             std::thread::Builder::new()
                 .name("rtpb-backup".into())
                 .spawn(move || {
                     backup_loop(
                         &shared, backup, &client_rx, &backup_in, &b2p, &protocol, &registry, crash,
+                        &obs,
                     );
                 })
                 .expect("spawn backup")
@@ -374,7 +391,9 @@ fn primary_loop(
     network: &Receiver<Vec<u8>>,
     link: &Links,
     crash_after: Option<Duration>,
+    obs: &EventWriter,
 ) {
+    let emit = |kind: EventKind| obs.emit(ClockDomain::Real, shared.now(), kind);
     let start = Instant::now();
     let mut timers: BinaryHeap<Deadline> = BinaryHeap::new();
     for (id, _, period) in primary.registry() {
@@ -400,6 +419,19 @@ fn primary_loop(
                 Some(id) => {
                     if let Some(update) = primary.make_update(id) {
                         shared.metrics.lock().unwrap().record_update_sent(false);
+                        if let WireMessage::Update {
+                            object, version, ..
+                        } = &update
+                        {
+                            // Loss is decided downstream in the link
+                            // thread; the sender always reports `false`.
+                            emit(EventKind::UpdateSent {
+                                object: *object,
+                                version: *version,
+                                to: NodeId::new(1),
+                                lost: false,
+                            });
+                        }
                         send_wire(link, &update);
                     }
                     if let Some(period) = primary.send_period(id) {
@@ -411,7 +443,11 @@ fn primary_loop(
                 }
                 None => {
                     let round = primary.tick_heartbeat(shared.now());
-                    for (_dest, ping) in round.pings {
+                    for (dest, ping) in round.pings {
+                        emit(EventKind::HeartbeatSent {
+                            from: primary.node(),
+                            to: dest,
+                        });
                         send_wire(link, &ping);
                     }
                     timers.push(Deadline {
@@ -437,16 +473,27 @@ fn primary_loop(
                 progressed = true;
                 let now = shared.now();
                 if let Some(version) = primary.apply_client_write(id, payload, now) {
+                    let response = TimeDelta::from(sent_at.elapsed());
                     let mut m = shared.metrics.lock().unwrap();
-                    m.record_response(TimeDelta::from(sent_at.elapsed()));
+                    m.record_response(response);
                     m.on_primary_write(id, version, now);
+                    drop(m);
+                    emit(EventKind::ClientWrite {
+                        object: id,
+                        version,
+                        response,
+                    });
                 }
             }
             while let Ok(bytes) = network.try_recv() {
                 progressed = true;
                 if let Ok(msg) = WireMessage::decode(&bytes) {
-                    if matches!(msg, WireMessage::RetransmitRequest { .. }) {
+                    if let WireMessage::RetransmitRequest { object, .. } = &msg {
                         shared.metrics.lock().unwrap().record_retransmit_request();
+                        emit(EventKind::RetransmitRequested {
+                            object: *object,
+                            node: NodeId::new(1),
+                        });
                     }
                     let out = primary.handle_message(&msg, shared.now());
                     for reply in &out.replies {
@@ -486,7 +533,9 @@ fn backup_loop(
     protocol: &ProtocolConfig,
     registry: &[(ObjectId, ObjectSpec, TimeDelta)],
     crash: BackupCrashSchedule,
+    obs: &EventWriter,
 ) {
+    let emit = |kind: EventKind| obs.emit(ClockDomain::Real, shared.now(), kind);
     let start = Instant::now();
     let node = backup.node();
     let mut timers: BinaryHeap<Deadline> = BinaryHeap::new();
@@ -513,6 +562,11 @@ fn backup_loop(
         if crash_pending.is_some_and(|c| start.elapsed() >= c) {
             crash_pending = None;
             down = true;
+            emit(EventKind::RoleTransition {
+                node,
+                from: Role::Backup,
+                to: Role::Down,
+            });
         }
         if down {
             let recovered = crash.recover_after.is_some_and(|r| start.elapsed() >= r);
@@ -527,6 +581,11 @@ fn backup_loop(
             // (bounded retries with exponential backoff).
             down = false;
             rejoining = true;
+            emit(EventKind::RoleTransition {
+                node,
+                from: Role::Down,
+                to: Role::Joining,
+            });
             let now = shared.now();
             backup = Backup::new(node, protocol.clone());
             for (id, spec, period) in registry {
@@ -571,10 +630,18 @@ fn backup_loop(
                 None => {
                     let (ping, primary_died) = backup.tick_heartbeat(shared.now());
                     if let Some(ping) = ping {
+                        emit(EventKind::HeartbeatSent {
+                            from: node,
+                            to: NodeId::new(0),
+                        });
                         send_wire(link, &ping);
                     }
                     if primary_died {
                         let now = shared.now();
+                        emit(EventKind::HeartbeatMissed {
+                            from: node,
+                            peer: NodeId::new(0),
+                        });
                         let mut m = shared.metrics.lock().unwrap();
                         m.record_failover_started(now);
                         m.record_failover_complete(now);
@@ -590,6 +657,11 @@ fn backup_loop(
             }
         }
         if !backup.is_primary_alive() {
+            emit(EventKind::RoleTransition {
+                node,
+                from: Role::Backup,
+                to: Role::Primary,
+            });
             promoted = Some(backup.promote(shared.now()));
             break;
         }
@@ -606,6 +678,11 @@ fn backup_loop(
                     if rejoining && matches!(msg, WireMessage::StateTransfer { .. }) {
                         rejoining = false;
                         shared.rejoins.fetch_add(1, Ordering::SeqCst);
+                        emit(EventKind::RoleTransition {
+                            node,
+                            from: Role::Joining,
+                            to: Role::Backup,
+                        });
                     }
                     let out = backup.handle_message(&msg, shared.now());
                     let mut m = shared.metrics.lock().unwrap();
@@ -613,6 +690,13 @@ fn backup_loop(
                         m.on_backup_apply(*id, *version, *ts, shared.now());
                     }
                     drop(m);
+                    for (id, version, _) in &out.applied {
+                        emit(EventKind::UpdateApplied {
+                            object: *id,
+                            version: *version,
+                            node,
+                        });
+                    }
                     for reply in &out.replies {
                         send_wire(link, reply);
                     }
@@ -723,6 +807,32 @@ mod tests {
             "recovered backup must re-integrate via state transfer"
         );
         assert!(report.updates_applied > 0);
+    }
+
+    #[test]
+    fn event_bus_captures_real_clock_run() {
+        let mut config = RtConfig::default();
+        config.objects.push(spec(20));
+        config.bus = EventBus::with_capacity(16_384);
+        let bus = config.bus.clone();
+        let report = RtCluster::run(config, Duration::from_millis(800)).unwrap();
+        assert!(report.writes > 0);
+        let events = bus.collect();
+        assert!(!events.is_empty());
+        assert!(events.iter().all(|e| e.clock == ClockDomain::Real));
+        let kinds: std::collections::BTreeSet<&str> =
+            events.iter().map(|e| e.kind.name()).collect();
+        for required in [
+            "update_sent",
+            "update_applied",
+            "heartbeat_sent",
+            "client_write",
+        ] {
+            assert!(kinds.contains(required), "missing {required}: {kinds:?}");
+        }
+        for line in bus.export_jsonl().lines() {
+            rtpb_obs::validate_line(line).expect("schema-valid line");
+        }
     }
 
     #[test]

@@ -4,6 +4,7 @@ use crate::event::EventId;
 use crate::queue::EventQueue;
 use crate::rng::SimRng;
 use crate::trace::Trace;
+use rtpb_obs::{ClockDomain, EventKind, EventWriter};
 use rtpb_types::{Time, TimeDelta};
 
 /// A simulated system: state plus an event handler.
@@ -28,6 +29,7 @@ pub struct Context<'a, E> {
     queue: &'a mut EventQueue<E>,
     rng: &'a mut SimRng,
     trace: &'a mut Trace,
+    observer: &'a EventWriter,
     stop_requested: &'a mut bool,
 }
 
@@ -69,6 +71,22 @@ impl<E> Context<'_, E> {
         self.trace.push(self.now, message);
     }
 
+    /// Emits a structured observability event at the current virtual time.
+    ///
+    /// A no-op (one branch, no allocation) when the simulation was built
+    /// without an observer, so instrumented and uninstrumented runs stay
+    /// bit-identical.
+    pub fn emit(&self, kind: EventKind) {
+        self.observer.emit(ClockDomain::Virtual, self.now, kind);
+    }
+
+    /// The structured-event writer, for handing to sub-components (e.g.
+    /// network links) that emit their own events.
+    #[must_use]
+    pub fn observer(&self) -> &EventWriter {
+        self.observer
+    }
+
     /// Requests that the run loop stop after this event.
     pub fn stop(&mut self) {
         *self.stop_requested = true;
@@ -85,6 +103,7 @@ pub struct Simulation<W: World> {
     queue: EventQueue<W::Event>,
     rng: SimRng,
     trace: Trace,
+    observer: EventWriter,
     now: Time,
     stop_requested: bool,
     events_handled: u64,
@@ -98,6 +117,7 @@ impl<W: World> Simulation<W> {
             queue: EventQueue::new(),
             rng: SimRng::seed_from(seed),
             trace: Trace::disabled(),
+            observer: EventWriter::disabled(),
             now: Time::ZERO,
             stop_requested: false,
             events_handled: 0,
@@ -109,6 +129,27 @@ impl<W: World> Simulation<W> {
     pub fn with_trace(mut self, capacity: usize) -> Self {
         self.trace = Trace::with_capacity(capacity);
         self
+    }
+
+    /// Attaches a structured-event writer; events emitted through
+    /// [`Context::emit`] and [`Simulation::emit`] land on its bus stamped
+    /// with the virtual clock.
+    #[must_use]
+    pub fn with_observer(mut self, writer: EventWriter) -> Self {
+        self.observer = writer;
+        self
+    }
+
+    /// Emits a structured observability event at the current virtual time,
+    /// from outside the event loop (e.g. setup-phase admission decisions).
+    pub fn emit(&self, kind: EventKind) {
+        self.observer.emit(ClockDomain::Virtual, self.now, kind);
+    }
+
+    /// The structured-event writer attached to this simulation.
+    #[must_use]
+    pub fn observer(&self) -> &EventWriter {
+        &self.observer
     }
 
     /// The current virtual time.
@@ -179,6 +220,7 @@ impl<W: World> Simulation<W> {
             queue: &mut self.queue,
             rng: &mut self.rng,
             trace: &mut self.trace,
+            observer: &self.observer,
             stop_requested: &mut self.stop_requested,
         };
         self.world.handle(&mut ctx, event);
@@ -358,6 +400,44 @@ mod tests {
         sim.run_to_completion();
         let world = sim.into_world();
         assert_eq!(world.ticks, 1);
+    }
+
+    #[test]
+    fn observer_stamps_virtual_time() {
+        use rtpb_obs::EventBus;
+        use rtpb_types::NodeId;
+
+        struct Beacon;
+        impl World for Beacon {
+            type Event = ();
+            fn handle(&mut self, ctx: &mut Context<'_, ()>, (): ()) {
+                ctx.emit(EventKind::HeartbeatSent {
+                    from: NodeId::new(0),
+                    to: NodeId::new(1),
+                });
+            }
+        }
+
+        let bus = EventBus::with_capacity(64);
+        let mut sim = Simulation::new(Beacon, 0).with_observer(bus.writer());
+        sim.schedule_at(Time::from_millis(3), ());
+        sim.run_to_completion();
+        sim.emit(EventKind::FaultDetected { record: 0 });
+
+        let events = bus.collect();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].at, Time::from_millis(3));
+        assert_eq!(events[0].clock, ClockDomain::Virtual);
+        assert_eq!(events[1].at, Time::from_millis(3));
+    }
+
+    #[test]
+    fn disabled_observer_is_inert() {
+        let mut sim = Simulation::new(Counter::default(), 0);
+        sim.schedule_at(Time::ZERO, Ev::Tick);
+        sim.run_to_completion();
+        sim.emit(EventKind::FaultDetected { record: 0 });
+        assert!(!sim.observer().is_enabled());
     }
 
     #[test]

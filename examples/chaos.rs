@@ -7,13 +7,22 @@
 //! the whole chaos run (including every detection latency and retry
 //! count) replays bit-for-bit.
 //!
+//! The run is fully instrumented: a structured event bus captures every
+//! protocol event (update send/apply, heartbeats, role transitions,
+//! fault lifecycles) and a metrics registry tracks hot-path counters and
+//! latency histograms. Set `RTPB_TRACE_OUT=/path/to/trace.jsonl` to
+//! write the event stream as JSONL.
+//!
 //! ```text
 //! cargo run --example chaos
+//! RTPB_TRACE_OUT=trace.jsonl cargo run --example chaos
 //! ```
 
 use rtpb::core::harness::{ClusterConfig, FaultEvent, FaultPlan, SimCluster};
 use rtpb::core::metrics::FaultRecord;
+use rtpb::obs::{EventBus, MetricsRegistry};
 use rtpb::types::{ObjectSpec, Time, TimeDelta};
+use std::collections::BTreeMap;
 
 fn ms(v: u64) -> TimeDelta {
     TimeDelta::from_millis(v)
@@ -61,6 +70,8 @@ fn run(seed: u64) -> (SimCluster, Vec<FaultRecord>) {
     let config = ClusterConfig {
         seed,
         fault_plan: plan(),
+        bus: EventBus::with_capacity(1 << 18),
+        registry: MetricsRegistry::new(),
         ..ClusterConfig::default()
     };
     let mut cluster = SimCluster::new(config);
@@ -120,8 +131,81 @@ fn main() {
         cluster.metrics().retransmit_requests(),
     );
 
-    // Same config + seed ⇒ identical chaos, identical outcomes.
-    let (_, replay) = run(42);
+    // Structured-event summary: every protocol event of the run, typed
+    // and stamped with the virtual clock.
+    let events = cluster.bus().collect();
+    let mut by_kind: BTreeMap<&str, u64> = BTreeMap::new();
+    for event in &events {
+        *by_kind.entry(event.kind.name()).or_insert(0) += 1;
+    }
+    println!(
+        "\nevent trace: {} events ({} dropped by the ring):\n",
+        events.len(),
+        cluster.bus().dropped()
+    );
+    println!("{:<24} {:>8}", "event kind", "count");
+    for (kind, count) in &by_kind {
+        println!("{kind:<24} {count:>8}");
+    }
+    for required in [
+        "update_sent",
+        "update_applied",
+        "heartbeat_sent",
+        "fault_injected",
+        "fault_recovered",
+    ] {
+        assert!(
+            by_kind.contains_key(required),
+            "chaos trace must contain {required} events"
+        );
+    }
+
+    // Registry summary: counters + latency histograms.
+    let snapshot = cluster.registry().snapshot();
+    println!("\nmetrics registry:\n");
+    for (name, value) in &snapshot.counters {
+        println!("{name:<28} {value:>10}");
+    }
+    for (name, h) in &snapshot.histograms {
+        println!(
+            "{name:<28} count={} mean={} p99<={} max={}",
+            h.count,
+            h.mean.map_or("—".into(), |d| format!("{d}")),
+            h.p99_bound.map_or("—".into(), |d| format!("{d}")),
+            h.max.map_or("—".into(), |d| format!("{d}")),
+        );
+    }
+
+    // Export + self-validate the JSONL stream; timestamps must be
+    // monotone in the merged order.
+    let jsonl = cluster.export_jsonl();
+    let mut last = (0u64, 0u64);
+    for line in jsonl.lines() {
+        let (seq, t_ns, _kind) = rtpb::obs::validate_line(line).expect("schema-valid trace line");
+        assert!(
+            (t_ns, seq) >= last,
+            "event stream must be (time, seq)-ordered"
+        );
+        last = (t_ns, seq);
+    }
+    println!(
+        "\ntrace: {} JSONL lines, all schema-valid.",
+        jsonl.lines().count()
+    );
+
+    if let Ok(path) = std::env::var("RTPB_TRACE_OUT") {
+        std::fs::write(&path, &jsonl).expect("write trace");
+        println!("trace written to {path}");
+    }
+
+    // Same config + seed ⇒ identical chaos, identical outcomes — and a
+    // byte-identical event stream.
+    let (replay_cluster, replay) = run(42);
     assert_eq!(report, replay, "chaos runs are deterministic");
-    println!("replay with the same seed reproduced the report exactly.");
+    assert_eq!(
+        jsonl,
+        replay_cluster.export_jsonl(),
+        "event streams replay byte-for-byte"
+    );
+    println!("replay with the same seed reproduced the report and the trace exactly.");
 }

@@ -13,6 +13,8 @@
 //!   EDF, Distance-Constrained (pinwheel) scheduling, phase-variance bounds,
 //!   and the paper's consistency conditions (Lemmas 1–3, Theorems 1–6).
 //! - [`net`] — x-kernel-style protocol stack with a lossy bounded-delay link.
+//! - [`obs`] — structured observability: typed protocol events, a ring-buffer
+//!   event bus, a metrics registry, profiling hooks, and JSONL export.
 //! - [`core`] — the RTPB protocol itself: admission control, primary/backup
 //!   state machines, update scheduling, failure detection, and failover.
 //! - [`rt`] — a real-clock, thread-based runtime driving the same protocol
@@ -49,6 +51,7 @@
 
 pub use rtpb_core as core;
 pub use rtpb_net as net;
+pub use rtpb_obs as obs;
 pub use rtpb_rt as rt;
 pub use rtpb_sched as sched;
 pub use rtpb_sim as sim;
