@@ -1,0 +1,98 @@
+//! The batched-pipeline throughput suite (sibling of `figures`).
+//!
+//! Runs each object tier through `SimCluster` twice — coalescing window
+//! disabled and enabled — prints the comparison table, and writes the
+//! machine-readable `BENCH_throughput.json`.
+//!
+//! ```text
+//! cargo run -p rtpb-bench --release --bin throughput
+//! cargo run -p rtpb-bench --release --bin throughput -- --tiers 10,100 --quick
+//! cargo run -p rtpb-bench --release --bin throughput -- --check BENCH_throughput.json
+//! ```
+
+use rtpb_bench::throughput::{run_suite, validate_report_json, ThroughputConfig};
+
+struct Options {
+    tiers: Option<Vec<usize>>,
+    quick: bool,
+    out: String,
+    check: Option<String>,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        tiers: None,
+        quick: false,
+        out: "BENCH_throughput.json".to_string(),
+        check: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--tiers" => {
+                let list = args
+                    .next()
+                    .unwrap_or_else(|| usage("--tiers needs a comma list, e.g. 10,100"));
+                let tiers: Option<Vec<usize>> =
+                    list.split(',').map(|t| t.trim().parse().ok()).collect();
+                match tiers {
+                    Some(t) if !t.is_empty() => opts.tiers = Some(t),
+                    _ => usage(&format!("bad --tiers value {list}")),
+                }
+            }
+            "--quick" => opts.quick = true,
+            "--out" => {
+                opts.out = args.next().unwrap_or_else(|| usage("--out needs a path"));
+            }
+            "--check" => {
+                opts.check = Some(args.next().unwrap_or_else(|| usage("--check needs a path")));
+            }
+            "--help" | "-h" => usage("batched vs unbatched throughput suite"),
+            other => usage(&format!("unknown argument {other}")),
+        }
+    }
+    opts
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("throughput: {msg}");
+    eprintln!("usage: throughput [--tiers N,N,..] [--quick] [--out FILE.json] [--check FILE.json]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let opts = parse_args();
+
+    // Check mode: validate an existing report against the schema and exit.
+    if let Some(path) = &opts.check {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("throughput: cannot read {path}: {e}");
+            std::process::exit(1);
+        });
+        if let Err(e) = validate_report_json(&text) {
+            eprintln!("throughput: {path} fails the v1 schema: {e}");
+            std::process::exit(1);
+        }
+        println!("{path}: schema-valid rtpb.throughput.v1 report");
+        return;
+    }
+
+    let mut config = if opts.quick {
+        ThroughputConfig::quick()
+    } else {
+        ThroughputConfig::default()
+    };
+    if let Some(tiers) = opts.tiers {
+        config.tiers = tiers;
+    }
+
+    let report = run_suite(&config);
+    println!("{}", report.to_table().render());
+    let json = report.to_json();
+    validate_report_json(&json).expect("generated report must be schema-valid");
+    if let Err(e) = std::fs::write(&opts.out, &json) {
+        eprintln!("throughput: cannot write {}: {e}", opts.out);
+        std::process::exit(1);
+    }
+    println!("wrote {}", opts.out);
+}

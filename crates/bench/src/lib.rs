@@ -11,6 +11,7 @@
 pub mod experiments;
 pub mod harness;
 pub mod table;
+pub mod throughput;
 pub mod trace;
 
 pub use experiments::{
@@ -18,4 +19,5 @@ pub use experiments::{
     theory_validation, FigureDefaults,
 };
 pub use table::Table;
+pub use throughput::{run_suite, validate_report_json, ThroughputConfig, ThroughputReport};
 pub use trace::TraceSummary;

@@ -106,6 +106,7 @@ pub fn evaluate(
         .sum();
 
     if config.admission_enabled {
+        check_coalescing_window(&objects, &test_schedule, config)?;
         check_schedulability(&objects, &test_schedule, utilization, config)?;
     }
     let schedule = build_schedule(&objects, config);
@@ -173,6 +174,45 @@ fn check_inter_object(
                 bound: c.bound(),
                 period: partner_entry.spec().update_period(),
                 object: partner,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Batching gate: with a coalescing window `W`, an update produced at the
+/// start of a send period can sit in the coalescing buffer for up to `W`
+/// before its frame leaves, so Theorem 5 tightens to `r_i + W + ℓ ≤ δ_i`
+/// for every admitted object (each judged against its *effective* window).
+fn check_coalescing_window(
+    objects: &[(ObjectId, TimeDelta, TimeDelta)],
+    schedule: &UpdateSchedule,
+    config: &ProtocolConfig,
+) -> Result<(), AdmissionError> {
+    let w = config.coalesce_window;
+    if w.is_zero() {
+        return Ok(());
+    }
+    for &(id, window, _) in objects {
+        let period = schedule.period(id).expect("scheduled above");
+        if period + w + config.link_delay_bound > window {
+            // The smallest window that fits: r = (δ - ℓ)/k, so the
+            // condition (δ - ℓ)/k + W + ℓ ≤ δ solves to
+            // δ ≥ ℓ + W·k/(k − 1) — unattainable when k = 1.
+            let k = config.slack_factor;
+            let min_window = (k > 1).then(|| {
+                let extra = w.as_nanos().saturating_mul(k) / (k - 1);
+                config.link_delay_bound + TimeDelta::from_nanos(extra)
+            });
+            return Err(AdmissionError::CoalescingWindowTooWide {
+                object: id,
+                period,
+                coalesce_window: w,
+                window,
+                negotiation: QosNegotiation {
+                    min_window,
+                    ..QosNegotiation::default()
+                },
             });
         }
     }
@@ -464,6 +504,103 @@ mod tests {
             large > small,
             "larger windows must admit more objects ({small} vs {large})"
         );
+    }
+
+    #[test]
+    fn coalescing_window_within_slack_admits() {
+        // Window 400 ms → period 195 ms; 195 + 150 + 10 ≤ 400 holds.
+        let config = ProtocolConfig {
+            coalesce_window: ms(150),
+            ..ProtocolConfig::default()
+        };
+        let store = ObjectStore::new();
+        let out = evaluate(
+            &store,
+            &[],
+            ObjectId::new(0),
+            &spec(100, 150, 550),
+            &[],
+            &config,
+        )
+        .unwrap();
+        assert_eq!(out.schedule.period(ObjectId::new(0)), Some(ms(195)));
+    }
+
+    #[test]
+    fn coalescing_window_violating_theorem5_rejected() {
+        // Window 400 ms → period 195 ms; 195 + 200 + 10 > 400 violates.
+        let config = ProtocolConfig {
+            coalesce_window: ms(200),
+            ..ProtocolConfig::default()
+        };
+        let store = ObjectStore::new();
+        let err = evaluate(
+            &store,
+            &[],
+            ObjectId::new(0),
+            &spec(100, 150, 550),
+            &[],
+            &config,
+        )
+        .unwrap_err();
+        match err {
+            AdmissionError::CoalescingWindowTooWide {
+                period,
+                coalesce_window,
+                window,
+                negotiation,
+                ..
+            } => {
+                assert_eq!(period, ms(195));
+                assert_eq!(coalesce_window, ms(200));
+                assert_eq!(window, ms(400));
+                // δ ≥ ℓ + W·k/(k−1) = 10 + 200·2 = 410 ms.
+                assert_eq!(negotiation.min_window, Some(ms(410)));
+            }
+            other => panic!("wrong gate: {other}"),
+        }
+    }
+
+    #[test]
+    fn coalescing_gate_guards_existing_objects_too() {
+        // An already-admitted tight-window object must also survive the
+        // newcomer's evaluation under the configured coalescing window.
+        let config = ProtocolConfig {
+            coalesce_window: ms(60),
+            ..ProtocolConfig::default()
+        };
+        let mut store = ObjectStore::new();
+        // Window 150 ms → period 70 ms; 70 + 60 + 10 ≤ 150 (just fits).
+        let tight = admit_one(&mut store, &spec(100, 150, 300), &config).unwrap();
+        // A roomy newcomer is fine and must not dislodge the tight object.
+        let out = evaluate(
+            &store,
+            &[],
+            ObjectId::new(1),
+            &spec(100, 150, 550),
+            &[],
+            &config,
+        )
+        .unwrap();
+        assert_eq!(out.schedule.period(tight), Some(ms(70)));
+
+        // But an inter-object constraint that tightens the pair below the
+        // coalescing headroom is rejected.
+        // Effective window 120 ms → period 55 ms; 55 + 60 + 10 > 120.
+        let c = InterObjectConstraint::new(ObjectId::new(1), tight, ms(120));
+        let err = evaluate(
+            &store,
+            &[],
+            ObjectId::new(1),
+            &spec(100, 150, 550),
+            &[c],
+            &config,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            AdmissionError::CoalescingWindowTooWide { .. }
+        ));
     }
 
     #[test]

@@ -252,7 +252,11 @@ impl Backup {
                 payload,
             } => {
                 // Any update is evidence of primary life and freshness;
-                // it also resets the retransmission backoff.
+                // it also resets the retransmission backoff and
+                // piggybacks the heartbeat (the next explicit ping is
+                // suppressed — §4.4's ping path becomes the idle
+                // fallback).
+                self.detector.note_traffic(now);
                 self.last_update_at.insert(*object, now);
                 self.retransmit_attempts.remove(object);
                 let installed = self.store.apply(
@@ -282,7 +286,9 @@ impl Backup {
                 self.detector.on_ack(*seq, now);
             }
             WireMessage::StateTransfer { entries } => {
-                // The state transfer is the join's success signal.
+                // The state transfer is the join's success signal, and a
+                // frame from the primary is evidence of its life.
+                self.detector.note_traffic(now);
                 self.join = None;
                 for e in entries {
                     self.last_update_at.insert(e.object, now);
@@ -297,6 +303,16 @@ impl Backup {
                     }
                 }
             }
+            WireMessage::Batch { messages } => {
+                // One frame, many sub-messages: unpack in send order. The
+                // contained updates each feed the watchdogs and the
+                // piggybacked heartbeat.
+                for m in messages {
+                    let sub = self.handle_message(m, now);
+                    out.replies.extend(sub.replies);
+                    out.applied.extend(sub.applied);
+                }
+            }
             WireMessage::RetransmitRequest { .. }
             | WireMessage::JoinRequest { .. }
             | WireMessage::UpdateAck { .. } => {
@@ -307,7 +323,8 @@ impl Backup {
     }
 
     /// Checks the freshness watchdog of one object. If no update arrived
-    /// for longer than `r_i + ℓ + slack`, issues a retransmission request
+    /// for longer than `r_i + W + ℓ + slack` (`W` being the coalescing
+    /// window, zero when batching is off), issues a retransmission request
     /// (§4.3: "Retransmission is triggered by a request from the
     /// backup"). Drivers call this on a per-object timer.
     ///
@@ -324,8 +341,14 @@ impl Backup {
         let last = *self.last_update_at.get(&id)?;
         let attempts = self.retransmit_attempts.get(&id).copied().unwrap_or(0);
         let backoff = 1u64 << attempts.min(self.config.retransmit_backoff_cap);
-        let allowance =
-            (period + self.config.link_delay_bound + self.config.retransmit_slack) * backoff;
+        // Under batching an update may legitimately wait out the whole
+        // coalescing window before it is framed, so the gap budget must
+        // absorb `W` on top of the send period and the link bound.
+        let allowance = (period
+            + self.config.coalesce_window
+            + self.config.link_delay_bound
+            + self.config.retransmit_slack)
+            * backoff;
         if now.saturating_since(last) > allowance {
             self.retransmit_requests_sent += 1;
             self.retransmit_attempts
@@ -632,6 +655,56 @@ mod tests {
         assert!(!b.join_in_progress());
         assert!(!b.join_abandoned());
         assert!(b.tick_join(t(10_000)).is_none());
+    }
+
+    #[test]
+    fn batch_applies_every_member_and_resets_watchdogs() {
+        let mut b = Backup::new(NodeId::new(1), ProtocolConfig::default());
+        let a = ObjectId::new(0);
+        let c = ObjectId::new(1);
+        b.sync_registration(a, spec(), ms(195), Time::ZERO);
+        b.sync_registration(c, spec(), ms(195), Time::ZERO);
+        let batch = WireMessage::Batch {
+            messages: vec![update(a, 1, 5), update(c, 1, 6)],
+        };
+        let out = b.handle_message(&batch, t(12));
+        assert_eq!(out.applied.len(), 2);
+        assert_eq!(b.updates_applied(), 2);
+        // Both watchdogs were fed by the one frame.
+        assert!(b.tick_watchdog(a, t(12 + 210)).is_none());
+        assert!(b.tick_watchdog(c, t(12 + 210)).is_none());
+        assert!(b.tick_watchdog(a, t(12 + 211)).is_some());
+    }
+
+    #[test]
+    fn update_traffic_suppresses_explicit_pings() {
+        let (mut b, id) = backup_with_object();
+        // Steady updates every 40 ms for 2 s: the backup never needs to
+        // probe the primary explicitly.
+        let mut now = Time::ZERO;
+        for k in 1..=50u64 {
+            now = t(k * 40);
+            b.handle_message(&update(id, k, k * 40), now);
+            let (ping, dead) = b.tick_heartbeat(now);
+            assert!(ping.is_none(), "ping at {now} despite update traffic");
+            assert!(!dead);
+        }
+        assert!(b.is_primary_alive());
+        // Traffic stops: the explicit ping fallback resumes, and silence
+        // eventually kills the primary.
+        let mut pinged = false;
+        let mut declared = false;
+        for _ in 0..50 {
+            now += ms(50);
+            let (ping, dead) = b.tick_heartbeat(now);
+            pinged |= ping.is_some();
+            if dead {
+                declared = true;
+                break;
+            }
+        }
+        assert!(pinged, "idle fallback ping never sent");
+        assert!(declared, "silent primary never declared dead");
     }
 
     #[test]

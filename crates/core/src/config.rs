@@ -117,6 +117,17 @@ pub struct ProtocolConfig {
     /// drain before deciding the next victim (prevents one transient
     /// burst from deregistering the whole object set).
     pub shed_cooldown: TimeDelta,
+    /// Coalescing window `W` of the batched update pipeline: when an
+    /// object's send timer fires, its update waits up to `W` so updates
+    /// due close together leave in one [`Batch`] frame. `ZERO` (the
+    /// default) disables batching and preserves the paper's
+    /// one-message-per-update behaviour. Admission tightens its Theorem 5
+    /// check to `r_i + W + ℓ ≤ δ_i` for every admitted object, so a
+    /// window that would let a coalesced update miss any member's
+    /// consistency bound is rejected up front.
+    ///
+    /// [`Batch`]: crate::wire::WireMessage::Batch
+    pub coalesce_window: TimeDelta,
 }
 
 impl Default for ProtocolConfig {
@@ -143,6 +154,7 @@ impl Default for ProtocolConfig {
             shed_enabled: false,
             shed_backlog_threshold: 64,
             shed_cooldown: TimeDelta::from_millis(250),
+            coalesce_window: TimeDelta::ZERO,
         }
     }
 }
@@ -152,6 +164,12 @@ impl ProtocolConfig {
     #[must_use]
     pub fn send_cost(&self, payload_bytes: usize) -> TimeDelta {
         self.send_cost_base + self.send_cost_per_byte * payload_bytes as u64
+    }
+
+    /// Whether the batched update pipeline is active.
+    #[must_use]
+    pub fn batching_enabled(&self) -> bool {
+        !self.coalesce_window.is_zero()
     }
 
     /// Validates parameter sanity.

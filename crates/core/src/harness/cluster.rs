@@ -25,7 +25,7 @@ use crate::wire::WireMessage;
 use rtpb_net::{FaultKind, FaultWindow, LinkConfig, LossyLink, Message, ProtocolGraph, UdpLike};
 use rtpb_obs::{Counter, EventBus, EventKind, Histogram, MetricsRegistry, Role};
 use rtpb_sim::{Context, Simulation, World};
-use rtpb_types::{AdmissionError, NodeId, ObjectId, ObjectSpec, Time, TimeDelta};
+use rtpb_types::{AdmissionError, NodeId, ObjectId, ObjectSpec, Time, TimeDelta, Version};
 use std::collections::BTreeMap;
 
 /// Configuration of a simulated cluster.
@@ -94,12 +94,14 @@ impl Default for ClusterConfig {
 struct Instruments {
     updates_sent: Counter,
     updates_lost: Counter,
+    frames_sent: Counter,
     retransmit_requests: Counter,
     client_writes: Counter,
     failovers: Counter,
     faults_injected: Counter,
     response_time: Histogram,
     failover_time: Histogram,
+    batch_occupancy: Histogram,
 }
 
 impl Instruments {
@@ -107,12 +109,19 @@ impl Instruments {
         Instruments {
             updates_sent: registry.counter("cluster.updates_sent"),
             updates_lost: registry.counter("cluster.updates_lost"),
+            frames_sent: registry.counter("cluster.frames_sent"),
             retransmit_requests: registry.counter("cluster.retransmit_requests"),
             client_writes: registry.counter("cluster.client_writes"),
             failovers: registry.counter("cluster.failovers"),
             faults_injected: registry.counter("cluster.faults_injected"),
             response_time: registry.histogram("cluster.response_time"),
             failover_time: registry.histogram("cluster.failover_time"),
+            // Occupancy is a count of sub-messages, not a duration; the
+            // bucket bounds are message counts.
+            batch_occupancy: registry.histogram_with_bounds(
+                "cluster.batch_occupancy",
+                vec![1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096],
+            ),
         }
     }
 }
@@ -133,17 +142,33 @@ enum Event {
     ClientWrite { object: ObjectId },
     CpuFinished,
     SendTimer { object: ObjectId, epoch: u32 },
+    FlushBatch,
     WatchdogTimer { object: ObjectId, epoch: u32 },
     PrimaryHeartbeat,
     BackupHeartbeat,
     DeliverToBackup { host: usize, wire: Message },
     DeliverToPrimary { host: usize, wire: Message },
-    CrashPrimary,
-    CrashBackupHost { host: usize },
-    RecoverBackupHost { host: usize },
+    Inject { fault: FaultEvent },
     RecruitBackup,
     FaultAt { index: usize },
     FaultHealed { record: usize, host: Option<usize> },
+}
+
+/// Collects the `(object, version)` pairs of every update carried by a
+/// frame — one pair for a bare [`WireMessage::Update`], one per contained
+/// update for a [`WireMessage::Batch`].
+fn collect_updates(msg: &WireMessage, out: &mut Vec<(ObjectId, Version)>) {
+    match msg {
+        WireMessage::Update {
+            object, version, ..
+        } => out.push((*object, *version)),
+        WireMessage::Batch { messages } => {
+            for m in messages {
+                collect_updates(m, out);
+            }
+        }
+        _ => {}
+    }
 }
 
 /// One backup replica's host: the state machine plus its four link
@@ -222,6 +247,14 @@ struct ClusterWorld {
     window_faults: Vec<(usize, Option<usize>, Time)>,
     /// When the last overload shed happened (rate-limits shedding).
     last_shed_at: Option<Time>,
+    /// Objects whose send timers fired inside the open coalescing window,
+    /// awaiting the [`Event::FlushBatch`] that will carry them in one
+    /// frame (insertion order; only populated when
+    /// [`ProtocolConfig::batching_enabled`] holds).
+    pending_batch: Vec<ObjectId>,
+    /// Whether a [`Event::FlushBatch`] is already scheduled for the open
+    /// coalescing window.
+    batch_flush_scheduled: bool,
 }
 
 impl ClusterWorld {
@@ -236,19 +269,23 @@ impl ClusterWorld {
     }
 
     /// Broadcasts a message to every backup the primary currently tracks.
+    ///
+    /// A [`WireMessage::Batch`] is one wire unit: the link makes a single
+    /// loss/delay decision per frame per host, so a dropped batch drops
+    /// every contained update together (correlated loss).
     fn transmit_to_backups(&mut self, ctx: &mut Context<'_, Event>, msg: &WireMessage) {
         let tracked: Vec<NodeId> = self
             .primary
             .as_ref()
             .map(Primary::backups)
             .unwrap_or_default();
-        let is_update = matches!(msg, WireMessage::Update { .. });
-        let update_info = match msg {
-            WireMessage::Update {
-                object, version, ..
-            } => Some((*object, *version)),
+        let mut updates = Vec::new();
+        collect_updates(msg, &mut updates);
+        let batch_size = match msg {
+            WireMessage::Batch { messages } => Some(messages.len() as u64),
             _ => None,
         };
+        let is_update = !updates.is_empty() || batch_size.is_some();
         let metrics_host = self.metrics_host();
         let Ok(wire) = self.p2b_tx.send(Message::from_payload(msg.encode())) else {
             ctx.trace("p2b send rejected by protocol stack");
@@ -264,21 +301,34 @@ impl ClusterWorld {
             } else {
                 &mut host.ctrl_link
             };
+            // One loss/delay decision per frame, batched or not.
             let outcome = link.transmit(ctx.now(), wire.wire_size());
-            if let Some((object, version)) = update_info {
+            let lost = outcome.is_lost();
+            self.instruments.frames_sent.inc();
+            if let Some(size) = batch_size {
+                self.instruments.batch_occupancy.record_nanos(size);
+                ctx.emit(EventKind::BatchSent {
+                    to: host.node,
+                    size,
+                    lost,
+                });
+            }
+            for &(object, version) in &updates {
                 self.instruments.updates_sent.inc();
-                if outcome.is_lost() {
+                if lost {
                     self.instruments.updates_lost.inc();
                 }
                 ctx.emit(EventKind::UpdateSent {
                     object,
                     version,
                     to: host.node,
-                    lost: outcome.is_lost(),
+                    lost,
                 });
             }
-            if is_update && Some(i) == metrics_host {
-                self.metrics.record_update_sent(outcome.is_lost());
+            if Some(i) == metrics_host {
+                for _ in &updates {
+                    self.metrics.record_update_sent(lost);
+                }
             }
             for at in outcome.arrivals() {
                 ctx.schedule_at(
@@ -300,7 +350,7 @@ impl ClusterWorld {
         host: usize,
         msg: &WireMessage,
     ) {
-        let is_update = matches!(msg, WireMessage::Update { .. });
+        let is_update = matches!(msg, WireMessage::Update { .. } | WireMessage::Batch { .. });
         let Ok(wire) = self.p2b_tx.send(Message::from_payload(msg.encode())) else {
             return;
         };
@@ -364,8 +414,10 @@ impl ClusterWorld {
             .as_ref()
             .and_then(|p| p.send_period(object))
             .unwrap_or(TimeDelta::from_millis(100));
-        let allowance =
-            period + self.config.protocol.link_delay_bound + self.config.protocol.retransmit_slack;
+        let allowance = period
+            + self.config.protocol.coalesce_window
+            + self.config.protocol.link_delay_bound
+            + self.config.protocol.retransmit_slack;
         (allowance / 2).max(TimeDelta::from_millis(1))
     }
 
@@ -385,9 +437,12 @@ impl ClusterWorld {
                     send_phase(id, period),
                     Event::SendTimer { object: id, epoch },
                 );
+                // Like the backup watchdog, the §5.3 refresh budget must
+                // absorb the coalescing delay a batched update may incur.
                 self.metrics.set_refresh_allowance(
                     id,
                     period
+                        + self.config.protocol.coalesce_window
                         + self.config.protocol.link_delay_bound
                         + self.config.protocol.retransmit_slack,
                 );
@@ -484,11 +539,13 @@ impl ClusterWorld {
             return;
         };
         if report_metrics {
-            if let WireMessage::Update { object, .. } = &msg {
-                // Fresh or duplicate, an arrival resets the §5.3 refresh
-                // clock — even a duplicate proves currency at snapshot
-                // time.
-                self.metrics.on_backup_refresh(*object, ctx.now());
+            // Fresh or duplicate, an arrival resets the §5.3 refresh
+            // clock — even a duplicate proves currency at snapshot
+            // time. A batch refreshes every update it carries.
+            let mut refreshed = Vec::new();
+            collect_updates(&msg, &mut refreshed);
+            for (object, _) in refreshed {
+                self.metrics.on_backup_refresh(object, ctx.now());
             }
         }
         let out = backup.handle_message(&msg, ctx.now());
@@ -826,6 +883,16 @@ impl ClusterWorld {
                 self.window_faults.push((record, host, until));
                 ctx.schedule_at(until, Event::FaultHealed { record, host });
             }
+            FaultEvent::SetLoss { loss } => {
+                // A sweep knob, not a fault: adjusts the steady-state loss
+                // probability on every primary→backup data path without
+                // opening a fault record.
+                let p = loss.clamp(0.0, 1.0);
+                for h in &mut self.hosts {
+                    h.data_link.set_loss_probability(p);
+                }
+                ctx.trace(format!("data-path loss probability set to {p}"));
+            }
         }
     }
 
@@ -964,6 +1031,19 @@ impl World for ClusterWorld {
                     return;
                 };
                 ctx.schedule_in(period, Event::SendTimer { object, epoch });
+                if self.config.protocol.batching_enabled() {
+                    // Coalescing pipeline: park the object and flush the
+                    // whole set one coalescing window later, as a single
+                    // frame through a single CPU transmission.
+                    if !self.pending_batch.contains(&object) {
+                        self.pending_batch.push(object);
+                    }
+                    if !self.batch_flush_scheduled {
+                        self.batch_flush_scheduled = true;
+                        ctx.schedule_in(self.config.protocol.coalesce_window, Event::FlushBatch);
+                    }
+                    return;
+                }
                 let cost = self
                     .config
                     .protocol
@@ -973,6 +1053,28 @@ impl World for ClusterWorld {
                     if let Some(service) = self.cpu.submit(Work::SendUpdate { message }, cost) {
                         ctx.schedule_in(service, Event::CpuFinished);
                     }
+                }
+            }
+            Event::FlushBatch => {
+                // One-shot: no epoch guard. After a failover or re-join
+                // the parked ids simply snapshot whatever still exists;
+                // objects gone from the store contribute nothing.
+                self.batch_flush_scheduled = false;
+                let ids = std::mem::take(&mut self.pending_batch);
+                let Some(primary) = self.primary.as_mut() else {
+                    return;
+                };
+                if !primary.is_backup_alive() {
+                    return;
+                }
+                let Some(message) = primary.make_batch(&ids) else {
+                    return;
+                };
+                // The frame costs one base overhead for the whole batch —
+                // the amortization that buys the throughput win.
+                let cost = self.config.protocol.send_cost(message.encode().len());
+                if let Some(service) = self.cpu.submit(Work::SendUpdate { message }, cost) {
+                    ctx.schedule_in(service, Event::CpuFinished);
                 }
             }
             Event::WatchdogTimer { object, epoch } => {
@@ -1144,9 +1246,7 @@ impl World for ClusterWorld {
             Event::DeliverToPrimary { host, wire } => {
                 self.handle_delivery_to_primary(ctx, host, wire);
             }
-            Event::CrashPrimary => self.inject_primary_crash(ctx),
-            Event::CrashBackupHost { host } => self.inject_backup_crash(ctx, host),
-            Event::RecoverBackupHost { host } => self.recover_backup(ctx, host),
+            Event::Inject { fault } => self.apply_fault(ctx, fault),
             Event::FaultAt { index } => {
                 let (_, fault) = self.plan[index];
                 self.apply_fault(ctx, fault);
@@ -1326,6 +1426,8 @@ impl SimCluster {
             pending_partition: BTreeMap::new(),
             window_faults: Vec::new(),
             last_shed_at: None,
+            pending_batch: Vec::new(),
+            batch_flush_scheduled: false,
             config,
         };
         let trace_capacity = world.config.trace_capacity;
@@ -1343,33 +1445,22 @@ impl SimCluster {
         SimCluster { sim }
     }
 
-    /// Registers an object with no inter-object constraints.
-    ///
-    /// # Errors
-    ///
-    /// Propagates the primary's admission decision.
-    pub fn register(&mut self, spec: ObjectSpec) -> Result<ObjectId, AdmissionError> {
-        self.register_with_constraints(spec, &[])
-    }
-
-    /// Registers an object with inter-object constraints against existing
-    /// objects, given as `(partner, δ_ij)` pairs (§3, §4.2).
+    /// Registers an object. The [`ObjectSpec`] is the single entry point
+    /// for everything about the object, including inter-object
+    /// constraints ([`ObjectSpec::with_constraints`] or the builder's
+    /// `constraint`, §3, §4.2).
     ///
     /// # Errors
     ///
     /// Propagates the primary's admission decision; on rejection nothing
     /// is registered anywhere.
-    pub fn register_with_constraints(
-        &mut self,
-        spec: ObjectSpec,
-        partners: &[(ObjectId, TimeDelta)],
-    ) -> Result<ObjectId, AdmissionError> {
+    pub fn register(&mut self, spec: ObjectSpec) -> Result<ObjectId, AdmissionError> {
         let now = self.sim.now();
         let admitted = {
             let world = self.sim.world_mut();
             match world.primary.as_mut() {
                 None => Err(AdmissionError::ServiceUnavailable),
-                Some(primary) => primary.register(spec.clone(), partners, now),
+                Some(primary) => primary.register(spec.clone(), now),
             }
         };
         let id = match admitted {
@@ -1428,6 +1519,24 @@ impl SimCluster {
         Ok(id)
     }
 
+    /// Registers an object with inter-object constraints given as
+    /// `(partner, δ_ij)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the primary's admission decision.
+    #[deprecated(
+        since = "0.2.0",
+        note = "attach constraints to the spec with `ObjectSpec::with_constraints` and call `register`"
+    )]
+    pub fn register_with_constraints(
+        &mut self,
+        spec: ObjectSpec,
+        partners: &[(ObjectId, TimeDelta)],
+    ) -> Result<ObjectId, AdmissionError> {
+        self.register(spec.with_constraints(partners))
+    }
+
     fn restart_timers(&mut self) {
         // Borrow dance: epoch bump and per-object scheduling both need
         // the world and the queue; schedule directly from the driver.
@@ -1444,9 +1553,9 @@ impl SimCluster {
             }
             (items, epoch)
         };
-        let (delay_bound, slack) = {
+        let (coalesce, delay_bound, slack) = {
             let p = &self.sim.world().config.protocol;
-            (p.link_delay_bound, p.retransmit_slack)
+            (p.coalesce_window, p.link_delay_bound, p.retransmit_slack)
         };
         for (id, period, wd) in ids_and_periods {
             if let Some(period) = period {
@@ -1457,7 +1566,7 @@ impl SimCluster {
                 self.sim
                     .world_mut()
                     .metrics
-                    .set_refresh_allowance(id, period + delay_bound + slack);
+                    .set_refresh_allowance(id, period + coalesce + delay_bound + slack);
             }
             self.sim
                 .schedule_at(now + wd, Event::WatchdogTimer { object: id, epoch });
@@ -1491,37 +1600,52 @@ impl SimCluster {
         snapshot
     }
 
+    /// Injects one [`FaultEvent`] at the current instant — the single
+    /// entry point for ad-hoc fault injection, taking the same event
+    /// vocabulary as a scheduled [`FaultPlan`]
+    /// ([`ClusterConfig::fault_plan`]). Crash, recovery, partition, and
+    /// burst faults are tracked in [`SimCluster::fault_report`];
+    /// [`FaultEvent::SetLoss`] is a sweep knob and opens no record.
+    pub fn inject(&mut self, fault: FaultEvent) {
+        self.sim
+            .schedule_in(TimeDelta::ZERO, Event::Inject { fault });
+    }
+
     /// Changes the primary→backup message-loss probability on every
     /// backup's data path (sweeps).
+    #[deprecated(since = "0.2.0", note = "use `inject(FaultEvent::SetLoss { .. })`")]
     pub fn set_loss_probability(&mut self, p: f64) {
-        for host in &mut self.sim.world_mut().hosts {
-            host.data_link.set_loss_probability(p);
-        }
+        self.inject(FaultEvent::SetLoss { loss: p });
     }
 
     /// Crashes the primary host at the current instant.
+    #[deprecated(since = "0.2.0", note = "use `inject(FaultEvent::CrashPrimary)`")]
     pub fn crash_primary(&mut self) {
-        self.sim.schedule_in(TimeDelta::ZERO, Event::CrashPrimary);
+        self.inject(FaultEvent::CrashPrimary);
     }
 
     /// Crashes the first live backup host at the current instant.
+    #[deprecated(since = "0.2.0", note = "use `inject(FaultEvent::CrashBackup { .. })`")]
     pub fn crash_backup(&mut self) {
         if let Some(host) = self.sim.world().metrics_host() {
-            self.crash_backup_host(host);
+            self.inject(FaultEvent::CrashBackup { host });
         }
     }
 
     /// Crashes a specific backup host (multi-backup clusters).
+    #[deprecated(since = "0.2.0", note = "use `inject(FaultEvent::CrashBackup { .. })`")]
     pub fn crash_backup_host(&mut self, host: usize) {
-        self.sim
-            .schedule_in(TimeDelta::ZERO, Event::CrashBackupHost { host });
+        self.inject(FaultEvent::CrashBackup { host });
     }
 
     /// Restarts a crashed backup host at the current instant; it rejoins
     /// via the bounded-retry join / state-transfer path.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `inject(FaultEvent::RecoverBackup { .. })`"
+    )]
     pub fn recover_backup_host(&mut self, host: usize) {
-        self.sim
-            .schedule_in(TimeDelta::ZERO, Event::RecoverBackupHost { host });
+        self.inject(FaultEvent::RecoverBackup { host });
     }
 
     /// Per-fault lifecycle records (injection, detection, recovery,
@@ -1702,7 +1826,7 @@ mod tests {
         let id = cluster.register(spec(100, 150, 550)).unwrap();
         cluster.run_for(TimeDelta::from_secs(2));
         let writes_before = cluster.metrics().object_report(id).unwrap().writes;
-        cluster.crash_primary();
+        cluster.inject(FaultEvent::CrashPrimary);
         cluster.run_for(TimeDelta::from_secs(2));
         assert!(cluster.has_failed_over());
         assert_eq!(cluster.name_service().resolve(), NodeId::new(1));
@@ -1728,7 +1852,7 @@ mod tests {
         let mut cluster = SimCluster::new(config);
         let id = cluster.register(spec(100, 150, 550)).unwrap();
         cluster.run_for(TimeDelta::from_secs(2));
-        cluster.crash_backup();
+        cluster.inject(FaultEvent::CrashBackup { host: 0 });
         cluster.run_for(TimeDelta::from_secs(1));
         // New backup recruited and receiving state.
         let backup = cluster.backup().expect("recruited");
@@ -1913,7 +2037,7 @@ mod tests {
         let mut cluster = SimCluster::new(config);
         cluster.register(spec(100, 150, 550)).unwrap();
         cluster.run_for(TimeDelta::from_secs(2));
-        cluster.crash_primary();
+        cluster.inject(FaultEvent::CrashPrimary);
         cluster.run_for(TimeDelta::from_secs(2));
 
         let events = bus.collect();
@@ -1974,7 +2098,7 @@ mod tests {
         let mut cluster = SimCluster::new(ClusterConfig::default());
         cluster.register(spec(100, 150, 550)).unwrap();
         cluster.run_for(TimeDelta::from_secs(1));
-        cluster.crash_primary();
+        cluster.inject(FaultEvent::CrashPrimary);
         cluster.run_for(TimeDelta::from_secs(1));
         assert!(cluster.has_failed_over());
         // New registrations go to the promoted primary.

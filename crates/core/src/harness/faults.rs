@@ -71,6 +71,14 @@ pub enum FaultEvent {
         /// Extra one-way latency imposed while active.
         extra: TimeDelta,
     },
+    /// Sets the steady-state loss probability on every primary→backup
+    /// data path from this instant on (parameter sweeps). Unlike the
+    /// windowed faults above this is a knob, not an outage: it opens no
+    /// fault record and never heals on its own.
+    SetLoss {
+        /// The new loss probability (clamped to `[0, 1]`).
+        loss: f64,
+    },
 }
 
 /// A deterministic, timestamped schedule of faults to inject into a

@@ -162,6 +162,22 @@ impl FailureDetector {
         }
     }
 
+    /// Records out-of-band evidence of peer life — an arriving frame that
+    /// carries updates (batched or not) proves the peer is up just as well
+    /// as a ping ack. Clears any outstanding probe, zeroes the miss
+    /// counter, and pushes the next explicit probe a full period out, so
+    /// steady update traffic suppresses explicit pings entirely and the
+    /// ping path degrades to an idle fallback.
+    pub fn note_traffic(&mut self, now: Time) {
+        if self.declared {
+            return;
+        }
+        self.outstanding = None;
+        self.consecutive_misses = 0;
+        self.peer_alive = true;
+        self.next_probe_at = now + self.period;
+    }
+
     /// Resets the detector for a new peer (after recruiting a new backup).
     pub fn reset(&mut self, now: Time) {
         self.outstanding = None;
@@ -319,6 +335,40 @@ mod tests {
         d.on_ack(seq, t(5));
         // Acked: back to the probe schedule.
         assert_eq!(d.next_deadline(), t(50));
+    }
+
+    #[test]
+    fn traffic_suppresses_the_next_probe() {
+        let mut d = fd();
+        // Steady traffic every 40 ms: no probe is ever due.
+        let mut now = Time::ZERO;
+        for _ in 0..10 {
+            d.note_traffic(now);
+            now += TimeDelta::from_millis(40);
+            assert_eq!(d.tick(now), DetectorAction::Idle);
+        }
+        assert!(d.is_peer_alive());
+        assert_eq!(d.consecutive_misses(), 0);
+        // Traffic stops: the idle fallback probe fires one period later.
+        d.note_traffic(now);
+        assert!(matches!(
+            d.tick(now + TimeDelta::from_millis(50)),
+            DetectorAction::SendPing(_)
+        ));
+    }
+
+    #[test]
+    fn traffic_clears_an_outstanding_probe() {
+        let mut d = fd();
+        let DetectorAction::SendPing(_) = d.tick(Time::ZERO) else {
+            panic!()
+        };
+        // The ack is lost but an update frame arrives before the timeout:
+        // no miss is charged.
+        d.note_traffic(t(80));
+        let _ = d.tick(t(100));
+        assert_eq!(d.consecutive_misses(), 0);
+        assert!(d.is_peer_alive());
     }
 
     #[test]

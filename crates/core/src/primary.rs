@@ -63,7 +63,7 @@ pub struct HeartbeatRound {
 ///     .primary_bound(TimeDelta::from_millis(150))
 ///     .backup_bound(TimeDelta::from_millis(550))
 ///     .build()?;
-/// let id = primary.register(spec, &[], Time::ZERO)?;
+/// let id = primary.register(spec, Time::ZERO)?;
 /// let version = primary.apply_client_write(id, vec![1, 2], Time::from_millis(5));
 /// assert_eq!(version.unwrap().value(), 1);
 /// // The update task period follows Theorem 5 with the 2× loss slack.
@@ -205,9 +205,10 @@ impl Primary {
         &self.constraints
     }
 
-    /// Registers an object (§4.2). `partners` lists inter-object
-    /// constraints against already-registered objects as
-    /// `(partner, δ_ij)` pairs.
+    /// Registers an object (§4.2). Inter-object constraints against
+    /// already-registered objects ride on the spec itself — attach them
+    /// with [`ObjectSpec::with_constraints`] or
+    /// [`ObjectSpecBuilder::constraint`](rtpb_types::ObjectSpecBuilder::constraint).
     ///
     /// On success the update schedule is recomputed (a newcomer can
     /// tighten existing periods through constraints, and compressed mode
@@ -216,14 +217,10 @@ impl Primary {
     /// # Errors
     ///
     /// Returns the failing admission gate; the object is not registered.
-    pub fn register(
-        &mut self,
-        spec: ObjectSpec,
-        partners: &[(ObjectId, TimeDelta)],
-        now: Time,
-    ) -> Result<ObjectId, AdmissionError> {
+    pub fn register(&mut self, spec: ObjectSpec, now: Time) -> Result<ObjectId, AdmissionError> {
         let new_id = self.store.peek_next_id();
-        let new_constraints: Vec<InterObjectConstraint> = partners
+        let new_constraints: Vec<InterObjectConstraint> = spec
+            .constraints()
             .iter()
             .map(|&(partner, bound)| InterObjectConstraint::new(new_id, partner, bound))
             .collect();
@@ -299,6 +296,21 @@ impl Primary {
         })
     }
 
+    /// Coalesces the current images of `ids` into one [`WireMessage::Batch`]
+    /// frame — the batched update pipeline's flush step. Objects that are
+    /// unknown, never written, or suppressed (no live backup) contribute
+    /// nothing; returns `None` when no update survives, so no empty frame
+    /// hits the wire.
+    pub fn make_batch(&mut self, ids: &[ObjectId]) -> Option<WireMessage> {
+        let messages: Vec<WireMessage> =
+            ids.iter().filter_map(|&id| self.make_update(id)).collect();
+        if messages.is_empty() {
+            None
+        } else {
+            Some(WireMessage::Batch { messages })
+        }
+    }
+
     /// The send period admitted for `id`.
     #[must_use]
     pub fn send_period(&self, id: ObjectId) -> Option<TimeDelta> {
@@ -355,6 +367,14 @@ impl Primary {
                 // Only present under the ack ablation; the paper's design
                 // deliberately has nothing to do here (§4.3).
                 self.acks_received += 1;
+            }
+            WireMessage::Batch { messages } => {
+                // Symmetric handling: unpack and process each sub-message.
+                for m in messages {
+                    let sub = self.handle_message(m, now);
+                    out.replies.extend(sub.replies);
+                    out.backup_joined |= sub.backup_joined;
+                }
             }
             WireMessage::Update { .. } | WireMessage::StateTransfer { .. } => {
                 // Not addressed to a primary; ignore.
@@ -450,7 +470,7 @@ mod tests {
     #[test]
     fn register_then_write_then_update() {
         let mut p = primary();
-        let id = p.register(spec(), &[], Time::ZERO).unwrap();
+        let id = p.register(spec(), Time::ZERO).unwrap();
         assert!(p.make_update(id).is_none(), "no write yet");
         let v = p.apply_client_write(id, vec![7], t(5)).unwrap();
         assert_eq!(v, Version::new(1));
@@ -481,7 +501,7 @@ mod tests {
             .backup_bound(ms(550))
             .build()
             .unwrap();
-        assert!(p.register(bad, &[], Time::ZERO).is_err());
+        assert!(p.register(bad, Time::ZERO).is_err());
         assert!(p.store().is_empty());
         assert!(p.schedule().is_empty());
     }
@@ -506,9 +526,9 @@ mod tests {
                 .build()
                 .unwrap()
         };
-        let high = p.register(crit("high", 9), &[], Time::ZERO).unwrap();
-        let low = p.register(crit("low", 1), &[], Time::ZERO).unwrap();
-        let mid = p.register(crit("mid", 5), &[], Time::ZERO).unwrap();
+        let high = p.register(crit("high", 9), Time::ZERO).unwrap();
+        let low = p.register(crit("low", 1), Time::ZERO).unwrap();
+        let mid = p.register(crit("mid", 5), Time::ZERO).unwrap();
         assert_eq!(p.shed_lowest_criticality(), Some(low));
         assert!(p.store().get(low).is_none());
         assert_eq!(p.shed_lowest_criticality(), Some(mid));
@@ -519,7 +539,7 @@ mod tests {
     #[test]
     fn retransmit_request_resends_only_if_newer() {
         let mut p = primary();
-        let id = p.register(spec(), &[], Time::ZERO).unwrap();
+        let id = p.register(spec(), Time::ZERO).unwrap();
         p.apply_client_write(id, vec![1], t(5));
         // Backup already has version 1: nothing to resend.
         let out = p.handle_message(
@@ -565,7 +585,7 @@ mod tests {
     fn backup_death_cancels_updates() {
         let mut p = primary();
         p.add_backup(NodeId::new(1), Time::ZERO);
-        let id = p.register(spec(), &[], Time::ZERO).unwrap();
+        let id = p.register(spec(), Time::ZERO).unwrap();
         p.apply_client_write(id, vec![1], t(1));
         // Drive heartbeats with no acks until declaration.
         let mut now = Time::ZERO;
@@ -652,7 +672,7 @@ mod tests {
     fn join_request_reintegrates_backup() {
         let mut p = primary();
         p.add_backup(NodeId::new(1), Time::ZERO);
-        let id = p.register(spec(), &[], Time::ZERO).unwrap();
+        let id = p.register(spec(), Time::ZERO).unwrap();
         p.apply_client_write(id, vec![9], t(5));
         // Kill the backup.
         let mut now = Time::ZERO;
@@ -684,10 +704,35 @@ mod tests {
     }
 
     #[test]
+    fn make_batch_coalesces_written_objects() {
+        let mut p = primary();
+        let a = p.register(spec(), Time::ZERO).unwrap();
+        let b = p.register(spec(), Time::ZERO).unwrap();
+        let c = p.register(spec(), Time::ZERO).unwrap();
+        p.apply_client_write(a, vec![1], t(5));
+        p.apply_client_write(c, vec![3], t(6));
+        // b was never written: it contributes nothing.
+        match p.make_batch(&[a, b, c]) {
+            Some(WireMessage::Batch { messages }) => {
+                assert_eq!(messages.len(), 2);
+                assert!(messages
+                    .iter()
+                    .all(|m| matches!(m, WireMessage::Update { .. })));
+            }
+            other => panic!("expected batch, got {other:?}"),
+        }
+        assert_eq!(p.updates_produced(), 2);
+        // Nothing due → no frame at all.
+        assert!(p.make_batch(&[b]).is_none());
+    }
+
+    #[test]
     fn deregister_drops_constraints() {
         let mut p = primary();
-        let a = p.register(spec(), &[], Time::ZERO).unwrap();
-        let b = p.register(spec(), &[(a, ms(300))], Time::ZERO).unwrap();
+        let a = p.register(spec(), Time::ZERO).unwrap();
+        let b = p
+            .register(spec().with_constraints(&[(a, ms(300))]), Time::ZERO)
+            .unwrap();
         assert_eq!(p.constraints().len(), 1);
         assert!(p.deregister(b));
         assert!(p.constraints().is_empty());
@@ -697,7 +742,7 @@ mod tests {
     #[test]
     fn registry_lists_specs_and_periods() {
         let mut p = primary();
-        let id = p.register(spec(), &[], Time::ZERO).unwrap();
+        let id = p.register(spec(), Time::ZERO).unwrap();
         let reg = p.registry();
         assert_eq!(reg.len(), 1);
         assert_eq!(reg[0].0, id);
@@ -707,8 +752,8 @@ mod tests {
     #[test]
     fn snapshot_skips_never_written_objects() {
         let mut p = primary();
-        let _a = p.register(spec(), &[], Time::ZERO).unwrap();
-        let b = p.register(spec(), &[], Time::ZERO).unwrap();
+        let _a = p.register(spec(), Time::ZERO).unwrap();
+        let b = p.register(spec(), Time::ZERO).unwrap();
         p.apply_client_write(b, vec![1], t(1));
         match p.snapshot() {
             WireMessage::StateTransfer { entries } => {

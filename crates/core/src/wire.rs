@@ -15,6 +15,7 @@ use std::error::Error;
 
 /// A decoded RTPB protocol message.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum WireMessage {
     /// An object update from the primary to the backup.
     Update {
@@ -70,6 +71,15 @@ pub enum WireMessage {
         /// `(object, version, timestamp, payload)` for every object.
         entries: Vec<StateEntry>,
     },
+    /// A coalesced frame carrying several sub-messages as one wire unit.
+    ///
+    /// The batched update pipeline gathers every update due within the
+    /// coalescing window into a single frame, so the link makes one
+    /// loss/delay decision for all of them. Batches cannot nest.
+    Batch {
+        /// The coalesced sub-messages, in send order.
+        messages: Vec<WireMessage>,
+    },
 }
 
 /// One object's state in a [`WireMessage::StateTransfer`].
@@ -96,6 +106,8 @@ pub enum CodecError {
     BadLength(usize),
     /// Trailing bytes followed a complete message.
     TrailingBytes(usize),
+    /// A [`WireMessage::Batch`] frame contained another batch.
+    NestedBatch,
 }
 
 impl fmt::Display for CodecError {
@@ -105,6 +117,7 @@ impl fmt::Display for CodecError {
             CodecError::UnknownTag(t) => write!(f, "unknown message tag {t:#04x}"),
             CodecError::BadLength(n) => write!(f, "implausible length field {n}"),
             CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+            CodecError::NestedBatch => write!(f, "batch frame nested inside a batch"),
         }
     }
 }
@@ -118,6 +131,7 @@ const TAG_RETRANSMIT: u8 = 4;
 const TAG_JOIN: u8 = 5;
 const TAG_STATE: u8 = 6;
 const TAG_UPDATE_ACK: u8 = 7;
+const TAG_BATCH: u8 = 8;
 
 /// Upper bound on any single decoded payload or entry count, to reject
 /// absurd length fields before allocating.
@@ -178,6 +192,17 @@ impl WireMessage {
                     put_bytes(&mut buf, &e.payload);
                 }
             }
+            WireMessage::Batch { messages } => {
+                buf.push(TAG_BATCH);
+                put_u32(&mut buf, messages.len() as u32);
+                for m in messages {
+                    assert!(
+                        !matches!(m, WireMessage::Batch { .. }),
+                        "batches cannot nest"
+                    );
+                    put_bytes(&mut buf, &m.encode());
+                }
+            }
         }
         buf
     }
@@ -233,6 +258,22 @@ impl WireMessage {
                 }
                 WireMessage::StateTransfer { entries }
             }
+            TAG_BATCH => {
+                let count = r.u32()? as usize;
+                if count > SANITY_LIMIT {
+                    return Err(CodecError::BadLength(count));
+                }
+                let mut messages = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    let sub = r.bytes()?;
+                    let msg = WireMessage::decode(&sub)?;
+                    if matches!(msg, WireMessage::Batch { .. }) {
+                        return Err(CodecError::NestedBatch);
+                    }
+                    messages.push(msg);
+                }
+                WireMessage::Batch { messages }
+            }
             other => return Err(CodecError::UnknownTag(other)),
         };
         if r.pos != bytes.len() {
@@ -252,6 +293,18 @@ impl WireMessage {
             WireMessage::JoinRequest { .. } => "join-request",
             WireMessage::StateTransfer { .. } => "state-transfer",
             WireMessage::UpdateAck { .. } => "update-ack",
+            WireMessage::Batch { .. } => "batch",
+        }
+    }
+
+    /// Number of object updates this frame carries (counting into
+    /// batches), for frames-vs-messages accounting.
+    #[must_use]
+    pub fn update_count(&self) -> usize {
+        match self {
+            WireMessage::Update { .. } => 1,
+            WireMessage::Batch { messages } => messages.iter().map(WireMessage::update_count).sum(),
+            _ => 0,
         }
     }
 }
@@ -363,6 +416,27 @@ mod tests {
                 ],
             },
             WireMessage::StateTransfer { entries: vec![] },
+            WireMessage::Batch {
+                messages: vec![
+                    WireMessage::Update {
+                        object: ObjectId::new(1),
+                        version: Version::new(3),
+                        timestamp: Time::from_millis(10),
+                        payload: vec![0x11, 0x22],
+                    },
+                    WireMessage::Update {
+                        object: ObjectId::new(2),
+                        version: Version::new(9),
+                        timestamp: Time::from_millis(11),
+                        payload: Vec::new(),
+                    },
+                    WireMessage::Ping {
+                        from: NodeId::new(0),
+                        seq: 7,
+                    },
+                ],
+            },
+            WireMessage::Batch { messages: vec![] },
         ]
     }
 
@@ -434,6 +508,66 @@ mod tests {
         let kinds: Vec<&str> = samples().iter().map(WireMessage::kind).collect();
         assert!(kinds.contains(&"update"));
         assert!(kinds.contains(&"state-transfer"));
+        assert!(kinds.contains(&"batch"));
+    }
+
+    #[test]
+    fn nested_batch_rejected_at_decode() {
+        // Hand-assemble a batch whose single sub-message is itself a batch.
+        let inner = WireMessage::Batch { messages: vec![] }.encode();
+        let mut bytes = vec![TAG_BATCH];
+        put_u32(&mut bytes, 1);
+        put_bytes(&mut bytes, &inner);
+        assert_eq!(WireMessage::decode(&bytes), Err(CodecError::NestedBatch));
+    }
+
+    #[test]
+    fn implausible_batch_count_rejected() {
+        let mut bytes = vec![TAG_BATCH];
+        put_u32(&mut bytes, u32::MAX);
+        assert_eq!(
+            WireMessage::decode(&bytes),
+            Err(CodecError::BadLength(u32::MAX as usize))
+        );
+    }
+
+    #[test]
+    fn corrupted_sub_message_poisons_the_whole_batch() {
+        let msg = WireMessage::Batch {
+            messages: vec![WireMessage::Update {
+                object: ObjectId::new(1),
+                version: Version::new(1),
+                timestamp: Time::from_millis(1),
+                payload: vec![1, 2, 3],
+            }],
+        };
+        let good = msg.encode();
+        // Flip the sub-message tag byte (just past the count + length
+        // prefix) to an unknown value.
+        let mut bad = good.clone();
+        bad[1 + 4 + 4] = 0xEE;
+        assert_eq!(WireMessage::decode(&bad), Err(CodecError::UnknownTag(0xEE)));
+        // Shrink the sub-message length prefix so the sub decode truncates.
+        let mut short = good;
+        short[1 + 4 + 3] -= 1;
+        assert!(WireMessage::decode(&short).is_err());
+    }
+
+    #[test]
+    fn update_count_sees_through_batches() {
+        for msg in samples() {
+            match &msg {
+                WireMessage::Update { .. } => assert_eq!(msg.update_count(), 1),
+                WireMessage::Batch { messages } => assert_eq!(
+                    msg.update_count(),
+                    messages
+                        .iter()
+                        .filter(|m| matches!(m, WireMessage::Update { .. }))
+                        .count()
+                ),
+                _ => assert_eq!(msg.update_count(), 0),
+            }
+        }
     }
 
     #[test]

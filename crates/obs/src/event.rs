@@ -58,7 +58,12 @@ impl Role {
 }
 
 /// One structured protocol event.
+///
+/// Non-exhaustive: the taxonomy grows with the protocol. Downstream
+/// matches need a wildcard arm; the schema validator and JSONL writer in
+/// this crate stay exhaustive.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum EventKind {
     /// The primary transmitted an update toward a backup.
     UpdateSent {
@@ -69,6 +74,18 @@ pub enum EventKind {
         /// Destination backup.
         to: NodeId,
         /// Whether the link dropped it (known in simulation only).
+        lost: bool,
+    },
+    /// The primary transmitted a coalesced batch frame toward a backup.
+    /// The contained updates are reported individually as
+    /// [`EventKind::UpdateSent`] with the frame's shared loss outcome.
+    BatchSent {
+        /// Destination backup.
+        to: NodeId,
+        /// Number of sub-messages carried by the frame.
+        size: u64,
+        /// Whether the link dropped the whole frame (one decision per
+        /// frame; known in simulation only).
         lost: bool,
     },
     /// A backup applied an update to its store.
@@ -183,6 +200,7 @@ impl EventKind {
     pub const fn name(&self) -> &'static str {
         match self {
             EventKind::UpdateSent { .. } => "update_sent",
+            EventKind::BatchSent { .. } => "batch_sent",
             EventKind::UpdateApplied { .. } => "update_applied",
             EventKind::RetransmitRequested { .. } => "retransmit_requested",
             EventKind::HeartbeatSent { .. } => "heartbeat_sent",
@@ -236,6 +254,11 @@ impl ObsEvent {
                 o.uint_field("object", u64::from(object.index()))
                     .uint_field("version", version.value())
                     .uint_field("to", u64::from(to.index()))
+                    .bool_field("lost", *lost);
+            }
+            EventKind::BatchSent { to, size, lost } => {
+                o.uint_field("to", u64::from(to.index()))
+                    .uint_field("size", *size)
                     .bool_field("lost", *lost);
             }
             EventKind::UpdateApplied {
@@ -383,6 +406,11 @@ pub fn validate_line(line: &str) -> Result<(u64, u64, String), SchemaError> {
             require_u64(&map, "to")?;
             require_bool(&map, "lost")?;
         }
+        "batch_sent" => {
+            require_u64(&map, "to")?;
+            require_u64(&map, "size")?;
+            require_bool(&map, "lost")?;
+        }
         "update_applied" => {
             require_u64(&map, "object")?;
             require_u64(&map, "version")?;
@@ -465,6 +493,11 @@ mod tests {
                 version: Version::new(3),
                 to: NodeId::new(1),
                 lost: false,
+            },
+            EventKind::BatchSent {
+                to: NodeId::new(1),
+                size: 12,
+                lost: true,
             },
             EventKind::UpdateApplied {
                 object: ObjectId::new(1),

@@ -9,7 +9,7 @@ use rtpb_core::primary::Primary;
 use rtpb_core::wire::WireMessage;
 use rtpb_net::LinkConfig;
 use rtpb_obs::{ClockDomain, EventBus, EventKind, EventWriter, Role};
-use rtpb_types::{AdmissionError, NodeId, ObjectId, ObjectSpec, Time, TimeDelta};
+use rtpb_types::{AdmissionError, NodeId, ObjectId, ObjectSpec, Time, TimeDelta, Version};
 use std::collections::BinaryHeap;
 use std::error::Error;
 use std::fmt;
@@ -180,7 +180,7 @@ impl RtCluster {
         primary.add_backup(NodeId::new(1), shared.now());
         let mut ids = Vec::new();
         for spec in &config.objects {
-            let id = primary.register(spec.clone(), &[], shared.now())?;
+            let id = primary.register(spec.clone(), shared.now())?;
             shared.metrics.lock().unwrap().track_object(
                 id,
                 spec.window(),
@@ -195,7 +195,10 @@ impl RtCluster {
             backup.sync_registration(id, spec, period, shared.now());
             shared.metrics.lock().unwrap().set_refresh_allowance(
                 id,
-                period + config.protocol.link_delay_bound + config.protocol.retransmit_slack,
+                period
+                    + config.protocol.coalesce_window
+                    + config.protocol.link_delay_bound
+                    + config.protocol.retransmit_slack,
             );
         }
 
@@ -375,12 +378,23 @@ struct Links {
 }
 
 fn send_wire(link: &Links, msg: &WireMessage) {
-    let chosen = if matches!(msg, WireMessage::Update { .. }) {
+    let chosen = if matches!(msg, WireMessage::Update { .. } | WireMessage::Batch { .. }) {
         &link.data
     } else {
         &link.control
     };
     let _ = chosen.send(msg.encode());
+}
+
+/// The `(object, version)` pairs of every update a frame carries.
+fn frame_updates(msg: &WireMessage) -> Vec<(ObjectId, Version)> {
+    match msg {
+        WireMessage::Update {
+            object, version, ..
+        } => vec![(*object, *version)],
+        WireMessage::Batch { messages } => messages.iter().flat_map(frame_updates).collect(),
+        _ => Vec::new(),
+    }
 }
 
 #[allow(clippy::needless_pass_by_value)]
@@ -395,6 +409,10 @@ fn primary_loop(
 ) {
     let emit = |kind: EventKind| obs.emit(ClockDomain::Real, shared.now(), kind);
     let start = Instant::now();
+    let batching = primary.config().batching_enabled();
+    let coalesce_window = Duration::from(primary.config().coalesce_window);
+    let mut pending: Vec<ObjectId> = Vec::new();
+    let mut flush_at: Option<Instant> = None;
     let mut timers: BinaryHeap<Deadline> = BinaryHeap::new();
     for (id, _, period) in primary.registry() {
         timers.push(Deadline {
@@ -417,7 +435,15 @@ fn primary_loop(
             let d = timers.pop().expect("peeked");
             match d.object {
                 Some(id) => {
-                    if let Some(update) = primary.make_update(id) {
+                    if batching {
+                        // Coalesce: park the object, flush one window out.
+                        if !pending.contains(&id) {
+                            pending.push(id);
+                        }
+                        if flush_at.is_none() {
+                            flush_at = Some(Instant::now() + coalesce_window);
+                        }
+                    } else if let Some(update) = primary.make_update(id) {
                         shared.metrics.lock().unwrap().record_update_sent(false);
                         if let WireMessage::Update {
                             object, version, ..
@@ -457,12 +483,41 @@ fn primary_loop(
                 }
             }
         }
-        let timeout = timers
-            .peek()
-            .map_or(Duration::from_millis(10), |d| {
-                d.due.saturating_duration_since(Instant::now())
-            })
-            .min(Duration::from_millis(10));
+        // Flush an expired coalescing window as one batch frame.
+        if flush_at.is_some_and(|f| f <= Instant::now()) {
+            flush_at = None;
+            let ids = std::mem::take(&mut pending);
+            if let Some(batch) = primary.make_batch(&ids) {
+                let carried = frame_updates(&batch);
+                {
+                    let mut m = shared.metrics.lock().unwrap();
+                    for _ in &carried {
+                        m.record_update_sent(false);
+                    }
+                }
+                emit(EventKind::BatchSent {
+                    to: NodeId::new(1),
+                    size: carried.len() as u64,
+                    lost: false,
+                });
+                for (object, version) in carried {
+                    emit(EventKind::UpdateSent {
+                        object,
+                        version,
+                        to: NodeId::new(1),
+                        lost: false,
+                    });
+                }
+                send_wire(link, &batch);
+            }
+        }
+        let mut until_next = timers.peek().map_or(Duration::from_millis(10), |d| {
+            d.due.saturating_duration_since(Instant::now())
+        });
+        if let Some(f) = flush_at {
+            until_next = until_next.min(f.saturating_duration_since(Instant::now()));
+        }
+        let timeout = until_next.min(Duration::from_millis(10));
 
         // Poll both inputs until the next timer is due: client writes
         // first (latency-sensitive), then the network, then a short sleep.
@@ -668,12 +723,12 @@ fn backup_loop(
         match network.recv_timeout(Duration::from_millis(5)) {
             Ok(bytes) => {
                 if let Ok(msg) = WireMessage::decode(&bytes) {
-                    if let WireMessage::Update { object, .. } = &msg {
-                        shared
-                            .metrics
-                            .lock()
-                            .unwrap()
-                            .on_backup_refresh(*object, shared.now());
+                    {
+                        // A batch refreshes every update it carries.
+                        let mut m = shared.metrics.lock().unwrap();
+                        for (object, _) in frame_updates(&msg) {
+                            m.on_backup_refresh(object, shared.now());
+                        }
                     }
                     if rejoining && matches!(msg, WireMessage::StateTransfer { .. }) {
                         rejoining = false;
@@ -753,6 +808,30 @@ mod tests {
         assert!(
             mean < TimeDelta::from_millis(50),
             "in-process response time should be small, got {mean}"
+        );
+    }
+
+    #[test]
+    fn batched_pipeline_replicates_in_real_time() {
+        let mut config = RtConfig::default();
+        config.protocol.coalesce_window = TimeDelta::from_millis(5);
+        config.objects.push(spec(20));
+        config.objects.push(spec(30));
+        config.bus = EventBus::with_capacity(16_384);
+        let bus = config.bus.clone();
+        let report = RtCluster::run(config, Duration::from_millis(1200)).unwrap();
+        assert!(report.writes > 0);
+        assert!(
+            report.updates_applied > 0,
+            "backup must apply batched updates"
+        );
+        assert!(!report.failed_over);
+        let events = bus.collect();
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e.kind, EventKind::BatchSent { .. })),
+            "batched run must emit batch frames"
         );
     }
 

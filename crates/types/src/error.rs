@@ -77,6 +77,7 @@ impl Error for SpecError {}
 /// Each variant corresponds to one gate of the admission pipeline, and
 /// carries the data a client needs to renegotiate.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum AdmissionError {
     /// `p_i > δ_i^P`: the client's own update rate cannot keep the primary
     /// image within its external bound (Theorem 1 with `v_i = 0` for the
@@ -124,6 +125,21 @@ pub enum AdmissionError {
     /// The service is not accepting registrations (e.g. no backup yet
     /// recruited after a failover, and the policy requires one).
     ServiceUnavailable,
+    /// The configured batching coalescing window `W` would let a
+    /// coalesced update leave too late: Theorem 5 requires
+    /// `r_i + W + ℓ ≤ δ_i` for every admitted object.
+    CoalescingWindowTooWide {
+        /// The object whose consistency bound would be violated.
+        object: ObjectId,
+        /// That object's send period `r_i`.
+        period: TimeDelta,
+        /// The configured coalescing window `W`.
+        coalesce_window: TimeDelta,
+        /// The object's effective consistency window `δ_i`.
+        window: TimeDelta,
+        /// Renegotiation hints (the smallest window that would fit).
+        negotiation: QosNegotiation,
+    },
 }
 
 impl fmt::Display for AdmissionError {
@@ -165,6 +181,16 @@ impl fmt::Display for AdmissionError {
             AdmissionError::ServiceUnavailable => {
                 write!(f, "replication service is not accepting registrations")
             }
+            AdmissionError::CoalescingWindowTooWide {
+                object,
+                period,
+                coalesce_window,
+                window,
+                ..
+            } => write!(
+                f,
+                "coalescing window {coalesce_window} plus period {period} overruns consistency window {window} of {object}"
+            ),
         }
     }
 }
@@ -178,7 +204,8 @@ impl AdmissionError {
         match self {
             AdmissionError::PeriodExceedsPrimaryBound { negotiation, .. }
             | AdmissionError::WindowTooSmall { negotiation, .. }
-            | AdmissionError::Unschedulable { negotiation, .. } => Some(negotiation),
+            | AdmissionError::Unschedulable { negotiation, .. }
+            | AdmissionError::CoalescingWindowTooWide { negotiation, .. } => Some(negotiation),
             _ => None,
         }
     }

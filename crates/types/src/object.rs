@@ -1,6 +1,7 @@
 //! The replicated-object model: registration specs and versioned values.
 
 use crate::error::SpecError;
+use crate::ids::ObjectId;
 use crate::time::{Time, TimeDelta};
 
 /// Maximum payload size accepted for a replicated object, in bytes.
@@ -103,6 +104,7 @@ pub struct ObjectSpec {
     backup_bound: TimeDelta,
     size_bytes: usize,
     criticality: u32,
+    constraints: Vec<(ObjectId, TimeDelta)>,
 }
 
 impl ObjectSpec {
@@ -172,6 +174,26 @@ impl ObjectSpec {
     pub fn window(&self) -> TimeDelta {
         self.backup_bound - self.primary_bound
     }
+
+    /// Inter-object constraints this registration requests, as
+    /// `(partner, δ_ij)` pairs (§3, Theorem 6).
+    #[must_use]
+    pub fn constraints(&self) -> &[(ObjectId, TimeDelta)] {
+        &self.constraints
+    }
+
+    /// Returns the spec with inter-object constraints attached, replacing
+    /// any previously attached set. Each pair is `(partner, δ_ij)` where
+    /// `partner` is an already-registered object.
+    ///
+    /// This is the single registration entry point: pass the result to
+    /// `SimCluster::register` (or the runtime equivalent) and admission
+    /// evaluates the constraints along with the external bounds.
+    #[must_use]
+    pub fn with_constraints(mut self, partners: &[(ObjectId, TimeDelta)]) -> Self {
+        self.constraints = partners.to_vec();
+        self
+    }
 }
 
 impl core::fmt::Display for ObjectSpec {
@@ -198,6 +220,7 @@ pub struct ObjectSpecBuilder {
     backup_bound: Option<TimeDelta>,
     size_bytes: usize,
     criticality: u32,
+    constraints: Vec<(ObjectId, TimeDelta)>,
 }
 
 impl ObjectSpecBuilder {
@@ -211,6 +234,7 @@ impl ObjectSpecBuilder {
             backup_bound: None,
             size_bytes: 64,
             criticality: 0,
+            constraints: Vec::new(),
         }
     }
 
@@ -264,6 +288,14 @@ impl ObjectSpecBuilder {
         self
     }
 
+    /// Adds an inter-object constraint `|T_partner - T_self| ≤ bound`
+    /// against an already-registered object (§3, Theorem 6).
+    #[must_use]
+    pub fn constraint(mut self, partner: ObjectId, bound: TimeDelta) -> Self {
+        self.constraints.push((partner, bound));
+        self
+    }
+
     /// Validates and produces the [`ObjectSpec`].
     ///
     /// # Errors
@@ -308,6 +340,7 @@ impl ObjectSpecBuilder {
             backup_bound,
             size_bytes: self.size_bytes,
             criticality: self.criticality,
+            constraints: self.constraints,
         })
     }
 }
@@ -472,6 +505,20 @@ mod tests {
             SpecError::BadSize(MAX_OBJECT_SIZE + 1)
         );
         assert!(base().size_bytes(MAX_OBJECT_SIZE).build().is_ok());
+    }
+
+    #[test]
+    fn constraints_attach_via_builder_or_with_constraints() {
+        let partner = ObjectId::new(3);
+        let bound = TimeDelta::from_millis(250);
+        let spec = base().constraint(partner, bound).build().unwrap();
+        assert_eq!(spec.constraints(), &[(partner, bound)]);
+
+        let other = ObjectId::new(5);
+        let replaced = spec.with_constraints(&[(other, bound)]);
+        assert_eq!(replaced.constraints(), &[(other, bound)]);
+
+        assert!(base().build().unwrap().constraints().is_empty());
     }
 
     #[test]

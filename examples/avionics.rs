@@ -36,13 +36,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Lift is temporally tied to acceleration: |T_lift - T_accel| ≤ 250 ms
     // at both replicas (Theorem 6).
-    let lift = cluster.register_with_constraints(
+    let lift = cluster.register(
         ObjectSpec::builder("lift")
             .update_period(TimeDelta::from_millis(50))
             .primary_bound(TimeDelta::from_millis(80))
             .backup_bound(TimeDelta::from_millis(380))
+            .constraint(acceleration, TimeDelta::from_millis(250))
             .build()?,
-        &[(acceleration, TimeDelta::from_millis(250))],
     )?;
     println!("admitted lift as {lift} with a 250ms bound to acceleration");
     {

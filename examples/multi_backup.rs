@@ -8,7 +8,7 @@
 //! cargo run --example multi_backup
 //! ```
 
-use rtpb::core::harness::{ClusterConfig, SimCluster};
+use rtpb::core::harness::{ClusterConfig, FaultEvent, SimCluster};
 use rtpb::types::{ObjectSpec, TimeDelta};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -36,7 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\n--- first failure ---");
-    cluster.crash_primary();
+    cluster.inject(FaultEvent::CrashPrimary);
     cluster.run_for(TimeDelta::from_secs(3));
     println!(
         "promoted: {} (failover #{}); surviving backup re-joined: {:?}",
@@ -46,7 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     println!("\n--- second failure ---");
-    cluster.crash_primary();
+    cluster.inject(FaultEvent::CrashPrimary);
     cluster.run_for(TimeDelta::from_secs(3));
     println!(
         "promoted: {} (failover #{})",

@@ -10,7 +10,7 @@
 //! cargo run --example process_control
 //! ```
 
-use rtpb::core::harness::{ClusterConfig, SimCluster};
+use rtpb::core::harness::{ClusterConfig, FaultEvent, SimCluster};
 use rtpb::types::{ObjectSpec, TimeDelta};
 
 fn sensor(name: &str, period_ms: u64) -> ObjectSpec {
@@ -50,7 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Phase 2: the primary host dies.
     println!("\n--- primary crashes at t = {} ---", cluster.now());
-    cluster.crash_primary();
+    cluster.inject(FaultEvent::CrashPrimary);
     cluster.run_for(TimeDelta::from_secs(2));
 
     assert!(cluster.has_failed_over(), "backup must take over");

@@ -72,7 +72,7 @@ fn inter_object_skew_stays_bounded() {
     let a = cluster.register(spec(50, 80, 400)).unwrap();
     let bound = ms(200);
     let b = cluster
-        .register_with_constraints(spec(50, 80, 400), &[(a, bound)])
+        .register(spec(50, 80, 400).with_constraints(&[(a, bound)]))
         .unwrap();
     cluster.run_for(TimeDelta::from_secs(20));
 

@@ -1,7 +1,7 @@
 //! Failure-injection integration tests: crashes, takeover, and
 //! re-integration (paper §4.4).
 
-use rtpb::core::harness::{ClusterConfig, SimCluster};
+use rtpb::core::harness::{ClusterConfig, FaultEvent, SimCluster};
 use rtpb::types::{NodeId, ObjectSpec, TimeDelta};
 
 fn ms(v: u64) -> TimeDelta {
@@ -33,7 +33,7 @@ fn failover_happens_within_detection_budget() {
     cluster.register(spec(50)).unwrap();
     cluster.run_for(TimeDelta::from_secs(1));
     let crash_at = cluster.now();
-    cluster.crash_primary();
+    cluster.inject(FaultEvent::CrashPrimary);
     cluster.run_for(TimeDelta::from_secs(1));
     assert!(cluster.has_failed_over());
     let bindings = cluster.name_service().history();
@@ -56,7 +56,7 @@ fn writes_resume_after_takeover_with_preserved_state() {
     cluster.run_for(TimeDelta::from_secs(2));
     let version_before = cluster.backup().unwrap().store().get(id).unwrap().version();
     assert!(version_before.value() > 0, "backup has replicated state");
-    cluster.crash_primary();
+    cluster.inject(FaultEvent::CrashPrimary);
     cluster.run_for(TimeDelta::from_secs(2));
     let new_primary = cluster.primary().unwrap();
     assert_eq!(new_primary.node(), NodeId::new(1));
@@ -73,7 +73,7 @@ fn backup_crash_stops_updates_until_recruitment() {
     let mut cluster = cluster_with(Some(400));
     cluster.register(spec(50)).unwrap();
     cluster.run_for(TimeDelta::from_secs(1));
-    cluster.crash_backup();
+    cluster.inject(FaultEvent::CrashBackup { host: 0 });
     // Give detection time, then measure that update production pauses.
     cluster.run_for(TimeDelta::from_secs(1));
     let sent_at_pause = cluster.metrics().updates_sent();
@@ -97,11 +97,11 @@ fn double_fault_leaves_service_down_without_recruitment() {
     let mut cluster = cluster_with(None);
     let id = cluster.register(spec(50)).unwrap();
     cluster.run_for(TimeDelta::from_secs(1));
-    cluster.crash_primary();
+    cluster.inject(FaultEvent::CrashPrimary);
     cluster.run_for(TimeDelta::from_secs(1));
     assert!(cluster.has_failed_over());
     // Now the (sole) promoted server dies too.
-    cluster.crash_primary();
+    cluster.inject(FaultEvent::CrashPrimary);
     cluster.run_for(TimeDelta::from_secs(1));
     assert!(cluster.primary().is_none());
     assert!(cluster.backup().is_none());
@@ -121,7 +121,7 @@ fn full_cycle_crash_takeover_recruit_then_second_failover() {
     cluster.run_for(TimeDelta::from_secs(1));
 
     // First failure: node#0 dies, node#1 takes over, node#2 recruited.
-    cluster.crash_primary();
+    cluster.inject(FaultEvent::CrashPrimary);
     cluster.run_for(TimeDelta::from_secs(2));
     assert_eq!(cluster.name_service().resolve(), NodeId::new(1));
     assert_eq!(cluster.backup().unwrap().node(), NodeId::new(2));
@@ -129,7 +129,7 @@ fn full_cycle_crash_takeover_recruit_then_second_failover() {
     assert!(cluster.backup().unwrap().updates_applied() > 0);
 
     // Second failure: node#1 dies, node#2 takes over.
-    cluster.crash_primary();
+    cluster.inject(FaultEvent::CrashPrimary);
     cluster.run_for(TimeDelta::from_secs(2));
     assert_eq!(cluster.name_service().resolve(), NodeId::new(2));
     assert_eq!(cluster.name_service().failover_count(), 2);

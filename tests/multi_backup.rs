@@ -2,7 +2,7 @@
 //! several backups, independent failure detectors, rank-free takeover,
 //! and re-join of survivors.
 
-use rtpb::core::harness::{ClusterConfig, SimCluster};
+use rtpb::core::harness::{ClusterConfig, FaultEvent, SimCluster};
 use rtpb::types::{NodeId, ObjectSpec, TimeDelta};
 
 fn ms(v: u64) -> TimeDelta {
@@ -51,7 +51,7 @@ fn losing_one_backup_does_not_interrupt_replication() {
     let id = cluster.register(spec(50)).unwrap();
     cluster.run_for(TimeDelta::from_secs(2));
     // Kill the first (metrics) backup; the second keeps replicating.
-    cluster.crash_backup_host(0);
+    cluster.inject(FaultEvent::CrashBackup { host: 0 });
     cluster.run_for(TimeDelta::from_secs(3));
     assert!(!cluster.has_failed_over());
     let backups = cluster.backups();
@@ -69,7 +69,7 @@ fn failover_promotes_one_backup_and_rejoins_the_others() {
     let mut cluster = cluster(2);
     let id = cluster.register(spec(50)).unwrap();
     cluster.run_for(TimeDelta::from_secs(2));
-    cluster.crash_primary();
+    cluster.inject(FaultEvent::CrashPrimary);
     cluster.run_for(TimeDelta::from_secs(2));
 
     assert!(cluster.has_failed_over());
@@ -104,12 +104,12 @@ fn two_failovers_with_three_replicas() {
     let id = cluster.register(spec(50)).unwrap();
     cluster.run_for(TimeDelta::from_secs(1));
 
-    cluster.crash_primary();
+    cluster.inject(FaultEvent::CrashPrimary);
     cluster.run_for(TimeDelta::from_secs(2));
     assert_eq!(cluster.name_service().failover_count(), 1);
     assert_eq!(cluster.backups().len(), 2);
 
-    cluster.crash_primary();
+    cluster.inject(FaultEvent::CrashPrimary);
     cluster.run_for(TimeDelta::from_secs(2));
     assert_eq!(cluster.name_service().failover_count(), 2);
     assert_eq!(cluster.backups().len(), 1);

@@ -166,14 +166,14 @@ fn deterministic_replay_across_full_feature_set() {
             )
             .unwrap();
         let _b = cluster
-            .register_with_constraints(
+            .register(
                 ObjectSpec::builder("b")
                     .update_period(ms(50))
                     .primary_bound(ms(100))
                     .backup_bound(ms(500))
+                    .constraint(a, ms(300))
                     .build()
                     .unwrap(),
-                &[(a, ms(300))],
             )
             .unwrap();
         cluster.run_for(TimeDelta::from_secs(10));

@@ -13,7 +13,7 @@ use rtpb::sched::exec::{run_dcs, run_edf, run_rm, Horizon};
 use rtpb::sched::task::{PeriodicTask, TaskSet};
 use rtpb::sched::VarianceBound;
 use rtpb::sim::propcheck::{run_cases, Gen};
-use rtpb::types::{ObjectId, ObjectSpec, Time, TimeDelta, Version};
+use rtpb::types::{NodeId, ObjectId, ObjectSpec, Time, TimeDelta, Version};
 
 fn ms(v: u64) -> TimeDelta {
     TimeDelta::from_millis(v)
@@ -131,6 +131,42 @@ fn wire_codec_round_trips() {
         };
         let decoded = WireMessage::decode(&msg.encode()).expect("round trip");
         assert_eq!(decoded, msg);
+    });
+}
+
+/// The Batch frame round-trips arbitrary member lists through a single
+/// codec pass, and truncating the encoded frame at any prefix is a
+/// decode error, never a panic or a partial batch.
+#[test]
+fn batch_codec_round_trips_and_rejects_truncation() {
+    run_cases("batch_codec_round_trips_and_rejects_truncation", 64, |g| {
+        let n = g.usize_in(0, 8);
+        let messages: Vec<WireMessage> = (0..n)
+            .map(|_| match g.usize_in(0, 2) {
+                0 => WireMessage::Update {
+                    object: ObjectId::new(g.u64_in(0, 64) as u32),
+                    version: Version::new(g.any_u64()),
+                    timestamp: Time::from_nanos(g.any_u64() / 2),
+                    payload: g.bytes(64),
+                },
+                1 => WireMessage::Ping {
+                    from: NodeId::new(g.u64_in(0, 4) as u16),
+                    seq: g.any_u64(),
+                },
+                _ => WireMessage::RetransmitRequest {
+                    object: ObjectId::new(g.u64_in(0, 64) as u32),
+                    have_version: Version::new(g.any_u64()),
+                },
+            })
+            .collect();
+        let msg = WireMessage::Batch { messages };
+        let bytes = msg.encode();
+        assert_eq!(WireMessage::decode(&bytes).expect("round trip"), msg);
+        let cut = g.usize_in(0, bytes.len() - 1);
+        assert!(
+            WireMessage::decode(&bytes[..cut]).is_err(),
+            "truncation at {cut} must not decode"
+        );
     });
 }
 

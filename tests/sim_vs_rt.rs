@@ -2,7 +2,7 @@
 //! thread runtime: the same protocol cores must show the same qualitative
 //! behaviour under both drivers.
 
-use rtpb::core::harness::{ClusterConfig, SimCluster};
+use rtpb::core::harness::{ClusterConfig, FaultEvent, SimCluster};
 use rtpb::rt::{RtCluster, RtConfig};
 use rtpb::types::{ObjectSpec, TimeDelta};
 use std::time::Duration;
@@ -51,7 +51,7 @@ fn both_drivers_fail_over_on_primary_death() {
     let mut cluster = SimCluster::new(ClusterConfig::default());
     cluster.register(spec(50)).unwrap();
     cluster.run_for(TimeDelta::from_secs(1));
-    cluster.crash_primary();
+    cluster.inject(FaultEvent::CrashPrimary);
     cluster.run_for(TimeDelta::from_secs(1));
     assert!(cluster.has_failed_over());
 

@@ -1,0 +1,49 @@
+//! Smoke test for the throughput suite: a scaled-down tier must already
+//! show the batching win the full `BENCH_throughput.json` documents, and
+//! the emitted document must satisfy its own schema gate.
+
+use rtpb::types::TimeDelta;
+use rtpb_bench::throughput::{run_tier, validate_report_json, ThroughputConfig, ThroughputReport};
+
+/// At 600 objects the unbatched pipeline is saturated (offered send load
+/// exceeds `1 / send_cost_base`) while the coalesced pipeline amortizes
+/// the base cost: ≥2× updates/sec, staleness bound kept only by the
+/// batched run.
+#[test]
+fn batching_at_least_doubles_saturated_throughput() {
+    let config = ThroughputConfig {
+        tiers: vec![600],
+        run_time: TimeDelta::from_secs(2),
+        ..ThroughputConfig::default()
+    };
+    let tier = run_tier(&config, 600);
+
+    assert!(
+        tier.speedup() >= 2.0,
+        "batching must at least double saturated throughput, got {:.2}x \
+         ({:.0} vs {:.0} updates/sec)",
+        tier.speedup(),
+        tier.unbatched.updates_per_sec,
+        tier.batched.updates_per_sec
+    );
+    assert!(
+        tier.batched.bound_held,
+        "the batched run must stay within the staleness bound"
+    );
+    assert!(
+        !tier.unbatched.bound_held,
+        "the saturated unbatched run must blow the staleness bound — \
+         otherwise this tier is not actually saturated"
+    );
+    assert!(
+        tier.batched.frames_sent * 2 < tier.batched.updates_sent,
+        "coalescing must share frames"
+    );
+    assert!(tier.batched.mean_batch_occupancy >= 2.0);
+
+    let report = ThroughputReport {
+        config,
+        tiers: vec![tier],
+    };
+    validate_report_json(&report.to_json()).expect("report must pass the schema gate");
+}
