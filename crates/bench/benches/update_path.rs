@@ -6,10 +6,11 @@ use rtpb_bench::{criterion_group, criterion_main};
 use rtpb_core::harness::{ClusterConfig, SimCluster};
 use rtpb_core::wire::WireMessage;
 use rtpb_net::{Message, ProtocolGraph, UdpLike};
-use rtpb_types::{ObjectId, ObjectSpec, Time, TimeDelta, Version};
+use rtpb_types::{Epoch, ObjectId, ObjectSpec, Time, TimeDelta, Version};
 
 fn update_msg(payload_len: usize) -> WireMessage {
     WireMessage::Update {
+        epoch: Epoch::INITIAL,
         object: ObjectId::new(3),
         version: Version::new(42),
         timestamp: Time::from_millis(1234),

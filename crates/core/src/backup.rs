@@ -10,8 +10,8 @@ use crate::heartbeat::{DetectorAction, FailureDetector};
 use crate::primary::Primary;
 use crate::store::ObjectStore;
 use crate::update_sched::UpdateSchedule;
-use crate::wire::WireMessage;
-use rtpb_types::{NodeId, ObjectId, ObjectSpec, ObjectValue, Time, TimeDelta, Version};
+use crate::wire::{StateEntry, WireMessage};
+use rtpb_types::{Epoch, NodeId, ObjectId, ObjectSpec, ObjectValue, Time, TimeDelta, Version};
 use std::collections::BTreeMap;
 
 /// What happened when the backup processed an inbound message.
@@ -23,16 +23,23 @@ pub struct BackupOutput {
     /// `(object, version, primary write timestamp)` — the harness feeds
     /// these to the metrics.
     pub applied: Vec<(ObjectId, Version, Time)>,
+    /// Epochs of frames rejected as stale (their sender was deposed).
+    /// Drivers feed these to observability — no rejected frame ever
+    /// reaches the store.
+    pub stale_rejected: Vec<Epoch>,
 }
 
 /// Bounded-retry state of an in-flight join (§4.4 re-integration): a
 /// join request whose state transfer never arrives is re-sent with
 /// exponential backoff until it succeeds or the attempt budget runs out.
+/// Anti-entropy resync (a deposed primary rejoining after a partition
+/// heal) rides the same machinery with `resync` set.
 #[derive(Debug, Clone, Copy)]
 struct JoinState {
     next_attempt: Time,
     interval: TimeDelta,
     attempts: u32,
+    resync: bool,
 }
 
 /// The backup server.
@@ -43,7 +50,7 @@ struct JoinState {
 /// use rtpb_core::backup::Backup;
 /// use rtpb_core::config::ProtocolConfig;
 /// use rtpb_core::wire::WireMessage;
-/// use rtpb_types::{NodeId, ObjectId, ObjectSpec, Time, TimeDelta, Version};
+/// use rtpb_types::{Epoch, NodeId, ObjectId, ObjectSpec, Time, TimeDelta, Version};
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let mut backup = Backup::new(NodeId::new(1), ProtocolConfig::default());
@@ -56,6 +63,7 @@ struct JoinState {
 /// backup.sync_registration(id, spec, TimeDelta::from_millis(195), Time::ZERO);
 ///
 /// let update = WireMessage::Update {
+///     epoch: Epoch::INITIAL,
 ///     object: id,
 ///     version: Version::new(1),
 ///     timestamp: Time::from_millis(5),
@@ -75,6 +83,10 @@ pub struct Backup {
     last_update_at: BTreeMap<ObjectId, Time>,
     detector: FailureDetector,
     primary_alive: bool,
+    // Highest fencing epoch observed on any inbound frame; frames below
+    // it are rejected before they can touch the store (DESIGN.md §10).
+    epoch: Epoch,
+    stale_frames_rejected: u64,
     retransmit_requests_sent: u64,
     updates_applied: u64,
     duplicates_ignored: u64,
@@ -107,6 +119,50 @@ impl Backup {
             last_update_at: BTreeMap::new(),
             detector,
             primary_alive: true,
+            epoch: Epoch::INITIAL,
+            stale_frames_rejected: 0,
+            retransmit_requests_sent: 0,
+            updates_applied: 0,
+            duplicates_ignored: 0,
+            retransmit_attempts: BTreeMap::new(),
+            join: None,
+            join_attempts: 0,
+            join_abandoned: false,
+        }
+    }
+
+    /// Rebuilds a backup from an existing store — the demotion path of a
+    /// deposed primary (see [`Primary::demote`]). The inherited images
+    /// keep their versions; anti-entropy resync reconciles them against
+    /// the new primary. `epoch` is the successor's epoch the deposed
+    /// primary observed.
+    #[must_use]
+    pub(crate) fn from_store(
+        node: NodeId,
+        config: ProtocolConfig,
+        store: ObjectStore,
+        send_periods: BTreeMap<ObjectId, TimeDelta>,
+        epoch: Epoch,
+        now: Time,
+    ) -> Self {
+        let mut detector = FailureDetector::new(
+            node,
+            config.heartbeat_period,
+            config.heartbeat_timeout,
+            config.heartbeat_miss_threshold,
+        );
+        detector.reset(now);
+        let last_update_at = store.iter().map(|(id, _)| (id, now)).collect();
+        Backup {
+            node,
+            config,
+            store,
+            send_periods,
+            last_update_at,
+            detector,
+            primary_alive: true,
+            epoch,
+            stale_frames_rejected: 0,
             retransmit_requests_sent: 0,
             updates_applied: 0,
             duplicates_ignored: 0,
@@ -121,6 +177,19 @@ impl Backup {
     #[must_use]
     pub fn node(&self) -> NodeId {
         self.node
+    }
+
+    /// The highest fencing epoch observed on any inbound frame.
+    #[must_use]
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// Inbound frames rejected because their epoch was stale. None of
+    /// them reached the store.
+    #[must_use]
+    pub fn stale_frames_rejected(&self) -> u64 {
+        self.stale_frames_rejected
     }
 
     /// The mirrored object table.
@@ -179,19 +248,47 @@ impl Backup {
     /// transfer arrives or
     /// [`join_max_attempts`](ProtocolConfig::join_max_attempts) is spent.
     pub fn begin_join(&mut self, now: Time) -> WireMessage {
+        self.arm_join(now, false);
+        WireMessage::JoinRequest {
+            epoch: self.epoch,
+            from: self.node,
+        }
+    }
+
+    /// Starts a bounded-retry **anti-entropy resync** cycle — the
+    /// re-admission path of a deposed primary after a partition heal. The
+    /// request carries this node's per-object version vector so the new
+    /// primary can ship only the objects where this node is behind.
+    /// Retries and the attempt budget are shared with the join machinery
+    /// ([`Backup::tick_join`]).
+    pub fn begin_resync(&mut self, now: Time) -> WireMessage {
+        self.arm_join(now, true);
+        self.resync_request()
+    }
+
+    fn arm_join(&mut self, now: Time, resync: bool) {
         self.join = Some(JoinState {
             next_attempt: now + self.config.join_retry_initial,
             interval: self.config.join_retry_initial,
             attempts: 1,
+            resync,
         });
         self.join_attempts = 1;
         self.join_abandoned = false;
-        WireMessage::JoinRequest { from: self.node }
     }
 
-    /// Advances the join retry clock: returns a fresh join request when
-    /// one is due, `None` while waiting (or when no join is in flight).
-    /// Gives up for good once the attempt budget is exhausted.
+    fn resync_request(&self) -> WireMessage {
+        WireMessage::ResyncRequest {
+            epoch: self.epoch,
+            from: self.node,
+            versions: self.store.iter().map(|(id, e)| (id, e.version())).collect(),
+        }
+    }
+
+    /// Advances the join retry clock: returns a fresh join (or resync)
+    /// request when one is due, `None` while waiting (or when no join is
+    /// in flight). Gives up for good once the attempt budget is
+    /// exhausted.
     pub fn tick_join(&mut self, now: Time) -> Option<WireMessage> {
         let state = self.join.as_mut()?;
         if now < state.next_attempt {
@@ -207,7 +304,15 @@ impl Backup {
         state.interval = (state.interval * 2).min(self.config.join_retry_max);
         state.next_attempt = now + state.interval;
         self.join_attempts = state.attempts;
-        Some(WireMessage::JoinRequest { from: self.node })
+        let resync = state.resync;
+        if resync {
+            Some(self.resync_request())
+        } else {
+            Some(WireMessage::JoinRequest {
+                epoch: self.epoch,
+                from: self.node,
+            })
+        }
     }
 
     /// Mirrors a registration made at the primary (space reservation,
@@ -242,14 +347,39 @@ impl Backup {
     }
 
     /// Handles an inbound message from the network.
+    ///
+    /// Fencing runs before dispatch: a frame whose epoch is below the
+    /// highest this backup has observed is rejected — it never touches
+    /// the store, never feeds the watchdogs, and never counts as primary
+    /// liveness. A stale *ping* still earns a [`WireMessage::PingAck`]
+    /// carrying the current epoch, which is how a deposed primary learns
+    /// it has been superseded once the partition heals. Frames from a
+    /// higher epoch move this backup's epoch forward.
     pub fn handle_message(&mut self, msg: &WireMessage, now: Time) -> BackupOutput {
         let mut out = BackupOutput::default();
+        let frame_epoch = msg.epoch();
+        if frame_epoch < self.epoch {
+            self.stale_frames_rejected += 1;
+            out.stale_rejected.push(frame_epoch);
+            if let WireMessage::Ping { seq, .. } = msg {
+                out.replies.push(WireMessage::PingAck {
+                    epoch: self.epoch,
+                    from: self.node,
+                    seq: *seq,
+                });
+            }
+            return out;
+        }
+        if frame_epoch > self.epoch {
+            self.epoch = frame_epoch;
+        }
         match msg {
             WireMessage::Update {
                 object,
                 version,
                 timestamp,
                 payload,
+                ..
             } => {
                 // Any update is evidence of primary life and freshness;
                 // it also resets the retransmission backoff and
@@ -268,6 +398,7 @@ impl Backup {
                     out.applied.push((*object, *version, *timestamp));
                     if self.config.ack_updates {
                         out.replies.push(WireMessage::UpdateAck {
+                            epoch: self.epoch,
                             object: *object,
                             version: *version,
                         });
@@ -278,6 +409,7 @@ impl Backup {
             }
             WireMessage::Ping { seq, .. } => {
                 out.replies.push(WireMessage::PingAck {
+                    epoch: self.epoch,
                     from: self.node,
                     seq: *seq,
                 });
@@ -285,25 +417,18 @@ impl Backup {
             WireMessage::PingAck { seq, .. } => {
                 self.detector.on_ack(*seq, now);
             }
-            WireMessage::StateTransfer { entries } => {
-                // The state transfer is the join's success signal, and a
-                // frame from the primary is evidence of its life.
+            WireMessage::StateTransfer { entries, .. }
+            | WireMessage::ResyncDiff { entries, .. } => {
+                // The state transfer (or resync diff) is the join cycle's
+                // success signal, and a frame from the primary is
+                // evidence of its life.
                 self.detector.note_traffic(now);
                 self.join = None;
                 for e in entries {
-                    self.last_update_at.insert(e.object, now);
-                    self.retransmit_attempts.remove(&e.object);
-                    let installed = self.store.apply(
-                        e.object,
-                        ObjectValue::new(e.version, e.timestamp, e.payload.clone()),
-                    );
-                    if installed {
-                        self.updates_applied += 1;
-                        out.applied.push((e.object, e.version, e.timestamp));
-                    }
+                    self.install_entry(e, now, &mut out);
                 }
             }
-            WireMessage::Batch { messages } => {
+            WireMessage::Batch { messages, .. } => {
                 // One frame, many sub-messages: unpack in send order. The
                 // contained updates each feed the watchdogs and the
                 // piggybacked heartbeat.
@@ -311,15 +436,30 @@ impl Backup {
                     let sub = self.handle_message(m, now);
                     out.replies.extend(sub.replies);
                     out.applied.extend(sub.applied);
+                    out.stale_rejected.extend(sub.stale_rejected);
                 }
             }
             WireMessage::RetransmitRequest { .. }
             | WireMessage::JoinRequest { .. }
+            | WireMessage::ResyncRequest { .. }
             | WireMessage::UpdateAck { .. } => {
                 // Not addressed to a backup; ignore.
             }
         }
         out
+    }
+
+    fn install_entry(&mut self, e: &StateEntry, now: Time, out: &mut BackupOutput) {
+        self.last_update_at.insert(e.object, now);
+        self.retransmit_attempts.remove(&e.object);
+        let installed = self.store.apply(
+            e.object,
+            ObjectValue::new(e.version, e.timestamp, e.payload.clone()),
+        );
+        if installed {
+            self.updates_applied += 1;
+            out.applied.push((e.object, e.version, e.timestamp));
+        }
     }
 
     /// Checks the freshness watchdog of one object. If no update arrived
@@ -357,6 +497,7 @@ impl Backup {
             // (backed-off) watchdog window rather than a flood.
             self.last_update_at.insert(id, now);
             return Some(WireMessage::RetransmitRequest {
+                epoch: self.epoch,
                 object: id,
                 have_version: self.store.get(id)?.version(),
             });
@@ -373,6 +514,7 @@ impl Backup {
         match self.detector.tick(now) {
             DetectorAction::SendPing(seq) => (
                 Some(WireMessage::Ping {
+                    epoch: self.epoch,
                     from: self.node,
                     seq,
                 }),
@@ -395,10 +537,11 @@ impl Backup {
     }
 
     /// Takes over as the new primary (§4.4): consumes the backup and
-    /// produces a [`Primary`] serving the mirrored state. The caller
-    /// (driver) is responsible for the surrounding choreography — rebind
-    /// the name service, activate the standby client application, and
-    /// wait to recruit a new backup.
+    /// produces a [`Primary`] serving the mirrored state, minting the
+    /// next fencing epoch so every frame of the old regime is rejected
+    /// from here on. The caller (driver) is responsible for the
+    /// surrounding choreography — rebind the name service, activate the
+    /// standby client application, and wait to recruit a new backup.
     #[must_use]
     pub fn promote(self, now: Time) -> Primary {
         // Recompute the send schedule from the mirrored registry so the
@@ -421,6 +564,7 @@ impl Backup {
             self.store,
             Vec::new(),
             schedule,
+            self.epoch.next(),
             now,
         )
     }
@@ -456,7 +600,12 @@ mod tests {
     }
 
     fn update(id: ObjectId, version: u64, ts: u64) -> WireMessage {
+        update_at_epoch(Epoch::INITIAL, id, version, ts)
+    }
+
+    fn update_at_epoch(epoch: Epoch, id: ObjectId, version: u64, ts: u64) -> WireMessage {
         WireMessage::Update {
+            epoch,
             object: id,
             version: Version::new(version),
             timestamp: t(ts),
@@ -495,6 +644,7 @@ mod tests {
             WireMessage::RetransmitRequest {
                 object,
                 have_version,
+                ..
             } => {
                 assert_eq!(object, id);
                 assert_eq!(have_version, Version::INITIAL);
@@ -525,6 +675,7 @@ mod tests {
         let (mut b, _) = backup_with_object();
         let out = b.handle_message(
             &WireMessage::Ping {
+                epoch: Epoch::INITIAL,
                 from: NodeId::new(0),
                 seq: 9,
             },
@@ -533,6 +684,7 @@ mod tests {
         assert_eq!(
             out.replies,
             vec![WireMessage::PingAck {
+                epoch: Epoch::INITIAL,
                 from: NodeId::new(1),
                 seq: 9
             }]
@@ -564,6 +716,8 @@ mod tests {
         b.handle_message(&update(id, 3, 50), t(60));
         let mut new_primary = b.promote(t(200));
         assert_eq!(new_primary.node(), NodeId::new(1));
+        // Promotion mints the next fencing epoch.
+        assert_eq!(new_primary.epoch(), Epoch::new(1));
         assert_eq!(
             new_primary.store().get(id).unwrap().version(),
             Version::new(3)
@@ -572,7 +726,7 @@ mod tests {
         let v = new_primary.apply_client_write(id, vec![9], t(210)).unwrap();
         assert_eq!(v, Version::new(4));
         // No backup yet: update production suppressed.
-        assert!(new_primary.make_update(id).is_none());
+        assert!(new_primary.make_update(id, t(211)).is_none());
         assert!(!new_primary.is_backup_alive());
         // Schedule was recomputed from the mirrored specs.
         assert_eq!(new_primary.send_period(id), Some(ms(195)));
@@ -583,6 +737,7 @@ mod tests {
         let (mut b, id) = backup_with_object();
         let out = b.handle_message(
             &WireMessage::StateTransfer {
+                epoch: Epoch::INITIAL,
                 entries: vec![StateEntry {
                     object: id,
                     version: Version::new(7),
@@ -643,6 +798,7 @@ mod tests {
         let _ = b.begin_join(t(0));
         let _ = b.handle_message(
             &WireMessage::StateTransfer {
+                epoch: Epoch::INITIAL,
                 entries: vec![StateEntry {
                     object: id,
                     version: Version::new(1),
@@ -665,6 +821,7 @@ mod tests {
         b.sync_registration(a, spec(), ms(195), Time::ZERO);
         b.sync_registration(c, spec(), ms(195), Time::ZERO);
         let batch = WireMessage::Batch {
+            epoch: Epoch::INITIAL,
             messages: vec![update(a, 1, 5), update(c, 1, 6)],
         };
         let out = b.handle_message(&batch, t(12));
@@ -721,5 +878,113 @@ mod tests {
         b.sync_send_period(id, ms(50));
         // New allowance = 50 + 10 + 5 = 65 ms.
         assert!(b.tick_watchdog(id, t(66)).is_some());
+    }
+
+    #[test]
+    fn stale_epoch_update_never_reaches_the_store() {
+        let (mut b, id) = backup_with_object();
+        // Adopt epoch 1 from a fresh update.
+        b.handle_message(&update_at_epoch(Epoch::new(1), id, 3, 10), t(12));
+        assert_eq!(b.epoch(), Epoch::new(1));
+        // A deposed primary streams a *newer version* at the old epoch:
+        // fenced, even though the version would have won the version race.
+        let out = b.handle_message(&update_at_epoch(Epoch::INITIAL, id, 9, 20), t(22));
+        assert!(out.applied.is_empty());
+        assert_eq!(out.stale_rejected, vec![Epoch::INITIAL]);
+        assert_eq!(b.stale_frames_rejected(), 1);
+        assert_eq!(b.store().get(id).unwrap().version(), Version::new(3));
+    }
+
+    #[test]
+    fn stale_ping_earns_a_current_epoch_ack() {
+        let (mut b, id) = backup_with_object();
+        b.handle_message(&update_at_epoch(Epoch::new(2), id, 1, 5), t(6));
+        let out = b.handle_message(
+            &WireMessage::Ping {
+                epoch: Epoch::INITIAL,
+                from: NodeId::new(0),
+                seq: 11,
+            },
+            t(7),
+        );
+        // The reply teaches the deposed sender the current epoch.
+        assert_eq!(
+            out.replies,
+            vec![WireMessage::PingAck {
+                epoch: Epoch::new(2),
+                from: NodeId::new(1),
+                seq: 11
+            }]
+        );
+        assert_eq!(out.stale_rejected, vec![Epoch::INITIAL]);
+    }
+
+    #[test]
+    fn stale_frames_do_not_feed_liveness_or_watchdogs() {
+        let (mut b, id) = backup_with_object();
+        b.handle_message(&update_at_epoch(Epoch::new(1), id, 1, 5), t(6));
+        // Stale updates keep arriving but must not reset the watchdog.
+        for k in 0..4u64 {
+            b.handle_message(
+                &update_at_epoch(Epoch::INITIAL, id, 10 + k, 50 + k),
+                t(50 + k * 50),
+            );
+        }
+        // Allowance = 195 + 10 + 5 = 210 ms from the *fresh* update at t=6.
+        assert!(b.tick_watchdog(id, t(6 + 211)).is_some());
+    }
+
+    #[test]
+    fn resync_cycle_retries_and_completes_on_diff() {
+        let config = ProtocolConfig {
+            join_retry_initial: ms(50),
+            join_retry_max: ms(200),
+            join_max_attempts: 5,
+            ..ProtocolConfig::default()
+        };
+        let mut b = Backup::new(NodeId::new(0), config);
+        let id = ObjectId::new(0);
+        b.sync_registration(id, spec(), ms(195), Time::ZERO);
+        b.handle_message(&update_at_epoch(Epoch::new(1), id, 4, 5), t(6));
+        let first = b.begin_resync(t(10));
+        match &first {
+            WireMessage::ResyncRequest {
+                epoch,
+                from,
+                versions,
+            } => {
+                assert_eq!(*epoch, Epoch::new(1));
+                assert_eq!(*from, NodeId::new(0));
+                assert_eq!(versions, &vec![(id, Version::new(4))]);
+            }
+            other => panic!("expected resync request, got {other:?}"),
+        }
+        // Unanswered: the retry is another resync request, not a join.
+        let retry = b.tick_join(t(60)).expect("retry due");
+        assert!(matches!(retry, WireMessage::ResyncRequest { .. }));
+        // The diff completes the cycle and installs the missing state.
+        let out = b.handle_message(
+            &WireMessage::ResyncDiff {
+                epoch: Epoch::new(1),
+                entries: vec![StateEntry {
+                    object: id,
+                    version: Version::new(6),
+                    timestamp: t(55),
+                    payload: vec![6],
+                }],
+            },
+            t(70),
+        );
+        assert_eq!(out.applied.len(), 1);
+        assert!(!b.join_in_progress());
+        assert_eq!(b.store().get(id).unwrap().version(), Version::new(6));
+    }
+
+    #[test]
+    fn promotion_after_resync_minted_epoch_exceeds_everything_seen() {
+        let (mut b, id) = backup_with_object();
+        b.handle_message(&update_at_epoch(Epoch::new(3), id, 1, 5), t(6));
+        let p = b.promote(t(10));
+        assert_eq!(p.epoch(), Epoch::new(4));
     }
 }

@@ -117,6 +117,21 @@ pub struct ProtocolConfig {
     /// drain before deciding the next victim (prevents one transient
     /// burst from deregistering the whole object set).
     pub shed_cooldown: TimeDelta,
+    /// Duration of the primary's leadership lease. The lease is renewed by
+    /// every heartbeat acknowledgement (and any other inbound proof of
+    /// connectivity to a backup); once it lapses the primary must stop
+    /// originating updates. Sized so that
+    /// `lease_duration + clock_skew < heartbeat_miss_threshold ×
+    /// heartbeat_timeout` (the backup's declaration bound): by the time a
+    /// backup may promote, the old primary's lease has provably expired
+    /// even under worst-case clock skew, making two simultaneous holders
+    /// impossible by construction.
+    pub lease_duration: TimeDelta,
+    /// Worst-case clock skew between any two hosts, budgeted into the
+    /// lease sizing rule above. The virtual-clock sim has zero skew; the
+    /// real-clock runtime inherits the host's NTP discipline, so this is a
+    /// safety margin rather than a measured quantity.
+    pub clock_skew: TimeDelta,
     /// Coalescing window `W` of the batched update pipeline: when an
     /// object's send timer fires, its update waits up to `W` so updates
     /// due close together leave in one [`Batch`] frame. `ZERO` (the
@@ -154,6 +169,8 @@ impl Default for ProtocolConfig {
             shed_enabled: false,
             shed_backlog_threshold: 64,
             shed_cooldown: TimeDelta::from_millis(250),
+            lease_duration: TimeDelta::from_millis(250),
+            clock_skew: TimeDelta::from_millis(10),
             coalesce_window: TimeDelta::ZERO,
         }
     }
@@ -170,6 +187,16 @@ impl ProtocolConfig {
     #[must_use]
     pub fn batching_enabled(&self) -> bool {
         !self.coalesce_window.is_zero()
+    }
+
+    /// The failure-detection declaration bound: the minimum elapsed time
+    /// between a backup's last contact with the primary and the instant it
+    /// may declare the primary dead (`heartbeat_miss_threshold` misses of
+    /// `heartbeat_timeout` each). The lease sizing rule compares against
+    /// this bound.
+    #[must_use]
+    pub fn declaration_bound(&self) -> TimeDelta {
+        self.heartbeat_timeout * u64::from(self.heartbeat_miss_threshold)
     }
 
     /// Validates parameter sanity.
@@ -199,6 +226,16 @@ impl ProtocolConfig {
         assert!(
             self.join_retry_max >= self.join_retry_initial,
             "join retry cap must be at least the initial interval"
+        );
+        assert!(
+            !self.lease_duration.is_zero(),
+            "lease duration must be positive"
+        );
+        assert!(
+            self.lease_duration + self.clock_skew < self.declaration_bound(),
+            "lease duration plus clock skew must be below the failure-detection \
+             declaration bound, or a promoted backup could coexist with a \
+             still-leased primary"
         );
     }
 }
@@ -254,6 +291,33 @@ mod tests {
         let c = ProtocolConfig {
             heartbeat_timeout: TimeDelta::from_millis(10),
             heartbeat_period: TimeDelta::from_millis(50),
+            ..ProtocolConfig::default()
+        };
+        c.validate();
+    }
+
+    #[test]
+    fn default_lease_sizing_leaves_skew_margin() {
+        let c = ProtocolConfig::default();
+        assert!(c.lease_duration + c.clock_skew < c.declaration_bound());
+        assert_eq!(c.declaration_bound(), TimeDelta::from_millis(300));
+    }
+
+    #[test]
+    #[should_panic(expected = "lease duration plus clock skew")]
+    fn oversized_lease_rejected() {
+        let c = ProtocolConfig {
+            lease_duration: TimeDelta::from_millis(400),
+            ..ProtocolConfig::default()
+        };
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "lease duration must be positive")]
+    fn zero_lease_rejected() {
+        let c = ProtocolConfig {
+            lease_duration: TimeDelta::ZERO,
             ..ProtocolConfig::default()
         };
         c.validate();

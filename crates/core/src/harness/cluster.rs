@@ -25,7 +25,7 @@ use crate::wire::WireMessage;
 use rtpb_net::{FaultKind, FaultWindow, LinkConfig, LossyLink, Message, ProtocolGraph, UdpLike};
 use rtpb_obs::{Counter, EventBus, EventKind, Histogram, MetricsRegistry, Role};
 use rtpb_sim::{Context, Simulation, World};
-use rtpb_types::{AdmissionError, NodeId, ObjectId, ObjectSpec, Time, TimeDelta, Version};
+use rtpb_types::{AdmissionError, Epoch, NodeId, ObjectId, ObjectSpec, Time, TimeDelta, Version};
 use std::collections::BTreeMap;
 
 /// Configuration of a simulated cluster.
@@ -99,6 +99,7 @@ struct Instruments {
     client_writes: Counter,
     failovers: Counter,
     faults_injected: Counter,
+    fenced_frames: Counter,
     response_time: Histogram,
     failover_time: Histogram,
     batch_occupancy: Histogram,
@@ -114,6 +115,7 @@ impl Instruments {
             client_writes: registry.counter("cluster.client_writes"),
             failovers: registry.counter("cluster.failovers"),
             faults_injected: registry.counter("cluster.faults_injected"),
+            fenced_frames: registry.counter("cluster.fenced_frames"),
             response_time: registry.histogram("cluster.response_time"),
             failover_time: registry.histogram("cluster.failover_time"),
             // Occupancy is a count of sub-messages, not a duration; the
@@ -132,6 +134,7 @@ fn fault_name(fault: InjectedFault) -> &'static str {
         InjectedFault::BackupCrash => "backup_crash",
         InjectedFault::BackupRecovery => "backup_recovery",
         InjectedFault::Partition => "partition",
+        InjectedFault::PrimaryPartition => "primary_partition",
         InjectedFault::LossBurst => "loss_burst",
         InjectedFault::DelaySpike => "delay_spike",
     }
@@ -139,19 +142,49 @@ fn fault_name(fault: InjectedFault) -> &'static str {
 
 #[derive(Debug)]
 enum Event {
-    ClientWrite { object: ObjectId },
+    ClientWrite {
+        object: ObjectId,
+    },
     CpuFinished,
-    SendTimer { object: ObjectId, epoch: u32 },
+    SendTimer {
+        object: ObjectId,
+        epoch: u32,
+    },
     FlushBatch,
-    WatchdogTimer { object: ObjectId, epoch: u32 },
+    WatchdogTimer {
+        object: ObjectId,
+        epoch: u32,
+    },
     PrimaryHeartbeat,
     BackupHeartbeat,
-    DeliverToBackup { host: usize, wire: Message },
-    DeliverToPrimary { host: usize, wire: Message },
-    Inject { fault: FaultEvent },
+    /// Probe cadence of a deposed primary stranded on the minority side
+    /// of a split-brain partition.
+    DeposedTick,
+    DeliverToBackup {
+        host: usize,
+        wire: Message,
+        /// Whether the frame originated at the deposed primary (replies
+        /// must route back to it, not to the serving primary).
+        from_deposed: bool,
+    },
+    DeliverToPrimary {
+        host: usize,
+        wire: Message,
+    },
+    DeliverToDeposed {
+        wire: Message,
+    },
+    Inject {
+        fault: FaultEvent,
+    },
     RecruitBackup,
-    FaultAt { index: usize },
-    FaultHealed { record: usize, host: Option<usize> },
+    FaultAt {
+        index: usize,
+    },
+    FaultHealed {
+        record: usize,
+        host: Option<usize>,
+    },
 }
 
 /// Collects the `(object, version)` pairs of every update carried by a
@@ -162,7 +195,7 @@ fn collect_updates(msg: &WireMessage, out: &mut Vec<(ObjectId, Version)>) {
         WireMessage::Update {
             object, version, ..
         } => out.push((*object, *version)),
-        WireMessage::Batch { messages } => {
+        WireMessage::Batch { messages, .. } => {
             for m in messages {
                 collect_updates(m, out);
             }
@@ -214,9 +247,25 @@ impl BackupHost {
     }
 }
 
+/// A primary that kept running after a backup promoted itself on the
+/// other side of a partition (the split-brain window). It probes its
+/// last-known peers; the successor's higher fencing epoch, echoed in a
+/// ping ack after the heal, is what makes it step down.
+struct DeposedPrimary {
+    primary: Primary,
+    /// The instant its side of the partition heals; until then every
+    /// frame to or from it is dropped.
+    cut_until: Time,
+    /// The open [`InjectedFault::PrimaryPartition`] record, closed when
+    /// the demoted replica's resync diff lands.
+    record: usize,
+}
+
 struct ClusterWorld {
     config: ClusterConfig,
     primary: Option<Primary>,
+    /// See [`DeposedPrimary`]; `Some` only during a split-brain window.
+    deposed: Option<DeposedPrimary>,
     hosts: Vec<BackupHost>,
     p2b_tx: ProtocolGraph,
     p2b_rx: ProtocolGraph,
@@ -241,6 +290,12 @@ struct ClusterWorld {
     pending_backup_crash: BTreeMap<usize, usize>,
     pending_recovery: BTreeMap<usize, usize>,
     pending_partition: BTreeMap<usize, usize>,
+    /// An active cut isolating the serving primary: `(record, until)`.
+    /// Moves into [`DeposedPrimary`] if a backup promotes meanwhile.
+    primary_partition: Option<(usize, Time)>,
+    /// Demoted ex-primaries awaiting their anti-entropy resync diff,
+    /// keyed by host index; values are fault-record indices.
+    pending_resync: BTreeMap<usize, usize>,
     /// Open loss-burst / delay-spike records: `(record, host, until)`.
     /// Detection is attributed to retransmission requests arriving from a
     /// matching host before `until` plus a grace period.
@@ -268,12 +323,41 @@ impl ClusterWorld {
         self.hosts.iter().filter(|h| h.backup.is_some()).count()
     }
 
+    /// Whether the serving primary is currently cut off from every
+    /// backup ([`FaultEvent::PartitionPrimary`]). While true, frames in
+    /// either direction between the primary and the backups are dropped.
+    fn primary_cut(&self, now: Time) -> bool {
+        self.primary_partition.is_some_and(|(_, until)| now < until)
+    }
+
+    /// Counts and emits the stale-epoch frames a replica just fenced.
+    fn note_fenced(
+        &self,
+        ctx: &mut Context<'_, Event>,
+        node: NodeId,
+        local: Epoch,
+        stale: &[Epoch],
+    ) {
+        for &frame in stale {
+            self.instruments.fenced_frames.inc();
+            ctx.emit(EventKind::StaleEpochRejected {
+                node,
+                frame_epoch: frame.value(),
+                local_epoch: local.value(),
+            });
+        }
+    }
+
     /// Broadcasts a message to every backup the primary currently tracks.
     ///
     /// A [`WireMessage::Batch`] is one wire unit: the link makes a single
     /// loss/delay decision per frame per host, so a dropped batch drops
     /// every contained update together (correlated loss).
     fn transmit_to_backups(&mut self, ctx: &mut Context<'_, Event>, msg: &WireMessage) {
+        if self.primary_cut(ctx.now()) {
+            ctx.trace("primary partitioned: broadcast dropped");
+            return;
+        }
         let tracked: Vec<NodeId> = self
             .primary
             .as_ref()
@@ -282,7 +366,7 @@ impl ClusterWorld {
         let mut updates = Vec::new();
         collect_updates(msg, &mut updates);
         let batch_size = match msg {
-            WireMessage::Batch { messages } => Some(messages.len() as u64),
+            WireMessage::Batch { messages, .. } => Some(messages.len() as u64),
             _ => None,
         };
         let is_update = !updates.is_empty() || batch_size.is_some();
@@ -336,6 +420,7 @@ impl ClusterWorld {
                     Event::DeliverToBackup {
                         host: i,
                         wire: wire.clone(),
+                        from_deposed: false,
                     },
                 );
             }
@@ -350,6 +435,9 @@ impl ClusterWorld {
         host: usize,
         msg: &WireMessage,
     ) {
+        if self.primary_cut(ctx.now()) {
+            return;
+        }
         let is_update = matches!(msg, WireMessage::Update { .. } | WireMessage::Batch { .. });
         let Ok(wire) = self.p2b_tx.send(Message::from_payload(msg.encode())) else {
             return;
@@ -372,6 +460,7 @@ impl ClusterWorld {
                 Event::DeliverToBackup {
                     host,
                     wire: wire.clone(),
+                    from_deposed: false,
                 },
             );
         }
@@ -384,6 +473,9 @@ impl ClusterWorld {
         host: usize,
         msg: &WireMessage,
     ) {
+        if self.primary_cut(ctx.now()) {
+            return;
+        }
         let Ok(wire) = self.b2p_tx.send(Message::from_payload(msg.encode())) else {
             ctx.trace("b2p send rejected by protocol stack");
             return;
@@ -405,6 +497,71 @@ impl ClusterWorld {
                     wire: wire.clone(),
                 },
             );
+        }
+    }
+
+    /// Sends a frame from the deposed primary toward backup host `host`.
+    /// Dropped while the deposed side of the partition is still cut.
+    fn transmit_from_deposed(
+        &mut self,
+        ctx: &mut Context<'_, Event>,
+        host: usize,
+        msg: &WireMessage,
+    ) {
+        let Some(dep) = self.deposed.as_ref() else {
+            return;
+        };
+        if ctx.now() < dep.cut_until {
+            return;
+        }
+        let Ok(wire) = self.p2b_tx.send(Message::from_payload(msg.encode())) else {
+            return;
+        };
+        let Some(h) = self.hosts.get_mut(host) else {
+            return;
+        };
+        if h.backup.is_none() {
+            return;
+        }
+        // Probes are control traffic; they ride the control path.
+        for at in h.ctrl_link.transmit(ctx.now(), wire.wire_size()).arrivals() {
+            ctx.schedule_at(
+                at,
+                Event::DeliverToBackup {
+                    host,
+                    wire: wire.clone(),
+                    from_deposed: true,
+                },
+            );
+        }
+    }
+
+    /// Routes a backup's reply back to the deposed primary (the frame it
+    /// answers came from there, not from the serving primary).
+    fn transmit_to_deposed(
+        &mut self,
+        ctx: &mut Context<'_, Event>,
+        host: usize,
+        msg: &WireMessage,
+    ) {
+        let Some(dep) = self.deposed.as_ref() else {
+            return;
+        };
+        if ctx.now() < dep.cut_until {
+            return;
+        }
+        let Ok(wire) = self.b2p_tx.send(Message::from_payload(msg.encode())) else {
+            return;
+        };
+        let Some(h) = self.hosts.get_mut(host) else {
+            return;
+        };
+        for at in h
+            .rev_ctrl_link
+            .transmit(ctx.now(), wire.wire_size())
+            .arrivals()
+        {
+            ctx.schedule_at(at, Event::DeliverToDeposed { wire: wire.clone() });
         }
     }
 
@@ -452,9 +609,37 @@ impl ClusterWorld {
         }
     }
 
-    /// Backup host `host` takes over as the new primary (§4.4). Surviving
-    /// backups re-arm their detectors and join the new primary.
-    fn do_failover(&mut self, ctx: &mut Context<'_, Event>, host: usize) {
+    /// Total applied version across a backup's store — the scalar image
+    /// of its version vector used to rank failover candidates. Because
+    /// every replica applies the same per-object version sequence, a
+    /// higher total means a store that dominates (is at least as fresh
+    /// for every object and strictly fresher for one).
+    fn version_total(backup: &Backup) -> u64 {
+        backup
+            .store()
+            .iter()
+            .filter_map(|(_, e)| e.value().map(|v| v.version().value()))
+            .sum()
+    }
+
+    /// The failover target: the least-stale live backup (maximal version
+    /// vector), ties broken deterministically toward the lowest host
+    /// index.
+    fn failover_target(&self) -> Option<usize> {
+        self.hosts
+            .iter()
+            .enumerate()
+            .filter_map(|(i, h)| h.backup.as_ref().map(|b| (i, Self::version_total(b))))
+            .max_by(|&(i, a), &(j, b)| a.cmp(&b).then(j.cmp(&i)))
+            .map(|(i, _)| i)
+    }
+
+    /// A backup takes over as the new primary (§4.4). The first detector
+    /// to fire triggers the failover, but the replica promoted is the
+    /// least-stale live backup ([`ClusterWorld::failover_target`]);
+    /// surviving backups re-arm their detectors and join the new primary.
+    fn do_failover(&mut self, ctx: &mut Context<'_, Event>, detector: usize) {
+        let host = self.failover_target().unwrap_or(detector);
         let Some(backup) = self.hosts[host].backup.take() else {
             return;
         };
@@ -513,11 +698,79 @@ impl ClusterWorld {
         }
     }
 
+    /// Split-brain promotion: a backup's detector fired while the old
+    /// primary is alive but cut off. The old primary moves to the
+    /// deposed slot (keeping its store and its stale epoch) and a backup
+    /// promotes under a fresh epoch; from here on only the fencing
+    /// epoch keeps the two regimes from corrupting each other.
+    fn depose_and_failover(&mut self, ctx: &mut Context<'_, Event>, detector: usize) {
+        let Some((record, until)) = self.primary_partition.take() else {
+            return;
+        };
+        let Some(old) = self.primary.take() else {
+            return;
+        };
+        ctx.trace(format!(
+            "{} deposed behind the partition: split-brain window opens",
+            old.node()
+        ));
+        self.deposed = Some(DeposedPrimary {
+            primary: old,
+            cut_until: until,
+            record,
+        });
+        ctx.schedule_in(
+            self.config.protocol.heartbeat_period / 2,
+            Event::DeposedTick,
+        );
+        self.do_failover(ctx, detector);
+    }
+
+    /// The deposed primary observed the successor's higher epoch: it
+    /// steps down, becomes a backup host, and starts anti-entropy resync
+    /// against the serving primary through the bounded-retry join path.
+    fn demote_deposed(&mut self, ctx: &mut Context<'_, Event>) {
+        let Some(dep) = self.deposed.take() else {
+            return;
+        };
+        let now = ctx.now();
+        let node = dep.primary.node();
+        let from_epoch = dep.primary.epoch().value();
+        let to_epoch = dep.primary.observed_epoch().value();
+        ctx.trace(format!(
+            "{node} saw epoch#{to_epoch} (own: epoch#{from_epoch}): demoting, resyncing"
+        ));
+        ctx.emit(EventKind::PrimaryDemoted {
+            node,
+            from_epoch,
+            to_epoch,
+        });
+        ctx.emit(EventKind::RoleTransition {
+            node,
+            from: Role::Primary,
+            to: Role::Joining,
+        });
+        let mut backup = dep.primary.demote(now);
+        let resync = backup.begin_resync(now);
+        let objects = match &resync {
+            WireMessage::ResyncRequest { versions, .. } => versions.len() as u64,
+            _ => 0,
+        };
+        ctx.emit(EventKind::ResyncStarted { node, objects });
+        let index = self.hosts.len();
+        let mut host = BackupHost::new(node, index, &self.config);
+        host.backup = Some(backup);
+        self.hosts.push(host);
+        self.pending_resync.insert(index, dep.record);
+        self.transmit_to_primary(ctx, index, &resync);
+    }
+
     fn handle_delivery_to_backup(
         &mut self,
         ctx: &mut Context<'_, Event>,
         host: usize,
         wire: Message,
+        from_deposed: bool,
     ) {
         let report_metrics = self.metrics_host() == Some(host);
         let Some(h) = self.hosts.get_mut(host) else {
@@ -549,9 +802,16 @@ impl ClusterWorld {
             }
         }
         let out = backup.handle_message(&msg, ctx.now());
-        if matches!(msg, WireMessage::StateTransfer { .. }) {
-            // The state transfer completes re-integration: a recovering
-            // replica is consistent again once it lands.
+        let local_epoch = backup.epoch();
+        let node = self.hosts[host].node;
+        self.note_fenced(ctx, node, local_epoch, &out.stale_rejected);
+        if matches!(
+            msg,
+            WireMessage::StateTransfer { .. } | WireMessage::ResyncDiff { .. }
+        ) {
+            // The state transfer (or anti-entropy diff) completes
+            // re-integration: a recovering replica is consistent again
+            // once it lands.
             if let Some(record) = self.pending_recovery.remove(&host) {
                 self.metrics.record_fault_recovered(record, ctx.now());
                 ctx.emit(EventKind::FaultRecovered {
@@ -559,7 +819,15 @@ impl ClusterWorld {
                 });
             }
         }
-        let node = self.hosts[host].node;
+        if matches!(msg, WireMessage::ResyncDiff { .. }) {
+            if let Some(record) = self.pending_resync.remove(&host) {
+                ctx.emit(EventKind::ResyncCompleted { node });
+                self.metrics.record_fault_recovered(record, ctx.now());
+                ctx.emit(EventKind::FaultRecovered {
+                    record: record as u64,
+                });
+            }
+        }
         for (object, version, write_ts) in &out.applied {
             ctx.emit(EventKind::UpdateApplied {
                 object: *object,
@@ -572,7 +840,43 @@ impl ClusterWorld {
             }
         }
         for reply in out.replies {
-            self.transmit_to_primary(ctx, host, &reply);
+            if from_deposed {
+                // The answered frame came from the deposed primary; the
+                // reply (carrying this replica's newer epoch) goes back
+                // to it, not to the serving primary.
+                self.transmit_to_deposed(ctx, host, &reply);
+            } else {
+                self.transmit_to_primary(ctx, host, &reply);
+            }
+        }
+    }
+
+    /// Delivers a frame to the deposed primary. A ping ack bearing the
+    /// successor's higher epoch is what deposes it for good: it demotes
+    /// itself and starts resync.
+    fn handle_delivery_to_deposed(&mut self, ctx: &mut Context<'_, Event>, wire: Message) {
+        let up = match self.b2p_rx.receive(wire) {
+            Ok(Some(m)) => m,
+            Ok(None) => return,
+            Err(_) => {
+                self.corrupt_messages += 1;
+                return;
+            }
+        };
+        let Ok(msg) = WireMessage::decode(up.payload()) else {
+            self.corrupt_messages += 1;
+            return;
+        };
+        let Some(dep) = self.deposed.as_mut() else {
+            return;
+        };
+        let out = dep.primary.handle_message(&msg, ctx.now());
+        let node = dep.primary.node();
+        let local_epoch = dep.primary.epoch();
+        let superseded = dep.primary.is_deposed();
+        self.note_fenced(ctx, node, local_epoch, &out.stale_rejected);
+        if superseded {
+            self.demote_deposed(ctx);
         }
     }
 
@@ -629,10 +933,12 @@ impl ClusterWorld {
                 });
             }
         }
-        let out = {
+        let (out, p_node, p_epoch) = {
             let primary = self.primary.as_mut().expect("checked above");
-            primary.handle_message(&msg, ctx.now())
+            let out = primary.handle_message(&msg, ctx.now());
+            (out, primary.node(), primary.epoch())
         };
+        self.note_fenced(ctx, p_node, p_epoch, &out.stale_rejected);
         for reply in out.replies {
             // Update retransmissions consume primary CPU like any other
             // transmission (under overload they queue too — there is no
@@ -841,6 +1147,19 @@ impl ClusterWorld {
                     },
                 );
             }
+            FaultEvent::PartitionPrimary { duration } => {
+                if self.primary.is_none() {
+                    return;
+                }
+                let until = now + duration;
+                ctx.trace(format!("partition: primary cut off until {until}"));
+                let record = self
+                    .metrics
+                    .record_fault_injected(InjectedFault::PrimaryPartition, now);
+                self.note_injected(ctx, InjectedFault::PrimaryPartition, record);
+                self.primary_partition = Some((record, until));
+                ctx.schedule_at(until, Event::FaultHealed { record, host: None });
+            }
             FaultEvent::LossBurst {
                 host,
                 duration,
@@ -925,7 +1244,10 @@ impl ClusterWorld {
                             .config
                             .protocol
                             .send_cost(self.specs.get(&object).map_or(64, ObjectSpec::size_bytes));
-                        let update = self.primary.as_mut().and_then(|p| p.make_update(object));
+                        let update = self
+                            .primary
+                            .as_mut()
+                            .and_then(|p| p.make_update(object, now));
                         if let Some(message) = update {
                             if let Some(service) =
                                 self.cpu.submit(Work::SendUpdate { message }, cost)
@@ -1048,7 +1370,11 @@ impl World for ClusterWorld {
                     .config
                     .protocol
                     .send_cost(self.specs.get(&object).map_or(64, ObjectSpec::size_bytes));
-                let update = self.primary.as_mut().and_then(|p| p.make_update(object));
+                let now = ctx.now();
+                let update = self
+                    .primary
+                    .as_mut()
+                    .and_then(|p| p.make_update(object, now));
                 if let Some(message) = update {
                     if let Some(service) = self.cpu.submit(Work::SendUpdate { message }, cost) {
                         ctx.schedule_in(service, Event::CpuFinished);
@@ -1067,7 +1393,7 @@ impl World for ClusterWorld {
                 if !primary.is_backup_alive() {
                     return;
                 }
-                let Some(message) = primary.make_batch(&ids) else {
+                let Some(message) = primary.make_batch(&ids, ctx.now()) else {
                     return;
                 };
                 // The frame costs one base overhead for the whole batch —
@@ -1109,6 +1435,10 @@ impl World for ClusterWorld {
                         from: primary_node,
                         to: dest,
                     });
+                    if self.primary_cut(ctx.now()) {
+                        // The probe left the primary but dies in the cut.
+                        continue;
+                    }
                     // Route each probe to its peer only.
                     let exempt = self.config.control_loss_exempt;
                     let Ok(wire) = self.p2b_tx.send(Message::from_payload(ping.encode())) else {
@@ -1131,6 +1461,7 @@ impl World for ClusterWorld {
                                 Event::DeliverToBackup {
                                     host: i,
                                     wire: wire.clone(),
+                                    from_deposed: false,
                                 },
                             );
                         }
@@ -1202,21 +1533,34 @@ impl World for ClusterWorld {
                                 record: record as u64,
                             });
                         }
-                        if self.config.auto_failover {
-                            if self.primary.is_none() {
-                                // First detector to fire takes over.
-                                self.do_failover(ctx, i);
-                            } else {
-                                // A sibling already promoted (or this was
-                                // a false alarm): re-join the serving
-                                // primary with bounded retries.
-                                let join = self.hosts[i].backup.as_mut().map(|b| {
-                                    b.rearm(now);
-                                    b.begin_join(now)
-                                });
-                                if let Some(join) = join {
-                                    self.transmit_to_primary(ctx, i, &join);
-                                }
+                        if let Some((record, _)) = self.primary_partition {
+                            self.metrics.record_fault_detected(record, now);
+                            ctx.emit(EventKind::FaultDetected {
+                                record: record as u64,
+                            });
+                        }
+                        if self.config.auto_failover && self.primary.is_none() {
+                            // First detector to fire takes over.
+                            self.do_failover(ctx, i);
+                        } else if self.config.auto_failover && self.primary_partition.is_some() {
+                            // The primary is alive but unreachable:
+                            // promote anyway (split-brain). The
+                            // fencing epoch minted at promotion is
+                            // what keeps the deposed primary's
+                            // frames out of every store.
+                            self.depose_and_failover(ctx, i);
+                        } else if self.primary.is_some() {
+                            // A sibling already promoted (or this was
+                            // a false alarm): re-join the serving
+                            // primary with bounded retries — even with
+                            // auto-failover off, a severed replica must
+                            // find its way back once the cut heals.
+                            let join = self.hosts[i].backup.as_mut().map(|b| {
+                                b.rearm(now);
+                                b.begin_join(now)
+                            });
+                            if let Some(join) = join {
+                                self.transmit_to_primary(ctx, i, &join);
                             }
                         }
                     }
@@ -1231,6 +1575,7 @@ impl World for ClusterWorld {
                             .pending_recovery
                             .get(&i)
                             .or_else(|| self.pending_partition.get(&i))
+                            .or_else(|| self.pending_resync.get(&i))
                             .copied();
                         if let Some(record) = record {
                             self.metrics.add_fault_retry(record);
@@ -1240,11 +1585,43 @@ impl World for ClusterWorld {
                     }
                 }
             }
-            Event::DeliverToBackup { host, wire } => {
-                self.handle_delivery_to_backup(ctx, host, wire);
+            Event::DeposedTick => {
+                if self.deposed.is_none() {
+                    return;
+                }
+                ctx.schedule_in(
+                    self.config.protocol.heartbeat_period / 2,
+                    Event::DeposedTick,
+                );
+                // The deposed primary probes its last-known cluster; a
+                // successor's higher-epoch ping ack is how it learns it
+                // was superseded once the partition heals.
+                for i in 0..self.hosts.len() {
+                    if self.hosts[i].backup.is_none() {
+                        continue;
+                    }
+                    let Some(dep) = self.deposed.as_mut() else {
+                        break;
+                    };
+                    let from = dep.primary.node();
+                    let ping = dep.primary.probe_ping();
+                    let to = self.hosts[i].node;
+                    ctx.emit(EventKind::HeartbeatSent { from, to });
+                    self.transmit_from_deposed(ctx, i, &ping);
+                }
+            }
+            Event::DeliverToBackup {
+                host,
+                wire,
+                from_deposed,
+            } => {
+                self.handle_delivery_to_backup(ctx, host, wire, from_deposed);
             }
             Event::DeliverToPrimary { host, wire } => {
                 self.handle_delivery_to_primary(ctx, host, wire);
+            }
+            Event::DeliverToDeposed { wire } => {
+                self.handle_delivery_to_deposed(ctx, wire);
             }
             Event::Inject { fault } => self.apply_fault(ctx, fault),
             Event::FaultAt { index } => {
@@ -1267,6 +1644,23 @@ impl World for ClusterWorld {
                             h.data_link.expire_windows(now);
                         }
                     }
+                }
+                if self.primary_partition.is_some_and(|(r, _)| r == record) {
+                    // The cut healed before any backup promoted (or
+                    // auto-failover is off): the primary never lost its
+                    // role, so restored connectivity is recovery.
+                    self.primary_partition = None;
+                    self.metrics.record_fault_recovered(record, now);
+                    ctx.emit(EventKind::FaultRecovered {
+                        record: record as u64,
+                    });
+                    return;
+                }
+                if self.deposed.as_ref().is_some_and(|d| d.record == record) {
+                    // Split-brain in progress: the record stays open
+                    // until the deposed primary demotes and resyncs into
+                    // the successor's cluster.
+                    return;
                 }
                 let partition_host = self
                     .pending_partition
@@ -1405,6 +1799,7 @@ impl SimCluster {
         let instruments = Instruments::from_registry(&config.registry);
         let world = ClusterWorld {
             primary: Some(primary),
+            deposed: None,
             hosts,
             p2b_tx: ProtocolGraph::builder().layer(UdpLike::new()).build(),
             p2b_rx: ProtocolGraph::builder().layer(UdpLike::new()).build(),
@@ -1424,6 +1819,8 @@ impl SimCluster {
             pending_backup_crash: BTreeMap::new(),
             pending_recovery: BTreeMap::new(),
             pending_partition: BTreeMap::new(),
+            primary_partition: None,
+            pending_resync: BTreeMap::new(),
             window_faults: Vec::new(),
             last_shed_at: None,
             pending_batch: Vec::new(),
@@ -1519,24 +1916,6 @@ impl SimCluster {
         Ok(id)
     }
 
-    /// Registers an object with inter-object constraints given as
-    /// `(partner, δ_ij)` pairs.
-    ///
-    /// # Errors
-    ///
-    /// Propagates the primary's admission decision.
-    #[deprecated(
-        since = "0.2.0",
-        note = "attach constraints to the spec with `ObjectSpec::with_constraints` and call `register`"
-    )]
-    pub fn register_with_constraints(
-        &mut self,
-        spec: ObjectSpec,
-        partners: &[(ObjectId, TimeDelta)],
-    ) -> Result<ObjectId, AdmissionError> {
-        self.register(spec.with_constraints(partners))
-    }
-
     fn restart_timers(&mut self) {
         // Borrow dance: epoch bump and per-object scheduling both need
         // the world and the queue; schedule directly from the driver.
@@ -1611,43 +1990,6 @@ impl SimCluster {
             .schedule_in(TimeDelta::ZERO, Event::Inject { fault });
     }
 
-    /// Changes the primary→backup message-loss probability on every
-    /// backup's data path (sweeps).
-    #[deprecated(since = "0.2.0", note = "use `inject(FaultEvent::SetLoss { .. })`")]
-    pub fn set_loss_probability(&mut self, p: f64) {
-        self.inject(FaultEvent::SetLoss { loss: p });
-    }
-
-    /// Crashes the primary host at the current instant.
-    #[deprecated(since = "0.2.0", note = "use `inject(FaultEvent::CrashPrimary)`")]
-    pub fn crash_primary(&mut self) {
-        self.inject(FaultEvent::CrashPrimary);
-    }
-
-    /// Crashes the first live backup host at the current instant.
-    #[deprecated(since = "0.2.0", note = "use `inject(FaultEvent::CrashBackup { .. })`")]
-    pub fn crash_backup(&mut self) {
-        if let Some(host) = self.sim.world().metrics_host() {
-            self.inject(FaultEvent::CrashBackup { host });
-        }
-    }
-
-    /// Crashes a specific backup host (multi-backup clusters).
-    #[deprecated(since = "0.2.0", note = "use `inject(FaultEvent::CrashBackup { .. })`")]
-    pub fn crash_backup_host(&mut self, host: usize) {
-        self.inject(FaultEvent::CrashBackup { host });
-    }
-
-    /// Restarts a crashed backup host at the current instant; it rejoins
-    /// via the bounded-retry join / state-transfer path.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `inject(FaultEvent::RecoverBackup { .. })`"
-    )]
-    pub fn recover_backup_host(&mut self, host: usize) {
-        self.inject(FaultEvent::RecoverBackup { host });
-    }
-
     /// Per-fault lifecycle records (injection, detection, recovery,
     /// retries) for every fault injected so far — manually or via
     /// [`ClusterConfig::fault_plan`].
@@ -1672,6 +2014,21 @@ impl SimCluster {
     #[must_use]
     pub fn primary(&self) -> Option<&Primary> {
         self.sim.world().primary.as_ref()
+    }
+
+    /// The deposed primary still running on the minority side of a
+    /// split-brain partition, if any. `None` before any split-brain
+    /// promotion and again after the deposed primary demotes itself.
+    #[must_use]
+    pub fn deposed_primary(&self) -> Option<&Primary> {
+        self.sim.world().deposed.as_ref().map(|d| &d.primary)
+    }
+
+    /// The serving primary's fencing epoch ([`Epoch`]), if a primary
+    /// serves.
+    #[must_use]
+    pub fn fencing_epoch(&self) -> Option<Epoch> {
+        self.sim.world().primary.as_ref().map(Primary::epoch)
     }
 
     /// The first live backup, if any.

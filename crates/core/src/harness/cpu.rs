@@ -42,11 +42,12 @@ pub enum Work {
 /// ```
 /// use rtpb_core::harness::{CpuQueue, Work};
 /// use rtpb_core::wire::WireMessage;
-/// use rtpb_types::{ObjectId, Time, TimeDelta, Version};
+/// use rtpb_types::{Epoch, ObjectId, Time, TimeDelta, Version};
 ///
 /// let mut cpu = CpuQueue::new();
 /// let w = Work::SendUpdate {
 ///     message: WireMessage::Update {
+///         epoch: Epoch::INITIAL,
 ///         object: ObjectId::new(0),
 ///         version: Version::new(1),
 ///         timestamp: Time::ZERO,
@@ -145,6 +146,7 @@ mod tests {
     fn send(i: u32) -> Work {
         Work::SendUpdate {
             message: crate::wire::WireMessage::RetransmitRequest {
+                epoch: rtpb_types::Epoch::INITIAL,
                 object: ObjectId::new(i),
                 have_version: rtpb_types::Version::INITIAL,
             },

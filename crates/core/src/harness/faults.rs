@@ -49,6 +49,17 @@ pub enum FaultEvent {
         /// How long the partition lasts.
         duration: TimeDelta,
     },
+    /// The serving primary is cut off from **every** backup for
+    /// `duration` while it keeps running (the split-brain scenario). If
+    /// the cut outlasts the failure-detection bound and auto-failover is
+    /// on, a backup promotes itself under a fresh fencing epoch while the
+    /// deposed primary is still alive on the minority side; after the
+    /// heal the deposed primary discovers the higher epoch, demotes
+    /// itself, and re-integrates via anti-entropy resync.
+    PartitionPrimary {
+        /// How long the primary stays cut off.
+        duration: TimeDelta,
+    },
     /// The primary→backup data path drops messages with probability
     /// `loss` for `duration`.
     LossBurst {

@@ -146,6 +146,9 @@ pub enum InjectedFault {
     BackupRecovery,
     /// A replica pair was partitioned for a window.
     Partition,
+    /// The serving primary was cut off from every backup for a window
+    /// while it kept running (split-brain).
+    PrimaryPartition,
     /// The data path suffered an elevated-loss window.
     LossBurst,
     /// The data path suffered an added-latency window.

@@ -15,14 +15,15 @@
 //! - **Recruiting a replacement backup** via state transfer (§4.4).
 
 use crate::admission;
+use crate::backup::Backup;
 use crate::config::ProtocolConfig;
 use crate::heartbeat::{DetectorAction, FailureDetector};
 use crate::store::ObjectStore;
 use crate::update_sched::UpdateSchedule;
 use crate::wire::{StateEntry, WireMessage};
 use rtpb_types::{
-    AdmissionError, InterObjectConstraint, NodeId, ObjectId, ObjectSpec, ObjectValue, Time,
-    TimeDelta, Version,
+    AdmissionError, Epoch, InterObjectConstraint, Lease, NodeId, ObjectId, ObjectSpec, ObjectValue,
+    Time, TimeDelta, Version,
 };
 use std::collections::BTreeMap;
 
@@ -34,6 +35,9 @@ pub struct PrimaryOutput {
     /// Whether a new backup was just integrated (drivers should restart
     /// update timers).
     pub backup_joined: bool,
+    /// Epochs of frames rejected as stale (sender was deposed before this
+    /// primary's own promotion). Drivers feed these to observability.
+    pub stale_rejected: Vec<Epoch>,
 }
 
 /// One heartbeat round's outcome: probes to send (per peer) and peers
@@ -84,6 +88,15 @@ pub struct Primary {
     // One failure detector per tracked backup (§4.4; generalized to the
     // multi-backup extension the paper lists as future work).
     peers: BTreeMap<NodeId, FailureDetector>,
+    // Leadership state (DESIGN.md §10): the fencing epoch minted at this
+    // primary's promotion, the time-bounded lease that authorizes update
+    // production, and the highest epoch observed on any inbound frame (a
+    // higher one means this primary has been superseded).
+    epoch: Epoch,
+    lease: Lease,
+    observed_epoch: Epoch,
+    stale_frames_rejected: u64,
+    probe_seq: u64,
     writes_applied: u64,
     updates_produced: u64,
     acks_received: u64,
@@ -99,6 +112,7 @@ impl Primary {
     #[must_use]
     pub fn new(node: NodeId, config: ProtocolConfig) -> Self {
         config.validate();
+        let lease = Lease::new(config.lease_duration);
         Primary {
             node,
             config,
@@ -106,6 +120,11 @@ impl Primary {
             constraints: Vec::new(),
             schedule: UpdateSchedule::new(),
             peers: BTreeMap::new(),
+            epoch: Epoch::INITIAL,
+            lease,
+            observed_epoch: Epoch::INITIAL,
+            stale_frames_rejected: 0,
+            probe_seq: 0,
             writes_applied: 0,
             updates_produced: 0,
             acks_received: 0,
@@ -113,7 +132,8 @@ impl Primary {
     }
 
     /// Starts tracking `backup` as a replica: a failure detector is armed
-    /// and update production towards it begins.
+    /// and update production towards it begins. Direct contact with a
+    /// backup is proof of connectivity, so the lease is renewed.
     pub fn add_backup(&mut self, backup: NodeId, now: Time) {
         let mut detector = FailureDetector::new(
             self.node,
@@ -123,6 +143,7 @@ impl Primary {
         );
         detector.reset(now);
         self.peers.insert(backup, detector);
+        self.lease.renew(now);
     }
 
     /// Stops tracking `backup` (declared dead or decommissioned).
@@ -138,7 +159,9 @@ impl Primary {
 
     /// Rebuilds a primary from an existing store (used by backup
     /// promotion). The inherited images keep their versions so clients
-    /// continue from the most recent replicated state.
+    /// continue from the most recent replicated state. `epoch` is the
+    /// fencing epoch minted at promotion; the promotion instant grants the
+    /// initial lease.
     #[must_use]
     pub(crate) fn from_store(
         node: NodeId,
@@ -146,9 +169,11 @@ impl Primary {
         store: ObjectStore,
         constraints: Vec<InterObjectConstraint>,
         schedule: UpdateSchedule,
+        epoch: Epoch,
         now: Time,
     ) -> Self {
-        let _ = now;
+        let mut lease = Lease::new(config.lease_duration);
+        lease.renew(now);
         Primary {
             node,
             config,
@@ -157,6 +182,11 @@ impl Primary {
             schedule,
             // A freshly promoted primary has no backup until one joins.
             peers: BTreeMap::new(),
+            epoch,
+            lease,
+            observed_epoch: epoch,
+            stale_frames_rejected: 0,
+            probe_seq: 0,
             writes_applied: 0,
             updates_produced: 0,
             acks_received: 0,
@@ -185,6 +215,46 @@ impl Primary {
     #[must_use]
     pub fn is_backup_alive(&self) -> bool {
         !self.peers.is_empty()
+    }
+
+    /// The fencing epoch minted at this primary's promotion.
+    #[must_use]
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// The leadership lease.
+    #[must_use]
+    pub fn lease(&self) -> &Lease {
+        &self.lease
+    }
+
+    /// Whether the leadership lease covers `now`. A primary without a
+    /// valid lease must not originate updates — a successor may already
+    /// hold the leadership.
+    #[must_use]
+    pub fn lease_valid(&self, now: Time) -> bool {
+        self.lease.is_valid(now)
+    }
+
+    /// Whether this primary has observed a frame from a higher epoch and
+    /// must therefore demote itself (see [`Primary::demote`]).
+    #[must_use]
+    pub fn is_deposed(&self) -> bool {
+        self.observed_epoch > self.epoch
+    }
+
+    /// The highest epoch observed on any inbound frame.
+    #[must_use]
+    pub fn observed_epoch(&self) -> Epoch {
+        self.observed_epoch
+    }
+
+    /// Inbound frames rejected because their epoch predates this
+    /// primary's own.
+    #[must_use]
+    pub fn stale_frames_rejected(&self) -> u64 {
+        self.stale_frames_rejected
     }
 
     /// Client writes applied so far.
@@ -279,16 +349,19 @@ impl Primary {
 
     /// Produces the update message for `id`'s current image — called by
     /// the driver when the object's send timer fires. Returns `None` if
-    /// the object is unknown, has never been written, or the backup is
-    /// presumed dead (§4.4: update events are cancelled).
-    pub fn make_update(&mut self, id: ObjectId) -> Option<WireMessage> {
-        if self.peers.is_empty() {
+    /// the object is unknown, has never been written, the backup is
+    /// presumed dead (§4.4: update events are cancelled), or the
+    /// leadership lease no longer covers `now` (a lapsed leaseholder must
+    /// not originate updates — its successor may already be serving).
+    pub fn make_update(&mut self, id: ObjectId, now: Time) -> Option<WireMessage> {
+        if self.peers.is_empty() || self.is_deposed() || !self.lease.is_valid(now) {
             return None;
         }
         let entry = self.store.get(id)?;
         let value = entry.value()?;
         self.updates_produced += 1;
         Some(WireMessage::Update {
+            epoch: self.epoch,
             object: id,
             version: value.version(),
             timestamp: value.timestamp(),
@@ -298,16 +371,21 @@ impl Primary {
 
     /// Coalesces the current images of `ids` into one [`WireMessage::Batch`]
     /// frame — the batched update pipeline's flush step. Objects that are
-    /// unknown, never written, or suppressed (no live backup) contribute
-    /// nothing; returns `None` when no update survives, so no empty frame
-    /// hits the wire.
-    pub fn make_batch(&mut self, ids: &[ObjectId]) -> Option<WireMessage> {
-        let messages: Vec<WireMessage> =
-            ids.iter().filter_map(|&id| self.make_update(id)).collect();
+    /// unknown, never written, or suppressed (no live backup, lapsed
+    /// lease) contribute nothing; returns `None` when no update survives,
+    /// so no empty frame hits the wire.
+    pub fn make_batch(&mut self, ids: &[ObjectId], now: Time) -> Option<WireMessage> {
+        let messages: Vec<WireMessage> = ids
+            .iter()
+            .filter_map(|&id| self.make_update(id, now))
+            .collect();
         if messages.is_empty() {
             None
         } else {
-            Some(WireMessage::Batch { messages })
+            Some(WireMessage::Batch {
+                epoch: self.epoch,
+                messages,
+            })
         }
     }
 
@@ -324,16 +402,47 @@ impl Primary {
     }
 
     /// Handles an inbound message from the network.
+    ///
+    /// Fencing runs before dispatch: a frame from a *higher* epoch marks
+    /// this primary as deposed (the driver must call [`Primary::demote`]);
+    /// a frame from a *lower* epoch is rejected outright — except
+    /// [`WireMessage::JoinRequest`] and [`WireMessage::ResyncRequest`],
+    /// which request state rather than assert authority, so an
+    /// uninitialized recruit can still join.
     pub fn handle_message(&mut self, msg: &WireMessage, now: Time) -> PrimaryOutput {
         let mut out = PrimaryOutput::default();
+        let frame_epoch = msg.epoch();
+        if frame_epoch > self.epoch {
+            // Superseded: a newer primary exists. Stop acting on inbound
+            // traffic and let the driver run demotion + resync.
+            if frame_epoch > self.observed_epoch {
+                self.observed_epoch = frame_epoch;
+            }
+            self.lease.revoke();
+            return out;
+        }
+        let requests_state = matches!(
+            msg,
+            WireMessage::JoinRequest { .. } | WireMessage::ResyncRequest { .. }
+        );
+        if frame_epoch < self.epoch && !requests_state {
+            self.stale_frames_rejected += 1;
+            out.stale_rejected.push(frame_epoch);
+            return out;
+        }
+        // Any non-fenced inbound frame proves a backup can reach us, so
+        // it renews the leadership lease (heartbeat acks are the steady
+        // renewal source; the rest are incidental).
+        self.lease.renew(now);
         match msg {
             WireMessage::Ping { seq, .. } => {
                 out.replies.push(WireMessage::PingAck {
+                    epoch: self.epoch,
                     from: self.node,
                     seq: *seq,
                 });
             }
-            WireMessage::PingAck { from, seq } => {
+            WireMessage::PingAck { from, seq, .. } => {
                 if let Some(detector) = self.peers.get_mut(from) {
                     detector.on_ack(*seq, now);
                 }
@@ -341,12 +450,14 @@ impl Primary {
             WireMessage::RetransmitRequest {
                 object,
                 have_version,
+                ..
             } => {
                 if let Some(entry) = self.store.get(*object) {
                     if let Some(value) = entry.value() {
                         if value.version() > *have_version {
                             self.updates_produced += 1;
                             out.replies.push(WireMessage::Update {
+                                epoch: self.epoch,
                                 object: *object,
                                 version: value.version(),
                                 timestamp: value.timestamp(),
@@ -356,27 +467,38 @@ impl Primary {
                     }
                 }
             }
-            WireMessage::JoinRequest { from } => {
+            WireMessage::JoinRequest { from, .. } => {
                 // Integrate the new backup: arm a detector for it and
                 // ship the full state (§4.4).
                 self.add_backup(*from, now);
                 out.backup_joined = true;
                 out.replies.push(self.snapshot());
             }
+            WireMessage::ResyncRequest { from, versions, .. } => {
+                // Anti-entropy re-admission of a deposed primary: ship
+                // only the objects where it is behind, then treat it as a
+                // freshly joined backup.
+                self.add_backup(*from, now);
+                out.backup_joined = true;
+                out.replies.push(self.resync_diff(versions));
+            }
             WireMessage::UpdateAck { .. } => {
                 // Only present under the ack ablation; the paper's design
                 // deliberately has nothing to do here (§4.3).
                 self.acks_received += 1;
             }
-            WireMessage::Batch { messages } => {
+            WireMessage::Batch { messages, .. } => {
                 // Symmetric handling: unpack and process each sub-message.
                 for m in messages {
                     let sub = self.handle_message(m, now);
                     out.replies.extend(sub.replies);
                     out.backup_joined |= sub.backup_joined;
+                    out.stale_rejected.extend(sub.stale_rejected);
                 }
             }
-            WireMessage::Update { .. } | WireMessage::StateTransfer { .. } => {
+            WireMessage::Update { .. }
+            | WireMessage::StateTransfer { .. }
+            | WireMessage::ResyncDiff { .. } => {
                 // Not addressed to a primary; ignore.
             }
         }
@@ -396,6 +518,7 @@ impl Primary {
                 DetectorAction::SendPing(seq) => round.pings.push((
                     peer,
                     WireMessage::Ping {
+                        epoch: self.epoch,
                         from: self.node,
                         seq,
                     },
@@ -408,6 +531,25 @@ impl Primary {
             self.peers.remove(&dead);
         }
         round
+    }
+
+    /// A reconnection probe for a primary that has lost contact with its
+    /// peers (all declared dead, or a lapsed lease). The probe is an
+    /// ordinary [`WireMessage::Ping`] carrying this primary's fencing
+    /// epoch: if a successor regime exists on the other side of a healed
+    /// partition, the probed replica fences the stale ping and answers
+    /// with its own, higher epoch — which is how a deposed primary
+    /// discovers it has been superseded (see [`Primary::is_deposed`]).
+    ///
+    /// Probe sequence numbers are drawn from a dedicated counter so they
+    /// never collide with the per-peer failure-detector sequences.
+    pub fn probe_ping(&mut self) -> WireMessage {
+        self.probe_seq += 1;
+        WireMessage::Ping {
+            epoch: self.epoch,
+            from: self.node,
+            seq: self.probe_seq,
+        }
     }
 
     /// The full object state for integrating a new backup.
@@ -425,7 +567,61 @@ impl Primary {
                 })
             })
             .collect();
-        WireMessage::StateTransfer { entries }
+        WireMessage::StateTransfer {
+            epoch: self.epoch,
+            entries,
+        }
+    }
+
+    /// The anti-entropy diff against a requester's version vector: every
+    /// object whose authoritative version is strictly newer than what the
+    /// requester reported (objects it never reported count as version 0).
+    #[must_use]
+    pub fn resync_diff(&self, versions: &[(ObjectId, Version)]) -> WireMessage {
+        let reported: BTreeMap<ObjectId, Version> = versions.iter().copied().collect();
+        let entries = self
+            .store
+            .iter()
+            .filter_map(|(id, entry)| {
+                let value = entry.value()?;
+                let have = reported.get(&id).copied().unwrap_or(Version::INITIAL);
+                (value.version() > have).then(|| StateEntry {
+                    object: id,
+                    version: value.version(),
+                    timestamp: value.timestamp(),
+                    payload: value.payload().to_vec(),
+                })
+            })
+            .collect();
+        WireMessage::ResyncDiff {
+            epoch: self.epoch,
+            entries,
+        }
+    }
+
+    /// Steps down after observing a higher epoch (see
+    /// [`Primary::is_deposed`]): consumes the primary and produces a
+    /// [`Backup`] that has adopted the successor's epoch and is ready to
+    /// run anti-entropy resync via [`Backup::begin_resync`].
+    ///
+    /// The driver owns the choreography — it should call this once
+    /// `is_deposed()` turns true, then route the resync request to the
+    /// new primary through the bounded-retry re-join path.
+    #[must_use]
+    pub fn demote(self, now: Time) -> Backup {
+        let send_periods: BTreeMap<ObjectId, TimeDelta> = self
+            .store
+            .iter()
+            .filter_map(|(id, _)| self.schedule.period(id).map(|p| (id, p)))
+            .collect();
+        Backup::from_store(
+            self.node,
+            self.config,
+            self.store,
+            send_periods,
+            self.observed_epoch,
+            now,
+        )
     }
 
     /// `(id, spec, send period)` for every registered object — what a new
@@ -471,16 +667,18 @@ mod tests {
     fn register_then_write_then_update() {
         let mut p = primary();
         let id = p.register(spec(), Time::ZERO).unwrap();
-        assert!(p.make_update(id).is_none(), "no write yet");
+        assert!(p.make_update(id, t(1)).is_none(), "no write yet");
         let v = p.apply_client_write(id, vec![7], t(5)).unwrap();
         assert_eq!(v, Version::new(1));
-        match p.make_update(id) {
+        match p.make_update(id, t(6)) {
             Some(WireMessage::Update {
+                epoch,
                 object,
                 version,
                 timestamp,
                 payload,
             }) => {
+                assert_eq!(epoch, Epoch::INITIAL);
                 assert_eq!(object, id);
                 assert_eq!(version, Version::new(1));
                 assert_eq!(timestamp, t(5));
@@ -544,6 +742,7 @@ mod tests {
         // Backup already has version 1: nothing to resend.
         let out = p.handle_message(
             &WireMessage::RetransmitRequest {
+                epoch: Epoch::INITIAL,
                 object: id,
                 have_version: Version::new(1),
             },
@@ -553,6 +752,7 @@ mod tests {
         // Backup is behind: resend.
         let out = p.handle_message(
             &WireMessage::RetransmitRequest {
+                epoch: Epoch::INITIAL,
                 object: id,
                 have_version: Version::INITIAL,
             },
@@ -567,6 +767,7 @@ mod tests {
         let mut p = primary();
         let out = p.handle_message(
             &WireMessage::Ping {
+                epoch: Epoch::INITIAL,
                 from: NodeId::new(1),
                 seq: 4,
             },
@@ -575,6 +776,7 @@ mod tests {
         assert_eq!(
             out.replies,
             vec![WireMessage::PingAck {
+                epoch: Epoch::INITIAL,
                 from: NodeId::new(0),
                 seq: 4
             }]
@@ -601,7 +803,7 @@ mod tests {
         }
         assert!(declared);
         assert!(!p.is_backup_alive());
-        assert!(p.make_update(id).is_none(), "updates cancelled");
+        assert!(p.make_update(id, now).is_none(), "updates cancelled");
         // And no further pings are sent.
         let round = p.tick_heartbeat(now + ms(100));
         assert!(round.pings.is_empty() && round.died.is_empty());
@@ -620,6 +822,7 @@ mod tests {
                 if let WireMessage::Ping { seq, .. } = ping {
                     p.handle_message(
                         &WireMessage::PingAck {
+                            epoch: Epoch::INITIAL,
                             from: NodeId::new(1),
                             seq,
                         },
@@ -648,6 +851,7 @@ mod tests {
                     if let WireMessage::Ping { seq, .. } = ping {
                         p.handle_message(
                             &WireMessage::PingAck {
+                                epoch: Epoch::INITIAL,
                                 from: NodeId::new(2),
                                 seq,
                             },
@@ -686,6 +890,7 @@ mod tests {
         // A new backup joins.
         let out = p.handle_message(
             &WireMessage::JoinRequest {
+                epoch: Epoch::INITIAL,
                 from: NodeId::new(2),
             },
             now,
@@ -693,14 +898,14 @@ mod tests {
         assert!(out.backup_joined);
         assert!(p.is_backup_alive());
         match &out.replies[0] {
-            WireMessage::StateTransfer { entries } => {
+            WireMessage::StateTransfer { entries, .. } => {
                 assert_eq!(entries.len(), 1);
                 assert_eq!(entries[0].version, Version::new(1));
             }
             other => panic!("expected state transfer, got {other:?}"),
         }
         // Updates flow again.
-        assert!(p.make_update(id).is_some());
+        assert!(p.make_update(id, now).is_some());
     }
 
     #[test]
@@ -712,8 +917,8 @@ mod tests {
         p.apply_client_write(a, vec![1], t(5));
         p.apply_client_write(c, vec![3], t(6));
         // b was never written: it contributes nothing.
-        match p.make_batch(&[a, b, c]) {
-            Some(WireMessage::Batch { messages }) => {
+        match p.make_batch(&[a, b, c], t(7)) {
+            Some(WireMessage::Batch { messages, .. }) => {
                 assert_eq!(messages.len(), 2);
                 assert!(messages
                     .iter()
@@ -723,7 +928,7 @@ mod tests {
         }
         assert_eq!(p.updates_produced(), 2);
         // Nothing due → no frame at all.
-        assert!(p.make_batch(&[b]).is_none());
+        assert!(p.make_batch(&[b], t(8)).is_none());
     }
 
     #[test]
@@ -756,11 +961,145 @@ mod tests {
         let b = p.register(spec(), Time::ZERO).unwrap();
         p.apply_client_write(b, vec![1], t(1));
         match p.snapshot() {
-            WireMessage::StateTransfer { entries } => {
+            WireMessage::StateTransfer { entries, .. } => {
                 assert_eq!(entries.len(), 1);
                 assert_eq!(entries[0].object, b);
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn lapsed_lease_suppresses_updates_until_renewed() {
+        let mut p = primary();
+        let id = p.register(spec(), Time::ZERO).unwrap();
+        p.apply_client_write(id, vec![1], t(5));
+        // Within the lease granted by add_backup at t=0 (250 ms default).
+        assert!(p.make_update(id, t(100)).is_some());
+        // Past the lease, with no acks in between: suppressed.
+        assert!(p.make_update(id, t(300)).is_none());
+        assert!(!p.lease_valid(t(300)));
+        // A heartbeat ack renews the lease and production resumes.
+        p.handle_message(
+            &WireMessage::PingAck {
+                epoch: Epoch::INITIAL,
+                from: NodeId::new(1),
+                seq: 0,
+            },
+            t(310),
+        );
+        assert!(p.lease_valid(t(400)));
+        assert!(p.make_update(id, t(400)).is_some());
+    }
+
+    #[test]
+    fn higher_epoch_frame_deposes_the_primary() {
+        let mut p = primary();
+        let id = p.register(spec(), Time::ZERO).unwrap();
+        p.apply_client_write(id, vec![1], t(5));
+        assert!(!p.is_deposed());
+        let out = p.handle_message(
+            &WireMessage::Ping {
+                epoch: Epoch::new(1),
+                from: NodeId::new(1),
+                seq: 0,
+            },
+            t(10),
+        );
+        // The frame itself gets no reply; the primary is now deposed and
+        // its lease is revoked.
+        assert!(out.replies.is_empty());
+        assert!(p.is_deposed());
+        assert_eq!(p.observed_epoch(), Epoch::new(1));
+        assert!(p.make_update(id, t(11)).is_none());
+    }
+
+    #[test]
+    fn stale_epoch_frames_are_fenced() {
+        // Build a primary at epoch 3: a backup that observed epoch 2
+        // promotes, minting epoch 3.
+        let mut b = crate::backup::Backup::new(NodeId::new(3), ProtocolConfig::default());
+        b.handle_message(
+            &WireMessage::Ping {
+                epoch: Epoch::new(2),
+                from: NodeId::new(0),
+                seq: 0,
+            },
+            t(1),
+        );
+        let mut p2 = b.promote(t(2));
+        assert_eq!(p2.epoch(), Epoch::new(3));
+        let out = p2.handle_message(
+            &WireMessage::PingAck {
+                epoch: Epoch::new(1),
+                from: NodeId::new(1),
+                seq: 0,
+            },
+            t(3),
+        );
+        assert!(out.replies.is_empty());
+        assert_eq!(out.stale_rejected, vec![Epoch::new(1)]);
+        assert_eq!(p2.stale_frames_rejected(), 1);
+        // But a join request from an uninitialized recruit still works.
+        let out = p2.handle_message(
+            &WireMessage::JoinRequest {
+                epoch: Epoch::INITIAL,
+                from: NodeId::new(4),
+            },
+            t(4),
+        );
+        assert!(out.backup_joined);
+    }
+
+    #[test]
+    fn resync_diff_ships_only_newer_objects() {
+        let mut p = primary();
+        let a = p.register(spec(), Time::ZERO).unwrap();
+        let b = p.register(spec(), Time::ZERO).unwrap();
+        let c = p.register(spec(), Time::ZERO).unwrap();
+        p.apply_client_write(a, vec![1], t(1));
+        p.apply_client_write(a, vec![2], t(2));
+        p.apply_client_write(b, vec![3], t(3));
+        p.apply_client_write(c, vec![4], t(4));
+        // Requester is current on a, behind on b, and never saw c.
+        let out = p.handle_message(
+            &WireMessage::ResyncRequest {
+                epoch: Epoch::INITIAL,
+                from: NodeId::new(5),
+                versions: vec![(a, Version::new(2)), (b, Version::INITIAL)],
+            },
+            t(10),
+        );
+        assert!(out.backup_joined);
+        match &out.replies[0] {
+            WireMessage::ResyncDiff { entries, .. } => {
+                let objs: Vec<ObjectId> = entries.iter().map(|e| e.object).collect();
+                assert_eq!(objs, vec![b, c]);
+            }
+            other => panic!("expected resync diff, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn demote_yields_a_backup_at_the_observed_epoch() {
+        let mut p = primary();
+        let id = p.register(spec(), Time::ZERO).unwrap();
+        p.apply_client_write(id, vec![9], t(5));
+        p.handle_message(
+            &WireMessage::Update {
+                epoch: Epoch::new(2),
+                object: id,
+                version: Version::new(7),
+                timestamp: t(6),
+                payload: vec![7],
+            },
+            t(7),
+        );
+        assert!(p.is_deposed());
+        let b = p.demote(t(8));
+        assert_eq!(b.epoch(), Epoch::new(2));
+        // Demotion preserves the (possibly stale) local state; resync
+        // reconciles it against the new primary.
+        assert_eq!(b.store().get(id).unwrap().version(), Version::new(1));
     }
 }

@@ -2,15 +2,23 @@
 //!
 //! These are the messages the primary and backup exchange through the
 //! x-kernel stack (paper §4.1): object updates, heartbeat pings/acks,
-//! backup-initiated retransmission requests (§4.3), and the state-transfer
-//! messages used to integrate a new backup after a failure (§4.4).
+//! backup-initiated retransmission requests (§4.3), the state-transfer
+//! messages used to integrate a new backup after a failure (§4.4), and the
+//! anti-entropy resync exchange a deposed primary runs after a partition
+//! heals.
+//!
+//! Every frame carries the sender's **fencing epoch** immediately after the
+//! type tag: a monotonically increasing token minted at promotion. Receivers
+//! reject frames from epochs lower than the highest they have observed, so
+//! a deposed primary on the far side of a partition cannot overwrite state
+//! owned by its successor (see `DESIGN.md` §10).
 //!
 //! The codec is a hand-rolled length-prefixed binary format so that the
 //! protocol stack carries real bytes (and so corruption tests are
 //! meaningful), not in-process object references.
 
 use core::fmt;
-use rtpb_types::{NodeId, ObjectId, Time, Version};
+use rtpb_types::{Epoch, NodeId, ObjectId, Time, Version};
 use std::error::Error;
 
 /// A decoded RTPB protocol message.
@@ -19,6 +27,8 @@ use std::error::Error;
 pub enum WireMessage {
     /// An object update from the primary to the backup.
     Update {
+        /// The sender's fencing epoch.
+        epoch: Epoch,
         /// The object being refreshed.
         object: ObjectId,
         /// Version counter at the primary.
@@ -31,13 +41,21 @@ pub enum WireMessage {
     },
     /// A liveness probe (either direction).
     Ping {
+        /// The sender's fencing epoch.
+        epoch: Epoch,
         /// The sender.
         from: NodeId,
         /// Probe sequence number, echoed in the ack.
         seq: u64,
     },
     /// Acknowledgement of a [`WireMessage::Ping`].
+    ///
+    /// The ack carries the responder's *current* epoch, which may be higher
+    /// than the probe's: that is how a deposed primary learns, after a
+    /// partition heals, that it has been superseded.
     PingAck {
+        /// The responder's fencing epoch.
+        epoch: Epoch,
         /// The responder.
         from: NodeId,
         /// The probe sequence number being acknowledged.
@@ -46,6 +64,8 @@ pub enum WireMessage {
     /// The backup asks the primary to re-send an object it believes is
     /// stale (loss compensation, §4.3).
     RetransmitRequest {
+        /// The sender's fencing epoch.
+        epoch: Epoch,
         /// The stale object.
         object: ObjectId,
         /// The newest version the backup holds.
@@ -53,6 +73,8 @@ pub enum WireMessage {
     },
     /// A node asks to join the service as the new backup (§4.4).
     JoinRequest {
+        /// The highest epoch the joiner has observed.
+        epoch: Epoch,
         /// The joining node.
         from: NodeId,
     },
@@ -60,6 +82,8 @@ pub enum WireMessage {
     /// `ack_updates` ablation is enabled — the paper's design avoids
     /// per-update acks (§4.3).
     UpdateAck {
+        /// The sender's fencing epoch.
+        epoch: Epoch,
         /// The acknowledged object.
         object: ObjectId,
         /// The version now installed at the backup.
@@ -68,6 +92,8 @@ pub enum WireMessage {
     /// Full state transfer installing a joining backup: one entry per
     /// registered object.
     StateTransfer {
+        /// The sender's fencing epoch.
+        epoch: Epoch,
         /// `(object, version, timestamp, payload)` for every object.
         entries: Vec<StateEntry>,
     },
@@ -77,12 +103,35 @@ pub enum WireMessage {
     /// coalescing window into a single frame, so the link makes one
     /// loss/delay decision for all of them. Batches cannot nest.
     Batch {
+        /// The sender's fencing epoch (sub-messages carry it too; the
+        /// frame-level copy lets receivers fence a whole batch cheaply).
+        epoch: Epoch,
         /// The coalesced sub-messages, in send order.
         messages: Vec<WireMessage>,
     },
+    /// A deposed primary opens anti-entropy resync: it reports its
+    /// per-object version vector so the new primary can compute a diff.
+    ResyncRequest {
+        /// The highest epoch the requester has observed (at least the new
+        /// primary's epoch, learned from the frame that demoted it).
+        epoch: Epoch,
+        /// The requesting node.
+        from: NodeId,
+        /// `(object, version)` for every object the requester holds.
+        versions: Vec<(ObjectId, Version)>,
+    },
+    /// The new primary's reply to a [`WireMessage::ResyncRequest`]: every
+    /// object whose authoritative version is newer than the requester's.
+    ResyncDiff {
+        /// The sender's fencing epoch.
+        epoch: Epoch,
+        /// Entries the requester must install to catch up.
+        entries: Vec<StateEntry>,
+    },
 }
 
-/// One object's state in a [`WireMessage::StateTransfer`].
+/// One object's state in a [`WireMessage::StateTransfer`] or
+/// [`WireMessage::ResyncDiff`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StateEntry {
     /// The object.
@@ -132,6 +181,8 @@ const TAG_JOIN: u8 = 5;
 const TAG_STATE: u8 = 6;
 const TAG_UPDATE_ACK: u8 = 7;
 const TAG_BATCH: u8 = 8;
+const TAG_RESYNC_REQ: u8 = 9;
+const TAG_RESYNC_DIFF: u8 = 10;
 
 /// Upper bound on any single decoded payload or entry count, to reject
 /// absurd length fields before allocating.
@@ -139,61 +190,75 @@ const SANITY_LIMIT: usize = 1 << 24;
 
 impl WireMessage {
     /// Encodes the message to bytes.
+    ///
+    /// Every frame shares the prefix `[tag u8][epoch u64]`, so fencing
+    /// checks can run before the body is interpreted.
     #[must_use]
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = Vec::with_capacity(32);
         match self {
             WireMessage::Update {
+                epoch,
                 object,
                 version,
                 timestamp,
                 payload,
             } => {
                 buf.push(TAG_UPDATE);
+                put_u64(&mut buf, epoch.value());
                 put_u32(&mut buf, object.index());
                 put_u64(&mut buf, version.value());
                 put_u64(&mut buf, timestamp.as_nanos());
                 put_bytes(&mut buf, payload);
             }
-            WireMessage::Ping { from, seq } => {
+            WireMessage::Ping { epoch, from, seq } => {
                 buf.push(TAG_PING);
+                put_u64(&mut buf, epoch.value());
                 put_u32(&mut buf, u32::from(from.index()));
                 put_u64(&mut buf, *seq);
             }
-            WireMessage::PingAck { from, seq } => {
+            WireMessage::PingAck { epoch, from, seq } => {
                 buf.push(TAG_PING_ACK);
+                put_u64(&mut buf, epoch.value());
                 put_u32(&mut buf, u32::from(from.index()));
                 put_u64(&mut buf, *seq);
             }
             WireMessage::RetransmitRequest {
+                epoch,
                 object,
                 have_version,
             } => {
                 buf.push(TAG_RETRANSMIT);
+                put_u64(&mut buf, epoch.value());
                 put_u32(&mut buf, object.index());
                 put_u64(&mut buf, have_version.value());
             }
-            WireMessage::JoinRequest { from } => {
+            WireMessage::JoinRequest { epoch, from } => {
                 buf.push(TAG_JOIN);
+                put_u64(&mut buf, epoch.value());
                 put_u32(&mut buf, u32::from(from.index()));
             }
-            WireMessage::UpdateAck { object, version } => {
+            WireMessage::UpdateAck {
+                epoch,
+                object,
+                version,
+            } => {
                 buf.push(TAG_UPDATE_ACK);
+                put_u64(&mut buf, epoch.value());
                 put_u32(&mut buf, object.index());
                 put_u64(&mut buf, version.value());
             }
-            WireMessage::StateTransfer { entries } => {
+            WireMessage::StateTransfer { epoch, entries } => {
                 buf.push(TAG_STATE);
+                put_u64(&mut buf, epoch.value());
                 put_u32(&mut buf, entries.len() as u32);
                 for e in entries {
-                    put_u32(&mut buf, e.object.index());
-                    put_u64(&mut buf, e.version.value());
-                    put_u64(&mut buf, e.timestamp.as_nanos());
-                    put_bytes(&mut buf, &e.payload);
+                    put_entry(&mut buf, e);
                 }
             }
-            WireMessage::Batch { messages } => {
+            WireMessage::Batch { epoch, messages } => {
                 buf.push(TAG_BATCH);
+                put_u64(&mut buf, epoch.value());
                 put_u32(&mut buf, messages.len() as u32);
                 for m in messages {
                     assert!(
@@ -201,6 +266,28 @@ impl WireMessage {
                         "batches cannot nest"
                     );
                     put_bytes(&mut buf, &m.encode());
+                }
+            }
+            WireMessage::ResyncRequest {
+                epoch,
+                from,
+                versions,
+            } => {
+                buf.push(TAG_RESYNC_REQ);
+                put_u64(&mut buf, epoch.value());
+                put_u32(&mut buf, u32::from(from.index()));
+                put_u32(&mut buf, versions.len() as u32);
+                for (object, version) in versions {
+                    put_u32(&mut buf, object.index());
+                    put_u64(&mut buf, version.value());
+                }
+            }
+            WireMessage::ResyncDiff { epoch, entries } => {
+                buf.push(TAG_RESYNC_DIFF);
+                put_u64(&mut buf, epoch.value());
+                put_u32(&mut buf, entries.len() as u32);
+                for e in entries {
+                    put_entry(&mut buf, e);
                 }
             }
         }
@@ -216,48 +303,43 @@ impl WireMessage {
     pub fn decode(bytes: &[u8]) -> Result<Self, CodecError> {
         let mut r = Reader { buf: bytes, pos: 0 };
         let tag = r.u8()?;
+        let epoch = Epoch::new(r.u64()?);
         let msg = match tag {
             TAG_UPDATE => WireMessage::Update {
+                epoch,
                 object: ObjectId::new(r.u32()?),
                 version: Version::new(r.u64()?),
                 timestamp: Time::from_nanos(r.u64()?),
                 payload: r.bytes()?,
             },
             TAG_PING => WireMessage::Ping {
+                epoch,
                 from: NodeId::new(r.u32()? as u16),
                 seq: r.u64()?,
             },
             TAG_PING_ACK => WireMessage::PingAck {
+                epoch,
                 from: NodeId::new(r.u32()? as u16),
                 seq: r.u64()?,
             },
             TAG_RETRANSMIT => WireMessage::RetransmitRequest {
+                epoch,
                 object: ObjectId::new(r.u32()?),
                 have_version: Version::new(r.u64()?),
             },
             TAG_JOIN => WireMessage::JoinRequest {
+                epoch,
                 from: NodeId::new(r.u32()? as u16),
             },
             TAG_UPDATE_ACK => WireMessage::UpdateAck {
+                epoch,
                 object: ObjectId::new(r.u32()?),
                 version: Version::new(r.u64()?),
             },
-            TAG_STATE => {
-                let count = r.u32()? as usize;
-                if count > SANITY_LIMIT {
-                    return Err(CodecError::BadLength(count));
-                }
-                let mut entries = Vec::with_capacity(count.min(1024));
-                for _ in 0..count {
-                    entries.push(StateEntry {
-                        object: ObjectId::new(r.u32()?),
-                        version: Version::new(r.u64()?),
-                        timestamp: Time::from_nanos(r.u64()?),
-                        payload: r.bytes()?,
-                    });
-                }
-                WireMessage::StateTransfer { entries }
-            }
+            TAG_STATE => WireMessage::StateTransfer {
+                epoch,
+                entries: r.entries()?,
+            },
             TAG_BATCH => {
                 let count = r.u32()? as usize;
                 if count > SANITY_LIMIT {
@@ -272,14 +354,51 @@ impl WireMessage {
                     }
                     messages.push(msg);
                 }
-                WireMessage::Batch { messages }
+                WireMessage::Batch { epoch, messages }
             }
+            TAG_RESYNC_REQ => {
+                let from = NodeId::new(r.u32()? as u16);
+                let count = r.u32()? as usize;
+                if count > SANITY_LIMIT {
+                    return Err(CodecError::BadLength(count));
+                }
+                let mut versions = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    versions.push((ObjectId::new(r.u32()?), Version::new(r.u64()?)));
+                }
+                WireMessage::ResyncRequest {
+                    epoch,
+                    from,
+                    versions,
+                }
+            }
+            TAG_RESYNC_DIFF => WireMessage::ResyncDiff {
+                epoch,
+                entries: r.entries()?,
+            },
             other => return Err(CodecError::UnknownTag(other)),
         };
         if r.pos != bytes.len() {
             return Err(CodecError::TrailingBytes(bytes.len() - r.pos));
         }
         Ok(msg)
+    }
+
+    /// The sender's fencing epoch carried by this frame.
+    #[must_use]
+    pub fn epoch(&self) -> Epoch {
+        match self {
+            WireMessage::Update { epoch, .. }
+            | WireMessage::Ping { epoch, .. }
+            | WireMessage::PingAck { epoch, .. }
+            | WireMessage::RetransmitRequest { epoch, .. }
+            | WireMessage::JoinRequest { epoch, .. }
+            | WireMessage::UpdateAck { epoch, .. }
+            | WireMessage::StateTransfer { epoch, .. }
+            | WireMessage::Batch { epoch, .. }
+            | WireMessage::ResyncRequest { epoch, .. }
+            | WireMessage::ResyncDiff { epoch, .. } => *epoch,
+        }
     }
 
     /// A short human-readable kind name, for traces.
@@ -294,6 +413,8 @@ impl WireMessage {
             WireMessage::StateTransfer { .. } => "state-transfer",
             WireMessage::UpdateAck { .. } => "update-ack",
             WireMessage::Batch { .. } => "batch",
+            WireMessage::ResyncRequest { .. } => "resync-request",
+            WireMessage::ResyncDiff { .. } => "resync-diff",
         }
     }
 
@@ -303,7 +424,9 @@ impl WireMessage {
     pub fn update_count(&self) -> usize {
         match self {
             WireMessage::Update { .. } => 1,
-            WireMessage::Batch { messages } => messages.iter().map(WireMessage::update_count).sum(),
+            WireMessage::Batch { messages, .. } => {
+                messages.iter().map(WireMessage::update_count).sum()
+            }
             _ => 0,
         }
     }
@@ -320,6 +443,13 @@ fn put_u64(buf: &mut Vec<u8>, v: u64) {
 fn put_bytes(buf: &mut Vec<u8>, bytes: &[u8]) {
     put_u32(buf, bytes.len() as u32);
     buf.extend_from_slice(bytes);
+}
+
+fn put_entry(buf: &mut Vec<u8>, e: &StateEntry) {
+    put_u32(buf, e.object.index());
+    put_u64(buf, e.version.value());
+    put_u64(buf, e.timestamp.as_nanos());
+    put_bytes(buf, &e.payload);
 }
 
 struct Reader<'a> {
@@ -360,6 +490,23 @@ impl Reader<'_> {
         }
         Ok(self.take(len)?.to_vec())
     }
+
+    fn entries(&mut self) -> Result<Vec<StateEntry>, CodecError> {
+        let count = self.u32()? as usize;
+        if count > SANITY_LIMIT {
+            return Err(CodecError::BadLength(count));
+        }
+        let mut entries = Vec::with_capacity(count.min(1024));
+        for _ in 0..count {
+            entries.push(StateEntry {
+                object: ObjectId::new(self.u32()?),
+                version: Version::new(self.u64()?),
+                timestamp: Time::from_nanos(self.u64()?),
+                payload: self.bytes()?,
+            });
+        }
+        Ok(entries)
+    }
 }
 
 #[cfg(test)]
@@ -369,37 +516,45 @@ mod tests {
     fn samples() -> Vec<WireMessage> {
         vec![
             WireMessage::Update {
+                epoch: Epoch::new(2),
                 object: ObjectId::new(7),
                 version: Version::new(42),
                 timestamp: Time::from_millis(1234),
                 payload: vec![1, 2, 3, 4],
             },
             WireMessage::Update {
+                epoch: Epoch::INITIAL,
                 object: ObjectId::new(0),
                 version: Version::INITIAL,
                 timestamp: Time::ZERO,
                 payload: Vec::new(),
             },
             WireMessage::Ping {
+                epoch: Epoch::INITIAL,
                 from: NodeId::new(1),
                 seq: 99,
             },
             WireMessage::PingAck {
+                epoch: Epoch::new(3),
                 from: NodeId::new(2),
                 seq: 99,
             },
             WireMessage::RetransmitRequest {
+                epoch: Epoch::new(1),
                 object: ObjectId::new(3),
                 have_version: Version::new(5),
             },
             WireMessage::JoinRequest {
+                epoch: Epoch::INITIAL,
                 from: NodeId::new(9),
             },
             WireMessage::UpdateAck {
+                epoch: Epoch::new(1),
                 object: ObjectId::new(4),
                 version: Version::new(17),
             },
             WireMessage::StateTransfer {
+                epoch: Epoch::new(5),
                 entries: vec![
                     StateEntry {
                         object: ObjectId::new(1),
@@ -415,28 +570,64 @@ mod tests {
                     },
                 ],
             },
-            WireMessage::StateTransfer { entries: vec![] },
+            WireMessage::StateTransfer {
+                epoch: Epoch::INITIAL,
+                entries: vec![],
+            },
             WireMessage::Batch {
+                epoch: Epoch::new(4),
                 messages: vec![
                     WireMessage::Update {
+                        epoch: Epoch::new(4),
                         object: ObjectId::new(1),
                         version: Version::new(3),
                         timestamp: Time::from_millis(10),
                         payload: vec![0x11, 0x22],
                     },
                     WireMessage::Update {
+                        epoch: Epoch::new(4),
                         object: ObjectId::new(2),
                         version: Version::new(9),
                         timestamp: Time::from_millis(11),
                         payload: Vec::new(),
                     },
                     WireMessage::Ping {
+                        epoch: Epoch::new(4),
                         from: NodeId::new(0),
                         seq: 7,
                     },
                 ],
             },
-            WireMessage::Batch { messages: vec![] },
+            WireMessage::Batch {
+                epoch: Epoch::INITIAL,
+                messages: vec![],
+            },
+            WireMessage::ResyncRequest {
+                epoch: Epoch::new(6),
+                from: NodeId::new(0),
+                versions: vec![
+                    (ObjectId::new(0), Version::new(12)),
+                    (ObjectId::new(1), Version::new(3)),
+                ],
+            },
+            WireMessage::ResyncRequest {
+                epoch: Epoch::new(1),
+                from: NodeId::new(5),
+                versions: vec![],
+            },
+            WireMessage::ResyncDiff {
+                epoch: Epoch::new(6),
+                entries: vec![StateEntry {
+                    object: ObjectId::new(0),
+                    version: Version::new(15),
+                    timestamp: Time::from_millis(900),
+                    payload: vec![9, 8, 7],
+                }],
+            },
+            WireMessage::ResyncDiff {
+                epoch: Epoch::new(2),
+                entries: vec![],
+            },
         ]
     }
 
@@ -462,17 +653,36 @@ mod tests {
     }
 
     #[test]
+    fn every_frame_reports_its_epoch() {
+        for msg in samples() {
+            let decoded = WireMessage::decode(&msg.encode()).unwrap();
+            assert_eq!(
+                decoded.epoch(),
+                msg.epoch(),
+                "epoch lost for {}",
+                msg.kind()
+            );
+        }
+    }
+
+    #[test]
     fn unknown_tag_rejected() {
+        // The epoch prefix is consumed before the tag is matched, so an
+        // unknown tag needs 8 epoch bytes behind it to reach the match.
+        let mut bytes = vec![0xEE];
+        put_u64(&mut bytes, 0);
         assert_eq!(
-            WireMessage::decode(&[0xEE]),
+            WireMessage::decode(&bytes),
             Err(CodecError::UnknownTag(0xEE))
         );
         assert_eq!(WireMessage::decode(&[]), Err(CodecError::Truncated));
+        assert_eq!(WireMessage::decode(&[0xEE]), Err(CodecError::Truncated));
     }
 
     #[test]
     fn trailing_bytes_rejected() {
         let mut bytes = WireMessage::Ping {
+            epoch: Epoch::INITIAL,
             from: NodeId::new(1),
             seq: 2,
         }
@@ -487,6 +697,7 @@ mod tests {
     #[test]
     fn implausible_payload_length_rejected_before_allocation() {
         let mut bytes = vec![TAG_UPDATE];
+        put_u64(&mut bytes, 0); // epoch
         put_u32(&mut bytes, 1);
         put_u64(&mut bytes, 1);
         put_u64(&mut bytes, 1);
@@ -497,8 +708,17 @@ mod tests {
 
     #[test]
     fn implausible_entry_count_rejected() {
-        let mut bytes = vec![TAG_STATE];
-        put_u32(&mut bytes, u32::MAX);
+        for tag in [TAG_STATE, TAG_RESYNC_DIFF] {
+            let mut bytes = vec![tag];
+            put_u64(&mut bytes, 0); // epoch
+            put_u32(&mut bytes, u32::MAX);
+            let err = WireMessage::decode(&bytes).unwrap_err();
+            assert_eq!(err, CodecError::BadLength(u32::MAX as usize));
+        }
+        let mut bytes = vec![TAG_RESYNC_REQ];
+        put_u64(&mut bytes, 0); // epoch
+        put_u32(&mut bytes, 0); // from
+        put_u32(&mut bytes, u32::MAX); // version-vector count
         let err = WireMessage::decode(&bytes).unwrap_err();
         assert_eq!(err, CodecError::BadLength(u32::MAX as usize));
     }
@@ -509,13 +729,20 @@ mod tests {
         assert!(kinds.contains(&"update"));
         assert!(kinds.contains(&"state-transfer"));
         assert!(kinds.contains(&"batch"));
+        assert!(kinds.contains(&"resync-request"));
+        assert!(kinds.contains(&"resync-diff"));
     }
 
     #[test]
     fn nested_batch_rejected_at_decode() {
         // Hand-assemble a batch whose single sub-message is itself a batch.
-        let inner = WireMessage::Batch { messages: vec![] }.encode();
+        let inner = WireMessage::Batch {
+            epoch: Epoch::INITIAL,
+            messages: vec![],
+        }
+        .encode();
         let mut bytes = vec![TAG_BATCH];
+        put_u64(&mut bytes, 0); // epoch
         put_u32(&mut bytes, 1);
         put_bytes(&mut bytes, &inner);
         assert_eq!(WireMessage::decode(&bytes), Err(CodecError::NestedBatch));
@@ -524,6 +751,7 @@ mod tests {
     #[test]
     fn implausible_batch_count_rejected() {
         let mut bytes = vec![TAG_BATCH];
+        put_u64(&mut bytes, 0); // epoch
         put_u32(&mut bytes, u32::MAX);
         assert_eq!(
             WireMessage::decode(&bytes),
@@ -534,7 +762,9 @@ mod tests {
     #[test]
     fn corrupted_sub_message_poisons_the_whole_batch() {
         let msg = WireMessage::Batch {
+            epoch: Epoch::INITIAL,
             messages: vec![WireMessage::Update {
+                epoch: Epoch::INITIAL,
                 object: ObjectId::new(1),
                 version: Version::new(1),
                 timestamp: Time::from_millis(1),
@@ -542,14 +772,15 @@ mod tests {
             }],
         };
         let good = msg.encode();
-        // Flip the sub-message tag byte (just past the count + length
-        // prefix) to an unknown value.
+        // Flip the sub-message tag byte (just past the batch tag + epoch +
+        // count + sub-length prefix) to an unknown value.
+        let sub_tag_at = 1 + 8 + 4 + 4;
         let mut bad = good.clone();
-        bad[1 + 4 + 4] = 0xEE;
+        bad[sub_tag_at] = 0xEE;
         assert_eq!(WireMessage::decode(&bad), Err(CodecError::UnknownTag(0xEE)));
         // Shrink the sub-message length prefix so the sub decode truncates.
         let mut short = good;
-        short[1 + 4 + 3] -= 1;
+        short[sub_tag_at - 1] -= 1;
         assert!(WireMessage::decode(&short).is_err());
     }
 
@@ -558,7 +789,7 @@ mod tests {
         for msg in samples() {
             match &msg {
                 WireMessage::Update { .. } => assert_eq!(msg.update_count(), 1),
-                WireMessage::Batch { messages } => assert_eq!(
+                WireMessage::Batch { messages, .. } => assert_eq!(
                     msg.update_count(),
                     messages
                         .iter()
@@ -579,6 +810,7 @@ mod tests {
     #[test]
     fn update_payload_survives_large_sizes() {
         let msg = WireMessage::Update {
+            epoch: Epoch::new(1),
             object: ObjectId::new(1),
             version: Version::new(1),
             timestamp: Time::from_secs(1),

@@ -192,6 +192,38 @@ pub enum EventKind {
         /// The shed object.
         object: ObjectId,
     },
+    /// A replica fenced a frame carrying an epoch older than its own
+    /// (split-brain protection: the sender was deposed).
+    StaleEpochRejected {
+        /// The fencing replica.
+        node: NodeId,
+        /// The stale epoch the frame carried.
+        frame_epoch: u64,
+        /// The fencing replica's current epoch.
+        local_epoch: u64,
+    },
+    /// A deposed primary observed a higher epoch and stepped down.
+    PrimaryDemoted {
+        /// The demoted node.
+        node: NodeId,
+        /// The epoch it served under.
+        from_epoch: u64,
+        /// The successor epoch it observed.
+        to_epoch: u64,
+    },
+    /// A demoted replica began anti-entropy resync with the successor.
+    ResyncStarted {
+        /// The resyncing replica.
+        node: NodeId,
+        /// Objects whose versions it reported.
+        objects: u64,
+    },
+    /// A resync diff landed; the replica is consistent with the
+    /// successor's history again.
+    ResyncCompleted {
+        /// The resynced replica.
+        node: NodeId,
+    },
 }
 
 impl EventKind {
@@ -215,6 +247,10 @@ impl EventKind {
             EventKind::LinkDropped { .. } => "link_dropped",
             EventKind::LinkPerturbed { .. } => "link_perturbed",
             EventKind::ObjectShed { .. } => "object_shed",
+            EventKind::StaleEpochRejected { .. } => "stale_epoch_rejected",
+            EventKind::PrimaryDemoted { .. } => "primary_demoted",
+            EventKind::ResyncStarted { .. } => "resync_started",
+            EventKind::ResyncCompleted { .. } => "resync_completed",
         }
     }
 }
@@ -330,6 +366,31 @@ impl ObsEvent {
             }
             EventKind::ObjectShed { object } => {
                 o.uint_field("object", u64::from(object.index()));
+            }
+            EventKind::StaleEpochRejected {
+                node,
+                frame_epoch,
+                local_epoch,
+            } => {
+                o.uint_field("node", u64::from(node.index()))
+                    .uint_field("frame_epoch", *frame_epoch)
+                    .uint_field("local_epoch", *local_epoch);
+            }
+            EventKind::PrimaryDemoted {
+                node,
+                from_epoch,
+                to_epoch,
+            } => {
+                o.uint_field("node", u64::from(node.index()))
+                    .uint_field("from_epoch", *from_epoch)
+                    .uint_field("to_epoch", *to_epoch);
+            }
+            EventKind::ResyncStarted { node, objects } => {
+                o.uint_field("node", u64::from(node.index()))
+                    .uint_field("objects", *objects);
+            }
+            EventKind::ResyncCompleted { node } => {
+                o.uint_field("node", u64::from(node.index()));
             }
         }
         o.finish()
@@ -467,6 +528,23 @@ pub fn validate_line(line: &str) -> Result<(u64, u64, String), SchemaError> {
         "object_shed" => {
             require_u64(&map, "object")?;
         }
+        "stale_epoch_rejected" => {
+            require_u64(&map, "node")?;
+            require_u64(&map, "frame_epoch")?;
+            require_u64(&map, "local_epoch")?;
+        }
+        "primary_demoted" => {
+            require_u64(&map, "node")?;
+            require_u64(&map, "from_epoch")?;
+            require_u64(&map, "to_epoch")?;
+        }
+        "resync_started" => {
+            require_u64(&map, "node")?;
+            require_u64(&map, "objects")?;
+        }
+        "resync_completed" => {
+            require_u64(&map, "node")?;
+        }
         other => return Err(SchemaError::UnknownKind(other.to_string())),
     }
     Ok((seq, t_ns, kind))
@@ -553,6 +631,23 @@ mod tests {
             },
             EventKind::ObjectShed {
                 object: ObjectId::new(7),
+            },
+            EventKind::StaleEpochRejected {
+                node: NodeId::new(2),
+                frame_epoch: 1,
+                local_epoch: 2,
+            },
+            EventKind::PrimaryDemoted {
+                node: NodeId::new(0),
+                from_epoch: 1,
+                to_epoch: 2,
+            },
+            EventKind::ResyncStarted {
+                node: NodeId::new(0),
+                objects: 4,
+            },
+            EventKind::ResyncCompleted {
+                node: NodeId::new(0),
             },
         ];
         for kind in kinds {

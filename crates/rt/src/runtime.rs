@@ -392,7 +392,7 @@ fn frame_updates(msg: &WireMessage) -> Vec<(ObjectId, Version)> {
         WireMessage::Update {
             object, version, ..
         } => vec![(*object, *version)],
-        WireMessage::Batch { messages } => messages.iter().flat_map(frame_updates).collect(),
+        WireMessage::Batch { messages, .. } => messages.iter().flat_map(frame_updates).collect(),
         _ => Vec::new(),
     }
 }
@@ -443,7 +443,7 @@ fn primary_loop(
                         if flush_at.is_none() {
                             flush_at = Some(Instant::now() + coalesce_window);
                         }
-                    } else if let Some(update) = primary.make_update(id) {
+                    } else if let Some(update) = primary.make_update(id, shared.now()) {
                         shared.metrics.lock().unwrap().record_update_sent(false);
                         if let WireMessage::Update {
                             object, version, ..
@@ -487,7 +487,7 @@ fn primary_loop(
         if flush_at.is_some_and(|f| f <= Instant::now()) {
             flush_at = None;
             let ids = std::mem::take(&mut pending);
-            if let Some(batch) = primary.make_batch(&ids) {
+            if let Some(batch) = primary.make_batch(&ids, shared.now()) {
                 let carried = frame_updates(&batch);
                 {
                     let mut m = shared.metrics.lock().unwrap();
@@ -886,6 +886,32 @@ mod tests {
             "recovered backup must re-integrate via state transfer"
         );
         assert!(report.updates_applied > 0);
+    }
+
+    #[test]
+    fn lease_expiry_silences_updates_without_acks() {
+        let mut config = RtConfig::default();
+        config.objects.push(spec(20));
+        // The backup dies and never comes back: with nobody acking, the
+        // primary's lease lapses (and the dead peer is dropped), so the
+        // update stream stops under the real clock while client writes
+        // keep being served.
+        config.crash_backup_after = Some(Duration::from_millis(300));
+        let report = RtCluster::run(config, Duration::from_millis(1500)).unwrap();
+        assert!(!report.failed_over, "a dead backup cannot promote");
+        assert!(
+            report.writes > 40,
+            "client service must continue: {}",
+            report.writes
+        );
+        // ~15 updates fit before the crash plus one lease of grace; a
+        // full run would send ~75.
+        assert!(report.updates_sent > 0);
+        assert!(
+            report.updates_sent < 50,
+            "lapsed lease must gate updates: {}",
+            report.updates_sent
+        );
     }
 
     #[test]

@@ -37,12 +37,14 @@
 #![warn(missing_docs)]
 
 mod constraint;
+mod epoch;
 mod error;
 mod ids;
 mod object;
 mod time;
 
 pub use constraint::{InterObjectConstraint, QosNegotiation};
+pub use epoch::{Epoch, Lease};
 pub use error::{AdmissionError, SpecError};
 pub use ids::{NodeId, ObjectId, TaskId};
 pub use object::{ObjectSpec, ObjectSpecBuilder, ObjectValue, Version, MAX_OBJECT_SIZE};

@@ -5,6 +5,7 @@
 
 use rtpb::core::harness::{ClusterConfig, FaultEvent, FaultPlan, SimCluster};
 use rtpb::core::metrics::InjectedFault;
+use rtpb::obs::{EventBus, EventKind, MetricsRegistry};
 use rtpb::types::{NodeId, ObjectSpec, Time, TimeDelta};
 
 fn ms(v: u64) -> TimeDelta {
@@ -308,6 +309,226 @@ fn chaos_runs_are_deterministic() {
     let b = run();
     assert_eq!(a, b, "same seed + same plan must replay identically");
     assert_eq!(a.0.len(), 5, "every planned fault must be recorded");
+}
+
+/// The split-brain scenario: the primary is cut off from every backup
+/// while it keeps running. Two replicas must never both act as primary
+/// against the same store, so the promotion mints a fresh fencing epoch
+/// and every frame from the deposed regime is rejected on arrival.
+fn split_brain_cluster(seed: u64) -> SimCluster {
+    let config = ClusterConfig {
+        seed,
+        num_backups: 2,
+        trace_capacity: 256,
+        bus: EventBus::with_capacity(1 << 17),
+        registry: MetricsRegistry::new(),
+        fault_plan: FaultPlan::new().at(
+            at_ms(2_000),
+            FaultEvent::PartitionPrimary {
+                duration: ms(2_000),
+            },
+        ),
+        ..ClusterConfig::default()
+    };
+    SimCluster::new(config)
+}
+
+/// Scenario 6: split-brain. The primary is partitioned away mid-burst, a
+/// backup promotes under a higher fencing epoch while the old primary is
+/// still alive, and after the heal the deposed primary's frames are
+/// fenced — zero stale-epoch writes reach any store — before it demotes
+/// itself and re-integrates as a backup via anti-entropy resync.
+#[test]
+fn split_brain_fences_the_deposed_primary_and_resyncs_it() {
+    let mut cluster = split_brain_cluster(31);
+    let id = cluster.register(spec(50)).unwrap();
+    cluster.run_for(TimeDelta::from_secs(8));
+
+    // A backup promoted while the old primary was alive behind the cut.
+    assert!(cluster.has_failed_over(), "split-brain must promote");
+    let primary = cluster.primary().expect("service must survive");
+    assert_ne!(primary.node(), NodeId::new(0), "old primary stays deposed");
+    let serving_epoch = cluster.fencing_epoch().expect("serving").value();
+    assert!(serving_epoch > 0, "promotion must mint a fresh epoch");
+
+    // Fencing did real work: stale-epoch frames arrived and were
+    // rejected, never applied.
+    let fenced = cluster
+        .registry()
+        .snapshot()
+        .counter("cluster.fenced_frames")
+        .unwrap_or(0);
+    assert!(fenced > 0, "the deposed primary's frames must be fenced");
+    let events = cluster.bus().collect();
+    let stale: Vec<_> = events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::StaleEpochRejected {
+                frame_epoch,
+                local_epoch,
+                ..
+            } => Some((frame_epoch, local_epoch)),
+            _ => None,
+        })
+        .collect();
+    assert!(!stale.is_empty(), "stale-epoch rejections must be recorded");
+    for (frame, local) in &stale {
+        assert!(
+            frame < local,
+            "only strictly older epochs may be fenced ({frame} !< {local})"
+        );
+    }
+
+    // The deposed primary saw the higher epoch, demoted itself, and
+    // resynced back in as a backup of the new regime.
+    assert!(cluster.deposed_primary().is_none(), "must have demoted");
+    assert!(
+        events.iter().any(
+            |e| matches!(e.kind, EventKind::PrimaryDemoted { node, .. } if node == NodeId::new(0))
+        ),
+        "demotion must be announced"
+    );
+    assert!(events
+        .iter()
+        .any(|e| matches!(e.kind, EventKind::ResyncStarted { .. })));
+    assert!(events
+        .iter()
+        .any(|e| matches!(e.kind, EventKind::ResyncCompleted { .. })));
+    let rejoined = cluster
+        .backups()
+        .into_iter()
+        .find(|b| b.node() == NodeId::new(0))
+        .expect("deposed primary must re-join as a backup");
+    assert_eq!(
+        rejoined.epoch().value(),
+        serving_epoch,
+        "resync must adopt the successor's epoch"
+    );
+    assert!(!rejoined.join_in_progress(), "resync must have completed");
+    // Anti-entropy converged: the ex-primary's image trails the serving
+    // store by at most the updates still in flight.
+    let v_serving = primary.store().get(id).unwrap().version().value();
+    let v_rejoined = rejoined.store().get(id).unwrap().version().value();
+    assert!(
+        v_serving - v_rejoined <= 2,
+        "resynced store must be current ({v_rejoined} vs {v_serving})"
+    );
+
+    // The fault record closes within the bounded-retry budget: cut at
+    // 2 s, promotion within the §4.4 detection bound, heal at 4 s, then
+    // one probe round-trip plus the resync exchange.
+    let faults = cluster.fault_report();
+    assert_eq!(faults.len(), 1);
+    let cut = &faults[0];
+    assert_eq!(cut.kind, InjectedFault::PrimaryPartition);
+    let detection = cut.detection_latency().expect("cut undetected");
+    assert!(detection <= DETECTION_BUDGET, "detection took {detection}");
+    let recovered = cut.recovered_at.expect("deposed primary never resynced");
+    assert!(recovered >= at_ms(4_000), "cannot resync mid-cut");
+    assert!(
+        recovered <= at_ms(5_000),
+        "re-integration too slow: {recovered}"
+    );
+    assert!(cut.retries <= 10, "retry budget exceeded: {}", cut.retries);
+
+    // Replication keeps flowing in the new regime.
+    let applies_now = cluster.report().object_report(id).unwrap().applies;
+    cluster.run_for(TimeDelta::from_secs(2));
+    let applies_later = cluster.report().object_report(id).unwrap().applies;
+    assert!(applies_later > applies_now, "updates must keep flowing");
+}
+
+/// Split-brain runs are a deterministic function of the seed: the full
+/// structured-event log — promotion, fencing, demotion, resync — replays
+/// byte-identically.
+#[test]
+fn split_brain_replays_byte_identically() {
+    let run = || {
+        let mut cluster = split_brain_cluster(31);
+        cluster.register(spec(50)).unwrap();
+        cluster.run_for(TimeDelta::from_secs(8));
+        (cluster.export_jsonl(), cluster.fault_report().to_vec())
+    };
+    let (jsonl_a, faults_a) = run();
+    let (jsonl_b, faults_b) = run();
+    assert_eq!(jsonl_a, jsonl_b, "same seed must replay byte-identically");
+    assert_eq!(faults_a, faults_b);
+    assert!(jsonl_a.contains("stale_epoch_rejected"));
+    assert!(jsonl_a.contains("primary_demoted"));
+    assert!(jsonl_a.contains("resync_completed"));
+}
+
+/// A cut shorter than the §4.4 detection bound heals silently: no
+/// promotion, no epoch change, no fencing — the lease math
+/// (`lease + skew < detection bound`) guarantees the primary's lease
+/// lapses before any backup could have declared it dead.
+#[test]
+fn sub_detection_primary_cut_heals_without_promotion() {
+    let config = ClusterConfig {
+        seed: 37,
+        num_backups: 2,
+        fault_plan: FaultPlan::new().at(
+            at_ms(2_000),
+            FaultEvent::PartitionPrimary {
+                duration: ms(200), // < 300 ms detection bound
+            },
+        ),
+        ..ClusterConfig::default()
+    };
+    let mut cluster = SimCluster::new(config);
+    let id = cluster.register(spec(50)).unwrap();
+    cluster.run_for(TimeDelta::from_secs(6));
+
+    assert!(!cluster.has_failed_over(), "short cut must not promote");
+    assert_eq!(cluster.primary().unwrap().node(), NodeId::new(0));
+    assert_eq!(cluster.fencing_epoch().unwrap().value(), 0);
+    assert!(cluster.deposed_primary().is_none());
+    let faults = cluster.fault_report();
+    assert_eq!(faults.len(), 1);
+    assert_eq!(faults[0].recovered_at, Some(at_ms(2_200)));
+    assert!(cluster.report().object_report(id).unwrap().applies > 0);
+}
+
+/// With auto-failover off, a *detected* primary cut must not strand the
+/// cluster: no backup promotes, and once the cut heals the severed
+/// replicas re-join the still-serving primary (re-arming its lease) so
+/// replication resumes.
+#[test]
+fn detected_primary_cut_without_auto_failover_reintegrates() {
+    let config = ClusterConfig {
+        seed: 41,
+        num_backups: 2,
+        auto_failover: false,
+        fault_plan: FaultPlan::new().at(
+            at_ms(2_000),
+            FaultEvent::PartitionPrimary {
+                duration: ms(1_500), // > 300 ms: detectors fire mid-cut
+            },
+        ),
+        ..ClusterConfig::default()
+    };
+    let mut cluster = SimCluster::new(config);
+    let id = cluster.register(spec(50)).unwrap();
+    cluster.run_for(TimeDelta::from_secs(8));
+
+    assert!(
+        !cluster.has_failed_over(),
+        "auto_failover off: no promotion"
+    );
+    assert_eq!(cluster.primary().unwrap().node(), NodeId::new(0));
+    assert_eq!(cluster.fencing_epoch().unwrap().value(), 0);
+    assert!(cluster.deposed_primary().is_none());
+    let faults = cluster.fault_report();
+    assert_eq!(faults.len(), 1);
+    assert_eq!(faults[0].recovered_at, Some(at_ms(3_500)));
+    // Replication resumed after the heal: the backups re-joined and the
+    // primary's lease is being renewed again.
+    let applies_now = cluster.report().object_report(id).unwrap().applies;
+    cluster.run_for(TimeDelta::from_secs(2));
+    assert!(
+        cluster.report().object_report(id).unwrap().applies > applies_now,
+        "updates must flow again after the heal"
+    );
 }
 
 /// Satellite of §4.4: with the control-path loss exemption turned off,

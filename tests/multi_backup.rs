@@ -98,6 +98,44 @@ fn failover_promotes_one_backup_and_rejoins_the_others() {
     assert!(cluster.metrics().object_report(id).unwrap().writes > 0);
 }
 
+/// Failover promotes the *least-stale* live backup (maximal version
+/// vector), not whichever detector happens to fire first. A backup that
+/// was partitioned away right before the crash — and therefore missed a
+/// burst of updates — must lose the election to its fresher sibling,
+/// even though the tie-break would otherwise prefer its lower index.
+#[test]
+fn failover_promotes_the_least_stale_backup() {
+    let mut cluster = cluster(2);
+    let id = cluster.register(spec(50)).unwrap();
+    cluster.run_for(TimeDelta::from_secs(2));
+    // Host 0 (node#1) goes dark and misses ~12 updates; host 1 (node#2)
+    // keeps applying. The primary dies while host 0 is still cut off.
+    cluster.inject(FaultEvent::Partition {
+        host: 0,
+        duration: ms(800),
+    });
+    cluster.run_for(ms(600));
+    cluster.inject(FaultEvent::CrashPrimary);
+    cluster.run_for(TimeDelta::from_secs(3));
+
+    assert!(cluster.has_failed_over());
+    let promoted = cluster.primary().expect("someone took over").node();
+    assert_eq!(
+        promoted,
+        NodeId::new(2),
+        "the fresher backup must win the election"
+    );
+    assert_eq!(cluster.name_service().resolve(), NodeId::new(2));
+    // The stale replica re-joins the new primary and catches up.
+    let backups = cluster.backups();
+    assert_eq!(backups.len(), 1);
+    assert_eq!(backups[0].node(), NodeId::new(1));
+    let applies_before = backups[0].updates_applied();
+    cluster.run_for(TimeDelta::from_secs(2));
+    assert!(cluster.backups()[0].updates_applied() > applies_before);
+    assert!(cluster.metrics().object_report(id).unwrap().writes > 0);
+}
+
 #[test]
 fn two_failovers_with_three_replicas() {
     let mut cluster = cluster(3);

@@ -13,7 +13,7 @@ use rtpb::sched::exec::{run_dcs, run_edf, run_rm, Horizon};
 use rtpb::sched::task::{PeriodicTask, TaskSet};
 use rtpb::sched::VarianceBound;
 use rtpb::sim::propcheck::{run_cases, Gen};
-use rtpb::types::{NodeId, ObjectId, ObjectSpec, Time, TimeDelta, Version};
+use rtpb::types::{Epoch, NodeId, ObjectId, ObjectSpec, Time, TimeDelta, Version};
 
 fn ms(v: u64) -> TimeDelta {
     TimeDelta::from_millis(v)
@@ -124,6 +124,7 @@ fn dcs_specialization_contracts() {
 fn wire_codec_round_trips() {
     run_cases("wire_codec_round_trips", 64, |g| {
         let msg = WireMessage::Update {
+            epoch: Epoch::new(g.any_u64()),
             object: ObjectId::new(g.u64_in(0, 1000) as u32),
             version: Version::new(g.any_u64()),
             timestamp: Time::from_nanos(g.any_u64() / 2),
@@ -144,22 +145,28 @@ fn batch_codec_round_trips_and_rejects_truncation() {
         let messages: Vec<WireMessage> = (0..n)
             .map(|_| match g.usize_in(0, 2) {
                 0 => WireMessage::Update {
+                    epoch: Epoch::new(g.any_u64()),
                     object: ObjectId::new(g.u64_in(0, 64) as u32),
                     version: Version::new(g.any_u64()),
                     timestamp: Time::from_nanos(g.any_u64() / 2),
                     payload: g.bytes(64),
                 },
                 1 => WireMessage::Ping {
+                    epoch: Epoch::new(g.any_u64()),
                     from: NodeId::new(g.u64_in(0, 4) as u16),
                     seq: g.any_u64(),
                 },
                 _ => WireMessage::RetransmitRequest {
+                    epoch: Epoch::new(g.any_u64()),
                     object: ObjectId::new(g.u64_in(0, 64) as u32),
                     have_version: Version::new(g.any_u64()),
                 },
             })
             .collect();
-        let msg = WireMessage::Batch { messages };
+        let msg = WireMessage::Batch {
+            epoch: Epoch::new(g.any_u64()),
+            messages,
+        };
         let bytes = msg.encode();
         assert_eq!(WireMessage::decode(&bytes).expect("round trip"), msg);
         let cut = g.usize_in(0, bytes.len() - 1);
@@ -291,6 +298,78 @@ fn distance_stays_within_theorem5_bound_plus_fault_envelope() {
                     envelope
                 );
                 assert!(r.applies > 0, "replication must make progress");
+            }
+        },
+    );
+}
+
+/// Fencing epochs are strictly monotone across arbitrary fault plans:
+/// the serving primary's epoch never regresses, and every completed
+/// failover — crash-driven or split-brain — mints a strictly higher
+/// epoch. This is the invariant that makes epoch comparison a safe
+/// staleness test at every store.
+#[test]
+fn fencing_epochs_are_strictly_monotone_across_fault_plans() {
+    run_cases(
+        "fencing_epochs_are_strictly_monotone_across_fault_plans",
+        12,
+        |g| {
+            let n = g.usize_in(1, 3);
+            let mut plan = FaultPlan::new();
+            for k in 0..n {
+                let at = Time::from_millis(1_000 + 2_500 * k as u64 + g.u64_in(0, 500));
+                plan = match g.usize_in(0, 2) {
+                    0 => plan.at(at, FaultEvent::CrashPrimary),
+                    1 => plan.at(
+                        at,
+                        FaultEvent::PartitionPrimary {
+                            duration: ms(g.u64_in(400, 1_500)),
+                        },
+                    ),
+                    _ => plan.at(
+                        at,
+                        FaultEvent::Partition {
+                            host: 0,
+                            duration: ms(g.u64_in(200, 800)),
+                        },
+                    ),
+                };
+            }
+            let config = ClusterConfig {
+                seed: g.u64_in(0, 10_000),
+                num_backups: 3,
+                fault_plan: plan,
+                ..ClusterConfig::default()
+            };
+            let mut cluster = SimCluster::new(config);
+            let spec = ObjectSpec::builder("epoch")
+                .update_period(ms(50))
+                .primary_bound(ms(100))
+                .backup_bound(ms(500))
+                .build()
+                .expect("structurally valid");
+            cluster.register(spec).expect("admitted");
+            let mut last_epoch = cluster.fencing_epoch().expect("serving").value();
+            let mut last_failovers = cluster.name_service().failover_count();
+            for _ in 0..100 {
+                cluster.run_for(ms(100));
+                let Some(epoch) = cluster.fencing_epoch().map(|e| e.value()) else {
+                    continue; // crashed, successor not yet promoted
+                };
+                let failovers = cluster.name_service().failover_count();
+                if failovers > last_failovers {
+                    assert!(
+                        epoch > last_epoch,
+                        "promotion must mint a strictly higher epoch ({epoch} !> {last_epoch})"
+                    );
+                } else {
+                    assert_eq!(
+                        epoch, last_epoch,
+                        "a serving primary must never change epoch in place"
+                    );
+                }
+                last_epoch = epoch;
+                last_failovers = failovers;
             }
         },
     );
