@@ -281,7 +281,15 @@ impl Backup {
         WireMessage::ResyncRequest {
             epoch: self.epoch,
             from: self.node,
-            versions: self.store.iter().map(|(id, e)| (id, e.version())).collect(),
+            // Each entry reports the epoch its image was written under:
+            // versions this node minted as a deposed primary carry its old
+            // epoch, so the successor's diff can override them no matter
+            // how high their bare counters ran.
+            versions: self
+                .store
+                .iter()
+                .map(|(id, e)| (id, e.write_epoch(), e.version()))
+                .collect(),
         }
     }
 
@@ -392,6 +400,7 @@ impl Backup {
                 let installed = self.store.apply(
                     *object,
                     ObjectValue::new(*version, *timestamp, payload.clone()),
+                    frame_epoch,
                 );
                 if installed {
                     self.updates_applied += 1;
@@ -425,7 +434,7 @@ impl Backup {
                 self.detector.note_traffic(now);
                 self.join = None;
                 for e in entries {
-                    self.install_entry(e, now, &mut out);
+                    self.install_entry(e, frame_epoch, now, &mut out);
                 }
             }
             WireMessage::Batch { messages, .. } => {
@@ -449,12 +458,24 @@ impl Backup {
         out
     }
 
-    fn install_entry(&mut self, e: &StateEntry, now: Time, out: &mut BackupOutput) {
+    fn install_entry(
+        &mut self,
+        e: &StateEntry,
+        frame_epoch: Epoch,
+        now: Time,
+        out: &mut BackupOutput,
+    ) {
         self.last_update_at.insert(e.object, now);
         self.retransmit_attempts.remove(&e.object);
+        // Entries are tagged with the shipping frame's epoch: a serving
+        // primary's whole image carries its own epoch (adopted at
+        // promotion), so a resync diff overwrites divergent values this
+        // node wrote under an older, deposed epoch — whatever their bare
+        // version counters say.
         let installed = self.store.apply(
             e.object,
             ObjectValue::new(e.version, e.timestamp, e.payload.clone()),
+            frame_epoch,
         );
         if installed {
             self.updates_applied += 1;
@@ -955,7 +976,7 @@ mod tests {
             } => {
                 assert_eq!(*epoch, Epoch::new(1));
                 assert_eq!(*from, NodeId::new(0));
-                assert_eq!(versions, &vec![(id, Version::new(4))]);
+                assert_eq!(versions, &vec![(id, Epoch::new(1), Version::new(4))]);
             }
             other => panic!("expected resync request, got {other:?}"),
         }
@@ -978,6 +999,38 @@ mod tests {
         assert_eq!(out.applied.len(), 1);
         assert!(!b.join_in_progress());
         assert_eq!(b.store().get(id).unwrap().version(), Version::new(6));
+    }
+
+    #[test]
+    fn resync_diff_overwrites_divergent_split_brain_values() {
+        // This node, as a deposed primary, wrote version 9 under epoch 0
+        // during the split-brain window. The successor (epoch 1) serves
+        // version 3. The diff's epoch outranks the divergent value's
+        // write epoch, so it must overwrite despite the lower version.
+        let (mut b, id) = backup_with_object();
+        b.handle_message(&update(id, 9, 20), t(22));
+        assert_eq!(b.store().get(id).unwrap().version(), Version::new(9));
+        let _ = b.begin_resync(t(30));
+        let out = b.handle_message(
+            &WireMessage::ResyncDiff {
+                epoch: Epoch::new(1),
+                entries: vec![StateEntry {
+                    object: id,
+                    version: Version::new(3),
+                    timestamp: t(25),
+                    payload: vec![3],
+                }],
+            },
+            t(35),
+        );
+        assert_eq!(out.applied, vec![(id, Version::new(3), t(25))]);
+        let entry = b.store().get(id).unwrap();
+        assert_eq!(entry.version(), Version::new(3));
+        assert_eq!(entry.write_epoch(), Epoch::new(1));
+        assert_eq!(entry.value().unwrap().payload(), &[3]);
+        // Follow-up updates from the new regime continue normally.
+        let out = b.handle_message(&update_at_epoch(Epoch::new(1), id, 4, 40), t(42));
+        assert_eq!(out.applied.len(), 1, "successor updates must not stall");
     }
 
     #[test]

@@ -117,15 +117,18 @@ pub struct ProtocolConfig {
     /// drain before deciding the next victim (prevents one transient
     /// burst from deregistering the whole object set).
     pub shed_cooldown: TimeDelta,
-    /// Duration of the primary's leadership lease. The lease is renewed by
-    /// every heartbeat acknowledgement (and any other inbound proof of
-    /// connectivity to a backup); once it lapses the primary must stop
-    /// originating updates. Sized so that
-    /// `lease_duration + clock_skew < heartbeat_miss_threshold ×
-    /// heartbeat_timeout` (the backup's declaration bound): by the time a
-    /// backup may promote, the old primary's lease has provably expired
-    /// even under worst-case clock skew, making two simultaneous holders
-    /// impossible by construction.
+    /// Duration of the primary's leadership lease. The lease is renewed
+    /// only by *acknowledged* probes of the primary's own, anchored at the
+    /// probe's **send** timestamp (guard-start-before-send) — mere inbound
+    /// reachability is one-directional evidence and renews nothing. Once
+    /// the lease lapses the primary must stop originating updates and
+    /// refuse client writes. Sized so that `lease_duration + clock_skew +
+    /// link_delay_bound < heartbeat_miss_threshold × heartbeat_timeout`
+    /// (the backup's declaration bound): a backup's declaration timer
+    /// restarts whenever a primary frame *arrives*, up to one
+    /// `link_delay_bound` after the renewal-anchoring send instant, so by
+    /// the time a backup may promote, the old primary's lease has provably
+    /// expired even under worst-case clock skew and message delay.
     pub lease_duration: TimeDelta,
     /// Worst-case clock skew between any two hosts, budgeted into the
     /// lease sizing rule above. The virtual-clock sim has zero skew; the
@@ -232,10 +235,11 @@ impl ProtocolConfig {
             "lease duration must be positive"
         );
         assert!(
-            self.lease_duration + self.clock_skew < self.declaration_bound(),
-            "lease duration plus clock skew must be below the failure-detection \
-             declaration bound, or a promoted backup could coexist with a \
-             still-leased primary"
+            self.lease_duration + self.clock_skew + self.link_delay_bound
+                < self.declaration_bound(),
+            "lease duration plus clock skew plus link delay must be below the \
+             failure-detection declaration bound, or a promoted backup could \
+             coexist with a still-leased primary"
         );
     }
 }
@@ -297,17 +301,29 @@ mod tests {
     }
 
     #[test]
-    fn default_lease_sizing_leaves_skew_margin() {
+    fn default_lease_sizing_leaves_skew_and_delay_margin() {
         let c = ProtocolConfig::default();
-        assert!(c.lease_duration + c.clock_skew < c.declaration_bound());
+        assert!(c.lease_duration + c.clock_skew + c.link_delay_bound < c.declaration_bound());
         assert_eq!(c.declaration_bound(), TimeDelta::from_millis(300));
     }
 
     #[test]
-    #[should_panic(expected = "lease duration plus clock skew")]
+    #[should_panic(expected = "lease duration plus clock skew plus link delay")]
     fn oversized_lease_rejected() {
         let c = ProtocolConfig {
             lease_duration: TimeDelta::from_millis(400),
+            ..ProtocolConfig::default()
+        };
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "lease duration plus clock skew plus link delay")]
+    fn lease_that_only_fits_without_the_delay_budget_is_rejected() {
+        // 285 + 10 < 300 passes the old skew-only rule, but a one-way
+        // delay of up to 10 ms makes the overlap real: 285 + 10 + 10 ≥ 300.
+        let c = ProtocolConfig {
+            lease_duration: TimeDelta::from_millis(285),
             ..ProtocolConfig::default()
         };
         c.validate();

@@ -28,6 +28,10 @@ use rtpb_sim::{Context, Simulation, World};
 use rtpb_types::{AdmissionError, Epoch, NodeId, ObjectId, ObjectSpec, Time, TimeDelta, Version};
 use std::collections::BTreeMap;
 
+/// Per-object `(write_epoch, version)` freshness tags of a replica's
+/// store, used to rank failover candidates.
+type FreshnessTags = BTreeMap<ObjectId, (u64, u64)>;
+
 /// Configuration of a simulated cluster.
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
@@ -609,29 +613,80 @@ impl ClusterWorld {
         }
     }
 
-    /// Total applied version across a backup's store — the scalar image
-    /// of its version vector used to rank failover candidates. Because
-    /// every replica applies the same per-object version sequence, a
-    /// higher total means a store that dominates (is at least as fresh
-    /// for every object and strictly fresher for one).
-    fn version_total(backup: &Backup) -> u64 {
+    /// A backup's per-object freshness tags: `(write_epoch, version)` for
+    /// every valued slot. Never-written slots are implicitly the minimal
+    /// tag `(0, 0)`.
+    fn freshness_tags(backup: &Backup) -> FreshnessTags {
         backup
             .store()
             .iter()
-            .filter_map(|(_, e)| e.value().map(|v| v.version().value()))
-            .sum()
+            .filter_map(|(id, e)| {
+                e.value()
+                    .map(|v| (id, (e.write_epoch().value(), v.version().value())))
+            })
+            .collect()
     }
 
-    /// The failover target: the least-stale live backup (maximal version
-    /// vector), ties broken deterministically toward the lowest host
-    /// index.
+    /// Whether `a`'s store dominates `b`'s: at least as fresh — by the
+    /// lexicographic `(write_epoch, version)` tag — for every object, and
+    /// strictly fresher for at least one. Scalar version sums cannot rank
+    /// replicas after a split-brain window (a divergent replica's inflated
+    /// counters would outvote a genuinely fresher one); element-wise
+    /// comparison of epoch-qualified tags can.
+    fn dominates(a: &FreshnessTags, b: &FreshnessTags) -> bool {
+        let min = (0u64, 0u64);
+        let mut strictly = false;
+        for (id, &tb) in b {
+            let ta = a.get(id).copied().unwrap_or(min);
+            if ta < tb {
+                return false;
+            }
+            if ta > tb {
+                strictly = true;
+            }
+        }
+        for (id, &ta) in a {
+            if !b.contains_key(id) && ta > min {
+                strictly = true;
+            }
+        }
+        strictly
+    }
+
+    /// The failover target: a live backup no other live backup dominates.
+    /// Candidates are folded in host-index order; a challenger replaces
+    /// the incumbent only if it dominates it, or — when the two are
+    /// incomparable — by the deterministic tie-break (highest maximal
+    /// write epoch, then highest tag total), with the incumbent (lower
+    /// index) winning exact ties. The epoch component of the tie-break
+    /// prefers a replica that heard from the newest regime over one
+    /// holding divergent state from a deposed one.
     fn failover_target(&self) -> Option<usize> {
-        self.hosts
-            .iter()
-            .enumerate()
-            .filter_map(|(i, h)| h.backup.as_ref().map(|b| (i, Self::version_total(b))))
-            .max_by(|&(i, a), &(j, b)| a.cmp(&b).then(j.cmp(&i)))
-            .map(|(i, _)| i)
+        fn rank(tags: &FreshnessTags) -> (u64, u64) {
+            let max_epoch = tags.values().map(|&(e, _)| e).max().unwrap_or(0);
+            let total: u64 = tags.values().map(|&(e, v)| e.saturating_add(v)).sum();
+            (max_epoch, total)
+        }
+        let mut best: Option<(usize, FreshnessTags)> = None;
+        for (i, h) in self.hosts.iter().enumerate() {
+            let Some(b) = h.backup.as_ref() else {
+                continue;
+            };
+            let tags = Self::freshness_tags(b);
+            best = match best {
+                None => Some((i, tags)),
+                Some((j, cur)) => {
+                    if Self::dominates(&tags, &cur)
+                        || (!Self::dominates(&cur, &tags) && rank(&tags) > rank(&cur))
+                    {
+                        Some((i, tags))
+                    } else {
+                        Some((j, cur))
+                    }
+                }
+            };
+        }
+        best.map(|(i, _)| i)
     }
 
     /// A backup takes over as the new primary (§4.4). The first detector

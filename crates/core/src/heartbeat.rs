@@ -47,6 +47,10 @@ pub struct FailureDetector {
     timeout: TimeDelta,
     miss_threshold: u32,
     next_seq: u64,
+    /// The in-flight probe as `(seq, sent_at)`. The send timestamp — not
+    /// the timeout deadline — is stored so that a matching ack can report
+    /// when the probe left: leadership leases renew from that instant
+    /// (guard-start-before-send), never from the ack's arrival time.
     outstanding: Option<(u64, Time)>,
     consecutive_misses: u32,
     next_probe_at: Time,
@@ -112,8 +116,8 @@ impl FailureDetector {
             return DetectorAction::Idle;
         }
         // An outstanding probe that timed out counts as a miss.
-        if let Some((_, deadline)) = self.outstanding {
-            if now >= deadline {
+        if let Some((_, sent_at)) = self.outstanding {
+            if now >= sent_at + self.timeout {
                 self.outstanding = None;
                 self.consecutive_misses += 1;
                 if self.consecutive_misses >= self.miss_threshold {
@@ -136,29 +140,38 @@ impl FailureDetector {
     fn send_probe(&mut self, now: Time) -> DetectorAction {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.outstanding = Some((seq, now + self.timeout));
+        self.outstanding = Some((seq, now));
         self.next_probe_at = now + self.period;
         DetectorAction::SendPing(seq)
     }
 
     /// Records an acknowledgement. Stale acks (for an older probe) still
     /// prove the peer was recently alive and reset the miss counter.
-    pub fn on_ack(&mut self, seq: u64, _now: Time) {
+    ///
+    /// Returns the *send* timestamp of the acknowledged probe when `seq`
+    /// exactly matches the outstanding one — the guard-start-before-send
+    /// instant a leadership lease may renew from. Late acks and unknown
+    /// sequence numbers return `None`: they are liveness evidence at most,
+    /// never lease-renewal evidence (their send instant is no longer
+    /// known, so no declaration-bound argument can be anchored to them).
+    pub fn on_ack(&mut self, seq: u64, _now: Time) -> Option<Time> {
         if self.declared {
-            return;
+            return None;
         }
         match self.outstanding {
-            Some((expected, _)) if seq == expected => {
+            Some((expected, sent_at)) if seq == expected => {
                 self.outstanding = None;
                 self.consecutive_misses = 0;
                 self.peer_alive = true;
+                Some(sent_at)
             }
             _ if seq < self.next_seq => {
                 // Late ack for an earlier probe: evidence of life.
                 self.consecutive_misses = 0;
                 self.peer_alive = true;
+                None
             }
-            _ => {}
+            _ => None,
         }
     }
 
@@ -194,7 +207,7 @@ impl FailureDetector {
     #[must_use]
     pub fn next_deadline(&self) -> Time {
         match self.outstanding {
-            Some((_, deadline)) => deadline,
+            Some((_, sent_at)) => sent_at + self.timeout,
             None => self.next_probe_at,
         }
     }
@@ -223,7 +236,9 @@ mod tests {
         for k in 0..10u64 {
             let now = t(k * 50);
             match d.tick(now) {
-                DetectorAction::SendPing(seq) => d.on_ack(seq, now + TimeDelta::from_millis(5)),
+                DetectorAction::SendPing(seq) => {
+                    d.on_ack(seq, now + TimeDelta::from_millis(5));
+                }
                 other => panic!("expected probe at {now}, got {other:?}"),
             }
         }
@@ -295,6 +310,25 @@ mod tests {
         assert_eq!(d.consecutive_misses(), 1);
         // The ack for the *first* probe arrives very late.
         d.on_ack(first, t(120));
+        assert_eq!(d.consecutive_misses(), 0);
+    }
+
+    #[test]
+    fn matching_ack_reports_the_probe_send_time() {
+        let mut d = fd();
+        let DetectorAction::SendPing(first) = d.tick(t(40)) else {
+            panic!()
+        };
+        // The exact outstanding match hands back when the probe left —
+        // the only instant a lease may renew from.
+        assert_eq!(d.on_ack(first, t(60)), Some(t(40)));
+        // A late duplicate of the same ack is liveness-only.
+        assert_eq!(d.on_ack(first, t(70)), None);
+        // And so is a late ack that arrives after a re-probe.
+        let DetectorAction::SendPing(_) = d.tick(t(140) + TimeDelta::from_millis(1)) else {
+            panic!()
+        };
+        assert_eq!(d.on_ack(first, t(150)), None);
         assert_eq!(d.consecutive_misses(), 0);
     }
 

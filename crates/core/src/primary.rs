@@ -27,6 +27,12 @@ use rtpb_types::{
 };
 use std::collections::BTreeMap;
 
+/// Base of the reconnection-probe sequence range (see
+/// [`Primary::probe_ping`]). The per-peer failure detectors count up from
+/// zero; probes count up from here, so the two sequence spaces can never
+/// collide and a probe's ack is always "unknown" to every detector.
+pub const PROBE_SEQ_BASE: u64 = 1 << 63;
+
 /// The primary's reaction to an inbound message.
 #[derive(Debug, Clone, Default)]
 pub struct PrimaryOutput {
@@ -62,6 +68,9 @@ pub struct HeartbeatRound {
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let mut primary = Primary::new(NodeId::new(0), ProtocolConfig::default());
+/// // A tracked backup grants the leadership lease; from the first join
+/// // onward the lease gates client writes (split-brain safety).
+/// primary.add_backup(NodeId::new(1), Time::ZERO);
 /// let spec = ObjectSpec::builder("altitude")
 ///     .update_period(TimeDelta::from_millis(100))
 ///     .primary_bound(TimeDelta::from_millis(150))
@@ -95,6 +104,11 @@ pub struct Primary {
     epoch: Epoch,
     lease: Lease,
     observed_epoch: Epoch,
+    /// Whether a backup has ever joined this primary's regime. Until one
+    /// does, no replica exists that could supersede this primary, so
+    /// client writes are served without a lease (§4.4 solo service); from
+    /// the first join onward the lease strictly gates writes.
+    ever_had_backup: bool,
     stale_frames_rejected: u64,
     probe_seq: u64,
     writes_applied: u64,
@@ -123,8 +137,9 @@ impl Primary {
             epoch: Epoch::INITIAL,
             lease,
             observed_epoch: Epoch::INITIAL,
+            ever_had_backup: false,
             stale_frames_rejected: 0,
-            probe_seq: 0,
+            probe_seq: PROBE_SEQ_BASE,
             writes_applied: 0,
             updates_produced: 0,
             acks_received: 0,
@@ -132,8 +147,11 @@ impl Primary {
     }
 
     /// Starts tracking `backup` as a replica: a failure detector is armed
-    /// and update production towards it begins. Direct contact with a
-    /// backup is proof of connectivity, so the lease is renewed.
+    /// and update production towards it begins. The joining frame proves a
+    /// backup was tracking us no later than one link delay ago, which is
+    /// why the sizing rule budgets `link_delay_bound` on top of the lease
+    /// and clock skew — a receive-time grant here still lapses before any
+    /// backup's declaration bound can elapse.
     pub fn add_backup(&mut self, backup: NodeId, now: Time) {
         let mut detector = FailureDetector::new(
             self.node,
@@ -143,6 +161,7 @@ impl Primary {
         );
         detector.reset(now);
         self.peers.insert(backup, detector);
+        self.ever_had_backup = true;
         self.lease.renew(now);
     }
 
@@ -174,6 +193,12 @@ impl Primary {
     ) -> Self {
         let mut lease = Lease::new(config.lease_duration);
         lease.renew(now);
+        // Adopt the inherited image as this regime's opening state: every
+        // value is re-tagged with the freshly minted epoch, so updates and
+        // resync diffs computed from it dominate any divergent version
+        // counters a deposed predecessor ran up under an older epoch.
+        let mut store = store;
+        store.adopt_epoch(epoch);
         Primary {
             node,
             config,
@@ -185,8 +210,9 @@ impl Primary {
             epoch,
             lease,
             observed_epoch: epoch,
+            ever_had_backup: false,
             stale_frames_rejected: 0,
-            probe_seq: 0,
+            probe_seq: PROBE_SEQ_BASE,
             writes_applied: 0,
             updates_produced: 0,
             acks_received: 0,
@@ -333,15 +359,35 @@ impl Primary {
     }
 
     /// Applies a client write, producing the next version. Returns `None`
-    /// for an unregistered object.
+    /// for an unregistered object, and — critically for split-brain
+    /// safety — when this primary is deposed, or when it has ever tracked
+    /// a backup and its leadership lease does not cover `now`: a
+    /// partitioned ex-leader that kept numbering writes would mint
+    /// versions a promoted replica of its regime can never have seen,
+    /// leaving divergent state for resync to untangle. Refusing the write
+    /// up front keeps every accepted write inside a provably exclusive
+    /// leadership window.
+    ///
+    /// The exception — a primary that has *never* tracked a backup in its
+    /// regime serves without a lease — is the paper's §4.4 takeover
+    /// choreography: the new primary serves clients while it "waits to
+    /// recruit a new backup". It is safe because no replica of this
+    /// regime exists that could have promoted past it, and any replica of
+    /// a *prior* regime announces itself through a higher-epoch frame,
+    /// which flips `is_deposed` and closes this gate.
     pub fn apply_client_write(
         &mut self,
         id: ObjectId,
         payload: Vec<u8>,
         now: Time,
     ) -> Option<Version> {
+        if self.is_deposed() || (self.ever_had_backup && !self.lease.is_valid(now)) {
+            return None;
+        }
         let next = self.store.get(id)?.version().next();
-        let installed = self.store.apply(id, ObjectValue::new(next, now, payload));
+        let installed = self
+            .store
+            .apply(id, ObjectValue::new(next, now, payload), self.epoch);
         debug_assert!(installed, "next version is always newer");
         self.writes_applied += 1;
         Some(next)
@@ -430,10 +476,14 @@ impl Primary {
             out.stale_rejected.push(frame_epoch);
             return out;
         }
-        // Any non-fenced inbound frame proves a backup can reach us, so
-        // it renews the leadership lease (heartbeat acks are the steady
-        // renewal source; the rest are incidental).
-        self.lease.renew(now);
+        // Lease renewal deliberately does NOT happen here. Mere inbound
+        // reachability is one-directional evidence: in an asymmetric
+        // partition the backups' pings can keep arriving while every frame
+        // we send is lost, and a backup that hears nothing from us will
+        // declare us dead right on schedule. Only an acknowledged probe of
+        // our own renews the lease (see the PingAck arm), anchored at the
+        // probe's *send* time — an instant provably before the backup's
+        // declaration timer could have started.
         match msg {
             WireMessage::Ping { seq, .. } => {
                 out.replies.push(WireMessage::PingAck {
@@ -444,7 +494,14 @@ impl Primary {
             }
             WireMessage::PingAck { from, seq, .. } => {
                 if let Some(detector) = self.peers.get_mut(from) {
-                    detector.on_ack(*seq, now);
+                    // A matching ack proves this backup was still tracking
+                    // us when our probe left: renew the lease from that
+                    // send instant (guard-start-before-send). Late or
+                    // unknown acks return `None` — liveness evidence at
+                    // best, never renewal evidence.
+                    if let Some(sent_at) = detector.on_ack(*seq, now) {
+                        self.lease.renew(sent_at);
+                    }
                 }
             }
             WireMessage::RetransmitRequest {
@@ -541,8 +598,11 @@ impl Primary {
     /// with its own, higher epoch — which is how a deposed primary
     /// discovers it has been superseded (see [`Primary::is_deposed`]).
     ///
-    /// Probe sequence numbers are drawn from a dedicated counter so they
-    /// never collide with the per-peer failure-detector sequences.
+    /// Probe sequence numbers are drawn from a dedicated counter starting
+    /// at [`PROBE_SEQ_BASE`] (top bit set), a range the per-peer failure
+    /// detectors never emit: a probe's ack can therefore never match — or
+    /// spuriously reset — a detector mid-declaration, and (being an
+    /// unknown sequence to `on_ack`) never renews the lease either.
     pub fn probe_ping(&mut self) -> WireMessage {
         self.probe_seq += 1;
         WireMessage::Ping {
@@ -573,19 +633,30 @@ impl Primary {
         }
     }
 
-    /// The anti-entropy diff against a requester's version vector: every
-    /// object whose authoritative version is strictly newer than what the
-    /// requester reported (objects it never reported count as version 0).
+    /// The anti-entropy diff against a requester's tagged version vector:
+    /// every object whose authoritative `(write_epoch, version)` tag is
+    /// lexicographically above what the requester reported (objects it
+    /// never reported count as the never-written tag). Comparing tags
+    /// rather than bare versions is what heals split-brain divergence: a
+    /// deposed primary may have run an object's counter *past* ours under
+    /// its old epoch, yet our image — adopted under the newer epoch at
+    /// promotion — still ships and overwrites it.
     #[must_use]
-    pub fn resync_diff(&self, versions: &[(ObjectId, Version)]) -> WireMessage {
-        let reported: BTreeMap<ObjectId, Version> = versions.iter().copied().collect();
+    pub fn resync_diff(&self, versions: &[(ObjectId, Epoch, Version)]) -> WireMessage {
+        let reported: BTreeMap<ObjectId, (Epoch, Version)> = versions
+            .iter()
+            .map(|&(id, epoch, version)| (id, (epoch, version)))
+            .collect();
         let entries = self
             .store
             .iter()
             .filter_map(|(id, entry)| {
                 let value = entry.value()?;
-                let have = reported.get(&id).copied().unwrap_or(Version::INITIAL);
-                (value.version() > have).then(|| StateEntry {
+                let have = reported
+                    .get(&id)
+                    .copied()
+                    .unwrap_or((Epoch::INITIAL, Version::INITIAL));
+                ((entry.write_epoch(), value.version()) > have).then(|| StateEntry {
                     object: id,
                     version: value.version(),
                     timestamp: value.timestamp(),
@@ -979,17 +1050,122 @@ mod tests {
         // Past the lease, with no acks in between: suppressed.
         assert!(p.make_update(id, t(300)).is_none());
         assert!(!p.lease_valid(t(300)));
-        // A heartbeat ack renews the lease and production resumes.
+        // An acknowledged probe of our own renews the lease — from the
+        // probe's send time — and production resumes.
+        let round = p.tick_heartbeat(t(310));
+        let Some(&(_, WireMessage::Ping { seq, .. })) = round.pings.first() else {
+            panic!("expected a probe, got {round:?}");
+        };
         p.handle_message(
             &WireMessage::PingAck {
                 epoch: Epoch::INITIAL,
                 from: NodeId::new(1),
-                seq: 0,
+                seq,
             },
-            t(310),
+            t(320),
         );
+        assert_eq!(p.lease().expires_at(), Some(t(310) + ms(250)));
         assert!(p.lease_valid(t(400)));
         assert!(p.make_update(id, t(400)).is_some());
+    }
+
+    #[test]
+    fn bare_inbound_frames_do_not_renew_the_lease() {
+        // Asymmetric partition: the backup's pings keep arriving while
+        // everything we send is lost. Mere inbound reachability must not
+        // keep the lease alive — the backup will declare us dead on
+        // schedule and promote.
+        let mut p = primary();
+        let id = p.register(spec(), Time::ZERO).unwrap();
+        p.apply_client_write(id, vec![1], t(5));
+        for k in 0..10u64 {
+            p.handle_message(
+                &WireMessage::Ping {
+                    epoch: Epoch::INITIAL,
+                    from: NodeId::new(1),
+                    seq: k,
+                },
+                t(50 + k * 50),
+            );
+        }
+        // The add_backup grant (t=0 + 250 ms) lapsed despite the pings.
+        assert!(!p.lease_valid(t(300)));
+        assert!(p.make_update(id, t(300)).is_none());
+    }
+
+    #[test]
+    fn deposed_or_unleased_primary_rejects_client_writes() {
+        // Solo: a primary that has never tracked a backup serves without
+        // a lease (§4.4: the new primary serves while it waits to recruit
+        // a replica) — no replica of its regime exists to supersede it.
+        let mut lone = Primary::new(NodeId::new(0), ProtocolConfig::default());
+        let id = lone.register(spec(), Time::ZERO).unwrap();
+        assert!(lone.apply_client_write(id, vec![1], t(400)).is_some());
+        // The moment a backup joins, the lease gates writes for good.
+        lone.add_backup(NodeId::new(1), t(400));
+        assert!(lone.apply_client_write(id, vec![2], t(500)).is_some());
+        assert!(lone.apply_client_write(id, vec![3], t(700)).is_none());
+        assert_eq!(lone.writes_applied(), 2);
+
+        // Lapsed: writes stop once the lease runs out.
+        let mut p = primary();
+        let id = p.register(spec(), Time::ZERO).unwrap();
+        assert!(p.apply_client_write(id, vec![1], t(5)).is_some());
+        assert!(p.apply_client_write(id, vec![2], t(260)).is_none());
+
+        // Deposed: even within the lease window, a primary that has seen
+        // a higher epoch refuses writes immediately.
+        let mut p = primary();
+        let id = p.register(spec(), Time::ZERO).unwrap();
+        p.handle_message(
+            &WireMessage::Ping {
+                epoch: Epoch::new(1),
+                from: NodeId::new(1),
+                seq: 0,
+            },
+            t(10),
+        );
+        assert!(p.is_deposed());
+        assert!(p.apply_client_write(id, vec![3], t(11)).is_none());
+        assert_eq!(p.store().get(id).unwrap().version(), Version::INITIAL);
+    }
+
+    #[test]
+    fn probe_acks_never_touch_detectors_or_lease() {
+        let mut p = primary();
+        p.add_backup(NodeId::new(1), Time::ZERO);
+        // Run the backup's detector one miss deep.
+        let round = p.tick_heartbeat(Time::ZERO);
+        assert!(!round.pings.is_empty());
+        let _ = p.tick_heartbeat(t(100)); // timeout: miss 1, re-probe
+                                          // A reconnection probe goes out and its ack comes back. Its seq
+                                          // lives in the disjoint PROBE_SEQ_BASE range, so it neither
+                                          // resets the mid-declaration detector nor renews the lease.
+        let WireMessage::Ping { seq, .. } = p.probe_ping() else {
+            panic!()
+        };
+        assert!(seq > PROBE_SEQ_BASE);
+        let expiry_before = p.lease().expires_at();
+        p.handle_message(
+            &WireMessage::PingAck {
+                epoch: Epoch::INITIAL,
+                from: NodeId::new(1),
+                seq,
+            },
+            t(110),
+        );
+        assert_eq!(p.lease().expires_at(), expiry_before);
+        // The detector still counts its miss and declares on schedule.
+        let mut declared = false;
+        let mut now = t(200);
+        for _ in 0..10 {
+            if !p.tick_heartbeat(now).died.is_empty() {
+                declared = true;
+                break;
+            }
+            now += ms(100);
+        }
+        assert!(declared, "probe ack must not reset a failing detector");
     }
 
     #[test]
@@ -1066,7 +1242,10 @@ mod tests {
             &WireMessage::ResyncRequest {
                 epoch: Epoch::INITIAL,
                 from: NodeId::new(5),
-                versions: vec![(a, Version::new(2)), (b, Version::INITIAL)],
+                versions: vec![
+                    (a, Epoch::INITIAL, Version::new(2)),
+                    (b, Epoch::INITIAL, Version::INITIAL),
+                ],
             },
             t(10),
         );
@@ -1075,6 +1254,37 @@ mod tests {
             WireMessage::ResyncDiff { entries, .. } => {
                 let objs: Vec<ObjectId> = entries.iter().map(|e| e.object).collect();
                 assert_eq!(objs, vec![b, c]);
+            }
+            other => panic!("expected resync diff, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn resync_diff_overrides_divergent_higher_versions_from_older_epochs() {
+        // A promoted primary (epoch 1) whose adopted image sits at
+        // version 3, facing a deposed requester that ran the same
+        // object's counter up to version 9 under epoch 0. The bare
+        // counter says the requester is ahead; the epoch tag says its
+        // whole regime is history — the diff must ship the object.
+        let mut b = crate::backup::Backup::new(NodeId::new(1), ProtocolConfig::default());
+        b.sync_registration(ObjectId::new(0), spec(), ms(195), Time::ZERO);
+        b.handle_message(
+            &WireMessage::Update {
+                epoch: Epoch::INITIAL,
+                object: ObjectId::new(0),
+                version: Version::new(3),
+                timestamp: t(1),
+                payload: vec![3],
+            },
+            t(2),
+        );
+        let p = b.promote(t(3));
+        assert_eq!(p.epoch(), Epoch::new(1));
+        match p.resync_diff(&[(ObjectId::new(0), Epoch::INITIAL, Version::new(9))]) {
+            WireMessage::ResyncDiff { entries, epoch } => {
+                assert_eq!(epoch, Epoch::new(1));
+                assert_eq!(entries.len(), 1, "divergent object must ship");
+                assert_eq!(entries[0].version, Version::new(3));
             }
             other => panic!("expected resync diff, got {other:?}"),
         }

@@ -1,6 +1,6 @@
 //! The replicated-object table held by each replica.
 
-use rtpb_types::{ObjectId, ObjectSpec, ObjectValue, Time, TimeDelta, Version};
+use rtpb_types::{Epoch, ObjectId, ObjectSpec, ObjectValue, Time, TimeDelta, Version};
 use std::collections::BTreeMap;
 
 /// One object's slot in a replica's store.
@@ -8,6 +8,13 @@ use std::collections::BTreeMap;
 pub struct ObjectEntry {
     spec: ObjectSpec,
     value: Option<ObjectValue>,
+    /// The fencing epoch the current image was written under. Version
+    /// counters only totally order writes *within* one epoch (one primary
+    /// mints them); across a split-brain window two regimes number writes
+    /// independently, so freshness is the lexicographic pair
+    /// `(write_epoch, version)` — a successor's first write beats any
+    /// divergent counter the deposed regime ran up.
+    write_epoch: Epoch,
     registered_at: Time,
 }
 
@@ -28,6 +35,13 @@ impl ObjectEntry {
     #[must_use]
     pub fn registered_at(&self) -> Time {
         self.registered_at
+    }
+
+    /// The fencing epoch the current image was written under
+    /// ([`Epoch::INITIAL`] if never written).
+    #[must_use]
+    pub fn write_epoch(&self) -> Epoch {
+        self.write_epoch
     }
 
     /// The current version, or [`Version::INITIAL`] if never written.
@@ -54,7 +68,7 @@ impl ObjectEntry {
 ///
 /// ```
 /// use rtpb_core::store::ObjectStore;
-/// use rtpb_types::{ObjectSpec, ObjectValue, Time, TimeDelta, Version};
+/// use rtpb_types::{Epoch, ObjectSpec, ObjectValue, Time, TimeDelta, Version};
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let mut store = ObjectStore::new();
@@ -64,7 +78,8 @@ impl ObjectEntry {
 ///     .backup_bound(TimeDelta::from_millis(550))
 ///     .build()?;
 /// let id = store.register(spec, Time::ZERO);
-/// store.apply(id, ObjectValue::new(Version::new(1), Time::from_millis(5), vec![1]));
+/// let value = ObjectValue::new(Version::new(1), Time::from_millis(5), vec![1]);
+/// store.apply(id, value, Epoch::INITIAL);
 /// assert_eq!(store.get(id).unwrap().version(), Version::new(1));
 /// # Ok(())
 /// # }
@@ -99,6 +114,7 @@ impl ObjectStore {
             ObjectEntry {
                 spec,
                 value: None,
+                write_epoch: Epoch::INITIAL,
                 registered_at: now,
             },
         );
@@ -116,6 +132,7 @@ impl ObjectStore {
             ObjectEntry {
                 spec,
                 value: None,
+                write_epoch: Epoch::INITIAL,
                 registered_at: now,
             },
         );
@@ -126,18 +143,37 @@ impl ObjectStore {
         self.entries.remove(&id)
     }
 
-    /// Applies a new image if it is newer than the current one.
+    /// Applies a new image if it is newer than the current one, where
+    /// "newer" is the lexicographic order on `(epoch, version)`: a write
+    /// minted under a higher fencing epoch supersedes any version counter
+    /// of an older regime, and within one epoch the version counter
+    /// decides.
     ///
     /// Returns `true` if the image was installed, `false` if it was stale
-    /// (older or equal version — e.g. a retransmitted duplicate) or the
-    /// object is unknown.
-    pub fn apply(&mut self, id: ObjectId, value: ObjectValue) -> bool {
+    /// (an older or equal tag — e.g. a retransmitted duplicate, or a
+    /// divergent write from a deposed regime) or the object is unknown.
+    pub fn apply(&mut self, id: ObjectId, value: ObjectValue, epoch: Epoch) -> bool {
         match self.entries.get_mut(&id) {
-            Some(entry) if value.version() > entry.version() => {
+            Some(entry) if (epoch, value.version()) > (entry.write_epoch, entry.version()) => {
                 entry.value = Some(value);
+                entry.write_epoch = epoch;
                 true
             }
             _ => false,
+        }
+    }
+
+    /// Re-tags every valued entry with `epoch`. Called at promotion: the
+    /// new primary adopts its whole image as the opening state of its
+    /// regime, so every value it serves (and every update it sends) carries
+    /// its own epoch. This is what lets resync reconcile divergent
+    /// split-brain counters — the successor's adopted tags dominate any
+    /// version number a deposed primary minted under an older epoch.
+    pub fn adopt_epoch(&mut self, epoch: Epoch) {
+        for entry in self.entries.values_mut() {
+            if entry.value.is_some() && epoch > entry.write_epoch {
+                entry.write_epoch = epoch;
+            }
         }
     }
 
@@ -217,26 +253,60 @@ mod tests {
     fn apply_installs_newer_versions_only() {
         let mut s = ObjectStore::new();
         let id = s.register(spec("a"), Time::ZERO);
-        assert!(s.apply(id, val(1, 10)));
-        assert!(s.apply(id, val(3, 30)));
+        let e0 = Epoch::INITIAL;
+        assert!(s.apply(id, val(1, 10), e0));
+        assert!(s.apply(id, val(3, 30), e0));
         // Stale reordered update: rejected.
-        assert!(!s.apply(id, val(2, 20)));
+        assert!(!s.apply(id, val(2, 20), e0));
         // Duplicate: rejected.
-        assert!(!s.apply(id, val(3, 30)));
+        assert!(!s.apply(id, val(3, 30), e0));
         assert_eq!(s.get(id).unwrap().version(), Version::new(3));
+    }
+
+    #[test]
+    fn higher_epoch_beats_higher_version() {
+        let mut s = ObjectStore::new();
+        let id = s.register(spec("a"), Time::ZERO);
+        // A deposed regime ran its counter up to 9 under epoch 0...
+        assert!(s.apply(id, val(9, 90), Epoch::INITIAL));
+        // ...but the successor's first write under epoch 1 supersedes it.
+        assert!(s.apply(id, val(2, 100), Epoch::new(1)));
+        let e = s.get(id).unwrap();
+        assert_eq!(e.version(), Version::new(2));
+        assert_eq!(e.write_epoch(), Epoch::new(1));
+        // And the deposed regime can never win the slot back.
+        assert!(!s.apply(id, val(50, 110), Epoch::INITIAL));
+        assert_eq!(s.get(id).unwrap().version(), Version::new(2));
+    }
+
+    #[test]
+    fn adopt_epoch_retags_valued_entries_only() {
+        let mut s = ObjectStore::new();
+        let written = s.register(spec("a"), Time::ZERO);
+        let empty = s.register(spec("b"), Time::ZERO);
+        s.apply(written, val(4, 40), Epoch::INITIAL);
+        s.adopt_epoch(Epoch::new(2));
+        assert_eq!(s.get(written).unwrap().write_epoch(), Epoch::new(2));
+        // Never-written slots keep the initial tag: there is no value for
+        // the new regime to claim, and (epoch, INITIAL) must stay below
+        // any real write.
+        assert_eq!(s.get(empty).unwrap().write_epoch(), Epoch::INITIAL);
+        // Adoption is monotone: an older epoch cannot downgrade the tag.
+        s.adopt_epoch(Epoch::new(1));
+        assert_eq!(s.get(written).unwrap().write_epoch(), Epoch::new(2));
     }
 
     #[test]
     fn apply_to_unknown_object_is_rejected() {
         let mut s = ObjectStore::new();
-        assert!(!s.apply(ObjectId::new(5), val(1, 1)));
+        assert!(!s.apply(ObjectId::new(5), val(1, 1), Epoch::INITIAL));
     }
 
     #[test]
     fn staleness_tracks_timestamp() {
         let mut s = ObjectStore::new();
         let id = s.register(spec("a"), Time::ZERO);
-        s.apply(id, val(1, 10));
+        s.apply(id, val(1, 10), Epoch::INITIAL);
         assert_eq!(
             s.get(id).unwrap().staleness(Time::from_millis(25)),
             Some(TimeDelta::from_millis(15))

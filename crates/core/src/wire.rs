@@ -117,8 +117,13 @@ pub enum WireMessage {
         epoch: Epoch,
         /// The requesting node.
         from: NodeId,
-        /// `(object, version)` for every object the requester holds.
-        versions: Vec<(ObjectId, Version)>,
+        /// `(object, write_epoch, version)` for every object the requester
+        /// holds. The write epoch is the regime the requester's image of
+        /// that object was written under: bare version counters from
+        /// different epochs are incomparable (a deposed primary may have
+        /// run its counter past the successor's), so the diff is computed
+        /// on the lexicographic `(write_epoch, version)` tag.
+        versions: Vec<(ObjectId, Epoch, Version)>,
     },
     /// The new primary's reply to a [`WireMessage::ResyncRequest`]: every
     /// object whose authoritative version is newer than the requester's.
@@ -277,8 +282,9 @@ impl WireMessage {
                 put_u64(&mut buf, epoch.value());
                 put_u32(&mut buf, u32::from(from.index()));
                 put_u32(&mut buf, versions.len() as u32);
-                for (object, version) in versions {
+                for (object, write_epoch, version) in versions {
                     put_u32(&mut buf, object.index());
+                    put_u64(&mut buf, write_epoch.value());
                     put_u64(&mut buf, version.value());
                 }
             }
@@ -364,7 +370,11 @@ impl WireMessage {
                 }
                 let mut versions = Vec::with_capacity(count.min(1024));
                 for _ in 0..count {
-                    versions.push((ObjectId::new(r.u32()?), Version::new(r.u64()?)));
+                    versions.push((
+                        ObjectId::new(r.u32()?),
+                        Epoch::new(r.u64()?),
+                        Version::new(r.u64()?),
+                    ));
                 }
                 WireMessage::ResyncRequest {
                     epoch,
@@ -606,8 +616,8 @@ mod tests {
                 epoch: Epoch::new(6),
                 from: NodeId::new(0),
                 versions: vec![
-                    (ObjectId::new(0), Version::new(12)),
-                    (ObjectId::new(1), Version::new(3)),
+                    (ObjectId::new(0), Epoch::new(6), Version::new(12)),
+                    (ObjectId::new(1), Epoch::new(2), Version::new(3)),
                 ],
             },
             WireMessage::ResyncRequest {

@@ -8,10 +8,14 @@
 //!   highest they have observed, so a deposed primary on the far side of a
 //!   partition cannot overwrite state owned by its successor.
 //! - A [`Lease`] is the primary's time-bounded permission to act as leader.
-//!   It is renewed by heartbeat acknowledgements and sized so that
-//!   `lease_duration + clock_skew` is strictly less than the backup watchdog
-//!   timeout: by the time a backup may promote, the old primary's lease has
-//!   provably lapsed even under worst-case clock skew.
+//!   It is renewed from the *send* timestamp of an acknowledged outbound
+//!   probe (guard-start-before-send: the backup's declaration timer had not
+//!   started before the probe left, so a renewal anchored there cannot
+//!   outlive the declaration bound) and sized so that `lease_duration +
+//!   clock_skew + link_delay_bound` is strictly less than the backup's
+//!   declaration bound: by the time a backup may promote, the old primary's
+//!   lease has provably lapsed even under worst-case clock skew and message
+//!   delay.
 //!
 //! # Examples
 //!
@@ -82,11 +86,13 @@ impl fmt::Display for Epoch {
 
 /// Time-bounded leadership lease held by the acting primary.
 ///
-/// The lease starts expired; each heartbeat acknowledgement (or any other
-/// proof of connectivity to a backup) calls [`Lease::renew`], pushing the
-/// expiry `duration` past the renewal instant. A primary whose lease has
-/// lapsed must stop originating updates — its successors may already have
-/// been promoted.
+/// The lease starts expired; confirmed evidence of a backup tracking this
+/// primary — an acknowledged probe, anchored at its *send* timestamp —
+/// calls [`Lease::renew`], pushing the expiry `duration` past the evidence
+/// instant. Renewal is monotone: evidence arriving out of order can never
+/// pull an already-granted expiry backwards. A primary whose lease has
+/// lapsed must stop originating updates *and* stop admitting client
+/// writes — its successors may already have been promoted.
 ///
 /// # Examples
 ///
@@ -121,9 +127,14 @@ impl Lease {
         self.duration
     }
 
-    /// Extends the lease to `now + duration`.
+    /// Extends the lease to `now + duration`, keeping any later expiry
+    /// already granted (renewal evidence may arrive out of order; older
+    /// evidence must never shorten the lease).
     pub fn renew(&mut self, now: Time) {
-        self.expires_at = Some(now + self.duration);
+        let candidate = now + self.duration;
+        if self.expires_at.is_none_or(|t| candidate > t) {
+            self.expires_at = Some(candidate);
+        }
     }
 
     /// Whether the lease covers the instant `now`.
@@ -185,6 +196,16 @@ mod tests {
         let t1 = Time::ZERO + TimeDelta::from_millis(80);
         lease.renew(t1);
         assert!(lease.is_valid(Time::ZERO + TimeDelta::from_millis(150)));
+    }
+
+    #[test]
+    fn out_of_order_renewal_never_shortens_the_lease() {
+        let mut lease = Lease::new(TimeDelta::from_millis(100));
+        let t1 = Time::ZERO + TimeDelta::from_millis(80);
+        lease.renew(t1);
+        // Older evidence (e.g. a reordered ack) arrives after newer.
+        lease.renew(Time::ZERO);
+        assert_eq!(lease.expires_at(), Some(t1 + TimeDelta::from_millis(100)));
     }
 
     #[test]
