@@ -14,6 +14,7 @@ fn update_msg(payload_len: usize) -> WireMessage {
         object: ObjectId::new(3),
         version: Version::new(42),
         timestamp: Time::from_millis(1234),
+        seq: 42,
         payload: vec![0xAB; payload_len],
     }
 }

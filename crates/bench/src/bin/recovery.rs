@@ -1,0 +1,101 @@
+//! The gap-proportional recovery suite (sibling of `throughput`).
+//!
+//! Sweeps backup outage lengths under a steady write load, comparing a
+//! durable restart (log-suffix catch-up) against a cold one (full state
+//! transfer), prints the comparison table, and writes the
+//! machine-readable `BENCH_recovery.json`.
+//!
+//! ```text
+//! cargo run -p rtpb-bench --release --bin recovery
+//! cargo run -p rtpb-bench --release --bin recovery -- --outages 25,100 --quick
+//! cargo run -p rtpb-bench --release --bin recovery -- --check BENCH_recovery.json
+//! ```
+
+use rtpb_bench::recovery::{run_suite, validate_report_json, RecoveryConfig};
+
+struct Options {
+    outages: Option<Vec<u64>>,
+    quick: bool,
+    out: String,
+    check: Option<String>,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        outages: None,
+        quick: false,
+        out: "BENCH_recovery.json".to_string(),
+        check: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--outages" => {
+                let list = args
+                    .next()
+                    .unwrap_or_else(|| usage("--outages needs a comma list of ms, e.g. 25,100"));
+                let outages: Option<Vec<u64>> =
+                    list.split(',').map(|t| t.trim().parse().ok()).collect();
+                match outages {
+                    Some(o) if !o.is_empty() => opts.outages = Some(o),
+                    _ => usage(&format!("bad --outages value {list}")),
+                }
+            }
+            "--quick" => opts.quick = true,
+            "--out" => {
+                opts.out = args.next().unwrap_or_else(|| usage("--out needs a path"));
+            }
+            "--check" => {
+                opts.check = Some(args.next().unwrap_or_else(|| usage("--check needs a path")));
+            }
+            "--help" | "-h" => usage("durable vs cold backup-restart recovery suite"),
+            other => usage(&format!("unknown argument {other}")),
+        }
+    }
+    opts
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("recovery: {msg}");
+    eprintln!(
+        "usage: recovery [--outages MS,MS,..] [--quick] [--out FILE.json] [--check FILE.json]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let opts = parse_args();
+
+    // Check mode: validate an existing report against the schema and exit.
+    if let Some(path) = &opts.check {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("recovery: cannot read {path}: {e}");
+            std::process::exit(1);
+        });
+        if let Err(e) = validate_report_json(&text) {
+            eprintln!("recovery: {path} fails the v1 schema: {e}");
+            std::process::exit(1);
+        }
+        println!("{path}: schema-valid rtpb.recovery.v1 report");
+        return;
+    }
+
+    let mut config = if opts.quick {
+        RecoveryConfig::quick()
+    } else {
+        RecoveryConfig::default()
+    };
+    if let Some(outages) = opts.outages {
+        config.outages_ms = outages;
+    }
+
+    let report = run_suite(&config);
+    println!("{}", report.to_table().render());
+    let json = report.to_json();
+    validate_report_json(&json).expect("generated report must be schema-valid");
+    if let Err(e) = std::fs::write(&opts.out, &json) {
+        eprintln!("recovery: cannot write {}: {e}", opts.out);
+        std::process::exit(1);
+    }
+    println!("wrote {}", opts.out);
+}

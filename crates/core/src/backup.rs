@@ -11,7 +11,9 @@ use crate::primary::Primary;
 use crate::store::ObjectStore;
 use crate::update_sched::UpdateSchedule;
 use crate::wire::{StateEntry, WireMessage};
-use rtpb_types::{Epoch, NodeId, ObjectId, ObjectSpec, ObjectValue, Time, TimeDelta, Version};
+use rtpb_types::{
+    Epoch, LogPosition, NodeId, ObjectId, ObjectSpec, ObjectValue, Time, TimeDelta, Version,
+};
 use std::collections::BTreeMap;
 
 /// What happened when the backup processed an inbound message.
@@ -67,6 +69,7 @@ struct JoinState {
 ///     object: id,
 ///     version: Version::new(1),
 ///     timestamp: Time::from_millis(5),
+///     seq: 1,
 ///     payload: vec![1, 2],
 /// };
 /// let out = backup.handle_message(&update, Time::from_millis(12));
@@ -86,6 +89,11 @@ pub struct Backup {
     // Highest fencing epoch observed on any inbound frame; frames below
     // it are rejected before they can touch the store (DESIGN.md §10).
     epoch: Epoch,
+    // Last applied position in the primary's update log: every update and
+    // catch-up frame carries a log coordinate, and the high-water mark is
+    // what a re-join advertises so the primary can ship a suffix instead
+    // of the world (DESIGN.md §11).
+    position: Option<LogPosition>,
     stale_frames_rejected: u64,
     retransmit_requests_sent: u64,
     updates_applied: u64,
@@ -120,6 +128,7 @@ impl Backup {
             detector,
             primary_alive: true,
             epoch: Epoch::INITIAL,
+            position: None,
             stale_frames_rejected: 0,
             retransmit_requests_sent: 0,
             updates_applied: 0,
@@ -135,7 +144,9 @@ impl Backup {
     /// deposed primary (see [`Primary::demote`]). The inherited images
     /// keep their versions; anti-entropy resync reconciles them against
     /// the new primary. `epoch` is the successor's epoch the deposed
-    /// primary observed.
+    /// primary observed; `position` is the head of the log this node kept
+    /// while it was serving (truthful, but under its own — now fenced —
+    /// epoch, so the successor will route it to a full catch-up path).
     #[must_use]
     pub(crate) fn from_store(
         node: NodeId,
@@ -143,6 +154,7 @@ impl Backup {
         store: ObjectStore,
         send_periods: BTreeMap<ObjectId, TimeDelta>,
         epoch: Epoch,
+        position: Option<LogPosition>,
         now: Time,
     ) -> Self {
         let mut detector = FailureDetector::new(
@@ -162,6 +174,7 @@ impl Backup {
             detector,
             primary_alive: true,
             epoch,
+            position,
             stale_frames_rejected: 0,
             retransmit_requests_sent: 0,
             updates_applied: 0,
@@ -183,6 +196,15 @@ impl Backup {
     #[must_use]
     pub fn epoch(&self) -> Epoch {
         self.epoch
+    }
+
+    /// The last applied position in the primary's update log, or `None`
+    /// if this backup has never installed a logged frame. This is the
+    /// coordinate a re-join advertises so the primary can ship only the
+    /// suffix this node missed.
+    #[must_use]
+    pub fn log_position(&self) -> Option<LogPosition> {
+        self.position
     }
 
     /// Inbound frames rejected because their epoch was stale. None of
@@ -252,6 +274,7 @@ impl Backup {
         WireMessage::JoinRequest {
             epoch: self.epoch,
             from: self.node,
+            position: self.position,
         }
     }
 
@@ -281,6 +304,7 @@ impl Backup {
         WireMessage::ResyncRequest {
             epoch: self.epoch,
             from: self.node,
+            position: self.position,
             // Each entry reports the epoch its image was written under:
             // versions this node minted as a deposed primary carry its old
             // epoch, so the successor's diff can override them no matter
@@ -319,6 +343,7 @@ impl Backup {
             Some(WireMessage::JoinRequest {
                 epoch: self.epoch,
                 from: self.node,
+                position: self.position,
             })
         }
     }
@@ -386,6 +411,7 @@ impl Backup {
                 object,
                 version,
                 timestamp,
+                seq,
                 payload,
                 ..
             } => {
@@ -397,6 +423,14 @@ impl Backup {
                 self.detector.note_traffic(now);
                 self.last_update_at.insert(*object, now);
                 self.retransmit_attempts.remove(object);
+                // The update carries its object's latest log coordinate.
+                // Advancing the high-water mark past unseen records of
+                // *other* objects is sound: RTPB re-sends every object's
+                // freshest image each send period, so any skipped record
+                // is superseded within one period (DESIGN.md §11).
+                if *seq > 0 {
+                    self.advance_position(LogPosition::new(frame_epoch, *seq));
+                }
                 let installed = self.store.apply(
                     *object,
                     ObjectValue::new(*version, *timestamp, payload.clone()),
@@ -426,16 +460,23 @@ impl Backup {
             WireMessage::PingAck { seq, .. } => {
                 self.detector.on_ack(*seq, now);
             }
-            WireMessage::StateTransfer { entries, .. }
-            | WireMessage::ResyncDiff { entries, .. } => {
-                // The state transfer (or resync diff) is the join cycle's
+            WireMessage::StateTransfer { head, entries, .. }
+            | WireMessage::ResyncDiff { head, entries, .. }
+            | WireMessage::LogSuffix { head, entries, .. } => {
+                // Any of the three catch-up frames is the join cycle's
                 // success signal, and a frame from the primary is
-                // evidence of its life.
+                // evidence of its life. A log suffix replays missed
+                // records oldest-first; a (possibly partial) transfer or
+                // diff ships whole images — either way the entries run
+                // through the same epoch-aware store ordering, and the
+                // frame's `head` stamps how far along the primary's log
+                // this node now is.
                 self.detector.note_traffic(now);
                 self.join = None;
                 for e in entries {
                     self.install_entry(e, frame_epoch, now, &mut out);
                 }
+                self.advance_position(LogPosition::new(frame_epoch, *head));
             }
             WireMessage::Batch { messages, .. } => {
                 // One frame, many sub-messages: unpack in send order. The
@@ -480,6 +521,12 @@ impl Backup {
         if installed {
             self.updates_applied += 1;
             out.applied.push((e.object, e.version, e.timestamp));
+        }
+    }
+
+    fn advance_position(&mut self, candidate: LogPosition) {
+        if self.position.is_none_or(|p| candidate > p) {
+            self.position = Some(candidate);
         }
     }
 
@@ -630,6 +677,7 @@ mod tests {
             object: id,
             version: Version::new(version),
             timestamp: t(ts),
+            seq: version,
             payload: vec![version as u8],
         }
     }
@@ -759,6 +807,7 @@ mod tests {
         let out = b.handle_message(
             &WireMessage::StateTransfer {
                 epoch: Epoch::INITIAL,
+                head: 7,
                 entries: vec![StateEntry {
                     object: id,
                     version: Version::new(7),
@@ -770,6 +819,8 @@ mod tests {
         );
         assert_eq!(out.applied.len(), 1);
         assert_eq!(b.store().get(id).unwrap().version(), Version::new(7));
+        // The transfer's head stamps this node's log position.
+        assert_eq!(b.log_position(), Some(LogPosition::new(Epoch::INITIAL, 7)));
     }
 
     #[test]
@@ -820,6 +871,7 @@ mod tests {
         let _ = b.handle_message(
             &WireMessage::StateTransfer {
                 epoch: Epoch::INITIAL,
+                head: 1,
                 entries: vec![StateEntry {
                     object: id,
                     version: Version::new(1),
@@ -972,10 +1024,12 @@ mod tests {
             WireMessage::ResyncRequest {
                 epoch,
                 from,
+                position,
                 versions,
             } => {
                 assert_eq!(*epoch, Epoch::new(1));
                 assert_eq!(*from, NodeId::new(0));
+                assert_eq!(*position, Some(LogPosition::new(Epoch::new(1), 4)));
                 assert_eq!(versions, &vec![(id, Epoch::new(1), Version::new(4))]);
             }
             other => panic!("expected resync request, got {other:?}"),
@@ -987,6 +1041,7 @@ mod tests {
         let out = b.handle_message(
             &WireMessage::ResyncDiff {
                 epoch: Epoch::new(1),
+                head: 6,
                 entries: vec![StateEntry {
                     object: id,
                     version: Version::new(6),
@@ -1014,6 +1069,7 @@ mod tests {
         let out = b.handle_message(
             &WireMessage::ResyncDiff {
                 epoch: Epoch::new(1),
+                head: 3,
                 entries: vec![StateEntry {
                     object: id,
                     version: Version::new(3),
@@ -1039,5 +1095,76 @@ mod tests {
         b.handle_message(&update_at_epoch(Epoch::new(3), id, 1, 5), t(6));
         let p = b.promote(t(10));
         assert_eq!(p.epoch(), Epoch::new(4));
+    }
+
+    #[test]
+    fn updates_advance_the_log_position_monotonically() {
+        let (mut b, id) = backup_with_object();
+        assert_eq!(b.log_position(), None);
+        b.handle_message(&update(id, 3, 10), t(12));
+        assert_eq!(b.log_position(), Some(LogPosition::new(Epoch::INITIAL, 3)));
+        // An out-of-order (lower-seq) duplicate never moves it backward.
+        b.handle_message(&update(id, 1, 5), t(13));
+        assert_eq!(b.log_position(), Some(LogPosition::new(Epoch::INITIAL, 3)));
+        // A higher epoch outranks any seq of the old log.
+        b.handle_message(&update_at_epoch(Epoch::new(1), id, 1, 20), t(21));
+        assert_eq!(b.log_position(), Some(LogPosition::new(Epoch::new(1), 1)));
+        // ...and stale-epoch frames are fenced before they can touch it.
+        b.handle_message(&update_at_epoch(Epoch::INITIAL, id, 99, 30), t(31));
+        assert_eq!(b.log_position(), Some(LogPosition::new(Epoch::new(1), 1)));
+    }
+
+    #[test]
+    fn join_request_advertises_the_position() {
+        let (mut b, id) = backup_with_object();
+        b.handle_message(&update(id, 5, 10), t(12));
+        match b.begin_join(t(20)) {
+            WireMessage::JoinRequest { position, .. } => {
+                assert_eq!(position, Some(LogPosition::new(Epoch::INITIAL, 5)));
+            }
+            other => panic!("expected join request, got {other:?}"),
+        }
+        // Retries advertise it too.
+        match b.tick_join(t(10_000)) {
+            Some(WireMessage::JoinRequest { position, .. }) => {
+                assert_eq!(position, Some(LogPosition::new(Epoch::INITIAL, 5)));
+            }
+            other => panic!("expected join retry, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn log_suffix_completes_the_join_and_stamps_the_head() {
+        let (mut b, id) = backup_with_object();
+        b.handle_message(&update(id, 2, 10), t(12));
+        let _ = b.begin_join(t(20));
+        let out = b.handle_message(
+            &WireMessage::LogSuffix {
+                epoch: Epoch::INITIAL,
+                head: 4,
+                entries: vec![StateEntry {
+                    object: id,
+                    version: Version::new(4),
+                    timestamp: t(18),
+                    payload: vec![4],
+                }],
+            },
+            t(25),
+        );
+        assert_eq!(out.applied, vec![(id, Version::new(4), t(18))]);
+        assert!(!b.join_in_progress());
+        assert_eq!(b.store().get(id).unwrap().version(), Version::new(4));
+        assert_eq!(b.log_position(), Some(LogPosition::new(Epoch::INITIAL, 4)));
+        // An empty suffix (already caught up) still completes the cycle.
+        let _ = b.begin_join(t(30));
+        b.handle_message(
+            &WireMessage::LogSuffix {
+                epoch: Epoch::INITIAL,
+                head: 4,
+                entries: vec![],
+            },
+            t(35),
+        );
+        assert!(!b.join_in_progress());
     }
 }

@@ -146,6 +146,16 @@ pub struct ProtocolConfig {
     ///
     /// [`Batch`]: crate::wire::WireMessage::Batch
     pub coalesce_window: TimeDelta,
+    /// Hard cap on the update-log ring: the oldest record is dropped once
+    /// this many are retained. Gaps older than the ring fall back to a
+    /// snapshot diff or a full state transfer.
+    pub log_retention: usize,
+    /// Client writes between store snapshots. Each snapshot records every
+    /// object's `(write_epoch, version)` tag and lets the log truncate
+    /// records the oldest retained snapshot makes redundant.
+    pub snapshot_interval: u64,
+    /// How many store snapshots the log keeps; older ones are retired.
+    pub snapshots_retained: usize,
 }
 
 impl Default for ProtocolConfig {
@@ -175,6 +185,9 @@ impl Default for ProtocolConfig {
             lease_duration: TimeDelta::from_millis(250),
             clock_skew: TimeDelta::from_millis(10),
             coalesce_window: TimeDelta::ZERO,
+            log_retention: 1024,
+            snapshot_interval: 256,
+            snapshots_retained: 4,
         }
     }
 }
@@ -240,6 +253,15 @@ impl ProtocolConfig {
             "lease duration plus clock skew plus link delay must be below the \
              failure-detection declaration bound, or a promoted backup could \
              coexist with a still-leased primary"
+        );
+        assert!(self.log_retention >= 1, "log retention must be at least 1");
+        assert!(
+            self.snapshot_interval >= 1,
+            "snapshot interval must be at least 1"
+        );
+        assert!(
+            self.snapshots_retained >= 1,
+            "at least one snapshot must be retained"
         );
     }
 }

@@ -20,7 +20,7 @@ use crate::harness::cpu::{CpuQueue, Work};
 use crate::harness::faults::{FaultEvent, FaultPlan};
 use crate::metrics::{ClusterMetrics, FaultRecord, InjectedFault};
 use crate::name_service::NameService;
-use crate::primary::Primary;
+use crate::primary::{CatchUpDecision, Primary};
 use crate::wire::WireMessage;
 use rtpb_net::{FaultKind, FaultWindow, LinkConfig, LossyLink, Message, ProtocolGraph, UdpLike};
 use rtpb_obs::{Counter, EventBus, EventKind, Histogram, MetricsRegistry, Role};
@@ -54,12 +54,23 @@ pub struct ClusterConfig {
     /// Trace ring-buffer capacity (0 disables tracing).
     pub trace_capacity: usize,
     /// Whether control traffic (heartbeats, acks, retransmission
-    /// requests, join/state transfer) is exempt from the configured loss
-    /// probability. Defaults to `true`: the paper assumes link failures
-    /// are masked by physical redundancy (§4.1), and its loss sweeps are
-    /// about *update* messages from the primary to the backup (§5.2).
-    /// Set to `false` to subject every message to loss.
+    /// requests) is exempt from the configured loss probability. Defaults
+    /// to `true`: the paper assumes link failures are masked by physical
+    /// redundancy (§4.1), and its loss sweeps are about *update* messages
+    /// from the primary to the backup (§5.2). Set to `false` to subject
+    /// every message to loss.
     pub control_loss_exempt: bool,
+    /// Whether re-integration traffic (join/resync requests and the
+    /// state-transfer / resync-diff / log-suffix replies) rides the lossy
+    /// data path even when [`control_loss_exempt`] holds. Defaults to
+    /// `true`: a recovering replica's catch-up exchange crosses the same
+    /// network as everything else, and the bounded-retry join cycle
+    /// exists precisely to survive its loss — exempting it silently
+    /// overstated recovery robustness. Set to `false` to restore the old
+    /// always-reliable behavior.
+    ///
+    /// [`control_loss_exempt`]: ClusterConfig::control_loss_exempt
+    pub recovery_frames_lossy: bool,
     /// Deterministic fault schedule executed during the run (crashes,
     /// partitions, loss bursts, delay spikes, recoveries).
     pub fault_plan: FaultPlan,
@@ -86,6 +97,7 @@ impl Default for ClusterConfig {
             recruit_backup_after: None,
             trace_capacity: 0,
             control_loss_exempt: true,
+            recovery_frames_lossy: true,
             fault_plan: FaultPlan::new(),
             bus: EventBus::disabled(),
             registry: MetricsRegistry::disabled(),
@@ -104,8 +116,10 @@ struct Instruments {
     failovers: Counter,
     faults_injected: Counter,
     fenced_frames: Counter,
+    catchup_bytes: Counter,
     response_time: Histogram,
     failover_time: Histogram,
+    recovery_time: Histogram,
     batch_occupancy: Histogram,
 }
 
@@ -120,8 +134,10 @@ impl Instruments {
             failovers: registry.counter("cluster.failovers"),
             faults_injected: registry.counter("cluster.faults_injected"),
             fenced_frames: registry.counter("cluster.fenced_frames"),
+            catchup_bytes: registry.counter("cluster.catchup_bytes"),
             response_time: registry.histogram("cluster.response_time"),
             failover_time: registry.histogram("cluster.failover_time"),
+            recovery_time: registry.histogram("cluster.recovery_time"),
             // Occupancy is a count of sub-messages, not a duration; the
             // bucket bounds are message counts.
             batch_occupancy: registry.histogram_with_bounds(
@@ -213,6 +229,11 @@ fn collect_updates(msg: &WireMessage, out: &mut Vec<(ObjectId, Version)>) {
 struct BackupHost {
     node: NodeId,
     backup: Option<Backup>,
+    /// The pre-crash state machine of a crashed host, held for
+    /// [`FaultEvent::RestartBackup`] (durable storage that survives the
+    /// crash). Dropped if the host instead recovers cold via
+    /// [`FaultEvent::RecoverBackup`].
+    parked: Option<Backup>,
     data_link: LossyLink,
     ctrl_link: LossyLink,
     rev_data_link: LossyLink,
@@ -232,6 +253,7 @@ impl BackupHost {
         let mut host = BackupHost {
             node,
             backup: Some(Backup::new(node, config.protocol.clone())),
+            parked: None,
             data_link: LossyLink::new(config.link, base),
             ctrl_link: LossyLink::new(lossless, base.wrapping_add(1)),
             rev_data_link: LossyLink::new(config.link, base.wrapping_add(2)),
@@ -314,9 +336,30 @@ struct ClusterWorld {
     /// Whether a [`Event::FlushBatch`] is already scheduled for the open
     /// coalescing window.
     batch_flush_scheduled: bool,
+    /// Every catch-up decision the serving primary made this run, in
+    /// order. The same decisions ride the event bus as `catch_up_plan`
+    /// events, but the bus is a bounded ring — this list survives
+    /// high-rate runs that evict old events.
+    catch_up_plans: Vec<CatchUpDecision>,
 }
 
 impl ClusterWorld {
+    /// The serving primary. Callers guard on `self.primary` being `Some`
+    /// before reaching any path that takes it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no primary is serving.
+    fn serving(&self) -> &Primary {
+        self.primary.as_ref().expect("no serving primary")
+    }
+
+    /// Mutable access to the serving primary; same contract as
+    /// [`ClusterWorld::serving`].
+    fn serving_mut(&mut self) -> &mut Primary {
+        self.primary.as_mut().expect("no serving primary")
+    }
+
     /// The index of the backup host whose deliveries feed the per-object
     /// metrics: the first live one (the failover target).
     fn metrics_host(&self) -> Option<usize> {
@@ -443,17 +486,28 @@ impl ClusterWorld {
             return;
         }
         let is_update = matches!(msg, WireMessage::Update { .. } | WireMessage::Batch { .. });
+        // Catch-up replies cross the same network as updates; exempting
+        // them from loss hid their failure mode behind an implicitly
+        // reliable channel (the bounded-retry join cycle re-requests a
+        // dropped one).
+        let is_recovery = matches!(
+            msg,
+            WireMessage::StateTransfer { .. }
+                | WireMessage::ResyncDiff { .. }
+                | WireMessage::LogSuffix { .. }
+        );
         let Ok(wire) = self.p2b_tx.send(Message::from_payload(msg.encode())) else {
             return;
         };
         let exempt = self.config.control_loss_exempt;
+        let recovery_lossy = self.config.recovery_frames_lossy;
         let Some(h) = self.hosts.get_mut(host) else {
             return;
         };
         if h.backup.is_none() {
             return;
         }
-        let link = if is_update || !exempt {
+        let link = if is_update || !exempt || (is_recovery && recovery_lossy) {
             &mut h.data_link
         } else {
             &mut h.ctrl_link
@@ -484,11 +538,18 @@ impl ClusterWorld {
             ctx.trace("b2p send rejected by protocol stack");
             return;
         };
+        // Join and resync requests ride the lossy path like the catch-up
+        // replies they solicit (see transmit_to_one_backup).
+        let is_recovery = matches!(
+            msg,
+            WireMessage::JoinRequest { .. } | WireMessage::ResyncRequest { .. }
+        );
         let exempt = self.config.control_loss_exempt;
+        let recovery_lossy = self.config.recovery_frames_lossy;
         let Some(h) = self.hosts.get_mut(host) else {
             return;
         };
-        let link = if exempt {
+        let link = if exempt && !(is_recovery && recovery_lossy) {
             &mut h.rev_ctrl_link
         } else {
             &mut h.rev_data_link
@@ -862,19 +923,23 @@ impl ClusterWorld {
         self.note_fenced(ctx, node, local_epoch, &out.stale_rejected);
         if matches!(
             msg,
-            WireMessage::StateTransfer { .. } | WireMessage::ResyncDiff { .. }
+            WireMessage::StateTransfer { .. }
+                | WireMessage::ResyncDiff { .. }
+                | WireMessage::LogSuffix { .. }
         ) {
-            // The state transfer (or anti-entropy diff) completes
-            // re-integration: a recovering replica is consistent again
-            // once it lands.
+            // Any catch-up frame (full transfer, anti-entropy diff, or
+            // log suffix) completes re-integration: a recovering replica
+            // is consistent again once it lands.
             if let Some(record) = self.pending_recovery.remove(&host) {
+                let injected = self.metrics.fault_report()[record].injected_at;
+                self.instruments
+                    .recovery_time
+                    .record(ctx.now().saturating_since(injected));
                 self.metrics.record_fault_recovered(record, ctx.now());
                 ctx.emit(EventKind::FaultRecovered {
                     record: record as u64,
                 });
             }
-        }
-        if matches!(msg, WireMessage::ResyncDiff { .. }) {
             if let Some(record) = self.pending_resync.remove(&host) {
                 ctx.emit(EventKind::ResyncCompleted { node });
                 self.metrics.record_fault_recovered(record, ctx.now());
@@ -989,11 +1054,24 @@ impl ClusterWorld {
             }
         }
         let (out, p_node, p_epoch) = {
-            let primary = self.primary.as_mut().expect("checked above");
+            let primary = self.serving_mut();
             let out = primary.handle_message(&msg, ctx.now());
             (out, primary.node(), primary.epoch())
         };
         self.note_fenced(ctx, p_node, p_epoch, &out.stale_rejected);
+        if let Some(plan) = &out.catch_up {
+            // The catch-up decision is the tentpole trace point: which of
+            // the three re-integration paths ran, and at what cost.
+            self.instruments.catchup_bytes.add(plan.bytes);
+            ctx.emit(EventKind::CatchUpPlan {
+                node: plan.node,
+                path: plan.path.name().to_string(),
+                gap: plan.gap,
+                records: plan.records,
+                bytes: plan.bytes,
+            });
+            self.catch_up_plans.push(plan.clone());
+        }
         for reply in out.replies {
             // Update retransmissions consume primary CPU like any other
             // transmission (under overload they queue too — there is no
@@ -1041,7 +1119,7 @@ impl ClusterWorld {
             // Re-sync registrations the joining host missed while it was
             // crashed or partitioned away (object *state* arrives via the
             // state-transfer reply already in flight).
-            let registry = self.primary.as_ref().expect("checked above").registry();
+            let registry = self.serving().registry();
             if let Some(h) = self.hosts.get_mut(host) {
                 if let Some(backup) = h.backup.as_mut() {
                     for (id, spec, period) in registry {
@@ -1098,7 +1176,10 @@ impl ClusterWorld {
         }
         ctx.trace(format!("backup {} crashed", h.node));
         let node = h.node;
-        h.backup = None;
+        // Park the state machine: if the host later restarts (rather than
+        // recovering cold) its durable store survives the crash and the
+        // rejoin can catch up from its log position.
+        h.parked = h.backup.take();
         let record = self
             .metrics
             .record_fault_injected(InjectedFault::BackupCrash, ctx.now());
@@ -1124,6 +1205,8 @@ impl ClusterWorld {
                 return;
             }
             ctx.trace(format!("backup {} recovering", h.node));
+            // Cold recovery: whatever state the crash left behind is gone.
+            h.parked = None;
             let mut backup = Backup::new(h.node, self.config.protocol.clone());
             // Registry sync rides the reliable control channel; the
             // object *state* arrives via the StateTransfer reply to the
@@ -1133,6 +1216,51 @@ impl ClusterWorld {
                     backup.sync_registration(id, spec, period, now);
                 }
             }
+            let join = backup.begin_join(now);
+            h.backup = Some(backup);
+            join
+        };
+        let record = self
+            .metrics
+            .record_fault_injected(InjectedFault::BackupRecovery, now);
+        self.note_injected(ctx, InjectedFault::BackupRecovery, record);
+        ctx.emit(EventKind::RoleTransition {
+            node: self.hosts[host].node,
+            from: Role::Down,
+            to: Role::Joining,
+        });
+        self.pending_recovery.insert(host, record);
+        self.transmit_to_primary(ctx, host, &join);
+    }
+
+    /// Restarts a crashed backup host with its pre-crash state intact
+    /// (durable storage survived the crash). The replica re-arms its
+    /// detector and re-joins advertising its last applied log position,
+    /// so the primary can ship just the log suffix it missed — falling
+    /// back to a snapshot diff or a full transfer only when the outage
+    /// outlived the log's retention. A host with nothing parked (never
+    /// crashed, or already recovered cold) recovers cold instead.
+    fn restart_backup(&mut self, ctx: &mut Context<'_, Event>, host: usize) {
+        let now = ctx.now();
+        let join = {
+            let Some(h) = self.hosts.get_mut(host) else {
+                return;
+            };
+            if h.backup.is_some() {
+                return;
+            }
+            let Some(mut backup) = h.parked.take() else {
+                self.recover_backup(ctx, host);
+                return;
+            };
+            ctx.trace(format!(
+                "backup {} restarting with durable state at {}",
+                h.node,
+                backup
+                    .log_position()
+                    .map_or_else(|| "log start".to_string(), |p| p.to_string())
+            ));
+            backup.rearm(now);
             let join = backup.begin_join(now);
             h.backup = Some(backup);
             join
@@ -1174,6 +1302,7 @@ impl ClusterWorld {
             FaultEvent::CrashPrimary => self.inject_primary_crash(ctx),
             FaultEvent::CrashBackup { host } => self.inject_backup_crash(ctx, host),
             FaultEvent::RecoverBackup { host } => self.recover_backup(ctx, host),
+            FaultEvent::RestartBackup { host } => self.restart_backup(ctx, host),
             FaultEvent::Partition { host, duration } => {
                 let Some(h) = self.hosts.get_mut(host) else {
                     return;
@@ -1282,6 +1411,14 @@ impl ClusterWorld {
                     return;
                 };
                 if let Some(version) = primary.apply_client_write(object, payload, now) {
+                    let node = primary.node();
+                    for (head, log_len) in primary.take_snapshot_marks() {
+                        ctx.emit(EventKind::StoreSnapshot {
+                            node,
+                            head,
+                            log_len,
+                        });
+                    }
                     let response = now.saturating_since(arrival);
                     self.metrics.record_response(response);
                     self.metrics.on_primary_write(object, version, now);
@@ -1760,7 +1897,7 @@ impl World for ClusterWorld {
                 // Registry sync rides the (reliable) control channel; the
                 // object *state* arrives via the StateTransfer reply to
                 // the join request.
-                let registry = self.primary.as_ref().expect("checked above").registry();
+                let registry = self.serving().registry();
                 let mut join = None;
                 if let Some(backup) = host.backup.as_mut() {
                     for (id, spec, period) in registry {
@@ -1880,6 +2017,7 @@ impl SimCluster {
             last_shed_at: None,
             pending_batch: Vec::new(),
             batch_flush_scheduled: false,
+            catch_up_plans: Vec::new(),
             config,
         };
         let trace_capacity = world.config.trace_capacity;
@@ -1907,6 +2045,53 @@ impl SimCluster {
     /// Propagates the primary's admission decision; on rejection nothing
     /// is registered anywhere.
     pub fn register(&mut self, spec: ObjectSpec) -> Result<ObjectId, AdmissionError> {
+        self.register_many(vec![spec]).map(|ids| ids[0])
+    }
+
+    /// Registers a batch of objects in one pass.
+    ///
+    /// Semantically equivalent to calling [`SimCluster::register`] per
+    /// spec, but the backup registry mirror and the object-timer restart
+    /// run once for the whole batch instead of once per object —
+    /// registration cost linear in the batch instead of quadratic, which
+    /// is what makes 10k-object runs (the recovery suite) feasible.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first rejected spec and propagates its admission
+    /// error; objects admitted before it stay registered.
+    pub fn register_many(
+        &mut self,
+        specs: Vec<ObjectSpec>,
+    ) -> Result<Vec<ObjectId>, AdmissionError> {
+        let mut ids = Vec::with_capacity(specs.len());
+        let mut rejected = None;
+        for spec in specs {
+            match self.admit_one(spec) {
+                Ok(id) => ids.push(id),
+                Err(e) => {
+                    rejected = Some(e);
+                    break;
+                }
+            }
+        }
+        if !ids.is_empty() {
+            self.mirror_registry_to_backups(&ids);
+            // Registration may have retimed every object (constraints,
+            // compression): restart all object timers under a fresh
+            // epoch.
+            self.restart_timers();
+        }
+        match rejected {
+            Some(e) => Err(e),
+            None => Ok(ids),
+        }
+    }
+
+    /// Admits one object at the primary and tracks it in the harness;
+    /// the backup mirror and timer restart are the caller's problem
+    /// (batched in [`SimCluster::register_many`]).
+    fn admit_one(&mut self, spec: ObjectSpec) -> Result<ObjectId, AdmissionError> {
         let now = self.sim.now();
         let admitted = {
             let world = self.sim.world_mut();
@@ -1944,20 +2129,6 @@ impl SimCluster {
                 spec.primary_bound(),
                 spec.backup_bound(),
             );
-            // Mirror the registration (space reservation, §4.2) and the
-            // recomputed periods to every backup.
-            let registry = world.primary.as_ref().expect("serving").registry();
-            for host in &mut world.hosts {
-                if let Some(backup) = host.backup.as_mut() {
-                    for (oid, ospec, period) in &registry {
-                        if *oid == id {
-                            backup.sync_registration(*oid, ospec.clone(), *period, now);
-                        } else {
-                            backup.sync_send_period(*oid, *period);
-                        }
-                    }
-                }
-            }
             // Deterministic phase stagger spreads client writes so they
             // do not all hit the CPU in one burst.
             let stagger = TimeDelta::from_micros(997 * (u64::from(id.index()) + 1));
@@ -1965,10 +2136,27 @@ impl SimCluster {
         };
         self.sim
             .schedule_in(write_phase, Event::ClientWrite { object: id });
-        // Registration may have retimed every object (constraints,
-        // compression): restart all object timers under a fresh epoch.
-        self.restart_timers();
         Ok(id)
+    }
+
+    /// Mirrors the registrations in `new_ids` (space reservation, §4.2)
+    /// and the recomputed periods of every object to every backup.
+    fn mirror_registry_to_backups(&mut self, new_ids: &[ObjectId]) {
+        let new_ids: std::collections::BTreeSet<ObjectId> = new_ids.iter().copied().collect();
+        let now = self.sim.now();
+        let world = self.sim.world_mut();
+        let registry = world.serving().registry();
+        for host in &mut world.hosts {
+            if let Some(backup) = host.backup.as_mut() {
+                for (oid, ospec, period) in &registry {
+                    if new_ids.contains(oid) {
+                        backup.sync_registration(*oid, ospec.clone(), *period, now);
+                    } else {
+                        backup.sync_send_period(*oid, *period);
+                    }
+                }
+            }
+        }
     }
 
     fn restart_timers(&mut self) {
@@ -2051,6 +2239,16 @@ impl SimCluster {
     #[must_use]
     pub fn fault_report(&self) -> &[FaultRecord] {
         self.sim.world().metrics.fault_report()
+    }
+
+    /// Every catch-up decision the serving primary made this run, in
+    /// order — which of the three re-integration paths served each
+    /// rejoin/resync, and at what gap/record/byte cost. Unlike the
+    /// `catch_up_plan` events on the bounded trace ring, this list is
+    /// never evicted.
+    #[must_use]
+    pub fn catch_up_plans(&self) -> &[CatchUpDecision] {
+        &self.sim.world().catch_up_plans
     }
 
     /// Whether a failover has occurred.
@@ -2378,6 +2576,100 @@ mod tests {
         let backup = cluster.backup().expect("recovered backup");
         assert!(backup.updates_applied() > 0);
         assert!(!backup.join_in_progress());
+    }
+
+    #[test]
+    fn restarted_backup_catches_up_from_its_log_position() {
+        use crate::harness::faults::{FaultEvent, FaultPlan};
+        let config = ClusterConfig {
+            auto_failover: false,
+            bus: EventBus::with_capacity(65_536),
+            fault_plan: FaultPlan::new()
+                .at(
+                    Time::from_millis(1_000),
+                    FaultEvent::CrashBackup { host: 0 },
+                )
+                .at(
+                    Time::from_millis(1_400),
+                    FaultEvent::RestartBackup { host: 0 },
+                ),
+            ..ClusterConfig::default()
+        };
+        let bus = config.bus.clone();
+        let mut cluster = SimCluster::new(config);
+        cluster.register(spec(100, 150, 550)).unwrap();
+        cluster.run_for(TimeDelta::from_secs(4));
+        // The restarted replica kept its durable state: it rejoined and
+        // receives updates again.
+        let backup = cluster.backup().expect("restarted backup");
+        assert!(!backup.join_in_progress());
+        assert!(backup.updates_applied() > 0);
+        assert!(backup.log_position().is_some());
+        // The primary chose the short-gap path: a log suffix, not a full
+        // state transfer.
+        let plans: Vec<_> = bus
+            .collect()
+            .into_iter()
+            .filter_map(|e| match e.kind {
+                EventKind::CatchUpPlan { path, gap, .. } => Some((path, gap)),
+                _ => None,
+            })
+            .collect();
+        assert!(!plans.is_empty(), "rejoin must produce a catch-up plan");
+        assert_eq!(plans[0].0, "log_suffix", "short outage → suffix replay");
+        // Both fault records (crash + restart) resolved.
+        let report = cluster.fault_report();
+        assert_eq!(report.len(), 2);
+        assert!(report[1].recovery_time().is_some(), "suffix never landed");
+    }
+
+    #[test]
+    fn recovery_frames_ride_the_lossy_path_and_retries_survive_it() {
+        use crate::harness::faults::{FaultEvent, FaultPlan};
+        // Heavy update loss + lossy recovery frames: the bounded-retry
+        // join cycle must still land a catch-up reply eventually.
+        let mut config = ClusterConfig {
+            auto_failover: false,
+            fault_plan: FaultPlan::new()
+                .at(
+                    Time::from_millis(1_000),
+                    FaultEvent::CrashBackup { host: 0 },
+                )
+                .at(
+                    Time::from_millis(1_500),
+                    FaultEvent::RestartBackup { host: 0 },
+                ),
+            ..ClusterConfig::default()
+        };
+        config.link.loss_probability = 0.5;
+        config.seed = 42;
+        let mut cluster = SimCluster::new(config);
+        cluster.register(spec(100, 150, 550)).unwrap();
+        cluster.run_for(TimeDelta::from_secs(10));
+        let backup = cluster.backup().expect("backup");
+        assert!(!backup.join_in_progress(), "join must complete");
+        assert!(!backup.join_abandoned(), "budget must survive 50% loss");
+        // Opting out restores the old always-reliable catch-up channel.
+        let mut exempt = ClusterConfig {
+            auto_failover: false,
+            recovery_frames_lossy: false,
+            fault_plan: FaultPlan::new()
+                .at(
+                    Time::from_millis(1_000),
+                    FaultEvent::CrashBackup { host: 0 },
+                )
+                .at(
+                    Time::from_millis(1_500),
+                    FaultEvent::RestartBackup { host: 0 },
+                ),
+            ..ClusterConfig::default()
+        };
+        exempt.link.loss_probability = 0.5;
+        exempt.seed = 42;
+        let mut cluster = SimCluster::new(exempt);
+        cluster.register(spec(100, 150, 550)).unwrap();
+        cluster.run_for(TimeDelta::from_secs(10));
+        assert!(!cluster.backup().unwrap().join_in_progress());
     }
 
     #[test]

@@ -51,6 +51,7 @@ pub enum Work {
 ///         object: ObjectId::new(0),
 ///         version: Version::new(1),
 ///         timestamp: Time::ZERO,
+///         seq: 1,
 ///         payload: vec![1],
 ///     },
 /// };

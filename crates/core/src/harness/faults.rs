@@ -41,6 +41,15 @@ pub enum FaultEvent {
         /// Index of the backup host to restart.
         host: usize,
     },
+    /// A previously crashed backup host restarts with its pre-crash state
+    /// intact (durable storage survived the crash) and re-joins the
+    /// serving primary advertising its last applied log position, so the
+    /// primary can ship only the update-log suffix it missed instead of a
+    /// full state transfer (DESIGN.md §11).
+    RestartBackup {
+        /// Index of the backup host to restart.
+        host: usize,
+    },
     /// All four link directions between the primary and backup `host` go
     /// dark for `duration` (a network partition of that replica pair).
     Partition {

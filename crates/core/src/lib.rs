@@ -50,6 +50,7 @@ pub mod backup;
 pub mod config;
 pub mod harness;
 pub mod heartbeat;
+pub mod log;
 pub mod metrics;
 pub mod name_service;
 pub mod primary;

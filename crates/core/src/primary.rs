@@ -18,12 +18,13 @@ use crate::admission;
 use crate::backup::Backup;
 use crate::config::ProtocolConfig;
 use crate::heartbeat::{DetectorAction, FailureDetector};
+use crate::log::{CatchUpPath, UpdateLog};
 use crate::store::ObjectStore;
 use crate::update_sched::UpdateSchedule;
 use crate::wire::{StateEntry, WireMessage};
 use rtpb_types::{
-    AdmissionError, Epoch, InterObjectConstraint, Lease, NodeId, ObjectId, ObjectSpec, ObjectValue,
-    Time, TimeDelta, Version,
+    AdmissionError, Epoch, InterObjectConstraint, Lease, LogPosition, NodeId, ObjectId, ObjectSpec,
+    ObjectValue, Time, TimeDelta, Version,
 };
 use std::collections::BTreeMap;
 
@@ -44,6 +45,25 @@ pub struct PrimaryOutput {
     /// Epochs of frames rejected as stale (sender was deposed before this
     /// primary's own promotion). Drivers feed these to observability.
     pub stale_rejected: Vec<Epoch>,
+    /// The catch-up path chosen for a join/resync request handled in this
+    /// call, for observability (`catch_up_plan` events).
+    pub catch_up: Option<CatchUpDecision>,
+}
+
+/// How the primary decided to serve one re-integration request.
+#[derive(Debug, Clone)]
+pub struct CatchUpDecision {
+    /// The re-integrating node.
+    pub node: NodeId,
+    /// Which of the three catch-up paths ran.
+    pub path: CatchUpPath,
+    /// Log records between the requester's position and the head (the
+    /// whole head when the requester had no usable position).
+    pub gap: u64,
+    /// Entries shipped in the reply.
+    pub records: u64,
+    /// Encoded size of the reply frame.
+    pub bytes: u64,
 }
 
 /// One heartbeat round's outcome: probes to send (per peer) and peers
@@ -114,6 +134,12 @@ pub struct Primary {
     writes_applied: u64,
     updates_produced: u64,
     acks_received: u64,
+    /// The append-only update log of this regime's client writes, the
+    /// source of gap-proportional re-integration (DESIGN.md §11).
+    log: UpdateLog,
+    /// `(log_seq, records_retained)` marks of store snapshots taken since
+    /// the driver last drained them (for `store_snapshot` events).
+    snapshot_marks: Vec<(u64, u64)>,
 }
 
 impl Primary {
@@ -127,6 +153,7 @@ impl Primary {
     pub fn new(node: NodeId, config: ProtocolConfig) -> Self {
         config.validate();
         let lease = Lease::new(config.lease_duration);
+        let log = UpdateLog::new(Epoch::INITIAL, &config);
         Primary {
             node,
             config,
@@ -143,6 +170,8 @@ impl Primary {
             writes_applied: 0,
             updates_produced: 0,
             acks_received: 0,
+            log,
+            snapshot_marks: Vec::new(),
         }
     }
 
@@ -199,6 +228,10 @@ impl Primary {
         // counters a deposed predecessor ran up under an older epoch.
         let mut store = store;
         store.adopt_epoch(epoch);
+        // The log starts fresh under the newly minted epoch: positions
+        // recorded under predecessor regimes are incomparable with it, so
+        // rejoiners from an older epoch fall back to a full transfer.
+        let log = UpdateLog::new(epoch, &config);
         Primary {
             node,
             config,
@@ -216,6 +249,8 @@ impl Primary {
             writes_applied: 0,
             updates_produced: 0,
             acks_received: 0,
+            log,
+            snapshot_marks: Vec::new(),
         }
     }
 
@@ -385,11 +420,21 @@ impl Primary {
             return None;
         }
         let next = self.store.get(id)?.version().next();
+        self.log.append(id, next, now, payload.clone());
         let installed = self
             .store
             .apply(id, ObjectValue::new(next, now, payload), self.epoch);
         debug_assert!(installed, "next version is always newer");
         self.writes_applied += 1;
+        if self.log.snapshot_due() {
+            let tags = self
+                .store
+                .iter()
+                .map(|(oid, e)| (oid, (e.write_epoch(), e.version())))
+                .collect();
+            let mark = self.log.take_snapshot(tags);
+            self.snapshot_marks.push(mark);
+        }
         Some(next)
     }
 
@@ -411,6 +456,7 @@ impl Primary {
             object: id,
             version: value.version(),
             timestamp: value.timestamp(),
+            seq: self.log.latest_seq(id).unwrap_or(0),
             payload: value.payload().to_vec(),
         })
     }
@@ -518,26 +564,50 @@ impl Primary {
                                 object: *object,
                                 version: value.version(),
                                 timestamp: value.timestamp(),
+                                seq: self.log.latest_seq(*object).unwrap_or(0),
                                 payload: value.payload().to_vec(),
                             });
                         }
                     }
                 }
             }
-            WireMessage::JoinRequest { from, .. } => {
+            WireMessage::JoinRequest { from, position, .. } => {
                 // Integrate the new backup: arm a detector for it and
-                // ship the full state (§4.4).
+                // serve its gap by the cheapest path the log and retained
+                // snapshots still cover (§4.4 + DESIGN.md §11).
                 self.add_backup(*from, now);
                 out.backup_joined = true;
-                out.replies.push(self.snapshot());
+                let (path, reply) = self
+                    .suffix_reply(*position)
+                    .map(|r| (CatchUpPath::LogSuffix, r))
+                    .or_else(|| {
+                        self.snapshot_diff_reply(*position)
+                            .map(|r| (CatchUpPath::SnapshotDiff, r))
+                    })
+                    .unwrap_or_else(|| (CatchUpPath::FullTransfer, self.snapshot()));
+                out.catch_up = Some(self.decide(*from, path, *position, &reply));
+                out.replies.push(reply);
             }
-            WireMessage::ResyncRequest { from, versions, .. } => {
-                // Anti-entropy re-admission of a deposed primary: ship
-                // only the objects where it is behind, then treat it as a
-                // freshly joined backup.
+            WireMessage::ResyncRequest {
+                from,
+                position,
+                versions,
+                ..
+            } => {
+                // Anti-entropy re-admission of a deposed replica: serve
+                // the log suffix when the requester's position is from
+                // this regime and still covered; otherwise fall back to
+                // the tagged-version diff, which ships only the objects
+                // where the requester is behind. Either way, treat it as
+                // a freshly joined backup.
                 self.add_backup(*from, now);
                 out.backup_joined = true;
-                out.replies.push(self.resync_diff(versions));
+                let (path, reply) = self
+                    .suffix_reply(*position)
+                    .map(|r| (CatchUpPath::LogSuffix, r))
+                    .unwrap_or_else(|| (CatchUpPath::FullTransfer, self.resync_diff(versions)));
+                out.catch_up = Some(self.decide(*from, path, *position, &reply));
+                out.replies.push(reply);
             }
             WireMessage::UpdateAck { .. } => {
                 // Only present under the ack ablation; the paper's design
@@ -551,11 +621,15 @@ impl Primary {
                     out.replies.extend(sub.replies);
                     out.backup_joined |= sub.backup_joined;
                     out.stale_rejected.extend(sub.stale_rejected);
+                    if sub.catch_up.is_some() {
+                        out.catch_up = sub.catch_up;
+                    }
                 }
             }
             WireMessage::Update { .. }
             | WireMessage::StateTransfer { .. }
-            | WireMessage::ResyncDiff { .. } => {
+            | WireMessage::ResyncDiff { .. }
+            | WireMessage::LogSuffix { .. } => {
                 // Not addressed to a primary; ignore.
             }
         }
@@ -629,7 +703,93 @@ impl Primary {
             .collect();
         WireMessage::StateTransfer {
             epoch: self.epoch,
+            head: self.log.head(),
             entries,
+        }
+    }
+
+    /// The update-log suffix covering a requester at `position`, if this
+    /// regime's log still covers the gap. `None` sends the caller down a
+    /// heavier path: position absent, minted under another epoch, or
+    /// older than the ring's retention.
+    fn suffix_reply(&self, position: Option<LogPosition>) -> Option<WireMessage> {
+        let p = position?;
+        if p.epoch() != self.log.epoch() {
+            return None;
+        }
+        let entries = self
+            .log
+            .suffix_after(p.seq())?
+            .map(|r| StateEntry {
+                object: r.object,
+                version: r.version,
+                timestamp: r.timestamp,
+                payload: r.payload.clone(),
+            })
+            .collect();
+        Some(WireMessage::LogSuffix {
+            epoch: self.epoch,
+            head: self.log.head(),
+            entries,
+        })
+    }
+
+    /// A partial state transfer against the newest retained snapshot at
+    /// or before the requester's position: only objects whose
+    /// `(write_epoch, version)` tag moved since that snapshot ship. The
+    /// requester may already hold some of them (its position can be ahead
+    /// of the snapshot); replay through the store's ordering makes the
+    /// overshoot idempotent.
+    fn snapshot_diff_reply(&self, position: Option<LogPosition>) -> Option<WireMessage> {
+        let p = position?;
+        if p.epoch() != self.log.epoch() {
+            return None;
+        }
+        let snap = self.log.snapshot_at_or_before(p.seq())?;
+        let entries = self
+            .store
+            .iter()
+            .filter_map(|(id, entry)| {
+                let value = entry.value()?;
+                let had = snap.tag(id).unwrap_or((Epoch::INITIAL, Version::INITIAL));
+                ((entry.write_epoch(), value.version()) > had).then(|| StateEntry {
+                    object: id,
+                    version: value.version(),
+                    timestamp: value.timestamp(),
+                    payload: value.payload().to_vec(),
+                })
+            })
+            .collect();
+        Some(WireMessage::StateTransfer {
+            epoch: self.epoch,
+            head: self.log.head(),
+            entries,
+        })
+    }
+
+    /// Packages one re-integration decision for observability.
+    fn decide(
+        &self,
+        node: NodeId,
+        path: CatchUpPath,
+        position: Option<LogPosition>,
+        reply: &WireMessage,
+    ) -> CatchUpDecision {
+        let gap = position
+            .filter(|p| p.epoch() == self.log.epoch())
+            .map_or(self.log.head(), |p| self.log.head().saturating_sub(p.seq()));
+        let records = match reply {
+            WireMessage::LogSuffix { entries, .. }
+            | WireMessage::StateTransfer { entries, .. }
+            | WireMessage::ResyncDiff { entries, .. } => entries.len() as u64,
+            _ => 0,
+        };
+        CatchUpDecision {
+            node,
+            path,
+            gap,
+            records,
+            bytes: reply.encode().len() as u64,
         }
     }
 
@@ -666,8 +826,22 @@ impl Primary {
             .collect();
         WireMessage::ResyncDiff {
             epoch: self.epoch,
+            head: self.log.head(),
             entries,
         }
+    }
+
+    /// The update log of this regime's client writes.
+    #[must_use]
+    pub fn log(&self) -> &UpdateLog {
+        &self.log
+    }
+
+    /// Drains the `(log_seq, records_retained)` marks of store snapshots
+    /// taken since the last drain — drivers turn these into
+    /// `store_snapshot` trace events.
+    pub fn take_snapshot_marks(&mut self) -> Vec<(u64, u64)> {
+        std::mem::take(&mut self.snapshot_marks)
     }
 
     /// Steps down after observing a higher epoch (see
@@ -691,6 +865,10 @@ impl Primary {
             self.store,
             send_periods,
             self.observed_epoch,
+            // The deposed log's head is this node's position — minted
+            // under the *old* epoch, so the successor will fall back to a
+            // full-fidelity path rather than trust it.
+            Some(LogPosition::new(self.epoch, self.log.head())),
             now,
         )
     }
@@ -747,12 +925,14 @@ mod tests {
                 object,
                 version,
                 timestamp,
+                seq,
                 payload,
             }) => {
                 assert_eq!(epoch, Epoch::INITIAL);
                 assert_eq!(object, id);
                 assert_eq!(version, Version::new(1));
                 assert_eq!(timestamp, t(5));
+                assert_eq!(seq, 1, "first logged write");
                 assert_eq!(payload, vec![7]);
             }
             other => panic!("expected update, got {other:?}"),
@@ -958,11 +1138,12 @@ mod tests {
             }
             now += ms(50);
         }
-        // A new backup joins.
+        // A new backup joins, cold (no position): full transfer.
         let out = p.handle_message(
             &WireMessage::JoinRequest {
                 epoch: Epoch::INITIAL,
                 from: NodeId::new(2),
+                position: None,
             },
             now,
         );
@@ -975,6 +1156,9 @@ mod tests {
             }
             other => panic!("expected state transfer, got {other:?}"),
         }
+        let plan = out.catch_up.expect("join produces a plan");
+        assert_eq!(plan.path, CatchUpPath::FullTransfer);
+        assert_eq!(plan.node, NodeId::new(2));
         // Updates flow again.
         assert!(p.make_update(id, now).is_some());
     }
@@ -1221,6 +1405,7 @@ mod tests {
             &WireMessage::JoinRequest {
                 epoch: Epoch::INITIAL,
                 from: NodeId::new(4),
+                position: None,
             },
             t(4),
         );
@@ -1242,6 +1427,7 @@ mod tests {
             &WireMessage::ResyncRequest {
                 epoch: Epoch::INITIAL,
                 from: NodeId::new(5),
+                position: None,
                 versions: vec![
                     (a, Epoch::INITIAL, Version::new(2)),
                     (b, Epoch::INITIAL, Version::INITIAL),
@@ -1274,6 +1460,7 @@ mod tests {
                 object: ObjectId::new(0),
                 version: Version::new(3),
                 timestamp: t(1),
+                seq: 3,
                 payload: vec![3],
             },
             t(2),
@@ -1281,7 +1468,7 @@ mod tests {
         let p = b.promote(t(3));
         assert_eq!(p.epoch(), Epoch::new(1));
         match p.resync_diff(&[(ObjectId::new(0), Epoch::INITIAL, Version::new(9))]) {
-            WireMessage::ResyncDiff { entries, epoch } => {
+            WireMessage::ResyncDiff { entries, epoch, .. } => {
                 assert_eq!(epoch, Epoch::new(1));
                 assert_eq!(entries.len(), 1, "divergent object must ship");
                 assert_eq!(entries[0].version, Version::new(3));
@@ -1301,6 +1488,7 @@ mod tests {
                 object: id,
                 version: Version::new(7),
                 timestamp: t(6),
+                seq: 7,
                 payload: vec![7],
             },
             t(7),
@@ -1311,5 +1499,137 @@ mod tests {
         // Demotion preserves the (possibly stale) local state; resync
         // reconciles it against the new primary.
         assert_eq!(b.store().get(id).unwrap().version(), Version::new(1));
+    }
+
+    #[test]
+    fn rejoin_with_covered_position_gets_a_log_suffix() {
+        let mut p = primary();
+        let a = p.register(spec(), Time::ZERO).unwrap();
+        let b = p.register(spec(), Time::ZERO).unwrap();
+        p.apply_client_write(a, vec![1], t(1));
+        p.apply_client_write(b, vec![2], t(2));
+        p.apply_client_write(a, vec![3], t(3));
+        // The backup applied through seq 1, then missed 2 and 3.
+        let out = p.handle_message(
+            &WireMessage::JoinRequest {
+                epoch: Epoch::INITIAL,
+                from: NodeId::new(1),
+                position: Some(LogPosition::new(Epoch::INITIAL, 1)),
+            },
+            t(10),
+        );
+        let plan = out.catch_up.expect("plan");
+        assert_eq!(plan.path, CatchUpPath::LogSuffix);
+        assert_eq!(plan.gap, 2);
+        assert_eq!(plan.records, 2);
+        match &out.replies[0] {
+            WireMessage::LogSuffix { head, entries, .. } => {
+                assert_eq!(*head, 3);
+                let objs: Vec<ObjectId> = entries.iter().map(|e| e.object).collect();
+                assert_eq!(objs, vec![b, a], "oldest first");
+            }
+            other => panic!("expected log suffix, got {other:?}"),
+        }
+        // A backup already at the head gets an empty suffix, not a
+        // world-ship.
+        let out = p.handle_message(
+            &WireMessage::JoinRequest {
+                epoch: Epoch::INITIAL,
+                from: NodeId::new(1),
+                position: Some(LogPosition::new(Epoch::INITIAL, 3)),
+            },
+            t(11),
+        );
+        match &out.replies[0] {
+            WireMessage::LogSuffix { entries, .. } => assert!(entries.is_empty()),
+            other => panic!("expected log suffix, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pre_retention_gap_falls_back_to_snapshot_diff_then_full() {
+        let config = ProtocolConfig {
+            log_retention: 4,
+            snapshot_interval: 6,
+            snapshots_retained: 2,
+            ..ProtocolConfig::default()
+        };
+        let mut p = Primary::new(NodeId::new(0), config);
+        p.add_backup(NodeId::new(1), Time::ZERO);
+        let a = p.register(spec(), Time::ZERO).unwrap();
+        let b = p.register(spec(), Time::ZERO).unwrap();
+        for i in 0..6u64 {
+            p.apply_client_write(a, vec![i as u8], t(i + 1));
+        }
+        // 6 writes → snapshot at seq 6; ring trimmed behind it.
+        assert_eq!(p.take_snapshot_marks().len(), 1);
+        for i in 0..4u64 {
+            p.apply_client_write(b, vec![i as u8], t(i + 10));
+        }
+        // Position 6 sits exactly at the snapshot: ring covers 7..=10, so
+        // this is still a suffix.
+        let out = p.handle_message(
+            &WireMessage::JoinRequest {
+                epoch: Epoch::INITIAL,
+                from: NodeId::new(1),
+                position: Some(LogPosition::new(Epoch::INITIAL, 6)),
+            },
+            t(20),
+        );
+        assert_eq!(out.catch_up.unwrap().path, CatchUpPath::LogSuffix);
+        // Position 2 predates the ring but not the snapshot... no — the
+        // snapshot is at 6 > 2, so nothing covers it: full transfer.
+        let out = p.handle_message(
+            &WireMessage::JoinRequest {
+                epoch: Epoch::INITIAL,
+                from: NodeId::new(1),
+                position: Some(LogPosition::new(Epoch::INITIAL, 2)),
+            },
+            t(21),
+        );
+        assert_eq!(out.catch_up.unwrap().path, CatchUpPath::FullTransfer);
+        // Push the ring past the snapshot so a position between the
+        // snapshot (6) and the ring's floor takes the snapshot-diff path,
+        // shipping only objects written since seq 6 — b, not a.
+        for i in 0..6u64 {
+            p.apply_client_write(b, vec![i as u8], t(i + 30));
+        }
+        let _ = p.take_snapshot_marks();
+        let out = p.handle_message(
+            &WireMessage::JoinRequest {
+                epoch: Epoch::INITIAL,
+                from: NodeId::new(1),
+                position: Some(LogPosition::new(Epoch::INITIAL, 7)),
+            },
+            t(40),
+        );
+        let plan = out.catch_up.unwrap();
+        assert_eq!(plan.path, CatchUpPath::SnapshotDiff);
+        match &out.replies[0] {
+            WireMessage::StateTransfer { entries, .. } => {
+                assert_eq!(entries.len(), 1);
+                assert_eq!(entries[0].object, b);
+            }
+            other => panic!("expected partial transfer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn position_from_another_epoch_never_uses_the_log() {
+        let mut p = primary();
+        let id = p.register(spec(), Time::ZERO).unwrap();
+        p.apply_client_write(id, vec![1], t(1));
+        let out = p.handle_message(
+            &WireMessage::JoinRequest {
+                epoch: Epoch::INITIAL,
+                from: NodeId::new(2),
+                position: Some(LogPosition::new(Epoch::new(9), 1)),
+            },
+            t(5),
+        );
+        let plan = out.catch_up.unwrap();
+        assert_eq!(plan.path, CatchUpPath::FullTransfer);
+        assert_eq!(plan.gap, 1, "cross-epoch gap spans the whole head");
+        assert!(matches!(out.replies[0], WireMessage::StateTransfer { .. }));
     }
 }

@@ -18,7 +18,7 @@
 //! meaningful), not in-process object references.
 
 use core::fmt;
-use rtpb_types::{Epoch, NodeId, ObjectId, Time, Version};
+use rtpb_types::{Epoch, LogPosition, NodeId, ObjectId, Time, Version};
 use std::error::Error;
 
 /// A decoded RTPB protocol message.
@@ -36,6 +36,11 @@ pub enum WireMessage {
         /// The primary-side timestamp of this version (the client write's
         /// completion time — the paper's `T_i^P`).
         timestamp: Time,
+        /// Sequence number in the sender's update log of the newest write
+        /// to this object (0 when the object has no logged write under the
+        /// sender's epoch). Backups advance their `LogPosition` from this,
+        /// so a later re-join can be served as a log suffix.
+        seq: u64,
         /// The object payload.
         payload: Vec<u8>,
     },
@@ -77,6 +82,11 @@ pub enum WireMessage {
         epoch: Epoch,
         /// The joining node.
         from: NodeId,
+        /// The last update-log position the joiner applied, if it has one
+        /// (a restarted backup rejoining with retained state). The primary
+        /// serves the gap as a log suffix or snapshot diff when it can;
+        /// `None` always yields a full state transfer.
+        position: Option<LogPosition>,
     },
     /// Acknowledgement of one applied update. Only sent when the
     /// `ack_updates` ablation is enabled — the paper's design avoids
@@ -94,6 +104,9 @@ pub enum WireMessage {
     StateTransfer {
         /// The sender's fencing epoch.
         epoch: Epoch,
+        /// The sender's update-log head when the transfer was cut: the
+        /// receiver's new log position is `(epoch, head)`.
+        head: u64,
         /// `(object, version, timestamp, payload)` for every object.
         entries: Vec<StateEntry>,
     },
@@ -117,6 +130,10 @@ pub enum WireMessage {
         epoch: Epoch,
         /// The requesting node.
         from: NodeId,
+        /// The last update-log position the requester applied, if any —
+        /// lets the new primary serve the resync as a log suffix when its
+        /// log still covers the gap.
+        position: Option<LogPosition>,
         /// `(object, write_epoch, version)` for every object the requester
         /// holds. The write epoch is the regime the requester's image of
         /// that object was written under: bare version counters from
@@ -130,13 +147,31 @@ pub enum WireMessage {
     ResyncDiff {
         /// The sender's fencing epoch.
         epoch: Epoch,
+        /// The sender's update-log head when the diff was cut: the
+        /// receiver's new log position is `(epoch, head)`.
+        head: u64,
         /// Entries the requester must install to catch up.
+        entries: Vec<StateEntry>,
+    },
+    /// The suffix of the primary's update log covering a re-joining
+    /// backup's gap — the cheap catch-up path: its cost scales with the
+    /// outage length, not the store size. Entries are batched and
+    /// length-prefixed like [`WireMessage::Batch`] sub-frames and are
+    /// replayed through the receiving store's epoch-aware `(write_epoch,
+    /// version)` ordering, so replay is idempotent and reorder-safe.
+    LogSuffix {
+        /// The sender's fencing epoch (the epoch the log belongs to).
+        epoch: Epoch,
+        /// The sender's log head: the receiver's position after replaying
+        /// every entry is `(epoch, head)`.
+        head: u64,
+        /// The missing records, oldest first, one entry per record.
         entries: Vec<StateEntry>,
     },
 }
 
-/// One object's state in a [`WireMessage::StateTransfer`] or
-/// [`WireMessage::ResyncDiff`].
+/// One object's state in a [`WireMessage::StateTransfer`],
+/// [`WireMessage::ResyncDiff`], or [`WireMessage::LogSuffix`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StateEntry {
     /// The object.
@@ -188,6 +223,7 @@ const TAG_UPDATE_ACK: u8 = 7;
 const TAG_BATCH: u8 = 8;
 const TAG_RESYNC_REQ: u8 = 9;
 const TAG_RESYNC_DIFF: u8 = 10;
+const TAG_LOG_SUFFIX: u8 = 11;
 
 /// Upper bound on any single decoded payload or entry count, to reject
 /// absurd length fields before allocating.
@@ -207,6 +243,7 @@ impl WireMessage {
                 object,
                 version,
                 timestamp,
+                seq,
                 payload,
             } => {
                 buf.push(TAG_UPDATE);
@@ -214,6 +251,7 @@ impl WireMessage {
                 put_u32(&mut buf, object.index());
                 put_u64(&mut buf, version.value());
                 put_u64(&mut buf, timestamp.as_nanos());
+                put_u64(&mut buf, *seq);
                 put_bytes(&mut buf, payload);
             }
             WireMessage::Ping { epoch, from, seq } => {
@@ -238,10 +276,15 @@ impl WireMessage {
                 put_u32(&mut buf, object.index());
                 put_u64(&mut buf, have_version.value());
             }
-            WireMessage::JoinRequest { epoch, from } => {
+            WireMessage::JoinRequest {
+                epoch,
+                from,
+                position,
+            } => {
                 buf.push(TAG_JOIN);
                 put_u64(&mut buf, epoch.value());
                 put_u32(&mut buf, u32::from(from.index()));
+                put_position(&mut buf, *position);
             }
             WireMessage::UpdateAck {
                 epoch,
@@ -253,9 +296,14 @@ impl WireMessage {
                 put_u32(&mut buf, object.index());
                 put_u64(&mut buf, version.value());
             }
-            WireMessage::StateTransfer { epoch, entries } => {
+            WireMessage::StateTransfer {
+                epoch,
+                head,
+                entries,
+            } => {
                 buf.push(TAG_STATE);
                 put_u64(&mut buf, epoch.value());
+                put_u64(&mut buf, *head);
                 put_u32(&mut buf, entries.len() as u32);
                 for e in entries {
                     put_entry(&mut buf, e);
@@ -276,11 +324,13 @@ impl WireMessage {
             WireMessage::ResyncRequest {
                 epoch,
                 from,
+                position,
                 versions,
             } => {
                 buf.push(TAG_RESYNC_REQ);
                 put_u64(&mut buf, epoch.value());
                 put_u32(&mut buf, u32::from(from.index()));
+                put_position(&mut buf, *position);
                 put_u32(&mut buf, versions.len() as u32);
                 for (object, write_epoch, version) in versions {
                     put_u32(&mut buf, object.index());
@@ -288,9 +338,27 @@ impl WireMessage {
                     put_u64(&mut buf, version.value());
                 }
             }
-            WireMessage::ResyncDiff { epoch, entries } => {
+            WireMessage::ResyncDiff {
+                epoch,
+                head,
+                entries,
+            } => {
                 buf.push(TAG_RESYNC_DIFF);
                 put_u64(&mut buf, epoch.value());
+                put_u64(&mut buf, *head);
+                put_u32(&mut buf, entries.len() as u32);
+                for e in entries {
+                    put_entry(&mut buf, e);
+                }
+            }
+            WireMessage::LogSuffix {
+                epoch,
+                head,
+                entries,
+            } => {
+                buf.push(TAG_LOG_SUFFIX);
+                put_u64(&mut buf, epoch.value());
+                put_u64(&mut buf, *head);
                 put_u32(&mut buf, entries.len() as u32);
                 for e in entries {
                     put_entry(&mut buf, e);
@@ -316,6 +384,7 @@ impl WireMessage {
                 object: ObjectId::new(r.u32()?),
                 version: Version::new(r.u64()?),
                 timestamp: Time::from_nanos(r.u64()?),
+                seq: r.u64()?,
                 payload: r.bytes()?,
             },
             TAG_PING => WireMessage::Ping {
@@ -336,6 +405,7 @@ impl WireMessage {
             TAG_JOIN => WireMessage::JoinRequest {
                 epoch,
                 from: NodeId::new(r.u32()? as u16),
+                position: r.position()?,
             },
             TAG_UPDATE_ACK => WireMessage::UpdateAck {
                 epoch,
@@ -344,6 +414,7 @@ impl WireMessage {
             },
             TAG_STATE => WireMessage::StateTransfer {
                 epoch,
+                head: r.u64()?,
                 entries: r.entries()?,
             },
             TAG_BATCH => {
@@ -364,6 +435,7 @@ impl WireMessage {
             }
             TAG_RESYNC_REQ => {
                 let from = NodeId::new(r.u32()? as u16);
+                let position = r.position()?;
                 let count = r.u32()? as usize;
                 if count > SANITY_LIMIT {
                     return Err(CodecError::BadLength(count));
@@ -379,11 +451,18 @@ impl WireMessage {
                 WireMessage::ResyncRequest {
                     epoch,
                     from,
+                    position,
                     versions,
                 }
             }
             TAG_RESYNC_DIFF => WireMessage::ResyncDiff {
                 epoch,
+                head: r.u64()?,
+                entries: r.entries()?,
+            },
+            TAG_LOG_SUFFIX => WireMessage::LogSuffix {
+                epoch,
+                head: r.u64()?,
                 entries: r.entries()?,
             },
             other => return Err(CodecError::UnknownTag(other)),
@@ -407,7 +486,8 @@ impl WireMessage {
             | WireMessage::StateTransfer { epoch, .. }
             | WireMessage::Batch { epoch, .. }
             | WireMessage::ResyncRequest { epoch, .. }
-            | WireMessage::ResyncDiff { epoch, .. } => *epoch,
+            | WireMessage::ResyncDiff { epoch, .. }
+            | WireMessage::LogSuffix { epoch, .. } => *epoch,
         }
     }
 
@@ -425,6 +505,7 @@ impl WireMessage {
             WireMessage::Batch { .. } => "batch",
             WireMessage::ResyncRequest { .. } => "resync-request",
             WireMessage::ResyncDiff { .. } => "resync-diff",
+            WireMessage::LogSuffix { .. } => "log-suffix",
         }
     }
 
@@ -462,6 +543,17 @@ fn put_entry(buf: &mut Vec<u8>, e: &StateEntry) {
     put_bytes(buf, &e.payload);
 }
 
+fn put_position(buf: &mut Vec<u8>, position: Option<LogPosition>) {
+    match position {
+        None => buf.push(0),
+        Some(p) => {
+            buf.push(1);
+            put_u64(buf, p.epoch().value());
+            put_u64(buf, p.seq());
+        }
+    }
+}
+
 struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
@@ -491,6 +583,14 @@ impl Reader<'_> {
         Ok(u64::from_be_bytes(
             self.take(8)?.try_into().expect("8 bytes"),
         ))
+    }
+
+    fn position(&mut self) -> Result<Option<LogPosition>, CodecError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(LogPosition::new(Epoch::new(self.u64()?), self.u64()?))),
+            other => Err(CodecError::BadLength(other as usize)),
+        }
     }
 
     fn bytes(&mut self) -> Result<Vec<u8>, CodecError> {
@@ -530,6 +630,7 @@ mod tests {
                 object: ObjectId::new(7),
                 version: Version::new(42),
                 timestamp: Time::from_millis(1234),
+                seq: 42,
                 payload: vec![1, 2, 3, 4],
             },
             WireMessage::Update {
@@ -537,6 +638,7 @@ mod tests {
                 object: ObjectId::new(0),
                 version: Version::INITIAL,
                 timestamp: Time::ZERO,
+                seq: 0,
                 payload: Vec::new(),
             },
             WireMessage::Ping {
@@ -557,6 +659,12 @@ mod tests {
             WireMessage::JoinRequest {
                 epoch: Epoch::INITIAL,
                 from: NodeId::new(9),
+                position: None,
+            },
+            WireMessage::JoinRequest {
+                epoch: Epoch::new(3),
+                from: NodeId::new(9),
+                position: Some(LogPosition::new(Epoch::new(3), 512)),
             },
             WireMessage::UpdateAck {
                 epoch: Epoch::new(1),
@@ -565,6 +673,7 @@ mod tests {
             },
             WireMessage::StateTransfer {
                 epoch: Epoch::new(5),
+                head: 77,
                 entries: vec![
                     StateEntry {
                         object: ObjectId::new(1),
@@ -582,6 +691,7 @@ mod tests {
             },
             WireMessage::StateTransfer {
                 epoch: Epoch::INITIAL,
+                head: 0,
                 entries: vec![],
             },
             WireMessage::Batch {
@@ -592,6 +702,7 @@ mod tests {
                         object: ObjectId::new(1),
                         version: Version::new(3),
                         timestamp: Time::from_millis(10),
+                        seq: 3,
                         payload: vec![0x11, 0x22],
                     },
                     WireMessage::Update {
@@ -599,6 +710,7 @@ mod tests {
                         object: ObjectId::new(2),
                         version: Version::new(9),
                         timestamp: Time::from_millis(11),
+                        seq: 0,
                         payload: Vec::new(),
                     },
                     WireMessage::Ping {
@@ -615,6 +727,7 @@ mod tests {
             WireMessage::ResyncRequest {
                 epoch: Epoch::new(6),
                 from: NodeId::new(0),
+                position: Some(LogPosition::new(Epoch::new(5), 1000)),
                 versions: vec![
                     (ObjectId::new(0), Epoch::new(6), Version::new(12)),
                     (ObjectId::new(1), Epoch::new(2), Version::new(3)),
@@ -623,10 +736,12 @@ mod tests {
             WireMessage::ResyncRequest {
                 epoch: Epoch::new(1),
                 from: NodeId::new(5),
+                position: None,
                 versions: vec![],
             },
             WireMessage::ResyncDiff {
                 epoch: Epoch::new(6),
+                head: 13,
                 entries: vec![StateEntry {
                     object: ObjectId::new(0),
                     version: Version::new(15),
@@ -636,6 +751,30 @@ mod tests {
             },
             WireMessage::ResyncDiff {
                 epoch: Epoch::new(2),
+                head: 0,
+                entries: vec![],
+            },
+            WireMessage::LogSuffix {
+                epoch: Epoch::new(6),
+                head: 1005,
+                entries: vec![
+                    StateEntry {
+                        object: ObjectId::new(3),
+                        version: Version::new(6),
+                        timestamp: Time::from_millis(950),
+                        payload: vec![1],
+                    },
+                    StateEntry {
+                        object: ObjectId::new(4),
+                        version: Version::new(2),
+                        timestamp: Time::from_millis(960),
+                        payload: Vec::new(),
+                    },
+                ],
+            },
+            WireMessage::LogSuffix {
+                epoch: Epoch::INITIAL,
+                head: 0,
                 entries: vec![],
             },
         ]
@@ -711,6 +850,7 @@ mod tests {
         put_u32(&mut bytes, 1);
         put_u64(&mut bytes, 1);
         put_u64(&mut bytes, 1);
+        put_u64(&mut bytes, 1); // log seq
         put_u32(&mut bytes, u32::MAX); // claimed payload length
         let err = WireMessage::decode(&bytes).unwrap_err();
         assert_eq!(err, CodecError::BadLength(u32::MAX as usize));
@@ -718,9 +858,10 @@ mod tests {
 
     #[test]
     fn implausible_entry_count_rejected() {
-        for tag in [TAG_STATE, TAG_RESYNC_DIFF] {
+        for tag in [TAG_STATE, TAG_RESYNC_DIFF, TAG_LOG_SUFFIX] {
             let mut bytes = vec![tag];
             put_u64(&mut bytes, 0); // epoch
+            put_u64(&mut bytes, 0); // log head
             put_u32(&mut bytes, u32::MAX);
             let err = WireMessage::decode(&bytes).unwrap_err();
             assert_eq!(err, CodecError::BadLength(u32::MAX as usize));
@@ -728,6 +869,7 @@ mod tests {
         let mut bytes = vec![TAG_RESYNC_REQ];
         put_u64(&mut bytes, 0); // epoch
         put_u32(&mut bytes, 0); // from
+        bytes.push(0); // no position
         put_u32(&mut bytes, u32::MAX); // version-vector count
         let err = WireMessage::decode(&bytes).unwrap_err();
         assert_eq!(err, CodecError::BadLength(u32::MAX as usize));
@@ -741,6 +883,16 @@ mod tests {
         assert!(kinds.contains(&"batch"));
         assert!(kinds.contains(&"resync-request"));
         assert!(kinds.contains(&"resync-diff"));
+        assert!(kinds.contains(&"log-suffix"));
+    }
+
+    #[test]
+    fn bad_position_flag_rejected() {
+        let mut bytes = vec![TAG_JOIN];
+        put_u64(&mut bytes, 0); // epoch
+        put_u32(&mut bytes, 1); // from
+        bytes.push(7); // neither "absent" nor "present"
+        assert_eq!(WireMessage::decode(&bytes), Err(CodecError::BadLength(7)));
     }
 
     #[test]
@@ -778,6 +930,7 @@ mod tests {
                 object: ObjectId::new(1),
                 version: Version::new(1),
                 timestamp: Time::from_millis(1),
+                seq: 1,
                 payload: vec![1, 2, 3],
             }],
         };
@@ -824,6 +977,7 @@ mod tests {
             object: ObjectId::new(1),
             version: Version::new(1),
             timestamp: Time::from_secs(1),
+            seq: 1,
             payload: (0..=255u8).cycle().take(10_000).collect(),
         };
         let decoded = WireMessage::decode(&msg.encode()).unwrap();

@@ -224,6 +224,33 @@ pub enum EventKind {
         /// The resynced replica.
         node: NodeId,
     },
+    /// The primary decided how to re-integrate a re-joining replica:
+    /// replay a log suffix, ship a snapshot-bounded partial transfer, or
+    /// fall back to a full state transfer.
+    CatchUpPlan {
+        /// The re-joining replica.
+        node: NodeId,
+        /// Chosen path: `"log_suffix"`, `"snapshot_diff"`, or
+        /// `"full_transfer"`.
+        path: String,
+        /// Log records between the replica's position and the head.
+        gap: u64,
+        /// Entries shipped by the chosen reply.
+        records: u64,
+        /// Encoded size of the reply frame.
+        bytes: u64,
+    },
+    /// The primary snapshotted its store and truncated the update log.
+    StoreSnapshot {
+        /// The snapshotting primary.
+        node: NodeId,
+        /// Log head sequence captured by the snapshot (named `head`, not
+        /// `seq`, because every JSONL line already carries the bus
+        /// sequence number as `seq`).
+        head: u64,
+        /// Records retained in the log after truncation.
+        log_len: u64,
+    },
 }
 
 impl EventKind {
@@ -251,6 +278,8 @@ impl EventKind {
             EventKind::PrimaryDemoted { .. } => "primary_demoted",
             EventKind::ResyncStarted { .. } => "resync_started",
             EventKind::ResyncCompleted { .. } => "resync_completed",
+            EventKind::CatchUpPlan { .. } => "catch_up_plan",
+            EventKind::StoreSnapshot { .. } => "store_snapshot",
         }
     }
 }
@@ -391,6 +420,28 @@ impl ObsEvent {
             }
             EventKind::ResyncCompleted { node } => {
                 o.uint_field("node", u64::from(node.index()));
+            }
+            EventKind::CatchUpPlan {
+                node,
+                path,
+                gap,
+                records,
+                bytes,
+            } => {
+                o.uint_field("node", u64::from(node.index()))
+                    .str_field("path", path)
+                    .uint_field("gap", *gap)
+                    .uint_field("records", *records)
+                    .uint_field("bytes", *bytes);
+            }
+            EventKind::StoreSnapshot {
+                node,
+                head,
+                log_len,
+            } => {
+                o.uint_field("node", u64::from(node.index()))
+                    .uint_field("head", *head)
+                    .uint_field("log_len", *log_len);
             }
         }
         o.finish()
@@ -545,6 +596,18 @@ pub fn validate_line(line: &str) -> Result<(u64, u64, String), SchemaError> {
         "resync_completed" => {
             require_u64(&map, "node")?;
         }
+        "catch_up_plan" => {
+            require_u64(&map, "node")?;
+            require_str(&map, "path")?;
+            require_u64(&map, "gap")?;
+            require_u64(&map, "records")?;
+            require_u64(&map, "bytes")?;
+        }
+        "store_snapshot" => {
+            require_u64(&map, "node")?;
+            require_u64(&map, "head")?;
+            require_u64(&map, "log_len")?;
+        }
         other => return Err(SchemaError::UnknownKind(other.to_string())),
     }
     Ok((seq, t_ns, kind))
@@ -648,6 +711,18 @@ mod tests {
             },
             EventKind::ResyncCompleted {
                 node: NodeId::new(0),
+            },
+            EventKind::CatchUpPlan {
+                node: NodeId::new(1),
+                path: "log_suffix".into(),
+                gap: 12,
+                records: 12,
+                bytes: 900,
+            },
+            EventKind::StoreSnapshot {
+                node: NodeId::new(0),
+                head: 256,
+                log_len: 128,
             },
         ];
         for kind in kinds {

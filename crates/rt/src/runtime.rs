@@ -37,8 +37,15 @@ pub struct RtConfig {
     pub crash_backup_after: Option<Duration>,
     /// If set (with [`RtConfig::crash_backup_after`]), the backup restarts
     /// this long into the run and re-integrates through the bounded-retry
-    /// join / state-transfer path.
+    /// join / catch-up path.
     pub recover_backup_after: Option<Duration>,
+    /// Whether the backup's storage survives a scheduled crash. When
+    /// `true` the restarted backup keeps its object store and last
+    /// applied log position and advertises that position in its
+    /// `JoinRequest`, so the primary can reply with just the update-log
+    /// suffix it missed (DESIGN.md §11). When `false` the restart is
+    /// cold — fresh state machine, full state transfer.
+    pub durable_restart: bool,
     /// Structured-event bus; each runtime thread takes its own writer
     /// (rings never contend) and stamps events with the monotonic
     /// real clock ([`ClockDomain::Real`]).
@@ -59,6 +66,7 @@ impl Default for RtConfig {
             crash_primary_after: None,
             crash_backup_after: None,
             recover_backup_after: None,
+            durable_restart: false,
             bus: EventBus::disabled(),
         }
     }
@@ -83,9 +91,13 @@ pub struct RtReport {
     pub inconsistency_episodes: u64,
     /// Whether the backup promoted itself during the run.
     pub failed_over: bool,
-    /// State transfers completing a backup re-integration after a
-    /// scheduled crash/recovery.
+    /// Catch-up frames (state transfer or log suffix) completing a backup
+    /// re-integration after a scheduled crash/recovery.
     pub backup_rejoins: u64,
+    /// The subset of [`RtReport::backup_rejoins`] completed by a log
+    /// suffix instead of a full state transfer (durable restarts whose
+    /// gap the primary's update log still covered).
+    pub suffix_rejoins: u64,
 }
 
 /// Why a real-clock run could not start.
@@ -147,6 +159,7 @@ struct Shared {
     stop: AtomicBool,
     failed_over: AtomicBool,
     rejoins: AtomicU64,
+    suffix_rejoins: AtomicU64,
     epoch: Instant,
 }
 
@@ -172,6 +185,7 @@ impl RtCluster {
             stop: AtomicBool::new(false),
             failed_over: AtomicBool::new(false),
             rejoins: AtomicU64::new(0),
+            suffix_rejoins: AtomicU64::new(0),
             epoch: Instant::now(),
         });
 
@@ -275,6 +289,7 @@ impl RtCluster {
             let crash = BackupCrashSchedule {
                 crash_after: config.crash_backup_after,
                 recover_after: config.recover_backup_after,
+                durable: config.durable_restart,
             };
             let obs = config.bus.writer();
             std::thread::Builder::new()
@@ -322,6 +337,7 @@ impl RtCluster {
             inconsistency_episodes: episodes,
             failed_over: shared.failed_over.load(Ordering::SeqCst),
             backup_rejoins: shared.rejoins.load(Ordering::SeqCst),
+            suffix_rejoins: shared.suffix_rejoins.load(Ordering::SeqCst),
         })
     }
 }
@@ -551,6 +567,15 @@ fn primary_loop(
                         });
                     }
                     let out = primary.handle_message(&msg, shared.now());
+                    if let Some(plan) = &out.catch_up {
+                        emit(EventKind::CatchUpPlan {
+                            node: plan.node,
+                            path: plan.path.name().to_string(),
+                            gap: plan.gap,
+                            records: plan.records,
+                            bytes: plan.bytes,
+                        });
+                    }
                     for reply in &out.replies {
                         if matches!(reply, WireMessage::Update { .. }) {
                             shared.metrics.lock().unwrap().record_update_sent(false);
@@ -576,6 +601,7 @@ fn primary_loop(
 struct BackupCrashSchedule {
     crash_after: Option<Duration>,
     recover_after: Option<Duration>,
+    durable: bool,
 }
 
 #[allow(clippy::needless_pass_by_value, clippy::too_many_arguments)]
@@ -631,9 +657,12 @@ fn backup_loop(
                 std::thread::sleep(Duration::from_millis(2));
                 continue;
             }
-            // Restart: fresh state machine, registry re-synced out of
-            // band, object state recovered via join + state transfer
-            // (bounded retries with exponential backoff).
+            // Restart: registry re-synced out of band, object state
+            // recovered via join + catch-up (bounded retries with
+            // exponential backoff). A durable restart keeps the store
+            // and log position so the join advertises where it stopped;
+            // a cold restart builds a fresh state machine and will need
+            // a full state transfer.
             down = false;
             rejoining = true;
             emit(EventKind::RoleTransition {
@@ -642,9 +671,13 @@ fn backup_loop(
                 to: Role::Joining,
             });
             let now = shared.now();
-            backup = Backup::new(node, protocol.clone());
-            for (id, spec, period) in registry {
-                backup.sync_registration(*id, spec.clone(), *period, now);
+            if crash.durable {
+                backup.rearm(now);
+            } else {
+                backup = Backup::new(node, protocol.clone());
+                for (id, spec, period) in registry {
+                    backup.sync_registration(*id, spec.clone(), *period, now);
+                }
             }
             let join = backup.begin_join(now);
             send_wire(link, &join);
@@ -730,9 +763,19 @@ fn backup_loop(
                             m.on_backup_refresh(object, shared.now());
                         }
                     }
-                    if rejoining && matches!(msg, WireMessage::StateTransfer { .. }) {
+                    if rejoining
+                        && matches!(
+                            msg,
+                            WireMessage::StateTransfer { .. }
+                                | WireMessage::LogSuffix { .. }
+                                | WireMessage::ResyncDiff { .. }
+                        )
+                    {
                         rejoining = false;
                         shared.rejoins.fetch_add(1, Ordering::SeqCst);
+                        if matches!(msg, WireMessage::LogSuffix { .. }) {
+                            shared.suffix_rejoins.fetch_add(1, Ordering::SeqCst);
+                        }
                         emit(EventKind::RoleTransition {
                             node,
                             from: Role::Joining,
@@ -885,7 +928,38 @@ mod tests {
             report.backup_rejoins, 1,
             "recovered backup must re-integrate via state transfer"
         );
+        assert_eq!(
+            report.suffix_rejoins, 0,
+            "a cold restart has no position and cannot use the log"
+        );
         assert!(report.updates_applied > 0);
+    }
+
+    #[test]
+    fn durable_restart_catches_up_from_the_log() {
+        let mut config = RtConfig::default();
+        config.objects.push(spec(20));
+        config.crash_backup_after = Some(Duration::from_millis(300));
+        config.recover_backup_after = Some(Duration::from_millis(700));
+        config.durable_restart = true;
+        config.bus = EventBus::with_capacity(16_384);
+        let bus = config.bus.clone();
+        let report = RtCluster::run(config, Duration::from_millis(2000)).unwrap();
+        assert!(!report.failed_over, "primary stays up");
+        assert_eq!(report.backup_rejoins, 1, "restarted backup re-integrates");
+        assert_eq!(
+            report.suffix_rejoins, 1,
+            "a durable restart within retention must catch up via log suffix"
+        );
+        let events = bus.collect();
+        let plan = events
+            .iter()
+            .find_map(|e| match &e.kind {
+                EventKind::CatchUpPlan { path, .. } => Some(path.clone()),
+                _ => None,
+            })
+            .expect("the rejoin must emit a catch_up_plan event");
+        assert_eq!(plan, "log_suffix");
     }
 
     #[test]

@@ -40,6 +40,7 @@ mod constraint;
 mod epoch;
 mod error;
 mod ids;
+mod logpos;
 mod object;
 mod time;
 
@@ -47,5 +48,6 @@ pub use constraint::{InterObjectConstraint, QosNegotiation};
 pub use epoch::{Epoch, Lease};
 pub use error::{AdmissionError, SpecError};
 pub use ids::{NodeId, ObjectId, TaskId};
+pub use logpos::LogPosition;
 pub use object::{ObjectSpec, ObjectSpecBuilder, ObjectValue, Version, MAX_OBJECT_SIZE};
 pub use time::{Time, TimeDelta};

@@ -1,0 +1,111 @@
+//! Positions in the primary's append-only update log.
+//!
+//! A [`LogPosition`] names the last update-log record a backup has applied:
+//! the fencing [`Epoch`] the log was minted under and the record's sequence
+//! number within that log. Sequence numbers only totally order appends
+//! *within* one epoch (one primary mints them), so positions order
+//! lexicographically by `(epoch, seq)` — mirroring the `(write_epoch,
+//! version)` freshness rule the object store uses.
+//!
+//! A re-joining backup ships its position in its join/resync request; a
+//! primary whose log still covers the gap replies with just the suffix
+//! instead of the whole store.
+//!
+//! # Examples
+//!
+//! ```
+//! use rtpb_types::{Epoch, LogPosition};
+//!
+//! let a = LogPosition::new(Epoch::INITIAL, 41);
+//! let b = LogPosition::new(Epoch::INITIAL, 42);
+//! let c = LogPosition::new(Epoch::INITIAL.next(), 1);
+//! assert!(a < b); // later record, same regime
+//! assert!(b < c); // any successor-epoch record beats any predecessor's
+//! ```
+
+use core::fmt;
+
+use crate::epoch::Epoch;
+
+/// The last update-log record a replica has applied: `(epoch, seq)`.
+///
+/// Ordering is lexicographic — derived field order is `epoch` then `seq` —
+/// so a record minted by a successor regime always compares greater than
+/// any record of a deposed one, no matter the raw sequence numbers.
+///
+/// # Examples
+///
+/// ```
+/// use rtpb_types::{Epoch, LogPosition};
+///
+/// let p = LogPosition::new(Epoch::new(2), 17);
+/// assert_eq!(p.epoch(), Epoch::new(2));
+/// assert_eq!(p.seq(), 17);
+/// assert_eq!(p.to_string(), "log@2:17");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LogPosition {
+    epoch: Epoch,
+    seq: u64,
+}
+
+impl LogPosition {
+    /// Creates a position from an epoch and a sequence number.
+    #[must_use]
+    pub const fn new(epoch: Epoch, seq: u64) -> Self {
+        Self { epoch, seq }
+    }
+
+    /// The fencing epoch whose log the sequence number indexes.
+    #[must_use]
+    pub const fn epoch(self) -> Epoch {
+        self.epoch
+    }
+
+    /// The sequence number of the last applied record (1-based; 0 means
+    /// "no record of this epoch applied yet").
+    #[must_use]
+    pub const fn seq(self) -> u64 {
+        self.seq
+    }
+}
+
+impl fmt::Display for LogPosition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "log@{}:{}", self.epoch.value(), self.seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positions_order_lexicographically() {
+        let e0 = Epoch::INITIAL;
+        let e1 = e0.next();
+        assert!(LogPosition::new(e0, 5) < LogPosition::new(e0, 6));
+        // A successor's first record beats a deposed regime's highest.
+        assert!(LogPosition::new(e0, u64::MAX) < LogPosition::new(e1, 0));
+        assert_eq!(LogPosition::new(e0, 5), LogPosition::new(e0, 5));
+    }
+
+    #[test]
+    fn accessors_and_display() {
+        let p = LogPosition::new(Epoch::new(3), 99);
+        assert_eq!(p.epoch().value(), 3);
+        assert_eq!(p.seq(), 99);
+        assert_eq!(p.to_string(), "log@3:99");
+    }
+
+    #[test]
+    fn max_advances_monotonically() {
+        let mut pos = LogPosition::new(Epoch::INITIAL, 10);
+        // Out-of-order older evidence never pulls the position back.
+        pos = pos.max(LogPosition::new(Epoch::INITIAL, 4));
+        assert_eq!(pos.seq(), 10);
+        pos = pos.max(LogPosition::new(Epoch::INITIAL.next(), 1));
+        assert_eq!(pos.epoch(), Epoch::INITIAL.next());
+        assert_eq!(pos.seq(), 1);
+    }
+}

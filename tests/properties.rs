@@ -128,6 +128,7 @@ fn wire_codec_round_trips() {
             object: ObjectId::new(g.u64_in(0, 1000) as u32),
             version: Version::new(g.any_u64()),
             timestamp: Time::from_nanos(g.any_u64() / 2),
+            seq: g.any_u64(),
             payload: g.bytes(512),
         };
         let decoded = WireMessage::decode(&msg.encode()).expect("round trip");
@@ -149,6 +150,7 @@ fn batch_codec_round_trips_and_rejects_truncation() {
                     object: ObjectId::new(g.u64_in(0, 64) as u32),
                     version: Version::new(g.any_u64()),
                     timestamp: Time::from_nanos(g.any_u64() / 2),
+                    seq: g.any_u64(),
                     payload: g.bytes(64),
                 },
                 1 => WireMessage::Ping {
