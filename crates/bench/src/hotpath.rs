@@ -1,0 +1,665 @@
+//! The hot-path microbench: per-operation cost of the encode / decode /
+//! apply loop the wire rewrite optimises.
+//!
+//! Eight scenarios, paired so every zero-copy path is measured against a
+//! reference implementation of the pre-change algorithm on identical
+//! inputs (asserted byte-identical before timing):
+//!
+//! | scenario                | measures                                    |
+//! |-------------------------|---------------------------------------------|
+//! | `encode_update_pooled`  | `encode_into` a [`BufPool`] lease           |
+//! | `encode_update_legacy`  | fresh-`Vec` encode per frame (old `encode`) |
+//! | `encode_batch_pooled`   | batch sub-frames appended in place          |
+//! | `encode_batch_legacy`   | old encode-then-copy batch assembly         |
+//! | `decode_view`           | borrowing [`WireFrame`] parse               |
+//! | `decode_owned`          | owned [`WireMessage::decode`]               |
+//! | `primary_apply`         | `Primary::apply_client_write`               |
+//! | `backup_apply`          | parse + `Backup::handle_frame`              |
+//!
+//! Each scenario reports ns/op and (when the caller supplies an
+//! allocation counter — the `hotpath` binary installs a counting global
+//! allocator) allocations/op, both taken as the minimum across repeats
+//! so scheduler noise cannot manufacture a regression. The binary writes
+//! `BENCH_hotpath.json` under the `rtpb.hotpath.v1` schema;
+//! [`validate_report_json`] is the schema gate and [`compare_reports`]
+//! the CI regression gate against the checked-in baseline.
+//!
+//! [`BufPool`]: rtpb_types::BufPool
+//! [`WireFrame`]: rtpb_core::wire::WireFrame
+
+use rtpb_core::backup::Backup;
+use rtpb_core::config::ProtocolConfig;
+use rtpb_core::primary::Primary;
+use rtpb_core::wire::{WireFrame, WireMessage};
+use rtpb_obs::json::{parse_flat, JsonObject, JsonValue};
+use rtpb_types::{BufPool, Epoch, NodeId, ObjectId, ObjectSpec, Time, TimeDelta, Version};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Reads the process-wide allocation count; the `hotpath` binary wires
+/// this to a counting `#[global_allocator]`. `None` disables alloc
+/// metering (allocations/op report as zero and `allocs_counted` is
+/// `false` in the JSON header).
+pub type AllocCounter = fn() -> u64;
+
+/// Every scenario the suite runs, in report order.
+pub const SCENARIOS: [&str; 8] = [
+    "encode_update_pooled",
+    "encode_update_legacy",
+    "encode_batch_pooled",
+    "encode_batch_legacy",
+    "decode_view",
+    "decode_owned",
+    "primary_apply",
+    "backup_apply",
+];
+
+/// Parameters of one suite run.
+#[derive(Debug, Clone)]
+pub struct HotpathConfig {
+    /// Timed operations per repeat.
+    pub iters: u64,
+    /// Update payload size in bytes.
+    pub payload_bytes: usize,
+    /// Sub-messages per batch frame in the batch scenarios.
+    pub batch_size: usize,
+    /// Repeats per scenario; the minimum ns/op and allocs/op win.
+    pub repeats: u32,
+}
+
+impl Default for HotpathConfig {
+    fn default() -> Self {
+        HotpathConfig {
+            iters: 100_000,
+            payload_bytes: 64,
+            batch_size: 8,
+            repeats: 5,
+        }
+    }
+}
+
+impl HotpathConfig {
+    /// Quick variant for CI smoke runs: shorter repeats, but no fewer
+    /// of them — the regression gate takes the minimum across repeats,
+    /// and dropping repeats is what makes a noisy runner flag phantom
+    /// regressions.
+    #[must_use]
+    pub fn quick() -> Self {
+        HotpathConfig {
+            iters: 50_000,
+            ..HotpathConfig::default()
+        }
+    }
+}
+
+/// One scenario's measured cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioOutcome {
+    /// Scenario name (one of [`SCENARIOS`]).
+    pub name: &'static str,
+    /// Best-of-repeats nanoseconds per operation.
+    pub ns_per_op: f64,
+    /// Best-of-repeats allocations per operation (zero when no counter
+    /// was supplied).
+    pub allocs_per_op: f64,
+}
+
+/// The whole suite's results.
+#[derive(Debug, Clone)]
+pub struct HotpathReport {
+    /// The configuration the suite ran with.
+    pub config: HotpathConfig,
+    /// Whether an [`AllocCounter`] was metering allocations.
+    pub allocs_counted: bool,
+    /// One outcome per entry in [`SCENARIOS`], in order.
+    pub scenarios: Vec<ScenarioOutcome>,
+}
+
+/// Best-of-repeats measurement harness. `setup` builds fresh scenario
+/// state per repeat (outside the timed region); one warm-up operation
+/// primes pools and buffer capacities before the clock starts.
+fn bench<S>(
+    name: &'static str,
+    config: &HotpathConfig,
+    counter: Option<AllocCounter>,
+    mut setup: impl FnMut() -> S,
+    mut op: impl FnMut(&mut S),
+) -> ScenarioOutcome {
+    let mut best_ns = f64::INFINITY;
+    let mut best_allocs = f64::INFINITY;
+    for _ in 0..config.repeats.max(1) {
+        let mut state = setup();
+        op(&mut state);
+        let before = counter.map(|c| c());
+        let start = Instant::now();
+        for _ in 0..config.iters {
+            op(&mut state);
+        }
+        let elapsed = start.elapsed().as_nanos() as f64;
+        best_ns = best_ns.min(elapsed / config.iters as f64);
+        if let (Some(c), Some(before)) = (counter, before) {
+            best_allocs = best_allocs.min((c() - before) as f64 / config.iters as f64);
+        }
+    }
+    ScenarioOutcome {
+        name,
+        ns_per_op: best_ns,
+        allocs_per_op: if counter.is_some() { best_allocs } else { 0.0 },
+    }
+}
+
+fn bench_spec(payload_bytes: usize) -> ObjectSpec {
+    ObjectSpec::builder("hot-obj")
+        .update_period(TimeDelta::from_millis(50))
+        .primary_bound(TimeDelta::from_millis(150))
+        .backup_bound(TimeDelta::from_millis(400))
+        .size_bytes(payload_bytes.max(1))
+        .build()
+        .expect("valid bench spec")
+}
+
+fn sample_update(config: &HotpathConfig, version: u64, seq: u64) -> WireMessage {
+    WireMessage::Update {
+        epoch: Epoch::new(3),
+        object: ObjectId::new(0),
+        version: Version::new(version),
+        timestamp: Time::from_millis(version),
+        seq,
+        payload: vec![0xA5; config.payload_bytes],
+    }
+}
+
+fn sample_batch(config: &HotpathConfig) -> WireMessage {
+    WireMessage::Batch {
+        epoch: Epoch::new(3),
+        messages: (0..config.batch_size as u64)
+            .map(|i| sample_update(config, i + 1, i + 1))
+            .collect(),
+    }
+}
+
+/// Reference implementation of the pre-change encoder: a fresh unsized
+/// `Vec` per frame, and batches assembled encode-then-copy (each
+/// sub-message encoded into its own temporary, then copied behind a
+/// length prefix). Byte-identical to [`WireMessage::encode`] — the suite
+/// asserts this before timing — but with the old allocation profile.
+fn legacy_encode(msg: &WireMessage) -> Vec<u8> {
+    let mut buf = Vec::new();
+    if let WireMessage::Batch { messages, .. } = msg {
+        // Batch header: tag + epoch + count (the first 13 bytes).
+        let mut header = Vec::new();
+        msg.encode_into(&mut header);
+        buf.extend_from_slice(&header[..13]);
+        for m in messages {
+            let inner = legacy_encode(m);
+            buf.extend_from_slice(&(inner.len() as u32).to_be_bytes());
+            buf.extend_from_slice(&inner);
+        }
+    } else {
+        msg.encode_into(&mut buf);
+    }
+    buf
+}
+
+/// The legacy batch reference above re-encodes the header through the
+/// new encoder, which would hide the old header cost; the timed closure
+/// uses this precomputed-header variant instead, replicating exactly the
+/// old per-iteration allocations: one growing outer vector plus one
+/// temporary per sub-message.
+fn legacy_encode_batch_with(header: &[u8], messages: &[WireMessage]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(header);
+    for m in messages {
+        let mut inner = Vec::new();
+        m.encode_into(&mut inner);
+        buf.extend_from_slice(&(inner.len() as u32).to_be_bytes());
+        buf.extend_from_slice(&inner);
+    }
+    buf
+}
+
+/// Runs the whole suite. Pass the binary's allocation counter to meter
+/// allocations/op; pass `None` (e.g. from unit tests, where no counting
+/// allocator is installed) to record timing only.
+#[must_use]
+pub fn run_suite(config: &HotpathConfig, counter: Option<AllocCounter>) -> HotpathReport {
+    let update = sample_update(config, 1, 1);
+    let batch = sample_batch(config);
+    let update_bytes = update.encode();
+    let batch_bytes = batch.encode();
+    assert_eq!(
+        legacy_encode(&update),
+        update_bytes,
+        "legacy reference encoder must stay bit-compatible"
+    );
+    assert_eq!(
+        legacy_encode(&batch),
+        batch_bytes,
+        "legacy reference encoder must stay bit-compatible"
+    );
+    let batch_header = batch_bytes[..13].to_vec();
+    let WireMessage::Batch { messages, .. } = batch.clone() else {
+        unreachable!("sample_batch builds a batch");
+    };
+    assert_eq!(
+        legacy_encode_batch_with(&batch_header, &messages),
+        batch_bytes,
+        "legacy batch assembly must stay bit-compatible"
+    );
+
+    let mut scenarios = Vec::new();
+    scenarios.push(bench(
+        "encode_update_pooled",
+        config,
+        counter,
+        || (BufPool::new(), update.clone()),
+        |(pool, msg)| {
+            let mut buf = pool.lease();
+            msg.encode_into(&mut buf);
+            black_box(buf.as_slice().len());
+        },
+    ));
+    scenarios.push(bench(
+        "encode_update_legacy",
+        config,
+        counter,
+        || update.clone(),
+        |msg| {
+            let mut buf = Vec::new();
+            msg.encode_into(&mut buf);
+            black_box(buf.len());
+        },
+    ));
+    scenarios.push(bench(
+        "encode_batch_pooled",
+        config,
+        counter,
+        || (BufPool::new(), batch.clone()),
+        |(pool, msg)| {
+            let mut buf = pool.lease();
+            msg.encode_into(&mut buf);
+            black_box(buf.as_slice().len());
+        },
+    ));
+    scenarios.push(bench(
+        "encode_batch_legacy",
+        config,
+        counter,
+        || (batch_header.clone(), messages.clone()),
+        |(header, messages)| {
+            let buf = legacy_encode_batch_with(header, messages);
+            black_box(buf.len());
+        },
+    ));
+    scenarios.push(bench(
+        "decode_view",
+        config,
+        counter,
+        || batch_bytes.clone(),
+        |bytes| {
+            let frame = WireFrame::parse(bytes).expect("valid frame");
+            black_box(frame.update_count());
+        },
+    ));
+    scenarios.push(bench(
+        "decode_owned",
+        config,
+        counter,
+        || batch_bytes.clone(),
+        |bytes| {
+            let msg = WireMessage::decode(bytes).expect("valid frame");
+            black_box(msg.update_count());
+        },
+    ));
+    scenarios.push(bench(
+        "primary_apply",
+        config,
+        counter,
+        || {
+            let mut primary = Primary::new(NodeId::new(0), ProtocolConfig::default());
+            let id = primary
+                .register(bench_spec(config.payload_bytes), Time::ZERO)
+                .expect("admitted");
+            let payload = vec![0xA5u8; config.payload_bytes];
+            (primary, id, payload)
+        },
+        |(primary, id, payload)| {
+            let v = primary.apply_client_write(*id, payload.clone(), Time::from_millis(1));
+            black_box(v.expect("write accepted"));
+        },
+    ));
+    scenarios.push({
+        // Pre-encode one strictly-fresher update frame per operation so
+        // every apply takes the install path, not the duplicate path.
+        let frames: Vec<Vec<u8>> = (0..=config.iters + 1)
+            .map(|i| sample_update(config, i + 1, i + 1).encode())
+            .collect();
+        bench(
+            "backup_apply",
+            config,
+            counter,
+            || {
+                let mut backup = Backup::new(NodeId::new(1), ProtocolConfig::default());
+                backup.sync_registration(
+                    ObjectId::new(0),
+                    bench_spec(config.payload_bytes),
+                    TimeDelta::from_millis(50),
+                    Time::ZERO,
+                );
+                (backup, 0usize)
+            },
+            |(backup, next)| {
+                let frame = WireFrame::parse(&frames[*next]).expect("valid frame");
+                let out = backup.handle_frame(&frame, Time::from_millis(1));
+                black_box(out.applied.len());
+                *next += 1;
+            },
+        )
+    });
+
+    HotpathReport {
+        config: config.clone(),
+        allocs_counted: counter.is_some(),
+        scenarios,
+    }
+}
+
+fn round2(v: f64) -> f64 {
+    (v * 100.0).round() / 100.0
+}
+
+impl HotpathReport {
+    /// The outcome of one named scenario, if present.
+    #[must_use]
+    pub fn scenario(&self, name: &str) -> Option<&ScenarioOutcome> {
+        self.scenarios.iter().find(|s| s.name == name)
+    }
+
+    /// Renders the report as the `BENCH_hotpath.json` document. Top
+    /// level is a nested JSON object; the per-scenario leaves are flat
+    /// objects in the trace-JSON dialect so the validator checks them
+    /// with the same parser the event schema uses.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": \"rtpb.hotpath.v1\",");
+        let _ = writeln!(out, "  \"iters\": {},", self.config.iters);
+        let _ = writeln!(out, "  \"payload_bytes\": {},", self.config.payload_bytes);
+        let _ = writeln!(out, "  \"batch_size\": {},", self.config.batch_size);
+        let _ = writeln!(out, "  \"repeats\": {},", self.config.repeats);
+        let _ = writeln!(out, "  \"allocs_counted\": {},", self.allocs_counted);
+        out.push_str("  \"scenarios\": [\n");
+        for (i, s) in self.scenarios.iter().enumerate() {
+            let mut o = JsonObject::new();
+            o.str_field("name", s.name)
+                .float_field("ns_per_op", round2(s.ns_per_op))
+                .float_field("allocs_per_op", round2(s.allocs_per_op));
+            let _ = write!(out, "    {}", o.finish());
+            out.push_str(if i + 1 == self.scenarios.len() {
+                "\n"
+            } else {
+                ",\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Renders a human-readable summary table.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "hot-path microbench ({} iters/repeat)",
+            self.config.iters
+        );
+        let _ = writeln!(
+            out,
+            "{:<22} {:>12} {:>14}",
+            "scenario", "ns/op", "allocs/op"
+        );
+        for s in &self.scenarios {
+            let _ = writeln!(
+                out,
+                "{:<22} {:>12.1} {:>14.2}",
+                s.name, s.ns_per_op, s.allocs_per_op
+            );
+        }
+        out
+    }
+}
+
+/// Extracts every scenario leaf from a report document as
+/// `(name, ns_per_op, allocs_per_op)` triples.
+fn parse_scenarios(text: &str) -> Result<Vec<(String, f64, f64)>, String> {
+    let mut out = Vec::new();
+    let mut at = 0;
+    while let Some(p) = text[at..].find("{\"name\":") {
+        let start = at + p;
+        let end = text[start..]
+            .find('}')
+            .map(|q| start + q + 1)
+            .ok_or("unterminated scenario object")?;
+        let flat =
+            parse_flat(&text[start..end]).map_err(|e| format!("bad scenario object: {e}"))?;
+        let name = flat
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or("scenario missing \"name\"")?
+            .to_string();
+        let num = |field: &str| -> Result<f64, String> {
+            match flat.get(field) {
+                Some(JsonValue::Float(v)) => Ok(*v),
+                Some(JsonValue::UInt(v)) => Ok(*v as f64),
+                Some(_) => Err(format!("\"{name}\".\"{field}\" has the wrong type")),
+                None => Err(format!("\"{name}\" missing field \"{field}\"")),
+            }
+        };
+        out.push((name.clone(), num("ns_per_op")?, num("allocs_per_op")?));
+        at = end;
+    }
+    Ok(out)
+}
+
+/// Validates a `BENCH_hotpath.json` document against the v1 schema: the
+/// header fields, and every scenario in [`SCENARIOS`] present exactly
+/// once with numeric `ns_per_op` and `allocs_per_op`.
+///
+/// # Errors
+///
+/// Returns a description of the first problem found.
+pub fn validate_report_json(text: &str) -> Result<(), String> {
+    if !text.contains("\"schema\": \"rtpb.hotpath.v1\"") {
+        return Err("missing or unknown \"schema\" header".into());
+    }
+    for key in ["iters", "payload_bytes", "batch_size", "repeats"] {
+        if !text.contains(&format!("\"{key}\": ")) {
+            return Err(format!("missing header field \"{key}\""));
+        }
+    }
+    if !text.contains("\"allocs_counted\": ") {
+        return Err("missing header field \"allocs_counted\"".into());
+    }
+    let scenarios = parse_scenarios(text)?;
+    for required in SCENARIOS {
+        match scenarios.iter().filter(|(n, _, _)| n == required).count() {
+            1 => {}
+            0 => return Err(format!("missing scenario \"{required}\"")),
+            _ => return Err(format!("duplicate scenario \"{required}\"")),
+        }
+    }
+    Ok(())
+}
+
+/// Compares a fresh report against a baseline: a metric regresses when
+/// it exceeds the baseline by more than `threshold_pct` percent AND by
+/// an absolute floor (0.5 ns or 0.5 allocs), so near-zero baselines
+/// don't flag on measurement noise. Scenarios present in only one of
+/// the two documents are ignored — adding a scenario must not fail the
+/// gate retroactively — and so are the `*_legacy` reference scenarios:
+/// they model the *pre-change* codec for comparison, so their cost is
+/// not a floor the product has to defend (and, being malloc-bound,
+/// they are the noisiest numbers in the report).
+///
+/// Returns the list of regressions, one description per failing metric
+/// (empty means the gate passes).
+///
+/// # Errors
+///
+/// Returns a description of the first parse problem in either document.
+pub fn compare_reports(
+    fresh: &str,
+    baseline: &str,
+    threshold_pct: f64,
+) -> Result<Vec<String>, String> {
+    let fresh = parse_scenarios(fresh)?;
+    let baseline = parse_scenarios(baseline)?;
+    let factor = 1.0 + threshold_pct / 100.0;
+    let mut regressions = Vec::new();
+    for (name, base_ns, base_allocs) in &baseline {
+        if name.ends_with("_legacy") {
+            continue;
+        }
+        let Some((_, new_ns, new_allocs)) = fresh.iter().find(|(n, _, _)| n == name) else {
+            continue;
+        };
+        if *new_ns > base_ns * factor && *new_ns > base_ns + 0.5 {
+            regressions.push(format!(
+                "{name}: ns_per_op {new_ns:.1} exceeds baseline {base_ns:.1} by more than {threshold_pct}%"
+            ));
+        }
+        if *new_allocs > base_allocs * factor && *new_allocs > base_allocs + 0.5 {
+            regressions.push(format!(
+                "{name}: allocs_per_op {new_allocs:.2} exceeds baseline {base_allocs:.2} by more than {threshold_pct}%"
+            ));
+        }
+    }
+    Ok(regressions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> HotpathConfig {
+        HotpathConfig {
+            iters: 50,
+            payload_bytes: 16,
+            batch_size: 3,
+            repeats: 1,
+        }
+    }
+
+    #[test]
+    fn suite_runs_and_reports_every_scenario() {
+        let report = run_suite(&tiny(), None);
+        assert_eq!(report.scenarios.len(), SCENARIOS.len());
+        for (s, name) in report.scenarios.iter().zip(SCENARIOS) {
+            assert_eq!(s.name, name);
+            assert!(s.ns_per_op.is_finite() && s.ns_per_op >= 0.0, "{name}");
+        }
+        assert!(!report.allocs_counted);
+    }
+
+    #[test]
+    fn json_passes_its_own_schema_gate() {
+        let text = run_suite(&tiny(), None).to_json();
+        validate_report_json(&text).expect("schema-valid");
+    }
+
+    #[test]
+    fn validator_rejects_broken_documents() {
+        assert!(validate_report_json("{}").is_err());
+        let text = run_suite(&tiny(), None).to_json();
+        assert!(validate_report_json(&text.replace("rtpb.hotpath.v1", "v0")).is_err());
+        assert!(validate_report_json(&text.replace("decode_view", "decode_misc")).is_err());
+        assert!(validate_report_json(&text.replace("\"iters\": ", "\"its\": ")).is_err());
+    }
+
+    fn synthetic(tweak: impl Fn(&mut ScenarioOutcome)) -> String {
+        let mut report = HotpathReport {
+            config: tiny(),
+            allocs_counted: true,
+            scenarios: SCENARIOS
+                .iter()
+                .enumerate()
+                .map(|(i, &name)| {
+                    let mut s = ScenarioOutcome {
+                        name,
+                        ns_per_op: 100.0 + i as f64,
+                        allocs_per_op: i as f64,
+                    };
+                    tweak(&mut s);
+                    s
+                })
+                .collect(),
+        };
+        report.config.repeats = 1;
+        report.to_json()
+    }
+
+    #[test]
+    fn compare_flags_only_real_regressions() {
+        let base = synthetic(|_| {});
+        // Identical reports never regress.
+        assert_eq!(
+            compare_reports(&base, &base, 25.0).unwrap(),
+            Vec::<String>::new()
+        );
+        // A 10% drift under the 25% threshold is tolerated.
+        let drift = synthetic(|s| s.ns_per_op *= 1.1);
+        assert_eq!(
+            compare_reports(&drift, &base, 25.0).unwrap(),
+            Vec::<String>::new()
+        );
+        // A 2x ns_per_op blowup on one scenario is flagged, alone.
+        let blowup = synthetic(|s| {
+            if s.name == "decode_owned" {
+                s.ns_per_op *= 2.0;
+            }
+        });
+        let regressions = compare_reports(&blowup, &base, 25.0).unwrap();
+        assert_eq!(regressions.len(), 1, "{regressions:?}");
+        assert!(regressions[0].starts_with("decode_owned: ns_per_op"));
+        // Sub-floor noise above a near-zero alloc baseline is not a
+        // regression (0 -> 0.3 allocs/op is 30% of nothing)...
+        let noise = synthetic(|s| s.allocs_per_op += 0.3);
+        assert_eq!(
+            compare_reports(&noise, &base, 25.0).unwrap(),
+            Vec::<String>::new()
+        );
+        // ...but a real alloc jump is.
+        let leak = synthetic(|s| {
+            if s.name == "encode_batch_pooled" {
+                s.allocs_per_op += 9.0;
+            }
+        });
+        let regressions = compare_reports(&leak, &base, 25.0).unwrap();
+        assert_eq!(regressions.len(), 1, "{regressions:?}");
+        assert!(regressions[0].starts_with("encode_batch_pooled: allocs_per_op"));
+        // Legacy reference scenarios are comparison baselines, not
+        // product paths — a blowup there never fails the gate.
+        let legacy_blowup = synthetic(|s| {
+            if s.name.ends_with("_legacy") {
+                s.ns_per_op *= 10.0;
+                s.allocs_per_op += 100.0;
+            }
+        });
+        assert_eq!(
+            compare_reports(&legacy_blowup, &base, 25.0).unwrap(),
+            Vec::<String>::new()
+        );
+    }
+
+    #[test]
+    fn legacy_encoders_stay_bit_compatible() {
+        let config = tiny();
+        let batch = sample_batch(&config);
+        assert_eq!(legacy_encode(&batch), batch.encode());
+        let update = sample_update(&config, 7, 7);
+        assert_eq!(legacy_encode(&update), update.encode());
+    }
+}

@@ -10,6 +10,7 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod hotpath;
 pub mod recovery;
 pub mod table;
 pub mod throughput;
@@ -19,6 +20,7 @@ pub use experiments::{
     distance_vs_loss, distance_vs_objects, inconsistency_vs_loss, response_time_vs_objects,
     theory_validation, FigureDefaults,
 };
+pub use hotpath::{HotpathConfig, HotpathReport};
 pub use recovery::{RecoveryConfig, RecoveryReport};
 pub use table::Table;
 pub use throughput::{run_suite, validate_report_json, ThroughputConfig, ThroughputReport};

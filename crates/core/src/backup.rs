@@ -10,10 +10,8 @@ use crate::heartbeat::{DetectorAction, FailureDetector};
 use crate::primary::Primary;
 use crate::store::ObjectStore;
 use crate::update_sched::UpdateSchedule;
-use crate::wire::{StateEntry, WireMessage};
-use rtpb_types::{
-    Epoch, LogPosition, NodeId, ObjectId, ObjectSpec, ObjectValue, Time, TimeDelta, Version,
-};
+use crate::wire::{StateEntryRef, WireFrame, WireMessage};
+use rtpb_types::{Epoch, LogPosition, NodeId, ObjectId, ObjectSpec, Time, TimeDelta, Version};
 use std::collections::BTreeMap;
 
 /// What happened when the backup processed an inbound message.
@@ -390,21 +388,58 @@ impl Backup {
     /// higher epoch move this backup's epoch forward.
     pub fn handle_message(&mut self, msg: &WireMessage, now: Time) -> BackupOutput {
         let mut out = BackupOutput::default();
-        let frame_epoch = msg.epoch();
+        self.dispatch_message(msg, now, &mut out);
+        out
+    }
+
+    /// [`Backup::handle_message`], but from a borrowed decode view: the
+    /// hot receive path parses a [`WireFrame`] over the receive buffer
+    /// and payloads flow straight from that buffer into the store's
+    /// existing slots — no owned [`WireMessage`] (and no per-update
+    /// allocation) on the steady-state update and batch paths.
+    ///
+    /// Semantics are identical to [`Backup::handle_message`] on the
+    /// equivalent owned message; the propcheck suite pins this.
+    pub fn handle_frame(&mut self, frame: &WireFrame<'_>, now: Time) -> BackupOutput {
+        let mut out = BackupOutput::default();
+        self.dispatch_frame(frame, now, &mut out);
+        out
+    }
+
+    /// Fencing, shared by both dispatch paths. Returns whether the frame
+    /// may proceed: a frame below this backup's epoch is rejected — it
+    /// never touches the store, never feeds the watchdogs, and never
+    /// counts as primary liveness — though a stale *ping* still earns a
+    /// [`WireMessage::PingAck`] carrying the current epoch (how a deposed
+    /// primary learns it was superseded). A higher epoch moves this
+    /// backup's epoch forward.
+    fn fence(&mut self, frame_epoch: Epoch, ping_seq: Option<u64>, out: &mut BackupOutput) -> bool {
         if frame_epoch < self.epoch {
             self.stale_frames_rejected += 1;
             out.stale_rejected.push(frame_epoch);
-            if let WireMessage::Ping { seq, .. } = msg {
+            if let Some(seq) = ping_seq {
                 out.replies.push(WireMessage::PingAck {
                     epoch: self.epoch,
                     from: self.node,
-                    seq: *seq,
+                    seq,
                 });
             }
-            return out;
+            return false;
         }
         if frame_epoch > self.epoch {
             self.epoch = frame_epoch;
+        }
+        true
+    }
+
+    fn dispatch_message(&mut self, msg: &WireMessage, now: Time, out: &mut BackupOutput) {
+        let frame_epoch = msg.epoch();
+        let ping_seq = match msg {
+            WireMessage::Ping { seq, .. } => Some(*seq),
+            _ => None,
+        };
+        if !self.fence(frame_epoch, ping_seq, out) {
+            return;
         }
         match msg {
             WireMessage::Update {
@@ -415,40 +450,13 @@ impl Backup {
                 payload,
                 ..
             } => {
-                // Any update is evidence of primary life and freshness;
-                // it also resets the retransmission backoff and
-                // piggybacks the heartbeat (the next explicit ping is
-                // suppressed — §4.4's ping path becomes the idle
-                // fallback).
-                self.detector.note_traffic(now);
-                self.last_update_at.insert(*object, now);
-                self.retransmit_attempts.remove(object);
-                // The update carries its object's latest log coordinate.
-                // Advancing the high-water mark past unseen records of
-                // *other* objects is sound: RTPB re-sends every object's
-                // freshest image each send period, so any skipped record
-                // is superseded within one period (DESIGN.md §11).
-                if *seq > 0 {
-                    self.advance_position(LogPosition::new(frame_epoch, *seq));
-                }
-                let installed = self.store.apply(
-                    *object,
-                    ObjectValue::new(*version, *timestamp, payload.clone()),
-                    frame_epoch,
-                );
-                if installed {
-                    self.updates_applied += 1;
-                    out.applied.push((*object, *version, *timestamp));
-                    if self.config.ack_updates {
-                        out.replies.push(WireMessage::UpdateAck {
-                            epoch: self.epoch,
-                            object: *object,
-                            version: *version,
-                        });
-                    }
-                } else {
-                    self.duplicates_ignored += 1;
-                }
+                let entry = StateEntryRef {
+                    object: *object,
+                    version: *version,
+                    timestamp: *timestamp,
+                    payload,
+                };
+                self.apply_update(entry, *seq, frame_epoch, now, out);
             }
             WireMessage::Ping { seq, .. } => {
                 out.replies.push(WireMessage::PingAck {
@@ -463,30 +471,19 @@ impl Backup {
             WireMessage::StateTransfer { head, entries, .. }
             | WireMessage::ResyncDiff { head, entries, .. }
             | WireMessage::LogSuffix { head, entries, .. } => {
-                // Any of the three catch-up frames is the join cycle's
-                // success signal, and a frame from the primary is
-                // evidence of its life. A log suffix replays missed
-                // records oldest-first; a (possibly partial) transfer or
-                // diff ships whole images — either way the entries run
-                // through the same epoch-aware store ordering, and the
-                // frame's `head` stamps how far along the primary's log
-                // this node now is.
-                self.detector.note_traffic(now);
-                self.join = None;
+                self.begin_catch_up(now);
                 for e in entries {
-                    self.install_entry(e, frame_epoch, now, &mut out);
+                    self.install_entry(e.as_ref(), frame_epoch, now, out);
                 }
                 self.advance_position(LogPosition::new(frame_epoch, *head));
             }
             WireMessage::Batch { messages, .. } => {
                 // One frame, many sub-messages: unpack in send order. The
                 // contained updates each feed the watchdogs and the
-                // piggybacked heartbeat.
+                // piggybacked heartbeat. Each sub-message re-fences with
+                // its own epoch.
                 for m in messages {
-                    let sub = self.handle_message(m, now);
-                    out.replies.extend(sub.replies);
-                    out.applied.extend(sub.applied);
-                    out.stale_rejected.extend(sub.stale_rejected);
+                    self.dispatch_message(m, now, out);
                 }
             }
             WireMessage::RetransmitRequest { .. }
@@ -496,12 +493,123 @@ impl Backup {
                 // Not addressed to a backup; ignore.
             }
         }
-        out
+    }
+
+    fn dispatch_frame(&mut self, frame: &WireFrame<'_>, now: Time, out: &mut BackupOutput) {
+        let frame_epoch = frame.epoch();
+        let ping_seq = match frame {
+            WireFrame::Ping { seq, .. } => Some(*seq),
+            _ => None,
+        };
+        if !self.fence(frame_epoch, ping_seq, out) {
+            return;
+        }
+        match frame {
+            WireFrame::Update {
+                object,
+                version,
+                timestamp,
+                seq,
+                payload,
+                ..
+            } => {
+                let entry = StateEntryRef {
+                    object: *object,
+                    version: *version,
+                    timestamp: *timestamp,
+                    payload,
+                };
+                self.apply_update(entry, *seq, frame_epoch, now, out);
+            }
+            WireFrame::Ping { seq, .. } => {
+                out.replies.push(WireMessage::PingAck {
+                    epoch: self.epoch,
+                    from: self.node,
+                    seq: *seq,
+                });
+            }
+            WireFrame::PingAck { seq, .. } => {
+                self.detector.on_ack(*seq, now);
+            }
+            WireFrame::StateTransfer { head, entries, .. }
+            | WireFrame::ResyncDiff { head, entries, .. }
+            | WireFrame::LogSuffix { head, entries, .. } => {
+                self.begin_catch_up(now);
+                for e in entries.iter() {
+                    self.install_entry(e, frame_epoch, now, out);
+                }
+                self.advance_position(LogPosition::new(frame_epoch, *head));
+            }
+            WireFrame::Batch { frames, .. } => {
+                for sub in frames.iter() {
+                    self.dispatch_frame(&sub, now, out);
+                }
+            }
+            WireFrame::RetransmitRequest { .. }
+            | WireFrame::JoinRequest { .. }
+            | WireFrame::ResyncRequest { .. }
+            | WireFrame::UpdateAck { .. } => {
+                // Not addressed to a backup; ignore.
+            }
+        }
+    }
+
+    /// Any of the three catch-up frames is the join cycle's success
+    /// signal, and a frame from the primary is evidence of its life. A
+    /// log suffix replays missed records oldest-first; a (possibly
+    /// partial) transfer or diff ships whole images — either way the
+    /// entries run through the same epoch-aware store ordering, and the
+    /// frame's `head` stamps how far along the primary's log this node
+    /// now is.
+    fn begin_catch_up(&mut self, now: Time) {
+        self.detector.note_traffic(now);
+        self.join = None;
+    }
+
+    /// Applies one inbound update. Any update is evidence of primary
+    /// life and freshness; it also resets the retransmission backoff and
+    /// piggybacks the heartbeat (the next explicit ping is suppressed —
+    /// §4.4's ping path becomes the idle fallback).
+    fn apply_update(
+        &mut self,
+        u: StateEntryRef<'_>,
+        seq: u64,
+        frame_epoch: Epoch,
+        now: Time,
+        out: &mut BackupOutput,
+    ) {
+        self.detector.note_traffic(now);
+        self.last_update_at.insert(u.object, now);
+        self.retransmit_attempts.remove(&u.object);
+        // The update carries its object's latest log coordinate.
+        // Advancing the high-water mark past unseen records of
+        // *other* objects is sound: RTPB re-sends every object's
+        // freshest image each send period, so any skipped record
+        // is superseded within one period (DESIGN.md §11).
+        if seq > 0 {
+            self.advance_position(LogPosition::new(frame_epoch, seq));
+        }
+        let installed =
+            self.store
+                .apply_from_parts(u.object, u.version, u.timestamp, u.payload, frame_epoch);
+        if installed {
+            self.updates_applied += 1;
+            out.applied.push((u.object, u.version, u.timestamp));
+            if self.config.ack_updates {
+                out.replies.push(WireMessage::UpdateAck {
+                    epoch: self.epoch,
+                    object: u.object,
+                    version: u.version,
+                });
+            }
+        } else {
+            self.duplicates_ignored += 1;
+        }
     }
 
     fn install_entry(
         &mut self,
-        e: &StateEntry,
+        e: StateEntryRef<'_>,
         frame_epoch: Epoch,
         now: Time,
         out: &mut BackupOutput,
@@ -513,11 +621,9 @@ impl Backup {
         // promotion), so a resync diff overwrites divergent values this
         // node wrote under an older, deposed epoch — whatever their bare
         // version counters say.
-        let installed = self.store.apply(
-            e.object,
-            ObjectValue::new(e.version, e.timestamp, e.payload.clone()),
-            frame_epoch,
-        );
+        let installed =
+            self.store
+                .apply_from_parts(e.object, e.version, e.timestamp, e.payload, frame_epoch);
         if installed {
             self.updates_applied += 1;
             out.applied.push((e.object, e.version, e.timestamp));

@@ -21,11 +21,13 @@ use crate::harness::faults::{FaultEvent, FaultPlan};
 use crate::metrics::{ClusterMetrics, FaultRecord, InjectedFault};
 use crate::name_service::NameService;
 use crate::primary::{CatchUpDecision, Primary};
-use crate::wire::WireMessage;
+use crate::wire::{WireFrame, WireMessage};
 use rtpb_net::{FaultKind, FaultWindow, LinkConfig, LossyLink, Message, ProtocolGraph, UdpLike};
 use rtpb_obs::{Counter, EventBus, EventKind, Histogram, MetricsRegistry, Role};
 use rtpb_sim::{Context, Simulation, World};
-use rtpb_types::{AdmissionError, Epoch, NodeId, ObjectId, ObjectSpec, Time, TimeDelta, Version};
+use rtpb_types::{
+    AdmissionError, BufPool, Epoch, NodeId, ObjectId, ObjectSpec, Time, TimeDelta, Version,
+};
 use std::collections::BTreeMap;
 
 /// Per-object `(write_epoch, version)` freshness tags of a replica's
@@ -341,6 +343,10 @@ struct ClusterWorld {
     /// events, but the bus is a bounded ring — this list survives
     /// high-rate runs that evict old events.
     catch_up_plans: Vec<CatchUpDecision>,
+    /// Pooled send buffers: every outbound frame is encoded into a
+    /// leased buffer ([`ClusterWorld::pooled_frame`]) so steady-state
+    /// framing reuses capacity instead of allocating per message.
+    send_pool: BufPool,
 }
 
 impl ClusterWorld {
@@ -395,6 +401,16 @@ impl ClusterWorld {
         }
     }
 
+    /// Encodes `msg` into a pooled send buffer and wraps the bytes for
+    /// the wire. The lease returns its buffer to the pool on drop, so
+    /// steady-state framing reuses one recycled buffer plus the single
+    /// copy into the shared wire payload — no per-frame encode vector.
+    fn pooled_frame(&self, msg: &WireMessage) -> Message {
+        let mut buf = self.send_pool.lease();
+        msg.encode_into(&mut buf);
+        Message::from_payload(buf.as_slice())
+    }
+
     /// Broadcasts a message to every backup the primary currently tracks.
     ///
     /// A [`WireMessage::Batch`] is one wire unit: the link makes a single
@@ -418,7 +434,8 @@ impl ClusterWorld {
         };
         let is_update = !updates.is_empty() || batch_size.is_some();
         let metrics_host = self.metrics_host();
-        let Ok(wire) = self.p2b_tx.send(Message::from_payload(msg.encode())) else {
+        let framed = self.pooled_frame(msg);
+        let Ok(wire) = self.p2b_tx.send(framed) else {
             ctx.trace("p2b send rejected by protocol stack");
             return;
         };
@@ -496,7 +513,8 @@ impl ClusterWorld {
                 | WireMessage::ResyncDiff { .. }
                 | WireMessage::LogSuffix { .. }
         );
-        let Ok(wire) = self.p2b_tx.send(Message::from_payload(msg.encode())) else {
+        let framed = self.pooled_frame(msg);
+        let Ok(wire) = self.p2b_tx.send(framed) else {
             return;
         };
         let exempt = self.config.control_loss_exempt;
@@ -534,7 +552,8 @@ impl ClusterWorld {
         if self.primary_cut(ctx.now()) {
             return;
         }
-        let Ok(wire) = self.b2p_tx.send(Message::from_payload(msg.encode())) else {
+        let framed = self.pooled_frame(msg);
+        let Ok(wire) = self.b2p_tx.send(framed) else {
             ctx.trace("b2p send rejected by protocol stack");
             return;
         };
@@ -579,7 +598,8 @@ impl ClusterWorld {
         if ctx.now() < dep.cut_until {
             return;
         }
-        let Ok(wire) = self.p2b_tx.send(Message::from_payload(msg.encode())) else {
+        let framed = self.pooled_frame(msg);
+        let Ok(wire) = self.p2b_tx.send(framed) else {
             return;
         };
         let Some(h) = self.hosts.get_mut(host) else {
@@ -615,7 +635,8 @@ impl ClusterWorld {
         if ctx.now() < dep.cut_until {
             return;
         }
-        let Ok(wire) = self.b2p_tx.send(Message::from_payload(msg.encode())) else {
+        let framed = self.pooled_frame(msg);
+        let Ok(wire) = self.b2p_tx.send(framed) else {
             return;
         };
         let Some(h) = self.hosts.get_mut(host) else {
@@ -903,7 +924,11 @@ impl ClusterWorld {
                 return;
             }
         };
-        let Ok(msg) = WireMessage::decode(up.payload()) else {
+        // The receive hot path stays on the borrowed decode view: the
+        // frame's payload slices point into the delivered wire bytes and
+        // flow straight into the backup's store — no owned WireMessage
+        // is materialised for updates or batches.
+        let Ok(frame) = WireFrame::parse(up.payload()) else {
             self.corrupt_messages += 1;
             return;
         };
@@ -911,21 +936,18 @@ impl ClusterWorld {
             // Fresh or duplicate, an arrival resets the §5.3 refresh
             // clock — even a duplicate proves currency at snapshot
             // time. A batch refreshes every update it carries.
-            let mut refreshed = Vec::new();
-            collect_updates(&msg, &mut refreshed);
-            for (object, _) in refreshed {
-                self.metrics.on_backup_refresh(object, ctx.now());
-            }
+            let now = ctx.now();
+            frame.for_each_update(|object, _| self.metrics.on_backup_refresh(object, now));
         }
-        let out = backup.handle_message(&msg, ctx.now());
+        let out = backup.handle_frame(&frame, ctx.now());
         let local_epoch = backup.epoch();
         let node = self.hosts[host].node;
         self.note_fenced(ctx, node, local_epoch, &out.stale_rejected);
         if matches!(
-            msg,
-            WireMessage::StateTransfer { .. }
-                | WireMessage::ResyncDiff { .. }
-                | WireMessage::LogSuffix { .. }
+            frame,
+            WireFrame::StateTransfer { .. }
+                | WireFrame::ResyncDiff { .. }
+                | WireFrame::LogSuffix { .. }
         ) {
             // Any catch-up frame (full transfer, anti-entropy diff, or
             // log suffix) completes re-integration: a recovering replica
@@ -1077,7 +1099,7 @@ impl ClusterWorld {
             // transmission (under overload they queue too — there is no
             // free path to the backup); control replies go out directly.
             if matches!(reply, WireMessage::Update { .. }) {
-                let cost = self.config.protocol.send_cost(reply.encode().len());
+                let cost = self.config.protocol.send_cost(reply.encoded_len());
                 if let Some(service) = self.cpu.submit(Work::SendUpdate { message: reply }, cost) {
                     ctx.schedule_in(service, Event::CpuFinished);
                 }
@@ -1590,7 +1612,7 @@ impl World for ClusterWorld {
                 };
                 // The frame costs one base overhead for the whole batch —
                 // the amortization that buys the throughput win.
-                let cost = self.config.protocol.send_cost(message.encode().len());
+                let cost = self.config.protocol.send_cost(message.encoded_len());
                 if let Some(service) = self.cpu.submit(Work::SendUpdate { message }, cost) {
                     ctx.schedule_in(service, Event::CpuFinished);
                 }
@@ -1633,7 +1655,8 @@ impl World for ClusterWorld {
                     }
                     // Route each probe to its peer only.
                     let exempt = self.config.control_loss_exempt;
-                    let Ok(wire) = self.p2b_tx.send(Message::from_payload(ping.encode())) else {
+                    let framed = self.pooled_frame(&ping);
+                    let Ok(wire) = self.p2b_tx.send(framed) else {
                         continue;
                     };
                     if let Some((i, host)) = self
@@ -2018,6 +2041,7 @@ impl SimCluster {
             pending_batch: Vec::new(),
             batch_flush_scheduled: false,
             catch_up_plans: Vec::new(),
+            send_pool: BufPool::new(),
             config,
         };
         let trace_capacity = world.config.trace_capacity;
@@ -2308,6 +2332,17 @@ impl SimCluster {
     #[must_use]
     pub fn corrupt_messages(&self) -> u64 {
         self.sim.world().corrupt_messages
+    }
+
+    /// The send-buffer pool's statistics as
+    /// `(outstanding, leases_issued, reuses)`. Framing is synchronous
+    /// (encode, wrap, drop), so `outstanding` must be zero whenever the
+    /// cluster is between events — the invariant the pool leak test
+    /// pins after a seeded chaos run.
+    #[must_use]
+    pub fn send_pool_stats(&self) -> (u64, u64, u64) {
+        let pool = &self.sim.world().send_pool;
+        (pool.outstanding(), pool.leases_issued(), pool.reuses())
     }
 
     /// The simulation trace (enabled via

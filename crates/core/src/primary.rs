@@ -24,7 +24,7 @@ use crate::update_sched::UpdateSchedule;
 use crate::wire::{StateEntry, WireMessage};
 use rtpb_types::{
     AdmissionError, Epoch, InterObjectConstraint, Lease, LogPosition, NodeId, ObjectId, ObjectSpec,
-    ObjectValue, Time, TimeDelta, Version,
+    Time, TimeDelta, Version,
 };
 use std::collections::BTreeMap;
 
@@ -420,11 +420,14 @@ impl Primary {
             return None;
         }
         let next = self.store.get(id)?.version().next();
-        self.log.append(id, next, now, payload.clone());
+        // Install from the borrowed payload first (reusing the slot's
+        // existing buffer), then move the vec into the log — one write,
+        // one buffer copy, zero extra allocations in steady state.
         let installed = self
             .store
-            .apply(id, ObjectValue::new(next, now, payload), self.epoch);
+            .apply_from_parts(id, next, now, &payload, self.epoch);
         debug_assert!(installed, "next version is always newer");
+        self.log.append(id, next, now, payload);
         self.writes_applied += 1;
         if self.log.snapshot_due() {
             let tags = self
@@ -789,7 +792,7 @@ impl Primary {
             path,
             gap,
             records,
-            bytes: reply.encode().len() as u64,
+            bytes: reply.encoded_len() as u64,
         }
     }
 

@@ -163,6 +163,34 @@ impl ObjectStore {
         }
     }
 
+    /// [`ObjectStore::apply`], but from borrowed parts: the hot receive
+    /// path hands the payload slice straight out of the wire frame, and
+    /// a slot that already holds a value is overwritten in place — its
+    /// payload buffer is reused, so the steady-state apply allocates
+    /// only when an update outgrows the existing capacity.
+    pub fn apply_from_parts(
+        &mut self,
+        id: ObjectId,
+        version: Version,
+        timestamp: Time,
+        payload: &[u8],
+        epoch: Epoch,
+    ) -> bool {
+        match self.entries.get_mut(&id) {
+            Some(entry) if (epoch, version) > (entry.write_epoch, entry.version()) => {
+                match &mut entry.value {
+                    Some(value) => value.overwrite(version, timestamp, payload),
+                    slot => {
+                        *slot = Some(ObjectValue::new(version, timestamp, payload.to_vec()));
+                    }
+                }
+                entry.write_epoch = epoch;
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// Re-tags every valued entry with `epoch`. Called at promotion: the
     /// new primary adopts its whole image as the opening state of its
     /// regime, so every value it serves (and every update it sends) carries
@@ -294,6 +322,38 @@ mod tests {
         // Adoption is monotone: an older epoch cannot downgrade the tag.
         s.adopt_epoch(Epoch::new(1));
         assert_eq!(s.get(written).unwrap().write_epoch(), Epoch::new(2));
+    }
+
+    #[test]
+    fn apply_from_parts_matches_apply() {
+        let mut owned = ObjectStore::new();
+        let mut parts = ObjectStore::new();
+        let id = owned.register(spec("a"), Time::ZERO);
+        parts.register(spec("a"), Time::ZERO);
+        let e0 = Epoch::INITIAL;
+        let cases: Vec<(u64, u64, Vec<u8>)> = vec![
+            (1, 10, vec![1, 2, 3]),
+            (3, 30, vec![9]),
+            (2, 20, vec![7, 7]), // stale: both must reject
+            (3, 30, vec![9]),    // duplicate: both must reject
+            (4, 40, vec![0; 64]),
+        ];
+        for (v, ms, payload) in cases {
+            let a = owned.apply(
+                id,
+                ObjectValue::new(Version::new(v), Time::from_millis(ms), payload.clone()),
+                e0,
+            );
+            let b =
+                parts.apply_from_parts(id, Version::new(v), Time::from_millis(ms), &payload, e0);
+            assert_eq!(a, b, "verdicts diverge at v{v}");
+            assert_eq!(
+                owned.get(id).unwrap().value(),
+                parts.get(id).unwrap().value(),
+                "images diverge at v{v}"
+            );
+        }
+        assert!(!parts.apply_from_parts(ObjectId::new(9), Version::new(1), Time::ZERO, &[], e0));
     }
 
     #[test]

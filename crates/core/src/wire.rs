@@ -225,18 +225,45 @@ const TAG_RESYNC_REQ: u8 = 9;
 const TAG_RESYNC_DIFF: u8 = 10;
 const TAG_LOG_SUFFIX: u8 = 11;
 
-/// Upper bound on any single decoded payload or entry count, to reject
-/// absurd length fields before allocating.
-const SANITY_LIMIT: usize = 1 << 24;
+/// Upper bound on any single decoded payload length or entry count:
+/// a length field above this is rejected before any allocation.
+pub const MAX_DECODE_LEN: usize = 1 << 24;
+
+/// Upper bound on the *sum* of declared payload bytes across one frame
+/// (batch sub-messages and catch-up entries included). Each payload is
+/// individually capped by [`MAX_DECODE_LEN`], but a hostile batch could
+/// otherwise stack many maximal payloads; the aggregate budget bounds
+/// what a single frame can make the decoder hold.
+pub const MAX_FRAME_PAYLOAD_TOTAL: usize = 1 << 26;
 
 impl WireMessage {
-    /// Encodes the message to bytes.
+    /// Encodes the message to a fresh buffer.
+    ///
+    /// Convenience wrapper over [`WireMessage::encode_into`]; the hot
+    /// send path should lease a pooled buffer instead
+    /// (`rtpb_types::BufPool`) so steady-state encoding allocates
+    /// nothing.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.encoded_len());
+        self.encode_into(&mut buf);
+        buf
+    }
+
+    /// Appends this frame's encoding to `buf` — the zero-copy encode
+    /// path. Batch sub-frames are written in place behind a backpatched
+    /// length prefix, so coalescing never encodes into nested
+    /// temporaries.
     ///
     /// Every frame shares the prefix `[tag u8][epoch u64]`, so fencing
     /// checks can run before the body is interpreted.
-    #[must_use]
-    pub fn encode(&self) -> Vec<u8> {
-        let mut buf = Vec::with_capacity(32);
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`WireMessage::Batch`] contains another batch
+    /// (batches cannot nest).
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        buf.reserve(self.encoded_len());
         match self {
             WireMessage::Update {
                 epoch,
@@ -247,24 +274,24 @@ impl WireMessage {
                 payload,
             } => {
                 buf.push(TAG_UPDATE);
-                put_u64(&mut buf, epoch.value());
-                put_u32(&mut buf, object.index());
-                put_u64(&mut buf, version.value());
-                put_u64(&mut buf, timestamp.as_nanos());
-                put_u64(&mut buf, *seq);
-                put_bytes(&mut buf, payload);
+                put_u64(buf, epoch.value());
+                put_u32(buf, object.index());
+                put_u64(buf, version.value());
+                put_u64(buf, timestamp.as_nanos());
+                put_u64(buf, *seq);
+                put_bytes(buf, payload);
             }
             WireMessage::Ping { epoch, from, seq } => {
                 buf.push(TAG_PING);
-                put_u64(&mut buf, epoch.value());
-                put_u32(&mut buf, u32::from(from.index()));
-                put_u64(&mut buf, *seq);
+                put_u64(buf, epoch.value());
+                put_u32(buf, u32::from(from.index()));
+                put_u64(buf, *seq);
             }
             WireMessage::PingAck { epoch, from, seq } => {
                 buf.push(TAG_PING_ACK);
-                put_u64(&mut buf, epoch.value());
-                put_u32(&mut buf, u32::from(from.index()));
-                put_u64(&mut buf, *seq);
+                put_u64(buf, epoch.value());
+                put_u32(buf, u32::from(from.index()));
+                put_u64(buf, *seq);
             }
             WireMessage::RetransmitRequest {
                 epoch,
@@ -272,9 +299,9 @@ impl WireMessage {
                 have_version,
             } => {
                 buf.push(TAG_RETRANSMIT);
-                put_u64(&mut buf, epoch.value());
-                put_u32(&mut buf, object.index());
-                put_u64(&mut buf, have_version.value());
+                put_u64(buf, epoch.value());
+                put_u32(buf, object.index());
+                put_u64(buf, have_version.value());
             }
             WireMessage::JoinRequest {
                 epoch,
@@ -282,9 +309,9 @@ impl WireMessage {
                 position,
             } => {
                 buf.push(TAG_JOIN);
-                put_u64(&mut buf, epoch.value());
-                put_u32(&mut buf, u32::from(from.index()));
-                put_position(&mut buf, *position);
+                put_u64(buf, epoch.value());
+                put_u32(buf, u32::from(from.index()));
+                put_position(buf, *position);
             }
             WireMessage::UpdateAck {
                 epoch,
@@ -292,9 +319,9 @@ impl WireMessage {
                 version,
             } => {
                 buf.push(TAG_UPDATE_ACK);
-                put_u64(&mut buf, epoch.value());
-                put_u32(&mut buf, object.index());
-                put_u64(&mut buf, version.value());
+                put_u64(buf, epoch.value());
+                put_u32(buf, object.index());
+                put_u64(buf, version.value());
             }
             WireMessage::StateTransfer {
                 epoch,
@@ -302,23 +329,30 @@ impl WireMessage {
                 entries,
             } => {
                 buf.push(TAG_STATE);
-                put_u64(&mut buf, epoch.value());
-                put_u64(&mut buf, *head);
-                put_u32(&mut buf, entries.len() as u32);
+                put_u64(buf, epoch.value());
+                put_u64(buf, *head);
+                put_u32(buf, entries.len() as u32);
                 for e in entries {
-                    put_entry(&mut buf, e);
+                    put_entry(buf, e);
                 }
             }
             WireMessage::Batch { epoch, messages } => {
                 buf.push(TAG_BATCH);
-                put_u64(&mut buf, epoch.value());
-                put_u32(&mut buf, messages.len() as u32);
+                put_u64(buf, epoch.value());
+                put_u32(buf, messages.len() as u32);
                 for m in messages {
                     assert!(
                         !matches!(m, WireMessage::Batch { .. }),
                         "batches cannot nest"
                     );
-                    put_bytes(&mut buf, &m.encode());
+                    // Sub-frame in place: reserve the length slot, encode
+                    // directly into the shared buffer, backpatch.
+                    let len_at = buf.len();
+                    put_u32(buf, 0);
+                    let body_at = buf.len();
+                    m.encode_into(buf);
+                    let len = (buf.len() - body_at) as u32;
+                    buf[len_at..len_at + 4].copy_from_slice(&len.to_be_bytes());
                 }
             }
             WireMessage::ResyncRequest {
@@ -328,14 +362,14 @@ impl WireMessage {
                 versions,
             } => {
                 buf.push(TAG_RESYNC_REQ);
-                put_u64(&mut buf, epoch.value());
-                put_u32(&mut buf, u32::from(from.index()));
-                put_position(&mut buf, *position);
-                put_u32(&mut buf, versions.len() as u32);
+                put_u64(buf, epoch.value());
+                put_u32(buf, u32::from(from.index()));
+                put_position(buf, *position);
+                put_u32(buf, versions.len() as u32);
                 for (object, write_epoch, version) in versions {
-                    put_u32(&mut buf, object.index());
-                    put_u64(&mut buf, write_epoch.value());
-                    put_u64(&mut buf, version.value());
+                    put_u32(buf, object.index());
+                    put_u64(buf, write_epoch.value());
+                    put_u64(buf, version.value());
                 }
             }
             WireMessage::ResyncDiff {
@@ -344,11 +378,11 @@ impl WireMessage {
                 entries,
             } => {
                 buf.push(TAG_RESYNC_DIFF);
-                put_u64(&mut buf, epoch.value());
-                put_u64(&mut buf, *head);
-                put_u32(&mut buf, entries.len() as u32);
+                put_u64(buf, epoch.value());
+                put_u64(buf, *head);
+                put_u32(buf, entries.len() as u32);
                 for e in entries {
-                    put_entry(&mut buf, e);
+                    put_entry(buf, e);
                 }
             }
             WireMessage::LogSuffix {
@@ -357,120 +391,67 @@ impl WireMessage {
                 entries,
             } => {
                 buf.push(TAG_LOG_SUFFIX);
-                put_u64(&mut buf, epoch.value());
-                put_u64(&mut buf, *head);
-                put_u32(&mut buf, entries.len() as u32);
+                put_u64(buf, epoch.value());
+                put_u64(buf, *head);
+                put_u32(buf, entries.len() as u32);
                 for e in entries {
-                    put_entry(&mut buf, e);
+                    put_entry(buf, e);
                 }
             }
         }
-        buf
     }
 
-    /// Decodes a message from bytes.
+    /// The exact number of bytes [`WireMessage::encode`] produces,
+    /// computed without encoding — drivers that only need a frame's cost
+    /// (CPU service time, link occupancy) call this instead of
+    /// encoding a throwaway buffer.
+    #[must_use]
+    pub fn encoded_len(&self) -> usize {
+        // tag + epoch prefix on every frame.
+        const PREFIX: usize = 1 + 8;
+        fn position_len(p: &Option<LogPosition>) -> usize {
+            match p {
+                None => 1,
+                Some(_) => 1 + 8 + 8,
+            }
+        }
+        fn entry_len(e: &StateEntry) -> usize {
+            4 + 8 + 8 + 4 + e.payload.len()
+        }
+        match self {
+            WireMessage::Update { payload, .. } => PREFIX + 4 + 8 + 8 + 8 + 4 + payload.len(),
+            WireMessage::Ping { .. }
+            | WireMessage::PingAck { .. }
+            | WireMessage::RetransmitRequest { .. }
+            | WireMessage::UpdateAck { .. } => PREFIX + 4 + 8,
+            WireMessage::JoinRequest { position, .. } => PREFIX + 4 + position_len(position),
+            WireMessage::StateTransfer { entries, .. }
+            | WireMessage::ResyncDiff { entries, .. }
+            | WireMessage::LogSuffix { entries, .. } => {
+                PREFIX + 8 + 4 + entries.iter().map(entry_len).sum::<usize>()
+            }
+            WireMessage::Batch { messages, .. } => {
+                PREFIX + 4 + messages.iter().map(|m| 4 + m.encoded_len()).sum::<usize>()
+            }
+            WireMessage::ResyncRequest {
+                position, versions, ..
+            } => PREFIX + 4 + position_len(position) + 4 + versions.len() * (4 + 8 + 8),
+        }
+    }
+
+    /// Decodes a message from bytes into the owned representation.
+    ///
+    /// This is the state-machine boundary: stores mutate and retain
+    /// payloads, so they take owned buffers. Receive paths that only
+    /// inspect or relay a frame should use [`WireFrame::parse`], which
+    /// borrows payloads from the receive buffer instead of copying.
     ///
     /// # Errors
     ///
     /// Returns [`CodecError`] on truncation, unknown tags, implausible
     /// lengths, or trailing garbage.
     pub fn decode(bytes: &[u8]) -> Result<Self, CodecError> {
-        let mut r = Reader { buf: bytes, pos: 0 };
-        let tag = r.u8()?;
-        let epoch = Epoch::new(r.u64()?);
-        let msg = match tag {
-            TAG_UPDATE => WireMessage::Update {
-                epoch,
-                object: ObjectId::new(r.u32()?),
-                version: Version::new(r.u64()?),
-                timestamp: Time::from_nanos(r.u64()?),
-                seq: r.u64()?,
-                payload: r.bytes()?,
-            },
-            TAG_PING => WireMessage::Ping {
-                epoch,
-                from: NodeId::new(r.u32()? as u16),
-                seq: r.u64()?,
-            },
-            TAG_PING_ACK => WireMessage::PingAck {
-                epoch,
-                from: NodeId::new(r.u32()? as u16),
-                seq: r.u64()?,
-            },
-            TAG_RETRANSMIT => WireMessage::RetransmitRequest {
-                epoch,
-                object: ObjectId::new(r.u32()?),
-                have_version: Version::new(r.u64()?),
-            },
-            TAG_JOIN => WireMessage::JoinRequest {
-                epoch,
-                from: NodeId::new(r.u32()? as u16),
-                position: r.position()?,
-            },
-            TAG_UPDATE_ACK => WireMessage::UpdateAck {
-                epoch,
-                object: ObjectId::new(r.u32()?),
-                version: Version::new(r.u64()?),
-            },
-            TAG_STATE => WireMessage::StateTransfer {
-                epoch,
-                head: r.u64()?,
-                entries: r.entries()?,
-            },
-            TAG_BATCH => {
-                let count = r.u32()? as usize;
-                if count > SANITY_LIMIT {
-                    return Err(CodecError::BadLength(count));
-                }
-                let mut messages = Vec::with_capacity(count.min(1024));
-                for _ in 0..count {
-                    let sub = r.bytes()?;
-                    let msg = WireMessage::decode(&sub)?;
-                    if matches!(msg, WireMessage::Batch { .. }) {
-                        return Err(CodecError::NestedBatch);
-                    }
-                    messages.push(msg);
-                }
-                WireMessage::Batch { epoch, messages }
-            }
-            TAG_RESYNC_REQ => {
-                let from = NodeId::new(r.u32()? as u16);
-                let position = r.position()?;
-                let count = r.u32()? as usize;
-                if count > SANITY_LIMIT {
-                    return Err(CodecError::BadLength(count));
-                }
-                let mut versions = Vec::with_capacity(count.min(1024));
-                for _ in 0..count {
-                    versions.push((
-                        ObjectId::new(r.u32()?),
-                        Epoch::new(r.u64()?),
-                        Version::new(r.u64()?),
-                    ));
-                }
-                WireMessage::ResyncRequest {
-                    epoch,
-                    from,
-                    position,
-                    versions,
-                }
-            }
-            TAG_RESYNC_DIFF => WireMessage::ResyncDiff {
-                epoch,
-                head: r.u64()?,
-                entries: r.entries()?,
-            },
-            TAG_LOG_SUFFIX => WireMessage::LogSuffix {
-                epoch,
-                head: r.u64()?,
-                entries: r.entries()?,
-            },
-            other => return Err(CodecError::UnknownTag(other)),
-        };
-        if r.pos != bytes.len() {
-            return Err(CodecError::TrailingBytes(bytes.len() - r.pos));
-        }
-        Ok(msg)
+        WireFrame::parse(bytes).map(|frame| frame.to_owned())
     }
 
     /// The sender's fencing epoch carried by this frame.
@@ -554,13 +535,696 @@ fn put_position(buf: &mut Vec<u8>, position: Option<LogPosition>) {
     }
 }
 
+/// A decoded frame whose payloads borrow the receive buffer.
+///
+/// [`WireFrame::parse`] fully *validates* a frame (same checks, same
+/// error precedence as [`WireMessage::decode`]) but copies nothing:
+/// every payload is a `&'a [u8]` slice of the input, and repeated fields
+/// (catch-up entries, batch sub-frames, resync version vectors) are
+/// exposed as re-walking iterators over the validated byte region.
+/// Receive paths inspect, meter, and route frames through this view;
+/// only the state-machine boundary — where a store mutates and retains
+/// the payload — materializes owned data (via [`WireFrame::to_owned`]
+/// or a store's copy-from-slice apply).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WireFrame<'a> {
+    /// Borrowing view of [`WireMessage::Update`].
+    Update {
+        /// The sender's fencing epoch.
+        epoch: Epoch,
+        /// The object being refreshed.
+        object: ObjectId,
+        /// Version counter at the primary.
+        version: Version,
+        /// The primary-side timestamp of this version.
+        timestamp: Time,
+        /// Update-log sequence number (see [`WireMessage::Update`]).
+        seq: u64,
+        /// The object payload, borrowed from the receive buffer.
+        payload: &'a [u8],
+    },
+    /// Borrowing view of [`WireMessage::Ping`].
+    Ping {
+        /// The sender's fencing epoch.
+        epoch: Epoch,
+        /// The sender.
+        from: NodeId,
+        /// Probe sequence number.
+        seq: u64,
+    },
+    /// Borrowing view of [`WireMessage::PingAck`].
+    PingAck {
+        /// The responder's fencing epoch.
+        epoch: Epoch,
+        /// The responder.
+        from: NodeId,
+        /// The probe sequence number being acknowledged.
+        seq: u64,
+    },
+    /// Borrowing view of [`WireMessage::RetransmitRequest`].
+    RetransmitRequest {
+        /// The sender's fencing epoch.
+        epoch: Epoch,
+        /// The stale object.
+        object: ObjectId,
+        /// The newest version the backup holds.
+        have_version: Version,
+    },
+    /// Borrowing view of [`WireMessage::JoinRequest`].
+    JoinRequest {
+        /// The highest epoch the joiner has observed.
+        epoch: Epoch,
+        /// The joining node.
+        from: NodeId,
+        /// The joiner's last applied log position, if any.
+        position: Option<LogPosition>,
+    },
+    /// Borrowing view of [`WireMessage::UpdateAck`].
+    UpdateAck {
+        /// The sender's fencing epoch.
+        epoch: Epoch,
+        /// The acknowledged object.
+        object: ObjectId,
+        /// The version now installed at the backup.
+        version: Version,
+    },
+    /// Borrowing view of [`WireMessage::StateTransfer`].
+    StateTransfer {
+        /// The sender's fencing epoch.
+        epoch: Epoch,
+        /// The sender's update-log head when the transfer was cut.
+        head: u64,
+        /// The shipped entries, payloads borrowed.
+        entries: EntrySlice<'a>,
+    },
+    /// Borrowing view of [`WireMessage::Batch`].
+    Batch {
+        /// The frame-level fencing epoch.
+        epoch: Epoch,
+        /// The coalesced sub-frames, in send order.
+        frames: FrameSlice<'a>,
+    },
+    /// Borrowing view of [`WireMessage::ResyncRequest`].
+    ResyncRequest {
+        /// The highest epoch the requester has observed.
+        epoch: Epoch,
+        /// The requesting node.
+        from: NodeId,
+        /// The requester's last applied log position, if any.
+        position: Option<LogPosition>,
+        /// The requester's tagged version vector.
+        versions: VersionSlice<'a>,
+    },
+    /// Borrowing view of [`WireMessage::ResyncDiff`].
+    ResyncDiff {
+        /// The sender's fencing epoch.
+        epoch: Epoch,
+        /// The sender's update-log head when the diff was cut.
+        head: u64,
+        /// Entries the requester must install, payloads borrowed.
+        entries: EntrySlice<'a>,
+    },
+    /// Borrowing view of [`WireMessage::LogSuffix`].
+    LogSuffix {
+        /// The sender's fencing epoch.
+        epoch: Epoch,
+        /// The sender's log head.
+        head: u64,
+        /// The missing records, oldest first, payloads borrowed.
+        entries: EntrySlice<'a>,
+    },
+}
+
+/// One entry of a catch-up frame, payload borrowed from the receive
+/// buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StateEntryRef<'a> {
+    /// The object.
+    pub object: ObjectId,
+    /// Its version at the primary.
+    pub version: Version,
+    /// Its timestamp at the primary.
+    pub timestamp: Time,
+    /// Its payload.
+    pub payload: &'a [u8],
+}
+
+impl StateEntryRef<'_> {
+    /// Copies into the owned representation.
+    #[must_use]
+    pub fn to_owned(&self) -> StateEntry {
+        StateEntry {
+            object: self.object,
+            version: self.version,
+            timestamp: self.timestamp,
+            payload: self.payload.to_vec(),
+        }
+    }
+}
+
+impl StateEntry {
+    /// A borrowing view of this entry.
+    #[must_use]
+    pub fn as_ref(&self) -> StateEntryRef<'_> {
+        StateEntryRef {
+            object: self.object,
+            version: self.version,
+            timestamp: self.timestamp,
+            payload: &self.payload,
+        }
+    }
+}
+
+/// The validated byte region holding a catch-up frame's entries.
+///
+/// Produced only by [`WireFrame::parse`], which has already walked and
+/// validated every record — iteration re-walks the region and cannot
+/// fail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EntrySlice<'a> {
+    buf: &'a [u8],
+    count: u32,
+}
+
+impl<'a> EntrySlice<'a> {
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.count as usize
+    }
+
+    /// Whether the frame carries no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Iterates the entries, payloads borrowed.
+    #[must_use]
+    pub fn iter(&self) -> EntryIter<'a> {
+        EntryIter {
+            r: Reader::new(self.buf),
+            remaining: self.count,
+        }
+    }
+}
+
+impl<'a> IntoIterator for &EntrySlice<'a> {
+    type Item = StateEntryRef<'a>;
+    type IntoIter = EntryIter<'a>;
+
+    fn into_iter(self) -> EntryIter<'a> {
+        self.iter()
+    }
+}
+
+/// Iterator over a validated [`EntrySlice`].
+#[derive(Debug)]
+pub struct EntryIter<'a> {
+    r: Reader<'a>,
+    remaining: u32,
+}
+
+impl<'a> Iterator for EntryIter<'a> {
+    type Item = StateEntryRef<'a>;
+
+    fn next(&mut self) -> Option<StateEntryRef<'a>> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        // The region was validated at parse time; these reads cannot
+        // fail on a slice produced by `WireFrame::parse`.
+        let entry = (|| {
+            Some(StateEntryRef {
+                object: ObjectId::new(self.r.u32().ok()?),
+                version: Version::new(self.r.u64().ok()?),
+                timestamp: Time::from_nanos(self.r.u64().ok()?),
+                payload: self.r.bytes_ref().ok()?,
+            })
+        })();
+        debug_assert!(entry.is_some(), "EntrySlice regions are pre-validated");
+        entry
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (0, Some(self.remaining as usize))
+    }
+}
+
+/// The validated byte region holding a batch's sub-frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameSlice<'a> {
+    buf: &'a [u8],
+    count: u32,
+}
+
+impl<'a> FrameSlice<'a> {
+    /// Number of sub-frames.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.count as usize
+    }
+
+    /// Whether the batch is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Iterates the sub-frames as borrowing views.
+    #[must_use]
+    pub fn iter(&self) -> FrameIter<'a> {
+        FrameIter {
+            r: Reader::new(self.buf),
+            remaining: self.count,
+        }
+    }
+}
+
+impl<'a> IntoIterator for &FrameSlice<'a> {
+    type Item = WireFrame<'a>;
+    type IntoIter = FrameIter<'a>;
+
+    fn into_iter(self) -> FrameIter<'a> {
+        self.iter()
+    }
+}
+
+/// Iterator over a validated [`FrameSlice`].
+#[derive(Debug)]
+pub struct FrameIter<'a> {
+    r: Reader<'a>,
+    remaining: u32,
+}
+
+impl<'a> Iterator for FrameIter<'a> {
+    type Item = WireFrame<'a>;
+
+    fn next(&mut self) -> Option<WireFrame<'a>> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        // Re-parsing a validated region: the budget was enforced at
+        // parse time, so iteration runs with an unbounded one.
+        let mut budget = usize::MAX;
+        let frame = self
+            .r
+            .frame_bytes()
+            .ok()
+            .and_then(|sub| WireFrame::parse_sub(sub, &mut budget).ok());
+        debug_assert!(frame.is_some(), "FrameSlice regions are pre-validated");
+        frame
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (0, Some(self.remaining as usize))
+    }
+}
+
+/// The validated byte region holding a resync request's version vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VersionSlice<'a> {
+    buf: &'a [u8],
+    count: u32,
+}
+
+impl<'a> VersionSlice<'a> {
+    /// Number of reported objects.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.count as usize
+    }
+
+    /// Whether the vector is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Iterates the `(object, write_epoch, version)` tags.
+    #[must_use]
+    pub fn iter(&self) -> VersionIter<'a> {
+        VersionIter {
+            r: Reader::new(self.buf),
+            remaining: self.count,
+        }
+    }
+}
+
+impl<'a> IntoIterator for &VersionSlice<'a> {
+    type Item = (ObjectId, Epoch, Version);
+    type IntoIter = VersionIter<'a>;
+
+    fn into_iter(self) -> VersionIter<'a> {
+        self.iter()
+    }
+}
+
+/// Iterator over a validated [`VersionSlice`].
+#[derive(Debug)]
+pub struct VersionIter<'a> {
+    r: Reader<'a>,
+    remaining: u32,
+}
+
+impl Iterator for VersionIter<'_> {
+    type Item = (ObjectId, Epoch, Version);
+
+    fn next(&mut self) -> Option<(ObjectId, Epoch, Version)> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let tag = (|| {
+            Some((
+                ObjectId::new(self.r.u32().ok()?),
+                Epoch::new(self.r.u64().ok()?),
+                Version::new(self.r.u64().ok()?),
+            ))
+        })();
+        debug_assert!(tag.is_some(), "VersionSlice regions are pre-validated");
+        tag
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (0, Some(self.remaining as usize))
+    }
+}
+
+impl<'a> WireFrame<'a> {
+    /// Parses and fully validates a frame without copying payloads.
+    ///
+    /// Validation is byte-for-byte equivalent to the owned decoder
+    /// (same errors, same precedence), including the whole-frame
+    /// payload budget [`MAX_FRAME_PAYLOAD_TOTAL`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on truncation, unknown tags, implausible
+    /// lengths, or trailing garbage.
+    pub fn parse(bytes: &'a [u8]) -> Result<Self, CodecError> {
+        let mut payload_budget = MAX_FRAME_PAYLOAD_TOTAL;
+        Self::parse_inner(bytes, &mut payload_budget, true)
+    }
+
+    /// Parses a batch sub-frame (nested batches rejected up front).
+    fn parse_sub(bytes: &'a [u8], payload_budget: &mut usize) -> Result<Self, CodecError> {
+        Self::parse_inner(bytes, payload_budget, false)
+    }
+
+    fn parse_inner(
+        bytes: &'a [u8],
+        payload_budget: &mut usize,
+        allow_batch: bool,
+    ) -> Result<Self, CodecError> {
+        let mut r = Reader::new(bytes);
+        let tag = r.u8()?;
+        if tag == TAG_BATCH && !allow_batch {
+            return Err(CodecError::NestedBatch);
+        }
+        let epoch = Epoch::new(r.u64()?);
+        let frame = match tag {
+            TAG_UPDATE => WireFrame::Update {
+                epoch,
+                object: ObjectId::new(r.u32()?),
+                version: Version::new(r.u64()?),
+                timestamp: Time::from_nanos(r.u64()?),
+                seq: r.u64()?,
+                payload: r.payload(payload_budget)?,
+            },
+            TAG_PING => WireFrame::Ping {
+                epoch,
+                from: NodeId::new(r.u32()? as u16),
+                seq: r.u64()?,
+            },
+            TAG_PING_ACK => WireFrame::PingAck {
+                epoch,
+                from: NodeId::new(r.u32()? as u16),
+                seq: r.u64()?,
+            },
+            TAG_RETRANSMIT => WireFrame::RetransmitRequest {
+                epoch,
+                object: ObjectId::new(r.u32()?),
+                have_version: Version::new(r.u64()?),
+            },
+            TAG_JOIN => WireFrame::JoinRequest {
+                epoch,
+                from: NodeId::new(r.u32()? as u16),
+                position: r.position()?,
+            },
+            TAG_UPDATE_ACK => WireFrame::UpdateAck {
+                epoch,
+                object: ObjectId::new(r.u32()?),
+                version: Version::new(r.u64()?),
+            },
+            TAG_STATE => WireFrame::StateTransfer {
+                epoch,
+                head: r.u64()?,
+                entries: r.entries(payload_budget)?,
+            },
+            TAG_BATCH => {
+                let count = r.u32()? as usize;
+                if count > MAX_DECODE_LEN {
+                    return Err(CodecError::BadLength(count));
+                }
+                let start = r.pos;
+                for _ in 0..count {
+                    let sub = r.frame_bytes()?;
+                    WireFrame::parse_sub(sub, payload_budget)?;
+                }
+                WireFrame::Batch {
+                    epoch,
+                    frames: FrameSlice {
+                        buf: &bytes[start..r.pos],
+                        count: count as u32,
+                    },
+                }
+            }
+            TAG_RESYNC_REQ => {
+                let from = NodeId::new(r.u32()? as u16);
+                let position = r.position()?;
+                let count = r.u32()? as usize;
+                if count > MAX_DECODE_LEN {
+                    return Err(CodecError::BadLength(count));
+                }
+                let start = r.pos;
+                r.take(count * (4 + 8 + 8))?;
+                WireFrame::ResyncRequest {
+                    epoch,
+                    from,
+                    position,
+                    versions: VersionSlice {
+                        buf: &bytes[start..r.pos],
+                        count: count as u32,
+                    },
+                }
+            }
+            TAG_RESYNC_DIFF => WireFrame::ResyncDiff {
+                epoch,
+                head: r.u64()?,
+                entries: r.entries(payload_budget)?,
+            },
+            TAG_LOG_SUFFIX => WireFrame::LogSuffix {
+                epoch,
+                head: r.u64()?,
+                entries: r.entries(payload_budget)?,
+            },
+            other => return Err(CodecError::UnknownTag(other)),
+        };
+        if r.pos != bytes.len() {
+            return Err(CodecError::TrailingBytes(bytes.len() - r.pos));
+        }
+        Ok(frame)
+    }
+
+    /// Copies this view into the owned [`WireMessage`] representation —
+    /// the state-machine boundary's materialization step.
+    #[must_use]
+    pub fn to_owned(&self) -> WireMessage {
+        match self {
+            WireFrame::Update {
+                epoch,
+                object,
+                version,
+                timestamp,
+                seq,
+                payload,
+            } => WireMessage::Update {
+                epoch: *epoch,
+                object: *object,
+                version: *version,
+                timestamp: *timestamp,
+                seq: *seq,
+                payload: payload.to_vec(),
+            },
+            WireFrame::Ping { epoch, from, seq } => WireMessage::Ping {
+                epoch: *epoch,
+                from: *from,
+                seq: *seq,
+            },
+            WireFrame::PingAck { epoch, from, seq } => WireMessage::PingAck {
+                epoch: *epoch,
+                from: *from,
+                seq: *seq,
+            },
+            WireFrame::RetransmitRequest {
+                epoch,
+                object,
+                have_version,
+            } => WireMessage::RetransmitRequest {
+                epoch: *epoch,
+                object: *object,
+                have_version: *have_version,
+            },
+            WireFrame::JoinRequest {
+                epoch,
+                from,
+                position,
+            } => WireMessage::JoinRequest {
+                epoch: *epoch,
+                from: *from,
+                position: *position,
+            },
+            WireFrame::UpdateAck {
+                epoch,
+                object,
+                version,
+            } => WireMessage::UpdateAck {
+                epoch: *epoch,
+                object: *object,
+                version: *version,
+            },
+            WireFrame::StateTransfer {
+                epoch,
+                head,
+                entries,
+            } => WireMessage::StateTransfer {
+                epoch: *epoch,
+                head: *head,
+                entries: entries.iter().map(|e| e.to_owned()).collect(),
+            },
+            WireFrame::Batch { epoch, frames } => WireMessage::Batch {
+                epoch: *epoch,
+                messages: frames.iter().map(|f| f.to_owned()).collect(),
+            },
+            WireFrame::ResyncRequest {
+                epoch,
+                from,
+                position,
+                versions,
+            } => WireMessage::ResyncRequest {
+                epoch: *epoch,
+                from: *from,
+                position: *position,
+                versions: versions.iter().collect(),
+            },
+            WireFrame::ResyncDiff {
+                epoch,
+                head,
+                entries,
+            } => WireMessage::ResyncDiff {
+                epoch: *epoch,
+                head: *head,
+                entries: entries.iter().map(|e| e.to_owned()).collect(),
+            },
+            WireFrame::LogSuffix {
+                epoch,
+                head,
+                entries,
+            } => WireMessage::LogSuffix {
+                epoch: *epoch,
+                head: *head,
+                entries: entries.iter().map(|e| e.to_owned()).collect(),
+            },
+        }
+    }
+
+    /// The sender's fencing epoch carried by this frame.
+    #[must_use]
+    pub fn epoch(&self) -> Epoch {
+        match self {
+            WireFrame::Update { epoch, .. }
+            | WireFrame::Ping { epoch, .. }
+            | WireFrame::PingAck { epoch, .. }
+            | WireFrame::RetransmitRequest { epoch, .. }
+            | WireFrame::JoinRequest { epoch, .. }
+            | WireFrame::UpdateAck { epoch, .. }
+            | WireFrame::StateTransfer { epoch, .. }
+            | WireFrame::Batch { epoch, .. }
+            | WireFrame::ResyncRequest { epoch, .. }
+            | WireFrame::ResyncDiff { epoch, .. }
+            | WireFrame::LogSuffix { epoch, .. } => *epoch,
+        }
+    }
+
+    /// A short human-readable kind name, matching
+    /// [`WireMessage::kind`].
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            WireFrame::Update { .. } => "update",
+            WireFrame::Ping { .. } => "ping",
+            WireFrame::PingAck { .. } => "ping-ack",
+            WireFrame::RetransmitRequest { .. } => "retransmit-request",
+            WireFrame::JoinRequest { .. } => "join-request",
+            WireFrame::StateTransfer { .. } => "state-transfer",
+            WireFrame::UpdateAck { .. } => "update-ack",
+            WireFrame::Batch { .. } => "batch",
+            WireFrame::ResyncRequest { .. } => "resync-request",
+            WireFrame::ResyncDiff { .. } => "resync-diff",
+            WireFrame::LogSuffix { .. } => "log-suffix",
+        }
+    }
+
+    /// Number of object updates this frame carries (counting into
+    /// batches), matching [`WireMessage::update_count`].
+    #[must_use]
+    pub fn update_count(&self) -> usize {
+        match self {
+            WireFrame::Update { .. } => 1,
+            WireFrame::Batch { frames, .. } => frames.iter().map(|f| f.update_count()).sum(),
+            _ => 0,
+        }
+    }
+
+    /// Calls `visit` with `(object, version)` for every update the
+    /// frame carries — the borrowing replacement for walking an owned
+    /// batch's members.
+    pub fn for_each_update(&self, mut visit: impl FnMut(ObjectId, Version)) {
+        match self {
+            WireFrame::Update {
+                object, version, ..
+            } => visit(*object, *version),
+            WireFrame::Batch { frames, .. } => {
+                for f in frames.iter() {
+                    if let WireFrame::Update {
+                        object, version, ..
+                    } = f
+                    {
+                        visit(object, version);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[derive(Debug)]
 struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
-impl Reader<'_> {
-    fn take(&mut self, n: usize) -> Result<&[u8], CodecError> {
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
         if self.pos + n > self.buf.len() {
             return Err(CodecError::Truncated);
         }
@@ -593,29 +1257,58 @@ impl Reader<'_> {
         }
     }
 
-    fn bytes(&mut self) -> Result<Vec<u8>, CodecError> {
+    /// A length-prefixed byte run, checked against the per-item cap but
+    /// not the frame budget (used where the region was already budgeted,
+    /// or holds frame bytes rather than payload bytes).
+    fn bytes_ref(&mut self) -> Result<&'a [u8], CodecError> {
         let len = self.u32()? as usize;
-        if len > SANITY_LIMIT {
+        if len > MAX_DECODE_LEN {
             return Err(CodecError::BadLength(len));
         }
-        Ok(self.take(len)?.to_vec())
+        self.take(len)
     }
 
-    fn entries(&mut self) -> Result<Vec<StateEntry>, CodecError> {
+    /// A length-prefixed batch sub-frame region.
+    fn frame_bytes(&mut self) -> Result<&'a [u8], CodecError> {
+        self.bytes_ref()
+    }
+
+    /// A length-prefixed *payload*, charged against the whole-frame
+    /// budget before the bytes are touched — the declared sum across
+    /// one frame can never exceed [`MAX_FRAME_PAYLOAD_TOTAL`], however
+    /// the lengths are split up.
+    fn payload(&mut self, budget: &mut usize) -> Result<&'a [u8], CodecError> {
+        let len = self.u32()? as usize;
+        if len > MAX_DECODE_LEN {
+            return Err(CodecError::BadLength(len));
+        }
+        match budget.checked_sub(len) {
+            Some(rest) => *budget = rest,
+            None => {
+                // Report the aggregate the frame tried to claim.
+                let spent = MAX_FRAME_PAYLOAD_TOTAL.saturating_sub(*budget);
+                return Err(CodecError::BadLength(spent + len));
+            }
+        }
+        self.take(len)
+    }
+
+    fn entries(&mut self, budget: &mut usize) -> Result<EntrySlice<'a>, CodecError> {
         let count = self.u32()? as usize;
-        if count > SANITY_LIMIT {
+        if count > MAX_DECODE_LEN {
             return Err(CodecError::BadLength(count));
         }
-        let mut entries = Vec::with_capacity(count.min(1024));
+        let start = self.pos;
         for _ in 0..count {
-            entries.push(StateEntry {
-                object: ObjectId::new(self.u32()?),
-                version: Version::new(self.u64()?),
-                timestamp: Time::from_nanos(self.u64()?),
-                payload: self.bytes()?,
-            });
+            self.u32()?; // object
+            self.u64()?; // version
+            self.u64()?; // timestamp
+            self.payload(budget)?;
         }
-        Ok(entries)
+        Ok(EntrySlice {
+            buf: &self.buf[start..self.pos],
+            count: count as u32,
+        })
     }
 }
 
@@ -968,6 +1661,205 @@ mod tests {
     fn codec_error_display() {
         assert_eq!(CodecError::Truncated.to_string(), "message truncated");
         assert!(CodecError::UnknownTag(7).to_string().contains("0x07"));
+    }
+
+    #[test]
+    fn encode_into_matches_encode_and_reserves_exactly() {
+        for msg in samples() {
+            let fresh = msg.encode();
+            assert_eq!(fresh.len(), msg.encoded_len(), "{}", msg.kind());
+            let mut reused = Vec::new();
+            msg.encode_into(&mut reused);
+            assert_eq!(reused, fresh, "{}", msg.kind());
+            // A dirty, reused buffer appends — framing is positional,
+            // not absolute.
+            let mut appended = vec![0xFF, 0xFE];
+            msg.encode_into(&mut appended);
+            assert_eq!(&appended[2..], fresh.as_slice(), "{}", msg.kind());
+        }
+    }
+
+    #[test]
+    fn frame_parse_round_trips_every_variant() {
+        for msg in samples() {
+            let bytes = msg.encode();
+            let frame = WireFrame::parse(&bytes)
+                .unwrap_or_else(|e| panic!("parse of {} failed: {e}", msg.kind()));
+            assert_eq!(frame.epoch(), msg.epoch());
+            assert_eq!(frame.kind(), msg.kind());
+            assert_eq!(frame.update_count(), msg.update_count());
+            assert_eq!(frame.to_owned(), msg, "{}", msg.kind());
+        }
+    }
+
+    #[test]
+    fn frame_payloads_borrow_the_receive_buffer() {
+        let msg = WireMessage::Update {
+            epoch: Epoch::new(9),
+            object: ObjectId::new(3),
+            version: Version::new(7),
+            timestamp: Time::from_millis(5),
+            seq: 11,
+            payload: vec![0xAB; 64],
+        };
+        let bytes = msg.encode();
+        let WireFrame::Update { payload, .. } = WireFrame::parse(&bytes).unwrap() else {
+            panic!("wrong variant");
+        };
+        // The payload is a slice *of* the receive buffer, not a copy.
+        let start = bytes.len() - 64;
+        assert!(std::ptr::eq(payload, &bytes[start..]));
+    }
+
+    #[test]
+    fn frame_parse_rejects_everything_decode_rejects() {
+        for msg in samples() {
+            let bytes = msg.encode();
+            for cut in 0..bytes.len() {
+                assert!(
+                    WireFrame::parse(&bytes[..cut]).is_err(),
+                    "{} truncated at {cut} parsed",
+                    msg.kind()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_sub_frames_iterate_in_send_order() {
+        let samples_with_batch = samples();
+        let batch = samples_with_batch
+            .iter()
+            .find(|m| matches!(m, WireMessage::Batch { messages, .. } if !messages.is_empty()))
+            .expect("samples carry a non-empty batch");
+        let bytes = batch.encode();
+        let WireFrame::Batch { frames, .. } = WireFrame::parse(&bytes).unwrap() else {
+            panic!("wrong variant");
+        };
+        let WireMessage::Batch { messages, .. } = batch else {
+            unreachable!()
+        };
+        assert_eq!(frames.len(), messages.len());
+        for (frame, message) in frames.iter().zip(messages) {
+            assert_eq!(&frame.to_owned(), message);
+        }
+    }
+
+    #[test]
+    fn aggregate_payload_budget_rejects_hostile_batches() {
+        // Each sub-update *individually* sits at the per-payload cap,
+        // so the per-item check never fires — but their sum blows the
+        // whole-frame budget. Without the aggregate cap a single batch
+        // could claim (count × MAX_DECODE_LEN) bytes of owned payload.
+        let payload_len = MAX_DECODE_LEN - 41; // sub-frame = exactly MAX_DECODE_LEN
+        let subs = MAX_FRAME_PAYLOAD_TOTAL / payload_len + 1;
+        let mut bytes = vec![TAG_BATCH];
+        put_u64(&mut bytes, 0); // epoch
+        put_u32(&mut bytes, subs as u32);
+        for _ in 0..subs {
+            put_u32(&mut bytes, (41 + payload_len) as u32); // sub-frame length
+            bytes.push(TAG_UPDATE);
+            put_u64(&mut bytes, 0); // epoch
+            put_u32(&mut bytes, 1); // object
+            put_u64(&mut bytes, 1); // version
+            put_u64(&mut bytes, 1); // timestamp
+            put_u64(&mut bytes, 1); // seq
+            put_u32(&mut bytes, payload_len as u32);
+            bytes.resize(bytes.len() + payload_len, 0);
+        }
+        let err = WireMessage::decode(&bytes).unwrap_err();
+        assert!(
+            matches!(err, CodecError::BadLength(n) if n > MAX_FRAME_PAYLOAD_TOTAL),
+            "expected aggregate BadLength, got {err:?}"
+        );
+        assert_eq!(WireFrame::parse(&bytes).unwrap_err(), err);
+
+        // And when the claimed lengths are *not* backed by bytes, the
+        // lying frame is rejected while still tiny — parse borrows, so
+        // a bad frame never causes an allocation at all.
+        let small = &bytes[..256];
+        assert!(WireFrame::parse(small).is_err());
+        assert!(WireMessage::decode(small).is_err());
+    }
+
+    #[test]
+    fn aggregate_budget_spans_catch_up_entries_too() {
+        let entries = MAX_FRAME_PAYLOAD_TOTAL / MAX_DECODE_LEN + 1;
+        let mut bytes = vec![TAG_LOG_SUFFIX];
+        put_u64(&mut bytes, 0); // epoch
+        put_u64(&mut bytes, 0); // head
+        put_u32(&mut bytes, entries as u32);
+        for _ in 0..entries {
+            put_u32(&mut bytes, 1); // object
+            put_u64(&mut bytes, 1); // version
+            put_u64(&mut bytes, 1); // timestamp
+            put_u32(&mut bytes, MAX_DECODE_LEN as u32); // per-item cap, exactly
+            bytes.resize(bytes.len() + MAX_DECODE_LEN, 0);
+        }
+        let err = WireMessage::decode(&bytes).unwrap_err();
+        assert!(
+            matches!(err, CodecError::BadLength(n) if n > MAX_FRAME_PAYLOAD_TOTAL),
+            "expected aggregate BadLength, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn honest_frames_under_the_budget_still_decode() {
+        // A batch whose payloads sum close to (but under) the budget is
+        // legitimate and must decode — only the declared-sum overflow
+        // trips the cap.
+        let msg = WireMessage::Batch {
+            epoch: Epoch::new(1),
+            messages: (0..4)
+                .map(|i| WireMessage::Update {
+                    epoch: Epoch::new(1),
+                    object: ObjectId::new(i),
+                    version: Version::new(1),
+                    timestamp: Time::from_millis(1),
+                    seq: 0,
+                    payload: vec![0u8; 1 << 16],
+                })
+                .collect(),
+        };
+        assert_eq!(WireMessage::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn nested_batch_rejected_at_parse() {
+        let inner = WireMessage::Batch {
+            epoch: Epoch::INITIAL,
+            messages: vec![],
+        }
+        .encode();
+        let mut bytes = vec![TAG_BATCH];
+        put_u64(&mut bytes, 0); // epoch
+        put_u32(&mut bytes, 1);
+        put_bytes(&mut bytes, &inner);
+        assert_eq!(WireFrame::parse(&bytes), Err(CodecError::NestedBatch));
+    }
+
+    #[test]
+    fn for_each_update_matches_update_count() {
+        for msg in samples() {
+            let bytes = msg.encode();
+            let frame = WireFrame::parse(&bytes).unwrap();
+            let mut seen = 0usize;
+            frame.for_each_update(|_, _| seen += 1);
+            assert_eq!(seen, msg.update_count(), "{}", msg.kind());
+        }
+    }
+
+    #[test]
+    fn state_entry_as_ref_round_trips() {
+        let entry = StateEntry {
+            object: ObjectId::new(4),
+            version: Version::new(9),
+            timestamp: Time::from_millis(12),
+            payload: vec![5, 6, 7],
+        };
+        let view = entry.as_ref();
+        assert_eq!(view.payload, &[5, 6, 7]);
+        assert_eq!(view.to_owned(), entry);
     }
 
     #[test]

@@ -1,0 +1,245 @@
+//! A small free-list pool of reusable byte buffers for the send path.
+//!
+//! The wire codec encodes every frame into a caller-supplied `Vec<u8>`
+//! (`encode_into`); this pool supplies those vectors so the steady-state
+//! send path allocates nothing: a [`BufLease`] borrows a cleared buffer
+//! from the pool and returns it — capacity intact — when dropped.
+//!
+//! Ownership rules (see `DESIGN.md` §12):
+//!
+//! - A lease is the *only* handle to its buffer: the pool never observes
+//!   a buffer while it is leased, so a lease can be grown, truncated, or
+//!   handed to the codec freely.
+//! - Dropping a lease returns the buffer; [`BufLease::into_vec`] instead
+//!   detaches it permanently (the pool forgets it and mints a fresh
+//!   buffer later).
+//! - [`BufPool::outstanding`] counts live leases. A driver that frames
+//!   and copies synchronously (encode, wrap, send, drop) must see it
+//!   return to zero when idle — the invariant the leak tests pin.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// How many returned buffers the pool retains; further returns are
+/// dropped so a burst cannot pin memory forever.
+const MAX_POOLED: usize = 64;
+
+/// Returned buffers above this capacity are dropped instead of pooled,
+/// so one oversized frame (a full state transfer, say) does not keep
+/// megabytes resident behind a pool built for update-sized frames.
+const MAX_RETAINED_CAPACITY: usize = 1 << 20;
+
+#[derive(Debug, Default)]
+struct Shared {
+    free: Mutex<Vec<Vec<u8>>>,
+    outstanding: AtomicU64,
+    leases: AtomicU64,
+    reuses: AtomicU64,
+}
+
+/// A free-list pool of byte buffers. Cloning the handle shares the pool.
+///
+/// # Examples
+///
+/// ```
+/// use rtpb_types::BufPool;
+///
+/// let pool = BufPool::new();
+/// {
+///     let mut buf = pool.lease();
+///     buf.extend_from_slice(b"frame");
+///     assert_eq!(pool.outstanding(), 1);
+/// } // lease dropped: buffer returns to the pool
+/// assert_eq!(pool.outstanding(), 0);
+/// let again = pool.lease();
+/// assert!(again.is_empty(), "leases always start cleared");
+/// assert_eq!(pool.reuses(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BufPool {
+    shared: Arc<Shared>,
+}
+
+impl BufPool {
+    /// Creates an empty pool.
+    #[must_use]
+    pub fn new() -> Self {
+        BufPool::default()
+    }
+
+    /// Borrows a cleared buffer, reusing a returned one when available.
+    #[must_use]
+    pub fn lease(&self) -> BufLease {
+        let recycled = self.shared.free.lock().expect("pool poisoned").pop();
+        let buf = match recycled {
+            Some(mut buf) => {
+                buf.clear();
+                self.shared.reuses.fetch_add(1, Ordering::Relaxed);
+                buf
+            }
+            None => Vec::new(),
+        };
+        self.shared.outstanding.fetch_add(1, Ordering::Relaxed);
+        self.shared.leases.fetch_add(1, Ordering::Relaxed);
+        BufLease {
+            buf: Some(buf),
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Number of leases currently alive (not yet dropped or detached).
+    #[must_use]
+    pub fn outstanding(&self) -> u64 {
+        self.shared.outstanding.load(Ordering::Relaxed)
+    }
+
+    /// Total leases ever issued.
+    #[must_use]
+    pub fn leases_issued(&self) -> u64 {
+        self.shared.leases.load(Ordering::Relaxed)
+    }
+
+    /// How many leases were served from a recycled buffer instead of a
+    /// fresh allocation.
+    #[must_use]
+    pub fn reuses(&self) -> u64 {
+        self.shared.reuses.load(Ordering::Relaxed)
+    }
+
+    /// Buffers currently parked in the free list.
+    #[must_use]
+    pub fn pooled(&self) -> usize {
+        self.shared.free.lock().expect("pool poisoned").len()
+    }
+}
+
+/// An exclusively held pool buffer; returns to its pool on drop.
+///
+/// Derefs to `Vec<u8>`, so the codec's `encode_into(&mut Vec<u8>)` takes
+/// a lease directly.
+#[derive(Debug)]
+pub struct BufLease {
+    buf: Option<Vec<u8>>,
+    shared: Arc<Shared>,
+}
+
+impl BufLease {
+    /// The encoded bytes written so far.
+    #[must_use]
+    pub fn as_slice(&self) -> &[u8] {
+        self.vec()
+    }
+
+    /// Detaches the buffer from the pool: the lease ends (the
+    /// outstanding count drops) but the buffer is *not* returned.
+    #[must_use]
+    pub fn into_vec(mut self) -> Vec<u8> {
+        self.shared.outstanding.fetch_sub(1, Ordering::Relaxed);
+        self.buf.take().expect("buffer present until detached")
+    }
+
+    fn vec(&self) -> &Vec<u8> {
+        self.buf.as_ref().expect("buffer present until detached")
+    }
+}
+
+impl std::ops::Deref for BufLease {
+    type Target = Vec<u8>;
+
+    fn deref(&self) -> &Vec<u8> {
+        self.vec()
+    }
+}
+
+impl std::ops::DerefMut for BufLease {
+    fn deref_mut(&mut self) -> &mut Vec<u8> {
+        self.buf.as_mut().expect("buffer present until detached")
+    }
+}
+
+impl Drop for BufLease {
+    fn drop(&mut self) {
+        let Some(buf) = self.buf.take() else {
+            return;
+        };
+        self.shared.outstanding.fetch_sub(1, Ordering::Relaxed);
+        if buf.capacity() > MAX_RETAINED_CAPACITY {
+            return;
+        }
+        let mut free = self.shared.free.lock().expect("pool poisoned");
+        if free.len() < MAX_POOLED {
+            free.push(buf);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lease_reuses_capacity() {
+        let pool = BufPool::new();
+        {
+            let mut a = pool.lease();
+            a.extend_from_slice(&[0u8; 4096]);
+        }
+        let b = pool.lease();
+        assert!(b.capacity() >= 4096, "returned capacity is retained");
+        assert!(b.is_empty(), "lease starts cleared");
+        assert_eq!(pool.reuses(), 1);
+    }
+
+    #[test]
+    fn outstanding_tracks_live_leases() {
+        let pool = BufPool::new();
+        assert_eq!(pool.outstanding(), 0);
+        let a = pool.lease();
+        let b = pool.lease();
+        assert_eq!(pool.outstanding(), 2);
+        drop(a);
+        assert_eq!(pool.outstanding(), 1);
+        drop(b);
+        assert_eq!(pool.outstanding(), 0);
+        assert_eq!(pool.leases_issued(), 2);
+    }
+
+    #[test]
+    fn into_vec_detaches_without_returning() {
+        let pool = BufPool::new();
+        let mut lease = pool.lease();
+        lease.push(7);
+        let v = lease.into_vec();
+        assert_eq!(v, vec![7]);
+        assert_eq!(pool.outstanding(), 0);
+        assert_eq!(pool.pooled(), 0, "detached buffer never comes back");
+    }
+
+    #[test]
+    fn free_list_is_bounded() {
+        let pool = BufPool::new();
+        let leases: Vec<BufLease> = (0..MAX_POOLED + 10).map(|_| pool.lease()).collect();
+        drop(leases);
+        assert!(pool.pooled() <= MAX_POOLED);
+        assert_eq!(pool.outstanding(), 0);
+    }
+
+    #[test]
+    fn oversized_buffers_are_not_retained() {
+        let pool = BufPool::new();
+        {
+            let mut big = pool.lease();
+            big.reserve(MAX_RETAINED_CAPACITY + 1);
+        }
+        assert_eq!(pool.pooled(), 0);
+    }
+
+    #[test]
+    fn clones_share_the_pool() {
+        let pool = BufPool::new();
+        let other = pool.clone();
+        drop(other.lease());
+        assert_eq!(pool.leases_issued(), 1);
+        assert_eq!(pool.pooled(), 1);
+    }
+}

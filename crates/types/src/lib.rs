@@ -36,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bufpool;
 mod constraint;
 mod epoch;
 mod error;
@@ -44,6 +45,7 @@ mod logpos;
 mod object;
 mod time;
 
+pub use bufpool::{BufLease, BufPool};
 pub use constraint::{InterObjectConstraint, QosNegotiation};
 pub use epoch::{Epoch, Lease};
 pub use error::{AdmissionError, SpecError};

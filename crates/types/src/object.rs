@@ -402,6 +402,16 @@ impl ObjectValue {
         self.payload
     }
 
+    /// Overwrites this image in place, copying `payload` into the
+    /// existing buffer — the steady-state apply path reuses the
+    /// allocation instead of minting a fresh image per update.
+    pub fn overwrite(&mut self, version: Version, timestamp: Time, payload: &[u8]) {
+        self.version = version;
+        self.timestamp = timestamp;
+        self.payload.clear();
+        self.payload.extend_from_slice(payload);
+    }
+
     /// Staleness `t - T_i(t)` at instant `now` (zero if `now` precedes the
     /// update, which cannot happen on a causal timeline).
     #[must_use]

@@ -7,12 +7,13 @@
 //! - Distance-constrained specialization preserves its contracts.
 
 use rtpb::core::harness::{ClusterConfig, FaultEvent, FaultPlan, SimCluster};
-use rtpb::core::wire::WireMessage;
+use rtpb::core::wire::{WireFrame, WireMessage};
 use rtpb::sched::analysis::dcs;
 use rtpb::sched::exec::{run_dcs, run_edf, run_rm, Horizon};
 use rtpb::sched::task::{PeriodicTask, TaskSet};
 use rtpb::sched::VarianceBound;
 use rtpb::sim::propcheck::{run_cases, Gen};
+use rtpb::types::BufPool;
 use rtpb::types::{Epoch, NodeId, ObjectId, ObjectSpec, Time, TimeDelta, Version};
 
 fn ms(v: u64) -> TimeDelta {
@@ -184,6 +185,114 @@ fn wire_decoder_never_panics_on_garbage() {
     run_cases("wire_decoder_never_panics_on_garbage", 256, |g| {
         let bytes = g.bytes(256);
         let _ = WireMessage::decode(&bytes); // must not panic
+    });
+}
+
+/// The zero-copy encode path cannot drift from the classic codec: for
+/// arbitrary generated messages, `encode_into` a pooled lease — fresh
+/// from the allocator or recycled through the free list — produces
+/// bytes identical to `encode()`, and the borrowing `WireFrame` view
+/// re-owns the exact original message from those bytes.
+#[test]
+fn encode_into_is_byte_identical_to_encode() {
+    run_cases("encode_into_is_byte_identical_to_encode", 64, |g| {
+        let pool = BufPool::new();
+        let n = g.usize_in(0, 6);
+        let messages: Vec<WireMessage> = (0..n)
+            .map(|_| match g.usize_in(0, 2) {
+                0 => WireMessage::Update {
+                    epoch: Epoch::new(g.any_u64()),
+                    object: ObjectId::new(g.u64_in(0, 64) as u32),
+                    version: Version::new(g.any_u64()),
+                    timestamp: Time::from_nanos(g.any_u64() / 2),
+                    seq: g.any_u64(),
+                    payload: g.bytes(96),
+                },
+                1 => WireMessage::Ping {
+                    epoch: Epoch::new(g.any_u64()),
+                    from: NodeId::new(g.u64_in(0, 4) as u16),
+                    seq: g.any_u64(),
+                },
+                _ => WireMessage::RetransmitRequest {
+                    epoch: Epoch::new(g.any_u64()),
+                    object: ObjectId::new(g.u64_in(0, 64) as u32),
+                    have_version: Version::new(g.any_u64()),
+                },
+            })
+            .collect();
+        let msg = if g.usize_in(0, 1) == 0 && !messages.is_empty() {
+            messages.into_iter().next().expect("non-empty")
+        } else {
+            WireMessage::Batch {
+                epoch: Epoch::new(g.any_u64()),
+                messages,
+            }
+        };
+        let classic = msg.encode();
+        // First lease comes straight from the allocator.
+        let mut lease = pool.lease();
+        msg.encode_into(&mut lease);
+        assert_eq!(lease.as_slice(), &classic[..]);
+        drop(lease);
+        // Second lease is a recycled buffer with stale capacity.
+        let mut lease = pool.lease();
+        msg.encode_into(&mut lease);
+        assert_eq!(lease.as_slice(), &classic[..]);
+        assert_eq!(pool.reuses(), 1, "second lease must come from the pool");
+        // The borrowing view replays to the identical owned message.
+        let frame = WireFrame::parse(&classic).expect("view parses");
+        assert_eq!(frame.to_owned(), msg);
+    });
+}
+
+/// Pool hygiene under chaos: after a seeded run full of link faults the
+/// cluster's send pool must have every lease back (framing is
+/// synchronous — a nonzero outstanding count is a leak), and the free
+/// list must actually be recycling buffers, or the zero-alloc send path
+/// is an illusion.
+#[test]
+fn send_pool_leases_all_return_after_seeded_chaos() {
+    run_cases("send_pool_leases_all_return_after_seeded_chaos", 8, |g| {
+        let mut plan = FaultPlan::new();
+        for _ in 0..g.usize_in(1, 3) {
+            let at = Time::from_millis(g.u64_in(500, 4_000));
+            plan = match g.usize_in(0, 2) {
+                0 => plan.at(
+                    at,
+                    FaultEvent::LossBurst {
+                        host: None,
+                        duration: ms(g.u64_in(100, 600)),
+                        loss: g.u64_in(20, 90) as f64 / 100.0,
+                    },
+                ),
+                1 => plan.at(at, FaultEvent::CrashPrimary),
+                _ => plan.at(
+                    at,
+                    FaultEvent::PartitionPrimary {
+                        duration: ms(g.u64_in(300, 1_000)),
+                    },
+                ),
+            };
+        }
+        let config = ClusterConfig {
+            seed: g.u64_in(0, 10_000),
+            num_backups: 2,
+            fault_plan: plan,
+            ..ClusterConfig::default()
+        };
+        let mut cluster = SimCluster::new(config);
+        let spec = ObjectSpec::builder("pool")
+            .update_period(ms(40))
+            .primary_bound(ms(90))
+            .backup_bound(ms(500))
+            .build()
+            .expect("structurally valid");
+        cluster.register(spec).expect("admitted");
+        cluster.run_for(TimeDelta::from_secs(6));
+        let (outstanding, issued, reuses) = cluster.send_pool_stats();
+        assert_eq!(outstanding, 0, "leaked {outstanding} of {issued} leases");
+        assert!(issued > 0, "chaos run must exercise the send path");
+        assert!(reuses > 0, "free list never recycled a buffer");
     });
 }
 
