@@ -1,0 +1,116 @@
+//! The read-path scaling suite (sibling of `throughput`).
+//!
+//! Floods clusters of increasing backup count with a 99:1 read:write
+//! client mix through `RtpbClient`, validates every staleness
+//! certificate against the primary's write history (Theorem 5), prints
+//! the scaling table, and writes the machine-readable
+//! `BENCH_readpath.json`.
+//!
+//! ```text
+//! cargo run -p rtpb-bench --release --bin readpath
+//! cargo run -p rtpb-bench --release --bin readpath -- --tiers 1,4 --objects 100000
+//! cargo run -p rtpb-bench --release --bin readpath -- --check BENCH_readpath.json
+//! ```
+
+use rtpb_bench::readpath::{run_suite, validate_report_json, ReadpathConfig};
+
+struct Options {
+    tiers: Option<Vec<usize>>,
+    objects: Option<usize>,
+    quick: bool,
+    out: String,
+    check: Option<String>,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        tiers: None,
+        objects: None,
+        quick: false,
+        out: "BENCH_readpath.json".to_string(),
+        check: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--tiers" => {
+                let list = args
+                    .next()
+                    .unwrap_or_else(|| usage("--tiers needs a comma list, e.g. 1,2,4"));
+                let tiers: Option<Vec<usize>> =
+                    list.split(',').map(|t| t.trim().parse().ok()).collect();
+                match tiers {
+                    Some(t) if !t.is_empty() => opts.tiers = Some(t),
+                    _ => usage(&format!("bad --tiers value {list}")),
+                }
+            }
+            "--objects" => {
+                let n = args
+                    .next()
+                    .and_then(|v| v.trim().parse().ok())
+                    .unwrap_or_else(|| usage("--objects needs a count, e.g. 10000"));
+                opts.objects = Some(n);
+            }
+            "--quick" => opts.quick = true,
+            "--out" => {
+                opts.out = args.next().unwrap_or_else(|| usage("--out needs a path"));
+            }
+            "--check" => {
+                opts.check = Some(args.next().unwrap_or_else(|| usage("--check needs a path")));
+            }
+            "--help" | "-h" => usage("read-path scaling suite"),
+            other => usage(&format!("unknown argument {other}")),
+        }
+    }
+    opts
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("readpath: {msg}");
+    eprintln!(
+        "usage: readpath [--tiers N,N,..] [--objects N] [--quick] [--out FILE.json] \
+         [--check FILE.json]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let opts = parse_args();
+
+    // Check mode: validate an existing report against the schema (and
+    // the zero-violation Theorem-5 gate) and exit.
+    if let Some(path) = &opts.check {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("readpath: cannot read {path}: {e}");
+            std::process::exit(1);
+        });
+        if let Err(e) = validate_report_json(&text) {
+            eprintln!("readpath: {path} fails the v1 schema: {e}");
+            std::process::exit(1);
+        }
+        println!("{path}: schema-valid rtpb.readpath.v1 report");
+        return;
+    }
+
+    let mut config = if opts.quick {
+        ReadpathConfig::quick()
+    } else {
+        ReadpathConfig::default()
+    };
+    if let Some(tiers) = opts.tiers {
+        config.tiers = tiers;
+    }
+    if let Some(objects) = opts.objects {
+        config.objects = objects;
+    }
+
+    let report = run_suite(&config);
+    println!("{}", report.to_table().render());
+    let json = report.to_json();
+    validate_report_json(&json).expect("generated report must be schema-valid");
+    if let Err(e) = std::fs::write(&opts.out, &json) {
+        eprintln!("readpath: cannot write {}: {e}", opts.out);
+        std::process::exit(1);
+    }
+    println!("wrote {}", opts.out);
+}

@@ -325,6 +325,10 @@ pub fn run_suite(config: &HotpathConfig, counter: Option<AllocCounter>) -> Hotpa
             (primary, id, payload)
         },
         |(primary, id, payload)| {
+            // Micro-benching the state-machine apply itself, so the
+            // deprecated direct entry (bypassing the session facade) is
+            // exactly what this scenario measures.
+            #[allow(deprecated)]
             let v = primary.apply_client_write(*id, payload.clone(), Time::from_millis(1));
             black_box(v.expect("write accepted"));
         },

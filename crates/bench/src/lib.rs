@@ -11,6 +11,7 @@
 pub mod experiments;
 pub mod harness;
 pub mod hotpath;
+pub mod readpath;
 pub mod recovery;
 pub mod table;
 pub mod throughput;
@@ -21,6 +22,7 @@ pub use experiments::{
     theory_validation, FigureDefaults,
 };
 pub use hotpath::{HotpathConfig, HotpathReport};
+pub use readpath::{ReadpathConfig, ReadpathReport};
 pub use recovery::{RecoveryConfig, RecoveryReport};
 pub use table::Table;
 pub use throughput::{run_suite, validate_report_json, ThroughputConfig, ThroughputReport};

@@ -1,0 +1,573 @@
+//! The read-path scaling suite.
+//!
+//! Drives a read-heavy client workload (99 reads per write through
+//! [`RtpbClient`]) against clusters with an increasing number of backup
+//! replicas and reports how read throughput scales. Reads are served
+//! locally by backups under [`ReadConsistency::Bounded`], so fleet read
+//! capacity should grow near-linearly with the replica count — the whole
+//! point of answering reads from backups instead of funnelling them
+//! through the primary.
+//!
+//! Every served read carries a [`StalenessCertificate`]; the suite's
+//! built-in Theorem-5 validator cross-checks each certificate's
+//! `age_bound` against the *true* staleness derived from the primary's
+//! write history ([`ClusterMetrics::earliest_write_after`]): a
+//! certificate is violated when the true staleness exceeds the bound it
+//! advertised. A correct implementation reports **zero** violations.
+//!
+//! The `readpath` binary renders the suite as a table and writes
+//! `BENCH_readpath.json`; [`validate_report_json`] is the schema gate CI
+//! runs against that file (and it refuses documents with a nonzero
+//! violation count).
+//!
+//! [`ClusterMetrics::earliest_write_after`]: rtpb_core::ClusterMetrics::earliest_write_after
+//! [`ReadConsistency::Bounded`]: rtpb_types::ReadConsistency::Bounded
+//! [`StalenessCertificate`]: rtpb_types::StalenessCertificate
+
+use crate::table::Table;
+use rtpb_core::config::{ProtocolConfig, SchedulingMode};
+use rtpb_core::harness::ClusterConfig;
+use rtpb_core::RtpbClient;
+use rtpb_obs::json::{parse_flat, JsonObject, JsonValue};
+use rtpb_obs::MetricsRegistry;
+use rtpb_types::{ObjectSpec, ReadConsistency, TimeDelta};
+use std::fmt::Write as _;
+
+/// The backup-count tiers the full suite sweeps.
+pub const DEFAULT_TIERS: [usize; 4] = [1, 2, 4, 8];
+
+/// Client operations per write: 99 reads, then 1 write.
+pub const READS_PER_WRITE: u64 = 99;
+
+/// Parameters shared by every tier of the suite.
+#[derive(Debug, Clone)]
+pub struct ReadpathConfig {
+    /// Backup counts to sweep.
+    pub tiers: Vec<usize>,
+    /// Registered objects per tier (the acceptance run uses 10k; the
+    /// suite supports up to 100k).
+    pub objects: usize,
+    /// Reads issued per object over the measured window.
+    pub reads_per_object: usize,
+    /// Virtual warm-up before measurement (lets the update scheduler
+    /// populate every replica).
+    pub warmup: TimeDelta,
+    /// Measurement rounds; reads are spread evenly across them.
+    pub rounds: usize,
+    /// Virtual time simulated between rounds.
+    pub slice: TimeDelta,
+    /// Sensor write period `p_i` (the sim's own periodic write load).
+    pub write_period: TimeDelta,
+    /// Primary external bound `δ_i^P`.
+    pub primary_bound: TimeDelta,
+    /// Backup consistency window `δ_i` — also the [`ReadConsistency::Bounded`]
+    /// staleness bound every read asks for.
+    pub backup_bound: TimeDelta,
+    /// Payload size in bytes.
+    pub size_bytes: usize,
+    /// Base CPU cost of one update transmission. The default
+    /// [`ProtocolConfig`] value (200µs) is sized for small object sets;
+    /// at 10k+ objects it would saturate the primary's CPU and starve
+    /// the update pipeline, so the suite runs with a cost that keeps the
+    /// set schedulable — certificates are only small when Theorem 5's
+    /// premise holds. Read service cost derives from this
+    /// ([`ProtocolConfig::read_cost`]).
+    pub send_cost_base: TimeDelta,
+    /// Seed for every tier (same seed → fair comparison).
+    pub seed: u64,
+}
+
+impl Default for ReadpathConfig {
+    fn default() -> Self {
+        ReadpathConfig {
+            tiers: DEFAULT_TIERS.to_vec(),
+            objects: 10_000,
+            reads_per_object: 20,
+            warmup: TimeDelta::from_secs(1),
+            rounds: 10,
+            slice: TimeDelta::from_millis(10),
+            write_period: TimeDelta::from_millis(50),
+            primary_bound: TimeDelta::from_millis(150),
+            backup_bound: TimeDelta::from_millis(400),
+            size_bytes: 64,
+            send_cost_base: TimeDelta::from_micros(8),
+            seed: 42,
+        }
+    }
+}
+
+impl ReadpathConfig {
+    /// Quick variant for smoke tests and CI: tiny object set, fewer
+    /// tiers.
+    #[must_use]
+    pub fn quick() -> Self {
+        ReadpathConfig {
+            tiers: vec![1, 2, 4],
+            objects: 300,
+            reads_per_object: 10,
+            rounds: 5,
+            ..ReadpathConfig::default()
+        }
+    }
+
+    fn spec(&self) -> ObjectSpec {
+        ObjectSpec::builder("rp-obj")
+            .update_period(self.write_period)
+            // The builder's 100µs default is sized for small object
+            // sets; at 10k objects × 20 writes/s it alone would need 20
+            // CPU-seconds per second.
+            .exec_time(TimeDelta::from_micros(1))
+            .primary_bound(self.primary_bound)
+            .backup_bound(self.backup_bound)
+            .size_bytes(self.size_bytes)
+            .build()
+            .expect("valid readpath spec")
+    }
+
+    fn client(&self, backups: usize) -> RtpbClient {
+        let mut config = ClusterConfig {
+            protocol: ProtocolConfig {
+                // The suite measures read capacity, not the admission
+                // gate: the offered object set must register fully.
+                admission_enabled: false,
+                send_cost_base: self.send_cost_base,
+                // Compressed scheduling would shrink send periods until
+                // the primary CPU hits its target utilization — with the
+                // 99:1 read flood that headroom belongs to the write
+                // path, so keep the paper's normal `(δ−ℓ)/k` periods.
+                scheduling_mode: SchedulingMode::Normal,
+                ..ProtocolConfig::default()
+            },
+            num_backups: backups,
+            seed: self.seed,
+            registry: MetricsRegistry::new(),
+            ..ClusterConfig::default()
+        };
+        config.link.loss_probability = 0.0;
+        RtpbClient::new(config)
+    }
+}
+
+/// What one tier (one backup count) measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TierOutcome {
+    /// Number of backup replicas.
+    pub backups: usize,
+    /// Reads issued through the client session.
+    pub reads_issued: u64,
+    /// Reads served locally by a backup replica.
+    pub reads_replica: u64,
+    /// Reads that fell back to the primary
+    /// ([`rtpb_types::ReadOutcome::Redirect`]).
+    pub reads_redirected: u64,
+    /// Writes issued through the client session (1 per
+    /// [`READS_PER_WRITE`] reads).
+    pub writes_issued: u64,
+    /// Read throughput: `reads_issued` over the fleet makespan.
+    pub reads_per_sec: f64,
+    /// Virtual time from measurement start until the last replica
+    /// drained its read queue (floored at the measured window).
+    pub makespan_ms: f64,
+    /// Mean read service latency (queueing + service).
+    pub mean_latency_ms: f64,
+    /// Largest `age_bound` any certificate advertised.
+    pub max_age_bound_ms: f64,
+    /// Largest *true* staleness any served read actually had.
+    pub max_true_staleness_ms: f64,
+    /// Certificates whose advertised bound was below the true staleness
+    /// (Theorem 5 says this must be zero).
+    pub cert_violations: u64,
+    /// The staleness bound `δ_i` every read requested.
+    pub bound_ms: f64,
+}
+
+/// The whole suite: one [`TierOutcome`] per backup count.
+#[derive(Debug, Clone)]
+pub struct ReadpathReport {
+    /// The configuration the suite ran with.
+    pub config: ReadpathConfig,
+    /// One outcome per entry in `config.tiers`.
+    pub tiers: Vec<TierOutcome>,
+}
+
+impl ReadpathReport {
+    /// Read throughput of `tier` relative to the first (fewest-backups)
+    /// tier.
+    #[must_use]
+    pub fn speedup(&self, tier: &TierOutcome) -> f64 {
+        match self.tiers.first() {
+            Some(base) if base.reads_per_sec > 0.0 => tier.reads_per_sec / base.reads_per_sec,
+            _ => f64::INFINITY,
+        }
+    }
+}
+
+/// Runs one tier: warm a cluster with `backups` replicas, then flood it
+/// with the 99:1 read:write client mix and validate every certificate.
+#[must_use]
+pub fn run_tier(config: &ReadpathConfig, backups: usize) -> TierOutcome {
+    let mut client = config.client(backups);
+    let specs = (0..config.objects).map(|_| config.spec()).collect();
+    let ids = client.register_many(specs).expect("admission disabled");
+    client.run_for(config.warmup);
+
+    let window_start = client.now();
+    let consistency = ReadConsistency::Bounded(config.backup_bound);
+    let total_reads = (config.objects * config.reads_per_object) as u64;
+    let rounds = config.rounds.max(1);
+    let per_round = total_reads.div_ceil(rounds as u64);
+
+    let mut issued = 0u64;
+    let mut replica = 0u64;
+    let mut redirected = 0u64;
+    let mut writes = 0u64;
+    let mut violations = 0u64;
+    let mut max_bound = TimeDelta::ZERO;
+    let mut max_true = TimeDelta::ZERO;
+    let mut cursor = 0usize;
+
+    for _ in 0..rounds {
+        client.run_for(config.slice);
+        for _ in 0..per_round {
+            if issued >= total_reads {
+                break;
+            }
+            let id = ids[cursor % ids.len()];
+            cursor += 1;
+            let outcome = client.read(id, consistency).expect("warmed object reads");
+            issued += 1;
+            if outcome.is_redirect() {
+                redirected += 1;
+            } else {
+                replica += 1;
+            }
+            // Theorem-5 validator: the certificate's bound must cover the
+            // read's true staleness — the age of the oldest write the
+            // served version misses, per the primary's write history.
+            let now = client.now();
+            let cert = outcome.certificate();
+            let true_stale = client
+                .metrics()
+                .earliest_write_after(id, cert.version)
+                .map_or(TimeDelta::ZERO, |t| now.saturating_since(t));
+            if cert.age_bound < true_stale {
+                violations += 1;
+            }
+            max_bound = max_bound.max(cert.age_bound);
+            max_true = max_true.max(true_stale);
+            if issued.is_multiple_of(READS_PER_WRITE) {
+                let payload = vec![(writes % 251) as u8; config.size_bytes];
+                client.write(id, payload).expect("serving primary");
+                writes += 1;
+            }
+        }
+    }
+
+    let window = client.now().saturating_since(window_start);
+    let makespan = client
+        .read_load()
+        .iter()
+        .map(|&(_, _, _, busy)| busy.saturating_since(window_start))
+        .fold(window, TimeDelta::max);
+    let mean_latency = client
+        .registry()
+        .snapshot()
+        .histogram("cluster.read_latency")
+        .and_then(|h| h.mean)
+        .unwrap_or(TimeDelta::ZERO);
+
+    TierOutcome {
+        backups,
+        reads_issued: issued,
+        reads_replica: replica,
+        reads_redirected: redirected,
+        writes_issued: writes,
+        reads_per_sec: issued as f64 / makespan.as_secs_f64(),
+        makespan_ms: makespan.as_millis_f64(),
+        mean_latency_ms: mean_latency.as_millis_f64(),
+        max_age_bound_ms: max_bound.as_millis_f64(),
+        max_true_staleness_ms: max_true.as_millis_f64(),
+        cert_violations: violations,
+        bound_ms: config.backup_bound.as_millis_f64(),
+    }
+}
+
+/// Runs every configured tier.
+#[must_use]
+pub fn run_suite(config: &ReadpathConfig) -> ReadpathReport {
+    let tiers = config.tiers.iter().map(|&b| run_tier(config, b)).collect();
+    ReadpathReport {
+        config: config.clone(),
+        tiers,
+    }
+}
+
+fn round2(v: f64) -> f64 {
+    (v * 100.0).round() / 100.0
+}
+
+fn json_float(v: f64) -> String {
+    if v.is_finite() {
+        format!("{}", round2(v))
+    } else {
+        "null".to_string()
+    }
+}
+
+impl TierOutcome {
+    fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.uint_field("reads_issued", self.reads_issued)
+            .uint_field("reads_replica", self.reads_replica)
+            .uint_field("reads_redirected", self.reads_redirected)
+            .uint_field("writes_issued", self.writes_issued)
+            .float_field("reads_per_sec", round2(self.reads_per_sec))
+            .float_field("makespan_ms", round2(self.makespan_ms))
+            .float_field("mean_latency_ms", round2(self.mean_latency_ms))
+            .float_field("max_age_bound_ms", round2(self.max_age_bound_ms))
+            .float_field("max_true_staleness_ms", round2(self.max_true_staleness_ms))
+            .uint_field("cert_violations", self.cert_violations)
+            .float_field("bound_ms", round2(self.bound_ms));
+        o.finish()
+    }
+}
+
+impl ReadpathReport {
+    /// Renders the report as the `BENCH_readpath.json` document.
+    ///
+    /// Top level is a real (nested) JSON object; the per-tier leaves are
+    /// flat objects in the trace-JSON dialect so [`validate_report_json`]
+    /// can check them with the same parser the event schema uses.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": \"rtpb.readpath.v1\",");
+        let _ = writeln!(out, "  \"objects\": {},", self.config.objects);
+        let _ = writeln!(out, "  \"reads_per_write\": {READS_PER_WRITE},");
+        let _ = writeln!(
+            out,
+            "  \"write_period_ms\": {},",
+            self.config.write_period.as_millis_f64() as u64
+        );
+        let _ = writeln!(
+            out,
+            "  \"bound_ms\": {},",
+            self.config.backup_bound.as_millis_f64() as u64
+        );
+        let _ = writeln!(out, "  \"seed\": {},", self.config.seed);
+        out.push_str("  \"tiers\": [\n");
+        for (i, tier) in self.tiers.iter().enumerate() {
+            out.push_str("    {\n");
+            let _ = writeln!(out, "      \"backups\": {},", tier.backups);
+            let _ = writeln!(
+                out,
+                "      \"reads_per_sec_speedup\": {},",
+                json_float(self.speedup(tier))
+            );
+            let _ = writeln!(out, "      \"outcome\": {}", tier.to_json());
+            out.push_str(if i + 1 == self.tiers.len() {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Renders the report as the figure-style text table.
+    #[must_use]
+    pub fn to_table(&self) -> Table {
+        let mut table = Table::new(
+            "Read path: throughput scaling with backup count",
+            "backups",
+            vec![
+                "reads/s".into(),
+                "speedup".into(),
+                "redirects".into(),
+                "mean latency (ms)".into(),
+                "max age bound (ms)".into(),
+                "cert violations".into(),
+            ],
+        );
+        for tier in &self.tiers {
+            table.push_row(
+                tier.backups.to_string(),
+                vec![
+                    Some(round2(tier.reads_per_sec)),
+                    Some(round2(self.speedup(tier))),
+                    Some(tier.reads_redirected as f64),
+                    Some(round2(tier.mean_latency_ms)),
+                    Some(round2(tier.max_age_bound_ms)),
+                    Some(tier.cert_violations as f64),
+                ],
+            );
+        }
+        table.note(format!(
+            "{} objects, {} reads per write, staleness bound {}, seed {}",
+            self.config.objects, READS_PER_WRITE, self.config.backup_bound, self.config.seed,
+        ));
+        table
+    }
+}
+
+const TIER_FIELDS: [&str; 11] = [
+    "reads_issued",
+    "reads_replica",
+    "reads_redirected",
+    "writes_issued",
+    "reads_per_sec",
+    "makespan_ms",
+    "mean_latency_ms",
+    "max_age_bound_ms",
+    "max_true_staleness_ms",
+    "cert_violations",
+    "bound_ms",
+];
+
+fn check_outcome_object(text: &str, at: usize) -> Result<usize, String> {
+    let marker = "\"outcome\": ";
+    let start = text[at..]
+        .find(marker)
+        .map(|p| at + p + marker.len())
+        .ok_or("missing \"outcome\" object")?;
+    let end = text[start..]
+        .find('}')
+        .map(|p| start + p + 1)
+        .ok_or("unterminated \"outcome\" object")?;
+    let flat = parse_flat(&text[start..end]).map_err(|e| format!("bad \"outcome\" object: {e}"))?;
+    for field in TIER_FIELDS {
+        let v = flat
+            .get(field)
+            .ok_or_else(|| format!("\"outcome\" object missing field \"{field}\""))?;
+        if !matches!(v, JsonValue::UInt(_) | JsonValue::Float(_)) {
+            return Err(format!("\"outcome\".\"{field}\" has the wrong type"));
+        }
+    }
+    match flat.get("cert_violations") {
+        Some(JsonValue::UInt(0)) => Ok(end),
+        _ => Err("\"cert_violations\" must be 0 (Theorem-5 gate)".into()),
+    }
+}
+
+/// Validates a `BENCH_readpath.json` document against the v1 schema:
+/// the header fields, at least one tier, every tier outcome carrying all
+/// eleven metrics with the right types — and, because the document is
+/// the acceptance artifact for Theorem 5, a `cert_violations` count of
+/// exactly zero in every tier.
+///
+/// # Errors
+///
+/// Returns a description of the first problem found.
+pub fn validate_report_json(text: &str) -> Result<(), String> {
+    if !text.contains("\"schema\": \"rtpb.readpath.v1\"") {
+        return Err("missing or unknown \"schema\" header".into());
+    }
+    for key in [
+        "objects",
+        "reads_per_write",
+        "write_period_ms",
+        "bound_ms",
+        "seed",
+    ] {
+        if !text.contains(&format!("\"{key}\": ")) {
+            return Err(format!("missing header field \"{key}\""));
+        }
+    }
+    if !text.contains("\"tiers\": [") {
+        return Err("missing \"tiers\" array".into());
+    }
+    let mut at = 0;
+    let mut tiers = 0;
+    while let Some(p) = text[at..].find("\"backups\": ") {
+        at += p + 1;
+        if !text[at..].contains("\"reads_per_sec_speedup\":") {
+            return Err("tier missing \"reads_per_sec_speedup\"".into());
+        }
+        at = check_outcome_object(text, at)?;
+        tiers += 1;
+    }
+    if tiers == 0 {
+        return Err("no tiers in report".into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic() -> ReadpathReport {
+        let tier = |backups: usize, rps: f64| TierOutcome {
+            backups,
+            reads_issued: 1000,
+            reads_replica: 1000,
+            reads_redirected: 0,
+            writes_issued: 10,
+            reads_per_sec: rps,
+            makespan_ms: 500.0,
+            mean_latency_ms: 1.5,
+            max_age_bound_ms: 210.0,
+            max_true_staleness_ms: 120.0,
+            cert_violations: 0,
+            bound_ms: 400.0,
+        };
+        ReadpathReport {
+            config: ReadpathConfig {
+                tiers: vec![1, 4],
+                ..ReadpathConfig::quick()
+            },
+            tiers: vec![tier(1, 1000.0), tier(4, 4000.0)],
+        }
+    }
+
+    #[test]
+    fn json_passes_its_own_schema_gate() {
+        let text = synthetic().to_json();
+        validate_report_json(&text).expect("schema-valid");
+        assert!(text.contains("\"reads_per_sec_speedup\": 4"));
+    }
+
+    #[test]
+    fn validator_rejects_broken_documents() {
+        assert!(validate_report_json("{}").is_err());
+        let text = synthetic().to_json();
+        assert!(validate_report_json(&text.replace("rtpb.readpath.v1", "v0")).is_err());
+        assert!(validate_report_json(&text.replace("\"reads_replica\"", "\"served\"")).is_err());
+        assert!(validate_report_json(
+            &text.replace("\"cert_violations\":0", "\"cert_violations\":2")
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn table_has_one_row_per_tier() {
+        let t = synthetic().to_table();
+        assert_eq!(t.rows().len(), 2);
+        assert_eq!(t.rows()[1].1[1], Some(4.0), "speedup column");
+    }
+
+    #[test]
+    fn tiny_live_tier_serves_reads_with_sound_certificates() {
+        let config = ReadpathConfig {
+            tiers: vec![1, 2],
+            objects: 16,
+            reads_per_object: 4,
+            rounds: 2,
+            slice: TimeDelta::from_millis(50),
+            warmup: TimeDelta::from_millis(600),
+            ..ReadpathConfig::default()
+        };
+        let report = run_suite(&config);
+        assert_eq!(report.tiers.len(), 2);
+        for tier in &report.tiers {
+            assert_eq!(tier.reads_issued, 64);
+            assert_eq!(tier.reads_replica + tier.reads_redirected, 64);
+            assert!(tier.reads_replica > 0, "backups must serve locally");
+            assert_eq!(tier.cert_violations, 0, "Theorem-5 gate");
+            assert!(tier.reads_per_sec > 0.0);
+        }
+        validate_report_json(&report.to_json()).expect("live report is schema-valid");
+    }
+}

@@ -10,8 +10,11 @@ use crate::heartbeat::{DetectorAction, FailureDetector};
 use crate::primary::Primary;
 use crate::store::ObjectStore;
 use crate::update_sched::UpdateSchedule;
-use crate::wire::{StateEntryRef, WireFrame, WireMessage};
-use rtpb_types::{Epoch, LogPosition, NodeId, ObjectId, ObjectSpec, Time, TimeDelta, Version};
+use crate::wire::{ReadStatus, StateEntryRef, WireFrame, WireMessage};
+use rtpb_types::{
+    Epoch, LogPosition, NodeId, ObjectId, ObjectSpec, StalenessCertificate, Time, TimeDelta,
+    Version,
+};
 use std::collections::BTreeMap;
 
 /// What happened when the backup processed an inbound message.
@@ -27,6 +30,31 @@ pub struct BackupOutput {
     /// Drivers feed these to observability — no rejected frame ever
     /// reaches the store.
     pub stale_rejected: Vec<Epoch>,
+}
+
+/// What [`Backup::serve_read`] produced for one local read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BackupRead {
+    /// The read was served locally under the attached certificate.
+    Served {
+        /// The served value.
+        payload: Vec<u8>,
+        /// A sound upper bound on the value's staleness at serve time.
+        certificate: StalenessCertificate,
+        /// This backup's last applied update-log position, for the
+        /// client's session token.
+        position: Option<LogPosition>,
+    },
+    /// This backup's applied position is behind the session floor (or it
+    /// is mid catch-up): serving would violate the session's monotonic
+    /// guarantees. The client should try another replica or the primary.
+    Behind {
+        /// This backup's last applied update-log position.
+        position: Option<LogPosition>,
+    },
+    /// The object is not registered (or has never been written) at this
+    /// backup.
+    Unknown,
 }
 
 /// Bounded-retry state of an in-flight join (§4.4 re-integration): a
@@ -255,6 +283,113 @@ impl Backup {
         self.join.is_some()
     }
 
+    /// Serves a client read locally, minting a [`StalenessCertificate`].
+    ///
+    /// The certificate's age bound is the lesser of two independently
+    /// sound bounds on the served value's true staleness:
+    ///
+    /// 1. `now − write timestamp` — the value's own age (exact when no
+    ///    newer write exists, conservative otherwise), and
+    /// 2. `(now − last update arrival) + ℓ` — any write this backup has
+    ///    missed completed *after* the last received update was sent,
+    ///    and sending precedes arrival by at most the link-delay bound ℓ.
+    ///
+    /// Either bound alone satisfies Theorem 5's contract; the minimum
+    /// keeps certificates tight in both write-heavy and idle regimes.
+    ///
+    /// A read is refused ([`BackupRead::Behind`]) when `floor` (the
+    /// client session's high-water log position) is ahead of this
+    /// backup's applied position, or when the backup is mid join /
+    /// resync — its store may still hold pre-outage images, so serving
+    /// would leak values the catch-up is about to overwrite.
+    #[must_use]
+    pub fn serve_read(
+        &self,
+        object: ObjectId,
+        floor: Option<LogPosition>,
+        now: Time,
+    ) -> BackupRead {
+        if self.join_in_progress() {
+            return BackupRead::Behind {
+                position: self.position,
+            };
+        }
+        if let Some(floor) = floor {
+            if self.position.is_none_or(|p| p < floor) {
+                return BackupRead::Behind {
+                    position: self.position,
+                };
+            }
+        }
+        let Some(entry) = self.store.get(object) else {
+            return BackupRead::Unknown;
+        };
+        let Some(value) = entry.value() else {
+            return BackupRead::Unknown;
+        };
+        // The paper's §2 measure: the value's own write-timestamp age
+        // (`now - T_i(t)`). Any write the served version misses is
+        // strictly newer than `value.timestamp()`, so this bound covers
+        // the true staleness unconditionally — no assumption about link
+        // delay or CPU timeliness is needed, which matters because a
+        // saturated primary can hold a snapshot in its send queue far
+        // longer than the link-delay bound.
+        let age_bound = now.saturating_since(value.timestamp());
+        BackupRead::Served {
+            payload: value.payload().to_vec(),
+            certificate: StalenessCertificate {
+                object,
+                write_epoch: entry.write_epoch(),
+                version: value.version(),
+                age_bound,
+            },
+            position: self.position,
+        }
+    }
+
+    /// Answers a wire-level [`WireMessage::ReadRequest`]. Reads never
+    /// assert write authority, so the request is answered even when the
+    /// requester's epoch is stale; the reply carries this backup's
+    /// current epoch so a lagging client learns about the failover.
+    fn read_reply(&self, object: ObjectId, floor: Option<LogPosition>, now: Time) -> WireMessage {
+        match self.serve_read(object, floor, now) {
+            BackupRead::Served {
+                payload,
+                certificate,
+                position,
+            } => WireMessage::ReadReply {
+                epoch: self.epoch,
+                object,
+                status: ReadStatus::Served,
+                write_epoch: certificate.write_epoch,
+                version: certificate.version,
+                age_bound: certificate.age_bound,
+                position,
+                payload,
+            },
+            BackupRead::Behind { position } => WireMessage::ReadReply {
+                epoch: self.epoch,
+                object,
+                status: ReadStatus::Behind,
+                write_epoch: Epoch::INITIAL,
+                version: Version::INITIAL,
+                age_bound: TimeDelta::ZERO,
+                position,
+                payload: Vec::new(),
+            },
+            BackupRead::Unknown => WireMessage::ReadReply {
+                epoch: self.epoch,
+                object,
+                status: ReadStatus::Unknown,
+                write_epoch: Epoch::INITIAL,
+                version: Version::INITIAL,
+                age_bound: TimeDelta::ZERO,
+                position: self.position,
+                payload: Vec::new(),
+            },
+        }
+    }
+
     /// Whether the last join cycle exhausted its attempt budget without
     /// ever receiving a state transfer.
     #[must_use]
@@ -434,6 +569,16 @@ impl Backup {
 
     fn dispatch_message(&mut self, msg: &WireMessage, now: Time, out: &mut BackupOutput) {
         let frame_epoch = msg.epoch();
+        // Reads never assert write authority, so they bypass the fence: a
+        // client with a stale epoch still deserves an answer (the reply
+        // carries the current epoch). A higher epoch is still adopted.
+        if let WireMessage::ReadRequest { object, floor, .. } = msg {
+            if frame_epoch > self.epoch {
+                self.epoch = frame_epoch;
+            }
+            out.replies.push(self.read_reply(*object, *floor, now));
+            return;
+        }
         let ping_seq = match msg {
             WireMessage::Ping { seq, .. } => Some(*seq),
             _ => None,
@@ -486,9 +631,13 @@ impl Backup {
                     self.dispatch_message(m, now, out);
                 }
             }
+            WireMessage::ReadRequest { .. } => {
+                // Handled before the fence; unreachable here.
+            }
             WireMessage::RetransmitRequest { .. }
             | WireMessage::JoinRequest { .. }
             | WireMessage::ResyncRequest { .. }
+            | WireMessage::ReadReply { .. }
             | WireMessage::UpdateAck { .. } => {
                 // Not addressed to a backup; ignore.
             }
@@ -497,6 +646,14 @@ impl Backup {
 
     fn dispatch_frame(&mut self, frame: &WireFrame<'_>, now: Time, out: &mut BackupOutput) {
         let frame_epoch = frame.epoch();
+        // Reads bypass the fence — see `dispatch_message`.
+        if let WireFrame::ReadRequest { object, floor, .. } = frame {
+            if frame_epoch > self.epoch {
+                self.epoch = frame_epoch;
+            }
+            out.replies.push(self.read_reply(*object, *floor, now));
+            return;
+        }
         let ping_seq = match frame {
             WireFrame::Ping { seq, .. } => Some(*seq),
             _ => None,
@@ -545,9 +702,13 @@ impl Backup {
                     self.dispatch_frame(&sub, now, out);
                 }
             }
+            WireFrame::ReadRequest { .. } => {
+                // Handled before the fence; unreachable here.
+            }
             WireFrame::RetransmitRequest { .. }
             | WireFrame::JoinRequest { .. }
             | WireFrame::ResyncRequest { .. }
+            | WireFrame::ReadReply { .. }
             | WireFrame::UpdateAck { .. } => {
                 // Not addressed to a backup; ignore.
             }
@@ -898,7 +1059,7 @@ mod tests {
             Version::new(3)
         );
         // The new primary continues the version sequence.
-        let v = new_primary.apply_client_write(id, vec![9], t(210)).unwrap();
+        let v = new_primary.apply_write(id, vec![9], t(210)).unwrap();
         assert_eq!(v, Version::new(4));
         // No backup yet: update production suppressed.
         assert!(new_primary.make_update(id, t(211)).is_none());

@@ -199,6 +199,15 @@ impl ProtocolConfig {
         self.send_cost_base + self.send_cost_per_byte * payload_bytes as u64
     }
 
+    /// The CPU cost of serving one local read of `payload_bytes` at a
+    /// replica. Reads skip protocol framing and the network stack, so
+    /// the base cost is a quarter of [`ProtocolConfig::send_cost_base`];
+    /// the per-byte copy cost is the same as for sends.
+    #[must_use]
+    pub fn read_cost(&self, payload_bytes: usize) -> TimeDelta {
+        self.send_cost_base / 4 + self.send_cost_per_byte * payload_bytes as u64
+    }
+
     /// Whether the batched update pipeline is active.
     #[must_use]
     pub fn batching_enabled(&self) -> bool {

@@ -14,7 +14,7 @@
 //! detector, the first backup to detect a primary death promotes itself,
 //! and the surviving backups re-join the new primary via state transfer.
 
-use crate::backup::Backup;
+use crate::backup::{Backup, BackupRead};
 use crate::config::ProtocolConfig;
 use crate::harness::cpu::{CpuQueue, Work};
 use crate::harness::faults::{FaultEvent, FaultPlan};
@@ -26,7 +26,8 @@ use rtpb_net::{FaultKind, FaultWindow, LinkConfig, LossyLink, Message, ProtocolG
 use rtpb_obs::{Counter, EventBus, EventKind, Histogram, MetricsRegistry, Role};
 use rtpb_sim::{Context, Simulation, World};
 use rtpb_types::{
-    AdmissionError, BufPool, Epoch, NodeId, ObjectId, ObjectSpec, Time, TimeDelta, Version,
+    AdmissionError, BufPool, Epoch, LogPosition, NodeId, ObjectId, ObjectSpec, ReadConsistency,
+    ReadError, ReadOutcome, StalenessCertificate, Time, TimeDelta, Version, WriteError,
 };
 use std::collections::BTreeMap;
 
@@ -115,11 +116,14 @@ struct Instruments {
     frames_sent: Counter,
     retransmit_requests: Counter,
     client_writes: Counter,
+    reads_served: Counter,
+    read_redirects: Counter,
     failovers: Counter,
     faults_injected: Counter,
     fenced_frames: Counter,
     catchup_bytes: Counter,
     response_time: Histogram,
+    read_latency: Histogram,
     failover_time: Histogram,
     recovery_time: Histogram,
     batch_occupancy: Histogram,
@@ -133,11 +137,14 @@ impl Instruments {
             frames_sent: registry.counter("cluster.frames_sent"),
             retransmit_requests: registry.counter("cluster.retransmit_requests"),
             client_writes: registry.counter("cluster.client_writes"),
+            reads_served: registry.counter("cluster.reads_served"),
+            read_redirects: registry.counter("cluster.read_redirects"),
             failovers: registry.counter("cluster.failovers"),
             faults_injected: registry.counter("cluster.faults_injected"),
             fenced_frames: registry.counter("cluster.fenced_frames"),
             catchup_bytes: registry.counter("cluster.catchup_bytes"),
             response_time: registry.histogram("cluster.response_time"),
+            read_latency: registry.histogram("cluster.read_latency"),
             failover_time: registry.histogram("cluster.failover_time"),
             recovery_time: registry.histogram("cluster.recovery_time"),
             // Occupancy is a count of sub-messages, not a duration; the
@@ -236,6 +243,12 @@ struct BackupHost {
     /// crash). Dropped if the host instead recovers cold via
     /// [`FaultEvent::RecoverBackup`].
     parked: Option<Backup>,
+    /// Reads this host has answered (least-loaded routing tiebreak).
+    reads_served: u64,
+    /// When this host's serial read queue drains: a read issued at `t`
+    /// starts at `max(t, busy_until)` and occupies the host for its
+    /// service cost. Models local read capacity without a network hop.
+    busy_until: Time,
     data_link: LossyLink,
     ctrl_link: LossyLink,
     rev_data_link: LossyLink,
@@ -256,6 +269,8 @@ impl BackupHost {
             node,
             backup: Some(Backup::new(node, config.protocol.clone())),
             parked: None,
+            reads_served: 0,
+            busy_until: Time::ZERO,
             data_link: LossyLink::new(config.link, base),
             ctrl_link: LossyLink::new(lossless, base.wrapping_add(1)),
             rev_data_link: LossyLink::new(config.link, base.wrapping_add(2)),
@@ -374,6 +389,22 @@ impl ClusterWorld {
 
     fn live_backup_count(&self) -> usize {
         self.hosts.iter().filter(|h| h.backup.is_some()).count()
+    }
+
+    /// Whether host `i` may answer client reads: its replica is live,
+    /// not mid-join, and not inside an open crash-recovery or resync
+    /// window. The window checks are the harness-level half of the
+    /// catch-up read gate — a recovering replica's store can hold
+    /// pre-crash values until its re-integration frame lands, and those
+    /// must never be served ([`Backup::serve_read`] enforces the
+    /// state-machine half via `join_in_progress`).
+    fn read_eligible(&self, i: usize) -> bool {
+        self.hosts[i]
+            .backup
+            .as_ref()
+            .is_some_and(|b| !b.join_in_progress())
+            && !self.pending_recovery.contains_key(&i)
+            && !self.pending_resync.contains_key(&i)
     }
 
     /// Whether the serving primary is currently cut off from every
@@ -1432,7 +1463,7 @@ impl ClusterWorld {
                 let Some(primary) = self.primary.as_mut() else {
                     return;
                 };
-                if let Some(version) = primary.apply_client_write(object, payload, now) {
+                if let Some(version) = primary.apply_write(object, payload, now) {
                     let node = primary.node();
                     for (head, log_len) in primary.take_snapshot_marks() {
                         ctx.emit(EventKind::StoreSnapshot {
@@ -2222,6 +2253,278 @@ impl SimCluster {
     /// Advances the cluster by `span` of virtual time.
     pub fn run_for(&mut self, span: TimeDelta) {
         self.sim.run_for(span);
+    }
+
+    /// Applies a client write at the serving primary, routed through the
+    /// name service — the synchronous write path behind
+    /// [`RtpbClient::write`](crate::client::RtpbClient::write).
+    ///
+    /// Unlike the cluster's own periodic write load (which crosses the
+    /// CPU queue and feeds the response-time distribution), facade
+    /// writes complete in zero virtual time; they count in
+    /// `cluster.client_writes` and the per-object metrics but do not
+    /// perturb the response-time histogram.
+    pub(crate) fn client_write(
+        &mut self,
+        object: ObjectId,
+        payload: Vec<u8>,
+    ) -> Result<(Version, LogPosition), WriteError> {
+        let now = self.sim.now();
+        let (version, position, node, marks) = {
+            let world = self.sim.world_mut();
+            if !world.specs.contains_key(&object) {
+                return Err(WriteError::UnknownObject(object));
+            }
+            let serving = world.names.resolve();
+            let Some(primary) = world.primary.as_mut().filter(|p| p.node() == serving) else {
+                return Err(WriteError::Unavailable);
+            };
+            let Some(version) = primary.apply_write(object, payload, now) else {
+                return Err(WriteError::Unavailable);
+            };
+            let node = primary.node();
+            let position = primary.position();
+            let marks = primary.take_snapshot_marks();
+            world.metrics.on_primary_write(object, version, now);
+            world.instruments.client_writes.inc();
+            (version, position, node, marks)
+        };
+        for (head, log_len) in marks {
+            self.sim.emit(EventKind::StoreSnapshot {
+                node,
+                head,
+                log_len,
+            });
+        }
+        self.sim.emit(EventKind::ClientWrite {
+            object,
+            version,
+            response: TimeDelta::ZERO,
+        });
+        Ok((version, position))
+    }
+
+    /// Routes a client read — the path behind
+    /// [`RtpbClient::read`](crate::client::RtpbClient::read).
+    ///
+    /// Strong reads go straight to the serving primary. Every other
+    /// level tries the read-eligible backups least-loaded-first (a host
+    /// is eligible when its replica is live, not mid-join, and not
+    /// inside a crash-recovery or resync window); a backup behind the
+    /// session floor or over the staleness bound is skipped, and when
+    /// no replica qualifies the read redirects to the primary.
+    ///
+    /// On success also returns the server's applied [`LogPosition`]
+    /// (when it reported one) so the caller can advance its session
+    /// token's high-water mark.
+    pub(crate) fn client_read(
+        &mut self,
+        object: ObjectId,
+        consistency: &ReadConsistency,
+        floor: Option<LogPosition>,
+    ) -> Result<(ReadOutcome, Option<LogPosition>), ReadError> {
+        enum Routed {
+            Replica {
+                served_by: NodeId,
+                payload: Vec<u8>,
+                certificate: StalenessCertificate,
+                position: Option<LogPosition>,
+            },
+            Redirect {
+                primary: NodeId,
+                payload: Vec<u8>,
+                certificate: StalenessCertificate,
+                position: Option<LogPosition>,
+                reason: &'static str,
+            },
+        }
+        let now = self.sim.now();
+        let routed = {
+            let world = self.sim.world_mut();
+            if !world.specs.contains_key(&object) {
+                return Err(ReadError::UnknownObject(object));
+            }
+            let mut chosen = None;
+            let mut saw_behind = false;
+            let mut saw_bound_unmet = false;
+            let mut order: Vec<usize> = Vec::new();
+            if !matches!(consistency, ReadConsistency::Strong) {
+                order = (0..world.hosts.len())
+                    .filter(|&i| world.read_eligible(i))
+                    .collect();
+                order.sort_by_key(|&i| {
+                    let h = &world.hosts[i];
+                    (h.busy_until.max(now), h.reads_served, i)
+                });
+                for &i in &order {
+                    let Some(backup) = world.hosts[i].backup.as_ref() else {
+                        continue;
+                    };
+                    match backup.serve_read(object, floor, now) {
+                        BackupRead::Served {
+                            payload,
+                            certificate,
+                            position,
+                        } => {
+                            if let ReadConsistency::Bounded(bound) = consistency {
+                                if !certificate.respects(*bound) {
+                                    saw_bound_unmet = true;
+                                    continue;
+                                }
+                            }
+                            chosen = Some((i, payload, certificate, position));
+                            break;
+                        }
+                        BackupRead::Behind { .. } => saw_behind = true,
+                        BackupRead::Unknown => {}
+                    }
+                }
+            }
+            if let Some((i, payload, certificate, position)) = chosen {
+                let cost = world.config.protocol.read_cost(payload.len());
+                let host = &mut world.hosts[i];
+                let start = host.busy_until.max(now);
+                host.busy_until = start + cost;
+                host.reads_served += 1;
+                let latency = start.saturating_since(now) + cost;
+                world.instruments.reads_served.inc();
+                world.instruments.read_latency.record(latency);
+                Routed::Replica {
+                    served_by: world.hosts[i].node,
+                    payload,
+                    certificate,
+                    position,
+                }
+            } else {
+                let reason = if matches!(consistency, ReadConsistency::Strong) {
+                    "strong"
+                } else if order.is_empty() {
+                    "no_replica"
+                } else if saw_bound_unmet {
+                    "bound_unmet"
+                } else if saw_behind {
+                    "behind_floor"
+                } else {
+                    "not_replicated"
+                };
+                let serving = world.names.resolve();
+                let Some(primary) = world.primary.as_ref().filter(|p| p.node() == serving) else {
+                    return Err(ReadError::Unavailable);
+                };
+                match primary.serve_read(object, now) {
+                    Some(read) => {
+                        let cost = world.config.protocol.read_cost(read.payload.len());
+                        // A redirected read pays the round trip to the
+                        // primary on top of the service cost.
+                        let latency = cost + world.config.protocol.link_delay_bound * 2;
+                        if matches!(consistency, ReadConsistency::Strong) {
+                            world.instruments.reads_served.inc();
+                        } else {
+                            world.instruments.read_redirects.inc();
+                        }
+                        world.instruments.read_latency.record(latency);
+                        Routed::Redirect {
+                            primary: primary.node(),
+                            payload: read.payload,
+                            certificate: read.certificate,
+                            position: Some(read.position),
+                            reason,
+                        }
+                    }
+                    None => {
+                        // Registered but never written is the caller's
+                        // bug (`NoValue`); a gate-refused primary is the
+                        // cluster's problem (`Unavailable`).
+                        let never_written = primary
+                            .store()
+                            .get(object)
+                            .is_some_and(|e| e.value().is_none());
+                        return Err(if never_written {
+                            ReadError::NoValue(object)
+                        } else {
+                            ReadError::Unavailable
+                        });
+                    }
+                }
+            }
+        };
+        match routed {
+            Routed::Replica {
+                served_by,
+                payload,
+                certificate,
+                position,
+            } => {
+                self.sim.emit(EventKind::ReadServed {
+                    object,
+                    served_by,
+                    version: certificate.version,
+                    age_bound: certificate.age_bound,
+                    consistency: consistency.name().to_string(),
+                });
+                Ok((
+                    ReadOutcome::Replica {
+                        served_by,
+                        payload,
+                        certificate,
+                    },
+                    position,
+                ))
+            }
+            Routed::Redirect {
+                primary,
+                payload,
+                certificate,
+                position,
+                reason,
+            } => {
+                if matches!(consistency, ReadConsistency::Strong) {
+                    self.sim.emit(EventKind::ReadServed {
+                        object,
+                        served_by: primary,
+                        version: certificate.version,
+                        age_bound: certificate.age_bound,
+                        consistency: consistency.name().to_string(),
+                    });
+                    Ok((
+                        ReadOutcome::Replica {
+                            served_by: primary,
+                            payload,
+                            certificate,
+                        },
+                        position,
+                    ))
+                } else {
+                    self.sim.emit(EventKind::ReadRedirected {
+                        object,
+                        primary,
+                        consistency: consistency.name().to_string(),
+                        reason: reason.to_string(),
+                    });
+                    Ok((
+                        ReadOutcome::Redirect {
+                            primary,
+                            payload,
+                            certificate,
+                        },
+                        position,
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Per-host read-service telemetry, in host order:
+    /// `(node, live, reads_served, busy_until)`. The bench's scaling
+    /// model reads the drain instants from here.
+    #[must_use]
+    pub fn read_load(&self) -> Vec<(NodeId, bool, u64, Time)> {
+        self.sim
+            .world()
+            .hosts
+            .iter()
+            .map(|h| (h.node, h.backup.is_some(), h.reads_served, h.busy_until))
+            .collect()
     }
 
     /// The current virtual time.

@@ -17,27 +17,30 @@
 //!   (§4.3) rather than per-update acknowledgements.
 //!
 //! The protocol cores ([`Primary`], [`Backup`]) are sans-io state
-//! machines; drive them with the deterministic simulation harness
-//! ([`harness::SimCluster`]) or the real-clock thread runtime in
-//! `rtpb-rt`.
+//! machines; drive them through the [`RtpbClient`] session facade (which
+//! owns the deterministic simulation harness, [`harness::SimCluster`])
+//! or the real-clock thread runtime in `rtpb-rt`.
 //!
 //! # Examples
 //!
 //! ```
-//! use rtpb_core::harness::{ClusterConfig, SimCluster};
-//! use rtpb_types::{ObjectSpec, TimeDelta};
+//! use rtpb_core::{harness::ClusterConfig, RtpbClient};
+//! use rtpb_types::{ObjectSpec, ReadConsistency, TimeDelta};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! let mut cluster = SimCluster::new(ClusterConfig::default());
-//! let id = cluster.register(
+//! let mut client = RtpbClient::new(ClusterConfig::default());
+//! let id = client.register(
 //!     ObjectSpec::builder("altitude")
 //!         .update_period(TimeDelta::from_millis(100))
 //!         .primary_bound(TimeDelta::from_millis(150))
 //!         .backup_bound(TimeDelta::from_millis(550))
 //!         .build()?,
 //! )?;
-//! cluster.run_for(TimeDelta::from_secs(2));
-//! assert_eq!(cluster.metrics().object_report(id).unwrap().backup_violations, 0);
+//! client.run_for(TimeDelta::from_secs(2));
+//! // Replica reads come back with a staleness certificate (Theorem 5).
+//! let outcome = client.read(id, ReadConsistency::Bounded(TimeDelta::from_millis(550)))?;
+//! assert!(outcome.certificate().respects(TimeDelta::from_millis(550)));
+//! assert_eq!(client.metrics().object_report(id).unwrap().backup_violations, 0);
 //! # Ok(())
 //! # }
 //! ```
@@ -47,6 +50,7 @@
 
 pub mod admission;
 pub mod backup;
+pub mod client;
 pub mod config;
 pub mod harness;
 pub mod heartbeat;
@@ -58,9 +62,10 @@ pub mod store;
 pub mod update_sched;
 pub mod wire;
 
-pub use backup::Backup;
+pub use backup::{Backup, BackupRead};
+pub use client::RtpbClient;
 pub use config::{ProtocolConfig, SchedulabilityTest, SchedulingMode};
 pub use harness::{ClusterConfig, SimCluster};
 pub use metrics::{ClusterMetrics, ObjectReport};
-pub use primary::Primary;
+pub use primary::{Primary, PrimaryRead};
 pub use wire::WireMessage;

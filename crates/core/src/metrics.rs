@@ -29,6 +29,10 @@ use rtpb_sim::Summary;
 use rtpb_types::{ObjectId, Time, TimeDelta, Version};
 use std::collections::{BTreeMap, VecDeque};
 
+/// Per-object cap on the recent-write history used by the read-path
+/// staleness validator.
+const RECENT_WRITE_HISTORY: usize = 64;
+
 /// Per-object metric state.
 #[derive(Debug, Clone)]
 struct ObjectMetrics {
@@ -45,6 +49,12 @@ struct ObjectMetrics {
     // known to have reached the backup, oldest first. The distance at
     // time t is `t - front.timestamp` (zero when empty).
     pending: VecDeque<(Version, Time)>,
+    // Bounded history of recent primary writes, oldest first. Lets the
+    // read-path validator recover the true staleness of a served
+    // certificate (the age of the earliest write the reader missed).
+    // Evicting old entries only makes the validator more lenient, never
+    // produces a false violation.
+    recent_writes: VecDeque<(Version, Time)>,
     last_event: Time,
     in_violation: bool,
     max_distance: TimeDelta,
@@ -78,6 +88,7 @@ impl ObjectMetrics {
             backup_version: Version::INITIAL,
             backup_ts: None,
             pending: VecDeque::new(),
+            recent_writes: VecDeque::new(),
             last_event: Time::ZERO,
             in_violation: false,
             max_distance: TimeDelta::ZERO,
@@ -278,6 +289,31 @@ impl ClusterMetrics {
         m.primary_ts = Some(now);
         m.advance(now);
         m.pending.push_back((version, now));
+        if m.recent_writes.len() >= RECENT_WRITE_HISTORY {
+            m.recent_writes.pop_front();
+        }
+        m.recent_writes.push_back((version, now));
+    }
+
+    /// Timestamp of the earliest recorded write to `id` with a version
+    /// strictly greater than `version`, if any is still in the bounded
+    /// history.
+    ///
+    /// This is the ground truth a [`StalenessCertificate`] is checked
+    /// against: a read served at version `v` at time `t` is truly
+    /// `t - earliest_write_after(id, v)` stale (zero when no newer write
+    /// exists). History eviction can only under-report true staleness,
+    /// so a validator built on this accessor never raises a false
+    /// violation.
+    ///
+    /// [`StalenessCertificate`]: rtpb_types::StalenessCertificate
+    #[must_use]
+    pub fn earliest_write_after(&self, id: ObjectId, version: Version) -> Option<Time> {
+        let m = self.objects.get(&id)?;
+        m.recent_writes
+            .iter()
+            .find(|&&(v, _)| v > version)
+            .map(|&(_, ts)| ts)
     }
 
     /// Records an update applied at the backup. `write_ts` is the

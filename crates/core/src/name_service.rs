@@ -53,6 +53,14 @@ impl NameService {
         self.history.last().expect("history never empty").node
     }
 
+    /// When the current binding took effect (`Time::ZERO` until the
+    /// first failover). Read routing uses this to annotate redirects
+    /// that race a takeover.
+    #[must_use]
+    pub fn bound_since(&self) -> Time {
+        self.history.last().expect("history never empty").since
+    }
+
     /// Rebinds the name to `node` (performed by the new primary during
     /// takeover).
     pub fn rebind(&mut self, node: NodeId, now: Time) {
@@ -92,5 +100,6 @@ mod tests {
         assert_eq!(ns.failover_count(), 2);
         assert_eq!(ns.history()[1].node, NodeId::new(1));
         assert_eq!(ns.history()[1].since, Time::from_millis(100));
+        assert_eq!(ns.bound_since(), Time::from_millis(300));
     }
 }

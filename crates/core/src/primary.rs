@@ -21,10 +21,10 @@ use crate::heartbeat::{DetectorAction, FailureDetector};
 use crate::log::{CatchUpPath, UpdateLog};
 use crate::store::ObjectStore;
 use crate::update_sched::UpdateSchedule;
-use crate::wire::{StateEntry, WireMessage};
+use crate::wire::{ReadStatus, StateEntry, WireMessage};
 use rtpb_types::{
     AdmissionError, Epoch, InterObjectConstraint, Lease, LogPosition, NodeId, ObjectId, ObjectSpec,
-    Time, TimeDelta, Version,
+    StalenessCertificate, Time, TimeDelta, Version,
 };
 use std::collections::BTreeMap;
 
@@ -66,6 +66,18 @@ pub struct CatchUpDecision {
     pub bytes: u64,
 }
 
+/// A strong read served by the primary (authoritative copy, staleness
+/// zero by definition).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrimaryRead {
+    /// The served value.
+    pub payload: Vec<u8>,
+    /// The certificate (age bound zero: the primary owns the write path).
+    pub certificate: StalenessCertificate,
+    /// The primary's update-log head position, for session tokens.
+    pub position: LogPosition,
+}
+
 /// One heartbeat round's outcome: probes to send (per peer) and peers
 /// declared dead this round.
 #[derive(Debug, Clone, Default)]
@@ -79,9 +91,13 @@ pub struct HeartbeatRound {
 
 /// The primary server.
 ///
+/// Drivers route client traffic through `RtpbClient`; the state machine
+/// itself is exercised directly only by harnesses and runtimes.
+///
 /// # Examples
 ///
 /// ```
+/// # #![allow(deprecated)]
 /// use rtpb_core::config::ProtocolConfig;
 /// use rtpb_core::primary::Primary;
 /// use rtpb_types::{NodeId, ObjectSpec, Time, TimeDelta};
@@ -410,7 +426,24 @@ impl Primary {
     /// regime exists that could have promoted past it, and any replica of
     /// a *prior* regime announces itself through a higher-epoch frame,
     /// which flips `is_deposed` and closes this gate.
+    #[deprecated(
+        since = "0.8.0",
+        note = "route writes through `RtpbClient::write`; direct state-machine \
+                writes bypass session tokens, metrics, and observability"
+    )]
     pub fn apply_client_write(
+        &mut self,
+        id: ObjectId,
+        payload: Vec<u8>,
+        now: Time,
+    ) -> Option<Version> {
+        self.apply_write(id, payload, now)
+    }
+
+    /// The write path shared by the deprecated public entry point and the
+    /// in-crate drivers (`RtpbClient`, the sim harness). See
+    /// [`Primary::apply_client_write`] for the full gate semantics.
+    pub(crate) fn apply_write(
         &mut self,
         id: ObjectId,
         payload: Vec<u8>,
@@ -439,6 +472,90 @@ impl Primary {
             self.snapshot_marks.push(mark);
         }
         Some(next)
+    }
+
+    /// The head of this regime's update log as a [`LogPosition`] — what a
+    /// client write advances and what a session token's read-your-writes
+    /// floor is minted from.
+    #[must_use]
+    pub fn position(&self) -> LogPosition {
+        LogPosition::new(self.epoch, self.log.head())
+    }
+
+    /// Serves a **strong** read at the primary: the authoritative copy,
+    /// under the same split-brain gate as writes (a deposed primary, or a
+    /// lapsed leaseholder that ever tracked a backup, must not serve —
+    /// its successor may already have accepted newer writes).
+    ///
+    /// Returns `None` when the gate refuses service, the object is
+    /// unknown, or no write has ever completed.
+    #[must_use]
+    pub fn serve_read(&self, object: ObjectId, now: Time) -> Option<PrimaryRead> {
+        if self.is_deposed() || (self.ever_had_backup && !self.lease.is_valid(now)) {
+            return None;
+        }
+        let entry = self.store.get(object)?;
+        let value = entry.value()?;
+        Some(PrimaryRead {
+            payload: value.payload().to_vec(),
+            certificate: StalenessCertificate {
+                object,
+                write_epoch: entry.write_epoch(),
+                version: value.version(),
+                age_bound: TimeDelta::ZERO,
+            },
+            position: self.position(),
+        })
+    }
+
+    /// Answers a wire-level [`WireMessage::ReadRequest`] addressed to the
+    /// primary (the strong-read transport path).
+    fn read_reply(&self, object: ObjectId, floor: Option<LogPosition>, now: Time) -> WireMessage {
+        let position = self.position();
+        // The primary *is* the log head of its own regime; the only floor
+        // it cannot satisfy is one minted under a higher epoch — proof a
+        // successor exists.
+        if floor.is_some_and(|f| f > position) {
+            return WireMessage::ReadReply {
+                epoch: self.epoch,
+                object,
+                status: ReadStatus::Behind,
+                write_epoch: Epoch::INITIAL,
+                version: Version::INITIAL,
+                age_bound: TimeDelta::ZERO,
+                position: Some(position),
+                payload: Vec::new(),
+            };
+        }
+        match self.serve_read(object, now) {
+            Some(read) => WireMessage::ReadReply {
+                epoch: self.epoch,
+                object,
+                status: ReadStatus::Served,
+                write_epoch: read.certificate.write_epoch,
+                version: read.certificate.version,
+                age_bound: read.certificate.age_bound,
+                position: Some(read.position),
+                payload: read.payload,
+            },
+            // Gate refused (`Behind`: retry elsewhere or later) vs nothing
+            // to serve (`Unknown`: unregistered or never written).
+            None => WireMessage::ReadReply {
+                epoch: self.epoch,
+                object,
+                status: if self.is_deposed() || (self.ever_had_backup && !self.lease.is_valid(now))
+                {
+                    ReadStatus::Behind
+                } else {
+                    ReadStatus::Unknown
+                },
+                write_epoch: Epoch::INITIAL,
+                version: Version::INITIAL,
+                age_bound: TimeDelta::ZERO,
+                position: Some(position),
+                payload: Vec::new(),
+            },
+        }
     }
 
     /// Produces the update message for `id`'s current image — called by
@@ -518,7 +635,9 @@ impl Primary {
         }
         let requests_state = matches!(
             msg,
-            WireMessage::JoinRequest { .. } | WireMessage::ResyncRequest { .. }
+            WireMessage::JoinRequest { .. }
+                | WireMessage::ResyncRequest { .. }
+                | WireMessage::ReadRequest { .. }
         );
         if frame_epoch < self.epoch && !requests_state {
             self.stale_frames_rejected += 1;
@@ -629,10 +748,18 @@ impl Primary {
                     }
                 }
             }
+            WireMessage::ReadRequest { object, floor, .. } => {
+                // The strong-read transport path: reads request state, not
+                // authority, so (like join/resync) a stale-epoch request
+                // is still answered — the reply's epoch educates the
+                // client.
+                out.replies.push(self.read_reply(*object, *floor, now));
+            }
             WireMessage::Update { .. }
             | WireMessage::StateTransfer { .. }
             | WireMessage::ResyncDiff { .. }
-            | WireMessage::LogSuffix { .. } => {
+            | WireMessage::LogSuffix { .. }
+            | WireMessage::ReadReply { .. } => {
                 // Not addressed to a primary; ignore.
             }
         }
@@ -920,7 +1047,7 @@ mod tests {
         let mut p = primary();
         let id = p.register(spec(), Time::ZERO).unwrap();
         assert!(p.make_update(id, t(1)).is_none(), "no write yet");
-        let v = p.apply_client_write(id, vec![7], t(5)).unwrap();
+        let v = p.apply_write(id, vec![7], t(5)).unwrap();
         assert_eq!(v, Version::new(1));
         match p.make_update(id, t(6)) {
             Some(WireMessage::Update {
@@ -961,9 +1088,7 @@ mod tests {
     #[test]
     fn writes_to_unknown_objects_are_rejected() {
         let mut p = primary();
-        assert!(p
-            .apply_client_write(ObjectId::new(9), vec![], t(1))
-            .is_none());
+        assert!(p.apply_write(ObjectId::new(9), vec![], t(1)).is_none());
     }
 
     #[test]
@@ -992,7 +1117,7 @@ mod tests {
     fn retransmit_request_resends_only_if_newer() {
         let mut p = primary();
         let id = p.register(spec(), Time::ZERO).unwrap();
-        p.apply_client_write(id, vec![1], t(5));
+        p.apply_write(id, vec![1], t(5));
         // Backup already has version 1: nothing to resend.
         let out = p.handle_message(
             &WireMessage::RetransmitRequest {
@@ -1042,7 +1167,7 @@ mod tests {
         let mut p = primary();
         p.add_backup(NodeId::new(1), Time::ZERO);
         let id = p.register(spec(), Time::ZERO).unwrap();
-        p.apply_client_write(id, vec![1], t(1));
+        p.apply_write(id, vec![1], t(1));
         // Drive heartbeats with no acks until declaration.
         let mut now = Time::ZERO;
         let mut declared = false;
@@ -1131,7 +1256,7 @@ mod tests {
         let mut p = primary();
         p.add_backup(NodeId::new(1), Time::ZERO);
         let id = p.register(spec(), Time::ZERO).unwrap();
-        p.apply_client_write(id, vec![9], t(5));
+        p.apply_write(id, vec![9], t(5));
         // Kill the backup.
         let mut now = Time::ZERO;
         loop {
@@ -1172,8 +1297,8 @@ mod tests {
         let a = p.register(spec(), Time::ZERO).unwrap();
         let b = p.register(spec(), Time::ZERO).unwrap();
         let c = p.register(spec(), Time::ZERO).unwrap();
-        p.apply_client_write(a, vec![1], t(5));
-        p.apply_client_write(c, vec![3], t(6));
+        p.apply_write(a, vec![1], t(5));
+        p.apply_write(c, vec![3], t(6));
         // b was never written: it contributes nothing.
         match p.make_batch(&[a, b, c], t(7)) {
             Some(WireMessage::Batch { messages, .. }) => {
@@ -1217,7 +1342,7 @@ mod tests {
         let mut p = primary();
         let _a = p.register(spec(), Time::ZERO).unwrap();
         let b = p.register(spec(), Time::ZERO).unwrap();
-        p.apply_client_write(b, vec![1], t(1));
+        p.apply_write(b, vec![1], t(1));
         match p.snapshot() {
             WireMessage::StateTransfer { entries, .. } => {
                 assert_eq!(entries.len(), 1);
@@ -1231,7 +1356,7 @@ mod tests {
     fn lapsed_lease_suppresses_updates_until_renewed() {
         let mut p = primary();
         let id = p.register(spec(), Time::ZERO).unwrap();
-        p.apply_client_write(id, vec![1], t(5));
+        p.apply_write(id, vec![1], t(5));
         // Within the lease granted by add_backup at t=0 (250 ms default).
         assert!(p.make_update(id, t(100)).is_some());
         // Past the lease, with no acks in between: suppressed.
@@ -1264,7 +1389,7 @@ mod tests {
         // schedule and promote.
         let mut p = primary();
         let id = p.register(spec(), Time::ZERO).unwrap();
-        p.apply_client_write(id, vec![1], t(5));
+        p.apply_write(id, vec![1], t(5));
         for k in 0..10u64 {
             p.handle_message(
                 &WireMessage::Ping {
@@ -1287,18 +1412,18 @@ mod tests {
         // a replica) — no replica of its regime exists to supersede it.
         let mut lone = Primary::new(NodeId::new(0), ProtocolConfig::default());
         let id = lone.register(spec(), Time::ZERO).unwrap();
-        assert!(lone.apply_client_write(id, vec![1], t(400)).is_some());
+        assert!(lone.apply_write(id, vec![1], t(400)).is_some());
         // The moment a backup joins, the lease gates writes for good.
         lone.add_backup(NodeId::new(1), t(400));
-        assert!(lone.apply_client_write(id, vec![2], t(500)).is_some());
-        assert!(lone.apply_client_write(id, vec![3], t(700)).is_none());
+        assert!(lone.apply_write(id, vec![2], t(500)).is_some());
+        assert!(lone.apply_write(id, vec![3], t(700)).is_none());
         assert_eq!(lone.writes_applied(), 2);
 
         // Lapsed: writes stop once the lease runs out.
         let mut p = primary();
         let id = p.register(spec(), Time::ZERO).unwrap();
-        assert!(p.apply_client_write(id, vec![1], t(5)).is_some());
-        assert!(p.apply_client_write(id, vec![2], t(260)).is_none());
+        assert!(p.apply_write(id, vec![1], t(5)).is_some());
+        assert!(p.apply_write(id, vec![2], t(260)).is_none());
 
         // Deposed: even within the lease window, a primary that has seen
         // a higher epoch refuses writes immediately.
@@ -1313,7 +1438,7 @@ mod tests {
             t(10),
         );
         assert!(p.is_deposed());
-        assert!(p.apply_client_write(id, vec![3], t(11)).is_none());
+        assert!(p.apply_write(id, vec![3], t(11)).is_none());
         assert_eq!(p.store().get(id).unwrap().version(), Version::INITIAL);
     }
 
@@ -1359,7 +1484,7 @@ mod tests {
     fn higher_epoch_frame_deposes_the_primary() {
         let mut p = primary();
         let id = p.register(spec(), Time::ZERO).unwrap();
-        p.apply_client_write(id, vec![1], t(5));
+        p.apply_write(id, vec![1], t(5));
         assert!(!p.is_deposed());
         let out = p.handle_message(
             &WireMessage::Ping {
@@ -1421,10 +1546,10 @@ mod tests {
         let a = p.register(spec(), Time::ZERO).unwrap();
         let b = p.register(spec(), Time::ZERO).unwrap();
         let c = p.register(spec(), Time::ZERO).unwrap();
-        p.apply_client_write(a, vec![1], t(1));
-        p.apply_client_write(a, vec![2], t(2));
-        p.apply_client_write(b, vec![3], t(3));
-        p.apply_client_write(c, vec![4], t(4));
+        p.apply_write(a, vec![1], t(1));
+        p.apply_write(a, vec![2], t(2));
+        p.apply_write(b, vec![3], t(3));
+        p.apply_write(c, vec![4], t(4));
         // Requester is current on a, behind on b, and never saw c.
         let out = p.handle_message(
             &WireMessage::ResyncRequest {
@@ -1484,7 +1609,7 @@ mod tests {
     fn demote_yields_a_backup_at_the_observed_epoch() {
         let mut p = primary();
         let id = p.register(spec(), Time::ZERO).unwrap();
-        p.apply_client_write(id, vec![9], t(5));
+        p.apply_write(id, vec![9], t(5));
         p.handle_message(
             &WireMessage::Update {
                 epoch: Epoch::new(2),
@@ -1509,9 +1634,9 @@ mod tests {
         let mut p = primary();
         let a = p.register(spec(), Time::ZERO).unwrap();
         let b = p.register(spec(), Time::ZERO).unwrap();
-        p.apply_client_write(a, vec![1], t(1));
-        p.apply_client_write(b, vec![2], t(2));
-        p.apply_client_write(a, vec![3], t(3));
+        p.apply_write(a, vec![1], t(1));
+        p.apply_write(b, vec![2], t(2));
+        p.apply_write(a, vec![3], t(3));
         // The backup applied through seq 1, then missed 2 and 3.
         let out = p.handle_message(
             &WireMessage::JoinRequest {
@@ -1562,12 +1687,12 @@ mod tests {
         let a = p.register(spec(), Time::ZERO).unwrap();
         let b = p.register(spec(), Time::ZERO).unwrap();
         for i in 0..6u64 {
-            p.apply_client_write(a, vec![i as u8], t(i + 1));
+            p.apply_write(a, vec![i as u8], t(i + 1));
         }
         // 6 writes → snapshot at seq 6; ring trimmed behind it.
         assert_eq!(p.take_snapshot_marks().len(), 1);
         for i in 0..4u64 {
-            p.apply_client_write(b, vec![i as u8], t(i + 10));
+            p.apply_write(b, vec![i as u8], t(i + 10));
         }
         // Position 6 sits exactly at the snapshot: ring covers 7..=10, so
         // this is still a suffix.
@@ -1595,7 +1720,7 @@ mod tests {
         // snapshot (6) and the ring's floor takes the snapshot-diff path,
         // shipping only objects written since seq 6 — b, not a.
         for i in 0..6u64 {
-            p.apply_client_write(b, vec![i as u8], t(i + 30));
+            p.apply_write(b, vec![i as u8], t(i + 30));
         }
         let _ = p.take_snapshot_marks();
         let out = p.handle_message(
@@ -1621,7 +1746,7 @@ mod tests {
     fn position_from_another_epoch_never_uses_the_log() {
         let mut p = primary();
         let id = p.register(spec(), Time::ZERO).unwrap();
-        p.apply_client_write(id, vec![1], t(1));
+        p.apply_write(id, vec![1], t(1));
         let out = p.handle_message(
             &WireMessage::JoinRequest {
                 epoch: Epoch::INITIAL,
@@ -1634,5 +1759,116 @@ mod tests {
         assert_eq!(plan.path, CatchUpPath::FullTransfer);
         assert_eq!(plan.gap, 1, "cross-epoch gap spans the whole head");
         assert!(matches!(out.replies[0], WireMessage::StateTransfer { .. }));
+    }
+
+    /// The `(id, write_epoch, version, timestamp, payload)` tuple of every
+    /// object — everything replication is responsible for. (Local
+    /// bookkeeping like `registered_at` is excluded: a cold store
+    /// re-registers at join time by design.)
+    fn fingerprint(store: &crate::store::ObjectStore) -> Vec<(u32, u64, u64, u64, Vec<u8>)> {
+        store
+            .iter()
+            .map(|(id, entry)| {
+                let (version, timestamp, payload) = entry.value().map_or_else(
+                    || (0, 0, Vec::new()),
+                    |v| {
+                        (
+                            v.version().value(),
+                            v.timestamp().as_nanos(),
+                            v.payload().to_vec(),
+                        )
+                    },
+                );
+                (
+                    id.index(),
+                    entry.write_epoch().value(),
+                    version,
+                    timestamp,
+                    payload,
+                )
+            })
+            .collect()
+    }
+
+    /// Propcheck: for random write histories, retention knobs, and crash
+    /// points, a durable backup caught up through its log position and a
+    /// cold backup rebuilt by full state transfer converge to
+    /// byte-identical stores — and both match the primary. The
+    /// epoch-aware `(write_epoch, version)` ordering in
+    /// `ObjectStore::apply` makes every path land on the same images
+    /// regardless of how they were shipped.
+    #[test]
+    fn suffix_replay_and_full_transfer_converge_identically() {
+        use crate::backup::Backup;
+        use rtpb_sim::propcheck::{run_cases, Gen};
+
+        run_cases("recovery-convergence", 60, |g: &mut Gen| {
+            let config = ProtocolConfig {
+                log_retention: g.usize_in(4, 64),
+                snapshot_interval: g.u64_in(4, 32),
+                snapshots_retained: g.usize_in(1, 4),
+                ..ProtocolConfig::default()
+            };
+            let mut p = Primary::new(NodeId::new(0), config.clone());
+            p.add_backup(NodeId::new(1), Time::ZERO);
+            let k = g.usize_in(1, 5);
+            let ids: Vec<_> = (0..k)
+                .map(|_| p.register(spec(), Time::ZERO).unwrap())
+                .collect();
+
+            // The durable backup tracks the primary update-by-update
+            // until the crash point, then misses everything after it.
+            let mut durable = Backup::new(NodeId::new(1), config.clone());
+            for (id, ospec, period) in p.registry() {
+                durable.sync_registration(id, ospec, period, Time::ZERO);
+            }
+            // Gaps of 1-2 ms keep the whole history inside the
+            // leadership lease (250 ms, armed once at `add_backup`):
+            // this harness is sans-io, so no heartbeat acks flow back
+            // to renew it.
+            let writes = g.usize_in(5, 80);
+            let cut = g.usize_in(0, writes + 1);
+            let mut now = Time::ZERO;
+            for i in 0..writes {
+                now += ms(g.u64_in(1, 3));
+                let id = ids[g.usize_in(0, k)];
+                p.apply_write(id, g.bytes(16), now);
+                let _ = p.take_snapshot_marks();
+                if i < cut {
+                    let update = p.make_update(id, now).expect("update for fresh write");
+                    durable.handle_message(&update, now);
+                }
+            }
+
+            // Durable path: join with the recorded position; the
+            // primary picks whichever of the three paths covers the gap.
+            now += ms(5);
+            let join = durable.begin_join(now);
+            let out = p.handle_message(&join, now);
+            assert!(out.catch_up.is_some(), "join must produce a plan");
+            for reply in &out.replies {
+                durable.handle_message(reply, now);
+            }
+
+            // Cold path: no position, full state transfer.
+            let mut cold = Backup::new(NodeId::new(1), config);
+            for (id, ospec, period) in p.registry() {
+                cold.sync_registration(id, ospec, period, Time::ZERO);
+            }
+            let join = cold.begin_join(now);
+            let out = p.handle_message(&join, now);
+            assert_eq!(
+                out.catch_up.expect("plan").path,
+                CatchUpPath::FullTransfer,
+                "a cold join has no position to serve from the log"
+            );
+            for reply in &out.replies {
+                cold.handle_message(reply, now);
+            }
+
+            let want = fingerprint(p.store());
+            assert_eq!(fingerprint(durable.store()), want, "durable != primary");
+            assert_eq!(fingerprint(cold.store()), want, "cold != primary");
+        });
     }
 }

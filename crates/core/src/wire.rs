@@ -18,7 +18,7 @@
 //! meaningful), not in-process object references.
 
 use core::fmt;
-use rtpb_types::{Epoch, LogPosition, NodeId, ObjectId, Time, Version};
+use rtpb_types::{Epoch, LogPosition, NodeId, ObjectId, Time, TimeDelta, Version};
 use std::error::Error;
 
 /// A decoded RTPB protocol message.
@@ -168,6 +168,84 @@ pub enum WireMessage {
         /// The missing records, oldest first, one entry per record.
         entries: Vec<StateEntry>,
     },
+    /// A client read routed to a replica (or the primary, for strong
+    /// reads). Reads never assert write authority, so replicas answer
+    /// them even when the requester's epoch is stale — the reply carries
+    /// the server's current epoch, which is how a lagging client learns
+    /// about a failover.
+    ReadRequest {
+        /// The highest fencing epoch the requester has observed.
+        epoch: Epoch,
+        /// The requesting node.
+        from: NodeId,
+        /// The object to read.
+        object: ObjectId,
+        /// The session floor: the minimum update-log position the server
+        /// must have applied for its answer to respect the requester's
+        /// monotonic-read / read-your-writes guarantees. `None` imposes
+        /// no floor.
+        floor: Option<LogPosition>,
+    },
+    /// A replica's answer to a [`WireMessage::ReadRequest`].
+    ReadReply {
+        /// The responder's *current* fencing epoch (may exceed the
+        /// request's).
+        epoch: Epoch,
+        /// The object that was read.
+        object: ObjectId,
+        /// Whether the read was served, refused as behind the session
+        /// floor, or unknown at this replica.
+        status: ReadStatus,
+        /// The fencing epoch the served value was written under
+        /// (meaningful only when `status` is [`ReadStatus::Served`]).
+        write_epoch: Epoch,
+        /// The served value's version (meaningful only when served).
+        version: Version,
+        /// The server's staleness bound for the served value at serve
+        /// time (meaningful only when served).
+        age_bound: TimeDelta,
+        /// The server's last applied update-log position, if any — the
+        /// requester folds it into its session token.
+        position: Option<LogPosition>,
+        /// The served value (empty unless `status` is
+        /// [`ReadStatus::Served`]).
+        payload: Vec<u8>,
+    },
+}
+
+/// The disposition of one [`WireMessage::ReadReply`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadStatus {
+    /// The value and its staleness certificate are in the reply.
+    Served,
+    /// The replica's applied log position is behind the request's session
+    /// floor; the requester should try another replica or the primary.
+    Behind,
+    /// The replica does not hold the object.
+    Unknown,
+}
+
+impl ReadStatus {
+    /// The wire encoding of the status.
+    #[must_use]
+    pub const fn as_u8(self) -> u8 {
+        match self {
+            ReadStatus::Served => 0,
+            ReadStatus::Behind => 1,
+            ReadStatus::Unknown => 2,
+        }
+    }
+
+    /// Decodes a wire status byte.
+    #[must_use]
+    pub const fn from_u8(byte: u8) -> Option<Self> {
+        match byte {
+            0 => Some(ReadStatus::Served),
+            1 => Some(ReadStatus::Behind),
+            2 => Some(ReadStatus::Unknown),
+            _ => None,
+        }
+    }
 }
 
 /// One object's state in a [`WireMessage::StateTransfer`],
@@ -224,6 +302,8 @@ const TAG_BATCH: u8 = 8;
 const TAG_RESYNC_REQ: u8 = 9;
 const TAG_RESYNC_DIFF: u8 = 10;
 const TAG_LOG_SUFFIX: u8 = 11;
+const TAG_READ_REQ: u8 = 12;
+const TAG_READ_REPLY: u8 = 13;
 
 /// Upper bound on any single decoded payload length or entry count:
 /// a length field above this is rejected before any allocation.
@@ -398,6 +478,38 @@ impl WireMessage {
                     put_entry(buf, e);
                 }
             }
+            WireMessage::ReadRequest {
+                epoch,
+                from,
+                object,
+                floor,
+            } => {
+                buf.push(TAG_READ_REQ);
+                put_u64(buf, epoch.value());
+                put_u32(buf, u32::from(from.index()));
+                put_u32(buf, object.index());
+                put_position(buf, *floor);
+            }
+            WireMessage::ReadReply {
+                epoch,
+                object,
+                status,
+                write_epoch,
+                version,
+                age_bound,
+                position,
+                payload,
+            } => {
+                buf.push(TAG_READ_REPLY);
+                put_u64(buf, epoch.value());
+                put_u32(buf, object.index());
+                buf.push(status.as_u8());
+                put_u64(buf, write_epoch.value());
+                put_u64(buf, version.value());
+                put_u64(buf, age_bound.as_nanos());
+                put_position(buf, *position);
+                put_bytes(buf, payload);
+            }
         }
     }
 
@@ -436,6 +548,10 @@ impl WireMessage {
             WireMessage::ResyncRequest {
                 position, versions, ..
             } => PREFIX + 4 + position_len(position) + 4 + versions.len() * (4 + 8 + 8),
+            WireMessage::ReadRequest { floor, .. } => PREFIX + 4 + 4 + position_len(floor),
+            WireMessage::ReadReply {
+                position, payload, ..
+            } => PREFIX + 4 + 1 + 8 + 8 + 8 + position_len(position) + 4 + payload.len(),
         }
     }
 
@@ -468,7 +584,9 @@ impl WireMessage {
             | WireMessage::Batch { epoch, .. }
             | WireMessage::ResyncRequest { epoch, .. }
             | WireMessage::ResyncDiff { epoch, .. }
-            | WireMessage::LogSuffix { epoch, .. } => *epoch,
+            | WireMessage::LogSuffix { epoch, .. }
+            | WireMessage::ReadRequest { epoch, .. }
+            | WireMessage::ReadReply { epoch, .. } => *epoch,
         }
     }
 
@@ -487,6 +605,8 @@ impl WireMessage {
             WireMessage::ResyncRequest { .. } => "resync-request",
             WireMessage::ResyncDiff { .. } => "resync-diff",
             WireMessage::LogSuffix { .. } => "log-suffix",
+            WireMessage::ReadRequest { .. } => "read-request",
+            WireMessage::ReadReply { .. } => "read-reply",
         }
     }
 
@@ -653,6 +773,36 @@ pub enum WireFrame<'a> {
         head: u64,
         /// The missing records, oldest first, payloads borrowed.
         entries: EntrySlice<'a>,
+    },
+    /// Borrowing view of [`WireMessage::ReadRequest`].
+    ReadRequest {
+        /// The highest fencing epoch the requester has observed.
+        epoch: Epoch,
+        /// The requesting node.
+        from: NodeId,
+        /// The object to read.
+        object: ObjectId,
+        /// The session floor, if any.
+        floor: Option<LogPosition>,
+    },
+    /// Borrowing view of [`WireMessage::ReadReply`].
+    ReadReply {
+        /// The responder's current fencing epoch.
+        epoch: Epoch,
+        /// The object that was read.
+        object: ObjectId,
+        /// The read's disposition.
+        status: ReadStatus,
+        /// The fencing epoch the served value was written under.
+        write_epoch: Epoch,
+        /// The served value's version.
+        version: Version,
+        /// The server's staleness bound at serve time.
+        age_bound: TimeDelta,
+        /// The server's last applied log position, if any.
+        position: Option<LogPosition>,
+        /// The served value, borrowed from the receive buffer.
+        payload: &'a [u8],
     },
 }
 
@@ -1032,6 +1182,25 @@ impl<'a> WireFrame<'a> {
                 head: r.u64()?,
                 entries: r.entries(payload_budget)?,
             },
+            TAG_READ_REQ => WireFrame::ReadRequest {
+                epoch,
+                from: NodeId::new(r.u32()? as u16),
+                object: ObjectId::new(r.u32()?),
+                floor: r.position()?,
+            },
+            TAG_READ_REPLY => WireFrame::ReadReply {
+                epoch,
+                object: ObjectId::new(r.u32()?),
+                status: {
+                    let byte = r.u8()?;
+                    ReadStatus::from_u8(byte).ok_or(CodecError::BadLength(byte as usize))?
+                },
+                write_epoch: Epoch::new(r.u64()?),
+                version: Version::new(r.u64()?),
+                age_bound: TimeDelta::from_nanos(r.u64()?),
+                position: r.position()?,
+                payload: r.payload(payload_budget)?,
+            },
             other => return Err(CodecError::UnknownTag(other)),
         };
         if r.pos != bytes.len() {
@@ -1139,6 +1308,36 @@ impl<'a> WireFrame<'a> {
                 head: *head,
                 entries: entries.iter().map(|e| e.to_owned()).collect(),
             },
+            WireFrame::ReadRequest {
+                epoch,
+                from,
+                object,
+                floor,
+            } => WireMessage::ReadRequest {
+                epoch: *epoch,
+                from: *from,
+                object: *object,
+                floor: *floor,
+            },
+            WireFrame::ReadReply {
+                epoch,
+                object,
+                status,
+                write_epoch,
+                version,
+                age_bound,
+                position,
+                payload,
+            } => WireMessage::ReadReply {
+                epoch: *epoch,
+                object: *object,
+                status: *status,
+                write_epoch: *write_epoch,
+                version: *version,
+                age_bound: *age_bound,
+                position: *position,
+                payload: payload.to_vec(),
+            },
         }
     }
 
@@ -1156,7 +1355,9 @@ impl<'a> WireFrame<'a> {
             | WireFrame::Batch { epoch, .. }
             | WireFrame::ResyncRequest { epoch, .. }
             | WireFrame::ResyncDiff { epoch, .. }
-            | WireFrame::LogSuffix { epoch, .. } => *epoch,
+            | WireFrame::LogSuffix { epoch, .. }
+            | WireFrame::ReadRequest { epoch, .. }
+            | WireFrame::ReadReply { epoch, .. } => *epoch,
         }
     }
 
@@ -1176,6 +1377,8 @@ impl<'a> WireFrame<'a> {
             WireFrame::ResyncRequest { .. } => "resync-request",
             WireFrame::ResyncDiff { .. } => "resync-diff",
             WireFrame::LogSuffix { .. } => "log-suffix",
+            WireFrame::ReadRequest { .. } => "read-request",
+            WireFrame::ReadReply { .. } => "read-reply",
         }
     }
 
@@ -1470,6 +1673,38 @@ mod tests {
                 head: 0,
                 entries: vec![],
             },
+            WireMessage::ReadRequest {
+                epoch: Epoch::new(2),
+                from: NodeId::new(7),
+                object: ObjectId::new(3),
+                floor: Some(LogPosition::new(Epoch::new(2), 40)),
+            },
+            WireMessage::ReadRequest {
+                epoch: Epoch::INITIAL,
+                from: NodeId::new(7),
+                object: ObjectId::new(0),
+                floor: None,
+            },
+            WireMessage::ReadReply {
+                epoch: Epoch::new(2),
+                object: ObjectId::new(3),
+                status: ReadStatus::Served,
+                write_epoch: Epoch::new(2),
+                version: Version::new(41),
+                age_bound: TimeDelta::from_millis(120),
+                position: Some(LogPosition::new(Epoch::new(2), 44)),
+                payload: vec![5, 6, 7],
+            },
+            WireMessage::ReadReply {
+                epoch: Epoch::new(3),
+                object: ObjectId::new(3),
+                status: ReadStatus::Behind,
+                write_epoch: Epoch::INITIAL,
+                version: Version::INITIAL,
+                age_bound: TimeDelta::ZERO,
+                position: None,
+                payload: Vec::new(),
+            },
         ]
     }
 
@@ -1577,6 +1812,17 @@ mod tests {
         assert!(kinds.contains(&"resync-request"));
         assert!(kinds.contains(&"resync-diff"));
         assert!(kinds.contains(&"log-suffix"));
+        assert!(kinds.contains(&"read-request"));
+        assert!(kinds.contains(&"read-reply"));
+    }
+
+    #[test]
+    fn bad_read_status_rejected() {
+        let mut bytes = vec![TAG_READ_REPLY];
+        put_u64(&mut bytes, 0); // epoch
+        put_u32(&mut bytes, 1); // object
+        bytes.push(9); // no such status
+        assert_eq!(WireMessage::decode(&bytes), Err(CodecError::BadLength(9)));
     }
 
     #[test]

@@ -145,6 +145,32 @@ pub enum EventKind {
         /// Write-arrival to completion latency.
         response: TimeDelta,
     },
+    /// A client read was served locally by a replica (or the primary,
+    /// for strong reads) with a staleness certificate attached.
+    ReadServed {
+        /// Read object.
+        object: ObjectId,
+        /// Node that answered the read.
+        served_by: NodeId,
+        /// Version attested by the certificate.
+        version: Version,
+        /// Certificate age bound (zero for strong reads).
+        age_bound: TimeDelta,
+        /// Requested consistency level (e.g. `"bounded"`, `"monotonic"`).
+        consistency: String,
+    },
+    /// A client read could not be served by any eligible replica and
+    /// was redirected to the serving primary.
+    ReadRedirected {
+        /// Read object.
+        object: ObjectId,
+        /// The primary the read was redirected to.
+        primary: NodeId,
+        /// Requested consistency level.
+        consistency: String,
+        /// Machine-readable reason (e.g. `"behind_floor"`, `"bound_unmet"`).
+        reason: String,
+    },
     /// A scheduler invocation completed (update-transmission task).
     SchedulerInvocation {
         /// The periodic task.
@@ -267,6 +293,8 @@ impl EventKind {
             EventKind::RoleTransition { .. } => "role_transition",
             EventKind::AdmissionDecision { .. } => "admission_decision",
             EventKind::ClientWrite { .. } => "client_write",
+            EventKind::ReadServed { .. } => "read_served",
+            EventKind::ReadRedirected { .. } => "read_redirected",
             EventKind::SchedulerInvocation { .. } => "scheduler_invocation",
             EventKind::FaultInjected { .. } => "fault_injected",
             EventKind::FaultDetected { .. } => "fault_detected",
@@ -369,6 +397,30 @@ impl ObsEvent {
                 o.uint_field("object", u64::from(object.index()))
                     .uint_field("version", version.value())
                     .uint_field("response_ns", response.as_nanos());
+            }
+            EventKind::ReadServed {
+                object,
+                served_by,
+                version,
+                age_bound,
+                consistency,
+            } => {
+                o.uint_field("object", u64::from(object.index()))
+                    .uint_field("served_by", u64::from(served_by.index()))
+                    .uint_field("version", version.value())
+                    .uint_field("age_bound_ns", age_bound.as_nanos())
+                    .str_field("consistency", consistency);
+            }
+            EventKind::ReadRedirected {
+                object,
+                primary,
+                consistency,
+                reason,
+            } => {
+                o.uint_field("object", u64::from(object.index()))
+                    .uint_field("primary", u64::from(primary.index()))
+                    .str_field("consistency", consistency)
+                    .str_field("reason", reason);
             }
             EventKind::SchedulerInvocation {
                 task,
@@ -555,6 +607,19 @@ pub fn validate_line(line: &str) -> Result<(u64, u64, String), SchemaError> {
             require_u64(&map, "version")?;
             require_u64(&map, "response_ns")?;
         }
+        "read_served" => {
+            require_u64(&map, "object")?;
+            require_u64(&map, "served_by")?;
+            require_u64(&map, "version")?;
+            require_u64(&map, "age_bound_ns")?;
+            require_str(&map, "consistency")?;
+        }
+        "read_redirected" => {
+            require_u64(&map, "object")?;
+            require_u64(&map, "primary")?;
+            require_str(&map, "consistency")?;
+            require_str(&map, "reason")?;
+        }
         "scheduler_invocation" => {
             require_u64(&map, "task")?;
             require_u64(&map, "index")?;
@@ -671,6 +736,19 @@ mod tests {
                 object: ObjectId::new(1),
                 version: Version::new(4),
                 response: TimeDelta::from_micros(12),
+            },
+            EventKind::ReadServed {
+                object: ObjectId::new(1),
+                served_by: NodeId::new(2),
+                version: Version::new(4),
+                age_bound: TimeDelta::from_micros(250),
+                consistency: "bounded".into(),
+            },
+            EventKind::ReadRedirected {
+                object: ObjectId::new(1),
+                primary: NodeId::new(0),
+                consistency: "read_your_writes".into(),
+                reason: "behind_floor".into(),
             },
             EventKind::SchedulerInvocation {
                 task: TaskId::new(0),

@@ -6,10 +6,10 @@ use rtpb_core::backup::Backup;
 use rtpb_core::config::ProtocolConfig;
 use rtpb_core::metrics::ClusterMetrics;
 use rtpb_core::primary::Primary;
-use rtpb_core::wire::WireMessage;
+use rtpb_core::wire::{ReadStatus, WireMessage};
 use rtpb_net::LinkConfig;
 use rtpb_obs::{ClockDomain, EventBus, EventKind, EventWriter, Role};
-use rtpb_types::{AdmissionError, NodeId, ObjectId, ObjectSpec, Time, TimeDelta, Version};
+use rtpb_types::{AdmissionError, Epoch, NodeId, ObjectId, ObjectSpec, Time, TimeDelta, Version};
 use std::collections::BinaryHeap;
 use std::error::Error;
 use std::fmt;
@@ -50,6 +50,12 @@ pub struct RtConfig {
     /// (rings never contend) and stamps events with the monotonic
     /// real clock ([`ClockDomain::Real`]).
     pub bus: EventBus,
+    /// If set, a reader thread issues one replica read per period
+    /// (round-robin over the objects) as wire-level
+    /// [`WireMessage::ReadRequest`] frames: first to the backup, and —
+    /// when the backup answers `Behind`/`Unknown` or not at all — again
+    /// to the primary (counted as a redirect).
+    pub read_period: Option<Duration>,
 }
 
 impl Default for RtConfig {
@@ -68,6 +74,7 @@ impl Default for RtConfig {
             recover_backup_after: None,
             durable_restart: false,
             bus: EventBus::disabled(),
+            read_period: None,
         }
     }
 }
@@ -98,6 +105,12 @@ pub struct RtReport {
     /// suffix instead of a full state transfer (durable restarts whose
     /// gap the primary's update log still covered).
     pub suffix_rejoins: u64,
+    /// Replica reads answered locally by the backup (with a staleness
+    /// certificate); 0 unless [`RtConfig::read_period`] is set.
+    pub reads_served: u64,
+    /// Reads the backup could not serve that were redirected to (and
+    /// answered by) the primary.
+    pub read_redirects: u64,
 }
 
 /// Why a real-clock run could not start.
@@ -160,6 +173,8 @@ struct Shared {
     failed_over: AtomicBool,
     rejoins: AtomicU64,
     suffix_rejoins: AtomicU64,
+    reads_served: AtomicU64,
+    read_redirects: AtomicU64,
     epoch: Instant,
 }
 
@@ -186,6 +201,8 @@ impl RtCluster {
             failed_over: AtomicBool::new(false),
             rejoins: AtomicU64::new(0),
             suffix_rejoins: AtomicU64::new(0),
+            reads_served: AtomicU64::new(0),
+            read_redirects: AtomicU64::new(0),
             epoch: Instant::now(),
         });
 
@@ -229,6 +246,15 @@ impl RtCluster {
             loss_probability: 0.0,
             ..config.link
         };
+        // The reader's request paths (reliable, delayed like control
+        // traffic) and the reply path the serving loops route
+        // `ReadReply` frames onto.
+        let (read_reply_tx, read_reply_rx) = unbounded::<Vec<u8>>();
+        let read_to_backup =
+            spawn_link(lossless, config.seed.wrapping_add(5), to_backup_tx.clone());
+        let read_to_primary =
+            spawn_link(lossless, config.seed.wrapping_add(6), to_primary_tx.clone());
+        let read_replies = spawn_link(lossless, config.seed.wrapping_add(7), read_reply_tx);
         let p2b = Links {
             data: spawn_link(
                 config.link,
@@ -264,6 +290,7 @@ impl RtCluster {
             let p2b = p2b.clone();
             let crash_after = config.crash_primary_after;
             let obs = config.bus.writer();
+            let read_replies = read_replies.clone();
             std::thread::Builder::new()
                 .name("rtpb-primary".into())
                 .spawn(move || {
@@ -273,6 +300,7 @@ impl RtCluster {
                         &client_rx,
                         &primary_in,
                         &p2b,
+                        &read_replies,
                         crash_after,
                         &obs,
                     );
@@ -292,16 +320,46 @@ impl RtCluster {
                 durable: config.durable_restart,
             };
             let obs = config.bus.writer();
+            let read_replies = read_replies.clone();
             std::thread::Builder::new()
                 .name("rtpb-backup".into())
                 .spawn(move || {
                     backup_loop(
-                        &shared, backup, &client_rx, &backup_in, &b2p, &protocol, &registry, crash,
+                        &shared,
+                        backup,
+                        &client_rx,
+                        &backup_in,
+                        &b2p,
+                        &read_replies,
+                        &protocol,
+                        &registry,
+                        crash,
                         &obs,
                     );
                 })
                 .expect("spawn backup")
         };
+
+        // Reader thread (only when a read cadence is configured).
+        let reader_thread = config.read_period.map(|period| {
+            let shared = Arc::clone(&shared);
+            let object_ids: Vec<ObjectId> = ids.iter().map(|(id, _)| *id).collect();
+            let obs = config.bus.writer();
+            std::thread::Builder::new()
+                .name("rtpb-reader".into())
+                .spawn(move || {
+                    reader_loop(
+                        &shared,
+                        &object_ids,
+                        &read_to_backup,
+                        &read_to_primary,
+                        &read_reply_rx,
+                        period,
+                        &obs,
+                    );
+                })
+                .expect("spawn reader")
+        });
 
         std::thread::sleep(duration);
         shared.stop.store(true, Ordering::SeqCst);
@@ -309,6 +367,9 @@ impl RtCluster {
         client.join().expect("client thread");
         primary_thread.join().expect("primary thread");
         backup_thread.join().expect("backup thread");
+        if let Some(reader) = reader_thread {
+            reader.join().expect("reader thread");
+        }
 
         let mut metrics = shared.metrics.lock().unwrap().clone();
         metrics.finalize(shared.now());
@@ -338,6 +399,8 @@ impl RtCluster {
             failed_over: shared.failed_over.load(Ordering::SeqCst),
             backup_rejoins: shared.rejoins.load(Ordering::SeqCst),
             suffix_rejoins: shared.suffix_rejoins.load(Ordering::SeqCst),
+            reads_served: shared.reads_served.load(Ordering::SeqCst),
+            read_redirects: shared.read_redirects.load(Ordering::SeqCst),
         })
     }
 }
@@ -385,6 +448,93 @@ fn client_loop(
     }
 }
 
+/// The reader thread: one replica read per `period`, round-robin over
+/// the objects. Reads go to the backup first; a backup that answers
+/// `Behind`/`Unknown` (or not at all within the reply deadline) costs a
+/// redirect to the primary — the wire-level twin of the simulation
+/// facade's routing.
+fn reader_loop(
+    shared: &Shared,
+    objects: &[ObjectId],
+    to_backup: &Sender<Vec<u8>>,
+    to_primary: &Sender<Vec<u8>>,
+    replies: &Receiver<Vec<u8>>,
+    period: Duration,
+    obs: &EventWriter,
+) {
+    let emit = |kind: EventKind| obs.emit(ClockDomain::Real, shared.now(), kind);
+    let reader_node = NodeId::new(2);
+    let reply_deadline = Duration::from_millis(50);
+    let mut index = 0usize;
+    // Wait for a `ReadReply` (discarding stale leftovers is unnecessary:
+    // requests are strictly sequential, one outstanding at a time).
+    let await_reply = |deadline: Duration| -> Option<WireMessage> {
+        let due = Instant::now() + deadline;
+        loop {
+            let left = due.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return None;
+            }
+            match replies.recv_timeout(left.min(Duration::from_millis(5))) {
+                Ok(bytes) => {
+                    if let Ok(msg @ WireMessage::ReadReply { .. }) = WireMessage::decode(&bytes) {
+                        return Some(msg);
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => return None,
+            }
+        }
+    };
+    while !shared.stop.load(Ordering::SeqCst) {
+        let object = objects[index % objects.len()];
+        index += 1;
+        let request = WireMessage::ReadRequest {
+            epoch: Epoch::INITIAL,
+            from: reader_node,
+            object,
+            floor: None,
+        };
+        let _ = to_backup.send(request.encode());
+        let served = await_reply(reply_deadline);
+        match served {
+            Some(WireMessage::ReadReply {
+                status: ReadStatus::Served,
+                version,
+                age_bound,
+                ..
+            }) => {
+                shared.reads_served.fetch_add(1, Ordering::SeqCst);
+                emit(EventKind::ReadServed {
+                    object,
+                    served_by: NodeId::new(1),
+                    version,
+                    age_bound,
+                    consistency: "bounded".to_string(),
+                });
+            }
+            _ => {
+                // Redirect: ask the primary (the authoritative copy).
+                let _ = to_primary.send(request.encode());
+                if let Some(WireMessage::ReadReply {
+                    status: ReadStatus::Served,
+                    ..
+                }) = await_reply(reply_deadline)
+                {
+                    shared.read_redirects.fetch_add(1, Ordering::SeqCst);
+                    emit(EventKind::ReadRedirected {
+                        object,
+                        primary: NodeId::new(0),
+                        consistency: "bounded".to_string(),
+                        reason: "replica_unavailable".to_string(),
+                    });
+                }
+            }
+        }
+        std::thread::sleep(period);
+    }
+}
+
 /// One direction of the network: a lossy data path plus a reliable
 /// control path.
 #[derive(Clone)]
@@ -413,13 +563,14 @@ fn frame_updates(msg: &WireMessage) -> Vec<(ObjectId, Version)> {
     }
 }
 
-#[allow(clippy::needless_pass_by_value)]
+#[allow(clippy::needless_pass_by_value, clippy::too_many_arguments)]
 fn primary_loop(
     shared: &Shared,
     mut primary: Primary,
     client_rx: &Receiver<(ObjectId, Vec<u8>, Instant)>,
     network: &Receiver<Vec<u8>>,
     link: &Links,
+    read_replies: &Sender<Vec<u8>>,
     crash_after: Option<Duration>,
     obs: &EventWriter,
 ) {
@@ -543,7 +694,11 @@ fn primary_loop(
             while let Ok((id, payload, sent_at)) = client_rx.try_recv() {
                 progressed = true;
                 let now = shared.now();
-                if let Some(version) = primary.apply_client_write(id, payload, now) {
+                // The runtime is a harness-level driver of the sans-io
+                // core; clients go through `RtpbClient`.
+                #[allow(deprecated)]
+                let applied = primary.apply_client_write(id, payload, now);
+                if let Some(version) = applied {
                     let response = TimeDelta::from(sent_at.elapsed());
                     let mut m = shared.metrics.lock().unwrap();
                     m.record_response(response);
@@ -577,6 +732,10 @@ fn primary_loop(
                         });
                     }
                     for reply in &out.replies {
+                        if matches!(reply, WireMessage::ReadReply { .. }) {
+                            let _ = read_replies.send(reply.encode());
+                            continue;
+                        }
                         if matches!(reply, WireMessage::Update { .. }) {
                             shared.metrics.lock().unwrap().record_update_sent(false);
                         }
@@ -611,6 +770,7 @@ fn backup_loop(
     client_rx: &Receiver<(ObjectId, Vec<u8>, Instant)>,
     network: &Receiver<Vec<u8>>,
     link: &Links,
+    read_replies: &Sender<Vec<u8>>,
     protocol: &ProtocolConfig,
     registry: &[(ObjectId, ObjectSpec, TimeDelta)],
     crash: BackupCrashSchedule,
@@ -796,7 +956,11 @@ fn backup_loop(
                         });
                     }
                     for reply in &out.replies {
-                        send_wire(link, reply);
+                        if matches!(reply, WireMessage::ReadReply { .. }) {
+                            let _ = read_replies.send(reply.encode());
+                        } else {
+                            send_wire(link, reply);
+                        }
                     }
                 }
             }
@@ -813,7 +977,9 @@ fn backup_loop(
         match client_rx.recv_timeout(Duration::from_millis(5)) {
             Ok((id, payload, sent_at)) => {
                 let now = shared.now();
-                if let Some(version) = new_primary.apply_client_write(id, payload, now) {
+                #[allow(deprecated)]
+                let applied = new_primary.apply_client_write(id, payload, now);
+                if let Some(version) = applied {
                     let mut m = shared.metrics.lock().unwrap();
                     m.record_response(TimeDelta::from(sent_at.elapsed()));
                     m.on_primary_write(id, version, now);
@@ -1012,6 +1178,48 @@ mod tests {
         ] {
             assert!(kinds.contains(required), "missing {required}: {kinds:?}");
         }
+        for line in bus.export_jsonl().lines() {
+            rtpb_obs::validate_line(line).expect("schema-valid line");
+        }
+    }
+
+    #[test]
+    fn replica_reads_serve_with_certificates() {
+        let mut config = RtConfig::default();
+        config.objects.push(spec(20));
+        config.read_period = Some(Duration::from_millis(10));
+        config.bus = EventBus::with_capacity(16_384);
+        let bus = config.bus.clone();
+        let report = RtCluster::run(config, Duration::from_millis(1500)).unwrap();
+        assert!(report.writes > 0);
+        assert!(
+            report.reads_served > 0,
+            "the backup must answer reads locally: {report:?}"
+        );
+        let events = bus.collect();
+        let served = events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::ReadServed {
+                    served_by,
+                    age_bound,
+                    ..
+                } => Some((*served_by, *age_bound)),
+                _ => None,
+            })
+            .collect::<Vec<_>>();
+        assert!(!served.is_empty(), "read_served events must be emitted");
+        assert!(
+            served.iter().all(|&(node, _)| node == NodeId::new(1)),
+            "replica reads are served by the backup"
+        );
+        // Every certificate's age bound stays within the replication
+        // machinery's promise: send period + link delay bound + slack.
+        let bound = TimeDelta::from_millis(20 + 450);
+        assert!(
+            served.iter().all(|&(_, age)| age <= bound),
+            "age bounds must stay within the object's backup window"
+        );
         for line in bus.export_jsonl().lines() {
             rtpb_obs::validate_line(line).expect("schema-valid line");
         }

@@ -43,6 +43,7 @@ mod error;
 mod ids;
 mod logpos;
 mod object;
+mod read;
 mod time;
 
 pub use bufpool::{BufLease, BufPool};
@@ -52,4 +53,7 @@ pub use error::{AdmissionError, SpecError};
 pub use ids::{NodeId, ObjectId, TaskId};
 pub use logpos::LogPosition;
 pub use object::{ObjectSpec, ObjectSpecBuilder, ObjectValue, Version, MAX_OBJECT_SIZE};
+pub use read::{
+    ReadConsistency, ReadError, ReadOutcome, SessionToken, StalenessCertificate, WriteError,
+};
 pub use time::{Time, TimeDelta};

@@ -1,0 +1,534 @@
+//! Read-path vocabulary: staleness certificates, session tokens, and
+//! consistency levels.
+//!
+//! The paper's Theorem 5 guarantees that a backup's image of object `i` is
+//! never staler than the admitted bound δ_i. That guarantee is what makes
+//! backups safe to *read from*: a replica can answer a read locally and
+//! attach a [`StalenessCertificate`] — a sound upper bound on how stale the
+//! returned value can possibly be — derived from the last applied update
+//! and the link-delay bound. Clients that need session guarantees
+//! (monotonic reads, read-your-writes) carry a [`SessionToken`] holding
+//! their high-water [`LogPosition`]; a backup behind the token refuses the
+//! read so the client can fall back to the primary instead of travelling
+//! backwards in time.
+//!
+//! # Examples
+//!
+//! ```
+//! use rtpb_types::{ReadConsistency, SessionToken, TimeDelta};
+//!
+//! let token = SessionToken::new();
+//! // A fresh session imposes no floor: any replica may serve.
+//! assert_eq!(token.read_floor(&ReadConsistency::Monotonic), None);
+//! assert_eq!(
+//!     ReadConsistency::Bounded(TimeDelta::from_millis(250)).to_string(),
+//!     "bounded(250ms)"
+//! );
+//! ```
+
+use core::fmt;
+use std::error::Error;
+
+use crate::epoch::Epoch;
+use crate::ids::{NodeId, ObjectId};
+use crate::logpos::LogPosition;
+use crate::object::Version;
+use crate::time::TimeDelta;
+
+/// A replica's sworn statement about how stale a served value can be.
+///
+/// The certificate is minted at serve time. Its `age_bound` is the age
+/// of the served value itself — `now − write timestamp`, the paper's §2
+/// measure `t − T_i(t)`. The bound is unconditionally sound: any write
+/// the replica has missed carries a version (and therefore a write
+/// timestamp) strictly newer than the served value's, so the true
+/// staleness — time since the earliest such missed write — can never
+/// exceed the value's own age. No assumption about link delay or CPU
+/// timeliness is required, which is what lets the bound survive a
+/// saturated primary whose send queue holds snapshots arbitrarily long.
+/// When the object keeps its update period, Theorem 5 makes the bound
+/// small (within `δ_i`); when it does not, the certificate honestly
+/// reports the larger age and bounded reads redirect to the primary.
+///
+/// # Examples
+///
+/// ```
+/// use rtpb_types::{Epoch, ObjectId, StalenessCertificate, TimeDelta, Version};
+///
+/// let cert = StalenessCertificate {
+///     object: ObjectId::new(3),
+///     write_epoch: Epoch::new(2),
+///     version: Version::new(41),
+///     age_bound: TimeDelta::from_millis(120),
+/// };
+/// assert!(cert.respects(TimeDelta::from_millis(400)));
+/// assert!(!cert.respects(TimeDelta::from_millis(100)));
+/// assert_eq!(cert.to_string(), "cert(obj=3 @2:v41 age≤120ms)");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StalenessCertificate {
+    /// The object that was read.
+    pub object: ObjectId,
+    /// The fencing epoch the served value was written under.
+    pub write_epoch: Epoch,
+    /// The served value's version counter.
+    pub version: Version,
+    /// Upper bound on the served value's staleness at serve time.
+    pub age_bound: TimeDelta,
+}
+
+impl StalenessCertificate {
+    /// Whether the certificate satisfies a client's staleness bound δ.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rtpb_types::{Epoch, ObjectId, StalenessCertificate, TimeDelta, Version};
+    ///
+    /// let cert = StalenessCertificate {
+    ///     object: ObjectId::new(0),
+    ///     write_epoch: Epoch::INITIAL,
+    ///     version: Version::new(1),
+    ///     age_bound: TimeDelta::ZERO,
+    /// };
+    /// assert!(cert.respects(TimeDelta::ZERO));
+    /// ```
+    #[must_use]
+    pub fn respects(&self, delta: TimeDelta) -> bool {
+        self.age_bound <= delta
+    }
+}
+
+impl fmt::Display for StalenessCertificate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cert(obj={} @{}:v{} age≤{}ms)",
+            self.object.index(),
+            self.write_epoch.value(),
+            self.version.value(),
+            self.age_bound.as_millis()
+        )
+    }
+}
+
+/// The consistency level a client requests for one read.
+///
+/// Non-exhaustive: levels may grow (e.g. causal). Downstream matches need
+/// a wildcard arm.
+///
+/// # Examples
+///
+/// ```
+/// use rtpb_types::{ReadConsistency, TimeDelta};
+///
+/// let level = ReadConsistency::Bounded(TimeDelta::from_millis(400));
+/// assert_eq!(level.name(), "bounded");
+/// assert_eq!(ReadConsistency::Strong.name(), "strong");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ReadConsistency {
+    /// Any replica whose certificate proves staleness ≤ δ may serve.
+    Bounded(TimeDelta),
+    /// Successive reads in one session never travel backwards: the serving
+    /// replica's log position must be at or past everything the session
+    /// has already observed.
+    Monotonic,
+    /// Reads reflect the session's own completed writes (and never regress
+    /// past prior reads).
+    ReadYourWrites,
+    /// The read is served by the current primary under a valid lease.
+    Strong,
+}
+
+impl ReadConsistency {
+    /// The schema name of the level, for traces and reports.
+    #[must_use]
+    pub const fn name(&self) -> &'static str {
+        match self {
+            ReadConsistency::Bounded(_) => "bounded",
+            ReadConsistency::Monotonic => "monotonic",
+            ReadConsistency::ReadYourWrites => "read_your_writes",
+            ReadConsistency::Strong => "strong",
+        }
+    }
+}
+
+impl fmt::Display for ReadConsistency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadConsistency::Bounded(delta) => write!(f, "bounded({}ms)", delta.as_millis()),
+            other => f.write_str(other.name()),
+        }
+    }
+}
+
+/// A client session's high-water marks, enforcing monotonic reads and
+/// read-your-writes across replicas.
+///
+/// The token records two [`LogPosition`]s: the highest position any read
+/// in the session has *observed*, and the position of the session's last
+/// completed *write*. Positions order lexicographically by `(epoch, seq)`,
+/// so a token minted before a failover stays meaningful afterwards — any
+/// successor-epoch position satisfies a predecessor-epoch floor, which is
+/// exactly why the session survives the epoch change instead of being
+/// invalidated by it.
+///
+/// # Examples
+///
+/// ```
+/// use rtpb_types::{Epoch, LogPosition, ReadConsistency, SessionToken};
+///
+/// let mut token = SessionToken::new();
+/// token.observe(LogPosition::new(Epoch::INITIAL, 7));
+/// token.record_write(LogPosition::new(Epoch::INITIAL, 9));
+///
+/// // Monotonic reads gate on what the session has seen…
+/// assert_eq!(
+///     token.read_floor(&ReadConsistency::Monotonic),
+///     Some(LogPosition::new(Epoch::INITIAL, 7))
+/// );
+/// // …read-your-writes also covers the session's own writes.
+/// assert_eq!(
+///     token.read_floor(&ReadConsistency::ReadYourWrites),
+///     Some(LogPosition::new(Epoch::INITIAL, 9))
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionToken {
+    observed: Option<LogPosition>,
+    written: Option<LogPosition>,
+}
+
+impl SessionToken {
+    /// A fresh session with no history (imposes no read floor).
+    #[must_use]
+    pub const fn new() -> Self {
+        Self {
+            observed: None,
+            written: None,
+        }
+    }
+
+    /// Records the log position attached to a served read. Older evidence
+    /// never pulls the high-water mark back.
+    pub fn observe(&mut self, position: LogPosition) {
+        self.observed = Some(match self.observed {
+            Some(prev) => prev.max(position),
+            None => position,
+        });
+    }
+
+    /// Records the log position of a completed write in this session.
+    pub fn record_write(&mut self, position: LogPosition) {
+        self.written = Some(match self.written {
+            Some(prev) => prev.max(position),
+            None => position,
+        });
+    }
+
+    /// The highest position any read in this session has observed.
+    #[must_use]
+    pub fn observed(&self) -> Option<LogPosition> {
+        self.observed
+    }
+
+    /// The position of this session's last completed write.
+    #[must_use]
+    pub fn written(&self) -> Option<LogPosition> {
+        self.written
+    }
+
+    /// The minimum log position a replica must have applied to serve a
+    /// read at `consistency` — `None` when any replica may serve.
+    ///
+    /// [`ReadConsistency::Strong`] returns `None` because strong reads
+    /// bypass replicas entirely; the primary *is* the log head.
+    #[must_use]
+    pub fn read_floor(&self, consistency: &ReadConsistency) -> Option<LogPosition> {
+        match consistency {
+            ReadConsistency::Bounded(_) | ReadConsistency::Strong => None,
+            ReadConsistency::Monotonic => self.observed,
+            ReadConsistency::ReadYourWrites => match (self.written, self.observed) {
+                (Some(w), Some(o)) => Some(w.max(o)),
+                (w, o) => w.or(o),
+            },
+            // Future levels default to the safest floor the token knows.
+            #[allow(unreachable_patterns)]
+            _ => match (self.written, self.observed) {
+                (Some(w), Some(o)) => Some(w.max(o)),
+                (w, o) => w.or(o),
+            },
+        }
+    }
+}
+
+/// How one read was ultimately served.
+///
+/// Non-exhaustive: the taxonomy may grow. Downstream matches need a
+/// wildcard arm.
+///
+/// # Examples
+///
+/// ```
+/// use rtpb_types::{
+///     Epoch, NodeId, ObjectId, ReadOutcome, StalenessCertificate, TimeDelta, Version,
+/// };
+///
+/// let outcome = ReadOutcome::Replica {
+///     served_by: NodeId::new(1),
+///     payload: vec![7, 7, 7],
+///     certificate: StalenessCertificate {
+///         object: ObjectId::new(0),
+///         write_epoch: Epoch::INITIAL,
+///         version: Version::new(3),
+///         age_bound: TimeDelta::from_millis(40),
+///     },
+/// };
+/// assert!(!outcome.is_redirect());
+/// assert_eq!(outcome.payload(), &[7, 7, 7]);
+/// assert_eq!(outcome.certificate().version, Version::new(3));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ReadOutcome {
+    /// A backup served the read locally under its certificate.
+    Replica {
+        /// The serving backup.
+        served_by: NodeId,
+        /// The served value.
+        payload: Vec<u8>,
+        /// The replica's staleness bound for the served value.
+        certificate: StalenessCertificate,
+    },
+    /// No eligible replica could satisfy the requested consistency (all
+    /// were behind the session token or over the staleness budget), so the
+    /// read was redirected to — and served by — the primary.
+    Redirect {
+        /// The serving primary.
+        primary: NodeId,
+        /// The served value.
+        payload: Vec<u8>,
+        /// The primary's certificate (age bound zero: it holds the
+        /// authoritative copy).
+        certificate: StalenessCertificate,
+    },
+}
+
+impl ReadOutcome {
+    /// The served value, wherever it came from.
+    #[must_use]
+    pub fn payload(&self) -> &[u8] {
+        match self {
+            ReadOutcome::Replica { payload, .. } | ReadOutcome::Redirect { payload, .. } => payload,
+        }
+    }
+
+    /// The staleness certificate attached to the served value.
+    #[must_use]
+    pub fn certificate(&self) -> &StalenessCertificate {
+        match self {
+            ReadOutcome::Replica { certificate, .. }
+            | ReadOutcome::Redirect { certificate, .. } => certificate,
+        }
+    }
+
+    /// The node that served the read.
+    #[must_use]
+    pub fn served_by(&self) -> NodeId {
+        match self {
+            ReadOutcome::Replica { served_by, .. } => *served_by,
+            ReadOutcome::Redirect { primary, .. } => *primary,
+        }
+    }
+
+    /// Whether the read fell back to the primary.
+    #[must_use]
+    pub fn is_redirect(&self) -> bool {
+        matches!(self, ReadOutcome::Redirect { .. })
+    }
+}
+
+/// Why a read could not be served.
+///
+/// # Examples
+///
+/// ```
+/// use rtpb_types::{ObjectId, ReadError};
+///
+/// let err = ReadError::UnknownObject(ObjectId::new(9));
+/// assert_eq!(err.to_string(), "read failed: object 9 is not registered");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ReadError {
+    /// The object was never registered with the service.
+    UnknownObject(ObjectId),
+    /// The object is registered but no write has ever completed, so
+    /// there is no value to serve.
+    NoValue(ObjectId),
+    /// Neither a replica nor the primary could serve: the cluster is mid
+    /// failover (no node currently holds the write authority) and every
+    /// backup is ineligible.
+    Unavailable,
+}
+
+impl fmt::Display for ReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadError::UnknownObject(id) => {
+                write!(f, "read failed: object {} is not registered", id.index())
+            }
+            ReadError::NoValue(id) => {
+                write!(
+                    f,
+                    "read failed: object {} has never been written",
+                    id.index()
+                )
+            }
+            ReadError::Unavailable => {
+                write!(f, "read failed: no node can currently serve the request")
+            }
+        }
+    }
+}
+
+impl Error for ReadError {}
+
+/// Why a write could not be applied.
+///
+/// # Examples
+///
+/// ```
+/// use rtpb_types::WriteError;
+///
+/// assert_eq!(
+///     WriteError::Unavailable.to_string(),
+///     "write failed: no primary currently holds a valid lease"
+/// );
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WriteError {
+    /// The object was never registered with the service.
+    UnknownObject(ObjectId),
+    /// No primary currently holds the write authority (deposed, lease
+    /// expired, or mid failover).
+    Unavailable,
+}
+
+impl fmt::Display for WriteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WriteError::UnknownObject(id) => {
+                write!(f, "write failed: object {} is not registered", id.index())
+            }
+            WriteError::Unavailable => {
+                write!(f, "write failed: no primary currently holds a valid lease")
+            }
+        }
+    }
+}
+
+impl Error for WriteError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::TimeDelta;
+
+    #[test]
+    fn token_floors_by_consistency_level() {
+        let mut token = SessionToken::new();
+        assert_eq!(token.read_floor(&ReadConsistency::Monotonic), None);
+        assert_eq!(token.read_floor(&ReadConsistency::ReadYourWrites), None);
+
+        token.observe(LogPosition::new(Epoch::INITIAL, 5));
+        token.record_write(LogPosition::new(Epoch::INITIAL, 3));
+        assert_eq!(
+            token.read_floor(&ReadConsistency::Monotonic),
+            Some(LogPosition::new(Epoch::INITIAL, 5))
+        );
+        // RYW takes the max of written and observed.
+        assert_eq!(
+            token.read_floor(&ReadConsistency::ReadYourWrites),
+            Some(LogPosition::new(Epoch::INITIAL, 5))
+        );
+        // Bounded and strong reads impose no replica floor.
+        assert_eq!(
+            token.read_floor(&ReadConsistency::Bounded(TimeDelta::ZERO)),
+            None
+        );
+        assert_eq!(token.read_floor(&ReadConsistency::Strong), None);
+    }
+
+    #[test]
+    fn token_survives_epoch_change() {
+        let mut token = SessionToken::new();
+        token.observe(LogPosition::new(Epoch::INITIAL, 900));
+        // Any successor-epoch position beats any predecessor-epoch floor:
+        // the first post-failover record already satisfies the session.
+        let post_failover = LogPosition::new(Epoch::INITIAL.next(), 1);
+        assert!(post_failover >= token.read_floor(&ReadConsistency::Monotonic).unwrap());
+        token.observe(post_failover);
+        assert_eq!(
+            token.read_floor(&ReadConsistency::Monotonic),
+            Some(post_failover)
+        );
+    }
+
+    #[test]
+    fn high_water_marks_never_regress() {
+        let mut token = SessionToken::new();
+        token.observe(LogPosition::new(Epoch::INITIAL, 10));
+        token.observe(LogPosition::new(Epoch::INITIAL, 4));
+        assert_eq!(token.observed().unwrap().seq(), 10);
+        token.record_write(LogPosition::new(Epoch::INITIAL, 8));
+        token.record_write(LogPosition::new(Epoch::INITIAL, 2));
+        assert_eq!(token.written().unwrap().seq(), 8);
+    }
+
+    #[test]
+    fn certificate_respects_is_inclusive() {
+        let cert = StalenessCertificate {
+            object: ObjectId::new(1),
+            write_epoch: Epoch::INITIAL,
+            version: Version::new(2),
+            age_bound: TimeDelta::from_millis(100),
+        };
+        assert!(cert.respects(TimeDelta::from_millis(100)));
+        assert!(!cert.respects(TimeDelta::from_millis(99)));
+    }
+
+    #[test]
+    fn outcome_accessors_cover_both_variants() {
+        let cert = StalenessCertificate {
+            object: ObjectId::new(0),
+            write_epoch: Epoch::INITIAL,
+            version: Version::INITIAL,
+            age_bound: TimeDelta::ZERO,
+        };
+        let redirect = ReadOutcome::Redirect {
+            primary: NodeId::new(0),
+            payload: vec![1],
+            certificate: cert,
+        };
+        assert!(redirect.is_redirect());
+        assert_eq!(redirect.served_by(), NodeId::new(0));
+        assert_eq!(redirect.payload(), &[1]);
+    }
+
+    #[test]
+    fn errors_display_and_implement_error() {
+        let errs: Vec<Box<dyn Error>> = vec![
+            Box::new(ReadError::UnknownObject(ObjectId::new(1))),
+            Box::new(ReadError::Unavailable),
+            Box::new(WriteError::UnknownObject(ObjectId::new(1))),
+            Box::new(WriteError::Unavailable),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

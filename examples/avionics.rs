@@ -15,17 +15,18 @@
 //! cargo run --example avionics
 //! ```
 
-use rtpb::core::harness::{ClusterConfig, SimCluster};
+use rtpb::core::harness::ClusterConfig;
 use rtpb::types::{AdmissionError, ObjectSpec, TimeDelta};
+use rtpb::{ReadConsistency, RtpbClient};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut config = ClusterConfig::default();
     config.link.loss_probability = 0.02; // a mildly lossy LAN
     config.seed = 7;
-    let mut cluster = SimCluster::new(config);
+    let mut client = RtpbClient::new(config);
 
     // Fast flight-dynamics objects.
-    let acceleration = cluster.register(
+    let acceleration = client.register(
         ObjectSpec::builder("acceleration")
             .update_period(TimeDelta::from_millis(50))
             .primary_bound(TimeDelta::from_millis(80))
@@ -36,7 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Lift is temporally tied to acceleration: |T_lift - T_accel| ≤ 250 ms
     // at both replicas (Theorem 6).
-    let lift = cluster.register(
+    let lift = client.register(
         ObjectSpec::builder("lift")
             .update_period(TimeDelta::from_millis(50))
             .primary_bound(TimeDelta::from_millis(80))
@@ -46,7 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     println!("admitted lift as {lift} with a 250ms bound to acceleration");
     {
-        let primary = cluster.primary().expect("serving");
+        let primary = client.primary().expect("serving");
         println!(
             "  update periods tightened by the constraint: accel {} / lift {}",
             primary.send_period(acceleration).expect("scheduled"),
@@ -63,7 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .primary_bound(TimeDelta::from_millis(500))
         .backup_bound(TimeDelta::from_secs(3))
         .build()?;
-    match cluster.register(too_tight) {
+    match client.register(too_tight) {
         Err(AdmissionError::PeriodExceedsPrimaryBound { negotiation, .. }) => {
             let relaxed = negotiation
                 .min_primary_bound
@@ -74,16 +75,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .primary_bound(relaxed)
                 .backup_bound(relaxed + TimeDelta::from_secs(1))
                 .build()?;
-            let id = cluster.register(renegotiated)?;
+            let id = client.register(renegotiated)?;
             println!("renegotiated engine-temp admitted as {id}");
         }
         other => panic!("expected a QoS rejection, got {other:?}"),
     }
 
     // Fly for a minute.
-    cluster.run_for(TimeDelta::from_secs(60));
+    client.run_for(TimeDelta::from_secs(60));
 
-    let report = cluster.report();
+    // The cockpit display reads the replicated state from the backup; a
+    // staleness certificate bounds how old each served image can be.
+    for id in [acceleration, lift] {
+        let outcome = client.read(id, ReadConsistency::Bounded(TimeDelta::from_millis(380)))?;
+        println!("replica read {id}: {}", outcome.certificate());
+        assert!(outcome.certificate().respects(TimeDelta::from_millis(380)));
+    }
+
+    let report = client.report();
     for id in [acceleration, lift] {
         let r = report.object_report(id).expect("tracked");
         println!(

@@ -18,10 +18,11 @@
 //! RTPB_TRACE_OUT=trace.jsonl cargo run --example chaos
 //! ```
 
-use rtpb::core::harness::{ClusterConfig, FaultEvent, FaultPlan, SimCluster};
+use rtpb::core::harness::{ClusterConfig, FaultEvent, FaultPlan};
 use rtpb::core::metrics::FaultRecord;
 use rtpb::obs::{EventBus, MetricsRegistry};
 use rtpb::types::{ObjectSpec, Time, TimeDelta};
+use rtpb::RtpbClient;
 use std::collections::BTreeMap;
 
 fn ms(v: u64) -> TimeDelta {
@@ -66,7 +67,7 @@ fn plan() -> FaultPlan {
         )
 }
 
-fn run(seed: u64) -> (SimCluster, Vec<FaultRecord>) {
+fn run(seed: u64) -> (RtpbClient, Vec<FaultRecord>) {
     let config = ClusterConfig {
         seed,
         fault_plan: plan(),
@@ -74,8 +75,8 @@ fn run(seed: u64) -> (SimCluster, Vec<FaultRecord>) {
         registry: MetricsRegistry::new(),
         ..ClusterConfig::default()
     };
-    let mut cluster = SimCluster::new(config);
-    cluster
+    let mut client = RtpbClient::new(config);
+    client
         .register(
             ObjectSpec::builder("telemetry")
                 .update_period(ms(100))
@@ -85,13 +86,13 @@ fn run(seed: u64) -> (SimCluster, Vec<FaultRecord>) {
                 .expect("valid spec"),
         )
         .expect("admitted");
-    cluster.run_for(TimeDelta::from_secs(14));
-    let report = cluster.fault_report().to_vec();
-    (cluster, report)
+    client.run_for(TimeDelta::from_secs(14));
+    let report = client.fault_report().to_vec();
+    (client, report)
 }
 
 fn main() {
-    let (cluster, report) = run(42);
+    let (client, report) = run(42);
 
     println!("fault report ({} injected faults):\n", report.len());
     println!(
@@ -118,22 +119,22 @@ fn main() {
         "every injected fault must eventually heal"
     );
     assert!(
-        !cluster.has_failed_over(),
+        !client.has_failed_over(),
         "no fault here kills the primary — the service never fails over"
     );
 
-    let backup = cluster.backup().expect("backup re-joined");
+    let backup = client.backup().expect("backup re-joined");
     println!(
         "\nafter the storm: backup holds {} object(s), applied {} updates; \
          {} retransmissions requested",
         backup.store().len(),
         backup.updates_applied(),
-        cluster.metrics().retransmit_requests(),
+        client.metrics().retransmit_requests(),
     );
 
     // Structured-event summary: every protocol event of the run, typed
     // and stamped with the virtual clock.
-    let events = cluster.bus().collect();
+    let events = client.bus().collect();
     let mut by_kind: BTreeMap<&str, u64> = BTreeMap::new();
     for event in &events {
         *by_kind.entry(event.kind.name()).or_insert(0) += 1;
@@ -141,7 +142,7 @@ fn main() {
     println!(
         "\nevent trace: {} events ({} dropped by the ring):\n",
         events.len(),
-        cluster.bus().dropped()
+        client.bus().dropped()
     );
     println!("{:<24} {:>8}", "event kind", "count");
     for (kind, count) in &by_kind {
@@ -161,7 +162,7 @@ fn main() {
     }
 
     // Registry summary: counters + latency histograms.
-    let snapshot = cluster.registry().snapshot();
+    let snapshot = client.registry().snapshot();
     println!("\nmetrics registry:\n");
     for (name, value) in &snapshot.counters {
         println!("{name:<28} {value:>10}");
@@ -178,7 +179,7 @@ fn main() {
 
     // Export + self-validate the JSONL stream; timestamps must be
     // monotone in the merged order.
-    let jsonl = cluster.export_jsonl();
+    let jsonl = client.export_jsonl();
     let mut last = (0u64, 0u64);
     for line in jsonl.lines() {
         let (seq, t_ns, _kind) = rtpb::obs::validate_line(line).expect("schema-valid trace line");
@@ -200,11 +201,11 @@ fn main() {
 
     // Same config + seed ⇒ identical chaos, identical outcomes — and a
     // byte-identical event stream.
-    let (replay_cluster, replay) = run(42);
+    let (replay_client, replay) = run(42);
     assert_eq!(report, replay, "chaos runs are deterministic");
     assert_eq!(
         jsonl,
-        replay_cluster.export_jsonl(),
+        replay_client.export_jsonl(),
         "event streams replay byte-for-byte"
     );
     println!("replay with the same seed reproduced the report and the trace exactly.");

@@ -8,8 +8,9 @@
 //! cargo run --example multi_backup
 //! ```
 
-use rtpb::core::harness::{ClusterConfig, FaultEvent, SimCluster};
+use rtpb::core::harness::{ClusterConfig, FaultEvent};
 use rtpb::types::{ObjectSpec, TimeDelta};
+use rtpb::RtpbClient;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = ClusterConfig {
@@ -17,8 +18,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         trace_capacity: 64,
         ..ClusterConfig::default()
     };
-    let mut cluster = SimCluster::new(config);
-    let track = cluster.register(
+    let mut client = RtpbClient::new(config);
+    let track = client.register(
         ObjectSpec::builder("radar-track")
             .update_period(TimeDelta::from_millis(50))
             .primary_bound(TimeDelta::from_millis(100))
@@ -26,40 +27,40 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .build()?,
     )?;
 
-    cluster.run_for(TimeDelta::from_secs(3));
+    client.run_for(TimeDelta::from_secs(3));
     println!(
         "healthy: primary {} with backups:",
-        cluster.name_service().resolve()
+        client.name_service().resolve()
     );
-    for b in cluster.backups() {
+    for b in client.backups() {
         println!("  {} applied {} updates", b.node(), b.updates_applied());
     }
 
     println!("\n--- first failure ---");
-    cluster.inject(FaultEvent::CrashPrimary);
-    cluster.run_for(TimeDelta::from_secs(3));
+    client.inject(FaultEvent::CrashPrimary);
+    client.run_for(TimeDelta::from_secs(3));
     println!(
         "promoted: {} (failover #{}); surviving backup re-joined: {:?}",
-        cluster.name_service().resolve(),
-        cluster.name_service().failover_count(),
-        cluster.primary().unwrap().backups(),
+        client.name_service().resolve(),
+        client.name_service().failover_count(),
+        client.primary().unwrap().backups(),
     );
 
     println!("\n--- second failure ---");
-    cluster.inject(FaultEvent::CrashPrimary);
-    cluster.run_for(TimeDelta::from_secs(3));
+    client.inject(FaultEvent::CrashPrimary);
+    client.run_for(TimeDelta::from_secs(3));
     println!(
         "promoted: {} (failover #{})",
-        cluster.name_service().resolve(),
-        cluster.name_service().failover_count(),
+        client.name_service().resolve(),
+        client.name_service().failover_count(),
     );
 
-    let report = cluster.metrics().object_report(track).expect("tracked");
+    let report = client.metrics().object_report(track).expect("tracked");
     println!(
         "\nthrough two failures: {} writes served, {} replica applies",
         report.writes, report.applies
     );
-    assert_eq!(cluster.name_service().failover_count(), 2);
+    assert_eq!(client.name_service().failover_count(), 2);
     assert!(report.writes > 100);
     println!("the track never went unguarded.");
     Ok(())

@@ -10,8 +10,9 @@
 //! cargo run --example process_control
 //! ```
 
-use rtpb::core::harness::{ClusterConfig, FaultEvent, SimCluster};
+use rtpb::core::harness::{ClusterConfig, FaultEvent};
 use rtpb::types::{ObjectSpec, TimeDelta};
+use rtpb::{ReadConsistency, RtpbClient};
 
 fn sensor(name: &str, period_ms: u64) -> ObjectSpec {
     ObjectSpec::builder(name)
@@ -29,44 +30,53 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         seed: 11,
         ..ClusterConfig::default()
     };
-    let mut cluster = SimCluster::new(config);
+    let mut client = RtpbClient::new(config);
 
-    let pressure = cluster.register(sensor("reactor-pressure", 50))?;
-    let temperature = cluster.register(sensor("reactor-temperature", 100))?;
-    let valve = cluster.register(sensor("valve-position", 200))?;
+    let pressure = client.register(sensor("reactor-pressure", 50))?;
+    let temperature = client.register(sensor("reactor-temperature", 100))?;
+    let valve = client.register(sensor("valve-position", 200))?;
     println!("monitoring 3 reactor objects; primary is node#0");
 
     // Phase 1: healthy operation.
-    cluster.run_for(TimeDelta::from_secs(5));
+    client.run_for(TimeDelta::from_secs(5));
     let healthy_writes: Vec<u64> = [pressure, temperature, valve]
         .iter()
-        .map(|&id| cluster.metrics().object_report(id).unwrap().writes)
+        .map(|&id| client.metrics().object_report(id).unwrap().writes)
         .collect();
     println!(
         "after 5s: {} pressure writes, no failover",
         healthy_writes[0]
     );
-    assert!(!cluster.has_failed_over());
+    assert!(!client.has_failed_over());
 
     // Phase 2: the primary host dies.
-    println!("\n--- primary crashes at t = {} ---", cluster.now());
-    cluster.inject(FaultEvent::CrashPrimary);
-    cluster.run_for(TimeDelta::from_secs(2));
+    println!("\n--- primary crashes at t = {} ---", client.now());
+    client.inject(FaultEvent::CrashPrimary);
+    client.run_for(TimeDelta::from_secs(2));
 
-    assert!(cluster.has_failed_over(), "backup must take over");
-    let failover = cluster
+    assert!(client.has_failed_over(), "backup must take over");
+    let failover = client
         .metrics()
         .failover_duration()
         .expect("failover recorded");
     println!(
         "backup promoted; name now resolves to {}; detection-to-serving took {failover}",
-        cluster.name_service().resolve()
+        client.name_service().resolve()
+    );
+
+    // The control loop keeps reading through the takeover: the session
+    // token's monotonic floor survives the epoch change.
+    let outcome = client.read(pressure, ReadConsistency::Monotonic)?;
+    println!(
+        "post-failover read served by {} with {}",
+        outcome.served_by(),
+        outcome.certificate()
     );
 
     // Phase 3: the new primary serves, a new backup joins, replication
     // resumes.
-    cluster.run_for(TimeDelta::from_secs(5));
-    let new_backup = cluster.backup().expect("replacement backup recruited");
+    client.run_for(TimeDelta::from_secs(5));
+    let new_backup = client.backup().expect("replacement backup recruited");
     println!(
         "replacement backup {} holds {} objects and applied {} updates",
         new_backup.node(),
@@ -76,7 +86,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(new_backup.updates_applied() > 0);
 
     for (i, id) in [pressure, temperature, valve].into_iter().enumerate() {
-        let r = cluster.metrics().object_report(id).unwrap();
+        let r = client.metrics().object_report(id).unwrap();
         println!(
             "{id}: {} writes, {} applies, max distance {}",
             r.writes, r.applies, r.max_distance
@@ -88,7 +98,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\ntrace highlights:");
-    for record in cluster.trace().records().filter(|r| {
+    for record in client.cluster().trace().records().filter(|r| {
         r.message.contains("dead")
             || r.message.contains("taking over")
             || r.message.contains("backup")

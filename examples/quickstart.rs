@@ -1,15 +1,17 @@
-//! Quickstart: replicate one object and check its guarantees.
+//! Quickstart: replicate one object, read it back, check its guarantees.
 //!
 //! ```text
 //! cargo run --example quickstart
 //! ```
 
-use rtpb::core::harness::{ClusterConfig, SimCluster};
+use rtpb::core::harness::ClusterConfig;
 use rtpb::types::{ObjectSpec, TimeDelta};
+use rtpb::{ReadConsistency, RtpbClient};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // A cluster with the default LAN model: 1–10 ms delay, no loss.
-    let mut cluster = SimCluster::new(ClusterConfig::default());
+    // A session over a cluster with the default LAN model: 1–10 ms
+    // delay, no loss.
+    let mut client = RtpbClient::new(ClusterConfig::default());
 
     // One sensor object: the client refreshes it every 100 ms, the
     // primary must stay within 150 ms of the real world, the backup
@@ -20,10 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .primary_bound(TimeDelta::from_millis(150))
         .backup_bound(TimeDelta::from_millis(550))
         .build()?;
-    let id = cluster.register(spec)?;
+    let id = client.register(spec)?;
     println!(
         "admitted {id}; update task period = {}",
-        cluster
+        client
             .primary()
             .expect("serving")
             .send_period(id)
@@ -31,9 +33,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Run ten simulated seconds of periodic writes.
-    cluster.run_for(TimeDelta::from_secs(10));
+    client.run_for(TimeDelta::from_secs(10));
 
-    let report = cluster.metrics().object_report(id).expect("tracked");
+    // Read from the backup replica: the reply carries a staleness
+    // certificate bounding how old the served value can possibly be.
+    let outcome = client.read(id, ReadConsistency::Bounded(TimeDelta::from_millis(550)))?;
+    println!(
+        "replica read           : node {} served {} (redirect: {})",
+        outcome.served_by(),
+        outcome.certificate(),
+        outcome.is_redirect(),
+    );
+    assert!(outcome.certificate().respects(TimeDelta::from_millis(550)));
+
+    let report = client.metrics().object_report(id).expect("tracked");
     println!("client writes applied : {}", report.writes);
     println!("updates at backup     : {}", report.applies);
     println!("max p/b distance      : {}", report.max_distance);
@@ -41,7 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("backup violations     : {}", report.backup_violations);
     println!(
         "mean client response  : {}",
-        cluster
+        client
             .metrics()
             .response_times()
             .mean()

@@ -25,11 +25,12 @@
 //! ```
 
 use rtpb::core::config::ProtocolConfig;
-use rtpb::core::harness::{ClusterConfig, FaultEvent, FaultPlan, SimCluster};
+use rtpb::core::harness::{ClusterConfig, FaultEvent, FaultPlan};
 use rtpb::core::log::CatchUpPath;
 use rtpb::core::primary::CatchUpDecision;
 use rtpb::obs::{EventBus, MetricsRegistry};
 use rtpb::types::{ObjectSpec, Time, TimeDelta};
+use rtpb::RtpbClient;
 use std::collections::BTreeMap;
 
 fn ms(v: u64) -> TimeDelta {
@@ -132,12 +133,13 @@ fn scenarios() -> Vec<Scenario> {
     ]
 }
 
-fn run(s: Scenario) -> (SimCluster, CatchUpDecision) {
-    let mut cluster = SimCluster::new(s.config);
-    cluster.register(spec(s.period_ms)).expect("admitted");
-    cluster.run_for(TimeDelta::from_secs(s.run_secs));
+fn run(s: Scenario) -> (RtpbClient, CatchUpDecision) {
+    let mut client = RtpbClient::new(s.config);
+    client.register(spec(s.period_ms)).expect("admitted");
+    client.run_for(TimeDelta::from_secs(s.run_secs));
 
-    let plan = cluster
+    let plan = client
+        .cluster()
         .catch_up_plans()
         .first()
         .expect("the rejoin must produce a catch-up plan")
@@ -147,13 +149,13 @@ fn run(s: Scenario) -> (SimCluster, CatchUpDecision) {
         "{}: wrong catch-up path chosen",
         s.label
     );
-    let report = cluster.fault_report();
+    let report = client.fault_report();
     assert!(
         report[1].recovery_time().is_some(),
         "{}: the restarted backup must re-integrate",
         s.label
     );
-    (cluster, plan)
+    (client, plan)
 }
 
 fn main() {
@@ -167,7 +169,7 @@ fn main() {
     for s in scenarios() {
         let label = s.label;
         let keep_trace = s.expect == CatchUpPath::SnapshotDiff;
-        let (cluster, plan) = run(s);
+        let (client, plan) = run(s);
         println!(
             "{:<20} {:<14} {:>8} {:>9} {:>12}",
             label,
@@ -177,7 +179,7 @@ fn main() {
             plan.bytes
         );
         if keep_trace {
-            trace = Some(cluster.export_jsonl());
+            trace = Some(client.export_jsonl());
         }
     }
 

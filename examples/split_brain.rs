@@ -24,16 +24,17 @@
 //! RTPB_TRACE_OUT=split-brain.jsonl cargo run --example split_brain
 //! ```
 
-use rtpb::core::harness::{ClusterConfig, FaultEvent, FaultPlan, SimCluster};
+use rtpb::core::harness::{ClusterConfig, FaultEvent, FaultPlan};
 use rtpb::obs::{EventBus, MetricsRegistry};
 use rtpb::types::{NodeId, ObjectSpec, Time, TimeDelta};
+use rtpb::RtpbClient;
 use std::collections::BTreeMap;
 
 fn ms(v: u64) -> TimeDelta {
     TimeDelta::from_millis(v)
 }
 
-fn run(seed: u64) -> SimCluster {
+fn run(seed: u64) -> RtpbClient {
     let config = ClusterConfig {
         seed,
         // Two backups: after the promotion a live replica remains to
@@ -50,8 +51,8 @@ fn run(seed: u64) -> SimCluster {
         ),
         ..ClusterConfig::default()
     };
-    let mut cluster = SimCluster::new(config);
-    cluster
+    let mut client = RtpbClient::new(config);
+    client
         .register(
             ObjectSpec::builder("telemetry")
                 .update_period(ms(50))
@@ -61,8 +62,8 @@ fn run(seed: u64) -> SimCluster {
                 .expect("valid spec"),
         )
         .expect("admitted");
-    cluster.run_for(TimeDelta::from_secs(8));
-    cluster
+    client.run_for(TimeDelta::from_secs(8));
+    client
 }
 
 fn main() {
@@ -74,26 +75,26 @@ fn main() {
         protocol.declaration_bound(),
     );
 
-    let cluster = run(42);
+    let client = run(42);
 
-    let primary = cluster.primary().expect("service survived");
+    let primary = client.primary().expect("service survived");
     println!(
         "after the storm: {} serves at epoch#{}; name service resolves to {}",
         primary.node(),
-        cluster.fencing_epoch().expect("serving").value(),
-        cluster.name_service().resolve(),
+        client.cluster().fencing_epoch().expect("serving").value(),
+        client.name_service().resolve(),
     );
-    assert!(cluster.has_failed_over(), "the cut must trigger a failover");
+    assert!(client.has_failed_over(), "the cut must trigger a failover");
     assert_ne!(
         primary.node(),
         NodeId::new(0),
         "the deposed primary must not still be serving"
     );
     assert!(
-        cluster.deposed_primary().is_none(),
+        client.cluster().deposed_primary().is_none(),
         "the deposed primary must have demoted itself"
     );
-    let ex_primary = cluster
+    let ex_primary = client
         .backups()
         .into_iter()
         .find(|b| b.node() == NodeId::new(0))
@@ -108,7 +109,7 @@ fn main() {
     // bound, recovered (deposed primary resynced) shortly after the 4s
     // heal.
     println!("\nfault record:");
-    for record in cluster.fault_report() {
+    for record in client.fault_report() {
         println!(
             "  {:?}: injected at {}, detected in {}, recovered in {}, {} retries",
             record.kind,
@@ -125,7 +126,7 @@ fn main() {
     }
 
     // Event summary: the fencing lifecycle must be visible in the trace.
-    let events = cluster.bus().collect();
+    let events = client.bus().collect();
     let mut by_kind: BTreeMap<&str, u64> = BTreeMap::new();
     for event in &events {
         *by_kind.entry(event.kind.name()).or_insert(0) += 1;
@@ -147,7 +148,7 @@ fn main() {
             "split-brain trace must contain {required} events"
         );
     }
-    let fenced = cluster
+    let fenced = client
         .registry()
         .snapshot()
         .counter("cluster.fenced_frames")
@@ -156,7 +157,7 @@ fn main() {
     assert!(fenced > 0, "stale-epoch frames must have been fenced");
 
     // Export + self-validate the JSONL stream.
-    let jsonl = cluster.export_jsonl();
+    let jsonl = client.export_jsonl();
     for line in jsonl.lines() {
         rtpb::obs::validate_line(line).expect("schema-valid trace line");
     }

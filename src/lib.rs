@@ -22,13 +22,20 @@
 //!
 //! ## Quickstart
 //!
+//! All client traffic goes through one session object, [`RtpbClient`]:
+//! writes route to the serving primary through the name service, reads
+//! are answered locally by backup replicas under a chosen
+//! [`ReadConsistency`] level, and every reply carries a
+//! [`StalenessCertificate`] bounding how stale the value can be.
+//!
 //! ```rust
-//! use rtpb::core::harness::{ClusterConfig, SimCluster};
+//! use rtpb::core::harness::ClusterConfig;
+//! use rtpb::{ReadConsistency, RtpbClient};
 //! use rtpb::types::{ObjectSpec, TimeDelta};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! // One primary, one backup, a 10 ms delay bound, no message loss.
-//! let mut cluster = SimCluster::new(ClusterConfig::default());
+//! let mut client = RtpbClient::new(ClusterConfig::default());
 //!
 //! // Register an object updated every 100 ms with a 150 ms consistency
 //! // window at the primary and 550 ms at the backup.
@@ -37,13 +44,16 @@
 //!     .primary_bound(TimeDelta::from_millis(150))
 //!     .backup_bound(TimeDelta::from_millis(550))
 //!     .build()?;
-//! let id = cluster.register(spec)?;
+//! let id = client.register(spec)?;
 //!
-//! // Drive the cluster for two simulated seconds of periodic writes.
-//! cluster.run_for(TimeDelta::from_secs(2));
+//! // Drive the cluster for two simulated seconds of periodic writes,
+//! // then read from a replica within the consistency window.
+//! client.run_for(TimeDelta::from_secs(2));
+//! let outcome = client.read(id, ReadConsistency::Bounded(TimeDelta::from_millis(550)))?;
+//! assert!(outcome.certificate().respects(TimeDelta::from_millis(550)));
 //!
 //! // The backup never fell outside its consistency window.
-//! let report = cluster.metrics().object_report(id).expect("registered");
+//! let report = client.metrics().object_report(id).expect("registered");
 //! assert_eq!(report.backup_violations, 0);
 //! # Ok(())
 //! # }
@@ -56,3 +66,8 @@ pub use rtpb_rt as rt;
 pub use rtpb_sched as sched;
 pub use rtpb_sim as sim;
 pub use rtpb_types as types;
+
+pub use rtpb_core::RtpbClient;
+pub use rtpb_types::{
+    ReadConsistency, ReadError, ReadOutcome, SessionToken, StalenessCertificate, WriteError,
+};

@@ -4,9 +4,10 @@
 //! retransmission heals the correlated gap, and batching preserves the
 //! determinism invariant and the event-schema guarantees.
 
-use rtpb::core::harness::{ClusterConfig, FaultEvent, FaultPlan, SimCluster};
+use rtpb::core::harness::{ClusterConfig, FaultEvent, FaultPlan};
 use rtpb::obs::{validate_line, EventBus, EventKind, MetricsRegistry};
 use rtpb::types::{AdmissionError, ObjectSpec, Time, TimeDelta};
+use rtpb::RtpbClient;
 
 fn ms(v: u64) -> TimeDelta {
     TimeDelta::from_millis(v)
@@ -41,7 +42,7 @@ fn batched_config(window_ms: u64, seed: u64) -> ClusterConfig {
 fn batched_cluster_meets_bounds_and_compresses_frames() {
     let mut config = batched_config(20, 3);
     config.link.loss_probability = 0.0;
-    let mut cluster = SimCluster::new(config);
+    let mut cluster = RtpbClient::new(config);
     // Enough objects that several send timers land inside every 20 ms
     // coalescing window — otherwise frames degenerate to one update each.
     let ids: Vec<_> = (0..32)
@@ -104,7 +105,7 @@ fn dropped_batch_frames_stale_all_members_then_heal_within_bounds() {
             loss: 1.0,
         },
     );
-    let mut cluster = SimCluster::new(config);
+    let mut cluster = RtpbClient::new(config);
     let ids: Vec<_> = (0..4)
         .map(|i| cluster.register(spec(&format!("obj-{i}"), 50)).unwrap())
         .collect();
@@ -179,7 +180,7 @@ fn dropped_batch_frames_stale_all_members_then_heal_within_bounds() {
 #[test]
 fn batched_runs_are_deterministic_and_distinct_from_unbatched() {
     let run = |window_ms: u64| {
-        let mut cluster = SimCluster::new(batched_config(window_ms, 9));
+        let mut cluster = RtpbClient::new(batched_config(window_ms, 9));
         cluster.register(spec("a", 50)).unwrap();
         cluster.register(spec("b", 100)).unwrap();
         cluster.run_for(TimeDelta::from_secs(5));
@@ -208,7 +209,7 @@ fn batched_runs_are_deterministic_and_distinct_from_unbatched() {
 #[test]
 fn register_rejects_a_coalescing_window_that_breaks_theorem_5() {
     // spec(50): δ_i = 500 ms, r_i = (500 − ℓ)/2 — so W = 300 ms overruns.
-    let mut cluster = SimCluster::new(batched_config(300, 1));
+    let mut cluster = RtpbClient::new(batched_config(300, 1));
     match cluster.register(spec("too-wide", 50)) {
         Err(AdmissionError::CoalescingWindowTooWide {
             coalesce_window,

@@ -3,10 +3,11 @@
 //! schedules, and delay spikes, each asserting the protocol's detection
 //! and re-integration bounds from the fault report.
 
-use rtpb::core::harness::{ClusterConfig, FaultEvent, FaultPlan, SimCluster};
+use rtpb::core::harness::{ClusterConfig, FaultEvent, FaultPlan};
 use rtpb::core::metrics::InjectedFault;
 use rtpb::obs::{EventBus, EventKind, MetricsRegistry};
 use rtpb::types::{NodeId, ObjectSpec, Time, TimeDelta};
+use rtpb::RtpbClient;
 
 fn ms(v: u64) -> TimeDelta {
     TimeDelta::from_millis(v)
@@ -46,7 +47,7 @@ fn loss_burst_is_detected_and_heals() {
         ),
         ..ClusterConfig::default()
     };
-    let mut cluster = SimCluster::new(config);
+    let mut cluster = RtpbClient::new(config);
     let id = cluster.register(spec(50)).unwrap();
     cluster.run_for(TimeDelta::from_secs(8));
 
@@ -93,7 +94,7 @@ fn partition_detected_then_backup_reintegrates_after_heal() {
         ),
         ..ClusterConfig::default()
     };
-    let mut cluster = SimCluster::new(config);
+    let mut cluster = RtpbClient::new(config);
     let id = cluster.register(spec(50)).unwrap();
     cluster.run_for(TimeDelta::from_secs(8));
 
@@ -136,7 +137,7 @@ fn backup_crash_and_recovery_meet_their_bounds() {
             .at(at_ms(2_500), FaultEvent::RecoverBackup { host: 0 }),
         ..ClusterConfig::default()
     };
-    let mut cluster = SimCluster::new(config);
+    let mut cluster = RtpbClient::new(config);
     let id = cluster.register(spec(50)).unwrap();
     cluster.run_for(TimeDelta::from_secs(6));
 
@@ -177,7 +178,7 @@ fn primary_crash_during_state_transfer_still_fails_over() {
             .at(Time::from_micros(3_000_500), FaultEvent::CrashPrimary),
         ..ClusterConfig::default()
     };
-    let mut cluster = SimCluster::new(config);
+    let mut cluster = RtpbClient::new(config);
     let id = cluster.register(spec(50)).unwrap();
     cluster.run_for(TimeDelta::from_secs(6));
 
@@ -230,7 +231,7 @@ fn delay_spike_past_link_bound_triggers_watchdogs() {
         ),
         ..ClusterConfig::default()
     };
-    let mut cluster = SimCluster::new(config);
+    let mut cluster = RtpbClient::new(config);
     let id = cluster.register(spec(50)).unwrap();
     let allowance = {
         let primary = cluster.primary().unwrap();
@@ -292,7 +293,7 @@ fn chaos_runs_are_deterministic() {
                 ),
             ..ClusterConfig::default()
         };
-        let mut cluster = SimCluster::new(config);
+        let mut cluster = RtpbClient::new(config);
         let id = cluster.register(spec(50)).unwrap();
         cluster.run_for(TimeDelta::from_secs(10));
         let report = cluster.report();
@@ -315,7 +316,7 @@ fn chaos_runs_are_deterministic() {
 /// while it keeps running. Two replicas must never both act as primary
 /// against the same store, so the promotion mints a fresh fencing epoch
 /// and every frame from the deposed regime is rejected on arrival.
-fn split_brain_cluster(seed: u64) -> SimCluster {
+fn split_brain_cluster(seed: u64) -> RtpbClient {
     let config = ClusterConfig {
         seed,
         num_backups: 2,
@@ -330,7 +331,7 @@ fn split_brain_cluster(seed: u64) -> SimCluster {
         ),
         ..ClusterConfig::default()
     };
-    SimCluster::new(config)
+    RtpbClient::new(config)
 }
 
 /// Scenario 6: split-brain. The primary is partitioned away mid-burst, a
@@ -348,7 +349,7 @@ fn split_brain_fences_the_deposed_primary_and_resyncs_it() {
     assert!(cluster.has_failed_over(), "split-brain must promote");
     let primary = cluster.primary().expect("service must survive");
     assert_ne!(primary.node(), NodeId::new(0), "old primary stays deposed");
-    let serving_epoch = cluster.fencing_epoch().expect("serving").value();
+    let serving_epoch = cluster.cluster().fencing_epoch().expect("serving").value();
     assert!(serving_epoch > 0, "promotion must mint a fresh epoch");
 
     // Fencing did real work: stale-epoch frames arrived and were
@@ -381,7 +382,10 @@ fn split_brain_fences_the_deposed_primary_and_resyncs_it() {
 
     // The deposed primary saw the higher epoch, demoted itself, and
     // resynced back in as a backup of the new regime.
-    assert!(cluster.deposed_primary().is_none(), "must have demoted");
+    assert!(
+        cluster.cluster().deposed_primary().is_none(),
+        "must have demoted"
+    );
     assert!(
         events.iter().any(
             |e| matches!(e.kind, EventKind::PrimaryDemoted { node, .. } if node == NodeId::new(0))
@@ -475,14 +479,14 @@ fn sub_detection_primary_cut_heals_without_promotion() {
         ),
         ..ClusterConfig::default()
     };
-    let mut cluster = SimCluster::new(config);
+    let mut cluster = RtpbClient::new(config);
     let id = cluster.register(spec(50)).unwrap();
     cluster.run_for(TimeDelta::from_secs(6));
 
     assert!(!cluster.has_failed_over(), "short cut must not promote");
     assert_eq!(cluster.primary().unwrap().node(), NodeId::new(0));
-    assert_eq!(cluster.fencing_epoch().unwrap().value(), 0);
-    assert!(cluster.deposed_primary().is_none());
+    assert_eq!(cluster.cluster().fencing_epoch().unwrap().value(), 0);
+    assert!(cluster.cluster().deposed_primary().is_none());
     let faults = cluster.fault_report();
     assert_eq!(faults.len(), 1);
     assert_eq!(faults[0].recovered_at, Some(at_ms(2_200)));
@@ -507,7 +511,7 @@ fn detected_primary_cut_without_auto_failover_reintegrates() {
         ),
         ..ClusterConfig::default()
     };
-    let mut cluster = SimCluster::new(config);
+    let mut cluster = RtpbClient::new(config);
     let id = cluster.register(spec(50)).unwrap();
     cluster.run_for(TimeDelta::from_secs(8));
 
@@ -516,8 +520,8 @@ fn detected_primary_cut_without_auto_failover_reintegrates() {
         "auto_failover off: no promotion"
     );
     assert_eq!(cluster.primary().unwrap().node(), NodeId::new(0));
-    assert_eq!(cluster.fencing_epoch().unwrap().value(), 0);
-    assert!(cluster.deposed_primary().is_none());
+    assert_eq!(cluster.cluster().fencing_epoch().unwrap().value(), 0);
+    assert!(cluster.cluster().deposed_primary().is_none());
     let faults = cluster.fault_report();
     assert_eq!(faults.len(), 1);
     assert_eq!(faults[0].recovered_at, Some(at_ms(3_500)));
@@ -544,7 +548,7 @@ fn lossy_heartbeats_still_fail_over_within_detection_bound() {
         ..ClusterConfig::default()
     };
     config.link.loss_probability = 0.3;
-    let mut cluster = SimCluster::new(config);
+    let mut cluster = RtpbClient::new(config);
     cluster.register(spec(50)).unwrap();
     cluster.run_for(TimeDelta::from_secs(4));
 

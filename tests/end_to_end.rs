@@ -1,8 +1,9 @@
 //! Cross-crate integration tests: the full RTPB service in virtual time.
 
-use rtpb::core::harness::{ClusterConfig, SimCluster};
+use rtpb::core::harness::ClusterConfig;
 use rtpb::core::{SchedulabilityTest, SchedulingMode};
 use rtpb::types::{AdmissionError, ObjectId, ObjectSpec, TimeDelta};
+use rtpb::RtpbClient;
 
 fn ms(v: u64) -> TimeDelta {
     TimeDelta::from_millis(v)
@@ -19,7 +20,7 @@ fn spec(period: u64, dp: u64, db: u64) -> ObjectSpec {
 
 #[test]
 fn admitted_objects_never_violate_their_bounds_without_loss() {
-    let mut cluster = SimCluster::new(ClusterConfig::default());
+    let mut cluster = RtpbClient::new(ClusterConfig::default());
     let ids: Vec<ObjectId> = [
         spec(50, 80, 300),
         spec(100, 150, 550),
@@ -53,7 +54,7 @@ fn theorem5_slack_tolerates_single_losses() {
         config.protocol.slack_factor = slack;
         config.link.loss_probability = 0.05;
         config.seed = seed;
-        let mut cluster = SimCluster::new(config);
+        let mut cluster = RtpbClient::new(config);
         let id = cluster.register(spec(100, 150, 550)).unwrap();
         cluster.run_for(TimeDelta::from_secs(60));
         cluster.report().object_report(id).unwrap().window_episodes
@@ -68,7 +69,7 @@ fn theorem5_slack_tolerates_single_losses() {
 
 #[test]
 fn inter_object_skew_stays_bounded() {
-    let mut cluster = SimCluster::new(ClusterConfig::default());
+    let mut cluster = RtpbClient::new(ClusterConfig::default());
     let a = cluster.register(spec(50, 80, 400)).unwrap();
     let bound = ms(200);
     let b = cluster
@@ -96,7 +97,7 @@ fn admission_decisions_are_order_sensitive_but_safe() {
     // schedulable and behaves.
     let mut config = ClusterConfig::default();
     config.protocol.send_cost_base = ms(2);
-    let mut cluster = SimCluster::new(config);
+    let mut cluster = RtpbClient::new(config);
     let mut admitted = Vec::new();
     let mut rejected = 0;
     for _ in 0..64 {
@@ -126,7 +127,7 @@ fn all_schedulability_tests_protect_the_admitted_set() {
         let mut config = ClusterConfig::default();
         config.protocol.schedulability_test = test;
         config.protocol.send_cost_base = ms(2);
-        let mut cluster = SimCluster::new(config);
+        let mut cluster = RtpbClient::new(config);
         let mut admitted = Vec::new();
         for _ in 0..64 {
             if let Ok(id) = cluster.register(spec(100, 150, 250)) {
@@ -153,7 +154,7 @@ fn compressed_scheduling_shrinks_recovery_time_under_loss() {
         config.protocol.scheduling_mode = mode;
         config.link.loss_probability = 0.15;
         config.seed = 5;
-        let mut cluster = SimCluster::new(config);
+        let mut cluster = RtpbClient::new(config);
         for _ in 0..4 {
             cluster.register(spec(100, 150, 550)).unwrap();
         }
@@ -178,7 +179,7 @@ fn compressed_scheduling_shrinks_recovery_time_under_loss() {
 fn deregistration_frees_capacity() {
     let mut config = ClusterConfig::default();
     config.protocol.send_cost_base = ms(2);
-    let mut cluster = SimCluster::new(config);
+    let mut cluster = RtpbClient::new(config);
     let mut last = None;
     let mut count = 0usize;
     while let Ok(id) = cluster.register(spec(100, 150, 250)) {
@@ -186,7 +187,7 @@ fn deregistration_frees_capacity() {
         count += 1;
         assert!(count < 256, "saturation expected");
     }
-    // Note: SimCluster has no public deregister (the paper's API is
+    // Note: RtpbClient has no public deregister (the paper's API is
     // register-only at the cluster level); exercise the primary's
     // capacity accounting directly instead.
     let before = count;
@@ -200,9 +201,9 @@ fn the_wire_protocol_is_actually_exercised() {
     // x-kernel stack round-trips every message.
     let mut config = ClusterConfig::default();
     config.link.loss_probability = 0.1;
-    let mut cluster = SimCluster::new(config);
+    let mut cluster = RtpbClient::new(config);
     cluster.register(spec(50, 80, 300)).unwrap();
     cluster.run_for(TimeDelta::from_secs(10));
-    assert_eq!(cluster.corrupt_messages(), 0);
+    assert_eq!(cluster.cluster().corrupt_messages(), 0);
     assert!(cluster.metrics().updates_sent() > 50);
 }

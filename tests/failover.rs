@@ -1,8 +1,9 @@
 //! Failure-injection integration tests: crashes, takeover, and
 //! re-integration (paper §4.4).
 
-use rtpb::core::harness::{ClusterConfig, FaultEvent, SimCluster};
+use rtpb::core::harness::{ClusterConfig, FaultEvent};
 use rtpb::types::{NodeId, ObjectSpec, TimeDelta};
+use rtpb::RtpbClient;
 
 fn ms(v: u64) -> TimeDelta {
     TimeDelta::from_millis(v)
@@ -17,8 +18,8 @@ fn spec(period: u64) -> ObjectSpec {
         .unwrap()
 }
 
-fn cluster_with(recruit_ms: Option<u64>) -> SimCluster {
-    SimCluster::new(ClusterConfig {
+fn cluster_with(recruit_ms: Option<u64>) -> RtpbClient {
+    RtpbClient::new(ClusterConfig {
         trace_capacity: 128,
         recruit_backup_after: recruit_ms.map(ms),
         ..ClusterConfig::default()
@@ -145,7 +146,7 @@ fn no_spurious_failover_under_update_loss() {
     // the physically-redundant control path (§4.1 assumption).
     let mut config = ClusterConfig::default();
     config.link.loss_probability = 0.5;
-    let mut cluster = SimCluster::new(config);
+    let mut cluster = RtpbClient::new(config);
     cluster.register(spec(50)).unwrap();
     cluster.run_for(TimeDelta::from_secs(30));
     assert!(!cluster.has_failed_over(), "no failover without a crash");
@@ -161,7 +162,7 @@ fn shared_fate_when_control_traffic_is_also_lossy() {
         ..ClusterConfig::default()
     };
     config.link.loss_probability = 0.9;
-    let mut cluster = SimCluster::new(config);
+    let mut cluster = RtpbClient::new(config);
     cluster.register(spec(50)).unwrap();
     cluster.run_for(TimeDelta::from_secs(30));
     // Bounded-retry re-join can heal a false alarm before we look, so

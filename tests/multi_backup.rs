@@ -2,8 +2,9 @@
 //! several backups, independent failure detectors, rank-free takeover,
 //! and re-join of survivors.
 
-use rtpb::core::harness::{ClusterConfig, FaultEvent, SimCluster};
+use rtpb::core::harness::{ClusterConfig, FaultEvent};
 use rtpb::types::{NodeId, ObjectSpec, TimeDelta};
+use rtpb::RtpbClient;
 
 fn ms(v: u64) -> TimeDelta {
     TimeDelta::from_millis(v)
@@ -18,13 +19,13 @@ fn spec(period: u64) -> ObjectSpec {
         .unwrap()
 }
 
-fn cluster(backups: usize) -> SimCluster {
+fn cluster(backups: usize) -> RtpbClient {
     let config = ClusterConfig {
         num_backups: backups,
         trace_capacity: 128,
         ..ClusterConfig::default()
     };
-    SimCluster::new(config)
+    RtpbClient::new(config)
 }
 
 #[test]

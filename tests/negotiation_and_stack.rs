@@ -1,8 +1,9 @@
 //! QoS renegotiation (§4.2 feedback) and x-kernel stack composition.
 
-use rtpb::core::harness::{ClusterConfig, SimCluster};
+use rtpb::core::harness::ClusterConfig;
 use rtpb::net::{Message, ProtocolGraph, SequencedLayer, UdpLike};
 use rtpb::types::{AdmissionError, ObjectSpec, TimeDelta};
+use rtpb::RtpbClient;
 
 fn ms(v: u64) -> TimeDelta {
     TimeDelta::from_millis(v)
@@ -10,7 +11,7 @@ fn ms(v: u64) -> TimeDelta {
 
 #[test]
 fn negotiation_hints_lead_to_admission() {
-    let mut cluster = SimCluster::new(ClusterConfig::default());
+    let mut cluster = RtpbClient::new(ClusterConfig::default());
 
     // Gate 1 rejection: the hint names the smallest feasible δP.
     let too_tight = ObjectSpec::builder("g1")
@@ -65,7 +66,7 @@ fn negotiation_hints_lead_to_admission() {
 fn unschedulable_hint_reports_the_bound() {
     let mut config = ClusterConfig::default();
     config.protocol.send_cost_base = ms(4);
-    let mut cluster = SimCluster::new(config);
+    let mut cluster = RtpbClient::new(config);
     let spec = || {
         ObjectSpec::builder("sat")
             .update_period(ms(100))
@@ -154,7 +155,7 @@ fn deterministic_replay_across_full_feature_set() {
         };
         config.protocol.scheduling_mode = rtpb::core::SchedulingMode::Compressed;
         config.link.loss_probability = 0.1;
-        let mut cluster = SimCluster::new(config);
+        let mut cluster = RtpbClient::new(config);
         let a = cluster
             .register(
                 ObjectSpec::builder("a")

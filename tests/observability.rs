@@ -3,9 +3,10 @@
 //! outcomes, and a faulty run's trace carries the full event taxonomy
 //! with (time, seq)-monotone ordering.
 
-use rtpb::core::harness::{ClusterConfig, FaultEvent, FaultPlan, SimCluster};
+use rtpb::core::harness::{ClusterConfig, FaultEvent, FaultPlan};
 use rtpb::obs::{validate_line, EventBus, EventKind, MetricsRegistry};
 use rtpb::types::{ObjectSpec, Time, TimeDelta};
+use rtpb::RtpbClient;
 
 fn ms(v: u64) -> TimeDelta {
     TimeDelta::from_millis(v)
@@ -50,7 +51,7 @@ fn stormy_plan() -> FaultPlan {
         .at(Time::from_millis(8_000), FaultEvent::CrashPrimary)
 }
 
-fn stormy_run(seed: u64, traced: bool) -> SimCluster {
+fn stormy_run(seed: u64, traced: bool) -> RtpbClient {
     let config = ClusterConfig {
         seed,
         fault_plan: stormy_plan(),
@@ -66,7 +67,7 @@ fn stormy_run(seed: u64, traced: bool) -> SimCluster {
         },
         ..ClusterConfig::default()
     };
-    let mut cluster = SimCluster::new(config);
+    let mut cluster = RtpbClient::new(config);
     cluster.register(spec("a", 50)).unwrap();
     cluster.register(spec("b", 100)).unwrap();
     cluster.run_for(TimeDelta::from_secs(10));

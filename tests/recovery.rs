@@ -3,20 +3,16 @@
 //! log position and the primary picks the cheapest catch-up path that
 //! covers the gap — log suffix for short outages, snapshot diff once
 //! the ring has truncated, full state transfer only when the gap
-//! predates every retained snapshot. Plus a propcheck pin that all
-//! paths converge to byte-identical stores, a Theorem-5 regression pin
+//! predates every retained snapshot. Plus a Theorem-5 regression pin
 //! for objects unaffected by the crash, and seeded-replay determinism
 //! with crashes in the plan.
 
-use rtpb::core::backup::Backup;
 use rtpb::core::config::ProtocolConfig;
-use rtpb::core::harness::{ClusterConfig, FaultEvent, FaultPlan, SimCluster};
+use rtpb::core::harness::{ClusterConfig, FaultEvent, FaultPlan};
 use rtpb::core::log::CatchUpPath;
-use rtpb::core::primary::Primary;
-use rtpb::core::store::ObjectStore;
 use rtpb::obs::EventBus;
-use rtpb::sim::propcheck::{run_cases, Gen};
-use rtpb::types::{NodeId, ObjectSpec, Time, TimeDelta};
+use rtpb::types::{ObjectSpec, Time, TimeDelta};
+use rtpb::{ReadConsistency, RtpbClient};
 
 fn ms(v: u64) -> TimeDelta {
     TimeDelta::from_millis(v)
@@ -52,11 +48,11 @@ fn short_gap_restart_replays_the_log_suffix() {
         fault_plan: kill_restart(0, 1_000, 1_300),
         ..ClusterConfig::default()
     };
-    let mut cluster = SimCluster::new(config);
+    let mut cluster = RtpbClient::new(config);
     let id = cluster.register(spec(50)).unwrap();
     cluster.run_for(TimeDelta::from_secs(4));
 
-    let plans = cluster.catch_up_plans();
+    let plans = cluster.cluster().catch_up_plans();
     assert!(!plans.is_empty(), "the rejoin must produce a plan");
     assert_eq!(plans[0].path, CatchUpPath::LogSuffix);
     assert!(plans[0].gap > 0, "a 300 ms outage misses some records");
@@ -92,11 +88,11 @@ fn long_gap_restart_uses_the_snapshot_diff() {
         fault_plan: kill_restart(0, 4_000, 6_000),
         ..ClusterConfig::default()
     };
-    let mut cluster = SimCluster::new(config);
+    let mut cluster = RtpbClient::new(config);
     let id = cluster.register(spec(20)).unwrap();
     cluster.run_for(TimeDelta::from_secs(8));
 
-    let plans = cluster.catch_up_plans();
+    let plans = cluster.cluster().catch_up_plans();
     assert!(!plans.is_empty(), "the rejoin must produce a plan");
     assert_eq!(
         plans[0].path,
@@ -133,13 +129,13 @@ fn pre_retention_gap_falls_back_to_full_transfer() {
         fault_plan: kill_restart(0, 500, 6_000),
         ..ClusterConfig::default()
     };
-    let mut cluster = SimCluster::new(config);
+    let mut cluster = RtpbClient::new(config);
     let ids: Vec<_> = cluster
         .register_many(vec![spec(20), spec(40), spec(80)])
         .unwrap();
     cluster.run_for(TimeDelta::from_secs(8));
 
-    let plans = cluster.catch_up_plans();
+    let plans = cluster.cluster().catch_up_plans();
     assert!(!plans.is_empty(), "the rejoin must produce a plan");
     assert_eq!(plans[0].path, CatchUpPath::FullTransfer);
     assert_eq!(
@@ -150,110 +146,88 @@ fn pre_retention_gap_falls_back_to_full_transfer() {
     assert!(cluster.fault_report()[1].recovery_time().is_some());
 }
 
-/// The `(id, write_epoch, version, timestamp, payload)` tuple of every
-/// object — everything replication is responsible for. (Local bookkeeping
-/// like `registered_at` is excluded: a cold store re-registers at join
-/// time by design.)
-fn fingerprint(store: &ObjectStore) -> Vec<(u32, u64, u64, u64, Vec<u8>)> {
-    store
-        .iter()
-        .map(|(id, entry)| {
-            let (version, timestamp, payload) = entry.value().map_or_else(
-                || (0, 0, Vec::new()),
-                |v| {
-                    (
-                        v.version().value(),
-                        v.timestamp().as_nanos(),
-                        v.payload().to_vec(),
-                    )
-                },
-            );
-            (
-                id.index(),
-                entry.write_epoch().value(),
-                version,
-                timestamp,
-                payload,
-            )
-        })
-        .collect()
-}
-
-/// Propcheck: for random write histories, retention knobs, and crash
-/// points, a durable backup caught up through its log position and a
-/// cold backup rebuilt by full state transfer converge to byte-identical
-/// stores — and both match the primary. The epoch-aware `(write_epoch,
-/// version)` ordering in `ObjectStore::apply` makes every path land on
-/// the same images regardless of how they were shipped.
+/// Regression pin for the catch-up read gate: a restarted backup's
+/// store holds its pre-crash image until the re-integration frame
+/// lands, and a read served from that window would hand the client a
+/// value the primary overwrote many periods ago. The gate
+/// (`read_eligible` in the harness, `join_in_progress` in
+/// `Backup::serve_read`) must route every read in the window to the
+/// primary instead; once the resync lands, replica reads resume and
+/// only post-resync versions are ever served.
 #[test]
-fn suffix_replay_and_full_transfer_converge_identically() {
-    run_cases("recovery-convergence", 60, |g: &mut Gen| {
-        let config = ProtocolConfig {
-            log_retention: g.usize_in(4, 64),
-            snapshot_interval: g.u64_in(4, 32),
-            snapshots_retained: g.usize_in(1, 4),
-            ..ProtocolConfig::default()
-        };
-        let mut p = Primary::new(NodeId::new(0), config.clone());
-        p.add_backup(NodeId::new(1), Time::ZERO);
-        let k = g.usize_in(1, 5);
-        let ids: Vec<_> = (0..k)
-            .map(|_| p.register(spec(100), Time::ZERO).unwrap())
-            .collect();
+fn reads_during_catch_up_never_serve_pre_resync_values() {
+    let config = ClusterConfig {
+        auto_failover: false,
+        fault_plan: kill_restart(0, 1_000, 1_600),
+        ..ClusterConfig::default()
+    };
+    let mut cluster = RtpbClient::new(config);
+    let id = cluster.register(spec(50)).unwrap();
 
-        // The durable backup tracks the primary update-by-update until
-        // the crash point, then misses everything after it.
-        let mut durable = Backup::new(NodeId::new(1), config.clone());
-        for (id, ospec, period) in p.registry() {
-            durable.sync_registration(id, ospec, period, Time::ZERO);
+    // A bound far beyond any real staleness: the Bounded filter never
+    // redirects on its own, so the only thing standing between the
+    // client and a pre-resync image is the eligibility gate.
+    let huge = TimeDelta::from_secs(60);
+
+    // Steady state: replica reads work before the crash.
+    cluster.run_for(TimeDelta::from_secs(1));
+    let v_crash = cluster
+        .primary()
+        .expect("serving")
+        .store()
+        .get(id)
+        .unwrap()
+        .version()
+        .value();
+    assert!(v_crash > 0, "one second of 50 ms writes landed");
+
+    // Step through outage + restart + catch-up in 5 ms slices, reading
+    // at every step. The primary keeps writing throughout, so any
+    // replica-served read showing a version at or below the crash
+    // high-water is a pre-resync value escaping the gate.
+    let mut redirects_after_restart = 0u32;
+    let mut replica_reads_after_restart = 0u32;
+    for step in 0..400u64 {
+        cluster.run_for(ms(5));
+        let now_ms = 1_000 + 5 * (step + 1);
+        // While the only backup is down the primary's leadership lease
+        // can lapse and its own read gate refuses (`Unavailable`);
+        // that's a correct refusal, not a gate leak.
+        let outcome = match cluster.read(id, ReadConsistency::Bounded(huge)) {
+            Ok(outcome) => outcome,
+            Err(rtpb::ReadError::Unavailable) => continue,
+            Err(other) => panic!("t={now_ms}ms: unexpected read error {other}"),
+        };
+        if outcome.is_redirect() {
+            if now_ms > 1_600 {
+                redirects_after_restart += 1;
+            }
+            continue;
         }
-        // Gaps of 1-2 ms keep the whole history inside the leadership
-        // lease (250 ms, armed once at `add_backup`): this harness is
-        // sans-io, so no heartbeat acks flow back to renew it.
-        let writes = g.usize_in(5, 80);
-        let cut = g.usize_in(0, writes + 1);
-        let mut now = Time::ZERO;
-        for i in 0..writes {
-            now += ms(g.u64_in(1, 3));
-            let id = ids[g.usize_in(0, k)];
-            p.apply_client_write(id, g.bytes(16), now);
-            let _ = p.take_snapshot_marks();
-            if i < cut {
-                let update = p.make_update(id, now).expect("update for fresh write");
-                durable.handle_message(&update, now);
+        if now_ms > 1_000 {
+            assert!(
+                outcome.certificate().version.value() > v_crash,
+                "t={now_ms}ms: replica served v{} but the primary was past \
+                 v{v_crash} before the crash — pre-resync value leaked",
+                outcome.certificate().version.value()
+            );
+            if now_ms > 1_600 {
+                replica_reads_after_restart += 1;
             }
         }
-
-        // Durable path: join with the recorded position; the primary
-        // picks whichever of the three paths covers the gap.
-        now += ms(5);
-        let join = durable.begin_join(now);
-        let out = p.handle_message(&join, now);
-        assert!(out.catch_up.is_some(), "join must produce a plan");
-        for reply in &out.replies {
-            durable.handle_message(reply, now);
-        }
-
-        // Cold path: no position, full state transfer.
-        let mut cold = Backup::new(NodeId::new(1), config);
-        for (id, ospec, period) in p.registry() {
-            cold.sync_registration(id, ospec, period, Time::ZERO);
-        }
-        let join = cold.begin_join(now);
-        let out = p.handle_message(&join, now);
-        assert_eq!(
-            out.catch_up.expect("plan").path,
-            CatchUpPath::FullTransfer,
-            "a cold join has no position to serve from the log"
-        );
-        for reply in &out.replies {
-            cold.handle_message(reply, now);
-        }
-
-        let want = fingerprint(p.store());
-        assert_eq!(fingerprint(durable.store()), want, "durable != primary");
-        assert_eq!(fingerprint(cold.store()), want, "cold != primary");
-    });
+    }
+    assert!(
+        redirects_after_restart > 0,
+        "the catch-up window must actually gate reads to the primary"
+    );
+    assert!(
+        replica_reads_after_restart > 0,
+        "once the resync lands, replica reads must resume"
+    );
+    assert!(
+        cluster.fault_report()[1].recovery_time().is_some(),
+        "the restarted backup must re-integrate"
+    );
 }
 
 /// Theorem-5 regression pin: objects replicated to the *surviving*
@@ -268,7 +242,7 @@ fn bounds_hold_for_unaffected_objects_throughout_recovery() {
         fault_plan: kill_restart(1, 1_000, 1_400),
         ..ClusterConfig::default()
     };
-    let mut cluster = SimCluster::new(config);
+    let mut cluster = RtpbClient::new(config);
     let ids: Vec<_> = cluster
         .register_many(vec![spec(50), spec(100), spec(200)])
         .unwrap();
@@ -306,10 +280,11 @@ fn seeded_kill_restart_replays_byte_identical() {
         config.seed = 1717;
         config.link.loss_probability = 0.3;
         let bus = config.bus.clone();
-        let mut cluster = SimCluster::new(config);
+        let mut cluster = RtpbClient::new(config);
         cluster.register(spec(50)).unwrap();
         cluster.run_for(TimeDelta::from_secs(5));
         let plans: Vec<String> = cluster
+            .cluster()
             .catch_up_plans()
             .iter()
             .map(|p| format!("{p:?}"))
@@ -338,7 +313,7 @@ fn lossy_recovery_path_still_reintegrates() {
         };
         config.seed = 99;
         config.link.loss_probability = 0.5;
-        let mut cluster = SimCluster::new(config);
+        let mut cluster = RtpbClient::new(config);
         cluster.register(spec(50)).unwrap();
         cluster.run_for(TimeDelta::from_secs(10));
         let backup = cluster.backup().expect("backup host");

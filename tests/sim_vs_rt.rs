@@ -2,9 +2,10 @@
 //! thread runtime: the same protocol cores must show the same qualitative
 //! behaviour under both drivers.
 
-use rtpb::core::harness::{ClusterConfig, FaultEvent, SimCluster};
+use rtpb::core::harness::{ClusterConfig, FaultEvent};
 use rtpb::rt::{RtCluster, RtConfig};
 use rtpb::types::{ObjectSpec, TimeDelta};
+use rtpb::RtpbClient;
 use std::time::Duration;
 
 fn spec(period_ms: u64) -> ObjectSpec {
@@ -19,7 +20,7 @@ fn spec(period_ms: u64) -> ObjectSpec {
 #[test]
 fn both_drivers_replicate_and_stay_consistent() {
     // Simulation: 2 virtual seconds.
-    let mut cluster = SimCluster::new(ClusterConfig::default());
+    let mut cluster = RtpbClient::new(ClusterConfig::default());
     let id = cluster.register(spec(50)).unwrap();
     cluster.run_for(TimeDelta::from_secs(2));
     let sim_report = cluster.metrics().object_report(id).unwrap();
@@ -48,7 +49,7 @@ fn both_drivers_replicate_and_stay_consistent() {
 #[test]
 fn both_drivers_fail_over_on_primary_death() {
     // Simulation.
-    let mut cluster = SimCluster::new(ClusterConfig::default());
+    let mut cluster = RtpbClient::new(ClusterConfig::default());
     cluster.register(spec(50)).unwrap();
     cluster.run_for(TimeDelta::from_secs(1));
     cluster.inject(FaultEvent::CrashPrimary);
@@ -69,7 +70,7 @@ fn both_drivers_survive_update_loss_via_retransmission() {
 
     let mut sim_config = ClusterConfig::default();
     sim_config.link.loss_probability = loss;
-    let mut cluster = SimCluster::new(sim_config);
+    let mut cluster = RtpbClient::new(sim_config);
     let id = cluster.register(spec(50)).unwrap();
     cluster.run_for(TimeDelta::from_secs(5));
     let sim_report = cluster.metrics().object_report(id).unwrap();
