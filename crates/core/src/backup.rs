@@ -7,6 +7,7 @@
 
 use crate::config::ProtocolConfig;
 use crate::heartbeat::{DetectorAction, FailureDetector};
+use crate::monitor::TemporalMonitor;
 use crate::primary::Primary;
 use crate::store::ObjectStore;
 use crate::update_sched::UpdateSchedule;
@@ -55,6 +56,14 @@ pub enum BackupRead {
     /// The object is not registered (or has never been written) at this
     /// backup.
     Unknown,
+    /// This backup's temporal monitor detected a timing-assumption
+    /// violation: its clock evidence contradicts the configured envelope,
+    /// so any staleness certificate it minted might lie. The read is
+    /// refused explicitly instead (DESIGN.md §14).
+    Unsound {
+        /// This backup's last applied update-log position.
+        position: Option<LogPosition>,
+    },
 }
 
 /// Bounded-retry state of an in-flight join (§4.4 re-integration): a
@@ -128,6 +137,10 @@ pub struct Backup {
     join: Option<JoinState>,
     join_attempts: u32,
     join_abandoned: bool,
+    /// Runtime temporal-envelope monitor (DESIGN.md §14). While it is
+    /// degraded this backup refuses reads with [`BackupRead::Unsound`]
+    /// instead of minting a certificate that might lie.
+    monitor: TemporalMonitor,
 }
 
 impl Backup {
@@ -145,6 +158,7 @@ impl Backup {
             config.heartbeat_timeout,
             config.heartbeat_miss_threshold,
         );
+        let monitor = TemporalMonitor::new(&config);
         Backup {
             node,
             config,
@@ -163,6 +177,7 @@ impl Backup {
             join: None,
             join_attempts: 0,
             join_abandoned: false,
+            monitor,
         }
     }
 
@@ -191,6 +206,7 @@ impl Backup {
         );
         detector.reset(now);
         let last_update_at = store.iter().map(|(id, _)| (id, now)).collect();
+        let monitor = TemporalMonitor::new(&config);
         Backup {
             node,
             config,
@@ -209,6 +225,7 @@ impl Backup {
             join: None,
             join_attempts: 0,
             join_abandoned: false,
+            monitor,
         }
     }
 
@@ -277,7 +294,20 @@ impl Backup {
         self.join_attempts
     }
 
-    /// Whether a join is awaiting its state transfer.
+    /// The runtime temporal-envelope monitor (DESIGN.md §14).
+    #[must_use]
+    pub fn monitor(&self) -> &TemporalMonitor {
+        &self.monitor
+    }
+
+    /// Drains the monitor's pending state-transition events — violations,
+    /// degradation, recovery — for the driver to surface as trace events
+    /// and metrics.
+    pub fn drain_monitor_events(&mut self) -> Vec<crate::monitor::MonitorEvent> {
+        self.monitor.drain_events()
+    }
+
+    /// Whether a join or resync cycle is still in flight.
     #[must_use]
     pub fn join_in_progress(&self) -> bool {
         self.join.is_some()
@@ -309,6 +339,15 @@ impl Backup {
         floor: Option<LogPosition>,
         now: Time,
     ) -> BackupRead {
+        if self.monitor.is_degraded() {
+            // Certificate ages are computed across two clocks; with this
+            // node's clock evidence contradicting the envelope the age
+            // could under-report true staleness. Refuse explicitly
+            // rather than serve a certificate that might lie.
+            return BackupRead::Unsound {
+                position: self.position,
+            };
+        }
         if self.join_in_progress() {
             return BackupRead::Behind {
                 position: self.position,
@@ -385,6 +424,16 @@ impl Backup {
                 version: Version::INITIAL,
                 age_bound: TimeDelta::ZERO,
                 position: self.position,
+                payload: Vec::new(),
+            },
+            BackupRead::Unsound { position } => WireMessage::ReadReply {
+                epoch: self.epoch,
+                object,
+                status: ReadStatus::Unsound,
+                write_epoch: Epoch::INITIAL,
+                version: Version::INITIAL,
+                age_bound: TimeDelta::ZERO,
+                position,
                 payload: Vec::new(),
             },
         }
@@ -523,6 +572,7 @@ impl Backup {
     /// higher epoch move this backup's epoch forward.
     pub fn handle_message(&mut self, msg: &WireMessage, now: Time) -> BackupOutput {
         let mut out = BackupOutput::default();
+        self.monitor.observe_now(now);
         self.dispatch_message(msg, now, &mut out);
         out
     }
@@ -537,6 +587,7 @@ impl Backup {
     /// equivalent owned message; the propcheck suite pins this.
     pub fn handle_frame(&mut self, frame: &WireFrame<'_>, now: Time) -> BackupOutput {
         let mut out = BackupOutput::default();
+        self.monitor.observe_now(now);
         self.dispatch_frame(frame, now, &mut out);
         out
     }
@@ -610,8 +661,12 @@ impl Backup {
                     seq: *seq,
                 });
             }
-            WireMessage::PingAck { seq, .. } => {
-                self.detector.on_ack(*seq, now);
+            WireMessage::PingAck { from, seq, .. } => {
+                if let Some(sent_at) = self.detector.on_ack(*seq, now) {
+                    // A completed probe round trip is timing evidence
+                    // against the link-delay bound.
+                    self.monitor.observe_round_trip(*from, sent_at, now);
+                }
             }
             WireMessage::StateTransfer { head, entries, .. }
             | WireMessage::ResyncDiff { head, entries, .. }
@@ -685,8 +740,10 @@ impl Backup {
                     seq: *seq,
                 });
             }
-            WireFrame::PingAck { seq, .. } => {
-                self.detector.on_ack(*seq, now);
+            WireFrame::PingAck { from, seq, .. } => {
+                if let Some(sent_at) = self.detector.on_ack(*seq, now) {
+                    self.monitor.observe_round_trip(*from, sent_at, now);
+                }
             }
             WireFrame::StateTransfer { head, entries, .. }
             | WireFrame::ResyncDiff { head, entries, .. }
@@ -740,6 +797,14 @@ impl Backup {
         out: &mut BackupOutput,
     ) {
         self.detector.note_traffic(now);
+        // The update's write timestamp is timing evidence: one stamped
+        // beyond `clock_skew` ahead of the local clock proves one of the
+        // two clocks has left the envelope — and a certificate minted
+        // across them could under-report staleness. The wire update
+        // carries no sender id, so the violation is attributed to the
+        // observing node.
+        self.monitor
+            .observe_remote_timestamp(self.node, u.timestamp, now);
         self.last_update_at.insert(u.object, now);
         self.retransmit_attempts.remove(&u.object);
         // The update carries its object's latest log coordinate.
@@ -775,6 +840,8 @@ impl Backup {
         now: Time,
         out: &mut BackupOutput,
     ) {
+        self.monitor
+            .observe_remote_timestamp(self.node, e.timestamp, now);
         self.last_update_at.insert(e.object, now);
         self.retransmit_attempts.remove(&e.object);
         // Entries are tagged with the shipping frame's epoch: a serving
@@ -843,6 +910,8 @@ impl Backup {
     /// Advances the primary failure detector. Returns the probe to send
     /// (if due) and whether the primary was just declared dead.
     pub fn tick_heartbeat(&mut self, now: Time) -> (Option<WireMessage>, bool) {
+        self.monitor.observe_now(now);
+        self.monitor.maybe_recover(now);
         if !self.primary_alive {
             return (None, false);
         }

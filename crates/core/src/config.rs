@@ -1,6 +1,8 @@
 //! Protocol configuration.
 
+use core::fmt;
 use rtpb_types::TimeDelta;
+use std::error::Error;
 
 /// Which schedulability test admission control runs on the update-task set
 /// (§4.2: "the primary will perform a schedulability test based on the
@@ -156,6 +158,27 @@ pub struct ProtocolConfig {
     pub snapshot_interval: u64,
     /// How many store snapshots the log keeps; older ones are retired.
     pub snapshots_retained: usize,
+    /// Whether the runtime temporal monitor is armed. When on, every node
+    /// cross-checks observable evidence (probe round trips, remote write
+    /// timestamps, its own clock's monotonicity) against the configured
+    /// envelope (`clock_skew`, `link_delay_bound`) and degrades to
+    /// certificate-refusing pessimism on a violation.
+    pub monitor_enabled: bool,
+    /// How long the envelope must hold after the last violation before a
+    /// degraded node re-enables certificate minting, admissions, and
+    /// lease renewal.
+    pub monitor_quiet_period: TimeDelta,
+    /// Slack added to the monitor's probe round-trip bound on top of
+    /// `2 × link_delay_bound`, absorbing benign jitter (reordering
+    /// hold-back in the sim, scheduling noise under a real clock) so only
+    /// genuine envelope violations trip the monitor.
+    pub monitor_rtt_slack: TimeDelta,
+    /// Consecutive inbound frames handled without the local clock
+    /// advancing before the monitor declares the clock stalled. Event
+    /// cascades legitimately deliver several frames at one instant; a
+    /// frozen clock pins *every* subsequent frame to one reading, so a
+    /// generous threshold separates the two.
+    pub monitor_stall_threshold: u32,
 }
 
 impl Default for ProtocolConfig {
@@ -188,9 +211,120 @@ impl Default for ProtocolConfig {
             log_retention: 1024,
             snapshot_interval: 256,
             snapshots_retained: 4,
+            monitor_enabled: true,
+            monitor_quiet_period: TimeDelta::from_millis(500),
+            monitor_rtt_slack: TimeDelta::from_millis(10),
+            monitor_stall_threshold: 32,
         }
     }
 }
+
+/// Why a configuration was rejected at startup.
+///
+/// Every rule [`ProtocolConfig::check`] enforces has a variant here, so a
+/// misconfigured deployment fails construction with a diagnosable error
+/// instead of running silently outside its proven envelope.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// `slack_factor` was zero.
+    ZeroSlackFactor,
+    /// The compressed-scheduling target utilization was outside `(0, 1]`.
+    BadCompressedTarget {
+        /// The offered target.
+        target: f64,
+    },
+    /// The heartbeat timeout was shorter than the probe period.
+    HeartbeatTimeoutBelowPeriod {
+        /// The configured timeout.
+        timeout: TimeDelta,
+        /// The configured period it must cover.
+        period: TimeDelta,
+    },
+    /// The heartbeat miss threshold was zero.
+    ZeroMissThreshold,
+    /// The initial join retry interval was zero.
+    ZeroJoinRetry,
+    /// The join retry cap was below the initial interval.
+    JoinRetryCapBelowInitial {
+        /// The configured cap.
+        cap: TimeDelta,
+        /// The initial interval it must cover.
+        initial: TimeDelta,
+    },
+    /// The lease duration was zero.
+    ZeroLease,
+    /// `lease_duration + clock_skew + link_delay_bound` was not strictly
+    /// below the failure-detection declaration bound, so a promoted
+    /// backup could coexist with a still-leased primary.
+    LeaseOutlivesDeclarationBound {
+        /// The configured lease duration.
+        lease: TimeDelta,
+        /// The worst-case clock skew budget.
+        clock_skew: TimeDelta,
+        /// The link delay bound `ℓ`.
+        link_delay: TimeDelta,
+        /// The declaration bound the sum must stay below.
+        declaration_bound: TimeDelta,
+    },
+    /// The update-log retention cap was zero.
+    ZeroLogRetention,
+    /// The snapshot interval was zero.
+    ZeroSnapshotInterval,
+    /// No snapshots would be retained.
+    ZeroSnapshotsRetained,
+    /// The temporal monitor was enabled with a zero quiet period, so a
+    /// degraded node would recover instantly and the degradation would
+    /// protect nothing.
+    ZeroMonitorQuietPeriod,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroSlackFactor => write!(f, "slack_factor must be at least 1"),
+            ConfigError::BadCompressedTarget { target } => write!(
+                f,
+                "compressed target utilization must be in (0, 1], got {target}"
+            ),
+            ConfigError::HeartbeatTimeoutBelowPeriod { timeout, period } => write!(
+                f,
+                "heartbeat timeout must be at least the period ({timeout} < {period})"
+            ),
+            ConfigError::ZeroMissThreshold => write!(f, "miss threshold must be at least 1"),
+            ConfigError::ZeroJoinRetry => write!(f, "join retry interval must be positive"),
+            ConfigError::JoinRetryCapBelowInitial { cap, initial } => write!(
+                f,
+                "join retry cap must be at least the initial interval ({cap} < {initial})"
+            ),
+            ConfigError::ZeroLease => write!(f, "lease duration must be positive"),
+            ConfigError::LeaseOutlivesDeclarationBound {
+                lease,
+                clock_skew,
+                link_delay,
+                declaration_bound,
+            } => write!(
+                f,
+                "lease duration plus clock skew plus link delay must be below the \
+                 failure-detection declaration bound, or a promoted backup could \
+                 coexist with a still-leased primary \
+                 ({lease} + {clock_skew} + {link_delay} >= {declaration_bound})"
+            ),
+            ConfigError::ZeroLogRetention => write!(f, "log retention must be at least 1"),
+            ConfigError::ZeroSnapshotInterval => {
+                write!(f, "snapshot interval must be at least 1")
+            }
+            ConfigError::ZeroSnapshotsRetained => {
+                write!(f, "at least one snapshot must be retained")
+            }
+            ConfigError::ZeroMonitorQuietPeriod => {
+                write!(f, "monitor quiet period must be positive")
+            }
+        }
+    }
+}
+
+impl Error for ConfigError {}
 
 impl ProtocolConfig {
     /// The CPU cost of sending one update with `payload_bytes` of payload.
@@ -224,54 +358,77 @@ impl ProtocolConfig {
         self.heartbeat_timeout * u64::from(self.heartbeat_miss_threshold)
     }
 
+    /// Checks every parameter-sanity rule, returning the first violated
+    /// one. The rules include the lease-sizing invariant
+    /// `lease_duration + clock_skew + link_delay_bound <
+    /// declaration_bound()` — the condition all of the split-brain-safety
+    /// arguments rest on — so a misconfigured deployment is a hard error
+    /// at construction rather than a silently unsound run.
+    pub fn check(&self) -> Result<(), ConfigError> {
+        if self.slack_factor < 1 {
+            return Err(ConfigError::ZeroSlackFactor);
+        }
+        if !(self.compressed_target_utilization > 0.0 && self.compressed_target_utilization <= 1.0)
+        {
+            return Err(ConfigError::BadCompressedTarget {
+                target: self.compressed_target_utilization,
+            });
+        }
+        if self.heartbeat_timeout < self.heartbeat_period {
+            return Err(ConfigError::HeartbeatTimeoutBelowPeriod {
+                timeout: self.heartbeat_timeout,
+                period: self.heartbeat_period,
+            });
+        }
+        if self.heartbeat_miss_threshold < 1 {
+            return Err(ConfigError::ZeroMissThreshold);
+        }
+        if self.join_retry_initial.is_zero() {
+            return Err(ConfigError::ZeroJoinRetry);
+        }
+        if self.join_retry_max < self.join_retry_initial {
+            return Err(ConfigError::JoinRetryCapBelowInitial {
+                cap: self.join_retry_max,
+                initial: self.join_retry_initial,
+            });
+        }
+        if self.lease_duration.is_zero() {
+            return Err(ConfigError::ZeroLease);
+        }
+        if self.lease_duration + self.clock_skew + self.link_delay_bound >= self.declaration_bound()
+        {
+            return Err(ConfigError::LeaseOutlivesDeclarationBound {
+                lease: self.lease_duration,
+                clock_skew: self.clock_skew,
+                link_delay: self.link_delay_bound,
+                declaration_bound: self.declaration_bound(),
+            });
+        }
+        if self.log_retention < 1 {
+            return Err(ConfigError::ZeroLogRetention);
+        }
+        if self.snapshot_interval < 1 {
+            return Err(ConfigError::ZeroSnapshotInterval);
+        }
+        if self.snapshots_retained < 1 {
+            return Err(ConfigError::ZeroSnapshotsRetained);
+        }
+        if self.monitor_enabled && self.monitor_quiet_period.is_zero() {
+            return Err(ConfigError::ZeroMonitorQuietPeriod);
+        }
+        Ok(())
+    }
+
     /// Validates parameter sanity.
     ///
     /// # Panics
     ///
-    /// Panics if `slack_factor` is zero, the compressed target is outside
-    /// `(0, 1]`, or the heartbeat timeout is shorter than the period.
+    /// Panics with the [`ConfigError`] message if any
+    /// [`ProtocolConfig::check`] rule is violated.
     pub fn validate(&self) {
-        assert!(self.slack_factor >= 1, "slack_factor must be at least 1");
-        assert!(
-            self.compressed_target_utilization > 0.0 && self.compressed_target_utilization <= 1.0,
-            "compressed target utilization must be in (0, 1]"
-        );
-        assert!(
-            self.heartbeat_timeout >= self.heartbeat_period,
-            "heartbeat timeout must be at least the period"
-        );
-        assert!(
-            self.heartbeat_miss_threshold >= 1,
-            "miss threshold must be at least 1"
-        );
-        assert!(
-            !self.join_retry_initial.is_zero(),
-            "join retry interval must be positive"
-        );
-        assert!(
-            self.join_retry_max >= self.join_retry_initial,
-            "join retry cap must be at least the initial interval"
-        );
-        assert!(
-            !self.lease_duration.is_zero(),
-            "lease duration must be positive"
-        );
-        assert!(
-            self.lease_duration + self.clock_skew + self.link_delay_bound
-                < self.declaration_bound(),
-            "lease duration plus clock skew plus link delay must be below the \
-             failure-detection declaration bound, or a promoted backup could \
-             coexist with a still-leased primary"
-        );
-        assert!(self.log_retention >= 1, "log retention must be at least 1");
-        assert!(
-            self.snapshot_interval >= 1,
-            "snapshot interval must be at least 1"
-        );
-        assert!(
-            self.snapshots_retained >= 1,
-            "at least one snapshot must be retained"
-        );
+        if let Err(e) = self.check() {
+            panic!("{e}");
+        }
     }
 }
 
@@ -368,5 +525,61 @@ mod tests {
             ..ProtocolConfig::default()
         };
         c.validate();
+    }
+
+    #[test]
+    fn check_returns_typed_errors_instead_of_panicking() {
+        assert_eq!(ProtocolConfig::default().check(), Ok(()));
+
+        let c = ProtocolConfig {
+            slack_factor: 0,
+            ..ProtocolConfig::default()
+        };
+        assert_eq!(c.check(), Err(ConfigError::ZeroSlackFactor));
+
+        let c = ProtocolConfig {
+            lease_duration: TimeDelta::from_millis(400),
+            ..ProtocolConfig::default()
+        };
+        match c.check() {
+            Err(ConfigError::LeaseOutlivesDeclarationBound {
+                lease,
+                declaration_bound,
+                ..
+            }) => {
+                assert_eq!(lease, TimeDelta::from_millis(400));
+                assert_eq!(declaration_bound, TimeDelta::from_millis(300));
+            }
+            other => panic!("expected lease-sizing error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_quiet_period_rejected_only_when_monitor_enabled() {
+        let c = ProtocolConfig {
+            monitor_quiet_period: TimeDelta::ZERO,
+            ..ProtocolConfig::default()
+        };
+        assert_eq!(c.check(), Err(ConfigError::ZeroMonitorQuietPeriod));
+
+        let c = ProtocolConfig {
+            monitor_enabled: false,
+            monitor_quiet_period: TimeDelta::ZERO,
+            ..ProtocolConfig::default()
+        };
+        assert_eq!(c.check(), Ok(()));
+    }
+
+    #[test]
+    fn config_error_display_is_actionable() {
+        let msg = ConfigError::LeaseOutlivesDeclarationBound {
+            lease: TimeDelta::from_millis(400),
+            clock_skew: TimeDelta::from_millis(10),
+            link_delay: TimeDelta::from_millis(10),
+            declaration_bound: TimeDelta::from_millis(300),
+        }
+        .to_string();
+        assert!(msg.contains("lease duration plus clock skew plus link delay"));
+        assert!(msg.contains("still-leased primary"));
     }
 }

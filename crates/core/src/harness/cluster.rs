@@ -15,16 +15,17 @@
 //! and the surviving backups re-join the new primary via state transfer.
 
 use crate::backup::{Backup, BackupRead};
-use crate::config::ProtocolConfig;
+use crate::config::{ConfigError, ProtocolConfig};
 use crate::harness::cpu::{CpuQueue, Work};
 use crate::harness::faults::{FaultEvent, FaultPlan};
 use crate::metrics::{ClusterMetrics, FaultRecord, InjectedFault};
+use crate::monitor::MonitorEvent;
 use crate::name_service::NameService;
 use crate::primary::{CatchUpDecision, Primary};
 use crate::wire::{WireFrame, WireMessage};
 use rtpb_net::{FaultKind, FaultWindow, LinkConfig, LossyLink, Message, ProtocolGraph, UdpLike};
 use rtpb_obs::{Counter, EventBus, EventKind, Histogram, MetricsRegistry, Role};
-use rtpb_sim::{Context, Simulation, World};
+use rtpb_sim::{ClockModel, Context, Simulation, World};
 use rtpb_types::{
     AdmissionError, BufPool, Epoch, LogPosition, NodeId, ObjectId, ObjectSpec, ReadConsistency,
     ReadError, ReadOutcome, StalenessCertificate, Time, TimeDelta, Version, WriteError,
@@ -108,6 +109,24 @@ impl Default for ClusterConfig {
     }
 }
 
+impl ClusterConfig {
+    /// Checks the configuration for contradictions — most importantly the
+    /// lease-sizing inequality `lease + skew + ℓ < declaration bound`
+    /// (DESIGN.md §10) — returning the first [`ConfigError`] found.
+    ///
+    /// [`SimCluster::new`] calls this and panics on error; callers that
+    /// build configurations from untrusted input can invoke it directly
+    /// and surface the error instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first configuration contradiction discovered; see
+    /// [`ConfigError`] for the full catalogue.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.protocol.check()
+    }
+}
+
 /// Pre-resolved registry handles for the cluster's hot paths (resolving
 /// by name per event would take the registry lock each time).
 struct Instruments {
@@ -122,6 +141,7 @@ struct Instruments {
     faults_injected: Counter,
     fenced_frames: Counter,
     catchup_bytes: Counter,
+    timing_violations: Counter,
     response_time: Histogram,
     read_latency: Histogram,
     failover_time: Histogram,
@@ -143,6 +163,7 @@ impl Instruments {
             faults_injected: registry.counter("cluster.faults_injected"),
             fenced_frames: registry.counter("cluster.fenced_frames"),
             catchup_bytes: registry.counter("cluster.catchup_bytes"),
+            timing_violations: registry.counter("cluster.timing_violations"),
             response_time: registry.histogram("cluster.response_time"),
             read_latency: registry.histogram("cluster.read_latency"),
             failover_time: registry.histogram("cluster.failover_time"),
@@ -166,6 +187,9 @@ fn fault_name(fault: InjectedFault) -> &'static str {
         InjectedFault::PrimaryPartition => "primary_partition",
         InjectedFault::LossBurst => "loss_burst",
         InjectedFault::DelaySpike => "delay_spike",
+        InjectedFault::ClockStep => "clock_step",
+        InjectedFault::ClockDrift => "clock_drift",
+        InjectedFault::ClockFreeze => "clock_freeze",
     }
 }
 
@@ -213,6 +237,14 @@ enum Event {
     FaultHealed {
         record: usize,
         host: Option<usize>,
+    },
+    /// A clock fault's heal window elapsed: the affected slot's clock is
+    /// disciplined back onto the global timeline. Distinct from
+    /// [`Event::FaultHealed`] because clock faults touch a clock model,
+    /// not link windows.
+    ClockFaultHealed {
+        record: usize,
+        slot: usize,
     },
 }
 
@@ -362,9 +394,84 @@ struct ClusterWorld {
     /// leased buffer ([`ClusterWorld::pooled_frame`]) so steady-state
     /// framing reuses capacity instead of allocating per message.
     send_pool: BufPool,
+    /// Per-role-slot clock models (DESIGN.md §14): slot 0 is the primary
+    /// role, slot `1 + i` is backup host `i`. The event queue stays on
+    /// the global virtual timeline; only the `now` handed to a slot's
+    /// state machine is translated, so clock faults perturb protocol
+    /// decisions without perturbing replay determinism. Empty entries
+    /// (and an empty vec) read as the identity clock.
+    clocks: Vec<ClockModel>,
+    /// Open clock-fault records as `(record, slot)`. The first
+    /// [`TimingViolation`](crate::monitor::TimingViolation) raised by any
+    /// node attributes detection to every open clock fault (the monitor
+    /// has no way to tell *whose* clock broke — only that the envelope
+    /// did).
+    open_clock_faults: Vec<(usize, usize)>,
 }
 
 impl ClusterWorld {
+    /// The clock model of role slot `slot`, growing the table with
+    /// identity clocks on first faulted access.
+    fn clock_mut(&mut self, slot: usize) -> &mut ClockModel {
+        if self.clocks.len() <= slot {
+            self.clocks.resize(slot + 1, ClockModel::new());
+        }
+        &mut self.clocks[slot]
+    }
+
+    /// The primary role's local reading of the global instant `global`.
+    fn primary_local(&self, global: Time) -> Time {
+        self.clocks.first().map_or(global, |c| c.local(global))
+    }
+
+    /// Backup host `i`'s local reading of the global instant `global`.
+    fn backup_local(&self, i: usize, global: Time) -> Time {
+        self.clocks.get(1 + i).map_or(global, |c| c.local(global))
+    }
+
+    /// Surfaces a node's drained monitor events: counts violations into
+    /// `cluster.timing_violations`, emits the three §14 trace kinds, and
+    /// attributes detection to every still-open clock fault (the first
+    /// violation is the protocol's reaction to the injected fault).
+    fn forward_monitor(
+        &mut self,
+        ctx: &mut Context<'_, Event>,
+        node: NodeId,
+        events: Vec<MonitorEvent>,
+    ) {
+        for event in events {
+            match event {
+                MonitorEvent::Violation(v) => {
+                    self.instruments.timing_violations.inc();
+                    ctx.emit(EventKind::TimingViolation {
+                        node,
+                        evidence: v.name().to_string(),
+                        observed_ns: v.observed_ns(),
+                        bound_ns: v.bound_ns(),
+                    });
+                    let now = ctx.now();
+                    let open: Vec<usize> = self.open_clock_faults.iter().map(|&(r, _)| r).collect();
+                    for record in open {
+                        if self.metrics.fault_report()[record].detected_at.is_none() {
+                            self.metrics.record_fault_detected(record, now);
+                            ctx.emit(EventKind::FaultDetected {
+                                record: record as u64,
+                            });
+                        }
+                    }
+                }
+                MonitorEvent::Degraded => {
+                    ctx.trace(format!("{node} temporally degraded: fast paths off"));
+                    ctx.emit(EventKind::MonitorDegraded { node });
+                }
+                MonitorEvent::Recovered => {
+                    ctx.trace(format!("{node} temporal envelope held: recovered"));
+                    ctx.emit(EventKind::MonitorRecovered { node });
+                }
+            }
+        }
+    }
+
     /// The serving primary. Callers guard on `self.primary` being `Some`
     /// before reaching any path that takes it.
     ///
@@ -819,7 +926,10 @@ impl ClusterWorld {
             to: Role::Primary,
         });
         self.instruments.failovers.inc();
-        let new_primary = backup.promote(now);
+        // The promoting replica stamps the takeover with its own (possibly
+        // faulted) backup clock; from here on it reads the primary role's
+        // clock slot.
+        let new_primary = backup.promote(self.backup_local(host, now));
         // §4.4: "The new primary changes the address in the name file to
         // its own internet address, invokes a backup version of the
         // client application ... and then waits to recruit a new backup."
@@ -850,9 +960,10 @@ impl ClusterWorld {
             .collect();
         for i in survivors {
             let node = self.hosts[i].node;
+            let local = self.backup_local(i, now);
             let join = self.hosts[i].backup.as_mut().map(|b| {
-                b.rearm(now);
-                b.begin_join(now)
+                b.rearm(local);
+                b.begin_join(local)
             });
             if let Some(join) = join {
                 ctx.trace(format!("{node} re-joining the new primary"));
@@ -941,6 +1052,7 @@ impl ClusterWorld {
         from_deposed: bool,
     ) {
         let report_metrics = self.metrics_host() == Some(host);
+        let local_now = self.backup_local(host, ctx.now());
         let Some(h) = self.hosts.get_mut(host) else {
             return;
         };
@@ -970,9 +1082,11 @@ impl ClusterWorld {
             let now = ctx.now();
             frame.for_each_update(|object, _| self.metrics.on_backup_refresh(object, now));
         }
-        let out = backup.handle_frame(&frame, ctx.now());
+        let out = backup.handle_frame(&frame, local_now);
         let local_epoch = backup.epoch();
+        let monitor_events = backup.drain_monitor_events();
         let node = self.hosts[host].node;
+        self.forward_monitor(ctx, node, monitor_events);
         self.note_fenced(ctx, node, local_epoch, &out.stale_rejected);
         if matches!(
             frame,
@@ -1043,6 +1157,10 @@ impl ClusterWorld {
         let Some(dep) = self.deposed.as_mut() else {
             return;
         };
+        // The deposed primary reads the undisturbed global clock: clock
+        // faults address role slots (primary, backup host i), and a
+        // deposed ex-primary holds neither until it demotes into a new
+        // backup host.
         let out = dep.primary.handle_message(&msg, ctx.now());
         let node = dep.primary.node();
         let local_epoch = dep.primary.epoch();
@@ -1106,11 +1224,14 @@ impl ClusterWorld {
                 });
             }
         }
-        let (out, p_node, p_epoch) = {
+        let local_now = self.primary_local(ctx.now());
+        let (out, p_node, p_epoch, monitor_events) = {
             let primary = self.serving_mut();
-            let out = primary.handle_message(&msg, ctx.now());
-            (out, primary.node(), primary.epoch())
+            let out = primary.handle_message(&msg, local_now);
+            let events = primary.drain_monitor_events();
+            (out, primary.node(), primary.epoch(), events)
         };
+        self.forward_monitor(ctx, p_node, monitor_events);
         self.note_fenced(ctx, p_node, p_epoch, &out.stale_rejected);
         if let Some(plan) = &out.catch_up {
             // The catch-up decision is the tentpole trace point: which of
@@ -1173,11 +1294,12 @@ impl ClusterWorld {
             // crashed or partitioned away (object *state* arrives via the
             // state-transfer reply already in flight).
             let registry = self.serving().registry();
+            let local = self.backup_local(host, now);
             if let Some(h) = self.hosts.get_mut(host) {
                 if let Some(backup) = h.backup.as_mut() {
                     for (id, spec, period) in registry {
                         if backup.store().get(id).is_none() {
-                            backup.sync_registration(id, spec, period, now);
+                            backup.sync_registration(id, spec, period, local);
                         } else {
                             backup.sync_send_period(id, period);
                         }
@@ -1250,6 +1372,7 @@ impl ClusterWorld {
     /// bounded retries.
     fn recover_backup(&mut self, ctx: &mut Context<'_, Event>, host: usize) {
         let now = ctx.now();
+        let local = self.backup_local(host, now);
         let join = {
             let Some(h) = self.hosts.get_mut(host) else {
                 return;
@@ -1266,10 +1389,10 @@ impl ClusterWorld {
             // join request.
             if let Some(primary) = self.primary.as_ref() {
                 for (id, spec, period) in primary.registry() {
-                    backup.sync_registration(id, spec, period, now);
+                    backup.sync_registration(id, spec, period, local);
                 }
             }
-            let join = backup.begin_join(now);
+            let join = backup.begin_join(local);
             h.backup = Some(backup);
             join
         };
@@ -1295,6 +1418,7 @@ impl ClusterWorld {
     /// crashed, or already recovered cold) recovers cold instead.
     fn restart_backup(&mut self, ctx: &mut Context<'_, Event>, host: usize) {
         let now = ctx.now();
+        let local = self.backup_local(host, now);
         let join = {
             let Some(h) = self.hosts.get_mut(host) else {
                 return;
@@ -1313,8 +1437,8 @@ impl ClusterWorld {
                     .log_position()
                     .map_or_else(|| "log start".to_string(), |p| p.to_string())
             ));
-            backup.rearm(now);
-            let join = backup.begin_join(now);
+            backup.rearm(local);
+            let join = backup.begin_join(local);
             h.backup = Some(backup);
             join
         };
@@ -1449,6 +1573,65 @@ impl ClusterWorld {
                 }
                 ctx.trace(format!("data-path loss probability set to {p}"));
             }
+            FaultEvent::ClockStep {
+                host,
+                offset,
+                backward,
+                duration,
+            } => {
+                let slot = host.map_or(0, |h| 1 + h);
+                let until = now + duration;
+                let clock = self.clock_mut(slot);
+                if backward {
+                    clock.step_behind(now, offset);
+                } else {
+                    clock.step_ahead(now, offset);
+                }
+                let record = self
+                    .metrics
+                    .record_fault_injected(InjectedFault::ClockStep, now);
+                self.note_injected(ctx, InjectedFault::ClockStep, record);
+                let dir = if backward { "back" } else { "ahead" };
+                ctx.trace(format!(
+                    "clock slot {slot} stepped {dir} by {offset} until {until}"
+                ));
+                self.open_clock_faults.push((record, slot));
+                ctx.schedule_at(until, Event::ClockFaultHealed { record, slot });
+            }
+            FaultEvent::ClockDrift {
+                host,
+                rate_num,
+                rate_den,
+                duration,
+            } => {
+                let slot = host.map_or(0, |h| 1 + h);
+                let until = now + duration;
+                // Plans are declarative data: clamp a zero denominator
+                // rather than panic.
+                let den = rate_den.max(1);
+                self.clock_mut(slot).set_rate(now, rate_num, den);
+                let record = self
+                    .metrics
+                    .record_fault_injected(InjectedFault::ClockDrift, now);
+                self.note_injected(ctx, InjectedFault::ClockDrift, record);
+                ctx.trace(format!(
+                    "clock slot {slot} drifting at {rate_num}/{den} until {until}"
+                ));
+                self.open_clock_faults.push((record, slot));
+                ctx.schedule_at(until, Event::ClockFaultHealed { record, slot });
+            }
+            FaultEvent::ClockFreeze { host, duration } => {
+                let slot = host.map_or(0, |h| 1 + h);
+                let until = now + duration;
+                self.clock_mut(slot).freeze(now);
+                let record = self
+                    .metrics
+                    .record_fault_injected(InjectedFault::ClockFreeze, now);
+                self.note_injected(ctx, InjectedFault::ClockFreeze, record);
+                ctx.trace(format!("clock slot {slot} frozen until {until}"));
+                self.open_clock_faults.push((record, slot));
+                ctx.schedule_at(until, Event::ClockFaultHealed { record, slot });
+            }
         }
     }
 
@@ -1460,10 +1643,11 @@ impl ClusterWorld {
                 payload,
             } => {
                 let now = ctx.now();
+                let local = self.primary_local(now);
                 let Some(primary) = self.primary.as_mut() else {
                     return;
                 };
-                if let Some(version) = primary.apply_write(object, payload, now) {
+                if let Some(version) = primary.apply_write(object, payload, local) {
                     let node = primary.node();
                     for (head, log_len) in primary.take_snapshot_marks() {
                         ctx.emit(EventKind::StoreSnapshot {
@@ -1492,7 +1676,7 @@ impl ClusterWorld {
                         let update = self
                             .primary
                             .as_mut()
-                            .and_then(|p| p.make_update(object, now));
+                            .and_then(|p| p.make_update(object, local));
                         if let Some(message) = update {
                             if let Some(service) =
                                 self.cpu.submit(Work::SendUpdate { message }, cost)
@@ -1615,11 +1799,11 @@ impl World for ClusterWorld {
                     .config
                     .protocol
                     .send_cost(self.specs.get(&object).map_or(64, ObjectSpec::size_bytes));
-                let now = ctx.now();
+                let local = self.primary_local(ctx.now());
                 let update = self
                     .primary
                     .as_mut()
-                    .and_then(|p| p.make_update(object, now));
+                    .and_then(|p| p.make_update(object, local));
                 if let Some(message) = update {
                     if let Some(service) = self.cpu.submit(Work::SendUpdate { message }, cost) {
                         ctx.schedule_in(service, Event::CpuFinished);
@@ -1632,13 +1816,14 @@ impl World for ClusterWorld {
                 // objects gone from the store contribute nothing.
                 self.batch_flush_scheduled = false;
                 let ids = std::mem::take(&mut self.pending_batch);
+                let local = self.primary_local(ctx.now());
                 let Some(primary) = self.primary.as_mut() else {
                     return;
                 };
                 if !primary.is_backup_alive() {
                     return;
                 }
-                let Some(message) = primary.make_batch(&ids, ctx.now()) else {
+                let Some(message) = primary.make_batch(&ids, local) else {
                     return;
                 };
                 // The frame costs one base overhead for the whole batch —
@@ -1655,10 +1840,11 @@ impl World for ClusterWorld {
                 let interval = self.watchdog_interval(object);
                 ctx.schedule_in(interval, Event::WatchdogTimer { object, epoch });
                 for i in 0..self.hosts.len() {
+                    let local = self.backup_local(i, ctx.now());
                     let request = self.hosts[i]
                         .backup
                         .as_mut()
-                        .and_then(|b| b.tick_watchdog(object, ctx.now()));
+                        .and_then(|b| b.tick_watchdog(object, local));
                     if let Some(request) = request {
                         ctx.trace(format!("watchdog retransmit request for {object}"));
                         self.transmit_to_primary(ctx, i, &request);
@@ -1670,11 +1856,14 @@ impl World for ClusterWorld {
                     self.config.protocol.heartbeat_period / 2,
                     Event::PrimaryHeartbeat,
                 );
+                let local = self.primary_local(ctx.now());
                 let Some(primary) = self.primary.as_mut() else {
                     return;
                 };
                 let primary_node = primary.node();
-                let round = primary.tick_heartbeat(ctx.now());
+                let round = primary.tick_heartbeat(local);
+                let monitor_events = primary.drain_monitor_events();
+                self.forward_monitor(ctx, primary_node, monitor_events);
                 for (dest, ping) in round.pings {
                     ctx.emit(EventKind::HeartbeatSent {
                         from: primary_node,
@@ -1748,10 +1937,14 @@ impl World for ClusterWorld {
                 );
                 let primary_node = self.names.resolve();
                 for i in 0..self.hosts.len() {
+                    let local = self.backup_local(i, ctx.now());
                     let Some(backup) = self.hosts[i].backup.as_mut() else {
                         continue;
                     };
-                    let (ping, primary_died) = backup.tick_heartbeat(ctx.now());
+                    let (ping, primary_died) = backup.tick_heartbeat(local);
+                    let monitor_events = backup.drain_monitor_events();
+                    let backup_node = self.hosts[i].node;
+                    self.forward_monitor(ctx, backup_node, monitor_events);
                     if let Some(ping) = ping {
                         ctx.emit(EventKind::HeartbeatSent {
                             from: self.hosts[i].node,
@@ -1802,8 +1995,8 @@ impl World for ClusterWorld {
                             // auto-failover off, a severed replica must
                             // find its way back once the cut heals.
                             let join = self.hosts[i].backup.as_mut().map(|b| {
-                                b.rearm(now);
-                                b.begin_join(now)
+                                b.rearm(local);
+                                b.begin_join(local)
                             });
                             if let Some(join) = join {
                                 self.transmit_to_primary(ctx, i, &join);
@@ -1815,7 +2008,7 @@ impl World for ClusterWorld {
                     let retry = self.hosts[i]
                         .backup
                         .as_mut()
-                        .and_then(|b| b.tick_join(ctx.now()));
+                        .and_then(|b| b.tick_join(local));
                     if let Some(join) = retry {
                         let record = self
                             .pending_recovery
@@ -1934,6 +2127,20 @@ impl World for ClusterWorld {
                     });
                 }
             }
+            Event::ClockFaultHealed { record, slot } => {
+                // Clock discipline snaps the slot's local reading back
+                // onto the global timeline. The *fault* is over, but a
+                // monitor degraded by it stays pessimistic until the
+                // envelope holds for the full quiet period.
+                let now = ctx.now();
+                self.clock_mut(slot).heal(now);
+                self.open_clock_faults.retain(|&(r, _)| r != record);
+                ctx.trace(format!("clock slot {slot} disciplined back to global time"));
+                self.metrics.record_fault_recovered(record, now);
+                ctx.emit(EventKind::FaultRecovered {
+                    record: record as u64,
+                });
+            }
             Event::RecruitBackup => {
                 if self.primary.is_none() || self.live_backup_count() > 0 {
                     return;
@@ -1952,12 +2159,13 @@ impl World for ClusterWorld {
                 // object *state* arrives via the StateTransfer reply to
                 // the join request.
                 let registry = self.serving().registry();
+                let local = self.backup_local(index, ctx.now());
                 let mut join = None;
                 if let Some(backup) = host.backup.as_mut() {
                     for (id, spec, period) in registry {
-                        backup.sync_registration(id, spec, period, ctx.now());
+                        backup.sync_registration(id, spec, period, local);
                     }
-                    join = Some(backup.begin_join(ctx.now()));
+                    join = Some(backup.begin_join(local));
                 }
                 self.hosts.push(host);
                 if let Some(join) = join {
@@ -2029,7 +2237,9 @@ impl SimCluster {
     /// `num_backups` is zero.
     #[must_use]
     pub fn new(config: ClusterConfig) -> Self {
-        config.protocol.validate();
+        if let Err(e) = config.validate() {
+            panic!("{e}");
+        }
         assert!(config.num_backups >= 1, "need at least one backup");
         let primary_node = NodeId::new(0);
         let mut primary = Primary::new(primary_node, config.protocol.clone());
@@ -2073,6 +2283,8 @@ impl SimCluster {
             batch_flush_scheduled: false,
             catch_up_plans: Vec::new(),
             send_pool: BufPool::new(),
+            clocks: Vec::new(),
+            open_clock_faults: Vec::new(),
             config,
         };
         let trace_capacity = world.config.trace_capacity;
@@ -2201,11 +2413,12 @@ impl SimCluster {
         let now = self.sim.now();
         let world = self.sim.world_mut();
         let registry = world.serving().registry();
-        for host in &mut world.hosts {
-            if let Some(backup) = host.backup.as_mut() {
+        for i in 0..world.hosts.len() {
+            let local = world.backup_local(i, now);
+            if let Some(backup) = world.hosts[i].backup.as_mut() {
                 for (oid, ospec, period) in &registry {
                     if new_ids.contains(oid) {
-                        backup.sync_registration(*oid, ospec.clone(), *period, now);
+                        backup.sync_registration(*oid, ospec.clone(), *period, local);
                     } else {
                         backup.sync_send_period(*oid, *period);
                     }
@@ -2276,10 +2489,11 @@ impl SimCluster {
                 return Err(WriteError::UnknownObject(object));
             }
             let serving = world.names.resolve();
+            let local = world.primary_local(now);
             let Some(primary) = world.primary.as_mut().filter(|p| p.node() == serving) else {
                 return Err(WriteError::Unavailable);
             };
-            let Some(version) = primary.apply_write(object, payload, now) else {
+            let Some(version) = primary.apply_write(object, payload, local) else {
                 return Err(WriteError::Unavailable);
             };
             let node = primary.node();
@@ -2347,6 +2561,7 @@ impl SimCluster {
             let mut chosen = None;
             let mut saw_behind = false;
             let mut saw_bound_unmet = false;
+            let mut saw_unsound = false;
             let mut order: Vec<usize> = Vec::new();
             if !matches!(consistency, ReadConsistency::Strong) {
                 order = (0..world.hosts.len())
@@ -2357,10 +2572,11 @@ impl SimCluster {
                     (h.busy_until.max(now), h.reads_served, i)
                 });
                 for &i in &order {
+                    let local = world.backup_local(i, now);
                     let Some(backup) = world.hosts[i].backup.as_ref() else {
                         continue;
                     };
-                    match backup.serve_read(object, floor, now) {
+                    match backup.serve_read(object, floor, local) {
                         BackupRead::Served {
                             payload,
                             certificate,
@@ -2377,6 +2593,7 @@ impl SimCluster {
                         }
                         BackupRead::Behind { .. } => saw_behind = true,
                         BackupRead::Unknown => {}
+                        BackupRead::Unsound { .. } => saw_unsound = true,
                     }
                 }
             }
@@ -2400,6 +2617,10 @@ impl SimCluster {
                     "strong"
                 } else if order.is_empty() {
                     "no_replica"
+                } else if saw_unsound {
+                    // An explicit unsound refusal: the replica's clock
+                    // evidence disqualified its certificates (§14).
+                    "unsound"
                 } else if saw_bound_unmet {
                     "bound_unmet"
                 } else if saw_behind {
@@ -2411,7 +2632,7 @@ impl SimCluster {
                 let Some(primary) = world.primary.as_ref().filter(|p| p.node() == serving) else {
                     return Err(ReadError::Unavailable);
                 };
-                match primary.serve_read(object, now) {
+                match primary.serve_read(object, world.primary_local(now)) {
                     Some(read) => {
                         let cost = world.config.protocol.read_cost(read.payload.len());
                         // A redirected read pays the round trip to the
@@ -2432,9 +2653,15 @@ impl SimCluster {
                         }
                     }
                     None => {
-                        // Registered but never written is the caller's
+                        // A temporally degraded primary refuses with the
+                        // explicit unsound error — no sound certificate
+                        // can be minted anywhere right now. Otherwise:
+                        // registered but never written is the caller's
                         // bug (`NoValue`); a gate-refused primary is the
                         // cluster's problem (`Unavailable`).
+                        if primary.monitor().is_degraded() {
+                            return Err(ReadError::Unsound);
+                        }
                         let never_written = primary
                             .store()
                             .get(object)

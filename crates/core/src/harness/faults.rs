@@ -26,7 +26,12 @@
 use rtpb_types::{Time, TimeDelta};
 
 /// One scheduled fault in a [`FaultPlan`].
+///
+/// Marked `#[non_exhaustive]`: new fault kinds are added as the chaos
+/// vocabulary grows (the clock faults below arrived after the first
+/// release), so downstream matches must carry a wildcard arm.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
 pub enum FaultEvent {
     /// The primary host crashes (fail-stop, §4.1).
     CrashPrimary,
@@ -98,6 +103,48 @@ pub enum FaultEvent {
     SetLoss {
         /// The new loss probability (clamped to `[0, 1]`).
         loss: f64,
+    },
+    /// A node's local clock steps by `offset` — an NTP-style correction,
+    /// VM migration, or operator `date -s`. The event queue (and thus
+    /// replay determinism) stays on the global timeline; only the local
+    /// readings handed to the affected node's state machine move. The
+    /// clock is disciplined back onto the global timeline after
+    /// `duration` (a [`ClockModel::heal`](rtpb_sim::ClockModel::heal)
+    /// discontinuity).
+    ///
+    /// A **backward** step is the dangerous direction: certificates
+    /// minted from the regressed clock under-report staleness.
+    ClockStep {
+        /// Affected backup host, or `None` for the primary host.
+        host: Option<usize>,
+        /// Step magnitude.
+        offset: TimeDelta,
+        /// `true` steps the clock behind the global timeline, `false`
+        /// ahead of it.
+        backward: bool,
+        /// Interval after which the clock is disciplined back.
+        duration: TimeDelta,
+    },
+    /// A node's local clock drifts: it advances `rate_num` nanoseconds
+    /// per `rate_den` global nanoseconds (`1/1` is nominal) until healed
+    /// after `duration`.
+    ClockDrift {
+        /// Affected backup host, or `None` for the primary host.
+        host: Option<usize>,
+        /// Drift rate numerator.
+        rate_num: u32,
+        /// Drift rate denominator (must be non-zero).
+        rate_den: u32,
+        /// Interval after which the clock is disciplined back.
+        duration: TimeDelta,
+    },
+    /// A node's local clock freezes at its current reading (a firmware
+    /// stall) until healed after `duration`.
+    ClockFreeze {
+        /// Affected backup host, or `None` for the primary host.
+        host: Option<usize>,
+        /// Interval after which the clock is disciplined back.
+        duration: TimeDelta,
     },
 }
 

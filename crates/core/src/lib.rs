@@ -56,6 +56,7 @@ pub mod harness;
 pub mod heartbeat;
 pub mod log;
 pub mod metrics;
+pub mod monitor;
 pub mod name_service;
 pub mod primary;
 pub mod store;
@@ -67,5 +68,6 @@ pub use client::RtpbClient;
 pub use config::{ProtocolConfig, SchedulabilityTest, SchedulingMode};
 pub use harness::{ClusterConfig, SimCluster};
 pub use metrics::{ClusterMetrics, ObjectReport};
+pub use monitor::{MonitorEvent, TemporalMonitor, TimingViolation};
 pub use primary::{Primary, PrimaryRead};
 pub use wire::WireMessage;

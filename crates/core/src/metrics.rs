@@ -164,6 +164,12 @@ pub enum InjectedFault {
     LossBurst,
     /// The data path suffered an added-latency window.
     DelaySpike,
+    /// A node's local clock was stepped by an offset for a window.
+    ClockStep,
+    /// A node's local clock drifted at an off-nominal rate for a window.
+    ClockDrift,
+    /// A node's local clock froze at its reading for a window.
+    ClockFreeze,
 }
 
 /// The lifecycle of one injected fault: when it was injected, when the

@@ -19,6 +19,7 @@ use crate::backup::Backup;
 use crate::config::ProtocolConfig;
 use crate::heartbeat::{DetectorAction, FailureDetector};
 use crate::log::{CatchUpPath, UpdateLog};
+use crate::monitor::TemporalMonitor;
 use crate::store::ObjectStore;
 use crate::update_sched::UpdateSchedule;
 use crate::wire::{ReadStatus, StateEntry, WireMessage};
@@ -156,6 +157,10 @@ pub struct Primary {
     /// `(log_seq, records_retained)` marks of store snapshots taken since
     /// the driver last drained them (for `store_snapshot` events).
     snapshot_marks: Vec<(u64, u64)>,
+    /// Runtime temporal-envelope monitor (DESIGN.md §14). While it is
+    /// degraded this primary stops vouching for staleness: writes,
+    /// certified reads, update production, and admissions all refuse.
+    monitor: TemporalMonitor,
 }
 
 impl Primary {
@@ -170,6 +175,7 @@ impl Primary {
         config.validate();
         let lease = Lease::new(config.lease_duration);
         let log = UpdateLog::new(Epoch::INITIAL, &config);
+        let monitor = TemporalMonitor::new(&config);
         Primary {
             node,
             config,
@@ -188,6 +194,7 @@ impl Primary {
             acks_received: 0,
             log,
             snapshot_marks: Vec::new(),
+            monitor,
         }
     }
 
@@ -248,6 +255,7 @@ impl Primary {
         // recorded under predecessor regimes are incomparable with it, so
         // rejoiners from an older epoch fall back to a full transfer.
         let log = UpdateLog::new(epoch, &config);
+        let monitor = TemporalMonitor::new(&config);
         Primary {
             node,
             config,
@@ -267,6 +275,7 @@ impl Primary {
             acks_received: 0,
             log,
             snapshot_marks: Vec::new(),
+            monitor,
         }
     }
 
@@ -312,6 +321,19 @@ impl Primary {
     #[must_use]
     pub fn lease_valid(&self, now: Time) -> bool {
         self.lease.is_valid(now)
+    }
+
+    /// The runtime temporal-envelope monitor (DESIGN.md §14).
+    #[must_use]
+    pub fn monitor(&self) -> &TemporalMonitor {
+        &self.monitor
+    }
+
+    /// Drains the monitor's pending state-transition events — violations,
+    /// degradation, recovery — for the driver to surface as trace events
+    /// and metrics.
+    pub fn drain_monitor_events(&mut self) -> Vec<crate::monitor::MonitorEvent> {
+        self.monitor.drain_events()
     }
 
     /// Whether this primary has observed a frame from a higher epoch and
@@ -365,6 +387,12 @@ impl Primary {
     ///
     /// Returns the failing admission gate; the object is not registered.
     pub fn register(&mut self, spec: ObjectSpec, now: Time) -> Result<ObjectId, AdmissionError> {
+        if self.monitor.is_degraded() {
+            // Admission promises temporal-consistency bounds; with the
+            // clock evidence contradicting the envelope those bounds
+            // cannot be vouched for right now.
+            return Err(AdmissionError::TemporallyDegraded);
+        }
         let new_id = self.store.peek_next_id();
         let new_constraints: Vec<InterObjectConstraint> = spec
             .constraints()
@@ -449,7 +477,10 @@ impl Primary {
         payload: Vec<u8>,
         now: Time,
     ) -> Option<Version> {
-        if self.is_deposed() || (self.ever_had_backup && !self.lease.is_valid(now)) {
+        if self.is_deposed()
+            || self.monitor.is_degraded()
+            || (self.ever_had_backup && !self.lease.is_valid(now))
+        {
             return None;
         }
         let next = self.store.get(id)?.version().next();
@@ -491,7 +522,10 @@ impl Primary {
     /// unknown, or no write has ever completed.
     #[must_use]
     pub fn serve_read(&self, object: ObjectId, now: Time) -> Option<PrimaryRead> {
-        if self.is_deposed() || (self.ever_had_backup && !self.lease.is_valid(now)) {
+        if self.is_deposed()
+            || self.monitor.is_degraded()
+            || (self.ever_had_backup && !self.lease.is_valid(now))
+        {
             return None;
         }
         let entry = self.store.get(object)?;
@@ -538,13 +572,15 @@ impl Primary {
                 position: Some(read.position),
                 payload: read.payload,
             },
-            // Gate refused (`Behind`: retry elsewhere or later) vs nothing
+            // Gate refused (`Unsound`: timing evidence disqualifies any
+            // certificate; `Behind`: retry elsewhere or later) vs nothing
             // to serve (`Unknown`: unregistered or never written).
             None => WireMessage::ReadReply {
                 epoch: self.epoch,
                 object,
-                status: if self.is_deposed() || (self.ever_had_backup && !self.lease.is_valid(now))
-                {
+                status: if self.monitor.is_degraded() {
+                    ReadStatus::Unsound
+                } else if self.is_deposed() || (self.ever_had_backup && !self.lease.is_valid(now)) {
                     ReadStatus::Behind
                 } else {
                     ReadStatus::Unknown
@@ -565,7 +601,11 @@ impl Primary {
     /// leadership lease no longer covers `now` (a lapsed leaseholder must
     /// not originate updates — its successor may already be serving).
     pub fn make_update(&mut self, id: ObjectId, now: Time) -> Option<WireMessage> {
-        if self.peers.is_empty() || self.is_deposed() || !self.lease.is_valid(now) {
+        if self.peers.is_empty()
+            || self.is_deposed()
+            || self.monitor.is_degraded()
+            || !self.lease.is_valid(now)
+        {
             return None;
         }
         let entry = self.store.get(id)?;
@@ -623,6 +663,7 @@ impl Primary {
     /// uninitialized recruit can still join.
     pub fn handle_message(&mut self, msg: &WireMessage, now: Time) -> PrimaryOutput {
         let mut out = PrimaryOutput::default();
+        self.monitor.observe_now(now);
         let frame_epoch = msg.epoch();
         if frame_epoch > self.epoch {
             // Superseded: a newer primary exists. Stop acting on inbound
@@ -668,7 +709,15 @@ impl Primary {
                     // unknown acks return `None` — liveness evidence at
                     // best, never renewal evidence.
                     if let Some(sent_at) = detector.on_ack(*seq, now) {
-                        self.lease.renew(sent_at);
+                        // The completed round trip is timing evidence:
+                        // check it against the link-delay envelope, and
+                        // refuse to anchor a renewal at a send instant
+                        // the local clock claims is still in the future
+                        // (the lease would outlive its monotone bound).
+                        self.monitor.observe_round_trip(*from, sent_at, now);
+                        if self.monitor.note_renewal(sent_at, now) && !self.monitor.is_degraded() {
+                            self.lease.renew(sent_at);
+                        }
                     }
                 }
             }
@@ -763,7 +812,19 @@ impl Primary {
                 // Not addressed to a primary; ignore.
             }
         }
+        self.fence_if_degraded();
         out
+    }
+
+    /// Safe degradation (DESIGN.md §14): while the temporal monitor is
+    /// degraded the lease is kept revoked — fencing this primary early,
+    /// before the violated envelope can stretch the lease past the
+    /// exclusion window the sizing rule proved. Renewal resumes with the
+    /// first acknowledged probe after recovery.
+    fn fence_if_degraded(&mut self) {
+        if self.monitor.is_degraded() {
+            self.lease.revoke();
+        }
     }
 
     /// Advances every backup failure detector. Returns the probes to
@@ -773,6 +834,9 @@ impl Primary {
     /// messages as well as update events" — dead peers are dropped, and
     /// once no peer remains [`Primary::make_update`] returns `None`.
     pub fn tick_heartbeat(&mut self, now: Time) -> HeartbeatRound {
+        self.monitor.observe_now(now);
+        self.monitor.maybe_recover(now);
+        self.fence_if_degraded();
         let mut round = HeartbeatRound::default();
         for (&peer, detector) in &mut self.peers {
             match detector.tick(now) {

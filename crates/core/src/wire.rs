@@ -223,6 +223,11 @@ pub enum ReadStatus {
     Behind,
     /// The replica does not hold the object.
     Unknown,
+    /// The replica's temporal monitor detected a timing-assumption
+    /// violation: no sound staleness certificate can be minted, so the
+    /// read is refused explicitly rather than served with a certificate
+    /// that might lie (DESIGN.md §14).
+    Unsound,
 }
 
 impl ReadStatus {
@@ -233,6 +238,7 @@ impl ReadStatus {
             ReadStatus::Served => 0,
             ReadStatus::Behind => 1,
             ReadStatus::Unknown => 2,
+            ReadStatus::Unsound => 3,
         }
     }
 
@@ -243,6 +249,7 @@ impl ReadStatus {
             0 => Some(ReadStatus::Served),
             1 => Some(ReadStatus::Behind),
             2 => Some(ReadStatus::Unknown),
+            3 => Some(ReadStatus::Unsound),
             _ => None,
         }
     }

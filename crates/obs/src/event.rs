@@ -277,6 +277,34 @@ pub enum EventKind {
         /// Records retained in the log after truncation.
         log_len: u64,
     },
+    /// A node's temporal monitor observed evidence contradicting the
+    /// configured timing envelope (clock skew or link delay bound).
+    TimingViolation {
+        /// The node that observed the violation.
+        node: NodeId,
+        /// Which evidence source fired: `"round_trip_exceeded"`,
+        /// `"timestamp_from_future"`, `"renewal_from_future"`,
+        /// `"local_clock_regression"`, or `"clock_stalled"`.
+        evidence: String,
+        /// The observed quantity, in nanoseconds (round-trip time, how far
+        /// ahead a timestamp was, regression magnitude, …).
+        observed_ns: u64,
+        /// The envelope bound the observation exceeded, in nanoseconds.
+        bound_ns: u64,
+    },
+    /// A node entered degraded mode after a timing violation: certificate
+    /// minting, admissions, and lease renewal stop until the envelope
+    /// holds again for the configured quiet period.
+    MonitorDegraded {
+        /// The degrading node.
+        node: NodeId,
+    },
+    /// A degraded node observed the envelope holding for the full quiet
+    /// period and re-enabled its fast paths.
+    MonitorRecovered {
+        /// The recovering node.
+        node: NodeId,
+    },
 }
 
 impl EventKind {
@@ -308,6 +336,9 @@ impl EventKind {
             EventKind::ResyncCompleted { .. } => "resync_completed",
             EventKind::CatchUpPlan { .. } => "catch_up_plan",
             EventKind::StoreSnapshot { .. } => "store_snapshot",
+            EventKind::TimingViolation { .. } => "timing_violation",
+            EventKind::MonitorDegraded { .. } => "monitor_degraded",
+            EventKind::MonitorRecovered { .. } => "monitor_recovered",
         }
     }
 }
@@ -495,6 +526,23 @@ impl ObsEvent {
                     .uint_field("head", *head)
                     .uint_field("log_len", *log_len);
             }
+            EventKind::TimingViolation {
+                node,
+                evidence,
+                observed_ns,
+                bound_ns,
+            } => {
+                o.uint_field("node", u64::from(node.index()))
+                    .str_field("evidence", evidence)
+                    .uint_field("observed_ns", *observed_ns)
+                    .uint_field("bound_ns", *bound_ns);
+            }
+            EventKind::MonitorDegraded { node } => {
+                o.uint_field("node", u64::from(node.index()));
+            }
+            EventKind::MonitorRecovered { node } => {
+                o.uint_field("node", u64::from(node.index()));
+            }
         }
         o.finish()
     }
@@ -673,6 +721,15 @@ pub fn validate_line(line: &str) -> Result<(u64, u64, String), SchemaError> {
             require_u64(&map, "head")?;
             require_u64(&map, "log_len")?;
         }
+        "timing_violation" => {
+            require_u64(&map, "node")?;
+            require_str(&map, "evidence")?;
+            require_u64(&map, "observed_ns")?;
+            require_u64(&map, "bound_ns")?;
+        }
+        "monitor_degraded" | "monitor_recovered" => {
+            require_u64(&map, "node")?;
+        }
         other => return Err(SchemaError::UnknownKind(other.to_string())),
     }
     Ok((seq, t_ns, kind))
@@ -801,6 +858,18 @@ mod tests {
                 node: NodeId::new(0),
                 head: 256,
                 log_len: 128,
+            },
+            EventKind::TimingViolation {
+                node: NodeId::new(1),
+                evidence: "round_trip_exceeded".into(),
+                observed_ns: 45_000_000,
+                bound_ns: 30_000_000,
+            },
+            EventKind::MonitorDegraded {
+                node: NodeId::new(1),
+            },
+            EventKind::MonitorRecovered {
+                node: NodeId::new(1),
             },
         ];
         for kind in kinds {

@@ -5,6 +5,7 @@ use crate::link::spawn_link;
 use rtpb_core::backup::Backup;
 use rtpb_core::config::ProtocolConfig;
 use rtpb_core::metrics::ClusterMetrics;
+use rtpb_core::monitor::MonitorEvent;
 use rtpb_core::primary::Primary;
 use rtpb_core::wire::{ReadStatus, WireMessage};
 use rtpb_net::LinkConfig;
@@ -111,6 +112,10 @@ pub struct RtReport {
     /// Reads the backup could not serve that were redirected to (and
     /// answered by) the primary.
     pub read_redirects: u64,
+    /// Timing-assumption violations raised by the runtime temporal
+    /// monitors (DESIGN.md §14). Zero on a healthy host: the real clock
+    /// is monotone and the default envelope absorbs scheduler jitter.
+    pub timing_violations: u64,
 }
 
 /// Why a real-clock run could not start.
@@ -175,6 +180,7 @@ struct Shared {
     suffix_rejoins: AtomicU64,
     reads_served: AtomicU64,
     read_redirects: AtomicU64,
+    timing_violations: AtomicU64,
     epoch: Instant,
 }
 
@@ -203,6 +209,7 @@ impl RtCluster {
             suffix_rejoins: AtomicU64::new(0),
             reads_served: AtomicU64::new(0),
             read_redirects: AtomicU64::new(0),
+            timing_violations: AtomicU64::new(0),
             epoch: Instant::now(),
         });
 
@@ -401,6 +408,7 @@ impl RtCluster {
             suffix_rejoins: shared.suffix_rejoins.load(Ordering::SeqCst),
             reads_served: shared.reads_served.load(Ordering::SeqCst),
             read_redirects: shared.read_redirects.load(Ordering::SeqCst),
+            timing_violations: shared.timing_violations.load(Ordering::SeqCst),
         })
     }
 }
@@ -513,8 +521,18 @@ fn reader_loop(
                     consistency: "bounded".to_string(),
                 });
             }
-            _ => {
-                // Redirect: ask the primary (the authoritative copy).
+            other => {
+                // Redirect: ask the primary (the authoritative copy). An
+                // `Unsound` refusal means the backup's monitor disowned
+                // its certificates (DESIGN.md §14) — distinguish it from
+                // an ordinary miss in the redirect reason.
+                let reason = match &other {
+                    Some(WireMessage::ReadReply {
+                        status: ReadStatus::Unsound,
+                        ..
+                    }) => "replica_unsound",
+                    _ => "replica_unavailable",
+                };
                 let _ = to_primary.send(request.encode());
                 if let Some(WireMessage::ReadReply {
                     status: ReadStatus::Served,
@@ -526,7 +544,7 @@ fn reader_loop(
                         object,
                         primary: NodeId::new(0),
                         consistency: "bounded".to_string(),
-                        reason: "replica_unavailable".to_string(),
+                        reason: reason.to_string(),
                     });
                 }
             }
@@ -550,6 +568,27 @@ fn send_wire(link: &Links, msg: &WireMessage) {
         &link.control
     };
     let _ = chosen.send(msg.encode());
+}
+
+/// Surfaces a node's drained temporal-monitor events: counts violations
+/// into the run report and mirrors each onto the event bus.
+fn forward_monitor(shared: &Shared, obs: &EventWriter, node: NodeId, events: Vec<MonitorEvent>) {
+    for event in events {
+        let kind = match event {
+            MonitorEvent::Violation(v) => {
+                shared.timing_violations.fetch_add(1, Ordering::SeqCst);
+                EventKind::TimingViolation {
+                    node,
+                    evidence: v.name().to_string(),
+                    observed_ns: v.observed_ns(),
+                    bound_ns: v.bound_ns(),
+                }
+            }
+            MonitorEvent::Degraded => EventKind::MonitorDegraded { node },
+            MonitorEvent::Recovered => EventKind::MonitorRecovered { node },
+        };
+        obs.emit(ClockDomain::Real, shared.now(), kind);
+    }
 }
 
 /// The `(object, version)` pairs of every update a frame carries.
@@ -636,6 +675,7 @@ fn primary_loop(
                 }
                 None => {
                     let round = primary.tick_heartbeat(shared.now());
+                    forward_monitor(shared, obs, primary.node(), primary.drain_monitor_events());
                     for (dest, ping) in round.pings {
                         emit(EventKind::HeartbeatSent {
                             from: primary.node(),
@@ -722,6 +762,7 @@ fn primary_loop(
                         });
                     }
                     let out = primary.handle_message(&msg, shared.now());
+                    forward_monitor(shared, obs, primary.node(), primary.drain_monitor_events());
                     if let Some(plan) = &out.catch_up {
                         emit(EventKind::CatchUpPlan {
                             node: plan.node,
@@ -877,6 +918,7 @@ fn backup_loop(
                 }
                 None => {
                     let (ping, primary_died) = backup.tick_heartbeat(shared.now());
+                    forward_monitor(shared, obs, node, backup.drain_monitor_events());
                     if let Some(ping) = ping {
                         emit(EventKind::HeartbeatSent {
                             from: node,
@@ -943,6 +985,7 @@ fn backup_loop(
                         });
                     }
                     let out = backup.handle_message(&msg, shared.now());
+                    forward_monitor(shared, obs, node, backup.drain_monitor_events());
                     let mut m = shared.metrics.lock().unwrap();
                     for (id, version, ts) in &out.applied {
                         m.on_backup_apply(*id, *version, *ts, shared.now());
@@ -1223,6 +1266,50 @@ mod tests {
         for line in bus.export_jsonl().lines() {
             rtpb_obs::validate_line(line).expect("schema-valid line");
         }
+    }
+
+    #[test]
+    fn healthy_real_clock_run_raises_no_timing_violations() {
+        let mut config = RtConfig::default();
+        config.objects.push(spec(20));
+        let report = RtCluster::run(config, Duration::from_millis(800)).unwrap();
+        assert_eq!(
+            report.timing_violations, 0,
+            "a monotone real clock must stay inside the envelope"
+        );
+    }
+
+    #[test]
+    fn renewal_from_a_skewed_clock_does_not_extend_the_lease() {
+        // The guard-start-before-send renewal anchors the lease at the
+        // probe's send time. If the local clock steps backward between
+        // probe and ack, the recorded send time lies in the observer's
+        // future — extending the lease from it would outrun the monotone
+        // bound the declaration inequality was sized against. The monitor
+        // must refuse the renewal, degrade, and fence the lease instead.
+        let mut p = Primary::new(NodeId::new(0), ProtocolConfig::default());
+        p.add_backup(NodeId::new(1), Time::ZERO);
+        let round = p.tick_heartbeat(Time::from_millis(200));
+        let Some(&(_, WireMessage::Ping { seq, .. })) = round.pings.first() else {
+            panic!("expected a probe, got {round:?}");
+        };
+        assert!(p.lease_valid(Time::from_millis(200)));
+        // The ack arrives after the clock regressed to t=150: the probe's
+        // send time (t=200) is now "from the future".
+        p.handle_message(
+            &WireMessage::PingAck {
+                epoch: Epoch::INITIAL,
+                from: NodeId::new(1),
+                seq,
+            },
+            Time::from_millis(150),
+        );
+        assert!(p.monitor().violations() > 0, "the skew must be detected");
+        assert!(p.monitor().is_degraded());
+        // Not renewed from t=200 (which would hold until t=450) — the
+        // degraded primary fenced the lease it already held.
+        assert!(!p.lease_valid(Time::from_millis(200)));
+        assert_eq!(p.lease().expires_at(), None);
     }
 
     #[test]

@@ -1,0 +1,249 @@
+//! Per-node clock models layered over the global virtual clock.
+//!
+//! The simulation engine advances one global, perfectly-monotone virtual
+//! clock. Real deployments have no such luxury: every node reads its own
+//! oscillator, which can be stepped (NTP corrections, VM migrations),
+//! drift (temperature, cheap crystals), or freeze outright (firmware
+//! stalls). A [`ClockModel`] is a deterministic translation from global
+//! virtual time to one node's *local* clock, so a harness can hand each
+//! state machine a skewed `now` while the event queue — and therefore
+//! replay determinism — stays anchored to the global timeline.
+//!
+//! The model is piecewise linear: a fault re-anchors the line at the
+//! current global instant and changes its offset (step) or slope (drift,
+//! freeze). Healing snaps the local clock back to the global one — a
+//! discontinuity, exactly like a real clock-discipline correction.
+//!
+//! # Examples
+//!
+//! ```
+//! use rtpb_sim::ClockModel;
+//! use rtpb_types::{Time, TimeDelta};
+//!
+//! let mut clock = ClockModel::new();
+//! assert_eq!(clock.local(Time::from_millis(70)), Time::from_millis(70));
+//!
+//! // Step 50 ms behind at t=100: local time jumps backwards.
+//! clock.step_behind(Time::from_millis(100), TimeDelta::from_millis(50));
+//! assert_eq!(clock.local(Time::from_millis(100)), Time::from_millis(50));
+//! assert_eq!(clock.local(Time::from_millis(160)), Time::from_millis(110));
+//!
+//! // Healing snaps back to the global timeline.
+//! clock.heal(Time::from_millis(200));
+//! assert_eq!(clock.local(Time::from_millis(250)), Time::from_millis(250));
+//! ```
+
+use rtpb_types::{Time, TimeDelta};
+
+/// A deterministic per-node clock: a piecewise-linear map from global
+/// virtual time to the node's local time.
+///
+/// The identity model (the default) returns global time unchanged, so a
+/// harness that threads every `now` through a `ClockModel` is bit-identical
+/// to one that does not until a fault perturbs the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClockModel {
+    /// Global instant of the last re-anchoring.
+    anchor_global: Time,
+    /// Local reading at the last re-anchoring.
+    anchor_local: Time,
+    /// Local nanoseconds elapsed per `rate_den` global nanoseconds.
+    rate_num: u32,
+    /// Rate denominator; never zero.
+    rate_den: u32,
+}
+
+impl Default for ClockModel {
+    fn default() -> Self {
+        ClockModel::new()
+    }
+}
+
+impl ClockModel {
+    /// The identity clock: local time equals global time.
+    #[must_use]
+    pub const fn new() -> Self {
+        ClockModel {
+            anchor_global: Time::ZERO,
+            anchor_local: Time::ZERO,
+            rate_num: 1,
+            rate_den: 1,
+        }
+    }
+
+    /// This node's local reading of the global instant `global`.
+    ///
+    /// Instants before the last re-anchoring read as the anchor itself
+    /// (the model only translates forward from its latest segment).
+    #[must_use]
+    pub fn local(&self, global: Time) -> Time {
+        let elapsed = global.saturating_since(self.anchor_global);
+        self.anchor_local + elapsed.mul_ratio(u64::from(self.rate_num), u64::from(self.rate_den))
+    }
+
+    /// Whether this model currently translates time at all.
+    #[must_use]
+    pub fn is_identity(&self) -> bool {
+        self.rate_num == self.rate_den && self.anchor_local == self.anchor_global
+    }
+
+    /// Re-anchors the linear segment at `global` without changing what
+    /// `local(global)` reads, so a new offset or rate composes with the
+    /// skew already accumulated.
+    fn re_anchor(&mut self, global: Time) {
+        self.anchor_local = self.local(global);
+        self.anchor_global = global;
+    }
+
+    /// Steps the local clock `offset` ahead of its current reading at
+    /// `global` (a forward NTP-style step).
+    pub fn step_ahead(&mut self, global: Time, offset: TimeDelta) {
+        self.re_anchor(global);
+        self.anchor_local += offset;
+    }
+
+    /// Steps the local clock `offset` behind its current reading at
+    /// `global` (a backward step — the reading regresses), saturating at
+    /// the epoch.
+    pub fn step_behind(&mut self, global: Time, offset: TimeDelta) {
+        self.re_anchor(global);
+        self.anchor_local = Time::from_nanos(
+            self.anchor_local
+                .as_nanos()
+                .saturating_sub(offset.as_nanos()),
+        );
+    }
+
+    /// Sets the drift rate: the local clock advances `num` nanoseconds per
+    /// `den` global nanoseconds from `global` onward. `1/1` is nominal;
+    /// `0/1` freezes the clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero.
+    pub fn set_rate(&mut self, global: Time, num: u32, den: u32) {
+        assert!(den != 0, "drift rate denominator must be non-zero");
+        self.re_anchor(global);
+        self.rate_num = num;
+        self.rate_den = den;
+    }
+
+    /// Freezes the local clock at its current reading.
+    pub fn freeze(&mut self, global: Time) {
+        self.set_rate(global, 0, 1);
+    }
+
+    /// Heals the clock: snaps the local reading back onto the global
+    /// timeline and restores the nominal rate. The discontinuity mirrors a
+    /// real clock-discipline correction.
+    pub fn heal(&mut self, global: Time) {
+        self.anchor_global = global;
+        self.anchor_local = global;
+        self.rate_num = 1;
+        self.rate_den = 1;
+    }
+
+    /// The signed skew at `global` as `(ahead, magnitude)`: `ahead` is
+    /// `true` when the local clock reads later than the global one.
+    #[must_use]
+    pub fn skew_at(&self, global: Time) -> (bool, TimeDelta) {
+        let local = self.local(global);
+        (local >= global, local.abs_diff(global))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> Time {
+        Time::from_millis(ms)
+    }
+
+    fn d(ms: u64) -> TimeDelta {
+        TimeDelta::from_millis(ms)
+    }
+
+    #[test]
+    fn identity_translates_nothing() {
+        let clock = ClockModel::new();
+        assert!(clock.is_identity());
+        assert_eq!(clock.local(t(0)), t(0));
+        assert_eq!(clock.local(t(1234)), t(1234));
+        assert_eq!(clock.skew_at(t(50)), (true, TimeDelta::ZERO));
+    }
+
+    #[test]
+    fn step_ahead_offsets_all_later_readings() {
+        let mut clock = ClockModel::new();
+        clock.step_ahead(t(100), d(30));
+        assert!(!clock.is_identity());
+        assert_eq!(clock.local(t(100)), t(130));
+        assert_eq!(clock.local(t(250)), t(280));
+        assert_eq!(clock.skew_at(t(200)), (true, d(30)));
+    }
+
+    #[test]
+    fn step_behind_regresses_the_reading() {
+        let mut clock = ClockModel::new();
+        clock.step_behind(t(100), d(40));
+        assert_eq!(clock.local(t(100)), t(60));
+        assert_eq!(clock.local(t(170)), t(130));
+        assert_eq!(clock.skew_at(t(100)), (false, d(40)));
+    }
+
+    #[test]
+    fn step_behind_saturates_at_the_epoch() {
+        let mut clock = ClockModel::new();
+        clock.step_behind(t(10), d(500));
+        assert_eq!(clock.local(t(10)), Time::ZERO);
+        assert_eq!(clock.local(t(20)), t(10));
+    }
+
+    #[test]
+    fn steps_compose_with_accumulated_skew() {
+        let mut clock = ClockModel::new();
+        clock.step_ahead(t(100), d(30));
+        clock.step_ahead(t(200), d(20));
+        assert_eq!(clock.local(t(200)), t(250));
+        clock.step_behind(t(300), d(10));
+        assert_eq!(clock.local(t(300)), t(340));
+    }
+
+    #[test]
+    fn drift_scales_elapsed_global_time() {
+        let mut clock = ClockModel::new();
+        // 10% fast from t=100.
+        clock.set_rate(t(100), 11, 10);
+        assert_eq!(clock.local(t(100)), t(100));
+        assert_eq!(clock.local(t(200)), t(210));
+        // Slowing to half rate keeps the skew earned so far.
+        clock.set_rate(t(200), 1, 2);
+        assert_eq!(clock.local(t(300)), t(260));
+    }
+
+    #[test]
+    fn freeze_pins_the_reading() {
+        let mut clock = ClockModel::new();
+        clock.freeze(t(150));
+        assert_eq!(clock.local(t(150)), t(150));
+        assert_eq!(clock.local(t(900)), t(150));
+        assert_eq!(clock.skew_at(t(250)), (false, d(100)));
+    }
+
+    #[test]
+    fn heal_snaps_back_to_global_time() {
+        let mut clock = ClockModel::new();
+        clock.step_behind(t(100), d(50));
+        clock.heal(t(300));
+        assert!(clock.is_identity());
+        assert_eq!(clock.local(t(300)), t(300));
+        assert_eq!(clock.local(t(400)), t(400));
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator")]
+    fn zero_rate_denominator_rejected() {
+        ClockModel::new().set_rate(t(0), 1, 0);
+    }
+}

@@ -49,6 +49,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod clock;
 mod engine;
 mod event;
 pub mod propcheck;
@@ -57,6 +58,7 @@ mod rng;
 mod stats;
 mod trace;
 
+pub use clock::ClockModel;
 pub use engine::{Context, Simulation, World};
 pub use event::EventId;
 pub use queue::EventQueue;

@@ -140,6 +140,11 @@ pub enum AdmissionError {
         /// Renegotiation hints (the smallest window that would fit).
         negotiation: QosNegotiation,
     },
+    /// The primary's temporal monitor detected a timing-assumption
+    /// violation and the node is degraded: admitting a new object would
+    /// promise consistency bounds the clock evidence says cannot be
+    /// vouched for right now. Retry after the envelope recovers.
+    TemporallyDegraded,
 }
 
 impl fmt::Display for AdmissionError {
@@ -190,6 +195,10 @@ impl fmt::Display for AdmissionError {
             } => write!(
                 f,
                 "coalescing window {coalesce_window} plus period {period} overruns consistency window {window} of {object}"
+            ),
+            AdmissionError::TemporallyDegraded => write!(
+                f,
+                "registration refused: a timing-assumption violation was detected and the primary is degraded"
             ),
         }
     }

@@ -372,6 +372,12 @@ pub enum ReadError {
     /// failover (no node currently holds the write authority) and every
     /// backup is ineligible.
     Unavailable,
+    /// Every node that could have served has detected a timing-assumption
+    /// violation (clock skew or link delay outside the configured
+    /// envelope) and refuses to mint a staleness certificate it cannot
+    /// prove — an explicit *unsound* refusal instead of a certificate
+    /// that might lie.
+    Unsound,
 }
 
 impl fmt::Display for ReadError {
@@ -389,6 +395,13 @@ impl fmt::Display for ReadError {
             }
             ReadError::Unavailable => {
                 write!(f, "read failed: no node can currently serve the request")
+            }
+            ReadError::Unsound => {
+                write!(
+                    f,
+                    "read refused: timing-assumption violation detected, no sound \
+                     staleness certificate can be minted"
+                )
             }
         }
     }
