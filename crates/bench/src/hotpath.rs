@@ -15,6 +15,15 @@
 //! | `decode_owned`          | owned [`WireMessage::decode`]               |
 //! | `primary_apply`         | `Primary::apply_client_write`               |
 //! | `backup_apply`          | parse + `Backup::handle_frame`              |
+//! | `checksum_batch`        | raw CRC32C over one batch frame image       |
+//! | `decode_view_corrupt`   | borrowing parse *rejecting* a flipped bit   |
+//!
+//! Every encode scenario seals the frame with its CRC32C trailer and
+//! every decode scenario verifies it (the codec has no unchecksummed
+//! mode), so the paired pooled/legacy numbers price the checksum cost
+//! honestly. The last two scenarios isolate that cost: the raw CRC pass
+//! over a batch image, and the price of *detecting* a corrupted frame
+//! (full checksum pass, then the typed error — never a panic).
 //!
 //! Each scenario reports ns/op and (when the caller supplies an
 //! allocation counter — the `hotpath` binary installs a counting global
@@ -30,9 +39,9 @@
 use rtpb_core::backup::Backup;
 use rtpb_core::config::ProtocolConfig;
 use rtpb_core::primary::Primary;
-use rtpb_core::wire::{WireFrame, WireMessage};
+use rtpb_core::wire::{WireFrame, WireMessage, CRC_LEN};
 use rtpb_obs::json::{parse_flat, JsonObject, JsonValue};
-use rtpb_types::{BufPool, Epoch, NodeId, ObjectId, ObjectSpec, Time, TimeDelta, Version};
+use rtpb_types::{crc32c, BufPool, Epoch, NodeId, ObjectId, ObjectSpec, Time, TimeDelta, Version};
 use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
@@ -44,7 +53,7 @@ use std::time::Instant;
 pub type AllocCounter = fn() -> u64;
 
 /// Every scenario the suite runs, in report order.
-pub const SCENARIOS: [&str; 8] = [
+pub const SCENARIOS: [&str; 10] = [
     "encode_update_pooled",
     "encode_update_legacy",
     "encode_batch_pooled",
@@ -53,6 +62,8 @@ pub const SCENARIOS: [&str; 8] = [
     "decode_owned",
     "primary_apply",
     "backup_apply",
+    "checksum_batch",
+    "decode_view_corrupt",
 ];
 
 /// Parameters of one suite run.
@@ -179,10 +190,23 @@ fn sample_batch(config: &HotpathConfig) -> WireMessage {
     }
 }
 
+/// One sub-frame's body bytes via the old encode-to-temporary path.
+/// Sub-frames carry no trailer on the wire (the enclosing batch's
+/// trailer covers them), so the temporary's own trailer is stripped —
+/// the reference keeps the old allocation profile while producing the
+/// checksummed format's exact bytes.
+fn legacy_body(m: &WireMessage) -> Vec<u8> {
+    let mut inner = Vec::new();
+    m.encode_into(&mut inner);
+    inner.truncate(inner.len() - CRC_LEN);
+    inner
+}
+
 /// Reference implementation of the pre-change encoder: a fresh unsized
 /// `Vec` per frame, and batches assembled encode-then-copy (each
 /// sub-message encoded into its own temporary, then copied behind a
-/// length prefix). Byte-identical to [`WireMessage::encode`] — the suite
+/// length prefix, with the CRC32C trailer sealed over the assembled
+/// whole). Byte-identical to [`WireMessage::encode`] — the suite
 /// asserts this before timing — but with the old allocation profile.
 fn legacy_encode(msg: &WireMessage) -> Vec<u8> {
     let mut buf = Vec::new();
@@ -192,10 +216,12 @@ fn legacy_encode(msg: &WireMessage) -> Vec<u8> {
         msg.encode_into(&mut header);
         buf.extend_from_slice(&header[..13]);
         for m in messages {
-            let inner = legacy_encode(m);
+            let inner = legacy_body(m);
             buf.extend_from_slice(&(inner.len() as u32).to_be_bytes());
             buf.extend_from_slice(&inner);
         }
+        let crc = crc32c(&buf);
+        buf.extend_from_slice(&crc.to_be_bytes());
     } else {
         msg.encode_into(&mut buf);
     }
@@ -211,11 +237,12 @@ fn legacy_encode_batch_with(header: &[u8], messages: &[WireMessage]) -> Vec<u8> 
     let mut buf = Vec::new();
     buf.extend_from_slice(header);
     for m in messages {
-        let mut inner = Vec::new();
-        m.encode_into(&mut inner);
+        let inner = legacy_body(m);
         buf.extend_from_slice(&(inner.len() as u32).to_be_bytes());
         buf.extend_from_slice(&inner);
     }
+    let crc = crc32c(&buf);
+    buf.extend_from_slice(&crc.to_be_bytes());
     buf
 }
 
@@ -361,6 +388,32 @@ pub fn run_suite(config: &HotpathConfig, counter: Option<AllocCounter>) -> Hotpa
             },
         )
     });
+    scenarios.push(bench(
+        "checksum_batch",
+        config,
+        counter,
+        || batch_bytes.clone(),
+        |bytes| {
+            black_box(crc32c(bytes));
+        },
+    ));
+    scenarios.push(bench(
+        "decode_view_corrupt",
+        config,
+        counter,
+        || {
+            // One flipped payload bit: the parse must walk the whole
+            // frame's checksum and come back with the typed error.
+            let mut bytes = batch_bytes.clone();
+            let at = bytes.len() - CRC_LEN - 1;
+            bytes[at] ^= 0x01;
+            bytes
+        },
+        |bytes| {
+            let err = WireFrame::parse(bytes).expect_err("flip must be detected");
+            black_box(&err);
+        },
+    ));
 
     HotpathReport {
         config: config.clone(),

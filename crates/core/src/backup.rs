@@ -7,11 +7,12 @@
 
 use crate::config::ProtocolConfig;
 use crate::heartbeat::{DetectorAction, FailureDetector};
+use crate::integrity::{IntegrityEvent, IntegritySource};
 use crate::monitor::TemporalMonitor;
 use crate::primary::Primary;
 use crate::store::ObjectStore;
 use crate::update_sched::UpdateSchedule;
-use crate::wire::{ReadStatus, StateEntryRef, WireFrame, WireMessage};
+use crate::wire::{ReadStatus, ScrubDigest, StateEntryRef, WireFrame, WireMessage};
 use rtpb_types::{
     Epoch, LogPosition, NodeId, ObjectId, ObjectSpec, StalenessCertificate, Time, TimeDelta,
     Version,
@@ -141,6 +142,9 @@ pub struct Backup {
     /// degraded this backup refuses reads with [`BackupRead::Unsound`]
     /// instead of minting a certificate that might lie.
     monitor: TemporalMonitor,
+    /// Integrity incidents (checksum failures, scrub divergence) since
+    /// the driver last drained them (DESIGN.md §15).
+    integrity_events: Vec<IntegrityEvent>,
 }
 
 impl Backup {
@@ -178,6 +182,7 @@ impl Backup {
             join_attempts: 0,
             join_abandoned: false,
             monitor,
+            integrity_events: Vec::new(),
         }
     }
 
@@ -226,6 +231,7 @@ impl Backup {
             join_attempts: 0,
             join_abandoned: false,
             monitor,
+            integrity_events: Vec::new(),
         }
     }
 
@@ -300,6 +306,45 @@ impl Backup {
         &self.monitor
     }
 
+    /// Drains integrity incidents — checksum failures and scrub
+    /// divergence — for the driver to surface as `integrity_violation` /
+    /// `scrub_divergence` events and metrics.
+    pub fn drain_integrity_events(&mut self) -> Vec<IntegrityEvent> {
+        std::mem::take(&mut self.integrity_events)
+    }
+
+    /// Re-verifies every stored image against its install-time checksum —
+    /// the restart-recovery audit (DESIGN.md §15). Corrupt entries are
+    /// quarantined (value dropped, freshness tag reset so repair can
+    /// re-install them) and reported as [`IntegrityEvent`]s; when any
+    /// entry fails, the applied log position is also cleared, because a
+    /// store that lost bytes can no longer vouch that its position
+    /// reflects its contents — the next join falls down the catch-up
+    /// ladder to a path that re-ships the quarantined objects.
+    ///
+    /// Returns the quarantined objects.
+    pub fn audit_integrity(&mut self) -> Vec<ObjectId> {
+        let failed = self.store.audit();
+        if !failed.is_empty() {
+            self.position = None;
+        }
+        for &id in &failed {
+            self.integrity_events.push(IntegrityEvent::Violation {
+                source: IntegritySource::StoreEntry,
+                object: Some(id),
+                seq: None,
+            });
+        }
+        failed
+    }
+
+    /// Fault-injection hook: flips `mask` into a stored object image
+    /// (see [`ObjectStore::corrupt_payload`]). Returns whether the
+    /// object held a value to corrupt. Test/chaos harness use only.
+    pub fn corrupt_stored_payload(&mut self, id: ObjectId, byte: usize, mask: u8) -> bool {
+        self.store.corrupt_payload(id, byte, mask)
+    }
+
     /// Drains the monitor's pending state-transition events — violations,
     /// degradation, recovery — for the driver to surface as trace events
     /// and metrics.
@@ -363,6 +408,14 @@ impl Backup {
         let Some(entry) = self.store.get(object) else {
             return BackupRead::Unknown;
         };
+        // Never vouch for an image whose stored checksum no longer
+        // matches (DESIGN.md §15): a certificate over corrupt bytes
+        // would bound the staleness of a value that was never written.
+        // `Unknown` routes the client to another replica or the primary;
+        // the next audit or scrub quarantines and repairs the entry.
+        if !entry.verify() {
+            return BackupRead::Unknown;
+        }
         let Some(value) = entry.value() else {
             return BackupRead::Unknown;
         };
@@ -654,12 +707,13 @@ impl Backup {
                 };
                 self.apply_update(entry, *seq, frame_epoch, now, out);
             }
-            WireMessage::Ping { seq, .. } => {
+            WireMessage::Ping { seq, scrub, .. } => {
                 out.replies.push(WireMessage::PingAck {
                     epoch: self.epoch,
                     from: self.node,
                     seq: *seq,
                 });
+                self.check_scrub(frame_epoch, *scrub, now, out);
             }
             WireMessage::PingAck { from, seq, .. } => {
                 if let Some(sent_at) = self.detector.on_ack(*seq, now) {
@@ -733,12 +787,13 @@ impl Backup {
                 };
                 self.apply_update(entry, *seq, frame_epoch, now, out);
             }
-            WireFrame::Ping { seq, .. } => {
+            WireFrame::Ping { seq, scrub, .. } => {
                 out.replies.push(WireMessage::PingAck {
                     epoch: self.epoch,
                     from: self.node,
                     seq: *seq,
                 });
+                self.check_scrub(frame_epoch, *scrub, now, out);
             }
             WireFrame::PingAck { from, seq, .. } => {
                 if let Some(sent_at) = self.detector.on_ack(*seq, now) {
@@ -770,6 +825,50 @@ impl Backup {
                 // Not addressed to a backup; ignore.
             }
         }
+    }
+
+    /// Compares a heartbeat's piggybacked scrub digest against the local
+    /// store (DESIGN.md §15). The comparison only runs when it is
+    /// meaningful: this backup's applied position must sit exactly at the
+    /// digest's log head under the same epoch (any other state means the
+    /// two stores legitimately differ in flight) and no join may be
+    /// pending. On divergence the backup quarantines whatever its own
+    /// checksums can already prove corrupt, raises a
+    /// [`IntegrityEvent::ScrubDivergence`], and initiates anti-entropy
+    /// resync with its position cleared — forcing the primary past the
+    /// (empty) log-suffix rung to the tagged-version diff that actually
+    /// re-ships the diverged objects.
+    fn check_scrub(
+        &mut self,
+        frame_epoch: Epoch,
+        scrub: Option<ScrubDigest>,
+        now: Time,
+        out: &mut BackupOutput,
+    ) {
+        let Some(s) = scrub else { return };
+        if self.join.is_some() {
+            return;
+        }
+        let Some(p) = self.position else { return };
+        if p.epoch() != frame_epoch || p.seq() != s.head {
+            return;
+        }
+        if self.store.range_digest(s.range, s.ranges) == s.digest {
+            return;
+        }
+        self.integrity_events.push(IntegrityEvent::ScrubDivergence {
+            range: s.range,
+            ranges: s.ranges,
+        });
+        for id in self.store.audit() {
+            self.integrity_events.push(IntegrityEvent::Violation {
+                source: IntegritySource::StoreEntry,
+                object: Some(id),
+                seq: None,
+            });
+        }
+        self.position = None;
+        out.replies.push(self.begin_resync(now));
     }
 
     /// Any of the three catch-up frames is the join cycle's success
@@ -921,6 +1020,7 @@ impl Backup {
                     epoch: self.epoch,
                     from: self.node,
                     seq,
+                    scrub: None,
                 }),
                 false,
             ),
@@ -1083,6 +1183,7 @@ mod tests {
                 epoch: Epoch::INITIAL,
                 from: NodeId::new(0),
                 seq: 9,
+                scrub: None,
             },
             t(1),
         );
@@ -1313,6 +1414,7 @@ mod tests {
                 epoch: Epoch::INITIAL,
                 from: NodeId::new(0),
                 seq: 11,
+                scrub: None,
             },
             t(7),
         );

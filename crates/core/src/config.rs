@@ -179,6 +179,16 @@ pub struct ProtocolConfig {
     /// frozen clock pins *every* subsequent frame to one reading, so a
     /// generous threshold separates the two.
     pub monitor_stall_threshold: u32,
+    /// How often the primary piggybacks a background-scrub digest on a
+    /// heartbeat. Each scrub covers one of `scrub_ranges` object ranges;
+    /// backups compare the digest against their own store and trigger
+    /// anti-entropy repair on divergence. `ZERO` disables scrubbing.
+    pub scrub_interval: TimeDelta,
+    /// How many ranges the object space is divided into for scrubbing.
+    /// Smaller counts scrub more state per heartbeat; larger counts
+    /// spread the digest work thinner. Ignored while scrubbing is
+    /// disabled.
+    pub scrub_ranges: u32,
 }
 
 impl Default for ProtocolConfig {
@@ -215,6 +225,8 @@ impl Default for ProtocolConfig {
             monitor_quiet_period: TimeDelta::from_millis(500),
             monitor_rtt_slack: TimeDelta::from_millis(10),
             monitor_stall_threshold: 32,
+            scrub_interval: TimeDelta::ZERO,
+            scrub_ranges: 8,
         }
     }
 }
@@ -277,6 +289,9 @@ pub enum ConfigError {
     /// degraded node would recover instantly and the degradation would
     /// protect nothing.
     ZeroMonitorQuietPeriod,
+    /// Scrubbing was enabled with zero ranges, so no object would ever
+    /// be covered by a digest.
+    ZeroScrubRanges,
 }
 
 impl fmt::Display for ConfigError {
@@ -319,6 +334,12 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::ZeroMonitorQuietPeriod => {
                 write!(f, "monitor quiet period must be positive")
+            }
+            ConfigError::ZeroScrubRanges => {
+                write!(
+                    f,
+                    "scrub_ranges must be at least 1 when scrubbing is enabled"
+                )
             }
         }
     }
@@ -415,6 +436,9 @@ impl ProtocolConfig {
         }
         if self.monitor_enabled && self.monitor_quiet_period.is_zero() {
             return Err(ConfigError::ZeroMonitorQuietPeriod);
+        }
+        if !self.scrub_interval.is_zero() && self.scrub_ranges < 1 {
+            return Err(ConfigError::ZeroScrubRanges);
         }
         Ok(())
     }
@@ -552,6 +576,23 @@ mod tests {
             }
             other => panic!("expected lease-sizing error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn zero_scrub_ranges_rejected_only_when_scrubbing_enabled() {
+        let c = ProtocolConfig {
+            scrub_interval: TimeDelta::from_millis(100),
+            scrub_ranges: 0,
+            ..ProtocolConfig::default()
+        };
+        assert_eq!(c.check(), Err(ConfigError::ZeroScrubRanges));
+
+        let c = ProtocolConfig {
+            scrub_interval: TimeDelta::ZERO,
+            scrub_ranges: 0,
+            ..ProtocolConfig::default()
+        };
+        assert_eq!(c.check(), Ok(()));
     }
 
     #[test]

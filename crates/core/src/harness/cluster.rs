@@ -18,19 +18,22 @@ use crate::backup::{Backup, BackupRead};
 use crate::config::{ConfigError, ProtocolConfig};
 use crate::harness::cpu::{CpuQueue, Work};
 use crate::harness::faults::{FaultEvent, FaultPlan};
+use crate::integrity::IntegrityEvent;
 use crate::metrics::{ClusterMetrics, FaultRecord, InjectedFault};
 use crate::monitor::MonitorEvent;
 use crate::name_service::NameService;
 use crate::primary::{CatchUpDecision, Primary};
 use crate::wire::{WireFrame, WireMessage};
-use rtpb_net::{FaultKind, FaultWindow, LinkConfig, LossyLink, Message, ProtocolGraph, UdpLike};
+use rtpb_net::{
+    FaultKind, FaultWindow, LinkConfig, LinkOutcome, LossyLink, Message, ProtocolGraph, UdpLike,
+};
 use rtpb_obs::{Counter, EventBus, EventKind, Histogram, MetricsRegistry, Role};
 use rtpb_sim::{ClockModel, Context, Simulation, World};
 use rtpb_types::{
     AdmissionError, BufPool, Epoch, LogPosition, NodeId, ObjectId, ObjectSpec, ReadConsistency,
     ReadError, ReadOutcome, StalenessCertificate, Time, TimeDelta, Version, WriteError,
 };
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Per-object `(write_epoch, version)` freshness tags of a replica's
 /// store, used to rank failover candidates.
@@ -142,6 +145,8 @@ struct Instruments {
     fenced_frames: Counter,
     catchup_bytes: Counter,
     timing_violations: Counter,
+    integrity_violations: Counter,
+    scrub_divergences: Counter,
     response_time: Histogram,
     read_latency: Histogram,
     failover_time: Histogram,
@@ -164,6 +169,8 @@ impl Instruments {
             fenced_frames: registry.counter("cluster.fenced_frames"),
             catchup_bytes: registry.counter("cluster.catchup_bytes"),
             timing_violations: registry.counter("cluster.timing_violations"),
+            integrity_violations: registry.counter("cluster.integrity_violations"),
+            scrub_divergences: registry.counter("cluster.scrub_divergences"),
             response_time: registry.histogram("cluster.response_time"),
             read_latency: registry.histogram("cluster.read_latency"),
             failover_time: registry.histogram("cluster.failover_time"),
@@ -190,6 +197,8 @@ fn fault_name(fault: InjectedFault) -> &'static str {
         InjectedFault::ClockStep => "clock_step",
         InjectedFault::ClockDrift => "clock_drift",
         InjectedFault::ClockFreeze => "clock_freeze",
+        InjectedFault::CorruptFrame => "corrupt_frame",
+        InjectedFault::CorruptState => "corrupt_state",
     }
 }
 
@@ -293,6 +302,7 @@ impl BackupHost {
             loss_probability: 0.0,
             duplicate_probability: 0.0,
             reorder_probability: 0.0,
+            corrupt_probability: 0.0,
             burst: None,
             ..config.link
         };
@@ -407,6 +417,53 @@ struct ClusterWorld {
     /// has no way to tell *whose* clock broke — only that the envelope
     /// did).
     open_clock_faults: Vec<(usize, usize)>,
+    /// Bit rot scheduled by [`FaultEvent::CorruptState`], keyed by host:
+    /// `(flips, record)`. The rot manifests at the host's *next*
+    /// [`FaultEvent::RestartBackup`], when the retained store is read
+    /// back and audited.
+    pending_state_rot: BTreeMap<usize, (u32, usize)>,
+    /// `CorruptState` records whose rot was applied and detected at
+    /// restart, awaiting the catch-up frame that repairs the quarantined
+    /// objects (values index into [`ClusterMetrics::fault_report`]).
+    rot_recovery: BTreeMap<usize, usize>,
+    /// Hosts whose own scrub check kicked off an anti-entropy resync
+    /// (`ResyncStarted` emitted), awaiting the catch-up frame that closes
+    /// it with a `ResyncCompleted`.
+    scrub_repair: BTreeSet<usize>,
+}
+
+/// Applies a link-reported bit flip to a copy of the frame's bytes. The
+/// link is payload-oblivious — it picks a bit position within the wire
+/// image ([`LinkOutcome::Corrupted`]) and the harness, which owns the
+/// bytes, lands the flip in the application payload (the header stack is
+/// framing bookkeeping, not simulated octets). Receivers then see a
+/// frame whose CRC trailer no longer matches.
+fn corrupt_wire(wire: &Message, bit: u64) -> Message {
+    let mut stripped = wire.clone();
+    let mut headers = Vec::new();
+    while let Some(h) = stripped.pop_header() {
+        headers.push(h);
+    }
+    let mut payload = stripped.into_payload().to_vec();
+    if payload.is_empty() {
+        return wire.clone();
+    }
+    let at = (bit / 8) as usize % payload.len();
+    payload[at] ^= 1 << (bit % 8);
+    let mut out = Message::from_payload(payload);
+    for h in headers.iter().rev() {
+        out.push_header(h);
+    }
+    out
+}
+
+/// The bytes to deliver for one arrival of `outcome`: the frame as sent,
+/// or a copy with the in-transit bit flip applied.
+fn delivered_wire(wire: &Message, outcome: LinkOutcome) -> Message {
+    match outcome.corrupted_bit() {
+        Some(bit) => corrupt_wire(wire, bit),
+        None => wire.clone(),
+    }
 }
 
 impl ClusterWorld {
@@ -470,6 +527,55 @@ impl ClusterWorld {
                 }
             }
         }
+    }
+
+    /// Surfaces a node's drained integrity incidents: counts them into
+    /// `cluster.integrity_violations` / `cluster.scrub_divergences` and
+    /// mirrors each onto the event bus. Containment already happened
+    /// inside the state machine (frame dropped, record withheld, entry
+    /// quarantined); this is the observability half.
+    fn forward_integrity(
+        &mut self,
+        ctx: &mut Context<'_, Event>,
+        node: NodeId,
+        events: Vec<IntegrityEvent>,
+    ) {
+        for event in events {
+            match event {
+                IntegrityEvent::Violation { source, object, .. } => {
+                    self.instruments.integrity_violations.inc();
+                    ctx.emit(EventKind::IntegrityViolation {
+                        node,
+                        source: source.name(),
+                        object: object.map_or(u64::MAX, |id| u64::from(id.index())),
+                    });
+                }
+                IntegrityEvent::ScrubDivergence { range, ranges } => {
+                    self.instruments.scrub_divergences.inc();
+                    ctx.trace(format!(
+                        "{node} scrub divergence in range {range}/{ranges}: repairing"
+                    ));
+                    ctx.emit(EventKind::ScrubDivergence {
+                        node,
+                        range: u64::from(range),
+                        ranges: u64::from(ranges),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Counts and emits one frame whose checksum (or framing) failed on
+    /// receive. The frame is dropped before any field is interpreted;
+    /// the retransmission machinery repairs the gap like a loss.
+    fn note_corrupt_frame(&mut self, ctx: &mut Context<'_, Event>, node: NodeId) {
+        self.corrupt_messages += 1;
+        self.instruments.integrity_violations.inc();
+        ctx.emit(EventKind::IntegrityViolation {
+            node,
+            source: "frame",
+            object: u64::MAX,
+        });
     }
 
     /// The serving primary. Callers guard on `self.primary` being `Some`
@@ -621,7 +727,7 @@ impl ClusterWorld {
                     at,
                     Event::DeliverToBackup {
                         host: i,
-                        wire: wire.clone(),
+                        wire: delivered_wire(&wire, outcome),
                         from_deposed: false,
                     },
                 );
@@ -668,12 +774,13 @@ impl ClusterWorld {
         } else {
             &mut h.ctrl_link
         };
-        for at in link.transmit(ctx.now(), wire.wire_size()).arrivals() {
+        let outcome = link.transmit(ctx.now(), wire.wire_size());
+        for at in outcome.arrivals() {
             ctx.schedule_at(
                 at,
                 Event::DeliverToBackup {
                     host,
-                    wire: wire.clone(),
+                    wire: delivered_wire(&wire, outcome),
                     from_deposed: false,
                 },
             );
@@ -711,12 +818,13 @@ impl ClusterWorld {
         } else {
             &mut h.rev_data_link
         };
-        for at in link.transmit(ctx.now(), wire.wire_size()).arrivals() {
+        let outcome = link.transmit(ctx.now(), wire.wire_size());
+        for at in outcome.arrivals() {
             ctx.schedule_at(
                 at,
                 Event::DeliverToPrimary {
                     host,
-                    wire: wire.clone(),
+                    wire: delivered_wire(&wire, outcome),
                 },
             );
         }
@@ -747,12 +855,13 @@ impl ClusterWorld {
             return;
         }
         // Probes are control traffic; they ride the control path.
-        for at in h.ctrl_link.transmit(ctx.now(), wire.wire_size()).arrivals() {
+        let outcome = h.ctrl_link.transmit(ctx.now(), wire.wire_size());
+        for at in outcome.arrivals() {
             ctx.schedule_at(
                 at,
                 Event::DeliverToBackup {
                     host,
-                    wire: wire.clone(),
+                    wire: delivered_wire(&wire, outcome),
                     from_deposed: true,
                 },
             );
@@ -780,12 +889,14 @@ impl ClusterWorld {
         let Some(h) = self.hosts.get_mut(host) else {
             return;
         };
-        for at in h
-            .rev_ctrl_link
-            .transmit(ctx.now(), wire.wire_size())
-            .arrivals()
-        {
-            ctx.schedule_at(at, Event::DeliverToDeposed { wire: wire.clone() });
+        let outcome = h.rev_ctrl_link.transmit(ctx.now(), wire.wire_size());
+        for at in outcome.arrivals() {
+            ctx.schedule_at(
+                at,
+                Event::DeliverToDeposed {
+                    wire: delivered_wire(&wire, outcome),
+                },
+            );
         }
     }
 
@@ -1056,6 +1167,7 @@ impl ClusterWorld {
         let Some(h) = self.hosts.get_mut(host) else {
             return;
         };
+        let node = h.node;
         let Some(backup) = h.backup.as_mut() else {
             return;
         };
@@ -1063,7 +1175,7 @@ impl ClusterWorld {
             Ok(Some(m)) => m,
             Ok(None) => return,
             Err(_) => {
-                self.corrupt_messages += 1;
+                self.note_corrupt_frame(ctx, node);
                 return;
             }
         };
@@ -1072,7 +1184,7 @@ impl ClusterWorld {
         // flow straight into the backup's store — no owned WireMessage
         // is materialised for updates or batches.
         let Ok(frame) = WireFrame::parse(up.payload()) else {
-            self.corrupt_messages += 1;
+            self.note_corrupt_frame(ctx, node);
             return;
         };
         if report_metrics {
@@ -1085,8 +1197,9 @@ impl ClusterWorld {
         let out = backup.handle_frame(&frame, local_now);
         let local_epoch = backup.epoch();
         let monitor_events = backup.drain_monitor_events();
-        let node = self.hosts[host].node;
+        let integrity_events = backup.drain_integrity_events();
         self.forward_monitor(ctx, node, monitor_events);
+        self.forward_integrity(ctx, node, integrity_events);
         self.note_fenced(ctx, node, local_epoch, &out.stale_rejected);
         if matches!(
             frame,
@@ -1114,6 +1227,19 @@ impl ClusterWorld {
                     record: record as u64,
                 });
             }
+            if self.scrub_repair.remove(&host) {
+                // The diff landed: the scrub-triggered anti-entropy
+                // repair is complete.
+                ctx.emit(EventKind::ResyncCompleted { node });
+            }
+            if let Some(record) = self.rot_recovery.remove(&host) {
+                // The catch-up frame re-shipped the quarantined objects:
+                // the store rot is repaired.
+                self.metrics.record_fault_recovered(record, ctx.now());
+                ctx.emit(EventKind::FaultRecovered {
+                    record: record as u64,
+                });
+            }
         }
         for (object, version, write_ts) in &out.applied {
             ctx.emit(EventKind::UpdateApplied {
@@ -1127,6 +1253,20 @@ impl ClusterWorld {
             }
         }
         for reply in out.replies {
+            // A resync request from a live backup that is neither a
+            // demoted ex-primary nor already mid-repair is the scrub
+            // check kicking off anti-entropy (DESIGN.md §15).
+            if let WireMessage::ResyncRequest { versions, .. } = &reply {
+                if !from_deposed
+                    && !self.pending_resync.contains_key(&host)
+                    && self.scrub_repair.insert(host)
+                {
+                    ctx.emit(EventKind::ResyncStarted {
+                        node,
+                        objects: versions.len() as u64,
+                    });
+                }
+            }
             if from_deposed {
                 // The answered frame came from the deposed primary; the
                 // reply (carrying this replica's newer epoch) goes back
@@ -1142,16 +1282,19 @@ impl ClusterWorld {
     /// successor's higher epoch is what deposes it for good: it demotes
     /// itself and starts resync.
     fn handle_delivery_to_deposed(&mut self, ctx: &mut Context<'_, Event>, wire: Message) {
+        let Some(d_node) = self.deposed.as_ref().map(|d| d.primary.node()) else {
+            return;
+        };
         let up = match self.b2p_rx.receive(wire) {
             Ok(Some(m)) => m,
             Ok(None) => return,
             Err(_) => {
-                self.corrupt_messages += 1;
+                self.note_corrupt_frame(ctx, d_node);
                 return;
             }
         };
         let Ok(msg) = WireMessage::decode(up.payload()) else {
-            self.corrupt_messages += 1;
+            self.note_corrupt_frame(ctx, d_node);
             return;
         };
         let Some(dep) = self.deposed.as_mut() else {
@@ -1177,19 +1320,19 @@ impl ClusterWorld {
         host: usize,
         wire: Message,
     ) {
-        if self.primary.is_none() {
+        let Some(p_node) = self.primary.as_ref().map(Primary::node) else {
             return;
-        }
+        };
         let up = match self.b2p_rx.receive(wire) {
             Ok(Some(m)) => m,
             Ok(None) => return,
             Err(_) => {
-                self.corrupt_messages += 1;
+                self.note_corrupt_frame(ctx, p_node);
                 return;
             }
         };
         let Ok(msg) = WireMessage::decode(up.payload()) else {
-            self.corrupt_messages += 1;
+            self.note_corrupt_frame(ctx, p_node);
             return;
         };
         if let WireMessage::RetransmitRequest { object, .. } = &msg {
@@ -1225,13 +1368,15 @@ impl ClusterWorld {
             }
         }
         let local_now = self.primary_local(ctx.now());
-        let (out, p_node, p_epoch, monitor_events) = {
+        let (out, p_epoch, monitor_events, integrity_events) = {
             let primary = self.serving_mut();
             let out = primary.handle_message(&msg, local_now);
             let events = primary.drain_monitor_events();
-            (out, primary.node(), primary.epoch(), events)
+            let integrity = primary.drain_integrity_events();
+            (out, primary.epoch(), events, integrity)
         };
         self.forward_monitor(ctx, p_node, monitor_events);
+        self.forward_integrity(ctx, p_node, integrity_events);
         self.note_fenced(ctx, p_node, p_epoch, &out.stale_rejected);
         if let Some(plan) = &out.catch_up {
             // The catch-up decision is the tentpole trace point: which of
@@ -1419,7 +1564,8 @@ impl ClusterWorld {
     fn restart_backup(&mut self, ctx: &mut Context<'_, Event>, host: usize) {
         let now = ctx.now();
         let local = self.backup_local(host, now);
-        let join = {
+        let rot = self.pending_state_rot.remove(&host);
+        let (join, integrity_events, node, rotted) = {
             let Some(h) = self.hosts.get_mut(host) else {
                 return;
             };
@@ -1437,11 +1583,47 @@ impl ClusterWorld {
                     .log_position()
                     .map_or_else(|| "log start".to_string(), |p| p.to_string())
             ));
+            // Scheduled bit rot manifests now, when the durable store is
+            // read back: flip one byte in each of the first `flips`
+            // retained images (deterministic — part of the fault plan,
+            // not the random stream), then audit. The audit quarantines
+            // every failing entry and forgets the replica's log
+            // position, so the re-join falls down the catch-up ladder to
+            // a path that re-ships the quarantined objects.
+            let mut rotted = false;
+            if let Some((flips, _)) = rot {
+                let mut applied = 0u32;
+                let ids: Vec<ObjectId> = backup.store().ids().collect();
+                for (i, id) in ids.into_iter().enumerate() {
+                    if applied == flips {
+                        break;
+                    }
+                    if backup.corrupt_stored_payload(id, i, 1 << (i % 8)) {
+                        applied += 1;
+                    }
+                }
+                rotted = !backup.audit_integrity().is_empty();
+            }
+            let integrity_events = backup.drain_integrity_events();
             backup.rearm(local);
             let join = backup.begin_join(local);
+            let node = h.node;
             h.backup = Some(backup);
-            join
+            (join, integrity_events, node, rotted)
         };
+        self.forward_integrity(ctx, node, integrity_events);
+        if let Some((_, rot_record)) = rot {
+            if rotted {
+                // The restart audit caught the rot: detection is this
+                // instant; recovery is the catch-up frame that re-ships
+                // the quarantined objects.
+                self.metrics.record_fault_detected(rot_record, now);
+                ctx.emit(EventKind::FaultDetected {
+                    record: rot_record as u64,
+                });
+                self.rot_recovery.insert(host, rot_record);
+            }
+        }
         let record = self
             .metrics
             .record_fault_injected(InjectedFault::BackupRecovery, now);
@@ -1631,6 +1813,47 @@ impl ClusterWorld {
                 ctx.trace(format!("clock slot {slot} frozen until {until}"));
                 self.open_clock_faults.push((record, slot));
                 ctx.schedule_at(until, Event::ClockFaultHealed { record, slot });
+            }
+            FaultEvent::CorruptFrame {
+                host,
+                duration,
+                probability,
+            } => {
+                let until = now + duration;
+                // Plans are declarative data: clamp rather than panic on
+                // an out-of-range probability.
+                let window = FaultWindow {
+                    from: now,
+                    until,
+                    kind: FaultKind::Corrupt(probability.clamp(0.0, 1.0)),
+                };
+                let record = self
+                    .metrics
+                    .record_fault_injected(InjectedFault::CorruptFrame, now);
+                self.note_injected(ctx, InjectedFault::CorruptFrame, record);
+                self.push_data_window(host, window);
+                ctx.trace(format!("frame corruption ({probability}) until {until}"));
+                // Corrupted frames are dropped at the receiver's CRC
+                // check, so the fault manifests exactly like loss: the
+                // retransmission requests it provokes attribute
+                // detection, same as a loss burst.
+                self.window_faults.push((record, host, until));
+                ctx.schedule_at(until, Event::FaultHealed { record, host });
+            }
+            FaultEvent::CorruptState { host, flips } => {
+                // Bit rot on the durable store is latent: nothing
+                // observable happens until the host restarts and reads
+                // the rotted images back (see `restart_backup`, where
+                // detection is attributed to the recovery audit).
+                let record = self
+                    .metrics
+                    .record_fault_injected(InjectedFault::CorruptState, now);
+                self.note_injected(ctx, InjectedFault::CorruptState, record);
+                ctx.trace(format!(
+                    "store rot scheduled for host {host}: {flips} flipped images"
+                ));
+                let entry = self.pending_state_rot.entry(host).or_insert((0, record));
+                entry.0 += flips;
             }
         }
     }
@@ -1863,7 +2086,9 @@ impl World for ClusterWorld {
                 let primary_node = primary.node();
                 let round = primary.tick_heartbeat(local);
                 let monitor_events = primary.drain_monitor_events();
+                let integrity_events = primary.drain_integrity_events();
                 self.forward_monitor(ctx, primary_node, monitor_events);
+                self.forward_integrity(ctx, primary_node, integrity_events);
                 for (dest, ping) in round.pings {
                     ctx.emit(EventKind::HeartbeatSent {
                         from: primary_node,
@@ -1890,12 +2115,13 @@ impl World for ClusterWorld {
                         } else {
                             &mut host.data_link
                         };
-                        for at in link.transmit(ctx.now(), wire.wire_size()).arrivals() {
+                        let outcome = link.transmit(ctx.now(), wire.wire_size());
+                        for at in outcome.arrivals() {
                             ctx.schedule_at(
                                 at,
                                 Event::DeliverToBackup {
                                     host: i,
-                                    wire: wire.clone(),
+                                    wire: delivered_wire(&wire, outcome),
                                     from_deposed: false,
                                 },
                             );
@@ -1943,8 +2169,10 @@ impl World for ClusterWorld {
                     };
                     let (ping, primary_died) = backup.tick_heartbeat(local);
                     let monitor_events = backup.drain_monitor_events();
+                    let integrity_events = backup.drain_integrity_events();
                     let backup_node = self.hosts[i].node;
                     self.forward_monitor(ctx, backup_node, monitor_events);
+                    self.forward_integrity(ctx, backup_node, integrity_events);
                     if let Some(ping) = ping {
                         ctx.emit(EventKind::HeartbeatSent {
                             from: self.hosts[i].node,
@@ -2285,6 +2513,9 @@ impl SimCluster {
             send_pool: BufPool::new(),
             clocks: Vec::new(),
             open_clock_faults: Vec::new(),
+            pending_state_rot: BTreeMap::new(),
+            rot_recovery: BTreeMap::new(),
+            scrub_repair: BTreeSet::new(),
             config,
         };
         let trace_capacity = world.config.trace_capacity;
@@ -2862,6 +3093,33 @@ impl SimCluster {
     #[must_use]
     pub fn corrupt_messages(&self) -> u64 {
         self.sim.world().corrupt_messages
+    }
+
+    /// Checksum verification failures detected so far, across every
+    /// layer (wire frames, log records, log snapshots, store entries).
+    #[must_use]
+    pub fn integrity_violations(&self) -> u64 {
+        self.sim.world().instruments.integrity_violations.get()
+    }
+
+    /// Scrub-digest divergences detected so far (each one triggers
+    /// anti-entropy repair on the diverging backup).
+    #[must_use]
+    pub fn scrub_divergences(&self) -> u64 {
+        self.sim.world().instruments.scrub_divergences.get()
+    }
+
+    /// Fault-injection hook: silently flips `mask` into host `host`'s
+    /// stored image of `id`, with no restart and no audit — latent rot
+    /// for the background scrubber (DESIGN.md §15) to find. Returns
+    /// whether the host held a value to corrupt.
+    pub fn rot_backup_store(&mut self, host: usize, id: ObjectId, byte: usize, mask: u8) -> bool {
+        self.sim
+            .world_mut()
+            .hosts
+            .get_mut(host)
+            .and_then(|h| h.backup.as_mut())
+            .is_some_and(|b| b.corrupt_stored_payload(id, byte, mask))
     }
 
     /// The send-buffer pool's statistics as

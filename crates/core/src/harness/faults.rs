@@ -146,6 +146,31 @@ pub enum FaultEvent {
         /// Interval after which the clock is disciplined back.
         duration: TimeDelta,
     },
+    /// The primary→backup data path flips one bit in transported frames
+    /// with probability `probability` for `duration` — a faulty NIC,
+    /// cable, or switch buffer. The CRC32C frame trailer detects every
+    /// single-bit flip, so a corrupted frame is dropped at the receiver
+    /// (raising an `integrity_violation` event) and repaired by the same
+    /// retransmission machinery that handles loss.
+    CorruptFrame {
+        /// Affected backup host, or `None` for every host.
+        host: Option<usize>,
+        /// How long the corruption window lasts.
+        duration: TimeDelta,
+        /// Per-frame corruption probability during the window.
+        probability: f64,
+    },
+    /// Flips bytes in `flips` stored object images retained across backup
+    /// `host`'s *next* restart — bit rot on the durable store. The
+    /// restart-recovery audit quarantines every entry whose install-time
+    /// checksum fails and the re-join falls down the catch-up ladder to a
+    /// path that re-ships the quarantined objects.
+    CorruptState {
+        /// Index of the backup host whose retained store rots.
+        host: usize,
+        /// How many stored images are corrupted (one flipped byte each).
+        flips: u32,
+    },
 }
 
 /// A deterministic, timestamped schedule of faults to inject into a

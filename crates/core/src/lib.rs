@@ -54,6 +54,7 @@ pub mod client;
 pub mod config;
 pub mod harness;
 pub mod heartbeat;
+pub mod integrity;
 pub mod log;
 pub mod metrics;
 pub mod monitor;
@@ -67,6 +68,7 @@ pub use backup::{Backup, BackupRead};
 pub use client::RtpbClient;
 pub use config::{ProtocolConfig, SchedulabilityTest, SchedulingMode};
 pub use harness::{ClusterConfig, SimCluster};
+pub use integrity::{IntegrityEvent, IntegritySource};
 pub use metrics::{ClusterMetrics, ObjectReport};
 pub use monitor::{MonitorEvent, TemporalMonitor, TimingViolation};
 pub use primary::{Primary, PrimaryRead};

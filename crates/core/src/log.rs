@@ -25,7 +25,7 @@
 //! [`CatchUpPath`] and surfaced in traces as `catch_up_plan` events.
 
 use crate::config::ProtocolConfig;
-use rtpb_types::{Epoch, ObjectId, Time, Version};
+use rtpb_types::{Crc32c, Epoch, ObjectId, Time, Version};
 use std::collections::{BTreeMap, VecDeque};
 
 /// One appended client write: the object's new image plus its sequence
@@ -42,6 +42,30 @@ pub struct LogRecord {
     pub timestamp: Time,
     /// The written payload.
     pub payload: Vec<u8>,
+    /// CRC32C over every other field, computed at append time
+    /// (DESIGN.md §15). A record whose stored bytes no longer match is
+    /// never served as catch-up material.
+    pub crc: u32,
+}
+
+impl LogRecord {
+    /// The checksum this record's current fields produce.
+    #[must_use]
+    pub fn compute_crc(&self) -> u32 {
+        let mut c = Crc32c::new();
+        c.update_u64(self.seq);
+        c.update_u32(self.object.index());
+        c.update_u64(self.version.value());
+        c.update_u64(self.timestamp.as_nanos());
+        c.update(&self.payload);
+        c.finalize()
+    }
+
+    /// Whether the record still matches the checksum taken at append.
+    #[must_use]
+    pub fn verify(&self) -> bool {
+        self.crc == self.compute_crc()
+    }
 }
 
 /// A periodic store snapshot: every registered object's `(write_epoch,
@@ -53,6 +77,18 @@ pub struct LogRecord {
 pub struct LogSnapshot {
     seq: u64,
     tags: BTreeMap<ObjectId, (Epoch, Version)>,
+    crc: u32,
+}
+
+fn snapshot_crc(seq: u64, tags: &BTreeMap<ObjectId, (Epoch, Version)>) -> u32 {
+    let mut c = Crc32c::new();
+    c.update_u64(seq);
+    for (id, (epoch, version)) in tags {
+        c.update_u32(id.index());
+        c.update_u64(epoch.value());
+        c.update_u64(version.value());
+    }
+    c.finalize()
 }
 
 impl LogSnapshot {
@@ -79,6 +115,14 @@ impl LogSnapshot {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.tags.is_empty()
+    }
+
+    /// Whether the snapshot still matches the checksum taken when it was
+    /// cut. A snapshot that fails is unusable as a diff basis — the
+    /// catch-up ladder falls through to a full transfer.
+    #[must_use]
+    pub fn verify(&self) -> bool {
+        self.crc == snapshot_crc(self.seq, &self.tags)
     }
 }
 
@@ -212,13 +256,16 @@ impl UpdateLog {
     ) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.records.push_back(LogRecord {
+        let mut record = LogRecord {
             seq,
             object,
             version,
             timestamp,
             payload,
-        });
+            crc: 0,
+        };
+        record.crc = record.compute_crc();
+        self.records.push_back(record);
         self.latest.insert(object, seq);
         while self.records.len() > self.retention {
             self.records.pop_front();
@@ -242,7 +289,8 @@ impl UpdateLog {
     /// Returns `(head_seq, records_retained_after_truncation)`.
     pub fn take_snapshot(&mut self, tags: BTreeMap<ObjectId, (Epoch, Version)>) -> (u64, u64) {
         let seq = self.head();
-        self.snapshots.push_back(LogSnapshot { seq, tags });
+        let crc = snapshot_crc(seq, &tags);
+        self.snapshots.push_back(LogSnapshot { seq, tags, crc });
         while self.snapshots.len() > self.snapshots_retained {
             self.snapshots.pop_front();
         }
@@ -279,6 +327,24 @@ impl UpdateLog {
     #[must_use]
     pub fn snapshot_at_or_before(&self, seq: u64) -> Option<&LogSnapshot> {
         self.snapshots.iter().rev().find(|s| s.seq <= seq)
+    }
+
+    /// Fault-injection hook: flips `mask` into one byte of the retained
+    /// record at `seq` (into its stored checksum when the payload is
+    /// empty), *without* refreshing the checksum — modelling silent
+    /// in-memory corruption of "durable" log state. Returns `false` when
+    /// the ring no longer retains `seq`.
+    pub fn corrupt_record(&mut self, seq: u64, byte: usize, mask: u8) -> bool {
+        let Some(record) = self.records.iter_mut().find(|r| r.seq == seq) else {
+            return false;
+        };
+        if record.payload.is_empty() {
+            record.crc ^= u32::from(mask.max(1));
+        } else {
+            let at = byte % record.payload.len();
+            record.payload[at] ^= mask.max(1);
+        }
+        true
     }
 }
 
@@ -385,5 +451,40 @@ mod tests {
         assert_eq!(log.head(), 0);
         assert!(log.is_empty());
         assert_eq!(log.suffix_after(0).unwrap().count(), 0);
+    }
+
+    #[test]
+    fn appended_records_verify_and_corruption_is_detected() {
+        let mut log = UpdateLog::new(Epoch::INITIAL, &cfg(16, 100, 2));
+        append_n(&mut log, 5);
+        assert!(log.suffix_after(0).unwrap().all(LogRecord::verify));
+        assert!(log.corrupt_record(3, 0, 0x40));
+        let bad: Vec<u64> = log
+            .suffix_after(0)
+            .unwrap()
+            .filter(|r| !r.verify())
+            .map(|r| r.seq)
+            .collect();
+        assert_eq!(bad, vec![3]);
+        // A seq the ring no longer retains cannot be corrupted.
+        assert!(!log.corrupt_record(99, 0, 0x40));
+    }
+
+    #[test]
+    fn empty_payload_records_are_still_corruptible() {
+        let mut log = UpdateLog::new(Epoch::INITIAL, &cfg(16, 100, 2));
+        log.append(ObjectId::new(0), Version::new(1), Time::ZERO, Vec::new());
+        assert!(log.corrupt_record(1, 7, 0x01));
+        assert!(!log.suffix_after(0).unwrap().all(LogRecord::verify));
+    }
+
+    #[test]
+    fn snapshots_verify_their_tags() {
+        let mut log = UpdateLog::new(Epoch::INITIAL, &cfg(8, 2, 2));
+        append_n(&mut log, 2);
+        let mut tags = BTreeMap::new();
+        tags.insert(ObjectId::new(0), (Epoch::INITIAL, Version::new(1)));
+        let (seq, _) = log.take_snapshot(tags);
+        assert!(log.snapshot_at_or_before(seq).unwrap().verify());
     }
 }

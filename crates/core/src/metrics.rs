@@ -170,6 +170,11 @@ pub enum InjectedFault {
     ClockDrift,
     /// A node's local clock froze at its reading for a window.
     ClockFreeze,
+    /// The data path flipped bits in transported frames for a window.
+    CorruptFrame,
+    /// Stored object images retained across a backup restart were
+    /// corrupted (bit rot on the durable store).
+    CorruptState,
 }
 
 /// The lifecycle of one injected fault: when it was injected, when the

@@ -18,11 +18,12 @@ use crate::admission;
 use crate::backup::Backup;
 use crate::config::ProtocolConfig;
 use crate::heartbeat::{DetectorAction, FailureDetector};
+use crate::integrity::{IntegrityEvent, IntegritySource};
 use crate::log::{CatchUpPath, UpdateLog};
 use crate::monitor::TemporalMonitor;
 use crate::store::ObjectStore;
 use crate::update_sched::UpdateSchedule;
-use crate::wire::{ReadStatus, StateEntry, WireMessage};
+use crate::wire::{ReadStatus, ScrubDigest, StateEntry, WireMessage};
 use rtpb_types::{
     AdmissionError, Epoch, InterObjectConstraint, Lease, LogPosition, NodeId, ObjectId, ObjectSpec,
     StalenessCertificate, Time, TimeDelta, Version,
@@ -161,6 +162,18 @@ pub struct Primary {
     /// degraded this primary stops vouching for staleness: writes,
     /// certified reads, update production, and admissions all refuse.
     monitor: TemporalMonitor,
+    /// The next range index the background scrubber will digest
+    /// (DESIGN.md §15); advances round-robin modulo `scrub_ranges`.
+    scrub_cursor: u32,
+    /// When the scrubber next computes a digest. Meaningless while
+    /// `scrub_interval` is zero (scrubbing disabled).
+    next_scrub_at: Time,
+    /// The digest piggybacked on heartbeats until the next scrub tick
+    /// replaces it. `None` until the first scrub fires.
+    scrub_digest: Option<ScrubDigest>,
+    /// Integrity incidents (checksum failures) since the driver last
+    /// drained them.
+    integrity_events: Vec<IntegrityEvent>,
 }
 
 impl Primary {
@@ -195,6 +208,10 @@ impl Primary {
             log,
             snapshot_marks: Vec::new(),
             monitor,
+            scrub_cursor: 0,
+            next_scrub_at: Time::ZERO,
+            scrub_digest: None,
+            integrity_events: Vec::new(),
         }
     }
 
@@ -276,6 +293,10 @@ impl Primary {
             log,
             snapshot_marks: Vec::new(),
             monitor,
+            scrub_cursor: 0,
+            next_scrub_at: now,
+            scrub_digest: None,
+            integrity_events: Vec::new(),
         }
     }
 
@@ -334,6 +355,13 @@ impl Primary {
     /// and metrics.
     pub fn drain_monitor_events(&mut self) -> Vec<crate::monitor::MonitorEvent> {
         self.monitor.drain_events()
+    }
+
+    /// Drains integrity incidents — checksum failures detected while
+    /// serving catch-up or reads — for the driver to surface as
+    /// `integrity_violation` events and metrics.
+    pub fn drain_integrity_events(&mut self) -> Vec<IntegrityEvent> {
+        std::mem::take(&mut self.integrity_events)
     }
 
     /// Whether this primary has observed a frame from a higher epoch and
@@ -529,6 +557,12 @@ impl Primary {
             return None;
         }
         let entry = self.store.get(object)?;
+        // Never vouch for an image whose stored checksum no longer
+        // matches — a certificate over corrupt bytes would be
+        // "confidently wrong" in exactly the way DESIGN.md §15 forbids.
+        if !entry.verify() {
+            return None;
+        }
         let value = entry.value()?;
         Some(PrimaryRead {
             payload: value.payload().to_vec(),
@@ -748,14 +782,16 @@ impl Primary {
                 // snapshots still cover (§4.4 + DESIGN.md §11).
                 self.add_backup(*from, now);
                 out.backup_joined = true;
-                let (path, reply) = self
-                    .suffix_reply(*position)
-                    .map(|r| (CatchUpPath::LogSuffix, r))
-                    .or_else(|| {
-                        self.snapshot_diff_reply(*position)
-                            .map(|r| (CatchUpPath::SnapshotDiff, r))
-                    })
-                    .unwrap_or_else(|| (CatchUpPath::FullTransfer, self.snapshot()));
+                // Each rung re-verifies the checksums of what it would
+                // ship; a corrupt record or snapshot withholds that rung
+                // and the requester falls to the next one.
+                let (path, reply) = match self.suffix_reply(*position) {
+                    Some(r) => (CatchUpPath::LogSuffix, r),
+                    None => match self.snapshot_diff_reply(*position) {
+                        Some(r) => (CatchUpPath::SnapshotDiff, r),
+                        None => (CatchUpPath::FullTransfer, self.snapshot()),
+                    },
+                };
                 out.catch_up = Some(self.decide(*from, path, *position, &reply));
                 out.replies.push(reply);
             }
@@ -773,10 +809,10 @@ impl Primary {
                 // a freshly joined backup.
                 self.add_backup(*from, now);
                 out.backup_joined = true;
-                let (path, reply) = self
-                    .suffix_reply(*position)
-                    .map(|r| (CatchUpPath::LogSuffix, r))
-                    .unwrap_or_else(|| (CatchUpPath::FullTransfer, self.resync_diff(versions)));
+                let (path, reply) = match self.suffix_reply(*position) {
+                    Some(r) => (CatchUpPath::LogSuffix, r),
+                    None => (CatchUpPath::FullTransfer, self.resync_diff(versions)),
+                };
                 out.catch_up = Some(self.decide(*from, path, *position, &reply));
                 out.replies.push(reply);
             }
@@ -837,6 +873,7 @@ impl Primary {
         self.monitor.observe_now(now);
         self.monitor.maybe_recover(now);
         self.fence_if_degraded();
+        self.tick_scrub(now);
         let mut round = HeartbeatRound::default();
         for (&peer, detector) in &mut self.peers {
             match detector.tick(now) {
@@ -846,6 +883,7 @@ impl Primary {
                         epoch: self.epoch,
                         from: self.node,
                         seq,
+                        scrub: self.scrub_digest,
                     },
                 )),
                 DetectorAction::DeclareDead => round.died.push(peer),
@@ -856,6 +894,39 @@ impl Primary {
             self.peers.remove(&dead);
         }
         round
+    }
+
+    /// Background scrubber (DESIGN.md §15): when a scrub is due, digest
+    /// the next object range and piggyback the digest on every heartbeat
+    /// until the next tick replaces it. Before digesting, audit the range
+    /// is *worth* vouching for — quarantining any entry whose stored
+    /// checksum fails, so the primary never advertises a digest over
+    /// bytes it cannot itself verify.
+    fn tick_scrub(&mut self, now: Time) {
+        let interval = self.config.scrub_interval;
+        if interval.is_zero() {
+            return;
+        }
+        if now < self.next_scrub_at {
+            return;
+        }
+        for id in self.store.audit() {
+            self.integrity_events.push(IntegrityEvent::Violation {
+                source: IntegritySource::StoreEntry,
+                object: Some(id),
+                seq: None,
+            });
+        }
+        let ranges = self.config.scrub_ranges.max(1);
+        let range = self.scrub_cursor % ranges;
+        self.scrub_digest = Some(ScrubDigest {
+            range,
+            ranges,
+            head: self.log.head(),
+            digest: self.store.range_digest(range, ranges),
+        });
+        self.scrub_cursor = (range + 1) % ranges;
+        self.next_scrub_at = now + interval;
     }
 
     /// A reconnection probe for a primary that has lost contact with its
@@ -877,6 +948,7 @@ impl Primary {
             epoch: self.epoch,
             from: self.node,
             seq: self.probe_seq,
+            scrub: None,
         }
     }
 
@@ -906,21 +978,40 @@ impl Primary {
     /// regime's log still covers the gap. `None` sends the caller down a
     /// heavier path: position absent, minted under another epoch, or
     /// older than the ring's retention.
-    fn suffix_reply(&self, position: Option<LogPosition>) -> Option<WireMessage> {
+    /// Every record in the suffix is re-verified against its append-time
+    /// checksum before it ships; one bad record withholds the whole
+    /// suffix (pushing an [`IntegrityEvent`]) and sends the requester
+    /// down the ladder to a snapshot diff or full transfer, which are
+    /// built from the store rather than the corrupt log.
+    fn suffix_reply(&mut self, position: Option<LogPosition>) -> Option<WireMessage> {
         let p = position?;
         if p.epoch() != self.log.epoch() {
             return None;
         }
-        let entries = self
-            .log
-            .suffix_after(p.seq())?
-            .map(|r| StateEntry {
-                object: r.object,
-                version: r.version,
-                timestamp: r.timestamp,
-                payload: r.payload.clone(),
-            })
-            .collect();
+        let mut corrupt = Vec::new();
+        let mut entries = Vec::new();
+        for r in self.log.suffix_after(p.seq())? {
+            if r.verify() {
+                entries.push(StateEntry {
+                    object: r.object,
+                    version: r.version,
+                    timestamp: r.timestamp,
+                    payload: r.payload.clone(),
+                });
+            } else {
+                corrupt.push((r.object, r.seq));
+            }
+        }
+        if !corrupt.is_empty() {
+            for (object, seq) in corrupt {
+                self.integrity_events.push(IntegrityEvent::Violation {
+                    source: IntegritySource::LogRecord,
+                    object: Some(object),
+                    seq: Some(seq),
+                });
+            }
+            return None;
+        }
         Some(WireMessage::LogSuffix {
             epoch: self.epoch,
             head: self.log.head(),
@@ -934,12 +1025,25 @@ impl Primary {
     /// requester may already hold some of them (its position can be ahead
     /// of the snapshot); replay through the store's ordering makes the
     /// overshoot idempotent.
-    fn snapshot_diff_reply(&self, position: Option<LogPosition>) -> Option<WireMessage> {
+    ///
+    /// The snapshot's own checksum is re-verified first; a corrupt
+    /// snapshot is withheld (pushing an [`IntegrityEvent`]) and the
+    /// requester falls to the full-transfer rung.
+    fn snapshot_diff_reply(&mut self, position: Option<LogPosition>) -> Option<WireMessage> {
         let p = position?;
         if p.epoch() != self.log.epoch() {
             return None;
         }
         let snap = self.log.snapshot_at_or_before(p.seq())?;
+        if !snap.verify() {
+            let seq = snap.seq();
+            self.integrity_events.push(IntegrityEvent::Violation {
+                source: IntegritySource::LogSnapshot,
+                object: None,
+                seq: Some(seq),
+            });
+            return None;
+        }
         let entries = self
             .store
             .iter()
@@ -1029,6 +1133,20 @@ impl Primary {
     #[must_use]
     pub fn log(&self) -> &UpdateLog {
         &self.log
+    }
+
+    /// Fault-injection hook: flips `mask` into a retained log record's
+    /// payload (see [`UpdateLog::corrupt_record`]). Returns whether the
+    /// record was retained. Test/chaos harness use only.
+    pub fn corrupt_log_record(&mut self, seq: u64, byte: usize, mask: u8) -> bool {
+        self.log.corrupt_record(seq, byte, mask)
+    }
+
+    /// Fault-injection hook: flips `mask` into a stored object image
+    /// (see [`ObjectStore::corrupt_payload`]). Returns whether the
+    /// object held a value to corrupt. Test/chaos harness use only.
+    pub fn corrupt_stored_payload(&mut self, id: ObjectId, byte: usize, mask: u8) -> bool {
+        self.store.corrupt_payload(id, byte, mask)
     }
 
     /// Drains the `(log_seq, records_retained)` marks of store snapshots
@@ -1213,6 +1331,7 @@ mod tests {
                 epoch: Epoch::INITIAL,
                 from: NodeId::new(1),
                 seq: 4,
+                scrub: None,
             },
             t(1),
         );
@@ -1460,6 +1579,7 @@ mod tests {
                     epoch: Epoch::INITIAL,
                     from: NodeId::new(1),
                     seq: k,
+                    scrub: None,
                 },
                 t(50 + k * 50),
             );
@@ -1498,6 +1618,7 @@ mod tests {
                 epoch: Epoch::new(1),
                 from: NodeId::new(1),
                 seq: 0,
+                scrub: None,
             },
             t(10),
         );
@@ -1555,6 +1676,7 @@ mod tests {
                 epoch: Epoch::new(1),
                 from: NodeId::new(1),
                 seq: 0,
+                scrub: None,
             },
             t(10),
         );
@@ -1576,6 +1698,7 @@ mod tests {
                 epoch: Epoch::new(2),
                 from: NodeId::new(0),
                 seq: 0,
+                scrub: None,
             },
             t(1),
         );

@@ -1,6 +1,6 @@
 //! The replicated-object table held by each replica.
 
-use rtpb_types::{Epoch, ObjectId, ObjectSpec, ObjectValue, Time, TimeDelta, Version};
+use rtpb_types::{Crc32c, Epoch, ObjectId, ObjectSpec, ObjectValue, Time, TimeDelta, Version};
 use std::collections::BTreeMap;
 
 /// One object's slot in a replica's store.
@@ -16,9 +16,33 @@ pub struct ObjectEntry {
     /// divergent counter the deposed regime ran up.
     write_epoch: Epoch,
     registered_at: Time,
+    /// CRC32C over the held image — `(write_epoch, version, timestamp,
+    /// payload)` — refreshed on every install (DESIGN.md §15). Zero while
+    /// the slot holds no value.
+    crc: u32,
 }
 
 impl ObjectEntry {
+    fn image_crc(&self) -> u32 {
+        let Some(value) = &self.value else { return 0 };
+        let mut c = Crc32c::new();
+        c.update_u64(self.write_epoch.value());
+        c.update_u64(value.version().value());
+        c.update_u64(value.timestamp().as_nanos());
+        c.update(value.payload());
+        c.finalize()
+    }
+
+    fn refresh_crc(&mut self) {
+        self.crc = self.image_crc();
+    }
+
+    /// Whether the held image still matches the checksum taken when it
+    /// was installed. Empty slots trivially verify.
+    #[must_use]
+    pub fn verify(&self) -> bool {
+        self.value.is_none() || self.crc == self.image_crc()
+    }
     /// The registration spec.
     #[must_use]
     pub fn spec(&self) -> &ObjectSpec {
@@ -116,6 +140,7 @@ impl ObjectStore {
                 value: None,
                 write_epoch: Epoch::INITIAL,
                 registered_at: now,
+                crc: 0,
             },
         );
         id
@@ -134,6 +159,7 @@ impl ObjectStore {
                 value: None,
                 write_epoch: Epoch::INITIAL,
                 registered_at: now,
+                crc: 0,
             },
         );
     }
@@ -157,6 +183,7 @@ impl ObjectStore {
             Some(entry) if (epoch, value.version()) > (entry.write_epoch, entry.version()) => {
                 entry.value = Some(value);
                 entry.write_epoch = epoch;
+                entry.refresh_crc();
                 true
             }
             _ => false,
@@ -185,6 +212,7 @@ impl ObjectStore {
                     }
                 }
                 entry.write_epoch = epoch;
+                entry.refresh_crc();
                 true
             }
             _ => false,
@@ -201,6 +229,7 @@ impl ObjectStore {
         for entry in self.entries.values_mut() {
             if entry.value.is_some() && epoch > entry.write_epoch {
                 entry.write_epoch = epoch;
+                entry.refresh_crc();
             }
         }
     }
@@ -231,6 +260,83 @@ impl ObjectStore {
     /// All registered ids, in order.
     pub fn ids(&self) -> impl Iterator<Item = ObjectId> + '_ {
         self.entries.keys().copied()
+    }
+
+    /// Verifies every entry's checksum and **quarantines** the failures:
+    /// the corrupted image is dropped and the slot's freshness tag is
+    /// reset to the never-written `(Epoch::INITIAL, Version::INITIAL)`,
+    /// so the authoritative copy re-shipped by catch-up or anti-entropy
+    /// repair passes the `(epoch, version)` install gate — a poisoned tag
+    /// must never outrank its own repair. Returns the quarantined ids.
+    pub fn audit(&mut self) -> Vec<ObjectId> {
+        let mut quarantined = Vec::new();
+        for (&id, entry) in &mut self.entries {
+            if !entry.verify() {
+                entry.value = None;
+                entry.write_epoch = Epoch::INITIAL;
+                entry.crc = 0;
+                quarantined.push(id);
+            }
+        }
+        quarantined
+    }
+
+    /// Fault-injection hook: flips `mask` into one byte of `id`'s held
+    /// payload (into the stored checksum when the payload is empty),
+    /// *without* refreshing the checksum — modelling silent in-memory
+    /// corruption of retained state. Returns `false` when the slot holds
+    /// no value to corrupt.
+    pub fn corrupt_payload(&mut self, id: ObjectId, byte: usize, mask: u8) -> bool {
+        let Some(entry) = self.entries.get_mut(&id) else {
+            return false;
+        };
+        let Some(value) = &mut entry.value else {
+            return false;
+        };
+        let mut payload = value.payload().to_vec();
+        if payload.is_empty() {
+            entry.crc ^= u32::from(mask.max(1));
+            return true;
+        }
+        let at = byte % payload.len();
+        payload[at] ^= mask.max(1);
+        let (version, timestamp) = (value.version(), value.timestamp());
+        value.overwrite(version, timestamp, &payload);
+        true
+    }
+
+    /// The scrub digest of one range (objects with `id.index() % ranges
+    /// == range`), folded over every valued entry's `(id, write_epoch,
+    /// version, timestamp, payload)` in id order — FNV-1a so the digest
+    /// is cheap, order-sensitive, and dependency-free. Two replicas that
+    /// hold the same images for the range always agree; a corrupted or
+    /// diverged image disagrees with overwhelming probability, and the
+    /// scrub exchange (DESIGN.md §15) turns that disagreement into
+    /// targeted anti-entropy repair.
+    #[must_use]
+    pub fn range_digest(&self, range: u32, ranges: u32) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn fold(h: &mut u64, bytes: &[u8]) {
+            for &b in bytes {
+                *h ^= u64::from(b);
+                *h = h.wrapping_mul(FNV_PRIME);
+            }
+        }
+        let ranges = ranges.max(1);
+        let mut h = FNV_OFFSET;
+        for (id, entry) in &self.entries {
+            if id.index() % ranges != range {
+                continue;
+            }
+            let Some(value) = &entry.value else { continue };
+            fold(&mut h, &id.index().to_be_bytes());
+            fold(&mut h, &entry.write_epoch.value().to_be_bytes());
+            fold(&mut h, &value.version().value().to_be_bytes());
+            fold(&mut h, &value.timestamp().as_nanos().to_be_bytes());
+            fold(&mut h, value.payload());
+        }
+        h
     }
 }
 
@@ -399,5 +505,74 @@ mod tests {
         s.register(spec("c"), Time::ZERO);
         let names: Vec<&str> = s.iter().map(|(_, e)| e.spec().name()).collect();
         assert_eq!(names, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn entries_verify_until_corrupted_and_audit_quarantines() {
+        let mut s = ObjectStore::new();
+        let good = s.register(spec("a"), Time::ZERO);
+        let bad = s.register(spec("b"), Time::ZERO);
+        s.apply(good, val(1, 10), Epoch::new(2));
+        s.apply(bad, val(5, 20), Epoch::new(2));
+        assert!(s.iter().all(|(_, e)| e.verify()));
+        assert!(s.corrupt_payload(bad, 0, 0x80));
+        assert!(s.get(good).unwrap().verify());
+        assert!(!s.get(bad).unwrap().verify());
+        assert_eq!(s.audit(), vec![bad]);
+        // Quarantine drops the image and resets the freshness tag so the
+        // repair re-ship passes the (epoch, version) gate.
+        let e = s.get(bad).unwrap();
+        assert!(e.value().is_none());
+        assert_eq!(e.write_epoch(), Epoch::INITIAL);
+        assert!(e.verify());
+        assert!(s.apply(bad, val(5, 20), Epoch::new(2)), "repair must land");
+        assert!(s.get(bad).unwrap().verify());
+        // A clean store audits to nothing.
+        assert!(s.audit().is_empty());
+    }
+
+    #[test]
+    fn corrupting_empty_slots_and_empty_payloads() {
+        let mut s = ObjectStore::new();
+        let id = s.register(spec("a"), Time::ZERO);
+        // No value yet: nothing to corrupt.
+        assert!(!s.corrupt_payload(id, 0, 0x01));
+        // Empty payload: the stored checksum itself is flipped.
+        s.apply(
+            id,
+            ObjectValue::new(Version::new(1), Time::from_millis(1), Vec::new()),
+            Epoch::INITIAL,
+        );
+        assert!(s.corrupt_payload(id, 3, 0x01));
+        assert!(!s.get(id).unwrap().verify());
+    }
+
+    #[test]
+    fn range_digests_partition_and_detect_divergence() {
+        let mut a = ObjectStore::new();
+        let mut b = ObjectStore::new();
+        for name in ["w", "x", "y", "z"] {
+            a.register(spec(name), Time::ZERO);
+            b.register(spec(name), Time::ZERO);
+        }
+        for i in 0..4u64 {
+            a.apply(
+                ObjectId::new(i as u32),
+                val(i + 1, 10 * (i + 1)),
+                Epoch::INITIAL,
+            );
+            b.apply(
+                ObjectId::new(i as u32),
+                val(i + 1, 10 * (i + 1)),
+                Epoch::INITIAL,
+            );
+        }
+        for range in 0..2 {
+            assert_eq!(a.range_digest(range, 2), b.range_digest(range, 2));
+        }
+        // Corrupt object 2 (range 0 of 2): only that range diverges.
+        assert!(b.corrupt_payload(ObjectId::new(2), 0, 0x04));
+        assert_ne!(a.range_digest(0, 2), b.range_digest(0, 2));
+        assert_eq!(a.range_digest(1, 2), b.range_digest(1, 2));
     }
 }

@@ -16,9 +16,18 @@
 //! The codec is a hand-rolled length-prefixed binary format so that the
 //! protocol stack carries real bytes (and so corruption tests are
 //! meaningful), not in-process object references.
+//!
+//! Every **outermost** frame ends in a 4-byte CRC32C trailer computed over
+//! the frame body at [`WireMessage::encode_into`] time and verified first
+//! thing by [`WireFrame::parse`] (DESIGN.md §15). Batch sub-frames are
+//! covered by their enclosing frame's checksum and carry no trailer of
+//! their own. A frame whose trailer does not match is rejected with the
+//! typed [`CodecError::ChecksumMismatch`] before any field of the body is
+//! interpreted — corruption can never panic the decoder or smuggle a
+//! plausible-but-wrong field value past it.
 
 use core::fmt;
-use rtpb_types::{Epoch, LogPosition, NodeId, ObjectId, Time, TimeDelta, Version};
+use rtpb_types::{crc32c, Epoch, LogPosition, NodeId, ObjectId, Time, TimeDelta, Version};
 use std::error::Error;
 
 /// A decoded RTPB protocol message.
@@ -52,6 +61,10 @@ pub enum WireMessage {
         from: NodeId,
         /// Probe sequence number, echoed in the ack.
         seq: u64,
+        /// A background-scrub digest the primary piggybacks on its
+        /// heartbeats (DESIGN.md §15). `None` on backup-originated pings
+        /// and when scrubbing is disabled.
+        scrub: Option<ScrubDigest>,
     },
     /// Acknowledgement of a [`WireMessage::Ping`].
     ///
@@ -255,6 +268,30 @@ impl ReadStatus {
     }
 }
 
+/// A per-range store digest piggybacked on a primary heartbeat
+/// [`WireMessage::Ping`] (DESIGN.md §15).
+///
+/// The primary walks its store in `ranges` fixed ranges (objects are
+/// assigned by `id.index() % ranges`), one range per scrub tick, and
+/// publishes the digest of the authoritative image alongside the log
+/// head it was cut at. A backup that has applied at least that head
+/// recomputes the digest over its own image of the range; divergence is
+/// latent corruption (or a missed repair) and triggers anti-entropy
+/// resync.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScrubDigest {
+    /// The range this digest covers, in `0..ranges`.
+    pub range: u32,
+    /// The total number of scrub ranges the store is partitioned into.
+    pub ranges: u32,
+    /// The primary's update-log head sequence when the digest was cut.
+    /// Backups behind this head skip the comparison instead of reporting
+    /// ordinary replication lag as divergence.
+    pub head: u64,
+    /// The digest of the range's authoritative object images.
+    pub digest: u64,
+}
+
 /// One object's state in a [`WireMessage::StateTransfer`],
 /// [`WireMessage::ResyncDiff`], or [`WireMessage::LogSuffix`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -270,28 +307,68 @@ pub struct StateEntry {
 }
 
 /// Why a byte buffer failed to decode.
+///
+/// Every variant carries enough context to diagnose the rejection from a
+/// trace line alone: byte offsets are relative to the start of the
+/// (sub-)frame being parsed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CodecError {
     /// The buffer ended before the message did.
-    Truncated,
+    Truncated {
+        /// Byte offset at which the decoder needed more input.
+        at: usize,
+    },
     /// The leading type tag is unknown.
-    UnknownTag(u8),
+    UnknownTag {
+        /// The unrecognised tag byte.
+        tag: u8,
+    },
     /// A length field exceeds the remaining buffer or a sanity limit.
-    BadLength(usize),
+    BadLength {
+        /// The implausible declared length (or count).
+        len: usize,
+        /// Byte offset of the offending field.
+        at: usize,
+    },
     /// Trailing bytes followed a complete message.
-    TrailingBytes(usize),
+    TrailingBytes {
+        /// How many bytes were left over.
+        count: usize,
+        /// Byte offset at which the surplus starts.
+        at: usize,
+    },
     /// A [`WireMessage::Batch`] frame contained another batch.
     NestedBatch,
+    /// The frame's CRC32C trailer did not match its body — the bytes
+    /// were corrupted somewhere between [`WireMessage::encode_into`] and
+    /// here. Checked before any body field is interpreted, so this is
+    /// the error corruption faults surface as.
+    ChecksumMismatch {
+        /// The checksum the trailer claimed.
+        expected: u32,
+        /// The checksum the received body actually has.
+        actual: u32,
+        /// Total frame length (body plus trailer) as received.
+        len: usize,
+    },
 }
 
 impl fmt::Display for CodecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CodecError::Truncated => write!(f, "message truncated"),
-            CodecError::UnknownTag(t) => write!(f, "unknown message tag {t:#04x}"),
-            CodecError::BadLength(n) => write!(f, "implausible length field {n}"),
-            CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+            CodecError::Truncated { at } => write!(f, "message truncated at byte {at}"),
+            CodecError::UnknownTag { tag } => write!(f, "unknown message tag {tag:#04x}"),
+            CodecError::BadLength { len, at } => {
+                write!(f, "implausible length field {len} at byte {at}")
+            }
+            CodecError::TrailingBytes { count, at } => {
+                write!(f, "{count} trailing bytes after message at byte {at}")
+            }
             CodecError::NestedBatch => write!(f, "batch frame nested inside a batch"),
+            CodecError::ChecksumMismatch { expected, actual, len } => write!(
+                f,
+                "checksum mismatch on {len}-byte frame: trailer {expected:#010x}, body {actual:#010x}"
+            ),
         }
     }
 }
@@ -323,6 +400,9 @@ pub const MAX_DECODE_LEN: usize = 1 << 24;
 /// what a single frame can make the decoder hold.
 pub const MAX_FRAME_PAYLOAD_TOTAL: usize = 1 << 26;
 
+/// Length of the CRC32C trailer on every outermost frame.
+pub const CRC_LEN: usize = 4;
+
 impl WireMessage {
     /// Encodes the message to a fresh buffer.
     ///
@@ -351,6 +431,17 @@ impl WireMessage {
     /// (batches cannot nest).
     pub fn encode_into(&self, buf: &mut Vec<u8>) {
         buf.reserve(self.encoded_len());
+        let start = buf.len();
+        self.encode_body(buf);
+        let crc = crc32c(&buf[start..]);
+        buf.extend_from_slice(&crc.to_be_bytes());
+    }
+
+    /// Appends the frame body (everything except the CRC32C trailer).
+    /// Batch sub-frames are encoded with this, so only the outermost
+    /// frame carries a trailer — the whole batch is covered by one
+    /// checksum.
+    fn encode_body(&self, buf: &mut Vec<u8>) {
         match self {
             WireMessage::Update {
                 epoch,
@@ -368,11 +459,17 @@ impl WireMessage {
                 put_u64(buf, *seq);
                 put_bytes(buf, payload);
             }
-            WireMessage::Ping { epoch, from, seq } => {
+            WireMessage::Ping {
+                epoch,
+                from,
+                seq,
+                scrub,
+            } => {
                 buf.push(TAG_PING);
                 put_u64(buf, epoch.value());
                 put_u32(buf, u32::from(from.index()));
                 put_u64(buf, *seq);
+                put_scrub(buf, *scrub);
             }
             WireMessage::PingAck { epoch, from, seq } => {
                 buf.push(TAG_PING_ACK);
@@ -437,7 +534,7 @@ impl WireMessage {
                     let len_at = buf.len();
                     put_u32(buf, 0);
                     let body_at = buf.len();
-                    m.encode_into(buf);
+                    m.encode_body(buf);
                     let len = (buf.len() - body_at) as u32;
                     buf[len_at..len_at + 4].copy_from_slice(&len.to_be_bytes());
                 }
@@ -520,12 +617,18 @@ impl WireMessage {
         }
     }
 
-    /// The exact number of bytes [`WireMessage::encode`] produces,
-    /// computed without encoding — drivers that only need a frame's cost
-    /// (CPU service time, link occupancy) call this instead of
-    /// encoding a throwaway buffer.
+    /// The exact number of bytes [`WireMessage::encode`] produces
+    /// (CRC32C trailer included), computed without encoding — drivers
+    /// that only need a frame's cost (CPU service time, link occupancy)
+    /// call this instead of encoding a throwaway buffer.
     #[must_use]
     pub fn encoded_len(&self) -> usize {
+        self.body_len() + CRC_LEN
+    }
+
+    /// Body length, excluding the trailer. Batch sub-frames use this
+    /// directly (they carry no trailer of their own).
+    fn body_len(&self) -> usize {
         // tag + epoch prefix on every frame.
         const PREFIX: usize = 1 + 8;
         fn position_len(p: &Option<LogPosition>) -> usize {
@@ -537,10 +640,16 @@ impl WireMessage {
         fn entry_len(e: &StateEntry) -> usize {
             4 + 8 + 8 + 4 + e.payload.len()
         }
+        fn scrub_len(s: &Option<ScrubDigest>) -> usize {
+            match s {
+                None => 1,
+                Some(_) => 1 + 4 + 4 + 8 + 8,
+            }
+        }
         match self {
             WireMessage::Update { payload, .. } => PREFIX + 4 + 8 + 8 + 8 + 4 + payload.len(),
-            WireMessage::Ping { .. }
-            | WireMessage::PingAck { .. }
+            WireMessage::Ping { scrub, .. } => PREFIX + 4 + 8 + scrub_len(scrub),
+            WireMessage::PingAck { .. }
             | WireMessage::RetransmitRequest { .. }
             | WireMessage::UpdateAck { .. } => PREFIX + 4 + 8,
             WireMessage::JoinRequest { position, .. } => PREFIX + 4 + position_len(position),
@@ -550,7 +659,7 @@ impl WireMessage {
                 PREFIX + 8 + 4 + entries.iter().map(entry_len).sum::<usize>()
             }
             WireMessage::Batch { messages, .. } => {
-                PREFIX + 4 + messages.iter().map(|m| 4 + m.encoded_len()).sum::<usize>()
+                PREFIX + 4 + messages.iter().map(|m| 4 + m.body_len()).sum::<usize>()
             }
             WireMessage::ResyncRequest {
                 position, versions, ..
@@ -662,6 +771,19 @@ fn put_position(buf: &mut Vec<u8>, position: Option<LogPosition>) {
     }
 }
 
+fn put_scrub(buf: &mut Vec<u8>, scrub: Option<ScrubDigest>) {
+    match scrub {
+        None => buf.push(0),
+        Some(s) => {
+            buf.push(1);
+            put_u32(buf, s.range);
+            put_u32(buf, s.ranges);
+            put_u64(buf, s.head);
+            put_u64(buf, s.digest);
+        }
+    }
+}
+
 /// A decoded frame whose payloads borrow the receive buffer.
 ///
 /// [`WireFrame::parse`] fully *validates* a frame (same checks, same
@@ -699,6 +821,8 @@ pub enum WireFrame<'a> {
         from: NodeId,
         /// Probe sequence number.
         seq: u64,
+        /// Piggybacked scrub digest, if any (see [`WireMessage::Ping`]).
+        scrub: Option<ScrubDigest>,
     },
     /// Borrowing view of [`WireMessage::PingAck`].
     PingAck {
@@ -1074,17 +1198,34 @@ impl Iterator for VersionIter<'_> {
 impl<'a> WireFrame<'a> {
     /// Parses and fully validates a frame without copying payloads.
     ///
-    /// Validation is byte-for-byte equivalent to the owned decoder
+    /// The CRC32C trailer is verified **first**, over the whole body,
+    /// before any field is interpreted — a corrupted frame is rejected
+    /// as [`CodecError::ChecksumMismatch`] even when the flipped bits
+    /// would still have produced a structurally valid parse. Validation
+    /// of the body is byte-for-byte equivalent to the owned decoder
     /// (same errors, same precedence), including the whole-frame
     /// payload budget [`MAX_FRAME_PAYLOAD_TOTAL`].
     ///
     /// # Errors
     ///
-    /// Returns [`CodecError`] on truncation, unknown tags, implausible
-    /// lengths, or trailing garbage.
+    /// Returns [`CodecError`] on checksum mismatch, truncation, unknown
+    /// tags, implausible lengths, or trailing garbage.
     pub fn parse(bytes: &'a [u8]) -> Result<Self, CodecError> {
+        if bytes.len() < CRC_LEN {
+            return Err(CodecError::Truncated { at: bytes.len() });
+        }
+        let (body, trailer) = bytes.split_at(bytes.len() - CRC_LEN);
+        let expected = u32::from_be_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]);
+        let actual = crc32c(body);
+        if expected != actual {
+            return Err(CodecError::ChecksumMismatch {
+                expected,
+                actual,
+                len: bytes.len(),
+            });
+        }
         let mut payload_budget = MAX_FRAME_PAYLOAD_TOTAL;
-        Self::parse_inner(bytes, &mut payload_budget, true)
+        Self::parse_inner(body, &mut payload_budget, true)
     }
 
     /// Parses a batch sub-frame (nested batches rejected up front).
@@ -1116,6 +1257,7 @@ impl<'a> WireFrame<'a> {
                 epoch,
                 from: NodeId::new(r.u32()? as u16),
                 seq: r.u64()?,
+                scrub: r.scrub()?,
             },
             TAG_PING_ACK => WireFrame::PingAck {
                 epoch,
@@ -1145,7 +1287,10 @@ impl<'a> WireFrame<'a> {
             TAG_BATCH => {
                 let count = r.u32()? as usize;
                 if count > MAX_DECODE_LEN {
-                    return Err(CodecError::BadLength(count));
+                    return Err(CodecError::BadLength {
+                        len: count,
+                        at: r.pos - 4,
+                    });
                 }
                 let start = r.pos;
                 for _ in 0..count {
@@ -1165,7 +1310,10 @@ impl<'a> WireFrame<'a> {
                 let position = r.position()?;
                 let count = r.u32()? as usize;
                 if count > MAX_DECODE_LEN {
-                    return Err(CodecError::BadLength(count));
+                    return Err(CodecError::BadLength {
+                        len: count,
+                        at: r.pos - 4,
+                    });
                 }
                 let start = r.pos;
                 r.take(count * (4 + 8 + 8))?;
@@ -1200,7 +1348,10 @@ impl<'a> WireFrame<'a> {
                 object: ObjectId::new(r.u32()?),
                 status: {
                     let byte = r.u8()?;
-                    ReadStatus::from_u8(byte).ok_or(CodecError::BadLength(byte as usize))?
+                    ReadStatus::from_u8(byte).ok_or(CodecError::BadLength {
+                        len: byte as usize,
+                        at: r.pos - 1,
+                    })?
                 },
                 write_epoch: Epoch::new(r.u64()?),
                 version: Version::new(r.u64()?),
@@ -1208,10 +1359,13 @@ impl<'a> WireFrame<'a> {
                 position: r.position()?,
                 payload: r.payload(payload_budget)?,
             },
-            other => return Err(CodecError::UnknownTag(other)),
+            other => return Err(CodecError::UnknownTag { tag: other }),
         };
         if r.pos != bytes.len() {
-            return Err(CodecError::TrailingBytes(bytes.len() - r.pos));
+            return Err(CodecError::TrailingBytes {
+                count: bytes.len() - r.pos,
+                at: r.pos,
+            });
         }
         Ok(frame)
     }
@@ -1236,10 +1390,16 @@ impl<'a> WireFrame<'a> {
                 seq: *seq,
                 payload: payload.to_vec(),
             },
-            WireFrame::Ping { epoch, from, seq } => WireMessage::Ping {
+            WireFrame::Ping {
+                epoch,
+                from,
+                seq,
+                scrub,
+            } => WireMessage::Ping {
                 epoch: *epoch,
                 from: *from,
                 seq: *seq,
+                scrub: *scrub,
             },
             WireFrame::PingAck { epoch, from, seq } => WireMessage::PingAck {
                 epoch: *epoch,
@@ -1436,7 +1596,7 @@ impl<'a> Reader<'a> {
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
         if self.pos + n > self.buf.len() {
-            return Err(CodecError::Truncated);
+            return Err(CodecError::Truncated { at: self.pos });
         }
         let s = &self.buf[self.pos..self.pos + n];
         self.pos += n;
@@ -1463,7 +1623,26 @@ impl<'a> Reader<'a> {
         match self.u8()? {
             0 => Ok(None),
             1 => Ok(Some(LogPosition::new(Epoch::new(self.u64()?), self.u64()?))),
-            other => Err(CodecError::BadLength(other as usize)),
+            other => Err(CodecError::BadLength {
+                len: other as usize,
+                at: self.pos - 1,
+            }),
+        }
+    }
+
+    fn scrub(&mut self) -> Result<Option<ScrubDigest>, CodecError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(ScrubDigest {
+                range: self.u32()?,
+                ranges: self.u32()?,
+                head: self.u64()?,
+                digest: self.u64()?,
+            })),
+            other => Err(CodecError::BadLength {
+                len: other as usize,
+                at: self.pos - 1,
+            }),
         }
     }
 
@@ -1473,7 +1652,10 @@ impl<'a> Reader<'a> {
     fn bytes_ref(&mut self) -> Result<&'a [u8], CodecError> {
         let len = self.u32()? as usize;
         if len > MAX_DECODE_LEN {
-            return Err(CodecError::BadLength(len));
+            return Err(CodecError::BadLength {
+                len,
+                at: self.pos - 4,
+            });
         }
         self.take(len)
     }
@@ -1490,14 +1672,20 @@ impl<'a> Reader<'a> {
     fn payload(&mut self, budget: &mut usize) -> Result<&'a [u8], CodecError> {
         let len = self.u32()? as usize;
         if len > MAX_DECODE_LEN {
-            return Err(CodecError::BadLength(len));
+            return Err(CodecError::BadLength {
+                len,
+                at: self.pos - 4,
+            });
         }
         match budget.checked_sub(len) {
             Some(rest) => *budget = rest,
             None => {
                 // Report the aggregate the frame tried to claim.
                 let spent = MAX_FRAME_PAYLOAD_TOTAL.saturating_sub(*budget);
-                return Err(CodecError::BadLength(spent + len));
+                return Err(CodecError::BadLength {
+                    len: spent + len,
+                    at: self.pos - 4,
+                });
             }
         }
         self.take(len)
@@ -1506,7 +1694,10 @@ impl<'a> Reader<'a> {
     fn entries(&mut self, budget: &mut usize) -> Result<EntrySlice<'a>, CodecError> {
         let count = self.u32()? as usize;
         if count > MAX_DECODE_LEN {
-            return Err(CodecError::BadLength(count));
+            return Err(CodecError::BadLength {
+                len: count,
+                at: self.pos - 4,
+            });
         }
         let start = self.pos;
         for _ in 0..count {
@@ -1525,6 +1716,14 @@ impl<'a> Reader<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Appends the CRC32C trailer a hand-assembled frame *body* needs to
+    /// get past the checksum gate and reach the structural parser.
+    fn seal(mut body: Vec<u8>) -> Vec<u8> {
+        let crc = crc32c(&body);
+        body.extend_from_slice(&crc.to_be_bytes());
+        body
+    }
 
     fn samples() -> Vec<WireMessage> {
         vec![
@@ -1548,6 +1747,18 @@ mod tests {
                 epoch: Epoch::INITIAL,
                 from: NodeId::new(1),
                 seq: 99,
+                scrub: None,
+            },
+            WireMessage::Ping {
+                epoch: Epoch::new(4),
+                from: NodeId::new(0),
+                seq: 7,
+                scrub: Some(ScrubDigest {
+                    range: 3,
+                    ranges: 8,
+                    head: 512,
+                    digest: 0xDEAD_BEEF_CAFE_F00D,
+                }),
             },
             WireMessage::PingAck {
                 epoch: Epoch::new(3),
@@ -1620,6 +1831,7 @@ mod tests {
                         epoch: Epoch::new(4),
                         from: NodeId::new(0),
                         seq: 7,
+                        scrub: None,
                     },
                 ],
             },
@@ -1756,25 +1968,46 @@ mod tests {
         let mut bytes = vec![0xEE];
         put_u64(&mut bytes, 0);
         assert_eq!(
-            WireMessage::decode(&bytes),
-            Err(CodecError::UnknownTag(0xEE))
+            WireMessage::decode(&seal(bytes)),
+            Err(CodecError::UnknownTag { tag: 0xEE })
         );
-        assert_eq!(WireMessage::decode(&[]), Err(CodecError::Truncated));
-        assert_eq!(WireMessage::decode(&[0xEE]), Err(CodecError::Truncated));
+        assert_eq!(
+            WireMessage::decode(&[]),
+            Err(CodecError::Truncated { at: 0 })
+        );
+        assert_eq!(
+            WireMessage::decode(&[0xEE]),
+            Err(CodecError::Truncated { at: 1 })
+        );
     }
 
     #[test]
     fn trailing_bytes_rejected() {
-        let mut bytes = WireMessage::Ping {
+        // Appending a byte to a sealed frame breaks the checksum before
+        // the structural check sees it.
+        let mut appended = WireMessage::Ping {
             epoch: Epoch::INITIAL,
             from: NodeId::new(1),
             seq: 2,
+            scrub: None,
         }
         .encode();
-        bytes.push(0);
+        appended.push(0);
+        assert!(matches!(
+            WireMessage::decode(&appended),
+            Err(CodecError::ChecksumMismatch { .. })
+        ));
+        // Surplus bytes *inside* a sealed frame hit the structural check.
+        let mut body = vec![TAG_PING];
+        put_u64(&mut body, 0); // epoch
+        put_u32(&mut body, 1); // from
+        put_u64(&mut body, 2); // seq
+        body.push(0); // no scrub digest
+        let at = body.len();
+        body.push(0); // surplus
         assert_eq!(
-            WireMessage::decode(&bytes),
-            Err(CodecError::TrailingBytes(1))
+            WireMessage::decode(&seal(body)),
+            Err(CodecError::TrailingBytes { count: 1, at })
         );
     }
 
@@ -1786,9 +2019,16 @@ mod tests {
         put_u64(&mut bytes, 1);
         put_u64(&mut bytes, 1);
         put_u64(&mut bytes, 1); // log seq
+        let at = bytes.len();
         put_u32(&mut bytes, u32::MAX); // claimed payload length
-        let err = WireMessage::decode(&bytes).unwrap_err();
-        assert_eq!(err, CodecError::BadLength(u32::MAX as usize));
+        let err = WireMessage::decode(&seal(bytes)).unwrap_err();
+        assert_eq!(
+            err,
+            CodecError::BadLength {
+                len: u32::MAX as usize,
+                at,
+            }
+        );
     }
 
     #[test]
@@ -1798,16 +2038,19 @@ mod tests {
             put_u64(&mut bytes, 0); // epoch
             put_u64(&mut bytes, 0); // log head
             put_u32(&mut bytes, u32::MAX);
-            let err = WireMessage::decode(&bytes).unwrap_err();
-            assert_eq!(err, CodecError::BadLength(u32::MAX as usize));
+            let err = WireMessage::decode(&seal(bytes)).unwrap_err();
+            assert!(
+                matches!(err, CodecError::BadLength { len, .. } if len == u32::MAX as usize),
+                "tag {tag}: {err:?}"
+            );
         }
         let mut bytes = vec![TAG_RESYNC_REQ];
         put_u64(&mut bytes, 0); // epoch
         put_u32(&mut bytes, 0); // from
         bytes.push(0); // no position
         put_u32(&mut bytes, u32::MAX); // version-vector count
-        let err = WireMessage::decode(&bytes).unwrap_err();
-        assert_eq!(err, CodecError::BadLength(u32::MAX as usize));
+        let err = WireMessage::decode(&seal(bytes)).unwrap_err();
+        assert!(matches!(err, CodecError::BadLength { len, .. } if len == u32::MAX as usize));
     }
 
     #[test]
@@ -1828,8 +2071,12 @@ mod tests {
         let mut bytes = vec![TAG_READ_REPLY];
         put_u64(&mut bytes, 0); // epoch
         put_u32(&mut bytes, 1); // object
+        let at = bytes.len();
         bytes.push(9); // no such status
-        assert_eq!(WireMessage::decode(&bytes), Err(CodecError::BadLength(9)));
+        assert_eq!(
+            WireMessage::decode(&seal(bytes)),
+            Err(CodecError::BadLength { len: 9, at })
+        );
     }
 
     #[test]
@@ -1837,23 +2084,43 @@ mod tests {
         let mut bytes = vec![TAG_JOIN];
         put_u64(&mut bytes, 0); // epoch
         put_u32(&mut bytes, 1); // from
+        let at = bytes.len();
         bytes.push(7); // neither "absent" nor "present"
-        assert_eq!(WireMessage::decode(&bytes), Err(CodecError::BadLength(7)));
+        assert_eq!(
+            WireMessage::decode(&seal(bytes)),
+            Err(CodecError::BadLength { len: 7, at })
+        );
+    }
+
+    #[test]
+    fn bad_scrub_flag_rejected() {
+        let mut bytes = vec![TAG_PING];
+        put_u64(&mut bytes, 0); // epoch
+        put_u32(&mut bytes, 1); // from
+        put_u64(&mut bytes, 2); // seq
+        let at = bytes.len();
+        bytes.push(5); // neither "absent" nor "present"
+        assert_eq!(
+            WireMessage::decode(&seal(bytes)),
+            Err(CodecError::BadLength { len: 5, at })
+        );
     }
 
     #[test]
     fn nested_batch_rejected_at_decode() {
-        // Hand-assemble a batch whose single sub-message is itself a batch.
-        let inner = WireMessage::Batch {
-            epoch: Epoch::INITIAL,
-            messages: vec![],
-        }
-        .encode();
+        // Hand-assemble a batch whose single sub-message is itself a
+        // (bodies-only — sub-frames carry no trailer) empty batch.
+        let mut inner = vec![TAG_BATCH];
+        put_u64(&mut inner, 0); // epoch
+        put_u32(&mut inner, 0); // count
         let mut bytes = vec![TAG_BATCH];
         put_u64(&mut bytes, 0); // epoch
         put_u32(&mut bytes, 1);
         put_bytes(&mut bytes, &inner);
-        assert_eq!(WireMessage::decode(&bytes), Err(CodecError::NestedBatch));
+        assert_eq!(
+            WireMessage::decode(&seal(bytes)),
+            Err(CodecError::NestedBatch)
+        );
     }
 
     #[test]
@@ -1861,10 +2128,8 @@ mod tests {
         let mut bytes = vec![TAG_BATCH];
         put_u64(&mut bytes, 0); // epoch
         put_u32(&mut bytes, u32::MAX);
-        assert_eq!(
-            WireMessage::decode(&bytes),
-            Err(CodecError::BadLength(u32::MAX as usize))
-        );
+        let err = WireMessage::decode(&seal(bytes)).unwrap_err();
+        assert!(matches!(err, CodecError::BadLength { len, .. } if len == u32::MAX as usize));
     }
 
     #[test]
@@ -1880,17 +2145,28 @@ mod tests {
                 payload: vec![1, 2, 3],
             }],
         };
-        let good = msg.encode();
-        // Flip the sub-message tag byte (just past the batch tag + epoch +
-        // count + sub-length prefix) to an unknown value.
+        let encoded = msg.encode();
+        // Any flip in the sealed bytes trips the checksum first.
         let sub_tag_at = 1 + 8 + 4 + 4;
+        let mut flipped = encoded.clone();
+        flipped[sub_tag_at] = 0xEE;
+        assert!(matches!(
+            WireMessage::decode(&flipped),
+            Err(CodecError::ChecksumMismatch { .. })
+        ));
+        // Re-sealing after the flip models a corrupt *sender*: the
+        // structural check still poisons the whole batch.
+        let good = encoded[..encoded.len() - CRC_LEN].to_vec();
         let mut bad = good.clone();
         bad[sub_tag_at] = 0xEE;
-        assert_eq!(WireMessage::decode(&bad), Err(CodecError::UnknownTag(0xEE)));
+        assert_eq!(
+            WireMessage::decode(&seal(bad)),
+            Err(CodecError::UnknownTag { tag: 0xEE })
+        );
         // Shrink the sub-message length prefix so the sub decode truncates.
         let mut short = good;
         short[sub_tag_at - 1] -= 1;
-        assert!(WireMessage::decode(&short).is_err());
+        assert!(WireMessage::decode(&seal(short)).is_err());
     }
 
     #[test]
@@ -1912,8 +2188,21 @@ mod tests {
 
     #[test]
     fn codec_error_display() {
-        assert_eq!(CodecError::Truncated.to_string(), "message truncated");
-        assert!(CodecError::UnknownTag(7).to_string().contains("0x07"));
+        assert_eq!(
+            CodecError::Truncated { at: 12 }.to_string(),
+            "message truncated at byte 12"
+        );
+        assert!(CodecError::UnknownTag { tag: 7 }
+            .to_string()
+            .contains("0x07"));
+        let mismatch = CodecError::ChecksumMismatch {
+            expected: 0xAABB_CCDD,
+            actual: 0x1122_3344,
+            len: 27,
+        };
+        let text = mismatch.to_string();
+        assert!(text.contains("0xaabbccdd"), "{text}");
+        assert!(text.contains("27-byte"), "{text}");
     }
 
     #[test]
@@ -1959,9 +2248,10 @@ mod tests {
         let WireFrame::Update { payload, .. } = WireFrame::parse(&bytes).unwrap() else {
             panic!("wrong variant");
         };
-        // The payload is a slice *of* the receive buffer, not a copy.
-        let start = bytes.len() - 64;
-        assert!(std::ptr::eq(payload, &bytes[start..]));
+        // The payload is a slice *of* the receive buffer, not a copy
+        // (it sits just ahead of the CRC trailer).
+        let start = bytes.len() - 64 - CRC_LEN;
+        assert!(std::ptr::eq(payload, &bytes[start..start + 64]));
     }
 
     #[test]
@@ -2020,9 +2310,10 @@ mod tests {
             put_u32(&mut bytes, payload_len as u32);
             bytes.resize(bytes.len() + payload_len, 0);
         }
+        let bytes = seal(bytes);
         let err = WireMessage::decode(&bytes).unwrap_err();
         assert!(
-            matches!(err, CodecError::BadLength(n) if n > MAX_FRAME_PAYLOAD_TOTAL),
+            matches!(err, CodecError::BadLength { len, .. } if len > MAX_FRAME_PAYLOAD_TOTAL),
             "expected aggregate BadLength, got {err:?}"
         );
         assert_eq!(WireFrame::parse(&bytes).unwrap_err(), err);
@@ -2049,9 +2340,9 @@ mod tests {
             put_u32(&mut bytes, MAX_DECODE_LEN as u32); // per-item cap, exactly
             bytes.resize(bytes.len() + MAX_DECODE_LEN, 0);
         }
-        let err = WireMessage::decode(&bytes).unwrap_err();
+        let err = WireMessage::decode(&seal(bytes)).unwrap_err();
         assert!(
-            matches!(err, CodecError::BadLength(n) if n > MAX_FRAME_PAYLOAD_TOTAL),
+            matches!(err, CodecError::BadLength { len, .. } if len > MAX_FRAME_PAYLOAD_TOTAL),
             "expected aggregate BadLength, got {err:?}"
         );
     }
@@ -2079,16 +2370,14 @@ mod tests {
 
     #[test]
     fn nested_batch_rejected_at_parse() {
-        let inner = WireMessage::Batch {
-            epoch: Epoch::INITIAL,
-            messages: vec![],
-        }
-        .encode();
+        let mut inner = vec![TAG_BATCH];
+        put_u64(&mut inner, 0); // epoch
+        put_u32(&mut inner, 0); // count
         let mut bytes = vec![TAG_BATCH];
         put_u64(&mut bytes, 0); // epoch
         put_u32(&mut bytes, 1);
         put_bytes(&mut bytes, &inner);
-        assert_eq!(WireFrame::parse(&bytes), Err(CodecError::NestedBatch));
+        assert_eq!(WireFrame::parse(&seal(bytes)), Err(CodecError::NestedBatch));
     }
 
     #[test]
@@ -2127,5 +2416,89 @@ mod tests {
         };
         let decoded = WireMessage::decode(&msg.encode()).unwrap();
         assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn checksum_is_verified_before_the_body_is_interpreted() {
+        // Flip a payload byte to a value that would still parse fine
+        // structurally — only the checksum can tell, and it must, with
+        // the typed error carrying enough context to diagnose.
+        let msg = WireMessage::Update {
+            epoch: Epoch::new(2),
+            object: ObjectId::new(7),
+            version: Version::new(42),
+            timestamp: Time::from_millis(1234),
+            seq: 42,
+            payload: vec![1, 2, 3, 4],
+        };
+        let mut bytes = msg.encode();
+        let payload_at = bytes.len() - CRC_LEN - 2;
+        bytes[payload_at] ^= 0xFF;
+        let err = WireMessage::decode(&bytes).unwrap_err();
+        let CodecError::ChecksumMismatch {
+            expected,
+            actual,
+            len,
+        } = err
+        else {
+            panic!("expected ChecksumMismatch, got {err:?}");
+        };
+        assert_ne!(expected, actual);
+        assert_eq!(len, bytes.len());
+        // The borrowing parser rejects it identically.
+        assert_eq!(WireFrame::parse(&bytes).unwrap_err(), err);
+    }
+
+    #[test]
+    fn any_single_bit_flip_in_any_frame_is_detected() {
+        // CRC32C detects all single-bit errors, so this is a guarantee,
+        // not a sampling claim: for every sample frame, flipping any one
+        // bit anywhere (body or trailer) must yield a decode error — no
+        // silently accepted semantic change is possible.
+        for msg in samples() {
+            let bytes = msg.encode();
+            for byte in 0..bytes.len() {
+                for bit in 0..8 {
+                    let mut flipped = bytes.clone();
+                    flipped[byte] ^= 1 << bit;
+                    assert!(
+                        WireFrame::parse(&flipped).is_err(),
+                        "{}: flip at {byte}:{bit} accepted",
+                        msg.kind()
+                    );
+                    assert!(
+                        WireMessage::decode(&flipped).is_err(),
+                        "{}: flip at {byte}:{bit} decoded",
+                        msg.kind()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scrub_digest_round_trips_on_pings() {
+        let scrub = ScrubDigest {
+            range: 2,
+            ranges: 16,
+            head: 9001,
+            digest: 0x0102_0304_0506_0708,
+        };
+        let msg = WireMessage::Ping {
+            epoch: Epoch::new(3),
+            from: NodeId::new(0),
+            seq: 44,
+            scrub: Some(scrub),
+        };
+        let bytes = msg.encode();
+        let WireFrame::Ping {
+            scrub: parsed_scrub,
+            ..
+        } = WireFrame::parse(&bytes).unwrap()
+        else {
+            panic!("wrong variant");
+        };
+        assert_eq!(parsed_scrub, Some(scrub));
+        assert_eq!(WireMessage::decode(&bytes).unwrap(), msg);
     }
 }

@@ -98,6 +98,9 @@ pub enum FaultKind {
     /// Delay spike: every delivered message takes this much extra time,
     /// on top of its sampled propagation delay.
     DelaySpike(TimeDelta),
+    /// Corruption: delivered messages have one bit flipped in transit
+    /// with this probability (overrides the configured rate if higher).
+    Corrupt(f64),
 }
 
 /// A time-windowed fault on one link direction: active for transmissions
@@ -144,6 +147,14 @@ pub struct LinkConfig {
     /// Correlated-loss model; when set, per-message loss follows the
     /// Gilbert–Elliott chain instead of `loss_probability`.
     pub burst: Option<GilbertElliott>,
+    /// Probability that a delivered message has one bit flipped in
+    /// transit (0.0–1.0) — a faulty NIC, cable, or switch buffer. The
+    /// link stays oblivious to payload semantics: it reports *which* bit
+    /// flipped via [`LinkOutcome::Corrupted`] and the harness applies
+    /// the flip to its copy of the bytes. While zero (the default), the
+    /// corruption path draws no randomness, so seeded runs replay
+    /// byte-identically with or without the feature compiled in.
+    pub corrupt_probability: f64,
 }
 
 impl Default for LinkConfig {
@@ -158,6 +169,7 @@ impl Default for LinkConfig {
             duplicate_probability: 0.0,
             reorder_probability: 0.0,
             burst: None,
+            corrupt_probability: 0.0,
         }
     }
 }
@@ -194,6 +206,10 @@ impl LinkConfig {
             "reorder probability must be within [0, 1]"
         );
         assert!(
+            (0.0..=1.0).contains(&self.corrupt_probability),
+            "corrupt probability must be within [0, 1]"
+        );
+        assert!(
             self.delay_min <= self.delay_max,
             "delay_min must not exceed delay_max"
         );
@@ -211,6 +227,12 @@ pub enum LinkOutcome {
     /// The message was duplicated in flight: two copies arrive, at these
     /// absolute times (not necessarily ordered).
     Duplicated(Time, Time),
+    /// The message arrives at this absolute time with the given bit
+    /// (counting from bit 0 of byte 0) flipped in transit. The harness
+    /// owns the bytes, so the link reports the flip for the harness to
+    /// apply; receivers then see a frame whose CRC trailer no longer
+    /// matches.
+    Corrupted(Time, u64),
     /// The message is silently lost.
     Lost,
 }
@@ -220,21 +242,31 @@ impl LinkOutcome {
     #[must_use]
     pub fn arrival(self) -> Option<Time> {
         match self {
-            LinkOutcome::Delivered(t) => Some(t),
+            LinkOutcome::Delivered(t) | LinkOutcome::Corrupted(t, _) => Some(t),
             LinkOutcome::Duplicated(a, b) => Some(a.min(b)),
             LinkOutcome::Lost => None,
         }
     }
 
     /// Every arrival this transmission produces (none if lost, two if
-    /// duplicated).
+    /// duplicated). A corrupted arrival is still an arrival — the bytes
+    /// land, just damaged.
     pub fn arrivals(self) -> impl Iterator<Item = Time> {
         let (a, b) = match self {
-            LinkOutcome::Delivered(t) => (Some(t), None),
+            LinkOutcome::Delivered(t) | LinkOutcome::Corrupted(t, _) => (Some(t), None),
             LinkOutcome::Duplicated(t, u) => (Some(t), Some(u)),
             LinkOutcome::Lost => (None, None),
         };
         a.into_iter().chain(b)
+    }
+
+    /// The flipped bit index, when the message was corrupted in transit.
+    #[must_use]
+    pub fn corrupted_bit(self) -> Option<u64> {
+        match self {
+            LinkOutcome::Corrupted(_, bit) => Some(bit),
+            _ => None,
+        }
     }
 
     /// Whether the message was lost.
@@ -275,6 +307,7 @@ pub struct LossyLink {
     lost: u64,
     duplicated: u64,
     reordered: u64,
+    corrupted: u64,
 }
 
 impl LossyLink {
@@ -298,6 +331,7 @@ impl LossyLink {
             lost: 0,
             duplicated: 0,
             reordered: 0,
+            corrupted: 0,
         }
     }
 
@@ -317,6 +351,7 @@ impl LossyLink {
         // Windowed faults active at the send instant.
         let mut extra_delay = TimeDelta::ZERO;
         let mut window_loss: f64 = 0.0;
+        let mut window_corrupt: f64 = 0.0;
         let mut outage = false;
         for w in &self.windows {
             if !w.covers(now) {
@@ -326,6 +361,7 @@ impl LossyLink {
                 FaultKind::Outage => outage = true,
                 FaultKind::Loss(p) => window_loss = window_loss.max(p),
                 FaultKind::DelaySpike(d) => extra_delay = extra_delay.max(d),
+                FaultKind::Corrupt(p) => window_corrupt = window_corrupt.max(p),
             }
         }
         // Loss decision: the Gilbert–Elliott chain (when configured)
@@ -368,6 +404,17 @@ impl LossyLink {
         }
         if extra_delay > TimeDelta::ZERO {
             self.emit_perturbed(now, "delay_spike");
+        }
+        // Corruption decision. `chance(0.0)` draws no randomness, so runs
+        // with corruption disabled keep the exact fate sequence they had
+        // before the feature existed.
+        let corrupt = window_corrupt.max(self.config.corrupt_probability);
+        if self.rng.chance(corrupt) {
+            self.corrupted += 1;
+            self.emit_perturbed(now, "corrupt");
+            let bit = self.rng.index(size_bytes.max(1) * 8) as u64;
+            let at = now + self.sample_delay(size_bytes) + extra_delay;
+            return LinkOutcome::Corrupted(at, bit);
         }
         if self.rng.chance(self.config.reorder_probability) {
             // Hold the message back so later traffic can overtake it.
@@ -424,11 +471,16 @@ impl LossyLink {
 
     /// Schedules a time-windowed fault on this link direction.
     pub fn push_window(&mut self, window: FaultWindow) {
-        if let FaultKind::Loss(p) = window.kind {
-            assert!(
+        match window.kind {
+            FaultKind::Loss(p) => assert!(
                 (0.0..=1.0).contains(&p),
                 "loss probability must be within [0, 1]"
-            );
+            ),
+            FaultKind::Corrupt(p) => assert!(
+                (0.0..=1.0).contains(&p),
+                "corrupt probability must be within [0, 1]"
+            ),
+            _ => {}
         }
         self.windows.push(window);
     }
@@ -486,6 +538,12 @@ impl LossyLink {
     #[must_use]
     pub fn reordered(&self) -> u64 {
         self.reordered
+    }
+
+    /// Messages corrupted in transit so far.
+    #[must_use]
+    pub fn corrupted(&self) -> u64 {
+        self.corrupted
     }
 
     /// Observed loss rate so far (0 if nothing sent).
@@ -797,6 +855,67 @@ mod tests {
             observed.iter().filter(|o| o.is_lost()).count() as u64
         );
         assert!(perturbs > 0);
+    }
+
+    #[test]
+    fn corruption_reports_a_bit_within_the_frame() {
+        let config = LinkConfig {
+            corrupt_probability: 1.0,
+            ..LinkConfig::default()
+        };
+        let mut link = LossyLink::new(config, 43);
+        for _ in 0..100 {
+            let outcome = link.transmit(Time::ZERO, 16);
+            let bit = outcome.corrupted_bit().expect("always corrupts");
+            assert!(bit < 16 * 8);
+            assert!(outcome.arrival().is_some(), "corrupted frames still land");
+            assert!(!outcome.is_lost());
+        }
+        assert_eq!(link.corrupted(), 100);
+    }
+
+    #[test]
+    fn corrupt_window_applies_only_inside_its_span() {
+        let mut link = LossyLink::new(cfg(0.0), 47);
+        link.push_window(FaultWindow {
+            from: Time::from_millis(100),
+            until: Time::from_millis(200),
+            kind: FaultKind::Corrupt(1.0),
+        });
+        assert!(link
+            .transmit(Time::from_millis(50), 8)
+            .corrupted_bit()
+            .is_none());
+        assert!(link
+            .transmit(Time::from_millis(150), 8)
+            .corrupted_bit()
+            .is_some());
+        assert!(link
+            .transmit(Time::from_millis(250), 8)
+            .corrupted_bit()
+            .is_none());
+    }
+
+    #[test]
+    fn disabled_corruption_consumes_no_randomness() {
+        // The fate sequence with corrupt_probability: 0.0 must be
+        // byte-identical to one from a build that predates the feature —
+        // i.e. to a run that never consults the corruption path at all.
+        let run = |corrupt| {
+            let config = LinkConfig {
+                loss_probability: 0.3,
+                duplicate_probability: 0.2,
+                reorder_probability: 0.2,
+                corrupt_probability: corrupt,
+                ..LinkConfig::default()
+            };
+            let mut link = LossyLink::new(config, 53);
+            (0..500)
+                .map(|k| link.transmit(Time::from_millis(k), 8))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(0.0), run(0.0));
+        assert_ne!(run(0.0), run(0.5));
     }
 
     #[test]

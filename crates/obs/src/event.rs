@@ -305,6 +305,32 @@ pub enum EventKind {
         /// The recovering node.
         node: NodeId,
     },
+    /// A checksum verification failed: a wire frame's CRC trailer, a
+    /// retained log record, a log snapshot, or a stored object image no
+    /// longer matched its checksum. The corrupted datum was contained
+    /// (frame dropped, record withheld, entry quarantined) before any of
+    /// its bytes could influence replicated state or a certificate.
+    IntegrityViolation {
+        /// The node that detected the corruption.
+        node: NodeId,
+        /// Which layer's check failed: `"frame"`, `"log_record"`,
+        /// `"log_snapshot"`, or `"store_entry"`.
+        source: &'static str,
+        /// The object involved (`u64::MAX` when the corrupted datum
+        /// names none, e.g. a frame that never parsed).
+        object: u64,
+    },
+    /// A background scrub found a backup's per-range store digest
+    /// diverging from the primary's; the backup initiates anti-entropy
+    /// repair.
+    ScrubDivergence {
+        /// The diverging backup.
+        node: NodeId,
+        /// The diverging range index.
+        range: u64,
+        /// Total ranges the object space is divided into.
+        ranges: u64,
+    },
 }
 
 impl EventKind {
@@ -339,6 +365,8 @@ impl EventKind {
             EventKind::TimingViolation { .. } => "timing_violation",
             EventKind::MonitorDegraded { .. } => "monitor_degraded",
             EventKind::MonitorRecovered { .. } => "monitor_recovered",
+            EventKind::IntegrityViolation { .. } => "integrity_violation",
+            EventKind::ScrubDivergence { .. } => "scrub_divergence",
         }
     }
 }
@@ -543,6 +571,24 @@ impl ObsEvent {
             EventKind::MonitorRecovered { node } => {
                 o.uint_field("node", u64::from(node.index()));
             }
+            EventKind::IntegrityViolation {
+                node,
+                source,
+                object,
+            } => {
+                o.uint_field("node", u64::from(node.index()))
+                    .str_field("source", source)
+                    .uint_field("object", *object);
+            }
+            EventKind::ScrubDivergence {
+                node,
+                range,
+                ranges,
+            } => {
+                o.uint_field("node", u64::from(node.index()))
+                    .uint_field("range", *range)
+                    .uint_field("ranges", *ranges);
+            }
         }
         o.finish()
     }
@@ -730,6 +776,16 @@ pub fn validate_line(line: &str) -> Result<(u64, u64, String), SchemaError> {
         "monitor_degraded" | "monitor_recovered" => {
             require_u64(&map, "node")?;
         }
+        "integrity_violation" => {
+            require_u64(&map, "node")?;
+            require_str(&map, "source")?;
+            require_u64(&map, "object")?;
+        }
+        "scrub_divergence" => {
+            require_u64(&map, "node")?;
+            require_u64(&map, "range")?;
+            require_u64(&map, "ranges")?;
+        }
         other => return Err(SchemaError::UnknownKind(other.to_string())),
     }
     Ok((seq, t_ns, kind))
@@ -870,6 +926,16 @@ mod tests {
             },
             EventKind::MonitorRecovered {
                 node: NodeId::new(1),
+            },
+            EventKind::IntegrityViolation {
+                node: NodeId::new(1),
+                source: "frame",
+                object: u64::MAX,
+            },
+            EventKind::ScrubDivergence {
+                node: NodeId::new(1),
+                range: 3,
+                ranges: 8,
             },
         ];
         for kind in kinds {

@@ -4,6 +4,7 @@ use crate::chan::{unbounded, Receiver, RecvTimeoutError, Sender};
 use crate::link::spawn_link;
 use rtpb_core::backup::Backup;
 use rtpb_core::config::ProtocolConfig;
+use rtpb_core::integrity::IntegrityEvent;
 use rtpb_core::metrics::ClusterMetrics;
 use rtpb_core::monitor::MonitorEvent;
 use rtpb_core::primary::Primary;
@@ -116,6 +117,11 @@ pub struct RtReport {
     /// monitors (DESIGN.md §14). Zero on a healthy host: the real clock
     /// is monotone and the default envelope absorbs scheduler jitter.
     pub timing_violations: u64,
+    /// Checksum verification failures detected by either node — wire
+    /// frames, retained log records, log snapshots, or stored object
+    /// images (DESIGN.md §15). Zero on healthy hardware: in-process
+    /// channels do not flip bits.
+    pub integrity_violations: u64,
 }
 
 /// Why a real-clock run could not start.
@@ -181,6 +187,7 @@ struct Shared {
     reads_served: AtomicU64,
     read_redirects: AtomicU64,
     timing_violations: AtomicU64,
+    integrity_violations: AtomicU64,
     epoch: Instant,
 }
 
@@ -210,6 +217,7 @@ impl RtCluster {
             reads_served: AtomicU64::new(0),
             read_redirects: AtomicU64::new(0),
             timing_violations: AtomicU64::new(0),
+            integrity_violations: AtomicU64::new(0),
             epoch: Instant::now(),
         });
 
@@ -409,6 +417,7 @@ impl RtCluster {
             reads_served: shared.reads_served.load(Ordering::SeqCst),
             read_redirects: shared.read_redirects.load(Ordering::SeqCst),
             timing_violations: shared.timing_violations.load(Ordering::SeqCst),
+            integrity_violations: shared.integrity_violations.load(Ordering::SeqCst),
         })
     }
 }
@@ -591,6 +600,37 @@ fn forward_monitor(shared: &Shared, obs: &EventWriter, node: NodeId, events: Vec
     }
 }
 
+/// Surfaces a node's drained integrity incidents: counts them into the
+/// run report and mirrors each onto the event bus (DESIGN.md §15).
+fn forward_integrity(
+    shared: &Shared,
+    obs: &EventWriter,
+    node: NodeId,
+    events: Vec<IntegrityEvent>,
+) {
+    for event in events {
+        let kind = match event {
+            IntegrityEvent::Violation { source, object, .. } => {
+                shared.integrity_violations.fetch_add(1, Ordering::SeqCst);
+                EventKind::IntegrityViolation {
+                    node,
+                    source: source.name(),
+                    object: object.map_or(u64::MAX, |id| u64::from(id.index())),
+                }
+            }
+            IntegrityEvent::ScrubDivergence { range, ranges } => EventKind::ScrubDivergence {
+                node,
+                range: u64::from(range),
+                ranges: u64::from(ranges),
+            },
+            // `IntegrityEvent` is non-exhaustive; future kinds are
+            // counted nowhere rather than crashing the runtime.
+            _ => continue,
+        };
+        obs.emit(ClockDomain::Real, shared.now(), kind);
+    }
+}
+
 /// The `(object, version)` pairs of every update a frame carries.
 fn frame_updates(msg: &WireMessage) -> Vec<(ObjectId, Version)> {
     match msg {
@@ -676,6 +716,12 @@ fn primary_loop(
                 None => {
                     let round = primary.tick_heartbeat(shared.now());
                     forward_monitor(shared, obs, primary.node(), primary.drain_monitor_events());
+                    forward_integrity(
+                        shared,
+                        obs,
+                        primary.node(),
+                        primary.drain_integrity_events(),
+                    );
                     for (dest, ping) in round.pings {
                         emit(EventKind::HeartbeatSent {
                             from: primary.node(),
@@ -763,6 +809,12 @@ fn primary_loop(
                     }
                     let out = primary.handle_message(&msg, shared.now());
                     forward_monitor(shared, obs, primary.node(), primary.drain_monitor_events());
+                    forward_integrity(
+                        shared,
+                        obs,
+                        primary.node(),
+                        primary.drain_integrity_events(),
+                    );
                     if let Some(plan) = &out.catch_up {
                         emit(EventKind::CatchUpPlan {
                             node: plan.node,
@@ -919,6 +971,7 @@ fn backup_loop(
                 None => {
                     let (ping, primary_died) = backup.tick_heartbeat(shared.now());
                     forward_monitor(shared, obs, node, backup.drain_monitor_events());
+                    forward_integrity(shared, obs, node, backup.drain_integrity_events());
                     if let Some(ping) = ping {
                         emit(EventKind::HeartbeatSent {
                             from: node,
@@ -986,6 +1039,7 @@ fn backup_loop(
                     }
                     let out = backup.handle_message(&msg, shared.now());
                     forward_monitor(shared, obs, node, backup.drain_monitor_events());
+                    forward_integrity(shared, obs, node, backup.drain_integrity_events());
                     let mut m = shared.metrics.lock().unwrap();
                     for (id, version, ts) in &out.applied {
                         m.on_backup_apply(*id, *version, *ts, shared.now());

@@ -38,6 +38,7 @@
 
 mod bufpool;
 mod constraint;
+mod crc32c;
 mod epoch;
 mod error;
 mod ids;
@@ -48,6 +49,7 @@ mod time;
 
 pub use bufpool::{BufLease, BufPool};
 pub use constraint::{InterObjectConstraint, QosNegotiation};
+pub use crc32c::{crc32c, Crc32c};
 pub use epoch::{Epoch, Lease};
 pub use error::{AdmissionError, SpecError};
 pub use ids::{NodeId, ObjectId, TaskId};

@@ -159,6 +159,7 @@ fn batch_codec_round_trips_and_rejects_truncation() {
                     epoch: Epoch::new(g.any_u64()),
                     from: NodeId::new(g.u64_in(0, 4) as u16),
                     seq: g.any_u64(),
+                    scrub: None,
                 },
                 _ => WireMessage::RetransmitRequest {
                     epoch: Epoch::new(g.any_u64()),
@@ -213,6 +214,7 @@ fn encode_into_is_byte_identical_to_encode() {
                     epoch: Epoch::new(g.any_u64()),
                     from: NodeId::new(g.u64_in(0, 4) as u16),
                     seq: g.any_u64(),
+                    scrub: None,
                 },
                 _ => WireMessage::RetransmitRequest {
                     epoch: Epoch::new(g.any_u64()),
